@@ -1,0 +1,33 @@
+# Convenience targets for the CompDiff reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-verified bench bench-quick examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+# Same suite with IR verification enabled after every compile.
+test-verified:
+	REPRO_VERIFY_IR=1 $(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SCALE=0.008 REPRO_BENCH_EXECS=1200 \
+	    $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/unstable_code_gallery.py
+	$(PYTHON) examples/fuzz_tcpdump_sim.py 3000
+	$(PYTHON) examples/subset_selection.py 0.005
+	$(PYTHON) examples/triage_workflow.py
+
+clean:
+	rm -rf benchmarks/results .pytest_cache build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,59 @@
+"""Shared, cached experiment state for the benchmark harnesses.
+
+The expensive artifacts (the Juliet evaluation, the real-world campaigns)
+are computed once per pytest session and reused by every bench that needs
+them, mirroring how the paper's artifact scripts stage results.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE``  — Juliet suite scale (default 0.02 ≈ 367 tests).
+* ``REPRO_BENCH_EXECS``  — fuzzer executions per campaign (default 2500).
+* ``REPRO_BENCH_STRIDE`` — CompDiff oracle stride in campaigns (default 4).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pathlib
+
+from repro.evaluation import evaluate_juliet, evaluate_realworld
+from repro.juliet import build_suite
+from repro.targets import build_all_targets
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+JULIET_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+CAMPAIGN_EXECS = int(os.environ.get("REPRO_BENCH_EXECS", "2500"))
+CAMPAIGN_STRIDE = int(os.environ.get("REPRO_BENCH_STRIDE", "4"))
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure for EXPERIMENTS.md bookkeeping."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+
+
+@functools.lru_cache(maxsize=1)
+def juliet_suite():
+    return build_suite(scale=JULIET_SCALE)
+
+
+@functools.lru_cache(maxsize=1)
+def juliet_evaluation():
+    return evaluate_juliet(juliet_suite(), fuel=200_000)
+
+
+@functools.lru_cache(maxsize=1)
+def all_targets():
+    return build_all_targets()
+
+
+@functools.lru_cache(maxsize=1)
+def realworld_evaluation():
+    return evaluate_realworld(
+        all_targets(),
+        max_executions=CAMPAIGN_EXECS,
+        compdiff_stride=CAMPAIGN_STRIDE,
+        rng_seed=1,
+    )

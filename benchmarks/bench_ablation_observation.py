@@ -1,0 +1,64 @@
+"""Ablation (DESIGN §5): what the oracle observes.
+
+The paper's oracle compares redirected stdout+stderr (checksummed) and
+implicitly the process exit; §3.1 discusses — and rejects — richer
+intermediate-state observation.  This bench quantifies the channels on
+the Juliet suite: how many bugs are caught by stdout alone, stdout+stderr,
+and the full observation including the exit status (crash-vs-clean
+divergence, e.g. the unused-division DCE cases, needs the exit channel).
+"""
+
+from __future__ import annotations
+
+from repro.core.compdiff import CompDiff
+from repro.juliet import build_suite
+from repro.minic import load
+
+from _common import write_result
+
+SCALE = 0.008
+
+
+def _detected_by_channel(suite) -> dict[str, int]:
+    engine = CompDiff(fuel=200_000)
+    counts = {"stdout": 0, "stdout+stderr": 0, "full": 0, "total": 0}
+    for case in suite.cases:
+        counts["total"] += 1
+        servers = engine.build(load(case.bad_source), name=case.uid)
+        diff = engine.run_input(servers, case.inputs[0])
+        outs = {obs[0] for obs in diff.observations.values()}
+        errs = {obs[:2] for obs in diff.observations.values()}
+        if len(outs) > 1:
+            counts["stdout"] += 1
+        if len(errs) > 1:
+            counts["stdout+stderr"] += 1
+        if diff.divergent:
+            counts["full"] += 1
+    return counts
+
+
+def test_observation_channel_ablation(benchmark):
+    suite = build_suite(scale=SCALE)
+    counts = benchmark.pedantic(_detected_by_channel, args=(suite,), rounds=1, iterations=1)
+    report = (
+        f"oracle observation-channel ablation ({counts['total']} bad variants):\n"
+        f"  stdout only:          {counts['stdout']}\n"
+        f"  stdout+stderr:        {counts['stdout+stderr']}\n"
+        f"  + exit status (full): {counts['full']}\n"
+        "  (crashes truncate stdout, so the output channel subsumes almost\n"
+        "   every exit-status divergence on this corpus — supporting the\n"
+        "   paper's choice of final outputs as the oracle)"
+    )
+    write_result("ablation_observation.txt", report)
+    print("\n" + report)
+    assert counts["full"] >= counts["stdout+stderr"] >= counts["stdout"]
+    # The exit channel still matters in principle: a silent program whose
+    # only observable difference is crash-vs-clean.
+    silent = (
+        "int main(void){ int d = (int)input_size(); int q = 7 / d; return 0; }"
+    )
+    engine = CompDiff(fuel=100_000)
+    diff = engine.run_input(engine.build_source(silent), b"")
+    stdouts = {obs[0] for obs in diff.observations.values()}
+    assert len(stdouts) == 1, "no output divergence by construction"
+    assert diff.divergent, "exit-status channel must catch the silent case"

@@ -1,0 +1,82 @@
+"""E9 — Finding 5 / RQ6: zero false positives and timeout handling.
+
+Three measurements:
+1. CompDiff over every *good* Juliet variant — must report nothing.
+2. The RQ6 partial-timeout policy: an input that times out on some
+   binaries is retried with a raised threshold instead of being reported.
+3. RQ5 normalization: the noisy (wireshark-like) target diverges without
+   the scrubbing normalizer and is clean with it.
+"""
+
+from __future__ import annotations
+
+from repro.core.compdiff import CompDiff
+from repro.core.normalize import OutputNormalizer
+from repro.juliet import build_suite
+from repro.minic import load
+from repro.targets import build_target
+
+from _common import JULIET_SCALE, write_result
+
+
+def _count_good_variant_divergence(scale: float) -> tuple[int, int]:
+    suite = build_suite(scale=scale)
+    engine = CompDiff(fuel=200_000)
+    divergent = 0
+    for case in suite.cases:
+        if engine.check(load(case.good_source), case.inputs).divergent:
+            divergent += 1
+    return divergent, len(suite.cases)
+
+
+def test_zero_false_positives_on_good_variants(benchmark):
+    divergent, total = benchmark.pedantic(
+        _count_good_variant_divergence,
+        args=(min(JULIET_SCALE, 0.01),),
+        rounds=1,
+        iterations=1,
+    )
+    report = f"good variants diverging: {divergent} / {total} (Finding 5 expects 0)"
+    write_result("false_positives.txt", report)
+    print("\n" + report)
+    assert divergent == 0
+
+
+SLOW = """
+int main(void) {
+    long n = input_size();
+    long i;
+    long acc = 0;
+    for (i = 0; i < n * 3000; i++) { acc += i & 7; }
+    printf("acc=%ld\\n", acc);
+    return 0;
+}
+"""
+
+
+def test_partial_timeout_retry_avoids_false_positive(benchmark):
+    def check() -> bool:
+        engine = CompDiff(fuel=40_000)
+        servers = engine.build_source(SLOW)
+        diff = engine.run_input(servers, b"abcd")
+        return diff.divergent
+
+    divergent = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert not divergent, "RQ6: raised-threshold retry must resolve stragglers"
+
+
+def test_normalizer_eliminates_timestamp_noise(benchmark):
+    target = build_target("wireshark")
+    program = load(target.source)
+    benign = b"\x00\x00\x00\x00\x00"  # fails the magic check: benign path
+
+    def run_both() -> tuple[bool, bool]:
+        raw = CompDiff(fuel=300_000).check(program, [benign])
+        clean = CompDiff(fuel=300_000, normalizer=OutputNormalizer.standard()).check(
+            program, [benign]
+        )
+        return raw.divergent, clean.divergent
+
+    raw_divergent, clean_divergent = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert raw_divergent, "layout-derived timestamp must differ across binaries"
+    assert not clean_divergent, "RQ5 scrubbing must remove the volatile field"

@@ -1,0 +1,49 @@
+"""E3 — Figure 1: bugs detected by each compiler-implementation subset
+(Juliet suite).
+
+Reproduces the §4.2 ablation: enumerate all subsets of the ten
+implementations (sizes 2..10) and count how many Juliet bugs each subset
+still detects.  Shape assertions: detection grows with subset size, the
+best pair crosses families with O0 vs aggressive optimization, the worst
+pair is a same-family similar-level pair.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import figure_from_vectors, render_figure
+
+from _common import juliet_evaluation, write_result
+
+
+def test_figure1_subset_ablation(benchmark):
+    evaluation = juliet_evaluation()
+    figure = benchmark.pedantic(
+        figure_from_vectors,
+        args=(evaluation.bug_vectors, evaluation.implementations),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(figure, "Figure 1: subsets vs detected bugs (Juliet)")
+    write_result("figure1.txt", text)
+    print("\n" + text)
+
+    sizes = sorted(figure.summaries)
+    assert sizes == list(range(2, 11))
+    bests = [figure.summaries[s].best_count for s in sizes]
+    mins = [figure.summaries[s].minimum for s in sizes]
+    assert bests == sorted(bests), "more implementations must detect more"
+    assert mins == sorted(mins)
+    # The paper's annotated pair: an unoptimizing compiler of one family
+    # with an aggressively-optimizing one of the other.
+    best_pair = figure.summaries[2].best_subset
+    families = {name.split("-")[0] for name in best_pair}
+    levels = {name.split("-")[1] for name in best_pair}
+    assert families == {"gcc", "clang"}
+    assert "O0" in levels
+    assert levels & {"O2", "O3", "Os"}
+    # Worst pair: same family, similar optimization (e.g. {gcc-O2, gcc-O3}).
+    worst_pair = figure.summaries[2].worst_subset
+    assert len({name.split("-")[0] for name in worst_pair}) == 1
+    # The best small subsets approach the full set (§4.2: "some small
+    # subsets could detect nearly the same number of bugs").
+    assert figure.summaries[2].best_count >= 0.85 * figure.summaries[10].best_count

@@ -1,0 +1,40 @@
+"""E7 — Figure 2 / RQ4: subset ablation over the real-world bugs.
+
+Same ablation as Figure 1, over the checksum vectors of the diff inputs
+collected by the 23 CompDiff-AFL++ campaigns.  The paper's conclusion:
+more implementations detect more; cross-family unopt/aggressive pairs
+do best; same-family similar-level pairs do worst.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import figure_from_vectors, render_figure
+
+from _common import realworld_evaluation, write_result
+
+
+def test_figure2_subset_ablation(benchmark):
+    evaluation = realworld_evaluation()
+    vectors = evaluation.bug_vectors()
+    figure = benchmark.pedantic(
+        figure_from_vectors,
+        args=(vectors, evaluation.implementations),
+        rounds=1,
+        iterations=1,
+    )
+    text = render_figure(figure, "Figure 2: subsets vs detected bugs (real-world)")
+    write_result("figure2.txt", text)
+    print("\n" + text)
+
+    sizes = sorted(figure.summaries)
+    bests = [figure.summaries[s].best_count for s in sizes]
+    assert bests == sorted(bests)
+    # Best pair crosses families and mixes unoptimizing with optimizing.
+    best_pair = figure.summaries[2].best_subset
+    assert len({name.split("-")[0] for name in best_pair}) == 2
+    # Worst pair shares a family.
+    worst_pair = figure.summaries[2].worst_subset
+    assert len({name.split("-")[0] for name in worst_pair}) == 1
+    # §5 overhead note: a good two-implementation subset retains most bugs
+    # (paper: {clang-O0, gcc-Os} keeps 69 of 78 at ~2x overhead).
+    assert figure.summaries[2].best_count >= 0.75 * figure.summaries[10].best_count

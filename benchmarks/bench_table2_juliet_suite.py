@@ -1,0 +1,25 @@
+"""E1 — Table 2: overview of selected CWEs.
+
+Regenerates the suite-composition table: the same 20 CWE categories as the
+paper's extraction, with per-CWE test counts proportional to Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import render_table2
+from repro.juliet import build_suite
+from repro.juliet.cwe import CWE_REGISTRY, total_paper_tests
+
+from _common import JULIET_SCALE, write_result
+
+
+def test_table2_suite_generation(benchmark):
+    suite = benchmark(build_suite, JULIET_SCALE)
+    table = render_table2(suite)
+    write_result("table2.txt", table)
+    print("\n" + table)
+    # Structural assertions: every CWE represented, proportions preserved.
+    by_cwe = suite.by_cwe
+    assert set(by_cwe) == set(CWE_REGISTRY)
+    assert total_paper_tests() == 18142
+    assert len(by_cwe[122]) == max(len(v) for v in by_cwe.values())

@@ -1,0 +1,76 @@
+"""Microbenchmarks: compile and execution throughput of the substrate.
+
+Not a paper artifact — these track the performance characteristics the
+experiment harnesses depend on: per-implementation compile cost, raw VM
+execution rate, the forkserver's per-run saving, and the cost of one full
+ten-binary oracle step (the paper's "roughly 10x" §5 figure comes from
+exactly this quantity).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import compile_source, implementation
+from repro.core.compdiff import CompDiff
+from repro.minic import load
+from repro.vm import ForkServer, run_binary
+
+SOURCE = """
+int checksum(char *data, long n) {
+    long i;
+    unsigned int h = 2166136261u;
+    for (i = 0; i < n; i++) {
+        h = (h ^ (unsigned int)(data[i] & 255)) * 16777619u;
+    }
+    return (int)(h & 0x7fffffff);
+}
+
+int main(void) {
+    char buf[128];
+    long n = read_input(buf, 128);
+    int h = checksum(buf, n);
+    printf("h=%d n=%ld\\n", h, n);
+    return h % 31;
+}
+"""
+
+INPUT = bytes(range(96))
+
+
+def test_compile_throughput_o0(benchmark):
+    program = load(SOURCE)
+    from repro.compiler import compile_program
+
+    binary = benchmark(compile_program, program, implementation("gcc-O0"))
+    assert binary.module.functions
+
+
+def test_compile_throughput_o3(benchmark):
+    program = load(SOURCE)
+    from repro.compiler import compile_program
+
+    binary = benchmark(compile_program, program, implementation("clang-O3"))
+    assert binary.module.functions
+
+
+def test_parse_and_check_throughput(benchmark):
+    program = benchmark(load, SOURCE)
+    assert program.function("main") is not None
+
+
+def test_cold_execution(benchmark):
+    binary = compile_source(SOURCE, implementation("gcc-O0"))
+    result = benchmark(run_binary, binary, INPUT)
+    assert result.status.value == "ok"
+
+
+def test_forkserver_execution(benchmark):
+    server = ForkServer(compile_source(SOURCE, implementation("gcc-O0")))
+    result = benchmark(server.run, INPUT)
+    assert result.status.value == "ok"
+
+
+def test_oracle_step_ten_binaries(benchmark):
+    engine = CompDiff()
+    servers = engine.build_source(SOURCE)
+    diff = benchmark(engine.run_input, servers, INPUT)
+    assert not diff.divergent  # the checksum program is UB-free

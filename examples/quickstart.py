@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: find unstable code in a program with CompDiff.
+
+Compiles the paper's Listing 1 (a signed-overflow guard that optimizing
+compilers delete) with all ten simulated compiler implementations, runs
+every binary on the same input, and reports the discrepancy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CompDiff
+from repro.core.report import make_report
+
+LISTING_1 = """
+/* dump a chunk of buffer (paper, Listing 1) */
+int dump_data(int offset, int len) {
+    int size = 1000;
+    if (offset < 0 || len < 0) {
+        return -1;
+    }
+    if (offset + len < offset) {   /* the unstable overflow guard */
+        return -1;
+    }
+    printf("dumping %d bytes at offset %d\\n", len, offset);
+    return 0;
+}
+
+int main(void) {
+    int rc = dump_data(2147483647 - 100, 101);
+    printf("rc=%d\\n", rc);
+    return rc;
+}
+"""
+
+
+def main() -> None:
+    engine = CompDiff()  # the default ten implementations (gcc/clang x O0..Os)
+    outcome = engine.check_source(LISTING_1, inputs=[b""], name="listing1")
+
+    print(f"unstable code detected: {outcome.divergent}\n")
+    diff = outcome.diffs[0]
+    print("implementations grouped by identical output:")
+    for group in diff.groups():
+        sample = diff.observations[group[0]]
+        print(f"  {', '.join(group)}")
+        print(f"    stdout: {sample[0]!r}   exit: {sample[2]}")
+    print()
+    print(make_report("listing1", diff).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Choosing a compiler-implementation subset for a CPU budget (§4.2/§5).
+
+The paper's practical guidance: enable all ten implementations when you
+can; under resource constraints, pick at least two *different* compilers
+pairing an unoptimizing with an aggressively optimizing configuration.
+
+This script makes that guidance quantitative for your own corpus: it runs
+a small Juliet evaluation, then prints, for each subset size, the best
+subset and what fraction of the full set's bugs it retains — the
+size-vs-coverage tradeoff curve behind Figure 1 and the §5 overhead note.
+
+Run:  python examples/subset_selection.py [scale]
+"""
+
+import sys
+
+from repro.evaluation import evaluate_juliet, figure_from_vectors
+from repro.juliet import build_suite
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.008
+    suite = build_suite(scale=scale)
+    print(f"evaluating CompDiff on {len(suite.cases)} generated test programs ...\n")
+    evaluation = evaluate_juliet(
+        suite, include_static=False, include_sanitizers=False, include_good_variants=False
+    )
+    figure = figure_from_vectors(evaluation.bug_vectors, evaluation.implementations)
+    full = figure.summaries[10].best_count
+
+    print(f"{'k':>3} {'best subset':<52} {'bugs':>5} {'vs full':>8} {'rel. cost':>9}")
+    for size in sorted(figure.summaries):
+        summary = figure.summaries[size]
+        subset = "{" + ", ".join(summary.best_subset) + "}"
+        print(
+            f"{size:>3} {subset:<52} {summary.best_count:>5} "
+            f"{100 * summary.best_count / full:>7.0f}% {size:>8}x"
+        )
+    best2 = figure.summaries[2]
+    print(
+        f"\nrecommendation at a 2x budget: {{{', '.join(best2.best_subset)}}} "
+        f"retains {100 * best2.best_count / full:.0f}% of the full set's bugs"
+    )
+    worst2 = figure.summaries[2]
+    print(
+        f"avoid similar configurations: {{{', '.join(worst2.worst_subset)}}} "
+        f"retains only {100 * worst2.worst_count / full:.0f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

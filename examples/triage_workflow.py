@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""End-to-end triage workflow: fuzz -> cluster -> minimize -> localize -> report.
+
+This is the workflow §5 of the paper sketches for handling the contents of
+the ``diffs/`` directory: cluster discrepancies by signature, shrink one
+representative input per cluster, align execution traces between a pair of
+disagreeing binaries to approximate the root-cause line, and emit the
+developer-facing report.
+
+Run:  python examples/triage_workflow.py
+"""
+
+from repro.core.compdiff import CompDiff
+from repro.core.localize import localize
+from repro.core.minimize import Minimizer
+from repro.core.report import make_report
+from repro.core.triage import triage
+from repro.fuzzing import CompDiffFuzzer, FuzzerOptions
+from repro.minic import load
+from repro.targets import build_target
+
+
+def main() -> None:
+    target = build_target("readelf")  # PointerCmp + LINE + UninitMem bugs
+    print(f"fuzzing {target.name} ...")
+    options = FuzzerOptions(max_executions=4000, compdiff_stride=3, rng_seed=11)
+    fuzzer = CompDiffFuzzer(target.source, target.seeds, options, name=target.name)
+    campaign = fuzzer.run()
+    print(f"  {campaign.diffs_found} diff-triggering inputs saved\n")
+
+    clusters = triage(campaign.diffs, campaign.sites_by_input)
+    print(f"{len(clusters)} discrepancy clusters:")
+
+    program = load(target.source)
+    engine = CompDiff(fuel=300_000)
+    servers = engine.build(program, name=target.name)
+    minimizer = Minimizer(engine, servers)
+
+    for index, (signature, members) in enumerate(list(clusters.items())[:3]):
+        representative = members[0]
+        print("-" * 70)
+        print(f"cluster {index}: {signature} ({len(members)} inputs)")
+        minimized = minimizer.minimize(representative.input)
+        print(
+            f"  minimized: {len(minimized.original)}B -> {len(minimized.minimized)}B "
+            f"({100 * minimized.reduction:.0f}% smaller)"
+        )
+        groups = representative.groups()
+        impl_a, impl_b = groups[0][0], groups[1][0]
+        outcome = localize(program, minimized.minimized, impl_a, impl_b)
+        print("  " + outcome.render(target.source).replace("\n", "\n  "))
+        final = engine.run_input(servers, minimized.minimized)
+        if final.divergent:
+            print()
+            print(make_report(target.name, final).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Gallery: the paper's four illustrative unstable-code examples (§1-§2).
+
+Each snippet is run across all ten compiler implementations; the script
+prints the output groups so you can see exactly which configurations
+disagree and how.
+
+Run:  python examples/unstable_code_gallery.py
+"""
+
+from repro import CompDiff
+
+EXAMPLES = {
+    "Listing 1 - signed overflow guard (binutils-style)": """
+int dump_data(int offset, int len) {
+    if (offset + len < offset) { return -1; }
+    printf("dump offset=%d len=%d\\n", offset, len);
+    return 0;
+}
+int main(void) {
+    printf("rc=%d\\n", dump_data(2147483647 - 100, 101));
+    return 0;
+}
+""",
+    "Listing 2 - cross-object pointer comparison (binutils/dwarf.c)": """
+char object_a[16];
+char object_b[48];
+int main(void) {
+    char *saved_start = object_a;
+    char *look_for = object_b;
+    if (look_for <= saved_start) { printf("look_for before saved_start\\n"); }
+    else { printf("look_for after saved_start\\n"); }
+    return 0;
+}
+""",
+    "Listing 3 - unsequenced side effects in call arguments (tcpdump)": """
+char *get_linkaddr_string(int p) {
+    static char buffer[32];
+    buffer[0] = 'A' + p % 26;
+    buffer[1] = 0;
+    return buffer;
+}
+int main(void) {
+    printf("who-is %s tell %s\\n",
+           get_linkaddr_string(7),
+           get_linkaddr_string(19));
+    return 0;
+}
+""",
+    "Listing 4 - conditionally uninitialized variable (exiv2)": """
+int main(void) {
+    int l;
+    long is_len = input_size();   /* empty istringstream */
+    if (is_len > 0) { l = 4660; }
+    printf("0x%x\\n", (l & 0xffff0000) >> 16);
+    return 0;
+}
+""",
+    "Section 4.3 - int*int widened into a long (IntError)": """
+int main(void) {
+    int width = 100000;
+    int height = 100000 + (int)input_size();
+    long pixels = width * height;
+    printf("pixels=%ld\\n", pixels);
+    return 0;
+}
+""",
+    "Section 4.3 - __LINE__ in a continued expression (LINE)": """
+int report(int line) { printf("warning at line %d\\n", line); return 0; }
+int main(void) {
+    int rc =
+        report(__LINE__);
+    return rc;
+}
+""",
+}
+
+
+def main() -> None:
+    engine = CompDiff()
+    for title, source in EXAMPLES.items():
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        outcome = engine.check_source(source, inputs=[b""])
+        diff = outcome.diffs[0]
+        print(f"unstable: {diff.divergent}")
+        for group in diff.groups():
+            stdout, _, exit_code, _ = diff.observations[group[0]]
+            print(f"  [{', '.join(group)}]")
+            print(f"      stdout={stdout!r} exit={exit_code}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

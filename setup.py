@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The pinned environment has setuptools but no `wheel` package and no network
+access, so PEP 517 editable installs (`pip install -e .`) fall back to this
+file via `--no-use-pep517`.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

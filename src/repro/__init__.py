@@ -1,0 +1,61 @@
+"""repro: a reproduction of CompDiff (ASPLOS 2023).
+
+Compiler-driven differential testing for unstable code, rebuilt end to end
+on a MiniC substrate: language front end, ten simulated compiler
+implementations, a bytecode VM, sanitizer and static-analyzer analogs, an
+AFL++-style fuzzer, the Juliet-like benchmark suite, and the evaluation
+drivers that regenerate the paper's tables and figures.
+
+Quickstart::
+
+    from repro import CompDiff
+
+    source = '''
+    int main(void) {
+        int x = 2147483647;
+        if (x + 1 < x) { printf("guarded\\n"); return 1; }
+        printf("fell through\\n");
+        return 0;
+    }
+    '''
+    report = CompDiff().check_source(source, inputs=[b""])
+    print(report.divergent)   # True: the overflow guard is unstable code
+"""
+
+from repro.compiler import (
+    CompilerConfig,
+    CompiledBinary,
+    DEFAULT_IMPLEMENTATIONS,
+    compile_source,
+    implementation,
+    implementation_names,
+)
+from repro.vm import ExecutionResult, ForkServer, Status, run_binary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompDiff",
+    "CompilerConfig",
+    "CompiledBinary",
+    "DEFAULT_IMPLEMENTATIONS",
+    "DiffResult",
+    "ExecutionResult",
+    "ForkServer",
+    "Status",
+    "compile_source",
+    "implementation",
+    "implementation_names",
+    "run_binary",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # CompDiff/DiffResult are imported lazily to keep `import repro` cheap
+    # and to avoid import cycles from subpackages that need the compiler.
+    if name in ("CompDiff", "DiffResult"):
+        from repro.core import compdiff
+
+        return getattr(compdiff, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check FILE``     — CompDiff a MiniC program (exit 1 on divergence);
+* ``run FILE``       — run one binary and print its output;
+* ``fuzz FILE``      — a CompDiff-AFL++ campaign;
+* ``localize FILE``  — trace-alignment fault localization;
+* ``minimize FILE``  — shrink a diff-triggering input (afl-tmin style);
+* ``impls``          — list the compiler implementations;
+* ``targets``        — print the Table 4 target inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import binascii
+import sys
+
+from repro.compiler import (
+    DEFAULT_IMPLEMENTATIONS,
+    compile_source,
+    implementation,
+    implementation_names,
+)
+from repro.core.compdiff import CompDiff
+from repro.core.localize import localize
+from repro.core.normalize import OutputNormalizer
+from repro.core.report import make_report
+from repro.fuzzing import CompDiffFuzzer, FuzzerOptions
+from repro.vm import run_binary
+
+
+def _read_input(args: argparse.Namespace) -> bytes:
+    if args.input_file:
+        with open(args.input_file, "rb") as handle:
+            return handle.read()
+    if args.input_hex:
+        return binascii.unhexlify(args.input_hex)
+    return args.input.encode("latin-1") if args.input else b""
+
+
+def _add_input_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", default="", help="input as a latin-1 string")
+    parser.add_argument("--input-hex", default="", help="input as hex bytes")
+    parser.add_argument("--input-file", default="", help="read input from a file")
+
+
+def _select_impls(names: str | None):
+    if not names:
+        return DEFAULT_IMPLEMENTATIONS
+    return tuple(implementation(name.strip()) for name in names.split(","))
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """`repro check`: differential-test one file; exit 1 on divergence."""
+    source = open(args.file).read()
+    engine = CompDiff(
+        implementations=_select_impls(args.impls),
+        normalizer=OutputNormalizer.standard() if args.normalize else None,
+    )
+    outcome = engine.check_source(source, [_read_input(args)], name=args.file)
+    if not outcome.divergent:
+        print("stable: all implementations agree")
+        return 0
+    print(make_report(args.file, outcome.diffs[0]).render())
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """`repro run`: execute one binary and forward its output."""
+    source = open(args.file).read()
+    binary = compile_source(source, implementation(args.impl), name=args.file)
+    result = run_binary(binary, _read_input(args))
+    sys.stdout.write(result.stdout.decode("latin-1"))
+    sys.stderr.write(result.stderr.decode("latin-1"))
+    print(f"[{args.impl}] status={result.status.value} exit={result.exit_code}", file=sys.stderr)
+    return result.exit_code if result.status.value == "ok" else 128
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """`repro fuzz`: a CompDiff-AFL++ campaign with stats output."""
+    source = open(args.file).read()
+    seeds = [_read_input(args)] if (args.input or args.input_hex or args.input_file) else [b""]
+    options = FuzzerOptions(
+        max_executions=args.execs,
+        compdiff_stride=args.stride,
+        rng_seed=args.seed,
+        divergence_feedback=args.divergence_feedback,
+        normalizer=OutputNormalizer.standard() if args.normalize else None,
+    )
+    fuzzer = CompDiffFuzzer(source, seeds, options, name=args.file)
+    result = fuzzer.run()
+    from repro.fuzzing import render_stats
+
+    print(render_stats(result, name=args.file))
+    for signature, count in result.signatures().items():
+        print(f"  cluster {signature} x{count}")
+    if result.diffs:
+        print()
+        print(make_report(args.file, result.diffs[0]).render())
+    return 1 if result.diffs_found else 0
+
+
+def cmd_localize(args: argparse.Namespace) -> int:
+    """`repro localize`: trace-alignment fault localization."""
+    source = open(args.file).read()
+    outcome = localize(source, _read_input(args), args.impl_a, args.impl_b)
+    print(outcome.render(source))
+    return 0 if outcome.diverged else 1
+
+
+def cmd_minimize(args: argparse.Namespace) -> int:
+    """`repro minimize`: shrink a diff-triggering input."""
+    from repro.core.minimize import minimize_input
+
+    source = open(args.file).read()
+    result = minimize_input(source, _read_input(args))
+    print(f"original:  {len(result.original)} bytes "
+          f"({binascii.hexlify(result.original).decode()})")
+    print(f"minimized: {len(result.minimized)} bytes "
+          f"({binascii.hexlify(result.minimized).decode()})")
+    print(f"reduction: {100 * result.reduction:.0f}% "
+          f"in {result.executions} oracle executions")
+    return 0
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    """`repro ir`: dump verified IR for one implementation."""
+    from repro.ir.printer import format_module
+    from repro.ir.verify import verify_module
+
+    source = open(args.file).read()
+    binary = compile_source(source, implementation(args.impl), name=args.file)
+    verify_module(binary.module)
+    print(format_module(binary.module))
+    return 0
+
+
+def cmd_impls(args: argparse.Namespace) -> int:
+    """`repro impls`: list the compiler implementations and traits."""
+    for config in DEFAULT_IMPLEMENTATIONS:
+        flags = []
+        if config.exploit_ub:
+            flags.append("exploit-ub")
+        if config.inline_small:
+            flags.append("inline")
+        if config.widen_int_mul:
+            flags.append("widen-mul")
+        if config.miscompile_patterns:
+            flags.append(f"miscompiles={','.join(config.miscompile_patterns)}")
+        print(f"{config.name:<10} {' '.join(flags)}")
+    return 0
+
+
+def cmd_targets(args: argparse.Namespace) -> int:
+    """`repro targets`: Table 4 inventory."""
+    from repro.evaluation import render_table4
+
+    print(render_table4())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CompDiff (ASPLOS 2023) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="differential-test a MiniC program")
+    check.add_argument("file")
+    check.add_argument("--impls", help=f"comma list from: {', '.join(implementation_names())}")
+    check.add_argument("--normalize", action="store_true", help="scrub timestamps (RQ5)")
+    _add_input_flags(check)
+    check.set_defaults(func=cmd_check)
+
+    run = sub.add_parser("run", help="run one binary")
+    run.add_argument("file")
+    run.add_argument("--impl", default="gcc-O0", choices=implementation_names())
+    _add_input_flags(run)
+    run.set_defaults(func=cmd_run)
+
+    fuzz = sub.add_parser("fuzz", help="CompDiff-AFL++ campaign")
+    fuzz.add_argument("file")
+    fuzz.add_argument("--execs", type=int, default=5000)
+    fuzz.add_argument("--stride", type=int, default=3)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--divergence-feedback", action="store_true")
+    fuzz.add_argument("--normalize", action="store_true")
+    _add_input_flags(fuzz)
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    loc = sub.add_parser("localize", help="trace-alignment fault localization")
+    loc.add_argument("file")
+    loc.add_argument("--impl-a", default="gcc-O0", choices=implementation_names())
+    loc.add_argument("--impl-b", default="gcc-O2", choices=implementation_names())
+    _add_input_flags(loc)
+    loc.set_defaults(func=cmd_localize)
+
+    mini = sub.add_parser("minimize", help="shrink a diff-triggering input")
+    mini.add_argument("file")
+    _add_input_flags(mini)
+    mini.set_defaults(func=cmd_minimize)
+
+    ir = sub.add_parser("ir", help="dump verified IR for one implementation")
+    ir.add_argument("file")
+    ir.add_argument("--impl", default="gcc-O2", choices=implementation_names())
+    ir.set_defaults(func=cmd_ir)
+
+    sub.add_parser("impls", help="list compiler implementations").set_defaults(func=cmd_impls)
+    sub.add_parser("targets", help="Table 4 target inventory").set_defaults(func=cmd_targets)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

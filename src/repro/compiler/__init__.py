@@ -1,0 +1,45 @@
+"""Simulated compiler implementations for MiniC.
+
+A *compiler implementation* in the paper's sense (§3.1) is a compiler
+family plus an optimization level — ``gcc -O0`` and ``clang -O2`` are
+distinct implementations.  This package provides ten such implementations
+(``gcc-sim``/``clang-sim`` × O0/O1/O2/O3/Os), each a
+:class:`~repro.compiler.implementations.CompilerConfig` that controls:
+
+* front-end choices C leaves unspecified or implementation-defined
+  (argument evaluation order, ``__LINE__`` interpretation, integer
+  promotion strategy for widening contexts);
+* the optimization pipeline, including UB-exploiting transforms
+  (``nsw``-based guard folding, null-dereference elision, removal of
+  unused trapping divisions);
+* the run-time object layout (segment bases, stack-slot ordering and
+  padding, uninitialized-memory garbage, heap reuse policy) that a real
+  compiler's code generation and allocator inlining would determine.
+
+Divergence between two implementations on a UB-free program is a
+*miscompilation*; three historical-style miscompilation patterns are
+seeded behind ``CompilerConfig.miscompile_patterns`` to reproduce RQ2.
+"""
+
+from repro.compiler.implementations import (
+    CompilerConfig,
+    DEFAULT_IMPLEMENTATIONS,
+    FUZZ_CONFIG,
+    SANITIZER_CONFIG,
+    implementation,
+    implementation_names,
+)
+from repro.compiler.binary import CompiledBinary, compile_module, compile_program, compile_source
+
+__all__ = [
+    "CompilerConfig",
+    "CompiledBinary",
+    "DEFAULT_IMPLEMENTATIONS",
+    "FUZZ_CONFIG",
+    "SANITIZER_CONFIG",
+    "compile_module",
+    "compile_program",
+    "compile_source",
+    "implementation",
+    "implementation_names",
+]

@@ -1,0 +1,81 @@
+"""Compiled binary artifacts: source → (IR module, config) pairs.
+
+A :class:`CompiledBinary` is the analog of the on-disk binary AFL++ runs:
+the optimized IR plus the compiler configuration whose layout policy the
+loader (:mod:`repro.vm.memory`) will apply.  ``compile_source`` is the
+one-call "cc" front door.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.ir.module import Module
+from repro.minic import ast, load
+from repro.compiler.implementations import CompilerConfig
+from repro.compiler.lowering import lower_program
+from repro.compiler.passes import optimize
+
+
+@dataclass
+class CompiledBinary:
+    """An executable artifact produced by one compiler implementation."""
+
+    module: Module
+    config: CompilerConfig
+    #: Enable AFL-style edge coverage collection when executing.
+    instrument_coverage: bool = False
+    #: Sanitizer to run this binary under ("asan" | "ubsan" | "msan" | None).
+    sanitizer: str | None = None
+    labels: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def name(self) -> str:
+        return f"{self.module.name}:{self.config.name}"
+
+
+def compile_module(program: ast.Program, config: CompilerConfig, name: str = "") -> Module:
+    """Lower and optimize *program* for *config*, returning the IR module."""
+    module = lower_program(program, config, name=name)
+    module = optimize(module, config)
+    if os.environ.get("REPRO_VERIFY_IR"):
+        from repro.ir.verify import verify_module
+
+        verify_module(module)
+    return module
+
+
+def compile_program(
+    program: ast.Program,
+    config: CompilerConfig,
+    name: str = "",
+    instrument_coverage: bool = False,
+    sanitizer: str | None = None,
+) -> CompiledBinary:
+    """Compile a checked AST into a runnable binary for *config*."""
+    module = compile_module(program, config, name=name)
+    return CompiledBinary(
+        module=module,
+        config=config,
+        instrument_coverage=instrument_coverage,
+        sanitizer=sanitizer,
+    )
+
+
+def compile_source(
+    source: str,
+    config: CompilerConfig,
+    name: str = "",
+    instrument_coverage: bool = False,
+    sanitizer: str | None = None,
+) -> CompiledBinary:
+    """Parse, check, lower, and optimize MiniC *source* for *config*."""
+    program = load(source)
+    return compile_program(
+        program,
+        config,
+        name=name,
+        instrument_coverage=instrument_coverage,
+        sanitizer=sanitizer,
+    )

@@ -1,0 +1,336 @@
+"""The ten simulated compiler implementations (gcc-sim/clang-sim × O0..Os).
+
+Every knob on :class:`CompilerConfig` corresponds to a behavior that the C
+standard leaves undefined, unspecified, or implementation-defined, and that
+real gcc/clang are *documented or observed* to resolve differently across
+families and optimization levels (paper §1–§4).  The knob values below are
+chosen so the qualitative structure of the paper's findings reproduces:
+
+* cross-family pairs with very different optimization strength (e.g.
+  ``{gcc-O0, clang-O3}``) maximize divergence (Figure 1/2 annotations);
+* same-family adjacent levels (e.g. ``{gcc-O2, gcc-O3}``) share most
+  choices and expose the least unstable code;
+* wrapped signed arithmetic *values* are identical everywhere (two's
+  complement hardware), so plain integer-overflow tests rarely diverge
+  (Table 3's 11% CompDiff rate on integer errors) while overflow *guards*
+  folded under ``nsw`` reasoning diverge reliably (Listing 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Full description of one compiler implementation.
+
+    Front-end semantic choices, the optimization pipeline, and the runtime
+    object-layout policy are bundled together because the paper's unit of
+    comparison is the whole toolchain configuration.
+    """
+
+    name: str
+    family: str  # "gcc" | "clang"
+    opt_level: str  # "O0" | "O1" | "O2" | "O3" | "Os"
+
+    # -- front-end choices (unspecified / implementation-defined behavior) --
+    #: Order of evaluation of call arguments (unspecified in C).  clang
+    #: evaluates left-to-right, gcc right-to-left (§2 Example 2).
+    args_left_to_right: bool = True
+    #: ``__LINE__`` in a multi-line expression: token line vs. line of the
+    #: statement's first token (implementation-defined, §4.3 "LINE").
+    line_macro_statement_based: bool = False
+    #: Evaluate ``int * int`` feeding a 64-bit context in 64 bits instead of
+    #: wrapping at 32 bits first (observed clang -O1 behavior, §4.3).
+    widen_int_mul: bool = False
+
+    # -- optimization pipeline --
+    const_fold: bool = False
+    copy_prop: bool = False
+    dce: bool = False
+    #: UB-guided transforms: nsw guard folding, null-deref elision,
+    #: deletion of unused trapping divisions.
+    exploit_ub: bool = False
+    inline_small: bool = False
+    strength_reduce: bool = False
+    #: clang -O3 rewrites pow(2, x) into exp2(x) (§4.3 RQ2, floating point).
+    float_pow_to_exp2: bool = False
+    #: Keep extended precision in float multiply-add chains (x87-style).
+    fp_extended_intermediate: bool = False
+    #: Seeded miscompilation pattern ids active in this implementation
+    #: (reproduces RQ2's three compiler bugs; see passes/constant_fold.py).
+    miscompile_patterns: tuple[str, ...] = ()
+
+    # -- runtime object layout (code generation + allocator policy) --
+    #: Base addresses of the three segments.  Differ across implementations
+    #: so cross-object pointer comparisons (Listing 2) diverge.
+    global_base: int = 0x601000
+    stack_base: int = 0x7FFF0000
+    heap_base: int = 0x20000000
+    #: Stack-slot placement: "decl" keeps declaration order, "size_desc"
+    #: reorders by size (stack-protector style), "buffers_last" moves
+    #: arrays after scalars.
+    stack_slot_order: str = "decl"
+    #: Padding bytes inserted between stack slots (roomy -O0 frames absorb
+    #: small overflows; tight -O2 frames let them corrupt neighbors).
+    stack_gap: int = 0
+    #: Order of global objects in the data segment.
+    global_order: str = "decl"  # "decl" | "alpha" | "size_desc"
+    #: Byte written to fresh (uninitialized) stack memory.
+    uninit_fill: int = 0x00
+    #: Byte written to fresh heap memory (malloc does not clear).
+    heap_fill: int = 0x00
+    #: Whether free() poisons the block (allocator hardening differs).
+    free_poison: int | None = None
+    #: Whether the allocator reuses freed blocks (enables UAF aliasing).
+    heap_reuse: bool = False
+    #: Spacing inserted before each heap block (allocator header/debug
+    #: slack).  Decides whether a small heap overflow reaches the next
+    #: allocation — the heap analog of stack_gap.
+    heap_gap: int = 0
+    #: Whether free() of a non-heap/already-freed pointer traps (hardened)
+    #: or is silently ignored.
+    free_strict: bool = False
+    #: memcpy copies forward or backward (matters only for UB overlaps).
+    memcpy_backward: bool = False
+    #: Value read for call arguments that the caller did not pass
+    #: (CWE-685); models whatever was left in the argument register.
+    missing_arg_value: int = 0
+
+    extra: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _gcc(level: str, **kw) -> CompilerConfig:
+    defaults = dict(
+        name=f"gcc-{level}",
+        family="gcc",
+        opt_level=level,
+        args_left_to_right=False,  # gcc pushes args right-to-left
+        line_macro_statement_based=False,
+        global_base=0x601000,
+        stack_base=0x7FFF_F000_0000,
+        heap_base=0x0000_2000_0000,
+        memcpy_backward=False,
+        missing_arg_value=0x7F7F7F7F,
+    )
+    defaults.update(kw)
+    return CompilerConfig(**defaults)
+
+
+def _clang(level: str, **kw) -> CompilerConfig:
+    defaults = dict(
+        name=f"clang-{level}",
+        family="clang",
+        opt_level=level,
+        args_left_to_right=True,  # clang evaluates left-to-right
+        line_macro_statement_based=True,
+        global_base=0x404000,
+        stack_base=0x7FFD_8000_0000,
+        heap_base=0x0000_5100_0000,
+        memcpy_backward=True,
+        missing_arg_value=0x01010101,
+    )
+    defaults.update(kw)
+    return CompilerConfig(**defaults)
+
+
+#: The ten default implementations of §4 ("gcc 11.1.0 and clang 13.0.1 ...
+#: -O0, -O1, -O2, -O3, and -Os ... 10 different compiler implementations").
+DEFAULT_IMPLEMENTATIONS: tuple[CompilerConfig, ...] = (
+    _gcc(
+        "O0",
+        stack_slot_order="decl",
+        stack_gap=16,
+        global_order="decl",
+        uninit_fill=0x00,
+        heap_fill=0x00,
+        heap_reuse=False,
+        heap_gap=16,
+        free_strict=False,
+    ),
+    _gcc(
+        "O1",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        stack_slot_order="decl",
+        stack_gap=8,
+        global_order="decl",
+        uninit_fill=0x00,
+        heap_fill=0xA0,
+        heap_reuse=True,
+        heap_gap=16,
+        free_strict=False,
+    ),
+    _gcc(
+        "O2",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        inline_small=True,
+        strength_reduce=True,
+        stack_slot_order="size_desc",
+        stack_gap=0,
+        global_order="size_desc",
+        uninit_fill=0xA5,
+        heap_fill=0xA5,
+        heap_reuse=True,
+        free_strict=True,
+        free_poison=0xDD,
+        miscompile_patterns=("ushl_ushr_elide",),
+    ),
+    _gcc(
+        "O3",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        inline_small=True,
+        strength_reduce=True,
+        stack_slot_order="size_desc",
+        stack_gap=0,
+        global_order="size_desc",
+        uninit_fill=0xA5,
+        heap_fill=0xA5,
+        heap_reuse=True,
+        free_strict=True,
+        free_poison=0xDD,
+        fp_extended_intermediate=True,
+        miscompile_patterns=("ushl_ushr_elide", "sext_shift_pair"),
+    ),
+    _gcc(
+        "Os",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        strength_reduce=True,
+        stack_slot_order="buffers_last",
+        stack_gap=0,
+        global_order="alpha",
+        uninit_fill=0x5A,
+        heap_fill=0x5A,
+        heap_reuse=True,
+        free_strict=True,
+    ),
+    _clang(
+        "O0",
+        stack_slot_order="decl",
+        stack_gap=16,
+        global_order="decl",
+        uninit_fill=0x00,
+        heap_fill=0x00,
+        heap_reuse=False,
+        heap_gap=16,
+        free_strict=False,
+    ),
+    _clang(
+        "O1",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        widen_int_mul=True,  # §4.3: clang -O1 computes int*int in long
+        stack_slot_order="decl",
+        stack_gap=4,
+        global_order="decl",
+        uninit_fill=0xCD,
+        heap_fill=0xCD,
+        heap_reuse=True,
+        heap_gap=8,
+        free_strict=False,
+        miscompile_patterns=("srem_to_mask",),
+    ),
+    _clang(
+        "O2",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        inline_small=True,
+        strength_reduce=True,
+        widen_int_mul=True,
+        stack_slot_order="size_desc",
+        stack_gap=0,
+        global_order="size_desc_rev",
+        uninit_fill=0xCD,
+        heap_fill=0xCD,
+        heap_reuse=True,
+        free_strict=True,
+        free_poison=0xFE,
+    ),
+    _clang(
+        "O3",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        inline_small=True,
+        strength_reduce=True,
+        widen_int_mul=True,
+        float_pow_to_exp2=True,
+        stack_slot_order="size_desc",
+        stack_gap=0,
+        global_order="size_desc_rev",
+        uninit_fill=0xEF,
+        heap_fill=0xEF,
+        heap_reuse=True,
+        free_strict=True,
+        free_poison=0xFE,
+    ),
+    _clang(
+        "Os",
+        const_fold=True,
+        copy_prop=True,
+        dce=True,
+        exploit_ub=True,
+        strength_reduce=True,
+        widen_int_mul=True,
+        stack_slot_order="buffers_last",
+        stack_gap=0,
+        global_order="decl_rev",
+        uninit_fill=0xCD,
+        heap_fill=0xCD,
+        heap_reuse=True,
+        free_strict=True,
+    ),
+)
+
+_BY_NAME = {config.name: config for config in DEFAULT_IMPLEMENTATIONS}
+
+#: The fuzzer-facing compiler C_fuzz (§3.2): a plain, non-UB-exploiting
+#: build whose only job is coverage feedback.  Compiled like clang -O0 with
+#: instrumentation enabled by the fuzzer at run time.
+FUZZ_CONFIG = CompilerConfig(
+    **{**_BY_NAME["clang-O0"].__dict__, "name": "fuzz-clang-O0", "extra": {}}
+)
+
+#: The build sanitizers instrument (clang -O0 -fsanitize=...): no
+#: optimization at all, so every check observes the source-level
+#: semantics — folding away `INT_MAX + 1` at compile time would silently
+#: delete the very overflow UBSan exists to catch.
+SANITIZER_CONFIG = CompilerConfig(
+    **{
+        **_BY_NAME["clang-O0"].__dict__,
+        "name": "sanitizer-clang-O0",
+        "miscompile_patterns": (),
+        "extra": {},
+    }
+)
+
+
+def implementation(name: str) -> CompilerConfig:
+    """Look up a default implementation by name, e.g. ``"gcc-O2"``."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown compiler implementation {name!r}; have {sorted(_BY_NAME)}")
+    return _BY_NAME[name]
+
+
+def implementation_names() -> list[str]:
+    return [config.name for config in DEFAULT_IMPLEMENTATIONS]

@@ -1,0 +1,1089 @@
+"""AST → IR code generation, parameterized by a CompilerConfig.
+
+This is where the C standard's freedom becomes concrete, divergent
+semantics: argument evaluation order, ``__LINE__`` interpretation,
+``nsw``-marked signed arithmetic, widening of ``int*int`` in 64-bit
+contexts, and (when ``exploit_ub`` is on) the source-level overflow-guard
+folds that real instcombine performs on Listing-1-style code.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import LoweringError
+from repro.ir.builder import FunctionBuilder
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrSlot,
+    BinOp,
+    BugSite,
+    Call,
+    CallBuiltin,
+    Cast,
+    Const,
+    Load,
+    Move,
+    Operand,
+    Reg,
+    Store,
+    UnOp,
+)
+from repro.ir.module import GlobalData, Module
+from repro.minic import ast
+from repro.minic import types as ty
+from repro.minic.builtins import BUILTIN_SIGNATURES
+from repro.compiler.implementations import CompilerConfig
+
+_CMP_BY_OP = {
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+}
+
+_ARITH_BY_OP = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+}
+
+
+class Lowerer:
+    """Lowers one checked MiniC program to an IR module."""
+
+    def __init__(self, program: ast.Program, config: CompilerConfig, name: str = "") -> None:
+        self.program = program
+        self.config = config
+        self.module = Module(name=name or program.filename)
+        self._string_pool: dict[str, str] = {}
+        self._global_names: dict[int, str] = {}  # Symbol uid -> global name
+        self._func_ret_types: dict[str, ty.Type] = {}
+        # Per-function state.
+        self._builder: FunctionBuilder | None = None
+        self._slots: dict[int, int] = {}  # Symbol uid -> slot index
+        self._loop_stack: list[tuple[str, str]] = []  # (break target, continue target)
+
+    # ------------------------------------------------------------------ api
+
+    def run(self) -> Module:
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                self._func_ret_types[decl.name] = decl.ret_type
+            elif isinstance(decl, ast.GlobalVar):
+                self._declare_global(decl)
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                self._lower_function(decl)
+        self.module.bug_sites = sorted(set(self.module.bug_sites))
+        return self.module
+
+    # -------------------------------------------------------------- globals
+
+    def _declare_global(self, decl: ast.GlobalVar) -> None:
+        name = decl.name
+        size = max(decl.var_type.size(), 1)
+        data = GlobalData(name=name, size=size, align=decl.var_type.align())
+        if decl.init is not None:
+            data.init = self._const_init_bytes(decl.init, decl.var_type, data)
+        else:
+            data.init = bytes(size)  # C globals are zero-initialized
+        self.module.globals[name] = data
+        self._global_names[decl.symbol.uid] = name
+
+    def _const_init_bytes(self, init: ast.Expr, var_type: ty.Type, data: GlobalData) -> bytes:
+        if isinstance(var_type, ty.ArrayType):
+            if isinstance(init, ast.StrLit) and isinstance(var_type.element, ty.IntType):
+                raw = init.value.encode("latin-1") + b"\0"
+                return raw[: var_type.size()].ljust(var_type.size(), b"\0")
+            if isinstance(init, ast.Call) and _is_array_init(init):
+                element = var_type.element
+                out = bytearray(var_type.size())
+                for i, arg in enumerate(init.args):
+                    value = self._const_eval(arg)
+                    offset = i * element.size()
+                    out[offset : offset + element.size()] = _pack_scalar(value, element)
+                return bytes(out)
+            raise LoweringError(f"unsupported array initializer at line {init.line}")
+        if isinstance(init, ast.StrLit) and var_type.is_pointer:
+            label = self._intern_string(init.value)
+            data.relocations.append((0, label))
+            return bytes(8)
+        value = self._const_eval(init)
+        return _pack_scalar(value, var_type)
+
+    def _const_eval(self, expr: ast.Expr):
+        if isinstance(expr, (ast.IntLit, ast.CharLit)):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.NullLit):
+            return 0
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_eval(expr.operand)
+        if isinstance(expr, ast.Cast):
+            return self._const_eval(expr.operand)
+        if isinstance(expr, ast.SizeofType):
+            return expr.target_type.size()
+        raise LoweringError(f"global initializer is not a constant at line {expr.line}")
+
+    def _intern_string(self, text: str) -> str:
+        if text in self._string_pool:
+            return self._string_pool[text]
+        label = f".str.{len(self._string_pool)}"
+        raw = text.encode("latin-1") + b"\0"
+        self.module.globals[label] = GlobalData(
+            name=label, size=len(raw), align=1, init=raw, is_const=True
+        )
+        self._string_pool[text] = label
+        return label
+
+    # ------------------------------------------------------------ functions
+
+    def _lower_function(self, func: ast.FuncDef) -> None:
+        builder = FunctionBuilder(
+            func.name, [(p.name, p.param_type) for p in func.params], func.ret_type
+        )
+        self._builder = builder
+        self._slots = {}
+        self._loop_stack = []
+        # Registers 0..n-1 carry the incoming arguments; reserve them before
+        # any temporary is allocated.
+        builder.func.num_regs = len(func.params)
+        # Parameters live in stack slots so their address can be taken and
+        # so missing-argument garbage (CWE-685) lands in observable memory.
+        for i, param in enumerate(func.params):
+            slot = builder.add_slot(
+                param.name or f".arg{i}",
+                max(param.symbol.type.size(), 1),
+                param.symbol.type.align(),
+                line=param.line,
+            )
+            self._slots[param.symbol.uid] = slot
+            addr = builder.new_reg()
+            builder.emit(AddrSlot(addr, slot, line=param.line))
+            builder.emit(Store(addr, Reg(i), param.symbol.type, line=param.line))
+        self._lower_block(func.body)
+        if not builder.terminated:
+            if func.name == "main":
+                builder.ret(0)
+            else:
+                builder.ret(None)
+        function = builder.finish()
+        # Reserve the low registers used for incoming parameters.
+        function.num_regs = max(function.num_regs, len(func.params))
+        self.module.functions[func.name] = function
+        self._builder = None
+
+    # ------------------------------------------------------------ statements
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        b = self._builder
+        assert b is not None
+        if isinstance(stmt, ast.Block):
+            self._lower_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_var_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._lower_switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                ret_ty = self._func_ret_types.get(self._builder.func.name, ty.INT)
+                value = self._lower_value_as(stmt.value, ret_ty)
+            b.ret(value, line=stmt.line)
+        elif isinstance(stmt, ast.Break):
+            if not self._loop_stack:
+                raise LoweringError(f"break outside loop at line {stmt.line}")
+            b.jump(self._loop_stack[-1][0], line=stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if not self._loop_stack or self._loop_stack[-1][1] is None:
+                raise LoweringError(f"continue outside loop at line {stmt.line}")
+            b.jump(self._loop_stack[-1][1], line=stmt.line)
+        else:  # pragma: no cover
+            raise LoweringError(f"unknown statement {type(stmt).__name__}")
+
+    def _lower_block(self, block: ast.Block) -> None:
+        for stmt in block.body:
+            self._lower_stmt(stmt)
+
+    def _lower_var_decl(self, stmt: ast.VarDecl) -> None:
+        b = self._builder
+        assert b is not None
+        symbol = stmt.symbol
+        if stmt.is_static:
+            # Static local: a module global with a mangled name, initialized
+            # once at load time (constant initializers only, as in C).
+            name = symbol.mangled
+            if name not in self.module.globals:
+                size = max(stmt.var_type.size(), 1)
+                data = GlobalData(name=name, size=size, align=stmt.var_type.align())
+                if stmt.init is not None:
+                    data.init = self._const_init_bytes(stmt.init, stmt.var_type, data)
+                else:
+                    data.init = bytes(size)
+                self.module.globals[name] = data
+            self._global_names[symbol.uid] = name
+            return
+        is_buffer = stmt.var_type.is_array or stmt.var_type.is_struct
+        slot = b.add_slot(
+            stmt.name,
+            max(stmt.var_type.size(), 1),
+            stmt.var_type.align(),
+            line=stmt.line,
+            is_buffer=is_buffer,
+        )
+        self._slots[symbol.uid] = slot
+        if stmt.init is None:
+            return
+        addr = b.new_reg()
+        b.emit(AddrSlot(addr, slot, line=stmt.line))
+        if isinstance(stmt.var_type, ty.ArrayType):
+            self._lower_array_init(stmt, addr)
+            return
+        if isinstance(stmt.var_type, ty.StructType):
+            src = self._lower_expr(stmt.init)
+            b.emit(
+                CallBuiltin(
+                    None,
+                    "memcpy",
+                    [addr, src, stmt.var_type.size()],
+                    [ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG],
+                    line=stmt.line,
+                )
+            )
+            return
+        value = self._lower_value_as(stmt.init, stmt.var_type)
+        b.emit(Store(addr, value, stmt.var_type, line=stmt.line))
+
+    def _lower_array_init(self, stmt: ast.VarDecl, addr: Operand) -> None:
+        b = self._builder
+        assert b is not None
+        array_type = stmt.var_type
+        assert isinstance(array_type, ty.ArrayType)
+        init = stmt.init
+        if isinstance(init, ast.StrLit):
+            label = self._intern_string(init.value)
+            src = b.new_reg()
+            b.emit(AddrGlobal(src, label, line=stmt.line))
+            length = min(len(init.value) + 1, array_type.size())
+            b.emit(
+                CallBuiltin(
+                    None,
+                    "memcpy",
+                    [addr, src, length],
+                    [ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG],
+                    line=stmt.line,
+                )
+            )
+            return
+        if isinstance(init, ast.Call) and _is_array_init(init):
+            element = array_type.element
+            for i, arg in enumerate(init.args):
+                value = self._lower_value_as(arg, element)
+                dest = b.new_reg()
+                b.emit(BinOp(dest, "add", addr, i * element.size(), ty.ULONG, line=stmt.line))
+                b.emit(Store(dest, value, element, line=stmt.line))
+            return
+        raise LoweringError(f"unsupported array initializer at line {stmt.line}")
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        b = self._builder
+        assert b is not None
+        then_label = b.new_block("if.then")
+        end_label = b.new_block("if.end")
+        else_label = b.new_block("if.else") if stmt.otherwise is not None else end_label
+        cond = self._lower_condition(stmt.cond)
+        b.branch(cond, then_label, else_label, line=stmt.line)
+        b.switch_to(then_label)
+        self._lower_stmt(stmt.then)
+        if not b.terminated:
+            b.jump(end_label)
+        if stmt.otherwise is not None:
+            b.switch_to(else_label)
+            self._lower_stmt(stmt.otherwise)
+            if not b.terminated:
+                b.jump(end_label)
+        b.switch_to(end_label)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        b = self._builder
+        assert b is not None
+        head = b.new_block("while.head")
+        body = b.new_block("while.body")
+        end = b.new_block("while.end")
+        b.jump(head, line=stmt.line)
+        b.switch_to(head)
+        cond = self._lower_condition(stmt.cond)
+        b.branch(cond, body, end, line=stmt.line)
+        b.switch_to(body)
+        self._loop_stack.append((end, head))
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if not b.terminated:
+            b.jump(head)
+        b.switch_to(end)
+
+    def _lower_do_while(self, stmt: ast.DoWhile) -> None:
+        b = self._builder
+        assert b is not None
+        body = b.new_block("do.body")
+        head = b.new_block("do.cond")
+        end = b.new_block("do.end")
+        b.jump(body, line=stmt.line)
+        b.switch_to(body)
+        self._loop_stack.append((end, head))
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if not b.terminated:
+            b.jump(head)
+        b.switch_to(head)
+        cond = self._lower_condition(stmt.cond)
+        b.branch(cond, body, end, line=stmt.line)
+        b.switch_to(end)
+
+    def _lower_for(self, stmt: ast.For) -> None:
+        b = self._builder
+        assert b is not None
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        head = b.new_block("for.head")
+        body = b.new_block("for.body")
+        step = b.new_block("for.step")
+        end = b.new_block("for.end")
+        b.jump(head, line=stmt.line)
+        b.switch_to(head)
+        if stmt.cond is not None:
+            cond = self._lower_condition(stmt.cond)
+            b.branch(cond, body, end, line=stmt.line)
+        else:
+            b.jump(body)
+        b.switch_to(body)
+        self._loop_stack.append((end, step))
+        self._lower_stmt(stmt.body)
+        self._loop_stack.pop()
+        if not b.terminated:
+            b.jump(step)
+        b.switch_to(step)
+        if stmt.step is not None:
+            self._lower_expr(stmt.step)
+        b.jump(head)
+        b.switch_to(end)
+
+    def _lower_switch(self, stmt: ast.Switch) -> None:
+        """Lower switch as a compare chain with C fallthrough semantics."""
+        b = self._builder
+        assert b is not None
+        cond_ty = ty.integer_promote(ty.decay(stmt.cond.ty or ty.INT))
+        if not isinstance(cond_ty, ty.IntType):
+            cond_ty = ty.INT
+        cond = self._lower_value_as(stmt.cond, cond_ty)
+        end = b.new_block("switch.end")
+        case_labels = [b.new_block("switch.case") for _ in stmt.cases]
+        default_label = end
+        # Dispatch chain: one comparison per non-default case, in order.
+        for case, label in zip(stmt.cases, case_labels):
+            if case.value is None:
+                default_label = label
+                continue
+            self.module.magic_constants.append(case.value)
+            test = b.new_reg()
+            b.emit(BinOp(test, "eq", cond, cond_ty.wrap(case.value), cond_ty, line=case.line))
+            next_test = b.new_block("switch.test")
+            b.branch(test, label, next_test, line=case.line)
+            b.switch_to(next_test)
+        b.jump(default_label, line=stmt.line)
+        # Case bodies in declaration order; falling off one body continues
+        # into the next (C fallthrough); break jumps to end; continue still
+        # targets the enclosing loop, if any.
+        enclosing_continue = self._loop_stack[-1][1] if self._loop_stack else None
+        self._loop_stack.append((end, enclosing_continue))
+        for index, (case, label) in enumerate(zip(stmt.cases, case_labels)):
+            b.switch_to(label)
+            for case_stmt in case.body:
+                self._lower_stmt(case_stmt)
+            if not b.terminated:
+                following = case_labels[index + 1] if index + 1 < len(case_labels) else end
+                b.jump(following)
+        self._loop_stack.pop()
+        b.switch_to(end)
+
+    # ---------------------------------------------------------- expressions
+
+    def _lower_condition(self, expr: ast.Expr) -> Operand:
+        """Lower *expr* as a branch condition (non-zero test)."""
+        value = self._lower_expr(expr)
+        expr_ty = ty.decay(expr.ty or ty.INT)
+        if isinstance(expr, ast.Binary) and expr.op in _CMP_BY_OP:
+            return value
+        if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+            return value
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            return value
+        b = self._builder
+        assert b is not None
+        dst = b.new_reg()
+        if expr_ty.is_float:
+            b.emit(BinOp(dst, "fne", value, 0.0, expr_ty, line=expr.line))
+        else:
+            cmp_ty = expr_ty if isinstance(expr_ty, ty.IntType) else ty.ULONG
+            b.emit(BinOp(dst, "ne", value, 0, cmp_ty, line=expr.line))
+        return dst
+
+    def _lower_value_as(self, expr: ast.Expr, target: ty.Type) -> Operand:
+        """Lower *expr* and convert the value to *target* type.
+
+        Implements the clang-style ``widen_int_mul`` divergence: an
+        ``int * int`` product feeding a 64-bit context is evaluated in 64
+        bits (no 32-bit wrap) when the config says so (§4.3 IntError).
+        """
+        target = ty.decay(target)
+        if (
+            self.config.widen_int_mul
+            and isinstance(target, ty.IntType)
+            and target.bits == 64
+            and isinstance(expr, ast.Binary)
+            and expr.op == "*"
+            and _is_int32(expr.lhs.ty)
+            and _is_int32(expr.rhs.ty)
+        ):
+            b = self._builder
+            assert b is not None
+            lhs = self._lower_value_as(expr.lhs, target)
+            rhs = self._lower_value_as(expr.rhs, target)
+            dst = b.new_reg()
+            b.emit(BinOp(dst, "mul", lhs, rhs, target, nsw=target.signed, line=expr.line))
+            return dst
+        value = self._lower_expr(expr)
+        source = ty.decay(expr.ty or target)
+        return self._convert(value, source, target, expr.line)
+
+    def _convert(self, value: Operand, source: ty.Type, target: ty.Type, line: int) -> Operand:
+        source = ty.decay(source)
+        target = ty.decay(target)
+        if source == target or target.is_void:
+            return value
+        if source.is_pointer and target.is_pointer:
+            return value
+        if source.is_pointer:
+            source = ty.ULONG
+        if target.is_pointer:
+            target = ty.ULONG
+            if isinstance(source, ty.IntType) and source == ty.ULONG:
+                return value
+        if source == target:
+            return value
+        b = self._builder
+        assert b is not None
+        dst = b.new_reg()
+        b.emit(Cast(dst, value, source, target, line=line))
+        return dst
+
+    def _lower_expr(self, expr: ast.Expr) -> Operand:
+        b = self._builder
+        assert b is not None
+        if isinstance(expr, (ast.IntLit, ast.CharLit)):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return float(expr.value)
+        if isinstance(expr, ast.NullLit):
+            return 0
+        if isinstance(expr, ast.LineMacro):
+            if self.config.line_macro_statement_based:
+                return expr.statement_line or expr.line
+            return expr.line
+        if isinstance(expr, ast.StrLit):
+            label = self._intern_string(expr.value)
+            dst = b.new_reg()
+            b.emit(AddrGlobal(dst, label, line=expr.line))
+            return dst
+        if isinstance(expr, ast.Ident):
+            return self._lower_ident(expr)
+        if isinstance(expr, ast.Unary):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._lower_assign(expr)
+        if isinstance(expr, ast.Conditional):
+            return self._lower_conditional(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            addr = self._lower_addr(expr)
+            return self._load_from(addr, expr)
+        if isinstance(expr, ast.Cast):
+            inner = self._lower_value_as(expr.operand, expr.target_type)
+            return inner
+        if isinstance(expr, ast.SizeofType):
+            return expr.target_type.size()
+        if isinstance(expr, ast.SizeofExpr):
+            return (expr.operand.ty or ty.INT).size()
+        raise LoweringError(f"cannot lower {type(expr).__name__} at line {expr.line}")
+
+    def _load_from(self, addr: Operand, expr: ast.Expr) -> Operand:
+        b = self._builder
+        assert b is not None
+        value_ty = expr.ty or ty.INT
+        if isinstance(value_ty, ty.ArrayType):
+            return addr  # arrays decay to their address
+        if isinstance(value_ty, ty.StructType):
+            return addr  # struct values are handled by address
+        dst = b.new_reg()
+        b.emit(Load(dst, addr, value_ty, line=expr.line))
+        return dst
+
+    def _lower_ident(self, expr: ast.Ident) -> Operand:
+        symbol = expr.symbol
+        if symbol.kind in ("func", "builtin"):
+            raise LoweringError(f"function name used as value at line {expr.line}")
+        addr = self._lower_addr(expr)
+        return self._load_from(addr, expr)
+
+    # -- addresses -------------------------------------------------------
+
+    def _lower_addr(self, expr: ast.Expr) -> Operand:
+        b = self._builder
+        assert b is not None
+        if isinstance(expr, ast.Ident):
+            symbol = expr.symbol
+            dst = b.new_reg()
+            if symbol.uid in self._slots:
+                b.emit(AddrSlot(dst, self._slots[symbol.uid], line=expr.line))
+            else:
+                name = self._global_names.get(symbol.uid, symbol.mangled or symbol.name)
+                b.emit(AddrGlobal(dst, name, line=expr.line))
+            return dst
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            return self._lower_expr(expr.operand)
+        if isinstance(expr, ast.Index):
+            base_ty = ty.decay(expr.base.ty or ty.PointerType(ty.CHAR))
+            assert isinstance(base_ty, ty.PointerType)
+            base = self._lower_expr(expr.base)
+            index = self._lower_value_as(expr.index, ty.LONG)
+            scaled = b.new_reg()
+            b.emit(BinOp(scaled, "mul", index, base_ty.pointee.size(), ty.LONG, line=expr.line))
+            dst = b.new_reg()
+            b.emit(BinOp(dst, "add", base, scaled, ty.ULONG, line=expr.line))
+            return dst
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base = self._lower_expr(expr.base)
+                base_ty = ty.decay(expr.base.ty)
+                struct_ty = base_ty.pointee
+            else:
+                base = self._lower_addr(expr.base)
+                struct_ty = expr.base.ty
+            assert isinstance(struct_ty, ty.StructType)
+            struct_field = struct_ty.field_named(expr.name)
+            assert struct_field is not None
+            if struct_field.offset == 0:
+                return base
+            dst = b.new_reg()
+            b.emit(BinOp(dst, "add", base, struct_field.offset, ty.ULONG, line=expr.line))
+            return dst
+        raise LoweringError(f"expression is not addressable at line {expr.line}")
+
+    # -- operators ----------------------------------------------------------
+
+    def _lower_unary(self, expr: ast.Unary) -> Operand:
+        b = self._builder
+        assert b is not None
+        op = expr.op
+        if op == "&":
+            return self._lower_addr(expr.operand)
+        if op == "*":
+            addr = self._lower_expr(expr.operand)
+            return self._load_from(addr, expr)
+        if op == "!":
+            operand_ty = ty.decay(expr.operand.ty or ty.INT)
+            value = self._lower_expr(expr.operand)
+            dst = b.new_reg()
+            if operand_ty.is_float:
+                b.emit(BinOp(dst, "feq", value, 0.0, operand_ty, line=expr.line))
+            else:
+                cmp_ty = operand_ty if isinstance(operand_ty, ty.IntType) else ty.ULONG
+                b.emit(BinOp(dst, "eq", value, 0, cmp_ty, line=expr.line))
+            return dst
+        if op in ("-", "~"):
+            result_ty = expr.ty or ty.INT
+            value = self._lower_value_as(expr.operand, result_ty)
+            dst = b.new_reg()
+            if result_ty.is_float:
+                b.emit(UnOp(dst, "fneg", value, result_ty, line=expr.line))
+            else:
+                kind = "neg" if op == "-" else "not"
+                b.emit(UnOp(dst, kind, value, result_ty, line=expr.line))
+            return dst
+        if op in ("++", "--", "p++", "p--"):
+            return self._lower_incdec(expr)
+        raise LoweringError(f"unknown unary {op!r} at line {expr.line}")
+
+    def _lower_incdec(self, expr: ast.Unary) -> Operand:
+        b = self._builder
+        assert b is not None
+        target = expr.operand
+        target_ty = ty.decay(target.ty or ty.INT)
+        addr = self._lower_addr(target)
+        old = b.new_reg()
+        b.emit(Load(old, addr, target_ty, line=expr.line))
+        delta: Operand = 1
+        op = "add" if expr.op in ("++", "p++") else "sub"
+        new = b.new_reg()
+        if isinstance(target_ty, ty.PointerType):
+            b.emit(BinOp(new, op, old, target_ty.pointee.size(), ty.ULONG, line=expr.line))
+        elif target_ty.is_float:
+            b.emit(BinOp(new, f"f{op}", old, 1.0, target_ty, line=expr.line))
+        else:
+            nsw = isinstance(target_ty, ty.IntType) and target_ty.signed
+            b.emit(BinOp(new, op, old, delta, target_ty, nsw=nsw, line=expr.line))
+        b.emit(Store(addr, new, target_ty, line=expr.line))
+        return old if expr.op.startswith("p") else new
+
+    def _lower_binary(self, expr: ast.Binary) -> Operand:
+        b = self._builder
+        assert b is not None
+        op = expr.op
+        if op == ",":
+            self._lower_expr(expr.lhs)
+            return self._lower_expr(expr.rhs)
+        if op in ("&&", "||"):
+            return self._lower_logical(expr)
+        if op in _CMP_BY_OP:
+            return self._lower_comparison(expr)
+        lhs_ty = ty.decay(expr.lhs.ty or ty.INT)
+        rhs_ty = ty.decay(expr.rhs.ty or ty.INT)
+        # Pointer arithmetic.
+        if op in ("+", "-") and (lhs_ty.is_pointer or rhs_ty.is_pointer):
+            return self._lower_pointer_arith(expr, lhs_ty, rhs_ty)
+        common = expr.ty or ty.usual_arithmetic_conversion(lhs_ty, rhs_ty)
+        lhs = self._lower_value_as(expr.lhs, common)
+        if op in ("<<", ">>"):
+            rhs = self._lower_value_as(expr.rhs, ty.INT)
+        else:
+            rhs = self._lower_value_as(expr.rhs, common)
+        dst = b.new_reg()
+        if common.is_float:
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[op]
+            b.emit(BinOp(dst, opcode, lhs, rhs, common, line=expr.line))
+            return dst
+        assert isinstance(common, ty.IntType)
+        if op == "/":
+            opcode = "sdiv" if common.signed else "udiv"
+        elif op == "%":
+            opcode = "srem" if common.signed else "urem"
+        elif op == ">>":
+            opcode = "ashr" if common.signed else "lshr"
+        else:
+            opcode = _ARITH_BY_OP[op]
+        nsw = common.signed and opcode in ("add", "sub", "mul")
+        b.emit(BinOp(dst, opcode, lhs, rhs, common, nsw=nsw, line=expr.line))
+        return dst
+
+    def _lower_pointer_arith(
+        self, expr: ast.Binary, lhs_ty: ty.Type, rhs_ty: ty.Type
+    ) -> Operand:
+        b = self._builder
+        assert b is not None
+        op = expr.op
+        if lhs_ty.is_pointer and rhs_ty.is_pointer:
+            # Pointer difference in elements (UB across objects: the raw
+            # value simply reflects the implementation's layout — CWE-469).
+            assert isinstance(lhs_ty, ty.PointerType)
+            lhs = self._lower_expr(expr.lhs)
+            rhs = self._lower_expr(expr.rhs)
+            diff = b.new_reg()
+            b.emit(BinOp(diff, "sub", lhs, rhs, ty.LONG, line=expr.line))
+            size = max(lhs_ty.pointee.size(), 1)
+            if size == 1:
+                return diff
+            dst = b.new_reg()
+            b.emit(BinOp(dst, "sdiv", diff, size, ty.LONG, line=expr.line))
+            return dst
+        if lhs_ty.is_pointer:
+            pointer_expr, integer_expr, pointer_ty = expr.lhs, expr.rhs, lhs_ty
+        else:
+            pointer_expr, integer_expr, pointer_ty = expr.rhs, expr.lhs, rhs_ty
+        assert isinstance(pointer_ty, ty.PointerType)
+        pointer = self._lower_expr(pointer_expr)
+        index = self._lower_value_as(integer_expr, ty.LONG)
+        scaled = b.new_reg()
+        b.emit(
+            BinOp(scaled, "mul", index, max(pointer_ty.pointee.size(), 1), ty.LONG, line=expr.line)
+        )
+        dst = b.new_reg()
+        opcode = "add" if op == "+" else "sub"
+        b.emit(BinOp(dst, opcode, pointer, scaled, ty.ULONG, line=expr.line))
+        return dst
+
+    def _lower_logical(self, expr: ast.Binary) -> Operand:
+        b = self._builder
+        assert b is not None
+        result = b.new_reg()
+        rhs_label = b.new_block("logic.rhs")
+        end_label = b.new_block("logic.end")
+        short_label = b.new_block("logic.short")
+        cond = self._lower_condition(expr.lhs)
+        if expr.op == "&&":
+            b.branch(cond, rhs_label, short_label, line=expr.line)
+            short_value = 0
+        else:
+            b.branch(cond, short_label, rhs_label, line=expr.line)
+            short_value = 1
+        b.switch_to(short_label)
+        b.emit(Move(result, short_value, ty.INT, line=expr.line))
+        b.jump(end_label)
+        b.switch_to(rhs_label)
+        rhs_cond = self._lower_condition(expr.rhs)
+        b.emit(Move(result, rhs_cond, ty.INT, line=expr.line))
+        b.jump(end_label)
+        b.switch_to(end_label)
+        return result
+
+    def _lower_comparison(self, expr: ast.Binary) -> Operand:
+        b = self._builder
+        assert b is not None
+        folded = self._fold_ub_guard(expr)
+        if folded is not None:
+            return folded
+        lhs_ty = ty.decay(expr.lhs.ty or ty.INT)
+        rhs_ty = ty.decay(expr.rhs.ty or ty.INT)
+        self._collect_magic(expr)
+        if lhs_ty.is_pointer or rhs_ty.is_pointer:
+            # Pointer comparison: raw addresses, unsigned.  Across distinct
+            # objects this is UB and the result is pure layout accident
+            # (Listing 2).
+            lhs = self._lower_expr(expr.lhs)
+            rhs = self._lower_expr(expr.rhs)
+            dst = b.new_reg()
+            base = _CMP_BY_OP[expr.op]
+            opcode = base if base in ("eq", "ne") else f"u{base}"
+            b.emit(BinOp(dst, opcode, lhs, rhs, ty.ULONG, line=expr.line))
+            return dst
+        common = ty.usual_arithmetic_conversion(lhs_ty, rhs_ty)
+        lhs = self._lower_value_as(expr.lhs, common)
+        rhs = self._lower_value_as(expr.rhs, common)
+        dst = b.new_reg()
+        base = _CMP_BY_OP[expr.op]
+        if common.is_float:
+            b.emit(BinOp(dst, f"f{base}", lhs, rhs, common, line=expr.line))
+            return dst
+        assert isinstance(common, ty.IntType)
+        if base in ("eq", "ne"):
+            opcode = base
+        else:
+            opcode = ("s" if common.signed else "u") + base
+        b.emit(BinOp(dst, opcode, lhs, rhs, common, line=expr.line))
+        return dst
+
+    def _collect_magic(self, expr: ast.Binary) -> None:
+        for side in (expr.lhs, expr.rhs):
+            if isinstance(side, (ast.IntLit, ast.CharLit)) and side.value not in (0, 1):
+                self.module.magic_constants.append(int(side.value))
+
+    def _fold_ub_guard(self, expr: ast.Binary) -> Operand | None:
+        """UB-exploiting overflow-guard folding (instcombine style).
+
+        ``a + b OP a`` with signed operands is rewritten to ``b OP 0`` —
+        exactly the transformation that deletes Listing 1's wraparound
+        check — and ``p + i OP p`` with unsigned ``i`` folds to a constant
+        under the no-pointer-overflow assumption.  Only active when the
+        configuration exploits UB (O1 and above).
+        """
+        if not self.config.exploit_ub:
+            return None
+        if expr.op not in ("<", "<=", ">", ">="):
+            return None
+        lhs, rhs = expr.lhs, expr.rhs
+        for add_side, other, flip in ((lhs, rhs, False), (rhs, lhs, True)):
+            if not isinstance(add_side, ast.Binary) or add_side.op not in ("+", "-"):
+                continue
+            add_ty = ty.decay(add_side.ty or ty.INT)
+            other_ty = ty.decay(other.ty or ty.INT)
+            # Signed integer overflow guard: a + b OP a.
+            if (
+                isinstance(add_ty, ty.IntType)
+                and add_ty.signed
+                and isinstance(other_ty, ty.IntType)
+            ):
+                remainder = self._match_add_guard(add_side, other)
+                if remainder is not None:
+                    op = expr.op if not flip else _flip_op(expr.op)
+                    if add_side.op == "-":
+                        op = _flip_op(op)
+                    # a + b OP a  ==>  b OP 0 ; a - b OP a ==> 0 OP b.
+                    b = self._builder
+                    assert b is not None
+                    value = self._lower_value_as(remainder, add_ty)
+                    dst = b.new_reg()
+                    opcode = "s" + _CMP_BY_OP[op]
+                    b.emit(BinOp(dst, opcode, value, 0, add_ty, line=expr.line))
+                    return dst
+            # Pointer overflow guard: p + i OP p with unsigned i.
+            if add_ty.is_pointer and other_ty.is_pointer and add_side.op == "+":
+                remainder = self._match_add_guard(add_side, other)
+                if remainder is not None:
+                    rem_ty = ty.decay(remainder.ty or ty.INT)
+                    if isinstance(rem_ty, ty.IntType) and not rem_ty.signed:
+                        op = expr.op if not flip else _flip_op(expr.op)
+                        # i >= 0 and no wrap: p+i < p is false, p+i >= p true.
+                        self._lower_expr(remainder)  # keep side effects
+                        return 1 if op in (">=", ">") else 0
+        return None
+
+    def _match_add_guard(self, add: ast.Binary, other: ast.Expr) -> ast.Expr | None:
+        """If ``add`` is ``X + Y`` (or ``X - Y``) and ``other`` equals X,
+        return Y; for ``+``, also match Y and return X."""
+        if _pure_equal(add.lhs, other):
+            return add.rhs
+        if add.op == "+" and _pure_equal(add.rhs, other):
+            return add.lhs
+        return None
+
+    def _lower_assign(self, expr: ast.Assign) -> Operand:
+        b = self._builder
+        assert b is not None
+        target_ty = ty.decay(expr.target.ty or ty.INT)
+        addr = self._lower_addr(expr.target)
+        if expr.op == "=":
+            if isinstance(expr.target.ty, ty.StructType):
+                src = self._lower_expr(expr.value)
+                b.emit(
+                    CallBuiltin(
+                        None,
+                        "memcpy",
+                        [addr, src, expr.target.ty.size()],
+                        [ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG],
+                        line=expr.line,
+                    )
+                )
+                return addr
+            value = self._lower_value_as(expr.value, target_ty)
+            b.emit(Store(addr, value, target_ty, line=expr.line))
+            return value
+        # Compound assignment: load, compute, store.
+        old = b.new_reg()
+        b.emit(Load(old, addr, target_ty, line=expr.line))
+        base_op = expr.op[:-1]
+        if isinstance(target_ty, ty.PointerType) and base_op in ("+", "-"):
+            index = self._lower_value_as(expr.value, ty.LONG)
+            scaled = b.new_reg()
+            b.emit(
+                BinOp(scaled, "mul", index, max(target_ty.pointee.size(), 1), ty.LONG, line=expr.line)
+            )
+            new = b.new_reg()
+            b.emit(
+                BinOp(new, "add" if base_op == "+" else "sub", old, scaled, ty.ULONG, line=expr.line)
+            )
+            b.emit(Store(addr, new, target_ty, line=expr.line))
+            return new
+        value = self._lower_value_as(expr.value, target_ty)
+        new = b.new_reg()
+        if target_ty.is_float:
+            opcode = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[base_op]
+            b.emit(BinOp(new, opcode, old, value, target_ty, line=expr.line))
+        else:
+            assert isinstance(target_ty, ty.IntType)
+            if base_op == "/":
+                opcode = "sdiv" if target_ty.signed else "udiv"
+            elif base_op == "%":
+                opcode = "srem" if target_ty.signed else "urem"
+            elif base_op == ">>":
+                opcode = "ashr" if target_ty.signed else "lshr"
+            else:
+                opcode = _ARITH_BY_OP[base_op]
+            nsw = target_ty.signed and opcode in ("add", "sub", "mul")
+            b.emit(BinOp(new, opcode, old, value, target_ty, nsw=nsw, line=expr.line))
+        b.emit(Store(addr, new, target_ty, line=expr.line))
+        return new
+
+    def _lower_conditional(self, expr: ast.Conditional) -> Operand:
+        b = self._builder
+        assert b is not None
+        result = b.new_reg()
+        result_ty = expr.ty or ty.INT
+        then_label = b.new_block("cond.then")
+        else_label = b.new_block("cond.else")
+        end_label = b.new_block("cond.end")
+        cond = self._lower_condition(expr.cond)
+        b.branch(cond, then_label, else_label, line=expr.line)
+        b.switch_to(then_label)
+        then_value = self._lower_value_as(expr.then, result_ty)
+        b.emit(Move(result, then_value, result_ty, line=expr.line))
+        b.jump(end_label)
+        b.switch_to(else_label)
+        else_value = self._lower_value_as(expr.otherwise, result_ty)
+        b.emit(Move(result, else_value, result_ty, line=expr.line))
+        b.jump(end_label)
+        b.switch_to(end_label)
+        return result
+
+    # -- calls ---------------------------------------------------------------
+
+    def _lower_call(self, expr: ast.Call) -> Operand:
+        b = self._builder
+        assert b is not None
+        assert isinstance(expr.func, ast.Ident)
+        name = expr.func.name
+        symbol = expr.func.symbol
+        # Argument evaluation order is UNSPECIFIED in C; this is the
+        # Listing-3 divergence point.  We evaluate side effects in the
+        # configured direction, then pass values positionally.
+        order = range(len(expr.args))
+        if not self.config.args_left_to_right:
+            order = reversed(order)
+        values: dict[int, Operand] = {}
+        is_builtin = symbol is not None and symbol.kind == "builtin"
+        param_types = self._call_param_types(name, symbol, expr)
+        for i in list(order):
+            arg = expr.args[i]
+            expected = param_types[i] if i < len(param_types) else None
+            if expected is None:
+                # Varargs: apply C default argument promotions.
+                arg_ty = ty.decay(arg.ty or ty.INT)
+                if isinstance(arg_ty, ty.IntType) and arg_ty.bits < 32:
+                    expected = ty.INT
+                elif arg_ty == ty.FLOAT:
+                    expected = ty.DOUBLE
+                else:
+                    expected = arg_ty
+            values[i] = self._lower_value_as(arg, expected)
+        args = [values[i] for i in range(len(expr.args))]
+        if name == "__bugsite":
+            site = expr.args[0]
+            assert isinstance(site, ast.IntLit)
+            b.emit(BugSite(site.value, line=expr.line))
+            self.module.bug_sites.append(site.value)
+            return 0
+        if is_builtin:
+            if name in ("strcmp", "strncmp"):
+                for arg in expr.args:
+                    if isinstance(arg, ast.StrLit):
+                        self.module.magic_strings.append(arg.value.encode("latin-1"))
+            ret_ty = BUILTIN_SIGNATURES[name][0]
+            dst = b.new_reg() if not ret_ty.is_void else None
+            arg_types = [
+                param_types[i]
+                if i < len(param_types) and param_types[i] is not None
+                else _promoted_ty(expr.args[i])
+                for i in range(len(expr.args))
+            ]
+            b.emit(CallBuiltin(dst, name, args, arg_types, line=expr.line))
+            return dst if dst is not None else 0
+        ret_ty = self._func_ret_types.get(name, ty.INT)
+        dst = b.new_reg() if not ret_ty.is_void else None
+        b.emit(Call(dst, name, args, line=expr.line))
+        return dst if dst is not None else 0
+
+    def _call_param_types(
+        self, name: str, symbol, expr: ast.Call
+    ) -> list[ty.Type | None]:
+        func_ty = symbol.type if symbol is not None else None
+        if not isinstance(func_ty, ty.FunctionType):
+            return [None] * len(expr.args)
+        result: list[ty.Type | None] = []
+        for i in range(len(expr.args)):
+            if i < len(func_ty.params):
+                result.append(ty.decay(func_ty.params[i]))
+            else:
+                result.append(None)
+        return result
+
+
+# -------------------------------------------------------------------- helpers
+
+
+def _is_array_init(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Ident) and call.func.name == "__array_init"
+
+
+def _is_int32(t: ty.Type | None) -> bool:
+    return isinstance(t, ty.IntType) and t.bits == 32 and t.signed
+
+
+def _flip_op(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+
+
+def _promoted_ty(arg: ast.Expr) -> ty.Type:
+    arg_ty = ty.decay(arg.ty or ty.INT)
+    if isinstance(arg_ty, ty.IntType) and arg_ty.bits < 32:
+        return ty.INT
+    if arg_ty == ty.FLOAT:
+        return ty.DOUBLE
+    return arg_ty
+
+
+def _is_pure(expr: ast.Expr) -> bool:
+    if isinstance(expr, (ast.IntLit, ast.CharLit, ast.FloatLit, ast.NullLit, ast.Ident)):
+        return True
+    if isinstance(expr, ast.Member):
+        return _is_pure(expr.base)
+    if isinstance(expr, ast.Index):
+        return _is_pure(expr.base) and _is_pure(expr.index)
+    if isinstance(expr, ast.Unary) and expr.op in ("-", "~", "!", "*", "&"):
+        return _is_pure(expr.operand)
+    if isinstance(expr, ast.Cast):
+        return _is_pure(expr.operand)
+    if isinstance(expr, ast.Binary) and expr.op not in ("&&", "||", ","):
+        return _is_pure(expr.lhs) and _is_pure(expr.rhs)
+    return False
+
+
+def _pure_equal(a: ast.Expr, b: ast.Expr) -> bool:
+    """Structural equality of two side-effect-free expressions."""
+    if not (_is_pure(a) and _is_pure(b)):
+        return False
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ast.Ident):
+        return a.symbol is b.symbol
+    if isinstance(a, (ast.IntLit, ast.CharLit)):
+        return a.value == b.value
+    if isinstance(a, ast.FloatLit):
+        return a.value == b.value
+    if isinstance(a, ast.NullLit):
+        return True
+    if isinstance(a, ast.Member):
+        return a.name == b.name and a.arrow == b.arrow and _pure_equal(a.base, b.base)
+    if isinstance(a, ast.Index):
+        return _pure_equal(a.base, b.base) and _pure_equal(a.index, b.index)
+    if isinstance(a, ast.Unary):
+        return a.op == b.op and _pure_equal(a.operand, b.operand)
+    if isinstance(a, ast.Cast):
+        return a.target_type == b.target_type and _pure_equal(a.operand, b.operand)
+    if isinstance(a, ast.Binary):
+        return a.op == b.op and _pure_equal(a.lhs, b.lhs) and _pure_equal(a.rhs, b.rhs)
+    return False
+
+
+def _pack_scalar(value, var_type: ty.Type) -> bytes:
+    if isinstance(var_type, ty.FloatType):
+        fmt = "<f" if var_type.bits == 32 else "<d"
+        return struct.pack(fmt, float(value))
+    if isinstance(var_type, ty.PointerType):
+        return int(value).to_bytes(8, "little", signed=False)
+    assert isinstance(var_type, ty.IntType)
+    wrapped = var_type.wrap(int(value))
+    return (wrapped & ((1 << var_type.bits) - 1)).to_bytes(var_type.size(), "little")
+
+
+def lower_program(program: ast.Program, config: CompilerConfig, name: str = "") -> Module:
+    """Lower a checked MiniC *program* to an IR module for *config*."""
+    return Lowerer(program, config, name=name).run()

@@ -1,0 +1,21 @@
+"""IR optimization passes.
+
+Passes come in two moral categories:
+
+* *Semantics-preserving* for defined behavior (copy propagation, constant
+  folding, algebraic simplification, strength reduction, inlining, dead
+  code elimination) — though several are only sound **because** C declares
+  certain behaviors undefined (removing an unused division assumes the
+  division cannot trap on defined inputs it was given; constant-folding an
+  oversized shift picks one of many possible hardware results).
+* *UB-exploiting* (:mod:`repro.compiler.passes.ub_exploit`): transforms
+  that are only justified by the assumption that undefined behavior never
+  happens — null-dereference elision and poisoned constant division.
+
+Seeded miscompilation patterns (RQ2's compiler bugs) live in
+:mod:`repro.compiler.passes.constant_fold` behind explicit pattern ids.
+"""
+
+from repro.compiler.passes.pipeline import optimize
+
+__all__ = ["optimize"]

@@ -1,0 +1,233 @@
+"""Constant folding, including compile-time UB resolution and seeded bugs.
+
+Two deliberate behaviors matter for the reproduction:
+
+* **Oversized shifts** are folded *mathematically* (count >= width gives 0
+  or the sign fill), while the VM executes shifts with an x86-style masked
+  count.  Both are legal resolutions of the same UB, so a constant
+  ``1 << 40`` diverges between folding and non-folding implementations —
+  the CWE-758 mechanism.
+* **Seeded miscompilations** (RQ2): three instcombine-style rewrites that
+  are *wrong on defined behavior*, each enabled only in specific
+  implementations via ``CompilerConfig.miscompile_patterns``:
+
+  - ``ushl_ushr_elide``: folds ``(x << C) >> C`` (unsigned, logical) to
+    ``x``, dropping the required high-bit clearing;
+  - ``sext_shift_pair``: folds ``(x << 24) >> 24`` (signed, arithmetic) to
+    ``x & 0xff``, dropping sign extension;
+  - ``srem_to_mask``: folds ``x % 8`` (signed) to ``x & 7``, wrong for
+    negative ``x``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.ir.instructions import BinOp, Branch, Cast, Const, Instr, Jump, Reg, UnOp
+from repro.ir.module import Function
+from repro.minic.types import FloatType, IntType
+from repro.compiler.implementations import CompilerConfig
+
+
+def const_fold(func: Function, config: CompilerConfig) -> int:
+    """Fold constant instructions in place; returns the number folded."""
+    changed = 0
+    for block in func.blocks.values():
+        defs: dict[Reg, Instr] = {}
+        new_instrs: list[Instr] = []
+        for instr in block.instrs:
+            replacement = _try_fold(instr, defs, config)
+            if replacement is not None:
+                instr = replacement
+                changed += 1
+            dst = instr.defines()
+            if dst is not None:
+                defs[dst] = instr
+            new_instrs.append(instr)
+        block.instrs = new_instrs
+        # Fold branches on constant conditions into jumps (looking through
+        # a Const-defined register so folding converges within one round).
+        term = block.terminator
+        if isinstance(term, Branch):
+            cond = term.cond
+            if isinstance(cond, Reg):
+                cond_def = defs.get(cond)
+                if isinstance(cond_def, Const):
+                    cond = cond_def.value
+            if isinstance(cond, (int, float)):
+                target = term.if_true if cond else term.if_false
+                block.instrs[-1] = Jump(target, line=term.line)
+                changed += 1
+    return changed
+
+
+def _resolve(operand, defs: dict[Reg, Instr]):
+    """Look through a Const-defined register (block-local, in program
+    order, so the most recent definition is the visible one)."""
+    if isinstance(operand, Reg):
+        definition = defs.get(operand)
+        if isinstance(definition, Const):
+            return definition.value
+    return operand
+
+
+def _try_fold(instr: Instr, defs: dict[Reg, Instr], config: CompilerConfig) -> Instr | None:
+    if isinstance(instr, BinOp):
+        folded = _fold_binop(instr, defs)
+        if folded is not None:
+            return folded
+        return _try_miscompile(instr, defs, config)
+    if isinstance(instr, UnOp):
+        src = _resolve(instr.src, defs)
+        if isinstance(src, (int, float)):
+            return _fold_unop(instr, src)
+    if isinstance(instr, Cast):
+        src = _resolve(instr.src, defs)
+        if isinstance(src, (int, float)):
+            return Const(instr.dst, _fold_cast(instr, src), instr.to_type, line=instr.line)
+    return None
+
+
+def _fold_binop(instr: BinOp, defs: dict[Reg, Instr]) -> Const | None:
+    lhs = _resolve(instr.lhs, defs)
+    rhs = _resolve(instr.rhs, defs)
+    if not isinstance(lhs, (int, float)) or not isinstance(rhs, (int, float)):
+        return None
+    op = instr.op
+    itype = instr.type if isinstance(instr.type, IntType) else None
+    try:
+        if op == "add":
+            value = lhs + rhs
+        elif op == "sub":
+            value = lhs - rhs
+        elif op == "mul":
+            value = lhs * rhs
+        elif op in ("sdiv", "udiv", "srem", "urem"):
+            if rhs == 0 or itype is None:
+                return None  # handled by ub_exploit / left for runtime trap
+            if op[0] == "u":
+                mask = (1 << itype.bits) - 1
+                a, d = int(lhs) & mask, int(rhs) & mask
+                value = a // d if op == "udiv" else a % d
+            else:
+                a, d = itype.wrap(int(lhs)), itype.wrap(int(rhs))
+                quotient = abs(a) // abs(d) * (1 if (a >= 0) == (d >= 0) else -1)
+                value = quotient if op == "sdiv" else a - quotient * d
+        elif op == "shl":
+            # Mathematical fold: no count masking (UB resolved differently
+            # than the runtime's x86-style masked shift).
+            value = lhs << rhs if 0 <= rhs < 256 else 0
+        elif op == "lshr":
+            assert itype is not None
+            unsigned = lhs & ((1 << itype.bits) - 1)
+            value = unsigned >> rhs if 0 <= rhs < 256 else 0
+        elif op == "ashr":
+            value = lhs >> rhs if 0 <= rhs < 256 else (-1 if lhs < 0 else 0)
+        elif op == "and":
+            value = lhs & rhs
+        elif op == "or":
+            value = lhs | rhs
+        elif op == "xor":
+            value = lhs ^ rhs
+        elif op in ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"):
+            value = _fold_icmp(op, int(lhs), int(rhs), instr.type)
+        elif op in ("fadd", "fsub", "fmul", "fdiv"):
+            # Double arithmetic folds exactly (same IEEE result as the
+            # runtime); single-precision chains are left to the runtime
+            # because their rounding is implementation-dependent here.
+            if not (isinstance(instr.type, FloatType) and instr.type.bits == 64):
+                return None
+            a, d = float(lhs), float(rhs)
+            if op == "fadd":
+                value = a + d
+            elif op == "fsub":
+                value = a - d
+            elif op == "fmul":
+                value = a * d
+            else:
+                if d == 0.0:
+                    return None
+                value = a / d
+            return Const(instr.dst, value, instr.type, line=instr.line)
+        else:
+            return None
+    except TypeError:
+        return None
+    if op in ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"):
+        return Const(instr.dst, value, IntType(32, True), line=instr.line)
+    if itype is None:
+        return None
+    return Const(instr.dst, itype.wrap(int(value)), itype, line=instr.line)
+
+
+def _fold_icmp(op: str, lhs: int, rhs: int, itype) -> int:
+    if isinstance(itype, IntType):
+        if op.startswith("u"):
+            mask = (1 << itype.bits) - 1
+            lhs &= mask
+            rhs &= mask
+        else:
+            lhs = itype.wrap(lhs)
+            rhs = itype.wrap(rhs)
+    base = op[1:] if op[0] in "su" else op
+    table = {
+        "eq": lhs == rhs,
+        "ne": lhs != rhs,
+        "lt": lhs < rhs,
+        "le": lhs <= rhs,
+        "gt": lhs > rhs,
+        "ge": lhs >= rhs,
+    }
+    return int(table[base])
+
+
+def _fold_unop(instr: UnOp, src) -> Const | None:
+    if instr.op == "neg" and isinstance(instr.type, IntType):
+        return Const(instr.dst, instr.type.wrap(-int(src)), instr.type, line=instr.line)
+    if instr.op == "not" and isinstance(instr.type, IntType):
+        return Const(instr.dst, instr.type.wrap(~int(src)), instr.type, line=instr.line)
+    if instr.op == "fneg":
+        return Const(instr.dst, -float(src), instr.type, line=instr.line)
+    return None
+
+
+def _fold_cast(instr: Cast, src):
+    to_type = instr.to_type
+    if isinstance(to_type, IntType):
+        return to_type.wrap(int(src))
+    if isinstance(to_type, FloatType):
+        value = float(src)
+        if to_type.bits == 32:
+            value = struct.unpack("<f", struct.pack("<f", value))[0]
+        return value
+    return src
+
+
+# ----------------------------------------------------------- miscompilations
+
+
+def _try_miscompile(instr: BinOp, defs: dict[Reg, Instr], config: CompilerConfig) -> Instr | None:
+    patterns = config.miscompile_patterns
+    if not patterns:
+        return None
+    if "srem_to_mask" in patterns and instr.op == "srem" and instr.rhs == 8:
+        # BUG: correct only for non-negative lhs.
+        return BinOp(instr.dst, "and", instr.lhs, 7, instr.type, line=instr.line)
+    if instr.op in ("lshr", "ashr") and isinstance(instr.lhs, Reg):
+        shift_def = defs.get(instr.lhs)
+        if (
+            isinstance(shift_def, BinOp)
+            and shift_def.op == "shl"
+            and isinstance(instr.rhs, int)
+            and shift_def.rhs == instr.rhs
+            and shift_def.type == instr.type
+        ):
+            if "ushl_ushr_elide" in patterns and instr.op == "lshr":
+                # BUG: drops clearing of the high bits shifted out.
+                from repro.ir.instructions import Move
+
+                return Move(instr.dst, shift_def.lhs, instr.type, line=instr.line)
+            if "sext_shift_pair" in patterns and instr.op == "ashr" and instr.rhs == 24:
+                # BUG: zero-extends the low byte instead of sign-extending.
+                return BinOp(instr.dst, "and", shift_def.lhs, 0xFF, instr.type, line=instr.line)
+    return None

@@ -1,0 +1,46 @@
+"""Block-local copy and constant propagation."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Const, Instr, Move, Operand, Reg
+from repro.ir.module import Function
+
+
+def copy_prop(func: Function) -> int:
+    """Forward-substitute Move/Const definitions within each block.
+
+    Returns the number of substituted uses.  Propagation is block-local:
+    registers are not in SSA form, so cross-block propagation would need
+    dataflow analysis that this simulator does not require.
+    """
+    changed = 0
+    for block in func.blocks.values():
+        env: dict[Reg, Operand] = {}
+        for instr in block.instrs:
+            before = _snapshot(instr)
+            mapping = {reg: env[reg] for reg in _reg_uses(instr) if reg in env}
+            if mapping:
+                instr.replace_uses(mapping)
+                if _snapshot(instr) != before:
+                    changed += 1
+            dst = instr.defines()
+            if dst is not None:
+                # Any mapping built on the old value of dst is now stale.
+                env = {
+                    k: v for k, v in env.items() if k != dst and not (isinstance(v, Reg) and v == dst)
+                }
+                if isinstance(instr, Const):
+                    env[dst] = instr.value
+                elif isinstance(instr, Move) and not (
+                    isinstance(instr.src, Reg) and instr.src == dst
+                ):
+                    env[dst] = instr.src
+    return changed
+
+
+def _reg_uses(instr: Instr) -> list[Reg]:
+    return [u for u in instr.uses() if isinstance(u, Reg)]
+
+
+def _snapshot(instr: Instr) -> tuple:
+    return tuple(repr(u) for u in instr.uses())

@@ -1,0 +1,164 @@
+"""Function inlining for small leaf functions (-O2 and above).
+
+Inlining merges the callee's frame slots into the caller's frame, which is
+exactly how real inlining changes which object a stack overflow corrupts —
+another source of cross-implementation divergence for MemError unstable
+code (§4.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ir.instructions import (
+    AddrSlot,
+    Call,
+    Instr,
+    Jump,
+    Move,
+    Operand,
+    Reg,
+    Ret,
+)
+from repro.ir.module import BasicBlock, FrameSlot, Function, Module
+from repro.minic.types import INT, IntType
+from repro.compiler.implementations import CompilerConfig
+
+#: Callees above this instruction count are never inlined.
+MAX_INLINE_INSTRS = 40
+#: Cap on inline expansions per caller (termination/code-size guard).
+MAX_INLINES_PER_CALLER = 24
+
+
+def inline_small(module: Module, config: CompilerConfig) -> int:
+    """Inline small leaf callees into their callers; returns the count."""
+    candidates = {
+        name: func
+        for name, func in module.functions.items()
+        if name != "main" and _is_leaf(func) and _instr_count(func) <= MAX_INLINE_INSTRS
+    }
+    total = 0
+    for name, func in module.functions.items():
+        if name in candidates:
+            continue  # keep candidates pristine while cloning from them
+        total += _inline_into(func, candidates, config)
+    return total
+
+
+def _is_leaf(func: Function) -> bool:
+    return not any(isinstance(instr, Call) for instr in func.instructions())
+
+
+def _instr_count(func: Function) -> int:
+    return sum(len(block.instrs) for block in func.blocks.values())
+
+
+def _inline_into(caller: Function, candidates: dict[str, Function], config: CompilerConfig) -> int:
+    inlined = 0
+    worklist = list(caller.blocks.keys())
+    while worklist and inlined < MAX_INLINES_PER_CALLER:
+        label = worklist.pop(0)
+        block = caller.blocks.get(label)
+        if block is None:
+            continue
+        for i, instr in enumerate(block.instrs):
+            if isinstance(instr, Call) and instr.callee in candidates:
+                cont_label = _expand(caller, block, i, candidates[instr.callee], config, inlined)
+                inlined += 1
+                worklist.append(cont_label)
+                break
+    return inlined
+
+
+def _expand(
+    caller: Function,
+    block: BasicBlock,
+    call_index: int,
+    callee: Function,
+    config: CompilerConfig,
+    serial: int,
+) -> str:
+    call = block.instrs[call_index]
+    assert isinstance(call, Call)
+    prefix = f"inl{serial}.{callee.name}"
+    reg_offset = caller.num_regs
+    caller.num_regs += callee.num_regs
+    slot_offset = len(caller.slots)
+    for slot in callee.slots:
+        caller.slots.append(
+            FrameSlot(
+                name=f"{prefix}.{slot.name}",
+                size=slot.size,
+                align=slot.align,
+                index=len(caller.slots),
+                line=slot.line,
+                is_buffer=slot.is_buffer,
+            )
+        )
+    label_map = {old: f"{prefix}.{old}" for old in callee.blocks}
+    cont_label = f"{prefix}.cont"
+    # Continuation block takes everything after the call.
+    cont_block = BasicBlock(cont_label, block.instrs[call_index + 1 :])
+    # The call site becomes: argument moves + jump into the inlined entry.
+    head = block.instrs[:call_index]
+    for param_index, (_, param_type) in enumerate(callee.params):
+        if param_index < len(call.args):
+            value: Operand = call.args[param_index]
+        else:
+            # CWE-685: the callee reads whatever the "register" holds.
+            garbage = config.missing_arg_value
+            if isinstance(param_type, IntType):
+                garbage = param_type.wrap(garbage)
+            value = garbage
+        head.append(Move(Reg(reg_offset + param_index), value, param_type, line=call.line))
+    head.append(Jump(label_map[callee.entry], line=call.line))
+    block.instrs = head
+    # Clone the callee body.
+    for old_label, callee_block in callee.blocks.items():
+        new_instrs: list[Instr] = []
+        for instr in callee_block.instrs:
+            new_instrs.extend(
+                _clone_instr(instr, reg_offset, slot_offset, label_map, call, cont_label)
+            )
+        caller.blocks[label_map[old_label]] = BasicBlock(label_map[old_label], new_instrs)
+    caller.blocks[cont_label] = cont_block
+    return cont_label
+
+
+def _remap_operand(operand: Operand, reg_offset: int) -> Operand:
+    if isinstance(operand, Reg):
+        return Reg(operand.id + reg_offset)
+    return operand
+
+
+def _clone_instr(
+    instr: Instr,
+    reg_offset: int,
+    slot_offset: int,
+    label_map: dict[str, str],
+    call: Call,
+    cont_label: str,
+) -> list[Instr]:
+    if isinstance(instr, Ret):
+        out: list[Instr] = []
+        if call.dst is not None:
+            value = 0 if instr.value is None else _remap_operand(instr.value, reg_offset)
+            out.append(Move(call.dst, value, INT, line=instr.line))
+        out.append(Jump(cont_label, line=instr.line))
+        return out
+    clone = dataclasses.replace(instr)
+    for field_name in ("dst", "src", "lhs", "rhs", "addr", "cond", "value"):
+        if hasattr(clone, field_name):
+            current = getattr(clone, field_name)
+            if isinstance(current, Reg):
+                setattr(clone, field_name, Reg(current.id + reg_offset))
+    if hasattr(clone, "args"):
+        clone.args = [_remap_operand(a, reg_offset) for a in clone.args]
+    if isinstance(clone, AddrSlot):
+        clone.slot += slot_offset
+    if isinstance(clone, Jump):
+        clone.target = label_map[clone.target]
+    if hasattr(clone, "if_true"):
+        clone.if_true = label_map[clone.if_true]
+        clone.if_false = label_map[clone.if_false]
+    return [clone]

@@ -1,0 +1,127 @@
+"""Store-to-load forwarding for non-escaping scalar stack slots.
+
+A mem2reg-lite pass: when a scalar local's address never escapes (it is
+only ever used directly as a load/store address), C's aliasing rules
+guarantee no other pointer can legally touch it — so a load can be
+forwarded from the preceding store in the same block.
+
+This is the optimization that makes optimized binaries *miss* memory
+corruption an unoptimized binary observes (the stored value lives in a
+register while the -O0 build re-reads the smashed stack slot), and it is
+the enabler for null-pointer constant propagation: once ``p = NULL; *p``
+forwards the literal 0 into the load address, the UB-exploit pass can
+elide the dereference entirely.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import AddrSlot, Call, CallBuiltin, Instr, Load, Move, Reg, Store
+from repro.ir.module import Function
+
+
+def non_escaping_scalar_slots(func: Function) -> set[int]:
+    """Slot indices whose address is only used directly for load/store."""
+    candidates = {slot.index for slot in func.slots if not slot.is_buffer and slot.size <= 8}
+    addr_regs: dict[Reg, int] = {}
+    for instr in func.instructions():
+        if isinstance(instr, AddrSlot) and instr.slot in candidates:
+            addr_regs[instr.dst] = instr.slot
+    for instr in func.instructions():
+        for operand in _escaping_uses(instr):
+            if isinstance(operand, Reg) and operand in addr_regs:
+                candidates.discard(addr_regs[operand])
+    return candidates
+
+
+def _escaping_uses(instr: Instr):
+    """Operand positions that leak a pointer (everything but direct
+    load/store addressing)."""
+    if isinstance(instr, Load):
+        return []
+    if isinstance(instr, Store):
+        return [instr.src]  # storing the address itself escapes it
+    if isinstance(instr, (Call, CallBuiltin)):
+        return list(instr.args)
+    return instr.uses()
+
+
+def store_forward(func: Function) -> int:
+    """Forward stored values to same-block loads; returns rewrites."""
+    safe_slots = non_escaping_scalar_slots(func)
+    if not safe_slots:
+        return 0
+    changed = 0
+    for block in func.blocks.values():
+        addr_of: dict[Reg, int] = {}  # reg -> slot index
+        known: dict[int, object] = {}  # slot -> operand currently stored
+        for i, instr in enumerate(block.instrs):
+            if isinstance(instr, AddrSlot) and instr.slot in safe_slots:
+                addr_of[instr.dst] = instr.slot
+                continue
+            dst = instr.defines()
+            if isinstance(instr, Store):
+                if isinstance(instr.addr, Reg) and instr.addr in addr_of:
+                    known[addr_of[instr.addr]] = instr.src
+                continue
+            if isinstance(instr, Load) and isinstance(instr.addr, Reg):
+                slot = addr_of.get(instr.addr)
+                if slot is not None and slot in known:
+                    value = known[slot]
+                    block.instrs[i] = Move(instr.dst, value, instr.type, line=instr.line)
+                    changed += 1
+                    dst = instr.dst
+            if dst is not None:
+                # The register was redefined: cached values referring to it
+                # and cached addresses held in it are stale.
+                known = {
+                    s: v for s, v in known.items() if not (isinstance(v, Reg) and v == dst)
+                }
+                addr_of.pop(dst, None)
+    return changed
+
+
+def dead_store_slots(func: Function) -> set[int]:
+    """Non-escaping scalar slots that are never loaded anywhere.
+
+    Stores to them are dead; deleting those stores is what lets DCE remove
+    an unused trapping division whose quotient was spilled to such a slot.
+    """
+    safe_slots = non_escaping_scalar_slots(func)
+    if not safe_slots:
+        return set()
+    addr_regs: dict[Reg, int] = {}
+    for instr in func.instructions():
+        if isinstance(instr, AddrSlot) and instr.slot in safe_slots:
+            addr_regs[instr.dst] = instr.slot
+    loaded: set[int] = set()
+    for instr in func.instructions():
+        if isinstance(instr, Load) and isinstance(instr.addr, Reg):
+            slot = addr_regs.get(instr.addr)
+            if slot is not None:
+                loaded.add(slot)
+    return safe_slots - loaded
+
+
+def eliminate_dead_stores(func: Function) -> int:
+    """Delete stores into never-loaded, non-escaping scalar slots."""
+    dead = dead_store_slots(func)
+    if not dead:
+        return 0
+    addr_regs: dict[Reg, int] = {}
+    for instr in func.instructions():
+        if isinstance(instr, AddrSlot) and instr.slot in dead:
+            addr_regs[instr.dst] = instr.slot
+    removed = 0
+    for block in func.blocks.values():
+        kept: list[Instr] = []
+        for instr in block.instrs:
+            if (
+                isinstance(instr, Store)
+                and isinstance(instr.addr, Reg)
+                and instr.addr in addr_regs
+            ):
+                removed += 1
+                continue
+            kept.append(instr)
+        block.instrs = kept
+    return removed

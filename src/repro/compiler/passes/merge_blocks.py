@@ -1,0 +1,43 @@
+"""CFG simplification: merge straight-line block chains.
+
+After branch folding turns ``Branch(const)`` into ``Jump``, many blocks
+have exactly one predecessor that unconditionally jumps to them.  Merging
+the chain re-creates long straight-line regions, which is what lets the
+block-local store-to-load forwarding see through a folded ``if`` — the
+enabling step for null-dereference elision across control flow.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import predecessors, remove_unreachable
+from repro.ir.instructions import Jump
+from repro.ir.module import Function
+
+
+def merge_blocks(func: Function) -> int:
+    """Merge single-predecessor jump chains; returns merges performed."""
+    remove_unreachable(func)
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        preds = predecessors(func)
+        for label in list(func.blocks):
+            block = func.blocks.get(label)
+            if block is None:
+                continue
+            term = block.terminator
+            if not isinstance(term, Jump):
+                continue
+            target = term.target
+            if target == label or target == func.entry:
+                continue
+            if preds.get(target, set()) != {label}:
+                continue
+            target_block = func.blocks[target]
+            block.instrs = block.instrs[:-1] + target_block.instrs
+            del func.blocks[target]
+            merged += 1
+            changed = True
+            break  # predecessor map is stale; recompute
+    return merged

@@ -1,0 +1,53 @@
+"""Algebraic simplification (semantics-preserving peepholes)."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinOp, Const, Instr, Move, Reg
+from repro.ir.module import Function
+from repro.minic.types import IntType
+
+
+def simplify(func: Function) -> int:
+    """Apply algebraic identities in place; returns the rewrite count."""
+    changed = 0
+    for block in func.blocks.values():
+        for i, instr in enumerate(block.instrs):
+            if not isinstance(instr, BinOp):
+                continue
+            replacement = _simplify_binop(instr)
+            if replacement is not None:
+                block.instrs[i] = replacement
+                changed += 1
+    return changed
+
+
+def _simplify_binop(instr: BinOp) -> Instr | None:
+    op, lhs, rhs = instr.op, instr.lhs, instr.rhs
+    is_int = isinstance(instr.type, IntType)
+    if not is_int:
+        return None
+    # x + 0, x - 0, x | 0, x ^ 0, x << 0, x >> 0  ->  x
+    if rhs == 0 and op in ("add", "sub", "or", "xor", "shl", "lshr", "ashr"):
+        return Move(instr.dst, lhs, instr.type, line=instr.line)
+    # 0 + x -> x
+    if lhs == 0 and op == "add":
+        return Move(instr.dst, rhs, instr.type, line=instr.line)
+    # x * 1, x / 1 -> x ; 1 * x -> x
+    if rhs == 1 and op in ("mul", "sdiv", "udiv"):
+        return Move(instr.dst, lhs, instr.type, line=instr.line)
+    if lhs == 1 and op == "mul":
+        return Move(instr.dst, rhs, instr.type, line=instr.line)
+    # x * 0, 0 * x, x & 0, 0 & x -> 0
+    if (rhs == 0 and op in ("mul", "and")) or (lhs == 0 and op in ("mul", "and")):
+        return Const(instr.dst, 0, instr.type, line=instr.line)
+    # Same-register identities (int only: no NaN concerns).
+    if isinstance(lhs, Reg) and isinstance(rhs, Reg) and lhs == rhs:
+        if op in ("sub", "xor"):
+            return Const(instr.dst, 0, instr.type, line=instr.line)
+        if op in ("and", "or"):
+            return Move(instr.dst, lhs, instr.type, line=instr.line)
+        if op in ("eq", "sle", "sge", "ule", "uge"):
+            return Const(instr.dst, 1, IntType(32, True), line=instr.line)
+        if op in ("ne", "slt", "sgt", "ult", "ugt"):
+            return Const(instr.dst, 0, IntType(32, True), line=instr.line)
+    return None

@@ -1,0 +1,41 @@
+"""Strength reduction: multiplications/divisions by powers of two."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinOp
+from repro.ir.module import Function
+from repro.minic.types import IntType
+
+
+def strength_reduce(func: Function) -> int:
+    """Rewrite ``x * 2**k`` to shifts (wrap-equivalent at fixed width)."""
+    changed = 0
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if not isinstance(instr, BinOp) or not isinstance(instr.type, IntType):
+                continue
+            if not isinstance(instr.rhs, int) or instr.rhs <= 0:
+                continue
+            shift = _log2_exact(instr.rhs)
+            if shift is None:
+                continue
+            if instr.op == "mul":
+                instr.op = "shl"
+                instr.rhs = shift
+                instr.nsw = False
+                changed += 1
+            elif instr.op == "udiv":
+                instr.op = "lshr"
+                instr.rhs = shift
+                changed += 1
+            elif instr.op == "urem":
+                instr.op = "and"
+                instr.rhs = (1 << shift) - 1
+                changed += 1
+    return changed
+
+
+def _log2_exact(value: int) -> int | None:
+    if value & (value - 1):
+        return None
+    return value.bit_length() - 1

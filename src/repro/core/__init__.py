@@ -1,0 +1,35 @@
+"""CompDiff core: the paper's primary contribution.
+
+Compiler-driven differential testing (§3.1): compile a program with ``k``
+compiler implementations, run every binary on the same input, and report
+any output discrepancy as evidence of unstable code.
+"""
+
+from repro.core.compdiff import CompDiff, DiffResult, ObservationMatrix
+from repro.core.hashing import murmur3_32
+from repro.core.localize import Localization, align_traces, localize
+from repro.core.minimize import MinimizationResult, Minimizer, minimize_input
+from repro.core.normalize import OutputNormalizer
+from repro.core.report import BugReport, make_report
+from repro.core.subsets import SubsetEvaluation, evaluate_subsets
+from repro.core.triage import DivergenceSignature, triage
+
+__all__ = [
+    "BugReport",
+    "CompDiff",
+    "DiffResult",
+    "DivergenceSignature",
+    "Localization",
+    "MinimizationResult",
+    "Minimizer",
+    "ObservationMatrix",
+    "OutputNormalizer",
+    "SubsetEvaluation",
+    "align_traces",
+    "evaluate_subsets",
+    "localize",
+    "make_report",
+    "minimize_input",
+    "murmur3_32",
+    "triage",
+]

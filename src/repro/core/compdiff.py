@@ -1,0 +1,190 @@
+"""The CompDiff differential runner (paper §3.1 workflow).
+
+1) take a set of compiler implementations;
+2) compile the program with each to get binaries;
+3) run every binary on each test input;
+4) report inputs whose outputs differ between any two implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import DEFAULT_IMPLEMENTATIONS, CompilerConfig, compile_program
+from repro.core.hashing import output_checksum
+from repro.core.normalize import OutputNormalizer
+from repro.minic import ast as minic_ast
+from repro.minic import load
+from repro.vm import ForkServer
+from repro.vm.execution import ExecutionResult, Status
+from repro.vm.machine import DEFAULT_FUEL
+
+#: RQ6: when only some binaries time out, re-run them with the threshold
+#: raised by this factor, up to the retry cap, before believing the
+#: discrepancy.
+TIMEOUT_RETRY_FACTOR = 8
+TIMEOUT_MAX_RETRIES = 2
+
+
+@dataclass
+class DiffResult:
+    """Outcome of running one input across all implementations."""
+
+    input: bytes
+    observations: dict[str, tuple]
+    checksums: dict[str, int]
+    results: dict[str, ExecutionResult] = field(repr=False, default_factory=dict)
+
+    @property
+    def divergent(self) -> bool:
+        return len(set(self.checksums.values())) > 1
+
+    def groups(self) -> list[list[str]]:
+        """Implementation names grouped by identical observation."""
+        by_checksum: dict[int, list[str]] = {}
+        for name, checksum in self.checksums.items():
+            by_checksum.setdefault(checksum, []).append(name)
+        return sorted(by_checksum.values(), key=len, reverse=True)
+
+    def divergent_for(self, subset: tuple[str, ...]) -> bool:
+        """Would this input be flagged using only *subset* implementations?"""
+        seen = {self.checksums[name] for name in subset if name in self.checksums}
+        return len(seen) > 1
+
+
+@dataclass
+class ObservationMatrix:
+    """Per-input checksum vectors, the substrate for subset ablation."""
+
+    implementations: tuple[str, ...]
+    rows: list[dict[str, int]] = field(default_factory=list)
+
+    def add(self, diff: DiffResult) -> None:
+        self.rows.append(dict(diff.checksums))
+
+    def divergent_for(self, subset: tuple[str, ...]) -> bool:
+        for row in self.rows:
+            seen = {row[name] for name in subset if name in row}
+            if len(seen) > 1:
+                return True
+        return False
+
+    @property
+    def divergent(self) -> bool:
+        return self.divergent_for(self.implementations)
+
+
+@dataclass
+class CheckOutcome:
+    """Result of checking one program over an input set."""
+
+    matrix: ObservationMatrix
+    diffs: list[DiffResult]
+
+    @property
+    def divergent(self) -> bool:
+        return any(diff.divergent for diff in self.diffs)
+
+    @property
+    def divergent_inputs(self) -> list[bytes]:
+        return [diff.input for diff in self.diffs if diff.divergent]
+
+
+class CompDiff:
+    """Compiler-driven differential testing over a fixed implementation set.
+
+    >>> engine = CompDiff()
+    >>> outcome = engine.check_source("int main(void){return 0;}", [b""])
+    >>> outcome.divergent
+    False
+    """
+
+    def __init__(
+        self,
+        implementations: tuple[CompilerConfig, ...] = DEFAULT_IMPLEMENTATIONS,
+        normalizer: OutputNormalizer | None = None,
+        fuel: int = DEFAULT_FUEL,
+    ) -> None:
+        if len(implementations) < 2:
+            raise ValueError("CompDiff needs at least two compiler implementations")
+        names = [config.name for config in implementations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate implementation names: {names}")
+        self.implementations = tuple(implementations)
+        self.normalizer = normalizer if normalizer is not None else OutputNormalizer()
+        self.fuel = fuel
+
+    # ------------------------------------------------------------- compiling
+
+    def build(self, program: minic_ast.Program, name: str = "") -> dict[str, ForkServer]:
+        """Compile *program* with every implementation (§3.1 steps 1-2)."""
+        servers: dict[str, ForkServer] = {}
+        for config in self.implementations:
+            binary = compile_program(program, config, name=name)
+            servers[config.name] = ForkServer(binary, fuel=self.fuel)
+        return servers
+
+    def build_source(self, source: str, name: str = "") -> dict[str, ForkServer]:
+        return self.build(load(source), name=name)
+
+    # --------------------------------------------------------------- running
+
+    def run_input(self, servers: dict[str, ForkServer], input_bytes: bytes) -> DiffResult:
+        """Run one input on every binary and cross-check outputs (§3.1 step 4)."""
+        results: dict[str, ExecutionResult] = {}
+        for name, server in servers.items():
+            results[name] = server.run(input_bytes)
+        self._retry_partial_timeouts(servers, input_bytes, results)
+        observations: dict[str, tuple] = {}
+        checksums: dict[str, int] = {}
+        for name, result in results.items():
+            obs = self.normalizer.normalize_observation(result.observation())
+            observations[name] = obs
+            checksums[name] = self._checksum(obs)
+        return DiffResult(
+            input=input_bytes,
+            observations=observations,
+            checksums=checksums,
+            results=results,
+        )
+
+    def _retry_partial_timeouts(
+        self,
+        servers: dict[str, ForkServer],
+        input_bytes: bytes,
+        results: dict[str, ExecutionResult],
+    ) -> None:
+        """RQ6: a partially-timed-out input gets its threshold raised until
+        the stragglers terminate (or the retry budget runs out)."""
+        fuel = self.fuel
+        for _ in range(TIMEOUT_MAX_RETRIES):
+            timed_out = [name for name, result in results.items() if result.timed_out]
+            if not timed_out or len(timed_out) == len(results):
+                return
+            fuel *= TIMEOUT_RETRY_FACTOR
+            for name in timed_out:
+                results[name] = servers[name].run(input_bytes, fuel=fuel)
+
+    @staticmethod
+    def _checksum(observation: tuple) -> int:
+        stdout, stderr, exit_code, timed_out = observation
+        if timed_out:
+            # All timeouts look alike: the only signal is "did not finish".
+            return output_checksum(b"<timeout>", b"", -1)
+        return output_checksum(stdout, stderr, exit_code)
+
+    # ------------------------------------------------------------ one-shot API
+
+    def check(self, program: minic_ast.Program, inputs: list[bytes], name: str = "") -> CheckOutcome:
+        """Full §3.1 workflow for one program over an input set."""
+        servers = self.build(program, name=name)
+        matrix = ObservationMatrix(tuple(servers))
+        diffs: list[DiffResult] = []
+        for input_bytes in inputs:
+            diff = self.run_input(servers, input_bytes)
+            matrix.add(diff)
+            diffs.append(diff)
+        return CheckOutcome(matrix=matrix, diffs=diffs)
+
+    def check_source(self, source: str, inputs: list[bytes], name: str = "") -> CheckOutcome:
+        return self.check(load(source), inputs, name=name)

@@ -1,0 +1,56 @@
+"""MurmurHash3 (x86, 32-bit) — the checksum AFL++ uses for outputs.
+
+The paper reuses AFL++'s MurmurHash3 to compare redirected stdout/stderr
+files across binaries (§3.2 "Output examination").  This is a faithful
+pure-Python port of the public-domain reference implementation.
+"""
+
+from __future__ import annotations
+
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+_MASK = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    return ((value << count) | (value >> (32 - count))) & _MASK
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3_x86_32 of *data* with *seed*."""
+    h = seed & _MASK
+    length = len(data)
+    rounded = length - (length & 3)
+    for i in range(0, rounded, 4):
+        k = int.from_bytes(data[i : i + 4], "little")
+        k = (k * _C1) & _MASK
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK
+    k = 0
+    tail = data[rounded:]
+    if len(tail) >= 3:
+        k ^= tail[2] << 16
+    if len(tail) >= 2:
+        k ^= tail[1] << 8
+    if len(tail) >= 1:
+        k ^= tail[0]
+        k = (k * _C1) & _MASK
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK
+        h ^= k
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK
+    h ^= h >> 16
+    return h
+
+
+def output_checksum(stdout: bytes, stderr: bytes, exit_code: int) -> int:
+    """Checksum of one execution's observable output, AFL++-style."""
+    blob = stdout + b"\x00--stderr--\x00" + stderr + exit_code.to_bytes(4, "little", signed=True)
+    return murmur3_32(blob, seed=0xA5B35705)

@@ -1,0 +1,111 @@
+"""Trace-alignment fault localization (the paper's §5 future work).
+
+Bugs found by CompDiff don't necessarily crash, so sanitizer-style stack
+traces don't apply.  The paper suggests comparing execution traces from
+two binaries compiled from the same source to pinpoint where behavior
+first departs.  This module implements that idea at source-line
+granularity:
+
+1. run the program under two implementations with line tracing on;
+2. strip the common prefix of the two line traces;
+3. report the last common line (the *divergence point*) and what each
+   binary did next.
+
+The result is approximate by construction — optimization reorders and
+deletes lines, which is exactly the difficulty §5 describes — but for
+guard-folding, null-elision, and eval-order bugs the divergence point
+lands on or immediately after the unstable construct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import CompilerConfig, compile_program, implementation
+from repro.minic import ast as minic_ast
+from repro.minic import load
+from repro.vm import run_binary
+from repro.vm.machine import DEFAULT_FUEL
+
+
+@dataclass(frozen=True)
+class Localization:
+    """Outcome of aligning two execution traces."""
+
+    impl_a: str
+    impl_b: str
+    #: Last source line both executions agree on (0 = diverged at entry).
+    last_common_line: int
+    #: The next line each binary executed after the common prefix
+    #: (None = that binary's trace ended).
+    next_line_a: int | None
+    next_line_b: int | None
+    common_prefix_length: int
+    trace_a: tuple[int, ...]
+    trace_b: tuple[int, ...]
+
+    @property
+    def diverged(self) -> bool:
+        return self.next_line_a is not None or self.next_line_b is not None
+
+    def render(self, source: str = "") -> str:
+        lines = [
+            f"trace alignment: {self.impl_a} vs {self.impl_b}",
+            f"  common prefix: {self.common_prefix_length} line events",
+            f"  last common source line: {self.last_common_line}",
+            f"  {self.impl_a} continues at: {self.next_line_a}",
+            f"  {self.impl_b} continues at: {self.next_line_b}",
+        ]
+        if source:
+            source_lines = source.splitlines()
+            for label, line in (
+                ("last common", self.last_common_line),
+                (self.impl_a, self.next_line_a),
+                (self.impl_b, self.next_line_b),
+            ):
+                if line and 1 <= line <= len(source_lines):
+                    lines.append(f"    [{label}] {line}: {source_lines[line - 1].strip()}")
+        return "\n".join(lines)
+
+
+def align_traces(
+    trace_a: tuple[int, ...], trace_b: tuple[int, ...], impl_a: str, impl_b: str
+) -> Localization:
+    """Pure alignment of two line traces (longest common prefix)."""
+    prefix = 0
+    limit = min(len(trace_a), len(trace_b))
+    while prefix < limit and trace_a[prefix] == trace_b[prefix]:
+        prefix += 1
+    return Localization(
+        impl_a=impl_a,
+        impl_b=impl_b,
+        last_common_line=trace_a[prefix - 1] if prefix else 0,
+        next_line_a=trace_a[prefix] if prefix < len(trace_a) else None,
+        next_line_b=trace_b[prefix] if prefix < len(trace_b) else None,
+        common_prefix_length=prefix,
+        trace_a=trace_a,
+        trace_b=trace_b,
+    )
+
+
+def localize(
+    program: minic_ast.Program | str,
+    input_bytes: bytes,
+    impl_a: CompilerConfig | str = "gcc-O0",
+    impl_b: CompilerConfig | str = "gcc-O2",
+    fuel: int = DEFAULT_FUEL,
+) -> Localization:
+    """Compile with both implementations, trace, and align."""
+    if isinstance(program, str):
+        program = load(program)
+    if isinstance(impl_a, str):
+        impl_a = implementation(impl_a)
+    if isinstance(impl_b, str):
+        impl_b = implementation(impl_b)
+    result_a = run_binary(
+        compile_program(program, impl_a), input_bytes, fuel=fuel, trace_lines=True
+    )
+    result_b = run_binary(
+        compile_program(program, impl_b), input_bytes, fuel=fuel, trace_lines=True
+    )
+    return align_traces(result_a.line_trace, result_b.line_trace, impl_a.name, impl_b.name)

@@ -1,0 +1,113 @@
+"""Diff-triggering input minimization (afl-tmin for the CompDiff oracle).
+
+Bug reports are easier to act on with a minimal reproducer.  This is a
+delta-debugging-style minimizer over the divergence predicate: repeatedly
+remove chunks and simplify bytes while *some* pair of implementations
+still disagrees on the input.
+
+The predicate deliberately accepts any divergence (not the original
+signature): shrinking can shift which implementations disagree while still
+witnessing the same unstable construct, and a stricter same-signature
+predicate is available via ``preserve_signature=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compdiff import CompDiff
+from repro.core.triage import signature_of
+from repro.vm import ForkServer
+
+
+@dataclass
+class MinimizationResult:
+    original: bytes
+    minimized: bytes
+    executions: int
+
+    @property
+    def reduction(self) -> float:
+        if not self.original:
+            return 0.0
+        return 1.0 - len(self.minimized) / len(self.original)
+
+
+class Minimizer:
+    """Minimizes inputs against a fixed set of built binaries."""
+
+    def __init__(
+        self,
+        engine: CompDiff,
+        servers: dict[str, ForkServer],
+        preserve_signature: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.servers = servers
+        self.preserve_signature = preserve_signature
+        self.executions = 0
+
+    def _still_diverges(self, data: bytes, target_signature) -> bool:
+        self.executions += 1
+        diff = self.engine.run_input(self.servers, data)
+        if not diff.divergent:
+            return False
+        if self.preserve_signature and target_signature is not None:
+            return signature_of(diff) == target_signature
+        return True
+
+    def minimize(self, data: bytes, max_rounds: int = 8) -> MinimizationResult:
+        original = data
+        diff = self.engine.run_input(self.servers, data)
+        if not diff.divergent:
+            return MinimizationResult(original, data, self.executions)
+        target_signature = signature_of(diff) if self.preserve_signature else None
+        current = bytearray(data)
+        for _ in range(max_rounds):
+            changed = False
+            # Phase 1: chunk removal, halving chunk sizes.
+            chunk = max(1, len(current) // 2)
+            while chunk >= 1:
+                offset = 0
+                while offset < len(current):
+                    trial = current[:offset] + current[offset + chunk :]
+                    if trial and self._still_diverges(bytes(trial), target_signature):
+                        current = bytearray(trial)
+                        changed = True
+                    else:
+                        offset += chunk
+                chunk //= 2
+            # Phase 2: byte canonicalization to 0x00 then to 'A'.
+            for canonical in (0, 0x41):
+                for i, value in enumerate(current):
+                    if value == canonical:
+                        continue
+                    trial = bytearray(current)
+                    trial[i] = canonical
+                    if self._still_diverges(bytes(trial), target_signature):
+                        current = trial
+                        changed = True
+            if not changed:
+                break
+        return MinimizationResult(original, bytes(current), self.executions)
+
+
+def minimize_input(
+    source_or_program,
+    data: bytes,
+    engine: CompDiff | None = None,
+    preserve_signature: bool = False,
+) -> MinimizationResult:
+    """One-call minimization for a program given as source text or AST."""
+    from repro.minic import ast as minic_ast
+    from repro.minic import load
+
+    engine = engine or CompDiff()
+    program = (
+        load(source_or_program)
+        if isinstance(source_or_program, str)
+        else source_or_program
+    )
+    assert isinstance(program, minic_ast.Program)
+    servers = engine.build(program)
+    return Minimizer(engine, servers, preserve_signature).minimize(data)

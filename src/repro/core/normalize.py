@@ -1,0 +1,54 @@
+"""Output normalization for non-deterministic-but-fixable programs (RQ5).
+
+Some targets deliberately embed volatile values — timestamps, random
+numbers, pointer addresses — in otherwise deterministic output.  The paper
+strips them with regular expressions before comparison (the wireshark
+``[Epan WARNING]`` timestamp example).  :class:`OutputNormalizer` is that
+post-processing script, as a composable object.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Built-in scrub patterns, mirroring the paper's examples.
+TIMESTAMP = (rb"\b\d{2}:\d{2}:\d{2}\.\d{3,9}\b", b"<TIME>")
+POINTER = (rb"\b0x[0-9a-fA-F]{4,16}\b", b"<PTR>")
+EPOCH_SECONDS = (rb"\b1[5-9]\d{8}\b", b"<EPOCH>")
+
+
+@dataclass
+class OutputNormalizer:
+    """Applies substitution patterns to outputs before comparison.
+
+    By default no patterns are applied — CompDiff compares raw output.
+    Callers opt into scrubbing per target, exactly as the paper did for
+    the handful of targets with volatile output.
+    """
+
+    patterns: list[tuple[bytes, bytes]] = field(default_factory=list)
+    #: Truncate outputs to this many bytes before comparing (0 = off).
+    max_bytes: int = 0
+
+    @classmethod
+    def standard(cls) -> "OutputNormalizer":
+        """Normalizer with timestamp and epoch scrubbing (not pointers —
+        pointer output is a *real* unstable-code signal the paper counts
+        under Misc, so it is never scrubbed by default)."""
+        return cls(patterns=[TIMESTAMP, EPOCH_SECONDS])
+
+    def add_pattern(self, pattern: bytes, replacement: bytes = b"<X>") -> "OutputNormalizer":
+        self.patterns.append((pattern, replacement))
+        return self
+
+    def normalize(self, data: bytes) -> bytes:
+        for pattern, replacement in self.patterns:
+            data = re.sub(pattern, replacement, data)
+        if self.max_bytes and len(data) > self.max_bytes:
+            data = data[: self.max_bytes]
+        return data
+
+    def normalize_observation(self, observation: tuple) -> tuple:
+        stdout, stderr, exit_code, timed_out = observation
+        return (self.normalize(stdout), self.normalize(stderr), exit_code, timed_out)

@@ -1,0 +1,84 @@
+"""Bug reports in the paper's format (§5 "Fault localization and bug report").
+
+Each report carries the three things the paper's reports contain: 1) the
+test input that triggers the bug, 2) two or more compiler configurations
+that reproduce it, and 3) the divergent outputs on that input.
+"""
+
+from __future__ import annotations
+
+import binascii
+from dataclasses import dataclass, field
+
+from repro.core.compdiff import DiffResult
+
+
+@dataclass
+class BugReport:
+    """A developer-facing description of one output discrepancy."""
+
+    target: str
+    input: bytes
+    #: Two representative configurations with differing outputs.
+    config_a: str
+    config_b: str
+    observation_a: tuple
+    observation_b: tuple
+    #: Full grouping of implementations by identical output.
+    groups: list[list[str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Human-readable report text."""
+
+        def show(observation: tuple) -> str:
+            stdout, stderr, exit_code, timed_out = observation
+            if timed_out:
+                return "    <timed out>"
+            lines = [f"    exit code: {exit_code}"]
+            lines.append(f"    stdout: {stdout!r}")
+            if stderr:
+                lines.append(f"    stderr: {stderr!r}")
+            return "\n".join(lines)
+
+        hex_input = binascii.hexlify(self.input).decode() or "(empty)"
+        parts = [
+            f"# Output discrepancy in {self.target}",
+            "",
+            "## Reproduce",
+            f"  input (hex): {hex_input}",
+            f"  compile with {self.config_a} and {self.config_b}, run both on the input",
+            "",
+            f"## Output with {self.config_a}",
+            show(self.observation_a),
+            "",
+            f"## Output with {self.config_b}",
+            show(self.observation_b),
+            "",
+            "## All implementations grouped by output",
+        ]
+        for group in self.groups:
+            parts.append(f"  - {', '.join(group)}")
+        return "\n".join(parts) + "\n"
+
+
+def make_report(target: str, diff: DiffResult) -> BugReport:
+    """Build a :class:`BugReport` from a divergent :class:`DiffResult`.
+
+    The representative pair is chosen as one implementation from each of
+    the two largest output groups, which is what a developer would want to
+    bisect first.
+    """
+    if not diff.divergent:
+        raise ValueError("cannot report a non-divergent result")
+    groups = diff.groups()
+    config_a = groups[0][0]
+    config_b = groups[1][0]
+    return BugReport(
+        target=target,
+        input=diff.input,
+        config_a=config_a,
+        config_b=config_b,
+        observation_a=diff.observations[config_a],
+        observation_b=diff.observations[config_b],
+        groups=groups,
+    )

@@ -1,0 +1,141 @@
+"""Compiler-implementation subset ablation (Figures 1 and 2, §4.2/RQ4).
+
+Given per-bug checksum vectors over the full implementation set, computes
+how many bugs each subset of implementations would still detect — for
+every subset of every size from 2 to the full set — and summarizes the
+distribution per size (the paper's box plots) plus the best/worst subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+
+@dataclass
+class SizeSummary:
+    """Distribution of detection counts over all subsets of one size."""
+
+    size: int
+    counts: list[int]
+    best_subset: tuple[str, ...]
+    best_count: int
+    worst_subset: tuple[str, ...]
+    worst_count: int
+
+    @property
+    def minimum(self) -> int:
+        return min(self.counts)
+
+    @property
+    def maximum(self) -> int:
+        return max(self.counts)
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.counts)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return float(ordered[mid])
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    def quartiles(self) -> tuple[float, float, float]:
+        ordered = sorted(self.counts)
+        return (
+            _percentile(ordered, 0.25),
+            _percentile(ordered, 0.5),
+            _percentile(ordered, 0.75),
+        )
+
+
+def _percentile(ordered: list[int], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * fraction
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass
+class SubsetEvaluation:
+    """Full ablation over subset sizes 2..k."""
+
+    implementations: tuple[str, ...]
+    summaries: dict[int, SizeSummary] = field(default_factory=dict)
+    total_bugs: int = 0
+
+    @property
+    def full_set_count(self) -> int:
+        return self.summaries[len(self.implementations)].best_count
+
+    def render(self) -> str:
+        lines = [
+            f"{'size':>4}  {'min':>6}  {'q1':>7}  {'median':>7}  {'q3':>7}  {'max':>6}"
+            f"  best subset"
+        ]
+        for size in sorted(self.summaries):
+            summary = self.summaries[size]
+            q1, median, q3 = summary.quartiles()
+            lines.append(
+                f"{size:>4}  {summary.minimum:>6}  {q1:>7.1f}  {median:>7.1f}"
+                f"  {q3:>7.1f}  {summary.maximum:>6}"
+                f"  {{{', '.join(summary.best_subset)}}}"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_subsets(
+    bug_vectors: dict[object, list[dict[str, int]]],
+    implementations: tuple[str, ...],
+    sizes: range | None = None,
+) -> SubsetEvaluation:
+    """Compute per-subset detection counts.
+
+    *bug_vectors* maps a bug id to the checksum vectors (one per
+    bug-triggering input) observed over the full implementation set.  A
+    subset detects the bug if any vector restricted to the subset still
+    contains two different checksums.
+    """
+    if sizes is None:
+        sizes = range(2, len(implementations) + 1)
+    evaluation = SubsetEvaluation(
+        implementations=implementations, total_bugs=len(bug_vectors)
+    )
+    # Precompute, per bug and per implementation pair, whether that pair
+    # alone distinguishes some vector — subset detection is then "any pair
+    # inside the subset distinguishes".
+    pair_index: dict[tuple[str, str], set[object]] = {
+        pair: set() for pair in combinations(implementations, 2)
+    }
+    for bug_id, vectors in bug_vectors.items():
+        for vector in vectors:
+            for pair in pair_index:
+                a, b = pair
+                if a in vector and b in vector and vector[a] != vector[b]:
+                    pair_index[pair].add(bug_id)
+    for size in sizes:
+        counts: list[int] = []
+        best: tuple[tuple[str, ...], int] | None = None
+        worst: tuple[tuple[str, ...], int] | None = None
+        for subset in combinations(implementations, size):
+            detected: set[object] = set()
+            for pair in combinations(subset, 2):
+                detected |= pair_index[pair]
+            count = len(detected)
+            counts.append(count)
+            if best is None or count > best[1]:
+                best = (subset, count)
+            if worst is None or count < worst[1]:
+                worst = (subset, count)
+        assert best is not None and worst is not None
+        evaluation.summaries[size] = SizeSummary(
+            size=size,
+            counts=counts,
+            best_subset=best[0],
+            best_count=best[1],
+            worst_subset=worst[0],
+            worst_count=worst[1],
+        )
+    return evaluation

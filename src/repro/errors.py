@@ -1,0 +1,44 @@
+"""Common exception hierarchy for the repro package.
+
+Every error raised by the MiniC front end, the compiler pipeline, or the
+virtual machine derives from :class:`ReproError` so that callers can catch
+one type at tool boundaries (e.g. the fuzzer treats any front-end failure on
+a target as a hard configuration error, never as a finding).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MiniCError(ReproError):
+    """Base class for errors in MiniC source processing."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"line {line}:{col}: {message}"
+        super().__init__(message)
+
+
+class LexError(MiniCError):
+    """Invalid token in MiniC source."""
+
+
+class ParseError(MiniCError):
+    """Syntactically invalid MiniC source."""
+
+
+class CheckError(MiniCError):
+    """Semantically invalid MiniC source (undefined names, bad types...)."""
+
+
+class LoweringError(ReproError):
+    """AST could not be lowered to IR (internal invariant violation)."""
+
+
+class VMError(ReproError):
+    """Internal virtual machine failure (not a guest program trap)."""

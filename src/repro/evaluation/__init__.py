@@ -1,0 +1,33 @@
+"""Experiment drivers shared by the benchmark harnesses.
+
+One module per paper artifact family:
+
+* :mod:`repro.evaluation.juliet_eval` — Tables 2 and 3;
+* :mod:`repro.evaluation.subset_eval` — Figures 1 and 2;
+* :mod:`repro.evaluation.realworld_eval` — Tables 5 and 6 (and Table 4's
+  target inventory via :mod:`repro.targets`).
+"""
+
+from repro.evaluation.juliet_eval import JulietEvaluation, evaluate_juliet, render_table2, render_table3
+from repro.evaluation.subset_eval import figure_from_vectors, render_figure
+from repro.evaluation.realworld_eval import (
+    RealWorldEvaluation,
+    evaluate_realworld,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+__all__ = [
+    "JulietEvaluation",
+    "RealWorldEvaluation",
+    "evaluate_juliet",
+    "evaluate_realworld",
+    "figure_from_vectors",
+    "render_figure",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+]

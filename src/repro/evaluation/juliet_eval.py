@@ -1,0 +1,172 @@
+"""Table 2/3 machinery: run every tool over the Juliet-like suite.
+
+For each test case the *bad* variant measures detection and the *good*
+variant measures false positives, exactly as §4.1 describes.  CompDiff
+detection is an output discrepancy across the ten implementations;
+sanitizer detection is a runtime report; static detection is any finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import DEFAULT_IMPLEMENTATIONS
+from repro.core.compdiff import CompDiff
+from repro.juliet.cwe import GROUP_LABELS, GROUPS
+from repro.juliet.suite import JulietSuite
+from repro.minic import load
+from repro.sanitizers import all_sanitizers
+from repro.static_analysis import all_static_tools
+
+STATIC_TOOLS = ("coverity", "cppcheck", "infer")
+SANITIZERS = ("asan", "ubsan", "msan")
+
+
+@dataclass
+class ToolCounts:
+    """Detection/FP tallies for one tool on one CWE group."""
+
+    detected: int = 0
+    total: int = 0
+    false_positives: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        """Recall: detected / total bad variants."""
+        return self.detected / self.total if self.total else 0.0
+
+    @property
+    def fp_rate(self) -> float:
+        """Incorrect reports / all reports (the paper's FP metric)."""
+        reports = self.detected + self.false_positives
+        return self.false_positives / reports if reports else 0.0
+
+
+@dataclass
+class JulietEvaluation:
+    """All Table 3 measurements for one generated suite."""
+
+    suite: JulietSuite
+    #: group -> tool -> counts  (tools: static, sanitizers, "compdiff")
+    per_group: dict[str, dict[str, ToolCounts]] = field(default_factory=dict)
+    #: group -> #bugs found by CompDiff but by no sanitizer (#Unique col).
+    unique_vs_sanitizers: dict[str, int] = field(default_factory=dict)
+    #: case uid -> checksum vectors over the implementations (Figure 1).
+    bug_vectors: dict[str, list[dict[str, int]]] = field(default_factory=dict)
+    implementations: tuple[str, ...] = tuple(c.name for c in DEFAULT_IMPLEMENTATIONS)
+    #: Total CompDiff false positives observed on good variants (Finding 5).
+    compdiff_false_positives: int = 0
+
+    def counts(self, group: str, tool: str) -> ToolCounts:
+        """The (group, tool) cell, created on first access."""
+        return self.per_group.setdefault(group, {}).setdefault(tool, ToolCounts())
+
+
+def evaluate_juliet(
+    suite: JulietSuite,
+    fuel: int = 200_000,
+    include_static: bool = True,
+    include_sanitizers: bool = True,
+    include_good_variants: bool = True,
+) -> JulietEvaluation:
+    """Run the Table 3 experiment over *suite*."""
+    evaluation = JulietEvaluation(suite=suite)
+    engine = CompDiff(fuel=fuel)
+    sanitizers = all_sanitizers() if include_sanitizers else []
+    static_tools = all_static_tools() if include_static else []
+    for case in suite.cases:
+        bad = load(case.bad_source)
+        good = load(case.good_source) if include_good_variants else None
+        group = case.group
+        # --- CompDiff ---
+        counts = evaluation.counts(group, "compdiff")
+        counts.total += 1
+        outcome = engine.check(bad, case.inputs, name=case.uid)
+        compdiff_hit = outcome.divergent
+        if compdiff_hit:
+            counts.detected += 1
+            evaluation.bug_vectors[case.uid] = [
+                dict(diff.checksums) for diff in outcome.diffs if diff.divergent
+            ]
+        if good is not None:
+            good_outcome = engine.check(good, case.inputs)
+            if good_outcome.divergent:
+                counts.false_positives += 1
+                evaluation.compdiff_false_positives += 1
+        # --- sanitizers ---
+        sanitizer_hit = False
+        for sanitizer in sanitizers:
+            tool_counts = evaluation.counts(group, sanitizer.name)
+            tool_counts.total += 1
+            if sanitizer.check(bad, case.inputs) is not None:
+                tool_counts.detected += 1
+                sanitizer_hit = True
+            if good is not None and sanitizer.check(good, case.inputs) is not None:
+                tool_counts.false_positives += 1
+        if include_sanitizers:
+            combined = evaluation.counts(group, "sanitizers_total")
+            combined.total += 1
+            if sanitizer_hit:
+                combined.detected += 1
+            if compdiff_hit and not sanitizer_hit:
+                evaluation.unique_vs_sanitizers[group] = (
+                    evaluation.unique_vs_sanitizers.get(group, 0) + 1
+                )
+        # --- static tools ---
+        for tool in static_tools:
+            tool_counts = evaluation.counts(group, tool.name)
+            tool_counts.total += 1
+            if tool.flags(bad):
+                tool_counts.detected += 1
+            if good is not None and tool.flags(good):
+                tool_counts.false_positives += 1
+    return evaluation
+
+
+# ------------------------------------------------------------------ rendering
+
+
+def render_table2(suite: JulietSuite) -> str:
+    """Table 2: overview of selected CWEs (paper count vs generated)."""
+    return suite.render_overview()
+
+
+def render_table3(evaluation: JulietEvaluation) -> str:
+    """Table 3: detection and FP rates per tool per CWE group."""
+    header = (
+        f"{'Group':<22} {'n':>5} | "
+        f"{'Coverity':>12} {'Cppcheck':>12} {'Infer':>12} | "
+        f"{'ASan':>5} {'UBSan':>6} {'MSan':>5} {'Total':>6} | "
+        f"{'CompDiff':>8} {'#Unique':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for group in GROUPS:
+        row = evaluation.per_group.get(group, {})
+        compdiff = row.get("compdiff", ToolCounts())
+
+        def pct(tool: str) -> str:
+            counts = row.get(tool)
+            if counts is None or counts.total == 0:
+                return "-"
+            return f"{100 * counts.detection_rate:.0f}%"
+
+        def static_cell(tool: str) -> str:
+            counts = row.get(tool)
+            if counts is None or counts.total == 0:
+                return "-"
+            return f"{100 * counts.detection_rate:.0f}%/{100 * counts.fp_rate:.0f}%"
+
+        lines.append(
+            f"{GROUP_LABELS[group]:<22} {compdiff.total:>5} | "
+            f"{static_cell('coverity'):>12} {static_cell('cppcheck'):>12} "
+            f"{static_cell('infer'):>12} | "
+            f"{pct('asan'):>5} {pct('ubsan'):>6} {pct('msan'):>5} "
+            f"{pct('sanitizers_total'):>6} | "
+            f"{pct('compdiff'):>8} {evaluation.unique_vs_sanitizers.get(group, 0):>8}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"CompDiff false positives on good variants: "
+        f"{evaluation.compdiff_false_positives} (Finding 5 expects 0)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Tables 4/5/6 and Figure 2: CompDiff-AFL++ on the 23 simulated targets.
+
+Per target, one CompDiff-AFL++ campaign finds discrepancy-triggering
+inputs (Table 5's Reported row is the number of seeded bugs attributed to
+at least one divergent input), and one sanitizer campaign per tool
+reproduces RQ3's overlap analysis (Table 6).  The diffs' checksum vectors
+feed the Figure 2 subset ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.normalize import OutputNormalizer
+from repro.fuzzing import CampaignResult, CompDiffFuzzer, FuzzerOptions
+from repro.targets import SeededBug, Target, build_all_targets
+
+CATEGORIES = ("EvalOrder", "UninitMem", "IntError", "MemError", "PointerCmp", "LINE", "Misc")
+SANITIZERS = ("asan", "ubsan", "msan")
+
+
+@dataclass
+class TargetOutcome:
+    """One target's campaign results plus sanitizer-campaign hits."""
+
+    target: Target
+    campaign: CampaignResult
+    #: site -> set of sanitizer names whose campaign reported it.
+    sanitizer_hits: dict[int, set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class RealWorldEvaluation:
+    """All §4.3 measurements across the 23 targets."""
+
+    outcomes: list[TargetOutcome] = field(default_factory=list)
+    implementations: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------ queries
+
+    def all_bugs(self) -> list[SeededBug]:
+        """Every seeded bug across all evaluated targets."""
+        return [bug for outcome in self.outcomes for bug in outcome.target.bugs]
+
+    def found_bugs(self) -> list[SeededBug]:
+        """Seeded bugs attributed to at least one divergent input."""
+        found = []
+        for outcome in self.outcomes:
+            for bug in outcome.target.bugs:
+                if bug.site in outcome.campaign.sites_diverged:
+                    found.append(bug)
+        return found
+
+    def sanitizer_found_sites(self, tool: str) -> set[int]:
+        """Bug sites the given sanitizer's campaign reported."""
+        sites: set[int] = set()
+        for outcome in self.outcomes:
+            for site, tools in outcome.sanitizer_hits.items():
+                if tool in tools:
+                    sites.add(site)
+        return sites
+
+    def bug_vectors(self) -> dict[int, list[dict[str, int]]]:
+        """Per found bug, the checksum vectors of its diff inputs (Fig 2)."""
+        vectors: dict[int, list[dict[str, int]]] = {}
+        for outcome in self.outcomes:
+            campaign = outcome.campaign
+            for diff in campaign.diffs:
+                sites = campaign.sites_by_input.get(diff.input, frozenset())
+                for site in sites:
+                    vectors.setdefault(site, []).append(dict(diff.checksums))
+        # Restrict to seeded bugs (discard benign-site noise, which cannot
+        # occur since benign handlers carry no sites, but be strict).
+        seeded = {bug.site for bug in self.all_bugs()}
+        return {site: vecs for site, vecs in vectors.items() if site in seeded}
+
+
+def evaluate_realworld(
+    targets: list[Target] | None = None,
+    max_executions: int = 4000,
+    compdiff_stride: int = 3,
+    fuel: int = 300_000,
+    rng_seed: int = 1,
+    include_sanitizers: bool = True,
+) -> RealWorldEvaluation:
+    """Run the §4.3 experiment (scaled by *max_executions* per campaign)."""
+    if targets is None:
+        targets = build_all_targets()
+    evaluation = RealWorldEvaluation()
+    for target in targets:
+        normalizer = OutputNormalizer.standard() if target.needs_normalizer else None
+        options = FuzzerOptions(
+            rng_seed=rng_seed,
+            max_executions=max_executions,
+            compdiff_stride=compdiff_stride,
+            fuel=fuel,
+            normalizer=normalizer,
+        )
+        fuzzer = CompDiffFuzzer(target.source, target.seeds, options, name=target.name)
+        campaign = fuzzer.run()
+        if not evaluation.implementations:
+            evaluation.implementations = fuzzer.implementations
+        outcome = TargetOutcome(target=target, campaign=campaign)
+        if include_sanitizers:
+            for sanitizer in SANITIZERS:
+                san_options = FuzzerOptions(
+                    rng_seed=rng_seed,
+                    max_executions=max_executions,
+                    fuel=fuel,
+                    enable_compdiff=False,
+                    sanitizer=sanitizer,
+                )
+                san_fuzzer = CompDiffFuzzer(
+                    target.source, target.seeds, san_options, name=target.name
+                )
+                san_campaign = san_fuzzer.run()
+                for site in san_campaign.sites_sanitizer:
+                    outcome.sanitizer_hits.setdefault(site, set()).add(sanitizer)
+        evaluation.outcomes.append(outcome)
+    return evaluation
+
+
+# ------------------------------------------------------------------ rendering
+
+
+def render_table4(targets: list[Target] | None = None) -> str:
+    """Table 4: the target inventory (paper metadata + generated LoC)."""
+    if targets is None:
+        targets = build_all_targets()
+    lines = [
+        f"{'Target':<14} {'Input type':<16} {'Version':>10} {'Paper size':>10} "
+        f"{'Sim LoC':>8} {'Seeded bugs':>12}"
+    ]
+    for target in targets:
+        lines.append(
+            f"{target.name:<14} {target.input_type:<16} {target.version:>10} "
+            f"{target.paper_size:>10} {target.generated_loc:>8} {len(target.bugs):>12}"
+        )
+    lines.append(f"{'Total':<14} {'':<16} {'':>10} {'':>10} "
+                 f"{sum(t.generated_loc for t in targets):>8} "
+                 f"{sum(len(t.bugs) for t in targets):>12}")
+    return "\n".join(lines)
+
+
+def render_table5(evaluation: RealWorldEvaluation) -> str:
+    """Table 5: bugs by root cause — found (Reported) / Confirmed / Fixed."""
+    found_sites = {bug.site for bug in evaluation.found_bugs()}
+    lines = [f"{'':<10} " + " ".join(f"{c:>10}" for c in CATEGORIES) + f" {'Total':>7}"]
+    for row_name, predicate in (
+        ("Seeded", lambda bug: True),
+        ("Found", lambda bug: bug.site in found_sites),
+        ("Confirmed", lambda bug: bug.site in found_sites and bug.confirmed),
+        ("Fixed", lambda bug: bug.site in found_sites and bug.fixed),
+    ):
+        per_category = {c: 0 for c in CATEGORIES}
+        total = 0
+        for bug in evaluation.all_bugs():
+            if predicate(bug):
+                per_category[bug.category] += 1
+                total += 1
+        lines.append(
+            f"{row_name:<10} "
+            + " ".join(f"{per_category[c]:>10}" for c in CATEGORIES)
+            + f" {total:>7}"
+        )
+    return "\n".join(lines)
+
+
+def render_table6(evaluation: RealWorldEvaluation) -> str:
+    """Table 6: of the bugs CompDiff found, how many sanitizers also find."""
+    found = evaluation.found_bugs()
+    hits = {tool: evaluation.sanitizer_found_sites(tool) for tool in SANITIZERS}
+    rows = [
+        ("MemError", "asan"),
+        ("IntError", "ubsan"),
+        ("UninitMem", "msan"),
+    ]
+    lines = [f"{'Category':<16} {'ASan':>6} {'UBSan':>6} {'MSan':>6} {'Sanitizers':>11} {'CompDiff':>9}"]
+    total_overlap = 0
+    covered_sites: set[int] = set()
+    for category, tool in rows:
+        bugs = [bug for bug in found if bug.category == category]
+        overlap = sum(1 for bug in bugs if bug.site in hits[tool])
+        covered_sites |= {bug.site for bug in bugs if bug.site in hits[tool]}
+        total_overlap += overlap
+        cells = {t: overlap if t == tool else "-" for t in SANITIZERS}
+        lines.append(
+            f"{category:<16} {cells['asan']:>6} {cells['ubsan']:>6} {cells['msan']:>6} "
+            f"{overlap:>11} {len(bugs):>9}"
+        )
+    remaining = [bug for bug in found if bug.site not in covered_sites
+                 and bug.category not in ("MemError", "IntError", "UninitMem")]
+    lines.append(
+        f"{'Remaining bugs':<16} {'-':>6} {'-':>6} {'-':>6} {0:>11} {len(remaining):>9}"
+    )
+    lines.append(
+        f"{'Total':<16} {'':>6} {'':>6} {'':>6} {total_overlap:>11} {len(found):>9}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Figures 1 and 2: compiler-implementation subset ablation rendering."""
+
+from __future__ import annotations
+
+from repro.core.subsets import SubsetEvaluation, evaluate_subsets
+
+
+def figure_from_vectors(
+    bug_vectors: dict[object, list[dict[str, int]]],
+    implementations: tuple[str, ...],
+) -> SubsetEvaluation:
+    """Run the full size-2..k ablation over per-bug checksum vectors."""
+    return evaluate_subsets(bug_vectors, implementations)
+
+
+def render_figure(evaluation: SubsetEvaluation, title: str) -> str:
+    """Text rendering of the box-plot figure: per subset size, the
+    distribution of detected-bug counts, with an ASCII box strip and the
+    best/worst subsets annotated (the paper highlights those)."""
+    lines = [title, ""]
+    full = evaluation.summaries[max(evaluation.summaries)].best_count
+    lines.append(
+        f"total bugs: {evaluation.total_bugs}; detected by full set: {full}"
+    )
+    lines.append("")
+    lines.append(
+        f"{'size':>4} {'#subsets':>8} {'min':>6} {'q1':>7} {'med':>7} {'q3':>7} {'max':>6}  distribution"
+    )
+    overall_max = max(s.maximum for s in evaluation.summaries.values()) or 1
+    for size in sorted(evaluation.summaries):
+        summary = evaluation.summaries[size]
+        q1, median, q3 = summary.quartiles()
+        strip = _ascii_box(summary.minimum, q1, median, q3, summary.maximum, overall_max)
+        lines.append(
+            f"{size:>4} {len(summary.counts):>8} {summary.minimum:>6} {q1:>7.1f}"
+            f" {median:>7.1f} {q3:>7.1f} {summary.maximum:>6}  {strip}"
+        )
+    best2 = evaluation.summaries.get(2)
+    if best2 is not None:
+        lines.append("")
+        lines.append(f"best  size-2 subset: {{{', '.join(best2.best_subset)}}} -> {best2.best_count}")
+        lines.append(f"worst size-2 subset: {{{', '.join(best2.worst_subset)}}} -> {best2.worst_count}")
+    return "\n".join(lines)
+
+
+def _ascii_box(minimum: float, q1: float, median: float, q3: float, maximum: float, scale: float) -> str:
+    """A 40-column whisker strip: ``-`` whiskers, ``=`` box, ``|`` median."""
+    width = 40
+
+    def col(value: float) -> int:
+        return min(width - 1, int(value / scale * (width - 1)))
+
+    cells = [" "] * width
+    for i in range(col(minimum), col(maximum) + 1):
+        cells[i] = "-"
+    for i in range(col(q1), col(q3) + 1):
+        cells[i] = "="
+    cells[col(median)] = "|"
+    return "".join(cells)

@@ -1,0 +1,27 @@
+"""AFL++-style coverage-guided greybox fuzzer with the CompDiff oracle.
+
+Implements the unhighlighted part of the paper's Algorithm 1 — seed
+selection, mutation, execution with edge-coverage feedback, crash/queue
+management — and the highlighted part: after every generated input, run
+the k differential binaries and save the input to ``diffs/`` when their
+outputs disagree.
+"""
+
+from repro.fuzzing.coverage import CoverageMap
+from repro.fuzzing.corpus import CorpusMinimization, minimize_corpus, render_stats
+from repro.fuzzing.mutators import MutationEngine
+from repro.fuzzing.seedpool import Seed, SeedPool
+from repro.fuzzing.fuzzer import CampaignResult, CompDiffFuzzer, FuzzerOptions
+
+__all__ = [
+    "CampaignResult",
+    "CompDiffFuzzer",
+    "CorpusMinimization",
+    "CoverageMap",
+    "FuzzerOptions",
+    "MutationEngine",
+    "Seed",
+    "SeedPool",
+    "minimize_corpus",
+    "render_stats",
+]

@@ -1,0 +1,77 @@
+"""Corpus utilities: afl-cmin-style seed minimization and campaign stats.
+
+``minimize_corpus`` selects a small subset of a seed corpus that preserves
+the full edge coverage — the standard preprocessing step before a long
+campaign (AFL++'s afl-cmin).  ``CampaignStats`` renders the fuzzer_stats-
+style summary the CLI and examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import FUZZ_CONFIG, compile_program
+from repro.fuzzing.coverage import CoverageMap
+from repro.fuzzing.fuzzer import CampaignResult
+from repro.minic import ast as minic_ast
+from repro.minic import load
+from repro.vm import ForkServer
+
+
+@dataclass
+class CorpusMinimization:
+    kept: list[bytes]
+    dropped: int
+    edges: int
+
+    @property
+    def original_size(self) -> int:
+        return len(self.kept) + self.dropped
+
+
+def minimize_corpus(
+    program: minic_ast.Program | str,
+    seeds: list[bytes],
+    fuel: int = 200_000,
+) -> CorpusMinimization:
+    """Greedy set cover over edge coverage (afl-cmin analog).
+
+    Seeds are considered smallest-first (AFL's heuristic: small inputs
+    mutate better); a seed is kept only if it reaches at least one edge
+    no kept seed reaches.
+    """
+    if isinstance(program, str):
+        program = load(program)
+    binary = compile_program(program, FUZZ_CONFIG, instrument_coverage=True)
+    server = ForkServer(binary, fuel=fuel)
+    edge_sets: list[tuple[bytes, frozenset[int]]] = []
+    for seed in sorted(set(seeds), key=len):
+        coverage = CoverageMap()
+        coverage.reset_trace()
+        server.run(seed, coverage=coverage)
+        edge_sets.append((seed, frozenset(coverage.trace)))
+    covered: set[int] = set()
+    kept: list[bytes] = []
+    for seed, edges in edge_sets:
+        if edges - covered:
+            kept.append(seed)
+            covered |= edges
+    return CorpusMinimization(kept=kept, dropped=len(edge_sets) - len(kept), edges=len(covered))
+
+
+def render_stats(result: CampaignResult, name: str = "campaign") -> str:
+    """fuzzer_stats-style textual summary of a campaign."""
+    signatures = result.signatures()
+    lines = [
+        f"# {name}",
+        f"execs_done        : {result.executions}",
+        f"oracle_execs      : {result.oracle_executions}",
+        f"edges_found       : {result.edges_covered}",
+        f"corpus_count      : {result.queue_size}",
+        f"saved_diffs       : {len(result.diffs)} (of {result.diffs_found} seen)",
+        f"saved_crashes     : {len(result.crashes)} (of {result.crashes_found} seen)",
+        f"diff_clusters     : {len(signatures)}",
+        f"bug_sites_reached : {sorted(result.sites_reached)}",
+        f"bug_sites_diverged: {sorted(result.sites_diverged)}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""AFL-style edge coverage bitmap."""
+
+from __future__ import annotations
+
+MAP_SIZE = 1 << 16
+
+
+class CoverageMap:
+    """Hit counts per (bucketed) edge, AFL's shared-memory bitmap analog.
+
+    The VM calls :meth:`record_edge` on every basic-block transition of an
+    instrumented binary; the fuzzer asks whether a finished execution
+    touched tuples no earlier execution touched (``has_new_bits``).
+    """
+
+    #: AFL's hit-count bucketing: 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+.
+    _BUCKETS = (0, 1, 2, 4, 8, 16, 32, 128)
+
+    def __init__(self, size: int = MAP_SIZE) -> None:
+        self.size = size
+        self.trace: dict[int, int] = {}
+        self.virgin: dict[int, int] = {}
+
+    # -- per-execution recording (hot path) --------------------------------
+
+    def reset_trace(self) -> None:
+        """Clear the per-execution trace before a run."""
+        self.trace = {}
+
+    def record_edge(self, prev_location: int, location: int) -> None:
+        """Record one block transition (called by the VM per branch)."""
+        edge = ((prev_location >> 1) ^ location) % self.size
+        self.trace[edge] = self.trace.get(edge, 0) + 1
+
+    # -- classification ------------------------------------------------------
+
+    @classmethod
+    def bucket(cls, count: int) -> int:
+        """AFL hit-count bucket for *count*."""
+        result = 0
+        for threshold in cls._BUCKETS:
+            if count >= threshold:
+                result = threshold
+        return result
+
+    def has_new_bits(self) -> bool:
+        """Did the current trace hit a new edge or a new hit bucket?
+        Updates the virgin map when it did."""
+        new_bits = False
+        for edge, count in self.trace.items():
+            bucketed = self.bucket(count)
+            seen = self.virgin.get(edge, -1)
+            if bucketed > seen:
+                self.virgin[edge] = bucketed
+                new_bits = True
+        return new_bits
+
+    @property
+    def edges_covered(self) -> int:
+        """Distinct edges ever seen by this map."""
+        return len(self.virgin)
+
+    def coverage_signature(self) -> int:
+        """Order-insensitive hash of the virgin map (for plateau checks)."""
+        sig = 0
+        for edge, bucketed in self.virgin.items():
+            sig ^= hash((edge, bucketed))
+        return sig & 0xFFFFFFFFFFFFFFFF

@@ -1,0 +1,210 @@
+"""CompDiff-AFL++: the paper's Algorithm 1.
+
+The main loop is stock greybox fuzzing over the instrumented binary
+``B_fuzz`` (unhighlighted lines of Algorithm 1); the CompDiff extension
+(highlighted lines 9-12) runs every generated input on the k differential
+binaries and saves it to ``diffs/`` when outputs disagree.  Sanitizers
+compose: pass ``sanitizer=`` to instrument ``B_fuzz`` exactly as AFL++
+users do, without touching the differential binaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.compiler import (
+    DEFAULT_IMPLEMENTATIONS,
+    FUZZ_CONFIG,
+    CompilerConfig,
+    compile_program,
+)
+from repro.core.compdiff import CompDiff, DiffResult
+from repro.core.normalize import OutputNormalizer
+from repro.core.triage import DivergenceSignature, signature_of
+from repro.fuzzing.coverage import CoverageMap
+from repro.fuzzing.mutators import MutationEngine, build_dictionary
+from repro.fuzzing.seedpool import SeedPool
+from repro.minic import ast as minic_ast
+from repro.minic import load
+from repro.vm import ForkServer
+from repro.vm.execution import ExecutionResult
+
+
+@dataclass
+class FuzzerOptions:
+    """Campaign configuration (the AFL++ command line, roughly)."""
+
+    rng_seed: int = 0
+    #: Execution budget on B_fuzz — the analog of the 24h wall clock.
+    max_executions: int = 20_000
+    #: Per-execution instruction budget (the timeout threshold).
+    fuel: int = 200_000
+    #: Run the CompDiff oracle on every Nth generated input (1 = paper's
+    #: Algorithm 1; larger strides trade oracle coverage for speed).
+    compdiff_stride: int = 1
+    enable_compdiff: bool = True
+    #: Sanitizer to instrument B_fuzz with (composes with CompDiff, §3.2).
+    sanitizer: str | None = None
+    implementations: tuple[CompilerConfig, ...] = DEFAULT_IMPLEMENTATIONS
+    normalizer: OutputNormalizer | None = None
+    splice_probability: float = 0.2
+    #: Cap on stored diff-triggering inputs (the diffs/ directory).
+    max_saved_diffs: int = 400
+    max_saved_crashes: int = 200
+    #: §5 future-work extension (NEZHA-style): feed behavioral asymmetry
+    #: back into the fuzzer — an input that produced a *new* divergence
+    #: signature joins the seed pool even without new edge coverage.
+    divergence_feedback: bool = False
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    executions: int = 0
+    oracle_executions: int = 0
+    edges_covered: int = 0
+    queue_size: int = 0
+    #: diffs/ — inputs that triggered output discrepancies.
+    diffs: list[DiffResult] = field(default_factory=list)
+    diffs_found: int = 0
+    #: crashes/ — inputs that crashed or tripped the sanitizer on B_fuzz.
+    crashes: list[tuple[bytes, ExecutionResult]] = field(default_factory=list)
+    crashes_found: int = 0
+    #: Ground truth: bug sites reached by each divergent input on B_fuzz.
+    sites_by_input: dict[bytes, frozenset[int]] = field(default_factory=dict)
+    #: All bug sites ever reached (coverage of seeded bugs).
+    sites_reached: set[int] = field(default_factory=set)
+    #: Sites attributed to at least one divergent input.
+    sites_diverged: set[int] = field(default_factory=set)
+    #: Sites attributed to at least one sanitizer report.
+    sites_sanitizer: set[int] = field(default_factory=set)
+
+    def signatures(self) -> dict[DivergenceSignature, int]:
+        counts: dict[DivergenceSignature, int] = {}
+        for diff in self.diffs:
+            signature = signature_of(diff, self.sites_by_input.get(diff.input, frozenset()))
+            counts[signature] = counts.get(signature, 0) + 1
+        return counts
+
+
+class CompDiffFuzzer:
+    """One fuzzing campaign over one target program."""
+
+    def __init__(
+        self,
+        program: minic_ast.Program | str,
+        initial_seeds: list[bytes],
+        options: FuzzerOptions | None = None,
+        name: str = "target",
+    ) -> None:
+        if isinstance(program, str):
+            program = load(program)
+        self.options = options or FuzzerOptions()
+        self.name = name
+        self.rng = random.Random(self.options.rng_seed)
+        # B_fuzz: coverage-instrumented (optionally sanitized) build.
+        fuzz_binary = compile_program(
+            program,
+            FUZZ_CONFIG,
+            name=name,
+            instrument_coverage=True,
+            sanitizer=self.options.sanitizer,
+        )
+        self.fuzz_server = ForkServer(fuzz_binary, fuel=self.options.fuel)
+        # The k differential binaries.
+        self.compdiff: CompDiff | None = None
+        self.diff_servers: dict[str, ForkServer] = {}
+        if self.options.enable_compdiff:
+            self.compdiff = CompDiff(
+                implementations=self.options.implementations,
+                normalizer=self.options.normalizer or OutputNormalizer(),
+                fuel=self.options.fuel,
+            )
+            self.diff_servers = self.compdiff.build(program, name=name)
+        self.coverage = CoverageMap()
+        dictionary = build_dictionary(
+            fuzz_binary.module.magic_constants, fuzz_binary.module.magic_strings
+        )
+        self.mutator = MutationEngine(self.rng, dictionary)
+        self.pool = SeedPool(self.rng)
+        self._initial_seeds = [bytes(seed) for seed in initial_seeds] or [b""]
+        self._seen_signatures: set[DivergenceSignature] = set()
+
+    # ----------------------------------------------------------------- loop
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign (Algorithm 1) and return its findings."""
+        result = CampaignResult()
+        seen_diff_inputs: set[bytes] = set()
+        for seed in self._initial_seeds:
+            self._execute_and_classify(seed, result, seen_diff_inputs, force_oracle=True)
+            self.pool.add(seed)
+        generated = 0
+        while result.executions < self.options.max_executions:
+            parent = self.pool.select()
+            if (
+                self.options.splice_probability > 0
+                and self.rng.random() < self.options.splice_probability
+            ):
+                other = self.pool.pick_other(parent)
+                candidate = (
+                    self.mutator.splice(parent.data, other.data)
+                    if other is not None
+                    else self.mutator.mutate(parent.data)
+                )
+            else:
+                candidate = self.mutator.mutate(parent.data)
+            generated += 1
+            run_oracle = generated % self.options.compdiff_stride == 0
+            self._execute_and_classify(candidate, result, seen_diff_inputs, run_oracle)
+        result.edges_covered = self.coverage.edges_covered
+        result.queue_size = len(self.pool)
+        return result
+
+    def _execute_and_classify(
+        self,
+        candidate: bytes,
+        result: CampaignResult,
+        seen_diff_inputs: set[bytes],
+        force_oracle: bool,
+    ) -> None:
+        # Lines 4-8: execute on B_fuzz with coverage feedback.
+        self.coverage.reset_trace()
+        execution = self.fuzz_server.run(candidate, coverage=self.coverage)
+        result.executions += 1
+        result.sites_reached |= execution.bug_sites
+        if execution.crashed or execution.sanitizer_report is not None:
+            result.crashes_found += 1
+            result.sites_sanitizer |= execution.bug_sites
+            if len(result.crashes) < self.options.max_saved_crashes:
+                result.crashes.append((candidate, execution))
+        elif self.coverage.has_new_bits():
+            self.pool.add(candidate, exec_instructions=execution.executed_instructions)
+        # Lines 9-12: the CompDiff oracle.
+        if self.compdiff is None or not force_oracle:
+            return
+        if candidate in seen_diff_inputs:
+            return
+        seen_diff_inputs.add(candidate)
+        diff = self.compdiff.run_input(self.diff_servers, candidate)
+        result.oracle_executions += 1
+        if diff.divergent:
+            result.diffs_found += 1
+            sites = frozenset(execution.bug_sites)
+            result.sites_by_input[candidate] = sites
+            result.sites_diverged |= sites
+            if len(result.diffs) < self.options.max_saved_diffs:
+                result.diffs.append(diff)
+            if self.options.divergence_feedback:
+                signature = signature_of(diff)
+                if signature not in self._seen_signatures:
+                    self._seen_signatures.add(signature)
+                    self.pool.add(candidate, favored=True)
+
+    # -------------------------------------------------------------- helpers
+
+    @property
+    def implementations(self) -> tuple[str, ...]:
+        return tuple(self.diff_servers)

@@ -1,0 +1,165 @@
+"""Mutation operators: AFL++'s deterministic and havoc stages.
+
+The engine exposes one call, :meth:`MutationEngine.mutate`, which applies
+a randomly chosen stack of operators — bit/byte flips, arithmetic
+increments, interesting values, block insert/delete/duplicate, dictionary
+token splices (the auto-dictionary extracted from comparison operands,
+standing in for AFL++'s CmpLog), and two-seed splicing.
+"""
+
+from __future__ import annotations
+
+import random
+
+INTERESTING_8 = (-128, -1, 0, 1, 16, 32, 64, 100, 127)
+INTERESTING_16 = (-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767)
+INTERESTING_32 = (-2147483648, -100663046, -32769, 32768, 65535, 65536, 100663045, 2147483647)
+
+MAX_INPUT_SIZE = 4096
+
+
+class MutationEngine:
+    """Stateful mutation engine over byte strings."""
+
+    def __init__(self, rng: random.Random, dictionary: list[bytes] | None = None) -> None:
+        self.rng = rng
+        self.dictionary = [token for token in (dictionary or []) if 0 < len(token) <= 64]
+        self._mutators = [
+            self.bitflip,
+            self.byteflip,
+            self.arith,
+            self.interesting,
+            self.overwrite_random,
+            self.insert_block,
+            self.delete_block,
+            self.duplicate_block,
+        ]
+        if self.dictionary:
+            self._mutators.append(self.dictionary_overwrite)
+            self._mutators.append(self.dictionary_insert)
+
+    # ------------------------------------------------------------ operators
+
+    def bitflip(self, data: bytearray) -> None:
+        """Flip one random bit."""
+        if not data:
+            return
+        position = self.rng.randrange(len(data) * 8)
+        data[position // 8] ^= 1 << (position % 8)
+
+    def byteflip(self, data: bytearray) -> None:
+        """XOR one random byte with 0xFF."""
+        if not data:
+            return
+        data[self.rng.randrange(len(data))] ^= 0xFF
+
+    def arith(self, data: bytearray) -> None:
+        """Add a small signed delta to one byte (AFL arith stage)."""
+        if not data:
+            return
+        position = self.rng.randrange(len(data))
+        delta = self.rng.randint(-35, 35)
+        data[position] = (data[position] + delta) & 0xFF
+
+    def interesting(self, data: bytearray) -> None:
+        """Overwrite 1/2/4 bytes with an AFL interesting value."""
+        if not data:
+            return
+        width = self.rng.choice((1, 2, 4))
+        if len(data) < width:
+            width = 1
+        position = self.rng.randrange(len(data) - width + 1)
+        table = {1: INTERESTING_8, 2: INTERESTING_16, 4: INTERESTING_32}[width]
+        value = self.rng.choice(table)
+        data[position : position + width] = (value & ((1 << (8 * width)) - 1)).to_bytes(
+            width, self.rng.choice(("little", "big"))
+        )
+
+    def overwrite_random(self, data: bytearray) -> None:
+        """Replace one byte with a random value."""
+        if not data:
+            return
+        position = self.rng.randrange(len(data))
+        data[position] = self.rng.randrange(256)
+
+    def insert_block(self, data: bytearray) -> None:
+        """Insert a short random block."""
+        if len(data) >= MAX_INPUT_SIZE:
+            return
+        position = self.rng.randrange(len(data) + 1)
+        length = self.rng.randint(1, 16)
+        filler = bytes(self.rng.randrange(256) for _ in range(length))
+        data[position:position] = filler
+
+    def delete_block(self, data: bytearray) -> None:
+        """Delete a random chunk."""
+        if len(data) < 2:
+            return
+        length = self.rng.randint(1, max(1, len(data) // 4))
+        position = self.rng.randrange(len(data) - length + 1)
+        del data[position : position + length]
+
+    def duplicate_block(self, data: bytearray) -> None:
+        """Copy a chunk to a random position."""
+        if not data or len(data) >= MAX_INPUT_SIZE:
+            return
+        length = self.rng.randint(1, min(16, len(data)))
+        src = self.rng.randrange(len(data) - length + 1)
+        dst = self.rng.randrange(len(data) + 1)
+        data[dst:dst] = data[src : src + length]
+
+    def dictionary_overwrite(self, data: bytearray) -> None:
+        """Stamp a dictionary token over existing bytes."""
+        token = self.rng.choice(self.dictionary)
+        if not data:
+            data.extend(token)
+            return
+        position = self.rng.randrange(len(data))
+        data[position : position + len(token)] = token
+        del data[MAX_INPUT_SIZE:]
+
+    def dictionary_insert(self, data: bytearray) -> None:
+        """Insert a dictionary token."""
+        token = self.rng.choice(self.dictionary)
+        position = self.rng.randrange(len(data) + 1) if data else 0
+        data[position:position] = token
+        del data[MAX_INPUT_SIZE:]
+
+    # ------------------------------------------------------------ driver
+
+    def mutate(self, seed: bytes) -> bytes:
+        """Havoc-style: apply a stack of 1..6 random operators."""
+        data = bytearray(seed)
+        for _ in range(self.rng.randint(1, 6)):
+            self.rng.choice(self._mutators)(data)
+        if not data:
+            data.append(self.rng.randrange(256))
+        return bytes(data[:MAX_INPUT_SIZE])
+
+    def splice(self, seed_a: bytes, seed_b: bytes) -> bytes:
+        """AFL splice stage: head of one seed, tail of another, then havoc."""
+        if not seed_a or not seed_b:
+            return self.mutate(seed_a or seed_b)
+        cut_a = self.rng.randrange(len(seed_a))
+        cut_b = self.rng.randrange(len(seed_b))
+        return self.mutate(seed_a[:cut_a] + seed_b[cut_b:])
+
+
+def build_dictionary(magic_constants: list[int], magic_strings: list[bytes]) -> list[bytes]:
+    """Auto-dictionary from comparison operands in the compiled module."""
+    tokens: list[bytes] = []
+    seen: set[bytes] = set()
+    for value in magic_constants:
+        for width in (1, 2, 4):
+            if -(1 << (8 * width - 1)) <= value < (1 << (8 * width)):
+                for order in ("little", "big"):
+                    token = (value & ((1 << (8 * width)) - 1)).to_bytes(width, order)
+                    if token not in seen:
+                        seen.add(token)
+                        tokens.append(token)
+                break
+    for text in magic_strings:
+        if text and text not in seen:
+            seen.add(text)
+            tokens.append(text)
+    return tokens

@@ -1,0 +1,75 @@
+"""Seed queue and power schedule."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Seed:
+    data: bytes
+    #: Monotone id, in discovery order.
+    index: int
+    #: Executions spent mutating this seed.
+    fuzzed: int = 0
+    #: Whether the seed produced new coverage when found (favored).
+    favored: bool = True
+    exec_instructions: int = 0
+
+
+@dataclass
+class SeedPool:
+    """AFL-like queue: favor recent, small, fast seeds.
+
+    The energy heuristic is a simplification of AFL++'s ``explore`` power
+    schedule: newly discovered and lightweight seeds get more mutations.
+    """
+
+    rng: random.Random
+    seeds: list[Seed] = field(default_factory=list)
+    _next_index: int = 0
+    _dedupe: set[bytes] = field(default_factory=set)
+
+    def add(self, data: bytes, exec_instructions: int = 0, favored: bool = True) -> Seed | None:
+        if data in self._dedupe:
+            return None
+        self._dedupe.add(data)
+        seed = Seed(
+            data=data,
+            index=self._next_index,
+            favored=favored,
+            exec_instructions=exec_instructions,
+        )
+        self._next_index += 1
+        self.seeds.append(seed)
+        return seed
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def select(self) -> Seed:
+        """Weighted choice by energy."""
+        if not self.seeds:
+            raise IndexError("empty seed pool")
+        weights = [self._energy(seed) for seed in self.seeds]
+        seed = self.rng.choices(self.seeds, weights=weights, k=1)[0]
+        seed.fuzzed += 1
+        return seed
+
+    def pick_other(self, not_this: Seed) -> Seed | None:
+        """A random second parent for splicing."""
+        candidates = [s for s in self.seeds if s is not not_this]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _energy(self, seed: Seed) -> float:
+        energy = 1.0
+        if seed.favored:
+            energy *= 4.0
+        # Prefer less-fuzzed seeds; decay with attention already spent.
+        energy /= 1.0 + seed.fuzzed / 32.0
+        # Prefer small inputs (faster, denser mutations).
+        energy /= 1.0 + len(seed.data) / 512.0
+        return energy

@@ -1,0 +1,56 @@
+"""Register-based bytecode IR shared by the compilers and the VM.
+
+The IR is deliberately close to a de-SSA'd LLVM subset: functions hold
+basic blocks of three-address instructions over virtual registers, with an
+explicit frame-slot table for stack objects and a module-level global data
+table.  Optimization passes (:mod:`repro.compiler.passes`) rewrite this IR;
+the virtual machine (:mod:`repro.vm`) interprets it directly.
+"""
+
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrSlot,
+    BinOp,
+    Branch,
+    BugSite,
+    Call,
+    CallBuiltin,
+    Cast,
+    Const,
+    Instr,
+    Jump,
+    Load,
+    Move,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import BasicBlock, FrameSlot, Function, GlobalData, Module
+from repro.ir.builder import FunctionBuilder
+
+__all__ = [
+    "AddrGlobal",
+    "AddrSlot",
+    "BasicBlock",
+    "BinOp",
+    "Branch",
+    "BugSite",
+    "Call",
+    "CallBuiltin",
+    "Cast",
+    "Const",
+    "FrameSlot",
+    "Function",
+    "FunctionBuilder",
+    "GlobalData",
+    "Instr",
+    "Jump",
+    "Load",
+    "Module",
+    "Move",
+    "Reg",
+    "Ret",
+    "Store",
+    "UnOp",
+]

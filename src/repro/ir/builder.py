@@ -1,0 +1,87 @@
+"""Imperative construction helper for IR functions."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.ir.instructions import Branch, Instr, Jump, Reg, Ret
+from repro.ir.module import BasicBlock, FrameSlot, Function
+from repro.minic.types import Type
+
+
+class FunctionBuilder:
+    """Builds a :class:`~repro.ir.module.Function` block by block.
+
+    Guarantees the invariant the VM relies on: every block ends in exactly
+    one terminator, and no instruction follows a terminator.
+    """
+
+    def __init__(self, name: str, params: list[tuple[str, Type]], ret_type: Type) -> None:
+        self.func = Function(name=name, params=params, ret_type=ret_type)
+        self._labels = itertools.count(1)
+        entry = BasicBlock("entry")
+        self.func.blocks["entry"] = entry
+        self._current: BasicBlock | None = entry
+
+    # -- registers / slots ---------------------------------------------------
+
+    def new_reg(self) -> Reg:
+        return self.func.new_reg()
+
+    def add_slot(self, name: str, size: int, align: int, line: int = 0, is_buffer: bool = False) -> int:
+        index = len(self.func.slots)
+        self.func.slots.append(
+            FrameSlot(name=name, size=size, align=align, index=index, line=line, is_buffer=is_buffer)
+        )
+        return index
+
+    # -- blocks ----------------------------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> str:
+        label = f"{hint}.{next(self._labels)}"
+        self.func.blocks[label] = BasicBlock(label)
+        return label
+
+    def switch_to(self, label: str) -> None:
+        self._current = self.func.blocks[label]
+
+    @property
+    def current_label(self) -> str | None:
+        return self._current.label if self._current is not None else None
+
+    @property
+    def terminated(self) -> bool:
+        """True when the current block already ends in a terminator (or no
+        block is active), so further straight-line emission is dead."""
+        return self._current is None or self._current.terminator is not None
+
+    # -- emission ---------------------------------------------------------------
+
+    def emit(self, instr: Instr) -> Instr:
+        if self._current is None or self._current.terminator is not None:
+            # Unreachable code after return/break: emit into a fresh dead
+            # block so the structure stays well formed; DCE removes it.
+            dead = self.new_block("dead")
+            self.switch_to(dead)
+        self._current.instrs.append(instr)
+        if isinstance(instr, (Jump, Branch, Ret)):
+            self._current = None
+        return instr
+
+    def jump(self, target: str, line: int = 0) -> None:
+        self.emit(Jump(target, line=line))
+
+    def branch(self, cond, if_true: str, if_false: str, line: int = 0) -> None:
+        self.emit(Branch(cond, if_true, if_false, line=line))
+
+    def ret(self, value=None, line: int = 0) -> None:
+        self.emit(Ret(value, line=line))
+
+    # -- finalization ---------------------------------------------------------------
+
+    def finish(self) -> Function:
+        """Terminate any fall-through block with ``ret`` and return the function."""
+        for block in self.func.blocks.values():
+            if block.terminator is None:
+                block.instrs.append(Ret(None))
+        return self.func

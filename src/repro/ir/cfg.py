@@ -1,0 +1,57 @@
+"""Control-flow graph utilities over IR functions."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.ir.module import Function
+
+
+def reachable_blocks(func: Function) -> set[str]:
+    """Labels of blocks reachable from the entry block."""
+    seen: set[str] = set()
+    stack = [func.entry]
+    while stack:
+        label = stack.pop()
+        if label in seen or label not in func.blocks:
+            continue
+        seen.add(label)
+        stack.extend(func.blocks[label].successors())
+    return seen
+
+
+def predecessors(func: Function) -> dict[str, set[str]]:
+    """Map block label -> labels of predecessor blocks."""
+    preds: dict[str, set[str]] = defaultdict(set)
+    for block in func.blocks.values():
+        for succ in block.successors():
+            preds[succ].add(block.label)
+    preds.setdefault(func.entry, set())
+    return dict(preds)
+
+
+def remove_unreachable(func: Function) -> int:
+    """Delete unreachable blocks; returns the number removed."""
+    keep = reachable_blocks(func)
+    dead = [label for label in func.blocks if label not in keep]
+    for label in dead:
+        del func.blocks[label]
+    return len(dead)
+
+
+def block_order_rpo(func: Function) -> list[str]:
+    """Reverse postorder over reachable blocks (approximates execution order)."""
+    seen: set[str] = set()
+    order: list[str] = []
+
+    def visit(label: str) -> None:
+        if label in seen or label not in func.blocks:
+            return
+        seen.add(label)
+        for succ in func.blocks[label].successors():
+            visit(succ)
+        order.append(label)
+
+    visit(func.entry)
+    order.reverse()
+    return order

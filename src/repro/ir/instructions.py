@@ -1,0 +1,365 @@
+"""IR instruction set.
+
+Operands are either a :class:`Reg` (virtual register) or a Python ``int`` /
+``float`` immediate.  Integer instructions carry the :class:`~repro.minic
+.types.IntType` that defines their width and signedness; all integer
+arithmetic wraps at that width in the VM — *undefined* behavior such as
+signed overflow is given a concrete per-implementation semantics by the
+compiler configuration, never by the VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.minic.types import Type
+
+#: Comparison opcodes yield 0/1 in a 32-bit register.
+INT_BINOPS = frozenset(
+    {
+        "add",
+        "sub",
+        "mul",
+        "sdiv",
+        "udiv",
+        "srem",
+        "urem",
+        "shl",
+        "lshr",
+        "ashr",
+        "and",
+        "or",
+        "xor",
+    }
+)
+INT_CMPS = frozenset({"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"})
+FLOAT_BINOPS = frozenset({"fadd", "fsub", "fmul", "fdiv"})
+FLOAT_CMPS = frozenset({"feq", "fne", "flt", "fle", "fgt", "fge"})
+
+COMMUTATIVE = frozenset({"add", "mul", "and", "or", "xor", "eq", "ne", "fadd", "fmul"})
+
+#: Maps a comparison to its form with swapped operands.
+SWAPPED_CMP = {
+    "eq": "eq",
+    "ne": "ne",
+    "slt": "sgt",
+    "sle": "sge",
+    "sgt": "slt",
+    "sge": "sle",
+    "ult": "ugt",
+    "ule": "uge",
+    "ugt": "ult",
+    "uge": "ule",
+}
+
+#: Maps a comparison to its negation.
+NEGATED_CMP = {
+    "eq": "ne",
+    "ne": "eq",
+    "slt": "sge",
+    "sle": "sgt",
+    "sgt": "sle",
+    "sge": "slt",
+    "ult": "uge",
+    "ule": "ugt",
+    "ugt": "ule",
+    "uge": "ult",
+}
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register, unique within one function."""
+
+    id: int
+
+    def __repr__(self) -> str:
+        return f"%{self.id}"
+
+
+Operand = Union[Reg, int, float]
+
+
+@dataclass
+class Instr:
+    """Base class for all instructions."""
+
+    #: Source line for diagnostics and sanitizer reports.
+    line: int = field(default=0, kw_only=True)
+
+    def uses(self) -> list[Operand]:
+        """Operands read by this instruction."""
+        return []
+
+    def defines(self) -> Optional[Reg]:
+        """Register written by this instruction, if any."""
+        return None
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        """Rewrite register uses through *mapping* (used by copy-prop)."""
+
+
+def _subst(value: Operand, mapping: dict[Reg, Operand]) -> Operand:
+    if isinstance(value, Reg) and value in mapping:
+        return mapping[value]
+    return value
+
+
+@dataclass
+class Const(Instr):
+    dst: Reg
+    value: Union[int, float]
+    type: Type
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = const {self.value} : {self.type}"
+
+
+@dataclass
+class Move(Instr):
+    dst: Reg
+    src: Operand
+    type: Type
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.src = _subst(self.src, mapping)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass
+class BinOp(Instr):
+    dst: Reg
+    op: str
+    lhs: Operand
+    rhs: Operand
+    type: Type
+    #: "No signed wrap": the front end marked this signed operation as UB on
+    #: overflow, licensing the optimizer to reason as if it never wraps.
+    nsw: bool = False
+
+    def uses(self) -> list[Operand]:
+        return [self.lhs, self.rhs]
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.lhs = _subst(self.lhs, mapping)
+        self.rhs = _subst(self.rhs, mapping)
+
+    @property
+    def is_comparison(self) -> bool:
+        return self.op in INT_CMPS or self.op in FLOAT_CMPS
+
+    def __repr__(self) -> str:
+        nsw = " nsw" if self.nsw else ""
+        return f"{self.dst} = {self.op}{nsw} {self.lhs}, {self.rhs} : {self.type}"
+
+
+@dataclass
+class UnOp(Instr):
+    dst: Reg
+    op: str  # "neg" | "not" | "fneg"
+    src: Operand
+    type: Type
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.src = _subst(self.src, mapping)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = {self.op} {self.src} : {self.type}"
+
+
+@dataclass
+class Cast(Instr):
+    dst: Reg
+    src: Operand
+    from_type: Type
+    to_type: Type
+
+    def uses(self) -> list[Operand]:
+        return [self.src]
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.src = _subst(self.src, mapping)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = cast {self.src} : {self.from_type} -> {self.to_type}"
+
+
+@dataclass
+class Load(Instr):
+    dst: Reg
+    addr: Operand
+    type: Type
+
+    def uses(self) -> list[Operand]:
+        return [self.addr]
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.addr = _subst(self.addr, mapping)
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = load [{self.addr}] : {self.type}"
+
+
+@dataclass
+class Store(Instr):
+    addr: Operand
+    src: Operand
+    type: Type
+
+    def uses(self) -> list[Operand]:
+        return [self.addr, self.src]
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.addr = _subst(self.addr, mapping)
+        self.src = _subst(self.src, mapping)
+
+    def __repr__(self) -> str:
+        return f"store [{self.addr}] = {self.src} : {self.type}"
+
+
+@dataclass
+class AddrSlot(Instr):
+    dst: Reg
+    slot: int  # index into the function's frame-slot table
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = addr_slot #{self.slot}"
+
+
+@dataclass
+class AddrGlobal(Instr):
+    dst: Reg
+    name: str
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst} = addr_global @{self.name}"
+
+
+@dataclass
+class Call(Instr):
+    dst: Optional[Reg]
+    callee: str
+    args: list[Operand]
+
+    def uses(self) -> list[Operand]:
+        return list(self.args)
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.args = [_subst(a, mapping) for a in self.args]
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.args))
+        prefix = f"{self.dst} = " if self.dst else ""
+        return f"{prefix}call @{self.callee}({args})"
+
+
+@dataclass
+class CallBuiltin(Instr):
+    dst: Optional[Reg]
+    name: str
+    args: list[Operand]
+    #: Static types of the arguments (drives printf formatting and width
+    #: handling in the runtime).
+    arg_types: list[Type]
+
+    def uses(self) -> list[Operand]:
+        return list(self.args)
+
+    def defines(self) -> Optional[Reg]:
+        return self.dst
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.args = [_subst(a, mapping) for a in self.args]
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.args))
+        prefix = f"{self.dst} = " if self.dst else ""
+        return f"{prefix}builtin {self.name}({args})"
+
+
+@dataclass
+class BugSite(Instr):
+    """Evaluation-only marker: records that a seeded bug site was reached."""
+
+    site: int
+
+    def __repr__(self) -> str:
+        return f"bugsite #{self.site}"
+
+
+@dataclass
+class Jump(Instr):
+    target: str
+
+    def __repr__(self) -> str:
+        return f"jump {self.target}"
+
+
+@dataclass
+class Branch(Instr):
+    cond: Operand
+    if_true: str
+    if_false: str
+
+    def uses(self) -> list[Operand]:
+        return [self.cond]
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        self.cond = _subst(self.cond, mapping)
+
+    def __repr__(self) -> str:
+        return f"branch {self.cond} ? {self.if_true} : {self.if_false}"
+
+
+@dataclass
+class Ret(Instr):
+    value: Optional[Operand] = None
+
+    def uses(self) -> list[Operand]:
+        return [] if self.value is None else [self.value]
+
+    def replace_uses(self, mapping: dict[Reg, Operand]) -> None:
+        if self.value is not None:
+            self.value = _subst(self.value, mapping)
+
+    def __repr__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+Terminator = (Jump, Branch, Ret)

@@ -1,0 +1,135 @@
+"""IR containers: frame slots, basic blocks, functions, and modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.ir.instructions import Branch, Instr, Jump, Reg, Ret
+from repro.minic.types import Type
+
+
+@dataclass
+class FrameSlot:
+    """One stack object in a function frame.
+
+    The *declared* size lives here; the actual address is decided at run
+    time by the binary's :class:`~repro.vm.memory.LayoutPolicy`, which is
+    what makes stack-smash and uninitialized-read consequences diverge
+    across compiler implementations.
+    """
+
+    name: str
+    size: int
+    align: int
+    #: Declaration order index (layout policies may reorder).
+    index: int
+    line: int = 0
+    #: True when the slot is an array/struct buffer (used by ASan redzones
+    #: and by layout policies that segregate buffers, like real stack
+    #: protector reordering).
+    is_buffer: bool = False
+
+
+@dataclass
+class BasicBlock:
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and isinstance(self.instrs[-1], (Jump, Branch, Ret)):
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> list[str]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, Branch):
+            return [term.if_true, term.if_false]
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = "\n".join(f"  {i!r}" for i in self.instrs)
+        return f"{self.label}:\n{body}"
+
+
+@dataclass
+class Function:
+    name: str
+    params: list[tuple[str, Type]]
+    ret_type: Type
+    blocks: dict[str, BasicBlock] = field(default_factory=dict)
+    entry: str = "entry"
+    slots: list[FrameSlot] = field(default_factory=list)
+    num_regs: int = 0
+
+    def block_order(self) -> list[BasicBlock]:
+        """Blocks in insertion order (entry first)."""
+        return list(self.blocks.values())
+
+    def instructions(self) -> Iterator[Instr]:
+        for block in self.blocks.values():
+            yield from block.instrs
+
+    def new_reg(self) -> Reg:
+        reg = Reg(self.num_regs)
+        self.num_regs += 1
+        return reg
+
+    def frame_size(self) -> int:
+        return sum(slot.size for slot in self.slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        blocks = "\n".join(repr(b) for b in self.blocks.values())
+        params = ", ".join(f"{n}: {t}" for n, t in self.params)
+        return f"func @{self.name}({params}) -> {self.ret_type}\n{blocks}"
+
+
+@dataclass
+class GlobalData:
+    """A module-level data object (global, static local, string literal)."""
+
+    name: str
+    size: int
+    align: int
+    #: Initial contents; None means uninitialized (fill decided by the
+    #: implementation's garbage policy — globals in C are zeroed, so the
+    #: lowering always provides zero init for real globals and uses None
+    #: only for objects whose initial content is intentionally undefined).
+    init: Optional[bytes] = None
+    is_const: bool = False
+    #: (offset, symbol) pairs: at load time the base address of *symbol*
+    #: (a global) is written at *offset* as a little-endian u64.  Used for
+    #: global pointers initialized with string literals or ``&global``.
+    relocations: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class Module:
+    """A compiled translation unit before layout/linking."""
+
+    name: str
+    functions: dict[str, Function] = field(default_factory=dict)
+    globals: dict[str, GlobalData] = field(default_factory=dict)
+    #: Source-level metadata for tooling.
+    source: str = ""
+    #: Constants that appear as comparison operands — exported to the
+    #: fuzzer's auto-dictionary, loosely mirroring AFL++ CmpLog.
+    magic_constants: list[int] = field(default_factory=list)
+    #: String-literal operands of strcmp/strncmp/memcmp, for the same
+    #: auto-dictionary purpose.
+    magic_strings: list[bytes] = field(default_factory=list)
+    #: Seeded bug-site ids present in this module (ground truth).
+    bug_sites: list[int] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def instruction_count(self) -> int:
+        return sum(
+            len(block.instrs)
+            for func in self.functions.values()
+            for block in func.blocks.values()
+        )

@@ -1,0 +1,54 @@
+"""IR pretty-printer: human-readable listings of modules and functions.
+
+The textual format is for humans and tests (`repro ir` in the CLI); it is
+not parsed back.  Listing layout follows the usual SSA-dump conventions:
+globals first, then each function with indented blocks.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Function, GlobalData, Module
+
+
+def format_global(data: GlobalData) -> str:
+    init = ""
+    if data.init is not None:
+        preview = data.init[:16].hex()
+        suffix = "..." if len(data.init) > 16 else ""
+        init = f" = 0x{preview}{suffix}" if any(data.init) else " = zeroinit"
+    reloc = ""
+    if data.relocations:
+        targets = ", ".join(f"+{offset}->@{sym}" for offset, sym in data.relocations)
+        reloc = f" reloc[{targets}]"
+    const = " const" if data.is_const else ""
+    return f"@{data.name}: {data.size} bytes align {data.align}{const}{init}{reloc}"
+
+
+def format_function(func: Function) -> str:
+    params = ", ".join(f"%{i}: {t}" for i, (_, t) in enumerate(func.params))
+    lines = [f"func @{func.name}({params}) -> {func.ret_type} {{"]
+    if func.slots:
+        lines.append("  ; frame slots:")
+        for slot in func.slots:
+            kind = " buffer" if slot.is_buffer else ""
+            lines.append(
+                f"  ;   #{slot.index} {slot.name}: {slot.size} bytes align {slot.align}{kind}"
+            )
+    for block in func.blocks.values():
+        lines.append(f"{block.label}:")
+        for instr in block.instrs:
+            lines.append(f"    {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    sections = [f"; module {module.name}"]
+    if module.bug_sites:
+        sections.append(f"; bug sites: {module.bug_sites}")
+    for data in module.globals.values():
+        sections.append(format_global(data))
+    for func in module.functions.values():
+        sections.append("")
+        sections.append(format_function(func))
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,113 @@
+"""IR verifier: structural invariants the VM and passes rely on.
+
+Checked invariants:
+
+* every block ends with exactly one terminator, and no instruction
+  follows a terminator;
+* every branch/jump target exists; the entry block exists;
+* slot indices referenced by AddrSlot are within the frame table;
+* globals referenced by AddrGlobal exist in the module;
+* register ids are within the function's declared register count;
+* called functions exist (builtins are checked against the registry);
+* shift/arithmetic opcodes are known to the interpreter.
+
+Passes are expected to preserve these; `verify_module` runs after each
+compile when the ``REPRO_VERIFY_IR`` environment variable is set, and
+always in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    INT_BINOPS,
+    INT_CMPS,
+    FLOAT_BINOPS,
+    FLOAT_CMPS,
+    AddrGlobal,
+    AddrSlot,
+    BinOp,
+    Branch,
+    Call,
+    CallBuiltin,
+    Jump,
+    Reg,
+    Ret,
+    UnOp,
+)
+from repro.ir.module import Function, Module
+from repro.minic.builtins import BUILTIN_SIGNATURES
+
+_VALID_BINOPS = INT_BINOPS | INT_CMPS | FLOAT_BINOPS | FLOAT_CMPS
+_VALID_UNOPS = frozenset({"neg", "not", "fneg"})
+_TERMINATORS = (Jump, Branch, Ret)
+
+
+class VerificationError(AssertionError):
+    """An IR invariant does not hold."""
+
+
+def verify_function(func: Function, module: Module) -> list[str]:
+    """Return a list of invariant violations (empty = valid)."""
+    problems: list[str] = []
+
+    def complain(message: str) -> None:
+        problems.append(f"{func.name}: {message}")
+
+    if func.entry not in func.blocks:
+        complain(f"entry block {func.entry!r} missing")
+    labels = set(func.blocks)
+    for label, block in func.blocks.items():
+        if not block.instrs:
+            complain(f"block {label} is empty")
+            continue
+        terminator = block.instrs[-1]
+        if not isinstance(terminator, _TERMINATORS):
+            complain(f"block {label} does not end in a terminator")
+        for position, instr in enumerate(block.instrs):
+            if isinstance(instr, _TERMINATORS) and position != len(block.instrs) - 1:
+                complain(f"block {label} has a terminator mid-block at {position}")
+            for operand in instr.uses():
+                if isinstance(operand, Reg) and not 0 <= operand.id < func.num_regs:
+                    complain(f"{label}[{position}]: register {operand} out of range")
+            defined = instr.defines()
+            if defined is not None and not 0 <= defined.id < func.num_regs:
+                complain(f"{label}[{position}]: defines out-of-range {defined}")
+            if isinstance(instr, AddrSlot) and not 0 <= instr.slot < len(func.slots):
+                complain(f"{label}[{position}]: slot #{instr.slot} out of range")
+            if isinstance(instr, AddrGlobal) and instr.name not in module.globals:
+                complain(f"{label}[{position}]: unknown global @{instr.name}")
+            if isinstance(instr, BinOp) and instr.op not in _VALID_BINOPS:
+                complain(f"{label}[{position}]: unknown binop {instr.op!r}")
+            if isinstance(instr, UnOp) and instr.op not in _VALID_UNOPS:
+                complain(f"{label}[{position}]: unknown unop {instr.op!r}")
+            if isinstance(instr, Call) and instr.callee not in module.functions:
+                complain(f"{label}[{position}]: call to unknown @{instr.callee}")
+            if isinstance(instr, CallBuiltin):
+                if instr.name not in BUILTIN_SIGNATURES:
+                    complain(f"{label}[{position}]: unknown builtin {instr.name!r}")
+                if len(instr.args) != len(instr.arg_types):
+                    complain(f"{label}[{position}]: arg/arg_types length mismatch")
+            if isinstance(instr, Jump) and instr.target not in labels:
+                complain(f"{label}: jump to unknown block {instr.target!r}")
+            if isinstance(instr, Branch):
+                for target in (instr.if_true, instr.if_false):
+                    if target not in labels:
+                        complain(f"{label}: branch to unknown block {target!r}")
+    for slot in func.slots:
+        if slot.size <= 0:
+            complain(f"slot {slot.name} has non-positive size {slot.size}")
+    return problems
+
+
+def verify_module(module: Module) -> None:
+    """Raise :class:`VerificationError` if any invariant is violated."""
+    problems: list[str] = []
+    if "main" in module.functions and module.functions["main"].params:
+        problems.append("main must take no parameters")
+    for func in module.functions.values():
+        problems.extend(verify_function(func, module))
+    if problems:
+        raise VerificationError(
+            f"IR verification failed for module {module.name!r}:\n  "
+            + "\n  ".join(problems)
+        )

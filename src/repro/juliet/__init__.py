@@ -1,0 +1,28 @@
+"""Juliet-like benchmark suite (NIST Juliet 1.3 analog, Table 2).
+
+Generates labelled MiniC test programs across the 20 CWE categories the
+paper selected, each with a *bad* variant containing exactly one seeded
+flaw and a *good* variant with the flaw repaired.  Counts default to
+one tenth of the paper's per-CWE totals (proportions preserved); the
+``scale`` knob adjusts the size.
+
+The generator varies Juliet-style *flow variants* (how the triggering
+value reaches the flaw: straight-line, constant-guard, global-flag,
+helper-function, pointer alias, loop accumulation) because static-analysis
+detection rates depend on exactly this kind of data/control-flow distance.
+"""
+
+from repro.juliet.cwe import CWE_REGISTRY, CweInfo, GROUPS, group_of
+from repro.juliet.generator import TestCase, generate_cwe
+from repro.juliet.suite import JulietSuite, build_suite
+
+__all__ = [
+    "CWE_REGISTRY",
+    "CweInfo",
+    "GROUPS",
+    "JulietSuite",
+    "TestCase",
+    "build_suite",
+    "generate_cwe",
+    "group_of",
+]

@@ -1,0 +1,79 @@
+"""CWE registry: the 20 categories of the paper's Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CweInfo:
+    cwe: int
+    description: str
+    #: Number of tests in the paper's extraction (Table 2).
+    paper_tests: int
+
+
+#: Table 2, verbatim.
+CWE_REGISTRY: dict[int, CweInfo] = {
+    info.cwe: info
+    for info in (
+        CweInfo(121, "Stack Based Buffer Overflow", 2951),
+        CweInfo(122, "Heap Based Buffer Overflow", 3575),
+        CweInfo(124, "Buffer Underwrite", 1024),
+        CweInfo(126, "Buffer Overread", 721),
+        CweInfo(127, "Buffer Underread", 1022),
+        CweInfo(415, "Double Free", 820),
+        CweInfo(416, "Use After Free", 394),
+        CweInfo(475, "Undefined Behavior for Input to API", 18),
+        CweInfo(588, "Access Child of Non Struct. Pointer", 80),
+        CweInfo(590, "Free Memory Not on Heap", 2280),
+        CweInfo(685, "Function Call With Incorrect #Args.", 18),
+        CweInfo(758, "Undefined Behavior", 523),
+        CweInfo(190, "Integer Overflow", 1564),
+        CweInfo(191, "Integer Underflow", 1169),
+        CweInfo(369, "Divide by Zero", 437),
+        CweInfo(476, "NULL Pointer Dereference", 306),
+        CweInfo(680, "Integer Overflow to Buffer Overflow", 196),
+        CweInfo(457, "Use of Uninitialized Variable", 928),
+        CweInfo(665, "Improper Initialization", 98),
+        CweInfo(469, "Use of Pointer Sub. to Determine Size", 18),
+    )
+}
+
+#: Table 3's row grouping ("merge tests with similar causes").
+GROUPS: dict[str, tuple[int, ...]] = {
+    "memory_error": (121, 122, 124, 126, 127, 415, 416, 590),
+    "api_ub": (475,),
+    "bad_struct_ptr": (588,),
+    "bad_func_call": (685,),
+    "ub": (758,),
+    "integer_error": (190, 191, 680),
+    "div_zero": (369,),
+    "null_deref": (476,),
+    "uninit": (457, 665),
+    "ptr_sub": (469,),
+}
+
+#: Human-readable labels matching Table 3's Description column.
+GROUP_LABELS: dict[str, str] = {
+    "memory_error": "Memory error",
+    "api_ub": "UB for input to API",
+    "bad_struct_ptr": "Bad struct. pointer",
+    "bad_func_call": "Bad function call",
+    "ub": "UB",
+    "integer_error": "Integer error",
+    "div_zero": "Divide by zero",
+    "null_deref": "Null pointer deref.",
+    "uninit": "Uninitialized memory",
+    "ptr_sub": "UB of pointer Sub.",
+}
+
+_GROUP_BY_CWE = {cwe: name for name, cwes in GROUPS.items() for cwe in cwes}
+
+
+def group_of(cwe: int) -> str:
+    return _GROUP_BY_CWE[cwe]
+
+
+def total_paper_tests() -> int:
+    return sum(info.paper_tests for info in CWE_REGISTRY.values())

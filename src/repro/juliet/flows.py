@@ -1,0 +1,79 @@
+"""Juliet-style control/data-flow variants.
+
+NIST Juliet wraps each flaw in dozens of "flow variants" — the same bug
+with the triggering value routed through constants, globals, helper
+functions, pointer aliases, or loops.  Static-analysis detection rates
+depend heavily on this distance between source and sink, so the generator
+reproduces the six most load-bearing shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FLOWS = ("plain", "const_true", "global_flag", "func", "ptr_alias", "loop")
+
+
+@dataclass(frozen=True)
+class FlowParts:
+    """Code fragments that route a trigger value into a local variable."""
+
+    globals: str
+    helpers: str
+    stmts: str
+
+
+def flow_int(flow: str, name: str, value: str, uid: str) -> FlowParts:
+    """Produce code that assigns *value* (an int expression) to ``int name``
+    through the given *flow* shape.  *uid* uniquifies helper names."""
+    if flow == "plain":
+        return FlowParts("", "", f"int {name} = {value};")
+    if flow == "const_true":
+        return FlowParts(
+            "",
+            "",
+            f"int {name} = 0;\n    if (1) {{ {name} = {value}; }}",
+        )
+    if flow == "global_flag":
+        return FlowParts(
+            f"int g_flag_{uid} = 1;",
+            "",
+            f"int {name} = 0;\n    if (g_flag_{uid}) {{ {name} = {value}; }}",
+        )
+    if flow == "func":
+        return FlowParts(
+            "",
+            f"static int source_{uid}(void) {{ return {value}; }}",
+            f"int {name} = source_{uid}();",
+        )
+    if flow == "ptr_alias":
+        return FlowParts(
+            "",
+            "",
+            f"int real_{uid} = {value};\n"
+            f"    int *alias_{uid} = &real_{uid};\n"
+            f"    int {name} = *alias_{uid};",
+        )
+    if flow == "loop":
+        return FlowParts(
+            "",
+            "",
+            f"int {name} = 0;\n"
+            f"    int it_{uid};\n"
+            f"    for (it_{uid} = 0; it_{uid} < ({value}); it_{uid}++) {{ {name}++; }}",
+        )
+    raise ValueError(f"unknown flow {flow!r}")
+
+
+def assemble(parts: FlowParts, body: str, extra_globals: str = "", extra_helpers: str = "") -> str:
+    """Assemble a full program: globals, helpers, then main with *body*.
+
+    ``{flow}`` inside *body* is replaced with the flow statements.
+    """
+    sections = []
+    for section in (extra_globals, parts.globals, extra_helpers, parts.helpers):
+        if section:
+            sections.append(section)
+    main = body.replace("{flow}", parts.stmts)
+    sections.append(main)
+    return "\n\n".join(sections) + "\n"

@@ -1,0 +1,57 @@
+"""Test-case factory for the Juliet-like suite."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.juliet.cwe import CWE_REGISTRY, group_of
+from repro.juliet.templates import TEMPLATES
+
+
+@dataclass
+class TestCase:
+    """One Juliet-style test: a bad variant and its repaired good twin."""
+
+    uid: str
+    cwe: int
+    group: str
+    bad_source: str
+    good_source: str
+    #: Mechanism tag (ground-truth metadata for analysis, never given to
+    #: the tools under evaluation).
+    mech: str
+    #: Flow variant the trigger value is routed through.
+    flow: str
+    #: Inputs to execute (Juliet tests are self-contained; empty stdin).
+    inputs: list[bytes] = field(default_factory=lambda: [b""])
+
+
+def generate_cwe(cwe: int, count: int, rng: random.Random | None = None) -> list[TestCase]:
+    """Generate *count* test cases for *cwe* (deterministic given the rng)."""
+    if cwe not in TEMPLATES:
+        raise KeyError(f"no template for CWE-{cwe}; have {sorted(TEMPLATES)}")
+    if rng is None:
+        rng = random.Random(cwe * 7919)
+    template = TEMPLATES[cwe]
+    group = group_of(cwe)
+    cases = []
+    for index in range(count):
+        snippet = template(rng)
+        cases.append(
+            TestCase(
+                uid=f"CWE{cwe}_{snippet.mech}_{snippet.flow}_{index:04d}",
+                cwe=cwe,
+                group=group,
+                bad_source=snippet.bad,
+                good_source=snippet.good,
+                mech=snippet.mech,
+                flow=snippet.flow,
+            )
+        )
+    return cases
+
+
+def scaled_count(cwe: int, scale: float, minimum: int = 2) -> int:
+    """Number of tests for *cwe* at *scale* of the paper's Table 2 count."""
+    return max(minimum, round(CWE_REGISTRY[cwe].paper_tests * scale))

@@ -1,0 +1,101 @@
+"""Suite assembly: the scaled-down Juliet extraction of Table 2."""
+
+from __future__ import annotations
+
+import pathlib
+import random
+from dataclasses import dataclass, field
+
+from repro.juliet.cwe import CWE_REGISTRY, GROUP_LABELS, GROUPS
+from repro.juliet.generator import TestCase, generate_cwe, scaled_count
+
+#: Default scale: 1/50 of the paper's 18,142 tests (~370 programs), sized
+#: so the full Table 3 evaluation (10 implementations + 3 sanitizers + 3
+#: static tools on every bad AND good variant) completes in bench time.
+DEFAULT_SCALE = 0.02
+
+
+@dataclass
+class JulietSuite:
+    """A generated benchmark suite with ground truth."""
+
+    seed: int
+    scale: float
+    cases: list[TestCase] = field(default_factory=list)
+
+    @property
+    def by_cwe(self) -> dict[int, list[TestCase]]:
+        result: dict[int, list[TestCase]] = {}
+        for case in self.cases:
+            result.setdefault(case.cwe, []).append(case)
+        return result
+
+    @property
+    def by_group(self) -> dict[str, list[TestCase]]:
+        result: dict[str, list[TestCase]] = {}
+        for case in self.cases:
+            result.setdefault(case.group, []).append(case)
+        return result
+
+    def overview_rows(self) -> list[tuple[int, str, int, int]]:
+        """Table 2 regeneration: (CWE, description, paper #tests, ours)."""
+        counts = {cwe: len(cases) for cwe, cases in self.by_cwe.items()}
+        rows = []
+        for cwe, info in CWE_REGISTRY.items():
+            rows.append((cwe, info.description, info.paper_tests, counts.get(cwe, 0)))
+        return rows
+
+    def export(self, directory: str | pathlib.Path) -> int:
+        """Write the suite to disk in the NIST-artifact layout.
+
+        One directory per CWE, one ``<uid>_bad.c`` / ``<uid>_good.c`` pair
+        per test case, plus a ``MANIFEST.tsv`` with ground-truth metadata.
+        Returns the number of files written.
+        """
+        root = pathlib.Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = ["uid\tcwe\tgroup\tmech\tflow"]
+        written = 0
+        for case in self.cases:
+            cwe_dir = root / f"CWE{case.cwe}"
+            cwe_dir.mkdir(exist_ok=True)
+            (cwe_dir / f"{case.uid}_bad.c").write_text(case.bad_source)
+            (cwe_dir / f"{case.uid}_good.c").write_text(case.good_source)
+            written += 2
+            manifest.append(
+                f"{case.uid}\t{case.cwe}\t{case.group}\t{case.mech}\t{case.flow}"
+            )
+        (root / "MANIFEST.tsv").write_text("\n".join(manifest) + "\n")
+        return written + 1
+
+    def render_overview(self) -> str:
+        lines = [f"{'CWE-ID':>8}  {'Description':<42} {'#Paper':>7} {'#Ours':>6}"]
+        total_paper = 0
+        total_ours = 0
+        for cwe, description, paper, ours in self.overview_rows():
+            lines.append(f"{f'CWE-{cwe}':>8}  {description:<42} {paper:>7} {ours:>6}")
+            total_paper += paper
+            total_ours += ours
+        lines.append(f"{'Total':>8}  {'':<42} {total_paper:>7} {total_ours:>6}")
+        return "\n".join(lines)
+
+
+def build_suite(scale: float = DEFAULT_SCALE, seed: int = 20230325) -> JulietSuite:
+    """Generate the full suite at *scale* of the paper's per-CWE counts.
+
+    Deterministic: the same (scale, seed) always produces identical
+    sources, so evaluation results are reproducible.
+    """
+    suite = JulietSuite(seed=seed, scale=scale)
+    for cwe in CWE_REGISTRY:
+        rng = random.Random(seed * 131071 + cwe)
+        suite.cases.extend(generate_cwe(cwe, scaled_count(cwe, scale), rng))
+    return suite
+
+
+def group_label(group: str) -> str:
+    return GROUP_LABELS[group]
+
+
+def group_cwes(group: str) -> tuple[int, ...]:
+    return GROUPS[group]

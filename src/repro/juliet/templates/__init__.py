@@ -1,0 +1,40 @@
+"""Per-CWE test-case templates.
+
+Each template function takes a seeded ``random.Random`` and returns a
+:class:`Snippet` — a bad/good source pair plus the mechanism tag that the
+generator records as ground-truth metadata.  The mechanism mix within each
+CWE is calibrated so tool detection rates *emerge* from real behavior
+(e.g. a fraction of memory errors deliberately do not propagate to output,
+which is what caps CompDiff's recall below the sanitizers' on Table 3's
+memory row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import random
+
+
+@dataclass(frozen=True)
+class Snippet:
+    bad: str
+    good: str
+    mech: str
+    flow: str
+
+
+def weighted(rng: random.Random, options: list[tuple[str, float]]) -> str:
+    """Pick an option name by weight."""
+    names = [name for name, _ in options]
+    weights = [weight for _, weight in options]
+    return rng.choices(names, weights=weights, k=1)[0]
+
+
+from repro.juliet.templates.memory import MEMORY_TEMPLATES
+from repro.juliet.templates.integer import INTEGER_TEMPLATES
+from repro.juliet.templates.uninit import UNINIT_TEMPLATES
+from repro.juliet.templates.misc import MISC_TEMPLATES
+
+TEMPLATES = {**MEMORY_TEMPLATES, **INTEGER_TEMPLATES, **UNINIT_TEMPLATES, **MISC_TEMPLATES}
+
+__all__ = ["Snippet", "TEMPLATES", "weighted"]

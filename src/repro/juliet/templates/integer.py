@@ -1,0 +1,240 @@
+"""Integer-error templates: CWE 190/191/680/369."""
+
+from __future__ import annotations
+
+import random
+
+from repro.juliet.flows import FLOWS, assemble, flow_int
+
+
+def _snippet(bad: str, good: str, mech: str, flow: str):
+    from repro.juliet.templates import Snippet
+
+    return Snippet(bad=bad, good=good, mech=mech, flow=flow)
+
+
+def _pick(rng: random.Random, options):
+    from repro.juliet.templates import weighted
+
+    return weighted(rng, options)
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(1 << 20):05x}"
+
+
+# ------------------------------------------------------------------ CWE-190
+
+
+def gen_190(rng: random.Random):
+    """Signed/unsigned integer overflow.
+
+    The mechanism mix is the point: two's-complement hardware wraps the
+    *value* identically everywhere, so a printed overflowed sum is stable
+    (UBSan's bread and butter, invisible to CompDiff); only folded
+    overflow *guards* and widened multiplies diverge.
+    """
+    mech = _pick(
+        rng,
+        [
+            ("wrap_print", 0.33),  # UBSan only
+            ("unsigned_wrap", 0.51),  # nothing (defined behavior, still a bug)
+            ("guard_fold", 0.08),  # UBSan + CompDiff (Listing 1)
+            ("widen_mul", 0.08),  # UBSan + CompDiff (clang -O1 widening)
+        ],
+    )
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    base = rng.choice([2147483647, 2147483600, 2000000000])
+    add = rng.randrange(100, 1000)
+    if mech == "wrap_print":
+        body = f"""int main(void) {{
+    int a = {base};
+    {{flow}}
+    int c = a + b;
+    printf("c=%d\\n", c);
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "b", str(add), uid), body)
+        good = assemble(flow_int(flow, "b", str(-add), uid), body)
+    elif mech == "unsigned_wrap":
+        body = f"""int main(void) {{
+    unsigned int a = {base}u * 2u;
+    {{flow}}
+    unsigned int c = a + (unsigned int)b;
+    printf("c=%u\\n", c);
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "b", str(add + (1 << 29)), uid), body)
+        good = assemble(flow_int(flow, "b", "1", uid), body)
+    elif mech == "guard_fold":
+        body = f"""int main(void) {{
+    int a = {base};
+    {{flow}}
+    if (a + b < a) {{
+        printf("overflow rejected\\n");
+        return 1;
+    }}
+    printf("sum=%d\\n", a + b);
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "b", str(add), uid), body)
+        good = assemble(flow_int(flow, "b", str(-add), uid), body)
+    else:  # widen_mul
+        factor = rng.choice([65537, 100003, 1000033])
+        body = f"""int main(void) {{
+    int a = {factor};
+    {{flow}}
+    long total = a * b;
+    printf("t=%ld\\n", total);
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "b", str(factor), uid), body)
+        good = assemble(flow_int(flow, "b", "3", uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-191
+
+
+def gen_191(rng: random.Random):
+    """Integer underflow."""
+    mech = _pick(
+        rng,
+        [
+            ("wrap_print", 0.34),
+            ("unsigned_wrap", 0.50),
+            ("guard_fold", 0.16),
+        ],
+    )
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    sub = rng.randrange(100, 1000)
+    if mech == "wrap_print":
+        body = """int main(void) {
+    int a = -2147483647;
+    {flow}
+    int c = a - b;
+    printf("c=%d\\n", c);
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "b", str(sub), uid), body)
+        good = assemble(flow_int(flow, "b", str(-sub), uid), body)
+    elif mech == "unsigned_wrap":
+        body = """int main(void) {
+    unsigned int a = 5u;
+    {flow}
+    unsigned int c = a - (unsigned int)b;
+    printf("c=%u\\n", c);
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "b", str(sub), uid), body)
+        good = assemble(flow_int(flow, "b", "2", uid), body)
+    else:  # guard_fold: a - b > a  <=>  b < 0 under nsw
+        body = """int main(void) {
+    int a = -2147483000;
+    {flow}
+    if (a - b > a) {
+        printf("underflow rejected\\n");
+        return 1;
+    }
+    printf("diff=%d\\n", a - b);
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "b", str(sub + 1000), uid), body)
+        good = assemble(flow_int(flow, "b", str(-sub), uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-680
+
+
+def gen_680(rng: random.Random):
+    """Integer overflow leading to under-allocation and heap overflow."""
+    flow = rng.choice(("plain", "const_true", "global_flag", "func"))
+    uid = _uid(rng)
+    # n * 4 wraps to a small positive size.
+    n = 0x40000000 + rng.choice([4, 8, 12])
+    writes = rng.choice([24, 32])
+    body = f"""int main(void) {{
+    {{flow}}
+    int bytes = n * 4;
+    char *data = malloc(bytes);
+    char *neighbor = malloc(8);
+    strcpy(neighbor, "SAFE");
+    if (data == NULL) {{ return 2; }}
+    int i;
+    for (i = 0; i < {writes}; i++) {{ data[i] = 'B'; }}
+    printf("n=%s\\n", neighbor);
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "n", str(n), uid), body)
+    good = assemble(flow_int(flow, "n", str(writes), uid), body)
+    return _snippet(bad, good, "alloc_overflow", flow)
+
+
+# ------------------------------------------------------------------ CWE-369
+
+
+def gen_369(rng: random.Random):
+    """Division by zero.
+
+    CompDiff only sees the unused-result cases (DCE deletes the trapping
+    division at -O1+), because a *used* division traps identically in
+    every binary — the same output, hence no discrepancy (Table 3: 29%).
+    """
+    mech = _pick(
+        rng,
+        [
+            ("int_used", 0.25),  # UBSan only
+            ("int_unused", 0.28),  # UBSan + CompDiff (via DCE)
+            ("float_zero", 0.39),  # neither dynamic tool (inf is stable)
+            ("literal_unused", 0.08),  # + syntactic static tools
+        ],
+    )
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    x = rng.randrange(10, 10_000)
+    if mech == "int_used":
+        body = f"""int main(void) {{
+    {{flow}}
+    int d = zero + (int)input_size();
+    printf("q=%d\\n", {x} / d);
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "zero", "0", uid), body)
+        good = assemble(flow_int(flow, "zero", "7", uid), body)
+    elif mech == "int_unused":
+        body = f"""int main(void) {{
+    {{flow}}
+    int d = zero + (int)input_size();
+    int q = {x} / d;
+    printf("done\\n");
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "zero", "0", uid), body)
+        good = assemble(flow_int(flow, "zero", "9", uid), body)
+    elif mech == "float_zero":
+        body = f"""int main(void) {{
+    {{flow}}
+    double d = 0.0 + zero;
+    double q = {x}.0 / d;
+    printf("q=%f\\n", q);
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "zero", "0", uid), body)
+        good = assemble(flow_int(flow, "zero", "4", uid), body)
+    else:  # literal_unused
+        body = f"""int main(void) {{
+    int q = {x} / 0;
+    printf("done\\n");
+    return 0;
+}}"""
+        bad = assemble(flow_int("plain", "unused", "0", uid), body)
+        good_body = body.replace("/ 0;", "/ 5;")
+        good = assemble(flow_int("plain", "unused", "0", uid), good_body)
+        flow = "plain"
+    return _snippet(bad, good, mech, flow)
+
+
+INTEGER_TEMPLATES = {190: gen_190, 191: gen_191, 680: gen_680, 369: gen_369}

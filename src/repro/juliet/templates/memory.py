@@ -1,0 +1,356 @@
+"""Memory-error templates: CWE 121/122/124/126/127/415/416/590/475."""
+
+from __future__ import annotations
+
+import random
+
+from repro.juliet.flows import FLOWS, assemble, flow_int
+
+
+def _snippet(bad: str, good: str, mech: str, flow: str):
+    from repro.juliet.templates import Snippet
+
+    return Snippet(bad=bad, good=good, mech=mech, flow=flow)
+
+
+def _pick(rng: random.Random, options):
+    from repro.juliet.templates import weighted
+
+    return weighted(rng, options)
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(1 << 20):05x}"
+
+
+# ------------------------------------------------------------------ CWE-121
+
+
+def gen_121(rng: random.Random):
+    """Stack buffer overflow (write)."""
+    mech = _pick(
+        rng,
+        [
+            ("adjacent_print", 0.66),  # CompDiff + ASan
+            ("adjacent_silent", 0.12),  # ASan only
+            ("skip_redzone_print", 0.12),  # CompDiff only (jumps the redzone)
+            ("far_silent", 0.10),  # neither
+        ],
+    )
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    size = rng.choice([16, 24, 32, 48])
+    if mech == "adjacent_print":
+        delta = rng.randrange(0, 6)
+    elif mech == "adjacent_silent":
+        delta = rng.randrange(0, 6)
+    elif mech == "skip_redzone_print":
+        delta = 16 + rng.randrange(0, 4)  # past the 16-byte redzone
+    else:
+        delta = 192 + rng.randrange(0, 16)
+    prints = (
+        'printf("n=%s d=%c\\n", neighbor, data[0]);'
+        if mech.endswith("print")
+        else 'printf("done d=%c\\n", data[0]);'
+    )
+    body = f"""int main(void) {{
+    char data[{size}];
+    char neighbor[8] = "SAFE";
+    {{flow}}
+    memset(data, 'A', {size});
+    data[idx] = 'X';
+    {prints}
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "idx", str(size + delta), uid), body)
+    good = assemble(flow_int(flow, "idx", str(size - 1), uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-122
+
+
+def gen_122(rng: random.Random):
+    """Heap buffer overflow (write)."""
+    mech = _pick(
+        rng,
+        [
+            ("adjacent_print", 0.62),
+            ("adjacent_silent", 0.16),
+            ("gap_reach_print", 0.12),  # only roomy-allocator layouts reach
+            ("far_silent", 0.10),
+        ],
+    )
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    size = rng.choice([16, 32, 48])
+    if mech in ("adjacent_print", "adjacent_silent"):
+        delta = rng.randrange(0, 6)
+    elif mech == "gap_reach_print":
+        delta = 16 + rng.randrange(0, 4)
+    else:
+        delta = 256 + rng.randrange(0, 16)
+    prints = (
+        'printf("n=%s\\n", neighbor);'
+        if mech.endswith("print")
+        else 'printf("done\\n");'
+    )
+    body = f"""int main(void) {{
+    char *data = malloc({size});
+    char *neighbor = malloc(8);
+    strcpy(neighbor, "SAFE");
+    memset(data, 'A', {size});
+    {{flow}}
+    data[idx] = 'X';
+    {prints}
+    free(data);
+    free(neighbor);
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "idx", str(size + delta), uid), body)
+    good = assemble(flow_int(flow, "idx", str(size - 1), uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-124
+
+
+def gen_124(rng: random.Random):
+    """Buffer underwrite."""
+    mech = _pick(rng, [("under_print", 0.72), ("under_silent", 0.18), ("deep_silent", 0.10)])
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    size = rng.choice([16, 32])
+    delta = rng.randrange(1, 6) if mech != "deep_silent" else 160 + rng.randrange(0, 8)
+    prints = (
+        'printf("v=%s\\n", victim);' if mech == "under_print" else 'printf("done\\n");'
+    )
+    body = f"""int main(void) {{
+    char victim[8] = "SAFE";
+    char data[{size}];
+    char *p = data;
+    {{flow}}
+    memset(data, 'A', {size});
+    p[0 - off] = 'X';
+    {prints}
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "off", str(delta), uid), body)
+    good = assemble(flow_int(flow, "off", "0", uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-126
+
+
+def gen_126(rng: random.Random):
+    """Buffer overread."""
+    mech = _pick(
+        rng,
+        [
+            ("read_print", 0.70),  # value printed: fill/layout divergence
+            ("read_silent", 0.14),
+            ("skip_redzone_print", 0.16),
+        ],
+    )
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    size = rng.choice([16, 24, 32])
+    heap = rng.random() < 0.4
+    if mech == "skip_redzone_print":
+        delta = 16 + rng.randrange(0, 4)
+    else:
+        delta = rng.randrange(1, 8)
+    prints = (
+        'printf("c=%d\\n", data[idx]);'
+        if mech.endswith("print")
+        else "int c = data[idx];\n    printf(\"done\\n\");"
+    )
+    if heap:
+        alloc = f"char *data = malloc({size});"
+        extra = 'char *after = malloc(8);\n    strcpy(after, "JUNKY");'
+    else:
+        alloc = f"char data[{size}];"
+        extra = 'char after[8] = "JUNKY";'
+    body = f"""int main(void) {{
+    {alloc}
+    {extra}
+    memset(data, 'A', {size});
+    {{flow}}
+    {prints}
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "idx", str(size + delta), uid), body)
+    good = assemble(flow_int(flow, "idx", str(size - 1), uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-127
+
+
+def gen_127(rng: random.Random):
+    """Buffer underread."""
+    mech = _pick(rng, [("read_print", 0.75), ("read_silent", 0.25)])
+    flow = rng.choice(FLOWS)
+    uid = _uid(rng)
+    size = rng.choice([16, 32])
+    delta = rng.randrange(1, 8)
+    prints = (
+        'printf("c=%d\\n", p[0 - off]);'
+        if mech == "read_print"
+        else "int c = p[0 - off];\n    printf(\"done\\n\");"
+    )
+    body = f"""int main(void) {{
+    char before[8] = "HIDDEN";
+    char data[{size}];
+    char *p = data;
+    memset(data, 'A', {size});
+    {{flow}}
+    {prints}
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "off", str(delta), uid), body)
+    good = assemble(flow_int(flow, "off", "0", uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-415
+
+
+def gen_415(rng: random.Random):
+    """Double free."""
+    mech = _pick(rng, [("alias_print", 0.75), ("tail_silent", 0.25)])
+    flow = rng.choice(("plain", "const_true", "global_flag", "func"))
+    uid = _uid(rng)
+    size = rng.choice([16, 32])
+    tail = (
+        """char *q = malloc(SZ);
+    char *r = malloc(SZ);
+    q[0] = 'Q';
+    r[0] = 'R';
+    printf("q=%c r=%c\\n", q[0], r[0]);""".replace("SZ", str(size))
+        if mech == "alias_print"
+        else 'printf("done\\n");'
+    )
+    # The flow variant gates the second free (Juliet style).
+    body = f"""int main(void) {{
+    char *data = malloc({size});
+    data[0] = 'a';
+    free(data);
+    {{flow}}
+    if (doit) {{
+        free(data);
+    }}
+    {tail}
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "doit", "1", uid), body)
+    good = assemble(flow_int(flow, "doit", "0", uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-416
+
+
+def gen_416(rng: random.Random):
+    """Use after free."""
+    mech = _pick(
+        rng,
+        [
+            ("realloc_alias_print", 0.5),  # stale pointer reads new owner's data
+            ("stale_read_print", 0.35),  # poisoned vs stale contents
+            ("stale_silent", 0.15),
+        ],
+    )
+    flow = rng.choice(("plain", "const_true", "func"))
+    uid = _uid(rng)
+    if mech == "realloc_alias_print":
+        use = """char *other = malloc(16);
+    strcpy(other, "NEWB");
+    printf("p=%s\\n", data);"""
+    elif mech == "stale_read_print":
+        # %d, not %s: freed memory need not contain a terminator.
+        use = 'printf("c=%d\\n", data[1]);'
+    else:
+        use = "char c = data[0];\n    printf(\"done\\n\");"
+    body = f"""int main(void) {{
+    char *data = malloc(16);
+    strcpy(data, "OLD!");
+    {{flow}}
+    if (doit) {{
+        free(data);
+    }}
+    {use}
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "doit", "1", uid), body)
+    good = assemble(flow_int(flow, "doit", "0", uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-590
+
+
+def gen_590(rng: random.Random):
+    """Free of memory not on the heap."""
+    mech = _pick(rng, [("stack", 0.5), ("global", 0.3), ("midblock", 0.2)])
+    flow = rng.choice(("plain", "const_true", "global_flag", "func", "ptr_alias"))
+    uid = _uid(rng)
+    if mech == "stack":
+        setup = "char buf[16];\n    char *data = buf;"
+    elif mech == "global":
+        setup = "char *data = g_storage;"
+    else:
+        setup = "char *block = malloc(32);\n    char *data = block + 8;"
+    extra_globals = "char g_storage[16];" if mech == "global" else ""
+    body = f"""int main(void) {{
+    {setup}
+    data[0] = 'x';
+    {{flow}}
+    if (doit) {{
+        free(data);
+    }}
+    printf("survived\\n");
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "doit", "1", uid), body, extra_globals=extra_globals)
+    good_setup_free = body.replace("free(data);", "/* correctly not freed */ data[0] = 'y';")
+    good = assemble(flow_int(flow, "doit", "1", uid), good_setup_free, extra_globals=extra_globals)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-475
+
+
+def gen_475(rng: random.Random):
+    """Undefined behavior for input to API: overlapping memcpy."""
+    flow = rng.choice(("plain", "const_true"))
+    uid = _uid(rng)
+    shift = rng.choice([2, 4, 6])
+    length = rng.choice([10, 12])
+    body = f"""int main(void) {{
+    char buf[32];
+    int i;
+    for (i = 0; i < 32; i++) {{ buf[i] = 'A' + i % 26; }}
+    {{flow}}
+    memcpy(buf + off, buf, {length});
+    for (i = 0; i < 20; i++) {{ printf("%c", buf[i]); }}
+    printf("\\n");
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "off", str(shift), uid), body)
+    good = assemble(flow_int(flow, "off", "20", uid), body)
+    return _snippet(bad, good, "memcpy_overlap", flow)
+
+
+MEMORY_TEMPLATES = {
+    121: gen_121,
+    122: gen_122,
+    124: gen_124,
+    126: gen_126,
+    127: gen_127,
+    415: gen_415,
+    416: gen_416,
+    590: gen_590,
+    475: gen_475,
+}

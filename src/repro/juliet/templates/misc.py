@@ -1,0 +1,298 @@
+"""Miscellaneous-UB templates: CWE 588/685/758/476/469."""
+
+from __future__ import annotations
+
+import random
+
+from repro.juliet.flows import assemble, flow_int
+
+
+def _snippet(bad: str, good: str, mech: str, flow: str):
+    from repro.juliet.templates import Snippet
+
+    return Snippet(bad=bad, good=good, mech=mech, flow=flow)
+
+
+def _pick(rng: random.Random, options):
+    from repro.juliet.templates import weighted
+
+    return weighted(rng, options)
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(1 << 20):05x}"
+
+
+# ------------------------------------------------------------------ CWE-588
+
+
+def gen_588(rng: random.Random):
+    """Access of a child of a non-struct pointer."""
+    mech = _pick(rng, [("scalar_cast", 0.5), ("intra_object", 0.5)])
+    flow = "plain"
+    structs = """struct Pair {
+    int first;
+    int second;
+};"""
+    if mech == "scalar_cast":
+        # Reads 4 bytes past a lone int: hits the ASan redzone, and reads
+        # layout-dependent garbage everywhere else.
+        body = """int main(void) {
+    int v = 7;
+    struct Pair *p = (struct Pair*)&v;
+    printf("a=%d b=%d\\n", p->first, p->second);
+    return 0;
+}"""
+        good_body = """int main(void) {
+    struct Pair w;
+    w.first = 7;
+    w.second = 8;
+    struct Pair *p = &w;
+    printf("a=%d b=%d\\n", p->first, p->second);
+    return 0;
+}"""
+    else:
+        # Reads uninitialized bytes *within* a larger object: ASan's
+        # redzones cannot see intra-object overflow (the 49% row).
+        structs += """
+
+struct Quad {
+    int a;
+    int b;
+    int c;
+    int d;
+};"""
+        body = """int main(void) {
+    int arr[4];
+    arr[0] = 1;
+    arr[1] = 2;
+    struct Quad *p = (struct Quad*)&arr[0];
+    printf("c=%d d=%d\\n", p->c, p->d);
+    return 0;
+}"""
+        good_body = """int main(void) {
+    int arr[4];
+    arr[0] = 1;
+    arr[1] = 2;
+    arr[2] = 3;
+    arr[3] = 4;
+    struct Quad *p = (struct Quad*)&arr[0];
+    printf("c=%d d=%d\\n", p->c, p->d);
+    return 0;
+}"""
+    bad = structs + "\n\n" + body + "\n"
+    good = structs + "\n\n" + good_body + "\n"
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-685
+
+
+def gen_685(rng: random.Random):
+    """Function call with too few arguments."""
+    flow = "plain"
+    uid = _uid(rng)
+    scale = rng.choice([10, 100, 1000])
+    helpers = f"""int combine_{uid}(int a, int b) {{
+    return a * {scale} + b;
+}}"""
+    body = f"""int main(void) {{
+    int r = combine_{uid}(7);
+    printf("r=%d\\n", r);
+    return 0;
+}}"""
+    good_body = f"""int main(void) {{
+    int r = combine_{uid}(7, 3);
+    printf("r=%d\\n", r);
+    return 0;
+}}"""
+    bad = helpers + "\n\n" + body + "\n"
+    good = helpers + "\n\n" + good_body + "\n"
+    return _snippet(bad, good, "missing_arg", flow)
+
+
+# ------------------------------------------------------------------ CWE-758
+
+
+def gen_758(rng: random.Random):
+    """General undefined behavior without a dedicated sanitizer check."""
+    mech = _pick(
+        rng,
+        [
+            ("oversized_shift", 0.30),  # UBSan + CompDiff (fold vs masked)
+            ("float_cast_overflow", 0.30),  # CompDiff only
+            ("pointer_wrap_guard", 0.40),  # CompDiff only
+        ],
+    )
+    # Shift/cast UB in Juliet is overwhelmingly straight-line code; the
+    # fold-dependent mechanisms only fire on shapes the optimizer sees
+    # through, so complex flows are the minority here.
+    flow = _pick(
+        rng,
+        [("plain", 0.45), ("const_true", 0.3), ("global_flag", 0.1), ("ptr_alias", 0.08), ("loop", 0.07)],
+    )
+    uid = _uid(rng)
+    if mech == "oversized_shift":
+        count = rng.choice([33, 36, 40, 48])
+        body = """int main(void) {
+    {flow}
+    printf("x=%d\\n", 1 << sh);
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "sh", str(count), uid), body)
+        good = assemble(flow_int(flow, "sh", str(count % 31), uid), body)
+    elif mech == "float_cast_overflow":
+        magnitude = rng.choice(["4.6e18", "9.2e18", "1.5e19"])
+        body = f"""int main(void) {{
+    {{flow}}
+    double d = {magnitude} * scale;
+    long x = (long)d;
+    printf("x=%ld\\n", x);
+    return 0;
+}}"""
+        bad = assemble(flow_int(flow, "scale", "4", uid), body)
+        good = assemble(flow_int(flow, "scale", "0", uid), body)
+        flow = flow
+    else:  # pointer_wrap_guard
+        body = """int main(void) {
+    char buf[16];
+    char *p = buf;
+    unsigned long n = 18446744073709551000ul;
+    {flow}
+    if (use != 0 && p + n < p) {
+        printf("wrapped\\n");
+        return 1;
+    }
+    printf("no wrap\\n");
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "use", "1", uid), body)
+        good_body = body.replace("p + n < p", "n > 4096ul")
+        good = assemble(flow_int(flow, "use", "1", uid), good_body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-476
+
+
+def gen_476(rng: random.Random):
+    """Null pointer dereference."""
+    mech = _pick(
+        rng,
+        [
+            ("load_folded", 0.45),  # crash at -O0, elided at -O1+
+            ("store_folded", 0.45),
+            ("opaque_callee", 0.10),  # crashes identically everywhere
+        ],
+    )
+    flow = "plain"
+    uid = _uid(rng)
+    if mech == "load_folded":
+        body = """int main(void) {
+    int v = 77;
+    int *p = NULL;
+    {flow}
+    if (pick) { p = &v; }
+    printf("x=%d\\n", *p);
+    return 0;
+}"""
+        bad = assemble(flow_int("plain", "pick", "0", uid), body)
+        good = assemble(flow_int("plain", "pick", "1", uid), body)
+    elif mech == "store_folded":
+        body = """int main(void) {
+    int v = 0;
+    int *p = NULL;
+    {flow}
+    if (pick) { p = &v; }
+    *p = 9;
+    printf("v=%d\\n", v);
+    return 0;
+}"""
+        bad = assemble(flow_int("plain", "pick", "0", uid), body)
+        good = assemble(flow_int("plain", "pick", "1", uid), body)
+    else:  # opaque_callee: pointer crosses a non-inlinable call boundary
+        helpers = f"""static int consume_{uid}(int *p) {{
+    int acc = 0;
+    int i;
+    for (i = 0; i < 8; i++) {{ acc += i * 3; }}
+    acc = acc * 7 % 1000;
+    acc = acc + 13;
+    acc = acc * 3 % 997;
+    acc = acc + 1;
+    acc = acc * 5 % 991;
+    acc = acc + 7;
+    acc = acc * 11 % 983;
+    acc = acc + 9;
+    acc = acc * 13 % 977;
+    return acc + *p;
+}}"""
+        body = f"""int main(void) {{
+    int v = 5;
+    int *p = NULL;
+    {{flow}}
+    if (pick) {{ p = &v; }}
+    printf("x=%d\\n", consume_{uid}(p));
+    return 0;
+}}"""
+        bad = assemble(flow_int("plain", "pick", "0", uid), body, extra_helpers=helpers)
+        good = assemble(flow_int("plain", "pick", "1", uid), body, extra_helpers=helpers)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-469
+
+
+def gen_469(rng: random.Random):
+    """Pointer subtraction across distinct objects to compute a size."""
+    mech = _pick(rng, [("stack_arrays", 0.5), ("globals", 0.3), ("heap_blocks", 0.2)])
+    flow = "plain"
+    if mech == "stack_arrays":
+        body = """int main(void) {
+    int first[4];
+    int second[4];
+    first[0] = 1;
+    second[0] = 2;
+    long count = &second[0] - &first[0];
+    printf("count=%ld\\n", count);
+    return 0;
+}"""
+        good_body = """int main(void) {
+    int first[4];
+    first[0] = 1;
+    long count = &first[4] - &first[0];
+    printf("count=%ld\\n", count);
+    return 0;
+}"""
+        extra = ""
+    elif mech == "globals":
+        extra = "int g_one[6];\nint g_two[3];"
+        body = """int main(void) {
+    long count = &g_two[0] - &g_one[0];
+    printf("count=%ld\\n", count);
+    return 0;
+}"""
+        good_body = """int main(void) {
+    long count = &g_one[6] - &g_one[0];
+    printf("count=%ld\\n", count);
+    return 0;
+}"""
+    else:
+        extra = ""
+        body = """int main(void) {
+    char *a = malloc(24);
+    char *b = malloc(24);
+    long count = b - a;
+    printf("count=%ld\\n", count);
+    return 0;
+}"""
+        good_body = """int main(void) {
+    char *a = malloc(24);
+    long count = (a + 24) - a;
+    printf("count=%ld\\n", count);
+    return 0;
+}"""
+    prefix = (extra + "\n\n") if extra else ""
+    return _snippet(prefix + body + "\n", prefix + good_body + "\n", mech, flow)
+
+
+MISC_TEMPLATES = {588: gen_588, 685: gen_685, 758: gen_758, 476: gen_476, 469: gen_469}

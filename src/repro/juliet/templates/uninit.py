@@ -1,0 +1,171 @@
+"""Uninitialized-memory templates: CWE 457/665."""
+
+from __future__ import annotations
+
+import random
+
+from repro.juliet.flows import assemble, flow_int
+
+
+def _snippet(bad: str, good: str, mech: str, flow: str):
+    from repro.juliet.templates import Snippet
+
+    return Snippet(bad=bad, good=good, mech=mech, flow=flow)
+
+
+def _pick(rng: random.Random, options):
+    from repro.juliet.templates import weighted
+
+    return weighted(rng, options)
+
+
+def _uid(rng: random.Random) -> str:
+    return f"{rng.randrange(1 << 20):05x}"
+
+
+# ------------------------------------------------------------------ CWE-457
+
+
+def gen_457(rng: random.Random):
+    """Use of an uninitialized variable.
+
+    MSan's scope (branch decisions only) versus CompDiff's (any output
+    effect) is the core of Table 3's uninitialized-memory row: the value
+    of an indeterminate local is the implementation's stack garbage, so
+    *printing* it diverges across implementations while MSan stays silent.
+    """
+    mech = _pick(
+        rng,
+        [
+            ("print_value", 0.24),  # CompDiff only (+ static scalar checkers)
+            ("addr_taken", 0.22),  # CompDiff only; static tools mute
+            # address-taken locals to avoid FPs
+            ("print_heap", 0.18),  # CompDiff only (malloc garbage)
+            ("copy_then_print", 0.18),  # CompDiff only (shadow propagates)
+            ("branch_use", 0.08),  # MSan + CompDiff
+            ("silent", 0.10),  # nobody
+        ],
+    )
+    flow = rng.choice(("plain", "const_true", "global_flag", "func"))
+    uid = _uid(rng)
+    if mech == "addr_taken":
+        # The helper is *supposed* to initialize through the pointer but
+        # bails early in the bad variant; static uninit checkers skip
+        # address-taken locals precisely to avoid this shape's FPs.
+        body = """int main(void) {
+    int value;
+    {flow}
+    fill(&value, doinit);
+    printf("v=%d\\n", value);
+    return 0;
+}"""
+        helpers = """static void fill(int *out, int enable) {
+    if (enable == 0) { return; }
+    *out = 42;
+}"""
+        bad = assemble(flow_int(flow, "doinit", "0", uid), body, extra_helpers=helpers)
+        good = assemble(flow_int(flow, "doinit", "1", uid), body, extra_helpers=helpers)
+        return _snippet(bad, good, mech, flow)
+    if mech == "print_value":
+        # Conditionally initialized: the init path is dead in the bad
+        # variant (Listing 4's empty-istream shape).
+        body = """int main(void) {
+    int value;
+    {flow}
+    if (doinit) { value = 42; }
+    printf("v=%d\\n", value);
+    return 0;
+}"""
+    elif mech == "print_heap":
+        body = """int main(void) {
+    int *box = (int*)malloc(8);
+    {flow}
+    if (doinit) { box[1] = 42; }
+    printf("v=%d\\n", box[1]);
+    free((char*)box);
+    return 0;
+}"""
+    elif mech == "copy_then_print":
+        body = """int main(void) {
+    int src[4];
+    int dst[4];
+    {flow}
+    if (doinit) { memset((char*)src, 0, 16); }
+    memcpy((char*)dst, (char*)src, 16);
+    printf("v=%d\\n", dst[2]);
+    return 0;
+}"""
+    elif mech == "branch_use":
+        body = """int main(void) {
+    int value;
+    {flow}
+    if (doinit) { value = 7; }
+    if (value > 50) { printf("big\\n"); }
+    else { printf("small\\n"); }
+    return 0;
+}"""
+    else:  # silent
+        body = """int main(void) {
+    int value;
+    {flow}
+    if (doinit) { value = 7; }
+    int shadow = value + 1;
+    printf("done\\n");
+    return 0;
+}"""
+    bad = assemble(flow_int(flow, "doinit", "0", uid), body)
+    good = assemble(flow_int(flow, "doinit", "1", uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+# ------------------------------------------------------------------ CWE-665
+
+
+def gen_665(rng: random.Random):
+    """Improper initialization (partial init, missing terminator)."""
+    mech = _pick(
+        rng,
+        [
+            ("strncpy_short", 0.45),
+            ("partial_memset", 0.40),
+            ("silent", 0.15),
+        ],
+    )
+    flow = rng.choice(("plain", "const_true", "global_flag"))
+    uid = _uid(rng)
+    if mech == "strncpy_short":
+        # Too-short strncpy: bytes past `count` stay indeterminate.
+        body = """int main(void) {
+    char s[12];
+    {flow}
+    strncpy(s, "ABCDEFGHIJ", count);
+    printf("tail=%d\\n", s[9]);
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "count", "4", uid), body)
+        good = assemble(flow_int(flow, "count", "10", uid), body)
+    elif mech == "partial_memset":
+        body = """int main(void) {
+    char b[16];
+    {flow}
+    memset(b, 'A', count);
+    printf("mid=%d\\n", b[12]);
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "count", "8", uid), body)
+        good = assemble(flow_int(flow, "count", "16", uid), body)
+    else:
+        body = """int main(void) {
+    char b[16];
+    {flow}
+    memset(b, 'A', count);
+    char c = b[12];
+    printf("done\\n");
+    return 0;
+}"""
+        bad = assemble(flow_int(flow, "count", "8", uid), body)
+        good = assemble(flow_int(flow, "count", "16", uid), body)
+    return _snippet(bad, good, mech, flow)
+
+
+UNINIT_TEMPLATES = {457: gen_457, 665: gen_665}

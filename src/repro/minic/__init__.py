@@ -1,0 +1,41 @@
+"""MiniC: a small C-like language with faithful undefined-behavior surface.
+
+MiniC is the program substrate of this reproduction.  It supports the C
+constructs that the paper's unstable-code examples rely on — fixed-width
+integers, pointers and pointer arithmetic, arrays, structs, static storage,
+``printf``-style output, and the ``__LINE__`` macro — and leaves the same
+behaviors undefined that C leaves undefined (signed overflow, out-of-bounds
+access, cross-object pointer comparison, uninitialized reads, unsequenced
+side effects in call arguments, ...).
+
+Public entry points:
+
+* :func:`tokenize` — source text to token stream.
+* :func:`parse` — source text to AST (:class:`~repro.minic.ast.Program`).
+* :func:`check` — resolve names/types in place, returning the program.
+* :func:`load` — parse + check in one call.
+"""
+
+from repro.minic.lexer import Token, TokenKind, tokenize
+from repro.minic.parser import parse
+from repro.minic.checker import check
+from repro.minic import ast
+from repro.minic import types
+
+
+def load(source: str, filename: str = "<minic>") -> "ast.Program":
+    """Parse and semantically check MiniC *source*, returning the AST."""
+    program = parse(source, filename=filename)
+    return check(program)
+
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse",
+    "check",
+    "load",
+    "ast",
+    "types",
+]

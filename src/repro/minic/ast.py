@@ -1,0 +1,352 @@
+"""AST node definitions for MiniC.
+
+Nodes are plain mutable dataclasses.  The semantic checker annotates
+expression nodes in place with their computed type (``ty``) and identifier
+nodes with their resolved symbol.  Every node records the source line/column
+of its first token; statements additionally matter for the ``__LINE__``
+implementation-defined policy (see
+:class:`repro.compiler.implementations.CompilerConfig.line_macro_policy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Optional
+
+from repro.minic.types import Type
+
+
+@dataclass
+class Node:
+    line: int
+    col: int
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    #: Filled in by the checker: the C type of the expression's value.
+    ty: Optional[Type] = dc_field(default=None, init=False, repr=False)
+    #: Filled in by the checker: True if the expression designates storage.
+    is_lvalue: bool = dc_field(default=False, init=False, repr=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    #: Literal suffix hints: "u", "l", "ul" or "".
+    suffix: str = ""
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+    is_single: bool = False
+
+
+@dataclass
+class CharLit(Expr):
+    value: int
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class LineMacro(Expr):
+    """``__LINE__`` — resolved per compiler implementation policy."""
+
+    #: Line of the token itself (set from the token position = self.line) and
+    #: line of the enclosing statement, filled during parsing/lowering.
+    statement_line: int = 0
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+    #: Resolved by the checker: a Symbol from repro.minic.checker.
+    symbol: object = dc_field(default=None, init=False, repr=False)
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # one of - ! ~ * & ++ -- (prefix), p++ p-- (postfix)
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # + - * / % << >> < <= > >= == != & | ^ && ||
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    op: str  # = += -= *= /= %= <<= >>= &= |= ^=
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: list[Expr]
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    name: str
+    arrow: bool  # True for ->, False for .
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Type
+    operand: Expr
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: Type
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    var_type: Type
+    init: Optional[Expr]
+    is_static: bool = False
+    #: Resolved by the checker.
+    symbol: object = dc_field(default=None, init=False, repr=False)
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    otherwise: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]  # VarDecl or ExprStmt
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class SwitchCase(Node):
+    #: None for the default case.
+    value: Optional[int]
+    body: list[Stmt]
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Expr
+    cases: list[SwitchCase]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top-level declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str
+    param_type: Type
+    symbol: object = dc_field(default=None, init=False, repr=False)
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    ret_type: Type
+    params: list[Param]
+    body: Block
+    is_static: bool = False
+    varargs: bool = False
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str
+    var_type: Type
+    init: Optional[Expr]
+    is_static: bool = False
+    symbol: object = dc_field(default=None, init=False, repr=False)
+
+
+@dataclass
+class StructDef(Node):
+    name: str
+    struct_type: Type  # a StructType with laid-out fields
+
+
+@dataclass
+class Program(Node):
+    decls: list[Node]
+    filename: str = "<minic>"
+
+    def functions(self) -> list[FuncDef]:
+        return [d for d in self.decls if isinstance(d, FuncDef)]
+
+    def function(self, name: str) -> Optional[FuncDef]:
+        for d in self.decls:
+            if isinstance(d, FuncDef) and d.name == name:
+                return d
+        return None
+
+    def globals(self) -> list[GlobalVar]:
+        return [d for d in self.decls if isinstance(d, GlobalVar)]
+
+
+def walk_expr(expr: Expr):
+    """Yield *expr* and every sub-expression, depth-first."""
+    yield expr
+    children: list[Expr] = []
+    if isinstance(expr, Unary):
+        children = [expr.operand]
+    elif isinstance(expr, Binary):
+        children = [expr.lhs, expr.rhs]
+    elif isinstance(expr, Assign):
+        children = [expr.target, expr.value]
+    elif isinstance(expr, Conditional):
+        children = [expr.cond, expr.then, expr.otherwise]
+    elif isinstance(expr, Call):
+        children = [expr.func, *expr.args]
+    elif isinstance(expr, Index):
+        children = [expr.base, expr.index]
+    elif isinstance(expr, Member):
+        children = [expr.base]
+    elif isinstance(expr, (Cast, SizeofExpr)):
+        children = [expr.operand]
+    for child in children:
+        yield from walk_expr(child)
+
+
+def walk_stmts(stmt: Stmt):
+    """Yield *stmt* and every nested statement, depth-first."""
+    yield stmt
+    if isinstance(stmt, Block):
+        for s in stmt.body:
+            yield from walk_stmts(s)
+    elif isinstance(stmt, If):
+        yield from walk_stmts(stmt.then)
+        if stmt.otherwise is not None:
+            yield from walk_stmts(stmt.otherwise)
+    elif isinstance(stmt, While):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, DoWhile):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, For):
+        if stmt.init is not None:
+            yield from walk_stmts(stmt.init)
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, Switch):
+        for case in stmt.cases:
+            for s in case.body:
+                yield from walk_stmts(s)
+
+
+def statement_exprs(stmt: Stmt):
+    """Yield the top-level expressions directly contained in *stmt*."""
+    if isinstance(stmt, ExprStmt):
+        yield stmt.expr
+    elif isinstance(stmt, VarDecl) and stmt.init is not None:
+        yield stmt.init
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, While):
+        yield stmt.cond
+    elif isinstance(stmt, DoWhile):
+        yield stmt.cond
+    elif isinstance(stmt, For):
+        if stmt.cond is not None:
+            yield stmt.cond
+        if stmt.step is not None:
+            yield stmt.step
+    elif isinstance(stmt, Switch):
+        yield stmt.cond
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        yield stmt.value

@@ -1,0 +1,76 @@
+"""Built-in function signatures available to every MiniC program.
+
+These model the libc/runtime surface the paper's targets rely on: stdio
+output, string/memory helpers, the heap, math routines, and the fuzzer
+input channel.  ``read_input``/``input_size``/``input_byte`` stand in for
+``read(0, ...)`` / ``stdin``: the harness maps the current fuzz input onto
+them, mirroring AFL++'s file/stdin delivery.
+
+``__bugsite(id)`` is evaluation-only ground-truth instrumentation: it
+records that a seeded bug site was reached during an execution.  It has no
+observable effect on program semantics and is used by the evaluation
+drivers to attribute output discrepancies to seeded bugs, standing in for
+the manual triage the paper performs (§3.2, §5).
+"""
+
+from __future__ import annotations
+
+from repro.minic import types as ty
+
+#: name -> (return type, parameter types, varargs)
+BUILTIN_SIGNATURES: dict[str, tuple[ty.Type, tuple[ty.Type, ...], bool]] = {
+    # stdio
+    "printf": (ty.INT, (ty.PointerType(ty.CHAR),), True),
+    "eprintf": (ty.INT, (ty.PointerType(ty.CHAR),), True),
+    "putchar": (ty.INT, (ty.INT,), False),
+    "puts": (ty.INT, (ty.PointerType(ty.CHAR),), False),
+    # process control
+    "exit": (ty.VOID, (ty.INT,), False),
+    "abort": (ty.VOID, (), False),
+    # heap
+    "malloc": (ty.PointerType(ty.CHAR), (ty.LONG,), False),
+    "calloc": (ty.PointerType(ty.CHAR), (ty.LONG, ty.LONG), False),
+    "free": (ty.VOID, (ty.PointerType(ty.CHAR),), False),
+    "realloc": (ty.PointerType(ty.CHAR), (ty.PointerType(ty.CHAR), ty.LONG), False),
+    # string/memory
+    "memset": (ty.PointerType(ty.CHAR), (ty.PointerType(ty.CHAR), ty.INT, ty.LONG), False),
+    "memcpy": (
+        ty.PointerType(ty.CHAR),
+        (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG),
+        False,
+    ),
+    "memmove": (
+        ty.PointerType(ty.CHAR),
+        (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG),
+        False,
+    ),
+    "memcmp": (ty.INT, (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG), False),
+    "strlen": (ty.LONG, (ty.PointerType(ty.CHAR),), False),
+    "strcpy": (ty.PointerType(ty.CHAR), (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR)), False),
+    "strncpy": (
+        ty.PointerType(ty.CHAR),
+        (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG),
+        False,
+    ),
+    "strcat": (ty.PointerType(ty.CHAR), (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR)), False),
+    "strcmp": (ty.INT, (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR)), False),
+    "strncmp": (ty.INT, (ty.PointerType(ty.CHAR), ty.PointerType(ty.CHAR), ty.LONG), False),
+    "atoi": (ty.INT, (ty.PointerType(ty.CHAR),), False),
+    # math
+    "abs": (ty.INT, (ty.INT,), False),
+    "labs": (ty.LONG, (ty.LONG,), False),
+    "pow": (ty.DOUBLE, (ty.DOUBLE, ty.DOUBLE), False),
+    "exp2": (ty.DOUBLE, (ty.DOUBLE,), False),
+    "sqrt": (ty.DOUBLE, (ty.DOUBLE,), False),
+    "fabs": (ty.DOUBLE, (ty.DOUBLE,), False),
+    # fuzz input channel
+    "read_input": (ty.LONG, (ty.PointerType(ty.CHAR), ty.LONG), False),
+    "input_size": (ty.LONG, (), False),
+    "input_byte": (ty.INT, (ty.LONG,), False),
+    # evaluation-only ground truth marker (no observable semantics)
+    "__bugsite": (ty.VOID, (ty.INT,), False),
+}
+
+
+def is_builtin(name: str) -> bool:
+    return name in BUILTIN_SIGNATURES

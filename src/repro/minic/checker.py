@@ -1,0 +1,378 @@
+"""Semantic checker for MiniC.
+
+Resolves identifiers to symbols, computes and annotates expression types,
+and rejects programs that are not valid MiniC.  The checker is deliberately
+permissive where C is permissive (implicit scalar conversions, loose pointer
+casts) because the evaluation corpus contains code that is *wrong* but must
+still compile — undefined behavior is a run-time property here, never a
+compile-time error.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import CheckError
+from repro.minic import ast
+from repro.minic import types as ty
+from repro.minic.builtins import BUILTIN_SIGNATURES
+
+_symbol_ids = itertools.count(1)
+
+
+@dataclass
+class Symbol:
+    """A resolved program entity (variable, parameter, or function)."""
+
+    name: str
+    type: ty.Type
+    kind: str  # "global" | "local" | "param" | "func" | "builtin"
+    is_static: bool = False
+    uid: int = field(default_factory=lambda: next(_symbol_ids))
+    #: For statics-in-functions: the mangled global name.
+    mangled: str = ""
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        self.names: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol, line: int, col: int) -> None:
+        if symbol.name in self.names:
+            raise CheckError(f"redefinition of {symbol.name!r}", line, col)
+        self.names[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Checker:
+    """Single-use semantic checker for one program."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.globals = _Scope()
+        self._current_func: ast.FuncDef | None = None
+        self._static_counter = 0
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> ast.Program:
+        for decl in self.program.decls:
+            if isinstance(decl, ast.FuncDef):
+                func_type = ty.FunctionType(
+                    decl.ret_type,
+                    tuple(p.param_type for p in decl.params),
+                    varargs=decl.varargs,
+                )
+                self.globals.define(
+                    Symbol(decl.name, func_type, "func", is_static=decl.is_static),
+                    decl.line,
+                    decl.col,
+                )
+            elif isinstance(decl, ast.GlobalVar):
+                symbol = Symbol(decl.name, decl.var_type, "global", is_static=decl.is_static)
+                self.globals.define(symbol, decl.line, decl.col)
+                decl.symbol = symbol
+        for decl in self.program.decls:
+            if isinstance(decl, ast.GlobalVar) and decl.init is not None:
+                self._check_expr(decl.init, self.globals)
+            if isinstance(decl, ast.FuncDef):
+                self._check_function(decl)
+        return self.program
+
+    # -- declarations -----------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDef) -> None:
+        self._current_func = func
+        scope = _Scope(self.globals)
+        for param in func.params:
+            symbol = Symbol(param.name, ty.decay(param.param_type), "param")
+            param.symbol = symbol
+            if param.name:
+                scope.define(symbol, param.line, param.col)
+        self._check_block(func.body, scope)
+        self._current_func = None
+
+    def _check_block(self, block: ast.Block, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for stmt in block.body:
+            self._check_stmt(stmt, scope)
+
+    # -- statements ----------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_var_decl(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._check_stmt(stmt.body, scope)
+            self._check_expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self._check_stmt(stmt.body, inner)
+        elif isinstance(stmt, ast.Switch):
+            cond_type = self._check_expr(stmt.cond, scope)
+            if not cond_type.is_integer:
+                raise CheckError("switch condition must be an integer", stmt.line, stmt.col)
+            values = [case.value for case in stmt.cases if case.value is not None]
+            if len(values) != len(set(values)):
+                raise CheckError("duplicate case value", stmt.line, stmt.col)
+            inner = _Scope(scope)
+            for case in stmt.cases:
+                for case_stmt in case.body:
+                    self._check_stmt(case_stmt, inner)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CheckError(f"unknown statement {type(stmt).__name__}", stmt.line, stmt.col)
+
+    def _check_var_decl(self, stmt: ast.VarDecl, scope: _Scope) -> None:
+        if stmt.var_type.is_void:
+            raise CheckError("variable of void type", stmt.line, stmt.col)
+        kind = "local"
+        mangled = ""
+        if stmt.is_static:
+            kind = "global"
+            assert self._current_func is not None
+            self._static_counter += 1
+            mangled = f"{self._current_func.name}.{stmt.name}.{self._static_counter}"
+        symbol = Symbol(stmt.name, stmt.var_type, kind, is_static=stmt.is_static, mangled=mangled)
+        stmt.symbol = symbol
+        if stmt.init is not None:
+            self._check_expr(stmt.init, scope)
+        scope.define(symbol, stmt.line, stmt.col)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> ty.Type:
+        result = self._compute_type(expr, scope)
+        expr.ty = result
+        return result
+
+    def _compute_type(self, expr: ast.Expr, scope: _Scope) -> ty.Type:
+        if isinstance(expr, ast.IntLit):
+            return self._int_literal_type(expr)
+        if isinstance(expr, ast.FloatLit):
+            return ty.FLOAT if expr.is_single else ty.DOUBLE
+        if isinstance(expr, ast.CharLit):
+            return ty.INT
+        if isinstance(expr, ast.StrLit):
+            return ty.PointerType(ty.CHAR)
+        if isinstance(expr, ast.NullLit):
+            return ty.PointerType(ty.VOID)
+        if isinstance(expr, ast.LineMacro):
+            return ty.INT
+        if isinstance(expr, ast.Ident):
+            return self._check_ident(expr, scope)
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, scope)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._check_assign(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            self._check_expr(expr.cond, scope)
+            then_type = self._check_expr(expr.then, scope)
+            else_type = self._check_expr(expr.otherwise, scope)
+            if then_type.is_arithmetic and else_type.is_arithmetic:
+                return ty.usual_arithmetic_conversion(then_type, else_type)
+            return ty.decay(then_type)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._check_index(expr, scope)
+        if isinstance(expr, ast.Member):
+            return self._check_member(expr, scope)
+        if isinstance(expr, ast.Cast):
+            self._check_expr(expr.operand, scope)
+            return expr.target_type
+        if isinstance(expr, ast.SizeofType):
+            return ty.ULONG
+        if isinstance(expr, ast.SizeofExpr):
+            self._check_expr(expr.operand, scope)
+            return ty.ULONG
+        raise CheckError(f"unknown expression {type(expr).__name__}", expr.line, expr.col)
+
+    def _int_literal_type(self, expr: ast.IntLit) -> ty.Type:
+        suffix = expr.suffix
+        unsigned = "u" in suffix
+        is_long = "l" in suffix
+        candidates: list[ty.IntType]
+        if unsigned and is_long:
+            candidates = [ty.ULONG]
+        elif unsigned:
+            candidates = [ty.UINT, ty.ULONG]
+        elif is_long:
+            candidates = [ty.LONG]
+        else:
+            candidates = [ty.INT, ty.LONG, ty.ULONG]
+        for candidate in candidates:
+            if candidate.contains(expr.value):
+                return candidate
+        return ty.ULONG
+
+    def _check_ident(self, expr: ast.Ident, scope: _Scope) -> ty.Type:
+        symbol = scope.lookup(expr.name)
+        if symbol is None:
+            if expr.name in BUILTIN_SIGNATURES:
+                ret, params, varargs = BUILTIN_SIGNATURES[expr.name]
+                symbol = Symbol(expr.name, ty.FunctionType(ret, params, varargs), "builtin")
+            else:
+                raise CheckError(f"undefined identifier {expr.name!r}", expr.line, expr.col)
+        expr.symbol = symbol
+        expr.is_lvalue = symbol.kind in ("global", "local", "param")
+        return symbol.type
+
+    def _check_unary(self, expr: ast.Unary, scope: _Scope) -> ty.Type:
+        operand_type = self._check_expr(expr.operand, scope)
+        op = expr.op
+        if op == "*":
+            decayed = ty.decay(operand_type)
+            if not isinstance(decayed, ty.PointerType):
+                raise CheckError("dereference of non-pointer", expr.line, expr.col)
+            expr.is_lvalue = True
+            return decayed.pointee
+        if op == "&":
+            if not expr.operand.is_lvalue:
+                raise CheckError("address-of non-lvalue", expr.line, expr.col)
+            return ty.PointerType(operand_type)
+        if op == "!":
+            return ty.INT
+        if op in ("-", "~"):
+            if not operand_type.is_arithmetic:
+                raise CheckError(f"unary {op} on non-arithmetic type", expr.line, expr.col)
+            return ty.integer_promote(operand_type)
+        if op in ("++", "--", "p++", "p--"):
+            if not expr.operand.is_lvalue:
+                raise CheckError(f"{op} on non-lvalue", expr.line, expr.col)
+            return ty.decay(operand_type)
+        raise CheckError(f"unknown unary operator {op!r}", expr.line, expr.col)
+
+    def _check_binary(self, expr: ast.Binary, scope: _Scope) -> ty.Type:
+        lhs_type = ty.decay(self._check_expr(expr.lhs, scope))
+        rhs_type = ty.decay(self._check_expr(expr.rhs, scope))
+        op = expr.op
+        if op == ",":
+            return rhs_type
+        if op in ("&&", "||"):
+            return ty.INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return ty.INT
+        if op in ("<<", ">>"):
+            if not lhs_type.is_integer:
+                raise CheckError("shift of non-integer", expr.line, expr.col)
+            return ty.integer_promote(lhs_type)
+        if op in ("+", "-"):
+            lhs_ptr = isinstance(lhs_type, ty.PointerType)
+            rhs_ptr = isinstance(rhs_type, ty.PointerType)
+            if lhs_ptr and rhs_ptr:
+                if op == "-":
+                    return ty.LONG
+                raise CheckError("pointer + pointer", expr.line, expr.col)
+            if lhs_ptr:
+                return lhs_type
+            if rhs_ptr:
+                if op == "-":
+                    raise CheckError("integer - pointer", expr.line, expr.col)
+                return rhs_type
+        if not (lhs_type.is_arithmetic and rhs_type.is_arithmetic):
+            raise CheckError(f"invalid operands to {op!r}", expr.line, expr.col)
+        if op in ("%", "&", "|", "^") and (lhs_type.is_float or rhs_type.is_float):
+            raise CheckError(f"floating operand to {op!r}", expr.line, expr.col)
+        return ty.usual_arithmetic_conversion(lhs_type, rhs_type)
+
+    def _check_assign(self, expr: ast.Assign, scope: _Scope) -> ty.Type:
+        target_type = self._check_expr(expr.target, scope)
+        self._check_expr(expr.value, scope)
+        if not expr.target.is_lvalue:
+            raise CheckError("assignment to non-lvalue", expr.line, expr.col)
+        if isinstance(target_type, ty.ArrayType):
+            raise CheckError("assignment to array", expr.line, expr.col)
+        return target_type
+
+    def _check_call(self, expr: ast.Call, scope: _Scope) -> ty.Type:
+        if not isinstance(expr.func, ast.Ident):
+            raise CheckError("only direct calls are supported", expr.line, expr.col)
+        name = expr.func.name
+        if name == "__array_init":
+            for arg in expr.args:
+                self._check_expr(arg, scope)
+            return ty.VOID
+        func_type = self._check_ident(expr.func, scope)
+        if not isinstance(func_type, ty.FunctionType):
+            raise CheckError(f"{name!r} is not a function", expr.line, expr.col)
+        for arg in expr.args:
+            self._check_expr(arg, scope)
+        required = len(func_type.params)
+        given = len(expr.args)
+        # Mirror C's lenient treatment of calls through mismatched
+        # prototypes: too *few* arguments is CWE-685 territory and must
+        # compile (the call site invokes UB at run time); extra arguments
+        # beyond a non-varargs prototype likewise.
+        if given < required and name in BUILTIN_SIGNATURES:
+            raise CheckError(f"too few arguments to builtin {name!r}", expr.line, expr.col)
+        return func_type.ret
+
+    def _check_index(self, expr: ast.Index, scope: _Scope) -> ty.Type:
+        base_type = ty.decay(self._check_expr(expr.base, scope))
+        self._check_expr(expr.index, scope)
+        if not isinstance(base_type, ty.PointerType):
+            raise CheckError("subscript of non-pointer", expr.line, expr.col)
+        expr.is_lvalue = True
+        return base_type.pointee
+
+    def _check_member(self, expr: ast.Member, scope: _Scope) -> ty.Type:
+        base_type = self._check_expr(expr.base, scope)
+        if expr.arrow:
+            decayed = ty.decay(base_type)
+            if not isinstance(decayed, ty.PointerType):
+                raise CheckError("-> on non-pointer", expr.line, expr.col)
+            base_type = decayed.pointee
+        if not isinstance(base_type, ty.StructType):
+            raise CheckError("member access on non-struct", expr.line, expr.col)
+        struct_field = base_type.field_named(expr.name)
+        if struct_field is None:
+            raise CheckError(
+                f"no field {expr.name!r} in struct {base_type.name}", expr.line, expr.col
+            )
+        expr.is_lvalue = True
+        return struct_field.type
+
+
+def check(program: ast.Program) -> ast.Program:
+    """Resolve and type-check *program* in place, returning it."""
+    return Checker(program).run()

@@ -1,0 +1,309 @@
+"""Tokenizer for MiniC source text."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = {
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "signed",
+    "unsigned",
+    "struct",
+    "static",
+    "const",
+    "if",
+    "else",
+    "while",
+    "for",
+    "do",
+    "switch",
+    "case",
+    "default",
+    "enum",
+    "return",
+    "break",
+    "continue",
+    "sizeof",
+    "NULL",
+    "__LINE__",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+}
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+    value: object = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str, filename: str = "<minic>") -> list[Token]:
+    """Convert MiniC *source* into a token list terminated by an EOF token.
+
+    Comments (``//`` and ``/* */``) are skipped.  Adjacent string literals
+    are *not* concatenated here; the parser handles that.
+    """
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        if ch in "0123456789" or (ch == "." and i + 1 < n and source[i + 1] in "0123456789"):
+            token, i, col = _lex_number(source, i, line, col)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, col))
+            col += len(text)
+            continue
+        if ch == "'":
+            token, i, col = _lex_char(source, i, line, col)
+            tokens.append(token)
+            continue
+        if ch == '"':
+            token, i, col = _lex_string(source, i, line, col)
+            tokens.append(token)
+            continue
+        op = _match_operator(source, i)
+        if op is not None:
+            tokens.append(Token(TokenKind.OP, op, line, col))
+            i += len(op)
+            col += len(op)
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens
+
+
+def _match_operator(source: str, i: int) -> str | None:
+    for op in _OPERATORS:
+        if source.startswith(op, i):
+            return op
+    return None
+
+
+def _lex_number(source: str, i: int, line: int, col: int) -> tuple[Token, int, int]:
+    start = i
+    n = len(source)
+    is_float = False
+    if source.startswith(("0x", "0X"), i):
+        i += 2
+        while i < n and (source[i] in "0123456789abcdefABCDEF"):
+            i += 1
+        digits = source[start:i]
+        if len(digits) == 2:
+            raise LexError("hex literal with no digits", line, col)
+        value: object = int(digits, 16)
+    else:
+        while i < n and source[i] in "0123456789":
+            i += 1
+        if i < n and source[i] == "." and (i + 1 >= n or source[i + 1] != "."):
+            is_float = True
+            i += 1
+            while i < n and source[i] in "0123456789":
+                i += 1
+        if i < n and source[i] in "eE":
+            peek = i + 1
+            if peek < n and source[peek] in "+-":
+                peek += 1
+            if peek < n and source[peek] in "0123456789":
+                is_float = True
+                i = peek
+                while i < n and source[i] in "0123456789":
+                    i += 1
+        digits = source[start:i]
+        value = float(digits) if is_float else int(digits, 10)
+    suffix_start = i
+    while i < n and source[i] in "uUlLfF":
+        i += 1
+    suffix = source[suffix_start:i].lower()
+    text = source[start:i]
+    if is_float or (suffix in ("f",) and "." in digits):
+        kind = TokenKind.FLOAT
+    else:
+        kind = TokenKind.INT
+    token = Token(kind, text, line, col, value=value)
+    return token, i, col + (i - start)
+
+
+def _decode_escape(source: str, i: int, line: int, col: int) -> tuple[str, int]:
+    """Decode one character at *i* (which may start an escape sequence)."""
+    ch = source[i]
+    if ch != "\\":
+        return ch, i + 1
+    if i + 1 >= len(source):
+        raise LexError("dangling escape", line, col)
+    esc = source[i + 1]
+    if esc == "x":
+        j = i + 2
+        hex_digits = ""
+        while j < len(source) and source[j] in "0123456789abcdefABCDEF":
+            hex_digits += source[j]
+            j += 1
+        if not hex_digits:
+            raise LexError("\\x with no hex digits", line, col)
+        return chr(int(hex_digits, 16) & 0xFF), j
+    if esc in _ESCAPES:
+        return _ESCAPES[esc], i + 2
+    raise LexError(f"unknown escape \\{esc}", line, col)
+
+
+def _lex_char(source: str, i: int, line: int, col: int) -> tuple[Token, int, int]:
+    start = i
+    i += 1  # opening quote
+    if i >= len(source):
+        raise LexError("unterminated character literal", line, col)
+    ch, i = _decode_escape(source, i, line, col)
+    if i >= len(source) or source[i] != "'":
+        raise LexError("unterminated character literal", line, col)
+    i += 1
+    text = source[start:i]
+    token = Token(TokenKind.CHAR, text, line, col, value=ord(ch))
+    return token, i, col + (i - start)
+
+
+def _lex_string(source: str, i: int, line: int, col: int) -> tuple[Token, int, int]:
+    start = i
+    i += 1  # opening quote
+    chars: list[str] = []
+    while True:
+        if i >= len(source) or source[i] == "\n":
+            raise LexError("unterminated string literal", line, col)
+        if source[i] == '"':
+            i += 1
+            break
+        ch, i = _decode_escape(source, i, line, col)
+        chars.append(ch)
+    text = source[start:i]
+    token = Token(TokenKind.STRING, text, line, col, value="".join(chars))
+    return token, i, col + (i - start)

@@ -1,0 +1,709 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic.lexer import Token, TokenKind, tokenize
+from repro.minic import types as ty
+
+# Binary operator precedence (C-like).  Higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", "&=", "|=", "^="}
+
+_TYPE_KEYWORDS = {
+    "void",
+    "char",
+    "short",
+    "int",
+    "long",
+    "float",
+    "double",
+    "signed",
+    "unsigned",
+    "struct",
+    "enum",
+    "const",
+}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.minic.ast.Program`."""
+
+    def __init__(self, tokens: list[Token], filename: str = "<minic>") -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._filename = filename
+        self._struct_types: dict[str, ty.StructType] = {}
+        #: Enumerator constants, substituted as int literals at parse time
+        #: (C enums are plain int constants).
+        self._enum_constants: dict[str, int] = {}
+        self._enum_names: set[str] = set()
+        #: Line of the first token of the statement currently being parsed;
+        #: consumed by ``__LINE__`` policy handling.
+        self._statement_line = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind in (TokenKind.OP, TokenKind.KEYWORD) and token.text == text
+
+    def _accept(self, text: str) -> Token | None:
+        if self._check(text):
+            return self._advance()
+        return None
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if not self._check(text):
+            raise ParseError(
+                f"expected {text!r}, found {token.text or '<eof>'!r}",
+                token.line,
+                token.col,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message, token.line, token.col)
+
+    # -- program structure -------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        first = self._peek()
+        decls: list[ast.Node] = []
+        while self._peek().kind is not TokenKind.EOF:
+            decls.extend(self._parse_top_level())
+        return ast.Program(first.line, first.col, decls, filename=self._filename)
+
+    def _parse_top_level(self) -> list[ast.Node]:
+        token = self._peek()
+        if self._check("struct") and self._peek(2).text == "{":
+            return [self._parse_struct_def()]
+        if self._check("enum") and self._peek(2).text == "{":
+            self._parse_enum_def()
+            return []
+        is_static = self._accept("static") is not None
+        base = self._parse_type_base()
+        # A bare "struct Foo;" forward declaration.
+        if self._accept(";"):
+            return []
+        decls: list[ast.Node] = []
+        while True:
+            var_type, name_token = self._parse_declarator(base)
+            if self._check("(") and not decls:
+                return [self._parse_function(var_type, name_token, is_static)]
+            init = None
+            if self._accept("="):
+                init = self._parse_initializer()
+            decls.append(
+                ast.GlobalVar(
+                    name_token.line,
+                    name_token.col,
+                    name=name_token.text,
+                    var_type=var_type,
+                    init=init,
+                    is_static=is_static,
+                )
+            )
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if not decls:
+            raise ParseError("empty declaration", token.line, token.col)
+        return decls
+
+    def _parse_struct_def(self) -> ast.StructDef:
+        kw = self._expect("struct")
+        name_token = self._advance()
+        if name_token.kind is not TokenKind.IDENT:
+            raise ParseError("expected struct name", name_token.line, name_token.col)
+        self._expect("{")
+        # Register an incomplete placeholder so self-referential members
+        # (``struct Node *next``) resolve; pointers to incomplete structs
+        # are valid C.
+        self._struct_types[name_token.text] = ty.StructType(name_token.text)
+        members: list[tuple[str, ty.Type]] = []
+        while not self._check("}"):
+            base = self._parse_type_base()
+            while True:
+                member_type, member_token = self._parse_declarator(base)
+                members.append((member_token.text, member_type))
+                if not self._accept(","):
+                    break
+            self._expect(";")
+        self._expect("}")
+        self._expect(";")
+        struct_type = ty.layout_struct(name_token.text, members)
+        self._struct_types[name_token.text] = struct_type
+        return ast.StructDef(kw.line, kw.col, name=name_token.text, struct_type=struct_type)
+
+    def _parse_enum_def(self) -> None:
+        self._expect("enum")
+        name_token = self._advance()
+        if name_token.kind is not TokenKind.IDENT:
+            raise ParseError("expected enum name", name_token.line, name_token.col)
+        self._enum_names.add(name_token.text)
+        self._expect("{")
+        next_value = 0
+        while not self._check("}"):
+            member = self._advance()
+            if member.kind is not TokenKind.IDENT:
+                raise ParseError("expected enumerator name", member.line, member.col)
+            if self._accept("="):
+                value_token = self._peek()
+                negative = self._accept("-") is not None
+                value_token = self._advance()
+                if value_token.kind is not TokenKind.INT:
+                    raise ParseError(
+                        "enumerator value must be an integer literal",
+                        value_token.line,
+                        value_token.col,
+                    )
+                next_value = -int(value_token.value) if negative else int(value_token.value)
+            self._enum_constants[member.text] = next_value
+            next_value += 1
+            if not self._accept(","):
+                break
+        self._expect("}")
+        self._expect(";")
+
+    def _parse_function(
+        self, ret_type: ty.Type, name_token: Token, is_static: bool
+    ) -> ast.FuncDef:
+        self._expect("(")
+        params: list[ast.Param] = []
+        varargs = False
+        if not self._check(")"):
+            if self._check("void") and self._peek(1).text == ")":
+                self._advance()
+            else:
+                while True:
+                    if self._accept("..."):
+                        varargs = True
+                        break
+                    base = self._parse_type_base()
+                    param_type, param_token = self._parse_declarator(base, allow_abstract=True)
+                    param_type = ty.decay(param_type)
+                    params.append(
+                        ast.Param(
+                            param_token.line,
+                            param_token.col,
+                            name=param_token.text,
+                            param_type=param_type,
+                        )
+                    )
+                    if not self._accept(","):
+                        break
+        self._expect(")")
+        body = self._parse_block()
+        return ast.FuncDef(
+            name_token.line,
+            name_token.col,
+            name=name_token.text,
+            ret_type=ret_type,
+            params=params,
+            body=body,
+            is_static=is_static,
+            varargs=varargs,
+        )
+
+    # -- types --------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS
+
+    def _parse_type_base(self) -> ty.Type:
+        """Parse a type specifier (without declarator suffixes)."""
+        while self._accept("const"):
+            pass
+        if self._check("enum"):
+            self._advance()
+            name_token = self._advance()
+            if name_token.kind is not TokenKind.IDENT or name_token.text not in self._enum_names:
+                raise ParseError(
+                    f"unknown enum {name_token.text!r}", name_token.line, name_token.col
+                )
+            while self._accept("const"):
+                pass
+            return ty.INT
+        if self._accept("struct"):
+            name_token = self._advance()
+            if name_token.kind is not TokenKind.IDENT:
+                raise ParseError("expected struct name", name_token.line, name_token.col)
+            struct_type = self._struct_types.get(name_token.text)
+            if struct_type is None:
+                # Forward reference: empty struct refined on use is not
+                # supported; treat as error to keep semantics simple.
+                raise ParseError(
+                    f"unknown struct {name_token.text!r}", name_token.line, name_token.col
+                )
+            result: ty.Type = struct_type
+        else:
+            words: list[str] = []
+            while self._peek().kind is TokenKind.KEYWORD and self._peek().text in (
+                "void",
+                "char",
+                "short",
+                "int",
+                "long",
+                "float",
+                "double",
+                "signed",
+                "unsigned",
+                "const",
+            ):
+                word = self._advance().text
+                if word != "const":
+                    words.append(word)
+            if not words:
+                raise self._error("expected type")
+            result = _resolve_scalar_type(words, self._peek())
+        while self._accept("const"):
+            pass
+        return result
+
+    def _parse_declarator(
+        self, base: ty.Type, allow_abstract: bool = False
+    ) -> tuple[ty.Type, Token]:
+        """Parse ``* ... name [N]...`` returning (type, name token)."""
+        result = base
+        while self._accept("*"):
+            while self._accept("const"):
+                pass
+            result = ty.PointerType(result)
+        name_token = self._peek()
+        if name_token.kind is TokenKind.IDENT:
+            self._advance()
+        elif allow_abstract:
+            name_token = Token(TokenKind.IDENT, "", name_token.line, name_token.col)
+        else:
+            raise ParseError(
+                f"expected identifier, found {name_token.text!r}",
+                name_token.line,
+                name_token.col,
+            )
+        # Array suffixes bind outside-in: int a[2][3] is array(2, array(3, int)).
+        dims: list[int] = []
+        while self._accept("["):
+            size_token = self._peek()
+            if size_token.kind is not TokenKind.INT:
+                raise ParseError("expected array size literal", size_token.line, size_token.col)
+            self._advance()
+            dims.append(int(size_token.value))
+            self._expect("]")
+        for dim in reversed(dims):
+            result = ty.ArrayType(result, dim)
+        return result, name_token
+
+    def _parse_type_name(self) -> ty.Type:
+        """Parse an abstract type (for casts and sizeof)."""
+        base = self._parse_type_base()
+        result = base
+        while self._accept("*"):
+            while self._accept("const"):
+                pass
+            result = ty.PointerType(result)
+        return result
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        open_token = self._expect("{")
+        body: list[ast.Stmt] = []
+        while not self._check("}"):
+            body.append(self._parse_statement())
+        self._expect("}")
+        return ast.Block(open_token.line, open_token.col, body=body)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._peek()
+        previous_statement_line = self._statement_line
+        self._statement_line = token.line
+        try:
+            return self._parse_statement_inner(token)
+        finally:
+            self._statement_line = previous_statement_line
+
+    def _parse_statement_inner(self, token: Token) -> ast.Stmt:
+        if self._check("{"):
+            return self._parse_block()
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            return self._parse_while()
+        if self._check("do"):
+            return self._parse_do_while()
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("switch"):
+            return self._parse_switch()
+        if self._accept("return"):
+            value = None if self._check(";") else self._parse_expression()
+            self._expect(";")
+            return ast.Return(token.line, token.col, value=value)
+        if self._accept("break"):
+            self._expect(";")
+            return ast.Break(token.line, token.col)
+        if self._accept("continue"):
+            self._expect(";")
+            return ast.Continue(token.line, token.col)
+        if self._check("static") or self._at_type():
+            return self._parse_local_decl()
+        if self._accept(";"):
+            return ast.Block(token.line, token.col, body=[])
+        expr = self._parse_expression()
+        self._expect(";")
+        return ast.ExprStmt(token.line, token.col, expr=expr)
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        token = self._peek()
+        is_static = self._accept("static") is not None
+        base = self._parse_type_base()
+        decls: list[ast.Stmt] = []
+        while True:
+            var_type, name_token = self._parse_declarator(base)
+            init = None
+            if self._accept("="):
+                init = self._parse_initializer()
+            decls.append(
+                ast.VarDecl(
+                    name_token.line,
+                    name_token.col,
+                    name=name_token.text,
+                    var_type=var_type,
+                    init=init,
+                    is_static=is_static,
+                )
+            )
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(token.line, token.col, body=decls)
+
+    def _parse_initializer(self) -> ast.Expr:
+        # Brace initializers are supported only as string-like byte lists for
+        # char arrays and flat integer lists; richer forms are not needed by
+        # the generators.
+        if self._check("{"):
+            open_token = self._expect("{")
+            elements: list[ast.Expr] = []
+            while not self._check("}"):
+                elements.append(self._parse_assignment())
+                if not self._accept(","):
+                    break
+            self._expect("}")
+            call = ast.Call(
+                open_token.line,
+                open_token.col,
+                func=ast.Ident(open_token.line, open_token.col, name="__array_init"),
+                args=elements,
+            )
+            return call
+        return self._parse_assignment()
+
+    def _parse_if(self) -> ast.If:
+        kw = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept("else"):
+            otherwise = self._parse_statement()
+        return ast.If(kw.line, kw.col, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self) -> ast.While:
+        kw = self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.While(kw.line, kw.col, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        kw = self._expect("do")
+        body = self._parse_statement()
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(kw.line, kw.col, body=body, cond=cond)
+
+    def _parse_for(self) -> ast.For:
+        kw = self._expect("for")
+        self._expect("(")
+        init: ast.Stmt | None = None
+        if not self._check(";"):
+            if self._at_type() or self._check("static"):
+                init = self._parse_local_decl()
+            else:
+                expr = self._parse_expression()
+                self._expect(";")
+                init = ast.ExprStmt(kw.line, kw.col, expr=expr)
+        else:
+            self._expect(";")
+        cond = None if self._check(";") else self._parse_expression()
+        self._expect(";")
+        step = None if self._check(")") else self._parse_expression()
+        self._expect(")")
+        body = self._parse_statement()
+        return ast.For(kw.line, kw.col, init=init, cond=cond, step=step, body=body)
+
+    def _parse_switch(self) -> ast.Switch:
+        kw = self._expect("switch")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        self._expect("{")
+        cases: list[ast.SwitchCase] = []
+        seen_default = False
+        while not self._check("}"):
+            case_token = self._peek()
+            if self._accept("case"):
+                negative = self._accept("-") is not None
+                value_token = self._advance()
+                if value_token.kind is TokenKind.INT or value_token.kind is TokenKind.CHAR:
+                    value = int(value_token.value)
+                elif (
+                    value_token.kind is TokenKind.IDENT
+                    and value_token.text in self._enum_constants
+                ):
+                    value = self._enum_constants[value_token.text]
+                else:
+                    raise ParseError(
+                        "case label must be an integer constant",
+                        value_token.line,
+                        value_token.col,
+                    )
+                if negative:
+                    value = -value
+            elif self._accept("default"):
+                if seen_default:
+                    raise ParseError("duplicate default label", case_token.line, case_token.col)
+                seen_default = True
+                value = None
+            else:
+                raise ParseError(
+                    "expected 'case' or 'default'", case_token.line, case_token.col
+                )
+            self._expect(":")
+            body: list[ast.Stmt] = []
+            while not (self._check("case") or self._check("default") or self._check("}")):
+                body.append(self._parse_statement())
+            cases.append(ast.SwitchCase(case_token.line, case_token.col, value=value, body=body))
+        self._expect("}")
+        return ast.Switch(kw.line, kw.col, cond=cond, cases=cases)
+
+    # -- expressions -----------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        while self._accept(","):
+            rhs = self._parse_assignment()
+            expr = ast.Binary(expr.line, expr.col, op=",", lhs=expr, rhs=rhs)
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        lhs = self._parse_conditional()
+        token = self._peek()
+        if token.kind is TokenKind.OP and token.text in _ASSIGN_OPS:
+            self._advance()
+            rhs = self._parse_assignment()
+            return ast.Assign(token.line, token.col, op=token.text, target=lhs, value=rhs)
+        return lhs
+
+    def _parse_conditional(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if self._accept("?"):
+            then = self._parse_expression()
+            self._expect(":")
+            otherwise = self._parse_conditional()
+            return ast.Conditional(cond.line, cond.col, cond=cond, then=then, otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.OP:
+                return lhs
+            precedence = _BINARY_PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                return lhs
+            self._advance()
+            rhs = self._parse_binary(precedence + 1)
+            lhs = ast.Binary(token.line, token.col, op=token.text, lhs=lhs, rhs=rhs)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.OP and token.text in ("-", "+", "!", "~", "*", "&"):
+            self._advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.Unary(token.line, token.col, op=token.text, operand=operand)
+        if token.kind is TokenKind.OP and token.text in ("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(token.line, token.col, op=token.text, operand=operand)
+        if self._check("sizeof"):
+            self._advance()
+            if self._check("(") and self._is_type_ahead(1):
+                self._expect("(")
+                target = self._parse_type_name()
+                self._expect(")")
+                return ast.SizeofType(token.line, token.col, target_type=target)
+            operand = self._parse_unary()
+            return ast.SizeofExpr(token.line, token.col, operand=operand)
+        if self._check("(") and self._is_type_ahead(1):
+            self._expect("(")
+            target = self._parse_type_name()
+            self._expect(")")
+            operand = self._parse_unary()
+            return ast.Cast(token.line, token.col, target_type=target, operand=operand)
+        return self._parse_postfix()
+
+    def _is_type_ahead(self, offset: int) -> bool:
+        token = self._peek(offset)
+        return token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if self._accept("("):
+                args: list[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                expr = ast.Call(expr.line, expr.col, func=expr, args=args)
+            elif self._accept("["):
+                index = self._parse_expression()
+                self._expect("]")
+                expr = ast.Index(expr.line, expr.col, base=expr, index=index)
+            elif self._accept("."):
+                name_token = self._advance()
+                expr = ast.Member(token.line, token.col, base=expr, name=name_token.text, arrow=False)
+            elif self._accept("->"):
+                name_token = self._advance()
+                expr = ast.Member(token.line, token.col, base=expr, name=name_token.text, arrow=True)
+            elif token.kind is TokenKind.OP and token.text in ("++", "--"):
+                self._advance()
+                expr = ast.Unary(token.line, token.col, op=f"p{token.text}", operand=expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            suffix = "".join(c for c in token.text.lower() if c in "ul")
+            return ast.IntLit(token.line, token.col, value=int(token.value), suffix=suffix)
+        if token.kind is TokenKind.FLOAT:
+            self._advance()
+            return ast.FloatLit(
+                token.line, token.col, value=float(token.value), is_single="f" in token.text.lower()
+            )
+        if token.kind is TokenKind.CHAR:
+            self._advance()
+            return ast.CharLit(token.line, token.col, value=int(token.value))
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            value = str(token.value)
+            while self._peek().kind is TokenKind.STRING:
+                value += str(self._advance().value)
+            return ast.StrLit(token.line, token.col, value=value)
+        if self._check("NULL"):
+            self._advance()
+            return ast.NullLit(token.line, token.col)
+        if self._check("__LINE__"):
+            self._advance()
+            node = ast.LineMacro(token.line, token.col)
+            node.statement_line = self._statement_line or token.line
+            return node
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if token.text in self._enum_constants:
+                return ast.IntLit(token.line, token.col, value=self._enum_constants[token.text])
+            return ast.Ident(token.line, token.col, name=token.text)
+        if self._accept("("):
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        raise self._error(f"unexpected token {token.text or '<eof>'!r}")
+
+
+def _resolve_scalar_type(words: list[str], token: Token) -> ty.Type:
+    counts = {w: words.count(w) for w in set(words)}
+    unsigned = counts.pop("unsigned", 0) > 0
+    signed = counts.pop("signed", 0) > 0
+    if unsigned and signed:
+        raise ParseError("both signed and unsigned", token.line, token.col)
+    key = tuple(sorted(w for w in words if w not in ("signed", "unsigned")))
+    mapping: dict[tuple[str, ...], ty.Type] = {
+        (): ty.INT,
+        ("void",): ty.VOID,
+        ("char",): ty.CHAR,
+        ("short",): ty.SHORT,
+        ("int", "short"): ty.SHORT,
+        ("int",): ty.INT,
+        ("long",): ty.LONG,
+        ("int", "long"): ty.LONG,
+        ("long", "long"): ty.LONG,
+        ("int", "long", "long"): ty.LONG,
+        ("float",): ty.FLOAT,
+        ("double",): ty.DOUBLE,
+        ("double", "long"): ty.DOUBLE,
+    }
+    base = mapping.get(key)
+    if base is None:
+        raise ParseError(f"unsupported type {' '.join(words)!r}", token.line, token.col)
+    if unsigned:
+        if not isinstance(base, ty.IntType):
+            raise ParseError("unsigned non-integer type", token.line, token.col)
+        return ty.IntType(base.bits, signed=False)
+    return base
+
+
+def parse(source: str, filename: str = "<minic>") -> ast.Program:
+    """Parse MiniC *source* into an (unchecked) AST."""
+    tokens = tokenize(source, filename=filename)
+    return Parser(tokens, filename=filename).parse_program()

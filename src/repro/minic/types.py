@@ -1,0 +1,258 @@
+"""MiniC type system.
+
+Models the C scalar types with the LP64 sizes the paper's targets use
+(``char`` 1, ``short`` 2, ``int`` 4, ``long`` 8, pointers 8 bytes), plus
+pointers, fixed-size arrays, structs, and function types.  Struct layout is
+the conventional aligned layout and is identical across all simulated
+compiler implementations — cross-implementation divergence comes from the
+layout of *distinct objects* (stack slots, globals, heap blocks), never from
+intra-struct layout, matching real x86-64 ABIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Type:
+    """Base class for MiniC types."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def align(self) -> int:
+        return self.size()
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.is_integer or self.is_float
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def size(self) -> int:
+        return 0
+
+    def align(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Fixed-width two's-complement integer type."""
+
+    bits: int
+    signed: bool
+
+    def size(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        names = {8: "char", 16: "short", 32: "int", 64: "long"}
+        base = names[self.bits]
+        return base if self.signed else f"unsigned {base}"
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce *value* into this type's representable range (wraparound)."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.signed and value > self.max_value:
+            value -= 1 << self.bits
+        return value
+
+    def contains(self, value: int) -> bool:
+        return self.min_value <= value <= self.max_value
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    """IEEE-754 binary floating type (32- or 64-bit)."""
+
+    bits: int
+
+    def size(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    length: int
+
+    def size(self) -> int:
+        return self.element.size() * self.length
+
+    def align(self) -> int:
+        return self.element.align()
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    type: Type
+    offset: int
+
+
+@dataclass(frozen=True)
+class StructType(Type):
+    """A named struct with conventionally aligned field layout."""
+
+    name: str
+    fields: tuple[StructField, ...] = field(default=())
+
+    def size(self) -> int:
+        if not self.fields:
+            return 0
+        end = max(f.offset + f.type.size() for f in self.fields)
+        alignment = self.align()
+        return (end + alignment - 1) // alignment * alignment
+
+    def align(self) -> int:
+        if not self.fields:
+            return 1
+        return max(f.type.align() for f in self.fields)
+
+    def field_named(self, name: str) -> StructField | None:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        return None
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    ret: Type
+    params: tuple[Type, ...]
+    varargs: bool = False
+
+    def size(self) -> int:
+        return 8  # function designators decay to pointers
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.varargs:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.ret}({params})"
+
+
+def layout_struct(name: str, members: list[tuple[str, Type]]) -> StructType:
+    """Compute aligned offsets for *members* and build a :class:`StructType`."""
+    fields: list[StructField] = []
+    offset = 0
+    for member_name, member_type in members:
+        alignment = member_type.align()
+        offset = (offset + alignment - 1) // alignment * alignment
+        fields.append(StructField(member_name, member_type, offset))
+        offset += member_type.size()
+    return StructType(name, tuple(fields))
+
+
+# Canonical scalar instances.
+VOID = VoidType()
+CHAR = IntType(8, signed=True)
+UCHAR = IntType(8, signed=False)
+SHORT = IntType(16, signed=True)
+USHORT = IntType(16, signed=False)
+INT = IntType(32, signed=True)
+UINT = IntType(32, signed=False)
+LONG = IntType(64, signed=True)
+ULONG = IntType(64, signed=False)
+FLOAT = FloatType(32)
+DOUBLE = FloatType(64)
+BOOL = INT  # MiniC comparisons yield int, as in C.
+
+
+def integer_promote(ty: Type) -> Type:
+    """C integer promotion: types narrower than int promote to int."""
+    if isinstance(ty, IntType) and ty.bits < 32:
+        return INT
+    return ty
+
+
+def usual_arithmetic_conversion(a: Type, b: Type) -> Type:
+    """The C 'usual arithmetic conversions' for a binary operator."""
+    if isinstance(a, FloatType) or isinstance(b, FloatType):
+        bits = max(
+            a.bits if isinstance(a, FloatType) else 0,
+            b.bits if isinstance(b, FloatType) else 0,
+            32,
+        )
+        return FloatType(max(bits, 32)) if bits <= 32 else DOUBLE
+    a = integer_promote(a)
+    b = integer_promote(b)
+    assert isinstance(a, IntType) and isinstance(b, IntType)
+    if a == b:
+        return a
+    if a.signed == b.signed:
+        return a if a.bits >= b.bits else b
+    signed, unsigned = (a, b) if a.signed else (b, a)
+    if unsigned.bits >= signed.bits:
+        return unsigned
+    # The signed type can represent all unsigned values (e.g. long vs uint).
+    return signed
+
+
+def decay(ty: Type) -> Type:
+    """Array-to-pointer decay used in expression contexts."""
+    if isinstance(ty, ArrayType):
+        return PointerType(ty.element)
+    if isinstance(ty, FunctionType):
+        return PointerType(ty)
+    return ty

@@ -1,0 +1,34 @@
+"""Sanitizer analogs (dynamic UB detectors).
+
+Each sanitizer is an instrumented build of the target (the runtime checks
+live in :mod:`repro.vm`) wrapped in the tool-style interface the
+evaluation drivers consume.  Scopes follow the paper's Table 1:
+
+* **ASan** — memory errors (stack/heap/global buffer overflow, use after
+  free, double free, invalid free).
+* **UBSan** — miscellaneous UBs (signed overflow, division by zero,
+  invalid shifts, null dereference).
+* **MSan** — uses of uninitialized memory, *only* when the value decides a
+  branch (the paper's §2 Example 3 explains why value-flow uses are out of
+  scope to avoid false positives).
+"""
+
+from repro.sanitizers.base import Sanitizer, SanitizerFinding
+from repro.sanitizers.asan import AddressSanitizer
+from repro.sanitizers.ubsan import UndefinedBehaviorSanitizer
+from repro.sanitizers.msan import MemorySanitizer
+
+
+def all_sanitizers() -> list[Sanitizer]:
+    """The three sanitizers of the paper's evaluation, fresh instances."""
+    return [AddressSanitizer(), UndefinedBehaviorSanitizer(), MemorySanitizer()]
+
+
+__all__ = [
+    "AddressSanitizer",
+    "MemorySanitizer",
+    "Sanitizer",
+    "SanitizerFinding",
+    "UndefinedBehaviorSanitizer",
+    "all_sanitizers",
+]

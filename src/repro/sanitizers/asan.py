@@ -1,0 +1,30 @@
+"""AddressSanitizer analog: memory-error detection via redzones.
+
+Scope (Table 1): buffer overflows (stack/heap/global), use after free,
+double free, free of non-heap memory.  Like the real tool it cannot see
+*intra-object* overflows (a write past one struct field into the next) or
+overflows that jump clean over a redzone into another live object — which
+is why its detection rate on the Juliet memory-error CWEs is high but not
+total.
+"""
+
+from __future__ import annotations
+
+from repro.sanitizers.base import Sanitizer
+
+
+class AddressSanitizer(Sanitizer):
+    """ASan analog: redzone-based memory-error detection."""
+
+    name = "asan"
+    detects = frozenset(
+        {
+            "stack-buffer-overflow",
+            "heap-buffer-overflow",
+            "global-buffer-overflow",
+            "heap-use-after-free",
+            "double-free",
+            "bad-free",
+            "memcpy-param-overlap",
+        }
+    )

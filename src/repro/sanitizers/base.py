@@ -1,0 +1,61 @@
+"""Common sanitizer interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import SANITIZER_CONFIG, CompiledBinary, compile_program
+from repro.minic import ast as minic_ast
+from repro.minic import load
+from repro.vm import ForkServer
+from repro.vm.machine import DEFAULT_FUEL
+
+
+@dataclass(frozen=True)
+class SanitizerFinding:
+    """One sanitizer report on one input."""
+
+    tool: str
+    kind: str
+    line: int
+    detail: str
+    input: bytes
+
+
+class Sanitizer:
+    """A dynamic checker: instrumented build + runtime checks.
+
+    Subclasses set :attr:`name` (the VM check-suite id) and
+    :attr:`detects` (report kinds this tool can emit, for scope queries).
+    """
+
+    name: str = ""
+    detects: frozenset[str] = frozenset()
+
+    def __init__(self, fuel: int = DEFAULT_FUEL) -> None:
+        self.fuel = fuel
+
+    def build(self, program: minic_ast.Program, name: str = "") -> ForkServer:
+        """Compile *program* with instrumentation enabled."""
+        binary: CompiledBinary = compile_program(
+            program, SANITIZER_CONFIG, name=name, sanitizer=self.name
+        )
+        return ForkServer(binary, fuel=self.fuel)
+
+    def check(
+        self, program: minic_ast.Program, inputs: list[bytes], name: str = ""
+    ) -> SanitizerFinding | None:
+        """Run *inputs* under the sanitizer; return the first finding."""
+        server = self.build(program, name=name)
+        for input_bytes in inputs:
+            result = server.run(input_bytes)
+            if result.sanitizer_report is not None:
+                kind, line, detail = result.sanitizer_report
+                return SanitizerFinding(
+                    tool=self.name, kind=kind, line=line, detail=detail, input=input_bytes
+                )
+        return None
+
+    def check_source(self, source: str, inputs: list[bytes]) -> SanitizerFinding | None:
+        """Like :meth:`check`, from source text."""
+        return self.check(load(source), inputs)

@@ -1,0 +1,20 @@
+"""MemorySanitizer analog: uninitialized-memory use detection.
+
+Scope (Table 1): uses of uninitialized values — but, following the real
+tool's false-positive-avoidance design the paper highlights in §2
+Example 3, a report fires only when an uninitialized value *decides a
+branch*.  Copying, printing, or storing indeterminate bytes propagates
+shadow but does not report, so Listing-4-style value flows are missed
+(the 7% row of Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.sanitizers.base import Sanitizer
+
+
+class MemorySanitizer(Sanitizer):
+    """MSan analog: branch-scoped uninitialized-value detection."""
+
+    name = "msan"
+    detects = frozenset({"use-of-uninitialized-value"})

@@ -1,0 +1,27 @@
+"""UndefinedBehaviorSanitizer analog.
+
+Scope (Table 1): miscellaneous UB with a local, checkable definition —
+signed integer overflow, division by zero, invalid shift amounts, null
+pointer dereference.  UB without a practical check (cross-object pointer
+comparison, unsequenced side effects, pointer subtraction across objects)
+is out of scope, exactly as the paper's §2 discusses.
+"""
+
+from __future__ import annotations
+
+from repro.sanitizers.base import Sanitizer
+
+
+class UndefinedBehaviorSanitizer(Sanitizer):
+    """UBSan analog: checks for locally-definable UB."""
+
+    name = "ubsan"
+    detects = frozenset(
+        {
+            "signed-integer-overflow",
+            "division-by-zero",
+            "invalid-shift",
+            "null-pointer-dereference",
+            "function-type-mismatch",
+        }
+    )

@@ -1,0 +1,386 @@
+"""Shared machinery for the static-analyzer analogs.
+
+A tiny flow-sensitive abstract interpreter produces, per function, a
+linear *trace* of statements annotated with execution certainty and the
+abstract environment before each statement.  Checkers consume the trace.
+
+Abstract values (:class:`Value`):
+
+* ``const`` — a known integer/float;
+* ``taint`` — derived from external input (``input_size`` et al.) plus a
+  known constant offset;
+* ``uninit`` — declared but never assigned on the paths seen;
+* ``maybe_init`` — assigned only under a guard the tool cannot resolve;
+* ``unknown`` — anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic import ast
+from repro.minic import load
+from repro.minic import types as ty
+
+CAPS_ALL = frozenset({"const_true", "global_flag", "func", "ptr_alias", "loop"})
+
+
+@dataclass(frozen=True)
+class Value:
+    kind: str  # "const" | "taint" | "uninit" | "maybe_init" | "unknown"
+    value: float | int | None = None
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind == "const"
+
+
+UNKNOWN = Value("unknown")
+UNINIT = Value("uninit")
+MAYBE_INIT = Value("maybe_init")
+
+
+@dataclass
+class TracePoint:
+    stmt: ast.Stmt
+    #: "taken" when the statement certainly executes, "maybe" under an
+    #: unresolvable guard.
+    certainty: str
+    env: dict[str, Value]
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    tool: str
+    checker: str
+    line: int
+    message: str
+
+
+@dataclass
+class FunctionTrace:
+    func: ast.FuncDef
+    points: list[TracePoint] = field(default_factory=list)
+
+
+class Analysis:
+    """One program's parsed facts shared by all checkers of one tool."""
+
+    def __init__(self, program: ast.Program, caps: frozenset[str]) -> None:
+        self.program = program
+        self.caps = caps
+        self.functions = {f.name: f for f in program.functions()}
+        #: Globals initialized to a nonzero constant (the global_flag cap).
+        self.true_globals: set[str] = set()
+        self.global_arrays: dict[str, int] = {}
+        for decl in program.globals():
+            if isinstance(decl.var_type, ty.ArrayType):
+                self.global_arrays[decl.name] = decl.var_type.length
+            if isinstance(decl.init, ast.IntLit) and decl.init.value != 0:
+                self.true_globals.add(decl.name)
+        #: Functions that just return a constant (the func cap).
+        self.const_funcs: dict[str, int] = {}
+        for func in program.functions():
+            body = func.body.body
+            if len(body) == 1 and isinstance(body[0], ast.Return):
+                value = body[0].value
+                if isinstance(value, ast.IntLit):
+                    self.const_funcs[func.name] = value.value
+        self.traces = {f.name: self._trace_function(f) for f in program.functions()}
+
+    # ------------------------------------------------------------ tracing
+
+    def _trace_function(self, func: ast.FuncDef) -> FunctionTrace:
+        trace = FunctionTrace(func)
+        env: dict[str, Value] = {}
+        self._walk(func.body.body, env, "taken", trace)
+        return trace
+
+    def _walk(
+        self, stmts: list[ast.Stmt], env: dict[str, Value], certainty: str, trace: FunctionTrace
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.For) and stmt.init is not None:
+                # The init clause executes before the condition is ever
+                # read; record it first so the For's env snapshot (used to
+                # evaluate cond/step expressions) reflects it.
+                self._walk([stmt.init], env, certainty, trace)
+            trace.points.append(TracePoint(stmt, certainty, dict(env)))
+            if isinstance(stmt, ast.VarDecl):
+                self._apply_decl(stmt, env)
+            elif isinstance(stmt, ast.ExprStmt):
+                self._apply_expr_stmt(stmt.expr, env)
+            elif isinstance(stmt, ast.Block):
+                self._walk(stmt.body, env, certainty, trace)
+            elif isinstance(stmt, ast.If):
+                self._walk_if(stmt, env, certainty, trace)
+            elif isinstance(stmt, ast.For):
+                self._walk_for(stmt, env, certainty, trace)
+            elif isinstance(stmt, (ast.While, ast.DoWhile)):
+                self._havoc_assigned(stmt.body, env)
+                self._walk(
+                    [stmt.body] if not isinstance(stmt.body, ast.Block) else stmt.body.body,
+                    env,
+                    "maybe",
+                    trace,
+                )
+            elif isinstance(stmt, ast.Switch):
+                for case in stmt.cases:
+                    for case_stmt in case.body:
+                        self._havoc_assigned(case_stmt, env)
+                for case in stmt.cases:
+                    self._walk(case.body, dict(env), "maybe", trace)
+            elif isinstance(stmt, ast.Return) and certainty == "taken":
+                return
+
+    def _walk_if(
+        self, stmt: ast.If, env: dict[str, Value], certainty: str, trace: FunctionTrace
+    ) -> None:
+        cond = self.eval_expr(stmt.cond, env)
+        branch: str | None = None
+        if cond.is_const:
+            branch = "then" if cond.value else "else"
+        elif (
+            "global_flag" in self.caps
+            and isinstance(stmt.cond, ast.Ident)
+            and stmt.cond.name in self.true_globals
+        ):
+            branch = "then"
+        if branch == "then":
+            self._walk(_as_list(stmt.then), env, certainty, trace)
+            return
+        if branch == "else":
+            if stmt.otherwise is not None:
+                self._walk(_as_list(stmt.otherwise), env, certainty, trace)
+            return
+        # Unresolvable guard: both arms are "maybe"; merged env degrades
+        # assigned variables.
+        then_env = dict(env)
+        self._walk(_as_list(stmt.then), then_env, "maybe", trace)
+        else_env = dict(env)
+        if stmt.otherwise is not None:
+            self._walk(_as_list(stmt.otherwise), else_env, "maybe", trace)
+        for name in set(then_env) | set(else_env):
+            before = env.get(name)
+            after_then = then_env.get(name, before)
+            after_else = else_env.get(name, before)
+            if after_then == after_else:
+                merged = after_then if after_then is not None else UNKNOWN
+            elif before is not None and before.kind == "uninit":
+                merged = MAYBE_INIT
+            else:
+                merged = UNKNOWN
+            env[name] = merged
+
+    def _walk_for(
+        self, stmt: ast.For, env: dict[str, Value], certainty: str, trace: FunctionTrace
+    ) -> None:
+        counted = self._try_counted_loop(stmt, env) if "loop" in self.caps else None
+        if counted is not None:
+            name, total = counted
+            base = env.get(name, UNKNOWN)
+            if base.is_const:
+                env[name] = Value("const", base.value + total)
+            else:
+                env[name] = UNKNOWN
+            return
+        self._havoc_assigned(stmt.body, env)
+        # Bounded induction variable: for (i = ...; i < K; i++) gives i a
+        # range fact that the bounds checkers can compare to buffer sizes.
+        if (
+            isinstance(stmt.cond, ast.Binary)
+            and stmt.cond.op == "<"
+            and isinstance(stmt.cond.lhs, ast.Ident)
+        ):
+            bound = self.eval_expr(stmt.cond.rhs, env)
+            if bound.is_const:
+                env[stmt.cond.lhs.name] = Value("bounded", bound.value)
+        self._walk(_as_list(stmt.body), env, "maybe", trace)
+
+    def _try_counted_loop(self, stmt: ast.For, env: dict[str, Value]):
+        """Match ``for (i = 0; i < K; i++) { x++; }`` with resolvable K."""
+        body = _as_list(stmt.body)
+        if len(body) != 1 or not isinstance(body[0], ast.ExprStmt):
+            return None
+        inc = body[0].expr
+        if not (isinstance(inc, ast.Unary) and inc.op in ("++", "p++")):
+            return None
+        if not isinstance(inc.operand, ast.Ident):
+            return None
+        cond = stmt.cond
+        if not (isinstance(cond, ast.Binary) and cond.op == "<"):
+            return None
+        bound = self.eval_expr(cond.rhs, env)
+        if not bound.is_const:
+            return None
+        return inc.operand.name, int(bound.value)
+
+    def _havoc_assigned(self, stmt: ast.Stmt, env: dict[str, Value]) -> None:
+        for inner in ast.walk_stmts(stmt):
+            for expr in ast.statement_exprs(inner):
+                for node in ast.walk_expr(expr):
+                    if isinstance(node, ast.Assign) and isinstance(node.target, ast.Ident):
+                        env[node.target.name] = UNKNOWN
+                    if (
+                        isinstance(node, ast.Unary)
+                        and node.op in ("++", "--", "p++", "p--")
+                        and isinstance(node.operand, ast.Ident)
+                    ):
+                        env[node.operand.name] = UNKNOWN
+
+    # --------------------------------------------------------- transfer fns
+
+    def _apply_decl(self, stmt: ast.VarDecl, env: dict[str, Value]) -> None:
+        if stmt.init is None:
+            env[stmt.name] = UNINIT if stmt.var_type.is_arithmetic else UNKNOWN
+            return
+        # Alias bookkeeping for the ptr_alias cap: `int *a = &real;`
+        # snapshots real's current value under the key "&a"; the template
+        # shape reads through the alias immediately afterwards.
+        if (
+            isinstance(stmt.init, ast.Unary)
+            and stmt.init.op == "&"
+            and isinstance(stmt.init.operand, ast.Ident)
+        ):
+            env[f"&{stmt.name}"] = env.get(stmt.init.operand.name, UNKNOWN)
+        env[stmt.name] = self.eval_expr(stmt.init, env)
+
+    def _apply_expr_stmt(self, expr: ast.Expr, env: dict[str, Value]) -> None:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Assign):
+                if isinstance(node.target, ast.Ident):
+                    env[node.target.name] = (
+                        self.eval_expr(node.value, env) if node.op == "=" else UNKNOWN
+                    )
+            elif isinstance(node, ast.Unary) and node.op in ("++", "--", "p++", "p--"):
+                if isinstance(node.operand, ast.Ident):
+                    base = env.get(node.operand.name, UNKNOWN)
+                    if base.is_const:
+                        delta = 1 if "+" in node.op else -1
+                        env[node.operand.name] = Value("const", base.value + delta)
+                    else:
+                        env[node.operand.name] = UNKNOWN
+
+    # ---------------------------------------------------------- evaluation
+
+    def eval_expr(self, expr: ast.Expr, env: dict[str, Value]) -> Value:
+        if isinstance(expr, (ast.IntLit, ast.CharLit)):
+            return Value("const", expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return Value("const", expr.value)
+        if isinstance(expr, ast.NullLit):
+            return Value("const", 0)
+        if isinstance(expr, ast.Ident):
+            return env.get(expr.name, UNKNOWN)
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            inner = self.eval_expr(expr.operand, env)
+            if inner.is_const:
+                return Value("const", -inner.value)
+            return UNKNOWN
+        if isinstance(expr, ast.Unary) and expr.op == "*" and "ptr_alias" in self.caps:
+            # *alias where alias = &real resolves to real's value; the
+            # template shape makes this a direct lookup.
+            if isinstance(expr.operand, ast.Ident):
+                target = env.get(f"&{expr.operand.name}")
+                if target is not None:
+                    return target
+            return UNKNOWN
+        if isinstance(expr, ast.Cast):
+            return self.eval_expr(expr.operand, env)
+        if isinstance(expr, ast.SizeofType):
+            return Value("const", expr.target_type.size())
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Ident):
+            name = expr.func.name
+            if name in ("input_size", "input_byte", "read_input"):
+                return Value("taint", 0)
+            if "func" in self.caps and name in self.const_funcs:
+                return Value("const", self.const_funcs[name])
+            return UNKNOWN
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            if isinstance(expr.operand, ast.Ident):
+                return Value("unknown", None)
+            return UNKNOWN
+        if isinstance(expr, ast.Binary):
+            lhs = self.eval_expr(expr.lhs, env)
+            rhs = self.eval_expr(expr.rhs, env)
+            if lhs.is_const and rhs.is_const:
+                return _fold(expr.op, lhs.value, rhs.value)
+            # taint + 0 stays raw taint; taint + nonzero constant is an
+            # adjusted (presumed-guarded) value.
+            for a, b in ((lhs, rhs), (rhs, lhs)):
+                if a.kind == "taint" and b.is_const and expr.op == "+":
+                    return Value("taint", a.value + b.value)
+            if "uninit" in (lhs.kind, rhs.kind):
+                return UNINIT
+            return UNKNOWN
+        return UNKNOWN
+
+def _as_list(stmt: ast.Stmt) -> list[ast.Stmt]:
+    if isinstance(stmt, ast.Block):
+        return stmt.body
+    return [stmt]
+
+
+def _fold(op: str, a, b) -> Value:
+    try:
+        if op == "+":
+            return Value("const", a + b)
+        if op == "-":
+            return Value("const", a - b)
+        if op == "*":
+            return Value("const", a * b)
+        if op == "/":
+            if b == 0:
+                return UNKNOWN
+            return Value("const", a / b if isinstance(a, float) or isinstance(b, float) else a // b)
+        if op == "%":
+            if b == 0:
+                return UNKNOWN
+            return Value("const", a % b)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            table = {
+                "<": a < b,
+                "<=": a <= b,
+                ">": a > b,
+                ">=": a >= b,
+                "==": a == b,
+                "!=": a != b,
+            }
+            return Value("const", int(table[op]))
+    except TypeError:
+        return UNKNOWN
+    return UNKNOWN
+
+
+class StaticAnalyzer:
+    """Base class: a named tool with caps, policies, and checkers."""
+
+    name: str = ""
+    #: Flow shapes this tool's value-flow resolves.
+    caps: frozenset[str] = frozenset()
+    #: Checker names this tool runs (see repro.static_analysis.checks).
+    checkers: tuple[str, ...] = ()
+    #: Checkers that also report on unresolvable ("maybe") evidence.
+    aggressive: frozenset[str] = frozenset()
+    #: Tool-specific checker biases (see repro.static_analysis.checks).
+    policies: frozenset[str] = frozenset()
+
+    def analyze(self, program: ast.Program) -> list[StaticFinding]:
+        from repro.static_analysis import checks
+
+        analysis = Analysis(program, self.caps)
+        findings: list[StaticFinding] = []
+        for checker_name in self.checkers:
+            checker = getattr(checks, f"check_{checker_name}")
+            aggressive = checker_name in self.aggressive
+            for line, message in checker(analysis, aggressive, self.policies):
+                findings.append(
+                    StaticFinding(tool=self.name, checker=checker_name, line=line, message=message)
+                )
+        return findings
+
+    def analyze_source(self, source: str) -> list[StaticFinding]:
+        return self.analyze(load(source))
+
+    def flags(self, program: ast.Program) -> bool:
+        return bool(self.analyze(program))

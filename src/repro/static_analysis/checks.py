@@ -1,0 +1,587 @@
+"""Checker library shared by the static-analyzer analogs.
+
+Every checker is a generator ``check_<name>(analysis, aggressive, policies)
+-> Iterable[(line, message)]``.  ``aggressive`` switches on reporting from
+unresolvable ("maybe") evidence — the false-positive axis; ``policies``
+carries tool-specific biases (e.g. Infer's flow-insensitive null checker).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.minic import ast
+from repro.minic import types as ty
+from repro.static_analysis.base import Analysis, TracePoint, Value
+
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+NEAR_MAX = INT_MAX - (1 << 20)
+
+
+# --------------------------------------------------------------- trace utils
+
+
+def _stmt_exprs(stmt: ast.Stmt) -> Iterator[ast.Expr]:
+    yield from ast.statement_exprs(stmt)
+
+
+def _point_exprs(point: TracePoint) -> Iterator[ast.Expr]:
+    for expr in _stmt_exprs(point.stmt):
+        yield from ast.walk_expr(expr)
+
+
+class PointerFacts:
+    """Sequential pointer-provenance tracking over one function trace.
+
+    ``facts[i]`` is the pointer map *before* trace point ``i``.  Targets:
+    ``("array", name)``, ``("global_array", name)``, ``("malloc", size)``,
+    ``("null",)``, ``("maybe_null",)``, ``("addr", var)``,
+    ``("offset", base_kind...)``, or ``("unknown",)``.
+    """
+
+    def __init__(self, analysis: Analysis, trace) -> None:
+        self.analysis = analysis
+        self.facts: list[dict[str, tuple]] = []
+        local_arrays = {
+            p.stmt.name: p.stmt.var_type.length
+            for p in trace.points
+            if isinstance(p.stmt, ast.VarDecl) and isinstance(p.stmt.var_type, ty.ArrayType)
+        }
+        self.array_sizes = dict(analysis.global_arrays)
+        self.array_sizes.update(local_arrays)
+        current: dict[str, tuple] = {}
+        for point in trace.points:
+            self.facts.append(dict(current))
+            stmt = point.stmt
+            if isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+                current[stmt.name] = self._target(stmt.init, current, point)
+            elif isinstance(stmt, ast.ExprStmt):
+                for node in ast.walk_expr(stmt.expr):
+                    if isinstance(node, ast.Assign) and isinstance(node.target, ast.Ident):
+                        target = self._target(node.value, current, point)
+                        name = node.target.name
+                        if point.certainty == "maybe" and current.get(name) == ("null",):
+                            current[name] = ("maybe_null",)
+                        else:
+                            current[name] = target
+
+    def _target(self, expr: ast.Expr, current: dict[str, tuple], point: TracePoint) -> tuple:
+        if isinstance(expr, ast.NullLit):
+            return ("null",)
+        if isinstance(expr, ast.Ident):
+            if expr.name in self.array_sizes:
+                return ("array", expr.name)
+            if expr.name in current:
+                return current[expr.name]
+            return ("unknown",)
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Ident):
+            if expr.func.name in ("malloc", "calloc"):
+                size = self.analysis.eval_expr(expr.args[0], point.env)
+                return ("malloc", int(size.value) if size.is_const else None)
+            return ("unknown",)
+        if isinstance(expr, ast.Unary) and expr.op == "&":
+            if isinstance(expr.operand, ast.Ident):
+                return ("addr", expr.operand.name)
+            if isinstance(expr.operand, ast.Index) and isinstance(expr.operand.base, ast.Ident):
+                return ("array", expr.operand.base.name)
+            return ("unknown",)
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-"):
+            base = self._target(expr.lhs, current, point)
+            offset = self.analysis.eval_expr(expr.rhs, point.env)
+            nonzero = not (offset.is_const and offset.value == 0)
+            if base[0] in ("array", "malloc", "global_array") and nonzero:
+                return ("offset",) + base
+            return base
+        if isinstance(expr, ast.Cast):
+            return self._target(expr.operand, current, point)
+        return ("unknown",)
+
+
+def _index_base_name(node: ast.Index) -> str | None:
+    if isinstance(node.base, ast.Ident):
+        return node.base.name
+    return None
+
+
+def _address_taken_indices(point: TracePoint) -> set[int]:
+    """ids of Index nodes under an & operator (``&arr[k]`` computes an
+    address — ``k == size`` is the legal one-past-end form)."""
+    taken: set[int] = set()
+    for node in _point_exprs(point):
+        if isinstance(node, ast.Unary) and node.op == "&" and isinstance(node.operand, ast.Index):
+            taken.add(id(node.operand))
+    return taken
+
+
+def _assign_target_ids(point: TracePoint) -> set[int]:
+    """ids of expression nodes that are the target of an assignment."""
+    targets: set[int] = set()
+    for node in _point_exprs(point):
+        if isinstance(node, ast.Assign):
+            targets.add(id(node.target))
+    return targets
+
+
+# ------------------------------------------------------------ bounds checks
+
+
+def check_stack_bounds(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Out-of-bounds constant (or bounded-loop) indexing of arrays."""
+    write_only = "bounds_write_only" in policies
+    for trace in analysis.traces.values():
+        facts = PointerFacts(analysis, trace)
+        for i, point in enumerate(trace.points):
+            address_taken = _address_taken_indices(point)
+            targets = _assign_target_ids(point)
+            for node in _point_exprs(point):
+                if not isinstance(node, ast.Index):
+                    continue
+                if id(node) in address_taken:
+                    continue  # &arr[k]: address computation, not an access
+                if write_only and id(node) not in targets:
+                    continue
+                name = _index_base_name(node)
+                if name is None:
+                    continue
+                size = facts.array_sizes.get(name)
+                if size is None:
+                    fact = facts.facts[i].get(name)
+                    if fact and fact[0] == "array":
+                        size = facts.array_sizes.get(fact[1])
+                if size is None:
+                    continue
+                element = 1
+                if node.base.ty is not None:
+                    pointee = ty.decay(node.base.ty)
+                    if isinstance(pointee, ty.PointerType):
+                        element = max(pointee.pointee.size(), 1)
+                limit = size if element == 1 else size
+                index = analysis.eval_expr(node.index, point.env)
+                if index.is_const and not 0 <= index.value < max(limit, 1):
+                    yield node.line, f"index {index.value} out of bounds for {name}[{size}]"
+                elif index.kind == "bounded" and index.value is not None and index.value > limit:
+                    yield node.line, f"loop bound {index.value} exceeds {name}[{size}]"
+                elif aggressive and index.kind in ("unknown", "taint"):
+                    yield node.line, f"possibly out-of-bounds index into {name}"
+
+
+def check_heap_bounds(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Indexing past a constant-size malloc block."""
+    for trace in analysis.traces.values():
+        facts = PointerFacts(analysis, trace)
+        for i, point in enumerate(trace.points):
+            for node in _point_exprs(point):
+                if not isinstance(node, ast.Index):
+                    continue
+                name = _index_base_name(node)
+                if name is None:
+                    continue
+                fact = facts.facts[i].get(name)
+                if not fact or fact[0] != "malloc" or fact[1] is None:
+                    continue
+                index = analysis.eval_expr(node.index, point.env)
+                if index.is_const and not 0 <= index.value < fact[1]:
+                    yield node.line, f"heap index {index.value} out of bounds ({fact[1]} bytes)"
+                elif aggressive and index.kind in ("unknown", "taint"):
+                    yield node.line, f"possibly out-of-bounds heap index via {name}"
+
+
+# --------------------------------------------------------------- heap state
+
+
+def check_heap_state(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Double free, use after free, and free of non-heap memory."""
+    for trace in analysis.traces.values():
+        facts = PointerFacts(analysis, trace)
+        freed: dict[str, str] = {}  # pointer -> "definite" | "maybe"
+        for i, point in enumerate(trace.points):
+            for node in _point_exprs(point):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Ident)
+                    and node.func.name == "free"
+                    and node.args
+                    and isinstance(node.args[0], (ast.Ident, ast.Cast))
+                ):
+                    arg = node.args[0]
+                    if isinstance(arg, ast.Cast):
+                        arg = arg.operand
+                    if not isinstance(arg, ast.Ident):
+                        continue
+                    name = arg.name
+                    fact = facts.facts[i].get(name, ("unknown",))
+                    if fact[0] in ("array", "global_array", "addr", "offset"):
+                        yield node.line, f"free of non-heap pointer {name}"
+                        continue
+                    state = freed.get(name)
+                    if state == "definite" and point.certainty == "taken":
+                        yield node.line, f"double free of {name}"
+                    elif state is not None and aggressive:
+                        yield node.line, f"possible double free of {name}"
+                    freed[name] = "definite" if point.certainty == "taken" else "maybe"
+                elif isinstance(node, ast.Index):
+                    name = _index_base_name(node)
+                    if name in freed:
+                        state = freed[name]
+                        if state == "definite":
+                            yield node.line, f"use after free of {name}"
+                        elif aggressive:
+                            yield node.line, f"possible use after free of {name}"
+                elif isinstance(node, ast.Assign):
+                    if isinstance(node.target, ast.Ident) and node.target.name in freed:
+                        if not isinstance(node.value, ast.Ident):
+                            freed.pop(node.target.name, None)
+            # printf("%s", freed) style uses
+            for node in _point_exprs(point):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Ident):
+                    if node.func.name in ("printf", "strcpy", "strlen", "memcpy", "puts"):
+                        for arg in node.args:
+                            if isinstance(arg, ast.Ident) and arg.name in freed:
+                                state = freed[arg.name]
+                                if state == "definite":
+                                    yield node.line, f"use after free of {arg.name}"
+                                elif aggressive:
+                                    yield node.line, f"possible use after free of {arg.name}"
+
+
+# ------------------------------------------------------------- API misuse
+
+
+def check_memcpy_overlap(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """memcpy with overlapping source/destination (CWE-475)."""
+
+    def base_and_offset(expr: ast.Expr):
+        if isinstance(expr, ast.Ident):
+            return expr.name, 0
+        if isinstance(expr, ast.Binary) and expr.op == "+" and isinstance(expr.lhs, ast.Ident):
+            return expr.lhs.name, expr.rhs
+        return None, 0
+
+    for trace in analysis.traces.values():
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Ident)
+                    and node.func.name == "memcpy"
+                    and len(node.args) == 3
+                ):
+                    continue
+                dst_base, dst_off = base_and_offset(node.args[0])
+                src_base, src_off = base_and_offset(node.args[1])
+                if dst_base is None or dst_base != src_base:
+                    continue
+                length = analysis.eval_expr(node.args[2], point.env)
+                offset = dst_off if not isinstance(dst_off, ast.Expr) else None
+                if offset is None:
+                    offset_value = analysis.eval_expr(dst_off, point.env)
+                    offset = int(offset_value.value) if offset_value.is_const else None
+                src_offset = src_off if not isinstance(src_off, ast.Expr) else None
+                if src_offset is None:
+                    value = analysis.eval_expr(src_off, point.env)
+                    src_offset = int(value.value) if value.is_const else None
+                if offset is None or src_offset is None:
+                    if aggressive:
+                        yield node.line, "possibly overlapping memcpy"
+                    continue
+                distance = abs(offset - src_offset)
+                if length.is_const and distance < length.value and distance >= 0:
+                    if distance == 0 and offset == src_offset:
+                        continue  # memcpy(p, p, n) is tolerated by tools
+                    yield node.line, "overlapping memcpy ranges"
+                elif not length.is_const and aggressive:
+                    yield node.line, "possibly overlapping memcpy"
+
+
+def check_call_args(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Call with fewer arguments than the callee's prototype (CWE-685)."""
+    for trace in analysis.traces.values():
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Ident):
+                    callee = analysis.functions.get(node.func.name)
+                    if callee is not None and len(node.args) < len(callee.params):
+                        yield node.line, (
+                            f"call to {callee.name} with {len(node.args)} of "
+                            f"{len(callee.params)} arguments"
+                        )
+
+
+# ----------------------------------------------------------------- numeric
+
+
+def check_div_zero(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Division/remainder by zero: literal, resolved, or raw-taint divisor."""
+    taint = "div_taint" in policies
+    for trace in analysis.traces.values():
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if not (isinstance(node, ast.Binary) and node.op in ("/", "%")):
+                    continue
+                divisor = analysis.eval_expr(node.rhs, point.env)
+                if divisor.is_const and divisor.value == 0:
+                    yield node.line, "division by zero"
+                elif taint and divisor.kind == "taint" and divisor.value == 0:
+                    yield node.line, "division by unvalidated input"
+                elif aggressive and divisor.kind == "unknown":
+                    yield node.line, "possible division by zero"
+
+
+def check_int_overflow(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Signed arithmetic whose resolved result exceeds the int range."""
+    near_max = "int_near_max" in policies
+    for trace in analysis.traces.values():
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if not (isinstance(node, ast.Binary) and node.op in ("+", "-", "*")):
+                    continue
+                node_ty = node.ty
+                if not (isinstance(node_ty, ty.IntType) and node_ty.signed and node_ty.bits == 32):
+                    continue
+                lhs = analysis.eval_expr(node.lhs, point.env)
+                rhs = analysis.eval_expr(node.rhs, point.env)
+                if lhs.is_const and rhs.is_const:
+                    result = {
+                        "+": lhs.value + rhs.value,
+                        "-": lhs.value - rhs.value,
+                        "*": lhs.value * rhs.value,
+                    }[node.op]
+                    if not INT_MIN <= result <= INT_MAX:
+                        yield node.line, f"signed overflow: {node.op} yields {result}"
+                        continue
+                if near_max:
+                    for side in (lhs, rhs):
+                        if side.is_const and abs(side.value) >= NEAR_MAX:
+                            yield node.line, "arithmetic near INT_MAX may overflow"
+                            break
+
+
+# -------------------------------------------------------------- null deref
+
+
+def _deref_names(node: ast.Expr) -> Iterator[tuple[str, int]]:
+    if isinstance(node, ast.Unary) and node.op == "*" and isinstance(node.operand, ast.Ident):
+        yield node.operand.name, node.line
+    if isinstance(node, ast.Index) and isinstance(node.base, ast.Ident):
+        yield node.base.name, node.line
+    if isinstance(node, ast.Member) and node.arrow and isinstance(node.base, ast.Ident):
+        yield node.base.name, node.line
+
+
+def check_null_deref(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Dereference of a (possibly) null pointer."""
+    flow_insensitive = "null_flow_insensitive" in policies
+    store_only = "null_store_only" in policies
+    for trace in analysis.traces.values():
+        facts = PointerFacts(analysis, trace)
+        # The flow-insensitive variant (Infer's bias) judges conditionality
+        # *syntactically*: an assignment under any `if` is conditional even
+        # when the guard is a compile-time constant.
+        syntactically_guarded: set[int] = set()
+        if flow_insensitive:
+            for stmt in ast.walk_stmts(trace.func.body):
+                if isinstance(stmt, ast.If):
+                    for arm in (stmt.then, stmt.otherwise):
+                        if arm is None:
+                            continue
+                        for inner in ast.walk_stmts(arm):
+                            for expr in ast.statement_exprs(inner):
+                                for node in ast.walk_expr(expr):
+                                    syntactically_guarded.add(id(node))
+        ever_null: set[str] = set()
+        unconditionally_fixed: set[str] = set()
+        for i, point in enumerate(trace.points):
+            stmt = point.stmt
+            if isinstance(stmt, ast.VarDecl) and isinstance(stmt.init, ast.NullLit):
+                ever_null.add(stmt.name)
+            store_targets = _assign_target_ids(point)
+            for node in _point_exprs(point):
+                if isinstance(node, ast.Assign) and isinstance(node.target, ast.Ident):
+                    if isinstance(node.value, ast.NullLit):
+                        ever_null.add(node.target.name)
+                    elif point.certainty == "taken" and id(node) not in syntactically_guarded:
+                        unconditionally_fixed.add(node.target.name)
+                is_store = id(node) in store_targets
+                for name, line in _deref_names(node):
+                    if store_only and not is_store:
+                        continue
+                    fact = facts.facts[i].get(name)
+                    if fact == ("null",):
+                        yield line, f"null dereference of {name}"
+                    elif fact == ("maybe_null",) and aggressive:
+                        yield line, f"possible null dereference of {name}"
+                    elif (
+                        flow_insensitive
+                        and name in ever_null
+                        and name not in unconditionally_fixed
+                        and fact != ("null",)
+                    ):
+                        yield line, f"{name} may be null here"
+
+
+# ------------------------------------------------------------------- uninit
+
+
+def check_uninit(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Read of a scalar local before initialization."""
+    for trace in analysis.traces.values():
+        # Locals whose address escapes are excluded entirely: another
+        # function may initialize them, and real uninit checkers mute them
+        # to avoid false positives (the paper's MSan discussion, applied
+        # statically).
+        escaped: set[str] = set()
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if (
+                    isinstance(node, ast.Unary)
+                    and node.op == "&"
+                    and isinstance(node.operand, ast.Ident)
+                ):
+                    escaped.add(node.operand.name)
+        reported: set[str] = set()
+        for point in trace.points:
+            for expr in _stmt_exprs(point.stmt):
+                for node in ast.walk_expr(expr):
+                    if isinstance(node, ast.Assign):
+                        continue
+                    if not isinstance(node, ast.Ident):
+                        continue
+                    if node.name in reported or node.name in escaped:
+                        continue
+                    value = point.env.get(node.name)
+                    if value is None:
+                        continue
+                    if _is_assign_target(expr, node) or _is_address_taken(expr, node):
+                        continue
+                    if value.kind == "uninit":
+                        reported.add(node.name)
+                        yield node.line, f"{node.name} is used uninitialized"
+                    elif value.kind == "maybe_init" and aggressive:
+                        reported.add(node.name)
+                        yield node.line, f"{node.name} may be used uninitialized"
+
+
+def _is_assign_target(root: ast.Expr, ident: ast.Ident) -> bool:
+    for node in ast.walk_expr(root):
+        if isinstance(node, ast.Assign) and node.target is ident:
+            return True
+        if isinstance(node, ast.Unary) and node.op in ("++", "--", "p++", "p--"):
+            if node.operand is ident:
+                return True
+    return False
+
+
+def _is_address_taken(root: ast.Expr, ident: ast.Ident) -> bool:
+    for node in ast.walk_expr(root):
+        if isinstance(node, ast.Unary) and node.op == "&" and node.operand is ident:
+            return True
+    return False
+
+
+def check_partial_init(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """memset/strncpy that initializes less than the destination buffer."""
+    for trace in analysis.traces.values():
+        facts = PointerFacts(analysis, trace)
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Ident)
+                    and node.func.name in ("memset", "strncpy")
+                    and len(node.args) == 3
+                    and isinstance(node.args[0], ast.Ident)
+                ):
+                    continue
+                size = facts.array_sizes.get(node.args[0].name)
+                if size is None:
+                    continue
+                count = analysis.eval_expr(node.args[2], point.env)
+                if count.is_const and count.value < size:
+                    yield node.line, (
+                        f"{node.func.name} initializes {count.value} of {size} bytes"
+                    )
+                elif aggressive and not count.is_const:
+                    yield node.line, f"{node.func.name} may leave {node.args[0].name} partially initialized"
+
+
+# --------------------------------------------------------------- UB shapes
+
+
+def check_ub_shift_cast(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Oversized shifts, overflowing float->int casts, pointer-wrap guards."""
+    for trace in analysis.traces.values():
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if isinstance(node, ast.Binary) and node.op in ("<<", ">>"):
+                    count = analysis.eval_expr(node.rhs, point.env)
+                    width = 32
+                    lhs_ty = node.lhs.ty
+                    if isinstance(lhs_ty, ty.IntType):
+                        width = max(lhs_ty.bits, 32)
+                    if count.is_const and not 0 <= count.value < width:
+                        yield node.line, f"shift by {count.value} exceeds width {width}"
+                    elif aggressive and count.kind in ("unknown", "taint"):
+                        yield node.line, "shift count may exceed the type width"
+                if isinstance(node, ast.Cast) and isinstance(node.target_type, ty.IntType):
+                    inner = analysis.eval_expr(node.operand, point.env)
+                    if (
+                        inner.is_const
+                        and isinstance(inner.value, float)
+                        and not node.target_type.min_value
+                        <= inner.value
+                        <= node.target_type.max_value
+                    ):
+                        yield node.line, "float-to-int cast overflows"
+                if (
+                    isinstance(node, ast.Binary)
+                    and node.op in ("<", "<=", ">", ">=")
+                    and isinstance(node.lhs, ast.Binary)
+                    and node.lhs.op == "+"
+                ):
+                    lhs_ty = ty.decay(node.lhs.ty or ty.INT)
+                    if lhs_ty.is_pointer and _same_ident(node.lhs.lhs, node.rhs):
+                        yield node.line, "pointer overflow check is undefined"
+
+
+def _same_ident(a: ast.Expr, b: ast.Expr) -> bool:
+    return isinstance(a, ast.Ident) and isinstance(b, ast.Ident) and a.name == b.name
+
+
+def check_cast_struct(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Casting a smaller object's address to a larger struct pointer."""
+    for trace in analysis.traces.values():
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if not isinstance(node, ast.Cast):
+                    continue
+                target = node.target_type
+                if not (isinstance(target, ty.PointerType) and target.pointee.is_struct):
+                    continue
+                operand = node.operand
+                if (
+                    isinstance(operand, ast.Unary)
+                    and operand.op == "&"
+                    and isinstance(operand.operand, ast.Ident)
+                ):
+                    source_ty = operand.operand.ty
+                    if source_ty is not None and source_ty.size() < target.pointee.size():
+                        yield node.line, (
+                            f"cast of {source_ty} object to {target.pointee} pointer"
+                        )
+
+
+def check_mul_zero(analysis: Analysis, aggressive: bool, policies=frozenset()):
+    """Style nag: multiplication by a resolved zero (an FP generator —
+    suspicious-looking but harmless code in repaired variants)."""
+    for trace in analysis.traces.values():
+        for point in trace.points:
+            for node in _point_exprs(point):
+                if isinstance(node, ast.Binary) and node.op == "*":
+                    for side in (node.lhs, node.rhs):
+                        value = analysis.eval_expr(side, point.env)
+                        if value.is_const and value.value == 0 and not isinstance(
+                            side, (ast.IntLit, ast.FloatLit)
+                        ):
+                            yield node.line, "multiplication by zero"
+                            break

@@ -1,0 +1,32 @@
+"""Coverity analog: broad checker portfolio, global/loop-aware value flow.
+
+Strengths mirrored from Table 3: near-total recall on the small
+"API misuse" rows (CWE-475/685/758), useful recall on divide-by-zero via
+taint reasoning, resolved-arithmetic integer overflow.  Its FP profile
+comes from aggressive "maybe" reporting in the heap-state, uninit, and
+divide-by-zero checkers.
+"""
+
+from __future__ import annotations
+
+from repro.static_analysis.base import StaticAnalyzer
+
+
+class Coverity(StaticAnalyzer):
+    name = "coverity"
+    caps = frozenset({"const_true", "global_flag", "loop"})
+    checkers = (
+        "stack_bounds",
+        "heap_state",
+        "memcpy_overlap",
+        "call_args",
+        "div_zero",
+        "int_overflow",
+        "null_deref",
+        "uninit",
+        "partial_init",
+        "ub_shift_cast",
+        "cast_struct",
+    )
+    aggressive = frozenset({"heap_state", "uninit", "ub_shift_cast"})
+    policies = frozenset()

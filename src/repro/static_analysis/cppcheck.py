@@ -1,0 +1,30 @@
+"""Cppcheck analog: local, mostly syntactic analysis.
+
+Resolves straight-line constants and ``if (1)`` guards only.  Perfect on
+the purely syntactic rows (overlapping memcpy, wrong argument count),
+useful on literal out-of-bounds indices and double free, blind to
+anything requiring inter-procedural or global reasoning.  Its FPs come
+from the partial-initialization heuristic and the multiplication-by-zero
+style nag, which misfire on repaired-but-odd-looking good variants.
+"""
+
+from __future__ import annotations
+
+from repro.static_analysis.base import StaticAnalyzer
+
+
+class Cppcheck(StaticAnalyzer):
+    name = "cppcheck"
+    caps = frozenset({"const_true"})
+    checkers = (
+        "stack_bounds",
+        "memcpy_overlap",
+        "call_args",
+        "div_zero",
+        "null_deref",
+        "uninit",
+        "partial_init",
+        "mul_zero",
+    )
+    aggressive = frozenset({"partial_init"})
+    policies = frozenset({"null_store_only", "bounds_write_only"})

@@ -1,0 +1,26 @@
+"""Infer analog: separation-logic-flavored memory and nullness analysis.
+
+Follows calls and pointer aliases (its inter-procedural strength), runs a
+deliberately flow-insensitive null checker (high recall, high FP — the
+77%/69% row), a near-INT_MAX overflow heuristic (49%/25%), and an
+aggressive heap-state checker.  No syntactic API checkers: it scores 0 on
+CWE-475/685 like the real tool.
+"""
+
+from __future__ import annotations
+
+from repro.static_analysis.base import StaticAnalyzer
+
+
+class Infer(StaticAnalyzer):
+    name = "infer"
+    caps = frozenset({"const_true", "func", "ptr_alias"})
+    checkers = (
+        "heap_state",
+        "heap_bounds",
+        "null_deref",
+        "int_overflow",
+        "uninit",
+    )
+    aggressive = frozenset({"heap_state", "null_deref"})
+    policies = frozenset({"null_flow_insensitive", "int_near_max"})

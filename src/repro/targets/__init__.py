@@ -1,0 +1,33 @@
+"""Simulated real-world targets (the 23 projects of Table 4).
+
+Each target is a generated MiniC input-parsing program named after one of
+the paper's fuzzing targets, seeded with the root-cause mix of Table 5:
+78 bugs total across EvalOrder, UninitMem, IntError, MemError, PointerCmp,
+LINE, and Misc (3 compiler miscompilations, 4 float-imprecision cases,
+pointer printing, address-derived "randomness").
+
+Every seeded bug carries a ``__bugsite`` marker so evaluation can
+attribute a fuzzer-found discrepancy to a specific bug — the automated
+stand-in for the paper's manual triage with developer feedback.
+"""
+
+from repro.targets.bugs import BugSnippet, CATEGORY_SANITIZER
+from repro.targets.registry import (
+    SeededBug,
+    Target,
+    build_all_targets,
+    build_target,
+    target_names,
+    TARGET_TABLE,
+)
+
+__all__ = [
+    "BugSnippet",
+    "CATEGORY_SANITIZER",
+    "SeededBug",
+    "TARGET_TABLE",
+    "Target",
+    "build_all_targets",
+    "build_target",
+    "target_names",
+]

@@ -1,0 +1,290 @@
+"""Seeded-bug snippet library for the simulated targets.
+
+Each factory returns a :class:`BugSnippet`: a handler function
+``h<site>(char *p, long n)`` containing one bug of the given root cause
+(Table 5's categories), plus any globals/helpers it needs.  The handler
+begins with ``__bugsite(<site>)`` so evaluation can attribute findings.
+
+Bugs are written to be *reachable but input-dependent*: the dispatcher
+already routes a type byte to the handler, and most snippets add at most
+one byte-level condition, which a coverage-guided fuzzer with the
+auto-dictionary discovers quickly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Which sanitizer class can in principle catch each category (RQ3):
+#: MemError -> ASan, IntError -> UBSan, UninitMem -> MSan (branch uses
+#: only); the rest have no sanitizer (None).
+CATEGORY_SANITIZER: dict[str, str | None] = {
+    "EvalOrder": None,
+    "UninitMem": "msan",
+    "IntError": "ubsan",
+    "MemError": "asan",
+    "PointerCmp": None,
+    "LINE": None,
+    "Misc": None,
+}
+
+
+@dataclass(frozen=True)
+class BugSnippet:
+    site: int
+    category: str
+    subcategory: str
+    globals: str
+    helpers: str
+    handler: str  # full definition of h<site>
+
+
+def _handler(site: int, body: str) -> str:
+    return (
+        f"static int h{site}(char *p, long n) {{\n"
+        f"    __bugsite({site});\n"
+        f"{body}\n"
+        f"    return 0;\n"
+        f"}}"
+    )
+
+
+# --------------------------------------------------------------- EvalOrder
+
+
+def evalorder_bug(site: int, rng: random.Random) -> BugSnippet:
+    """Listing 3: two calls sharing a static buffer as printf arguments."""
+    helpers = f"""static char *fmt{site}(int v) {{
+    static char buffer[24];
+    buffer[0] = 'A' + (v & 63) % 26;
+    buffer[1] = 'a' + (v & 63) % 13;
+    buffer[2] = 0;
+    return buffer;
+}}"""
+    body = f"""    if (n < 2) {{ return 1; }}
+    printf("who-is %s tell %s\\n", fmt{site}(p[0]), fmt{site}(p[1]));"""
+    return BugSnippet(site, "EvalOrder", "static_buffer_args", "", helpers, _handler(site, body))
+
+
+# --------------------------------------------------------------- UninitMem
+
+
+def uninit_bug(site: int, rng: random.Random) -> BugSnippet:
+    """Listing 4: a local stays uninitialized on an input-dependent path."""
+    kind = rng.choice(("scalar", "heap", "branch"))
+    if kind == "scalar":
+        body = """    int value;
+    if (n > 2 && p[0] == 'V') { value = p[1]; }
+    printf("field=%d\\n", value);"""
+    elif kind == "heap":
+        body = """    int *box = (int*)malloc(16);
+    if (n > 2 && p[0] != 0) { box[2] = p[1]; }
+    printf("field=%d\\n", box[2]);
+    free((char*)box);"""
+    else:  # branch: also MSan-visible
+        body = """    int level;
+    if (n > 2 && p[0] == 'L') { level = p[1]; }
+    if (level > 40) { printf("verbose\\n"); }
+    else { printf("quiet\\n"); }"""
+    return BugSnippet(site, "UninitMem", kind, "", "", _handler(site, body))
+
+
+# ---------------------------------------------------------------- IntError
+
+
+def interror_bug(site: int, rng: random.Random) -> BugSnippet:
+    kind = rng.choice(("widen_mul", "guard_fold"))
+    if kind == "widen_mul":
+        # int*int feeding a long: clang-O1+ computes in 64 bits (§4.3).
+        body = """    if (n < 3) { return 1; }
+    int width = (p[0] & 127) * 66000;
+    int height = (p[1] & 127) * 700;
+    long pixels = width * height;
+    printf("pixels=%ld\\n", pixels);"""
+    else:
+        # Listing 1: the wraparound guard folds away at -O1+.
+        body = """    if (n < 3) { return 1; }
+    int offset = 2147483647 - (p[0] & 127);
+    int len = (p[1] & 127) + 1;
+    if (offset + len < offset) {
+        printf("rejected\\n");
+        return -1;
+    }
+    printf("dump at %d len %d\\n", offset, len);"""
+    return BugSnippet(site, "IntError", kind, "", "", _handler(site, body))
+
+
+# ---------------------------------------------------------------- MemError
+
+
+def memerror_bug(site: int, rng: random.Random) -> BugSnippet:
+    kind = rng.choice(("stack_overflow", "heap_overflow", "uaf", "double_free"))
+    if kind == "stack_overflow":
+        body = """    char record[24];
+    char label[8] = "intact";
+    int len = p[0] & 63;
+    int i;
+    if (n < 2) { return 1; }
+    for (i = 0; i < len; i++) { record[i] = p[1]; }
+    printf("label=%s first=%c\\n", label, record[0]);"""
+    elif kind == "heap_overflow":
+        body = """    char *field = malloc(16);
+    char *next = malloc(8);
+    int len = p[0] & 31;
+    int i;
+    if (n < 2) { return 1; }
+    strcpy(next, "NEXT");
+    for (i = 0; i < len; i++) { field[i] = 'D'; }
+    printf("next=%s\\n", next);
+    free(field);
+    free(next);"""
+    elif kind == "uaf":
+        body = """    char *obj = malloc(16);
+    if (n < 2) { return 1; }
+    strcpy(obj, "LIVE");
+    if (p[0] & 1) { free(obj); }
+    char *fresh = malloc(16);
+    strcpy(fresh, "FRSH");
+    printf("obj=%c%c\\n", obj[0], obj[1]);
+    free(fresh);"""
+    else:  # double_free
+        body = """    char *obj = malloc(16);
+    obj[0] = 'x';
+    free(obj);
+    if (n > 1 && p[0] == 'F') {
+        free(obj);
+        char *a = malloc(16);
+        char *b = malloc(16);
+        a[0] = 'A';
+        b[0] = 'B';
+        printf("a=%c\\n", a[0]);
+    }
+    printf("done\\n");"""
+    return BugSnippet(site, "MemError", kind, "", "", _handler(site, body))
+
+
+# --------------------------------------------------------------- PointerCmp
+
+
+def ptrcmp_bug(site: int, rng: random.Random) -> BugSnippet:
+    """Listing 2: relational comparison of pointers into distinct objects."""
+    globals_src = f"""char section_small{site}[8];
+char section_big{site}[64];"""
+    body = f"""    char *saved_start = section_small{site};
+    char *look_for = section_big{site};
+    if (look_for <= saved_start) {{
+        printf("look-before-start\\n");
+    }} else {{
+        printf("look-after-start\\n");
+    }}"""
+    return BugSnippet(site, "PointerCmp", "cross_object", globals_src, "", _handler(site, body))
+
+
+# -------------------------------------------------------------------- LINE
+
+
+def line_bug(site: int, rng: random.Random) -> BugSnippet:
+    """__LINE__ inside a continued expression is implementation-defined."""
+    helpers = f"""static int report{site}(int line, int code) {{
+    printf("warning at line %d code %d\\n", line, code);
+    return line;
+}}"""
+    # The statement starts one line before the __LINE__ token.
+    body = f"""    int rc =
+        report{site}(__LINE__,
+                     p[0] & 15);
+    if (rc < 0) {{ return rc; }}"""
+    return BugSnippet(site, "LINE", "continued_expr", "", helpers, _handler(site, body))
+
+
+# -------------------------------------------------------------------- Misc
+
+
+def misc_float_bug(site: int, rng: random.Random) -> BugSnippet:
+    kind = rng.choice(("pow_exp2", "f32_chain"))
+    if kind == "pow_exp2":
+        # clang-O3 substitutes exp2; last-bit disagreement (RQ2).
+        body = """    double e = (p[0] & 15) + 0.5;
+    double r = pow(2.0, e);
+    printf("ratio=%.17g\\n", r);"""
+    else:
+        # Single-precision accumulation: x87-style extended intermediates
+        # (gcc-O3) versus per-op SSE rounding.
+        body = """    float acc = 1.5f;
+    int i;
+    int steps = (p[0] & 15) + 3;
+    for (i = 0; i < steps; i++) {
+        acc = acc * 1.1f + 0.3f;
+    }
+    printf("acc=%.9g\\n", acc);"""
+    return BugSnippet(site, "Misc", f"float_{kind}", "", "", _handler(site, body))
+
+
+def misc_miscompile_bug(site: int, rng: random.Random, pattern: str) -> BugSnippet:
+    """RQ2's compiler bugs: patterns miscompiled by specific configs."""
+    if pattern == "ushl_ushr_elide":
+        body = """    unsigned int x = (unsigned int)(p[0] & 255) << 25;
+    unsigned int y = (x << 1) >> 1;
+    printf("norm=%u\\n", y);"""
+    elif pattern == "sext_shift_pair":
+        body = """    int x = p[0] & 255;
+    int y = (x << 24) >> 24;
+    printf("sext=%d\\n", y);"""
+    else:  # srem_to_mask
+        body = """    int x = p[0];
+    int y = x % 8;
+    printf("mod=%d\\n", y);"""
+    return BugSnippet(site, "Misc", f"miscompile_{pattern}", "", "", _handler(site, body))
+
+
+def misc_ptrprint_bug(site: int, rng: random.Random) -> BugSnippet:
+    """Prints a pointer value instead of the pointed-to data (objdump)."""
+    globals_src = f"char symtab{site}[32];"
+    body = f"""    symtab{site}[0] = p[0];
+    printf("symbol at %p\\n", symtab{site});"""
+    return BugSnippet(site, "Misc", "pointer_print", globals_src, "", _handler(site, body))
+
+
+def misc_random_bug(site: int, rng: random.Random) -> BugSnippet:
+    """'Bad random value' (libtiff): entropy derived from an address."""
+    body = """    char probe[16];
+    probe[0] = p[0];
+    long seed = (long)probe;
+    printf("tag=%d\\n", (int)(seed % 9973));"""
+    return BugSnippet(site, "Misc", "address_random", "", "", _handler(site, body))
+
+
+# ------------------------------------------------------------ benign filler
+
+
+def benign_handler(site: int, rng: random.Random) -> str:
+    """A correct handler: provides coverage structure, never diverges."""
+    kind = rng.choice(("checksum", "count", "echo", "minmax"))
+    if kind == "checksum":
+        body = """    long i;
+    unsigned int sum = 0;
+    for (i = 0; i < n; i++) { sum = sum * 31u + (unsigned int)(p[i] & 255); }
+    printf("sum=%u\\n", sum);"""
+    elif kind == "count":
+        body = """    long i;
+    int zeros = 0;
+    for (i = 0; i < n; i++) { if (p[i] == 0) { zeros++; } }
+    printf("zeros=%d of %ld\\n", zeros, n);"""
+    elif kind == "echo":
+        body = """    long i;
+    for (i = 0; i < n && i < 8; i++) { printf("%02x", p[i] & 255); }
+    printf("\\n");"""
+    else:
+        body = """    long i;
+    int lo = 255;
+    int hi = 0;
+    for (i = 0; i < n; i++) {
+        int v = p[i] & 255;
+        if (v < lo) { lo = v; }
+        if (v > hi) { hi = v; }
+    }
+    printf("range=%d..%d\\n", lo, hi);"""
+    return (
+        f"static int h{site}(char *p, long n) {{\n{body}\n    return 0;\n}}"
+    )

@@ -1,0 +1,318 @@
+"""The 23 simulated targets: Table 4 metadata plus seeded-bug assembly.
+
+The per-target bug assignment reproduces Table 5's totals exactly —
+EvalOrder 2, UninitMem 27, IntError 8, MemError 13, PointerCmp 1, LINE 6,
+Misc 21 (of which 3 compiler miscompilations, 4 float imprecision) — and
+places signature bugs where the paper found them: both EvalOrder bugs in
+tcpdump, the PointerCmp bug in readelf, the miscompilations in MuJS,
+LINE inconsistencies in readelf/ImageMagick/wireshark/libtiff/php, the
+float-imprecision fix in brotli, pointer printing in objdump, the bad
+random value in libtiff.
+
+"Confirmed" and "Fixed" are developer responses the paper measured by
+reporting bugs upstream; they cannot be re-measured against a simulator,
+so they are carried as recorded metadata with Table 5's per-category
+counts assigned deterministically to the seeded bugs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.targets import bugs as bug_lib
+
+#: Table 4 verbatim: name, input type, version, size.
+TARGET_TABLE: list[tuple[str, str, str, str]] = [
+    ("tcpdump", "Network packet", "4.99.1", "99K"),
+    ("wireshark", "Network packet", "3.4.5", "4.6M"),
+    ("objdump", "Binary file", "2.36.1", "74K"),
+    ("readelf", "Binary file", "2.36.1", "72K"),
+    ("nm-new", "Binary file", "2.36.1", "55K"),
+    ("sysdump", "Binary file", "2.36.1", "10K"),
+    ("openssl", "Binary file", "3.0.0", "702K"),
+    ("ClamAV", "Binary file", "0.103.3", "239K"),
+    ("libsndfile", "Audio", "1.0.31", "66K"),
+    ("libzip", "Compress tool", "v1.8.0", "29K"),
+    ("brotli", "Compress tool", "v1.0.9", "55K"),
+    ("php", "PHP", "7.4.26", "1.4M"),
+    ("MuJS", "JavaScript", "1.1.3", "18K"),
+    ("pdftotext", "PDF", "4.03", "130K"),
+    ("pdftoppm", "PDF", "21.11.0", "203K"),
+    ("jq", "json", "1.6", "46K"),
+    ("exiv2", "Exiv2 image", "0.27.5", "384K"),
+    ("libtiff", "Tiff image", "4.3.0", "37K"),
+    ("ImageMagick", "Image", "7.1.0-23", "655K"),
+    ("grok", "JPEG 2000", "9.7.0", "127K"),
+    ("libxml2", "XML", "2.9.12", "458K"),
+    ("curl", "URL", "7.80.0", "13K"),
+    ("gpac", "Video", "2.0.0", "597K"),
+]
+
+#: Per-target bug plan: list of (category, subkind-or-None).
+_BUG_PLAN: dict[str, list[tuple[str, str | None]]] = {
+    "tcpdump": [("EvalOrder", None), ("EvalOrder", None), ("UninitMem", None), ("MemError", None)],
+    "wireshark": [("LINE", None), ("UninitMem", None), ("UninitMem", None), ("Misc", "random")],
+    "objdump": [("Misc", "ptrprint"), ("Misc", "ptrprint"), ("UninitMem", None)],
+    "readelf": [("PointerCmp", None), ("LINE", None), ("UninitMem", None)],
+    "nm-new": [("UninitMem", None), ("UninitMem", None), ("MemError", None)],
+    "sysdump": [("UninitMem", None), ("Misc", "ptrprint")],
+    "openssl": [("MemError", None), ("MemError", None), ("UninitMem", None), ("IntError", None), ("Misc", "random")],
+    "ClamAV": [("MemError", None), ("UninitMem", None), ("IntError", None), ("Misc", "random")],
+    "libsndfile": [("IntError", None), ("UninitMem", None), ("Misc", "float")],
+    "libzip": [("MemError", None), ("UninitMem", None), ("Misc", "ptrprint")],
+    "brotli": [("Misc", "float"), ("IntError", None)],
+    "php": [("LINE", None), ("LINE", None), ("UninitMem", None), ("UninitMem", None)],
+    "MuJS": [
+        ("Misc", "miscompile:ushl_ushr_elide"),
+        ("Misc", "miscompile:sext_shift_pair"),
+        ("Misc", "miscompile:srem_to_mask"),
+    ],
+    "pdftotext": [("UninitMem", None), ("MemError", None), ("Misc", "random")],
+    "pdftoppm": [("UninitMem", None), ("MemError", None), ("Misc", "random")],
+    "jq": [("UninitMem", None), ("IntError", None), ("Misc", "ptrprint")],
+    "exiv2": [("UninitMem", None), ("UninitMem", None), ("Misc", "random")],
+    "libtiff": [("LINE", None), ("Misc", "random"), ("UninitMem", None)],
+    "ImageMagick": [("LINE", None), ("MemError", None), ("MemError", None), ("UninitMem", None)],
+    "grok": [("Misc", "float"), ("IntError", None), ("UninitMem", None)],
+    "libxml2": [("MemError", None), ("MemError", None), ("UninitMem", None), ("UninitMem", None)],
+    "curl": [("IntError", None), ("UninitMem", None), ("Misc", "ptrprint")],
+    "gpac": [
+        ("Misc", "float"),
+        ("MemError", None),
+        ("IntError", None),
+        ("UninitMem", None),
+        ("UninitMem", None),
+        ("Misc", "ptrprint"),
+    ],
+}
+
+#: Table 5's Confirmed/Fixed per category (carried as metadata).  The
+#: printed Misc "fixed" cell reads 9, but the table total and the paper's
+#: text say 52 fixed overall; the two missing fixes are allocated to Misc
+#: so the total matches the prose.
+_CONFIRMED_FIXED = {
+    "EvalOrder": (2, 2),
+    "UninitMem": (19, 15),
+    "IntError": (8, 6),
+    "MemError": (13, 12),
+    "PointerCmp": (1, 1),
+    "LINE": (5, 5),
+    "Misc": (17, 11),
+}
+
+#: Targets the paper calls non-deterministic/multi-threaded (RQ5).
+NONDETERMINISTIC_TARGETS = {"tcpdump", "wireshark", "MuJS", "ImageMagick", "grok", "gpac"}
+
+
+@dataclass(frozen=True)
+class SeededBug:
+    site: int
+    target: str
+    category: str
+    subcategory: str
+    #: Sanitizer class able to catch this category in principle (RQ3).
+    sanitizer_class: str | None
+    confirmed: bool
+    fixed: bool
+
+
+@dataclass
+class Target:
+    name: str
+    input_type: str
+    version: str
+    paper_size: str
+    source: str
+    seeds: list[bytes]
+    bugs: list[SeededBug]
+    magic: bytes
+    #: True when output needs timestamp scrubbing (RQ5).
+    needs_normalizer: bool = False
+    generated_loc: int = 0
+
+
+def target_names() -> list[str]:
+    return [row[0] for row in TARGET_TABLE]
+
+
+def _make_snippet(
+    category: str, subkind: str | None, site: int, rng: random.Random
+) -> bug_lib.BugSnippet:
+    if category == "EvalOrder":
+        return bug_lib.evalorder_bug(site, rng)
+    if category == "UninitMem":
+        return bug_lib.uninit_bug(site, rng)
+    if category == "IntError":
+        return bug_lib.interror_bug(site, rng)
+    if category == "MemError":
+        return bug_lib.memerror_bug(site, rng)
+    if category == "PointerCmp":
+        return bug_lib.ptrcmp_bug(site, rng)
+    if category == "LINE":
+        return bug_lib.line_bug(site, rng)
+    assert category == "Misc"
+    if subkind and subkind.startswith("miscompile:"):
+        return bug_lib.misc_miscompile_bug(site, rng, subkind.split(":", 1)[1])
+    if subkind == "float":
+        return bug_lib.misc_float_bug(site, rng)
+    if subkind == "ptrprint":
+        return bug_lib.misc_ptrprint_bug(site, rng)
+    return bug_lib.misc_random_bug(site, rng)
+
+
+def build_target(name: str, seed: int = 20230325) -> Target:
+    """Generate one target program with its seeded bugs and seeds."""
+    rows = {row[0]: row for row in TARGET_TABLE}
+    if name not in rows:
+        raise KeyError(f"unknown target {name!r}; have {target_names()}")
+    _, input_type, version, size = rows[name]
+    target_index = target_names().index(name)
+    rng = random.Random(seed * 1021 + target_index)
+    plan = _BUG_PLAN[name]
+    magic = bytes([0x40 + target_index, 0xA7 ^ target_index])
+    snippets: list[bug_lib.BugSnippet] = []
+    for k, (category, subkind) in enumerate(plan):
+        site = target_index * 100 + k + 1
+        snippets.append(_make_snippet(category, subkind, site, rng))
+    benign_count = rng.randint(2, 4)
+    benign_sites = [target_index * 100 + 90 + j for j in range(benign_count)]
+    benign = [bug_lib.benign_handler(site, rng) for site in benign_sites]
+    source = _assemble_target(
+        name, magic, snippets, benign, benign_sites, noisy=(name == "wireshark")
+    )
+    seeds = _make_seeds(magic, len(snippets) + benign_count, rng)
+    counters = _confirmed_fixed_counters()
+    bug_records = []
+    for snippet in snippets:
+        confirmed, fixed = counters[snippet.category].take()
+        bug_records.append(
+            SeededBug(
+                site=snippet.site,
+                target=name,
+                category=snippet.category,
+                subcategory=snippet.subcategory,
+                sanitizer_class=bug_lib.CATEGORY_SANITIZER[snippet.category],
+                confirmed=confirmed,
+                fixed=fixed,
+            )
+        )
+    target = Target(
+        name=name,
+        input_type=input_type,
+        version=version,
+        paper_size=size,
+        source=source,
+        seeds=seeds,
+        bugs=bug_records,
+        magic=magic,
+        needs_normalizer=(name == "wireshark"),
+        generated_loc=source.count("\n"),
+    )
+    return target
+
+
+class _TakeCounter:
+    """Deterministic assignment of confirmed/fixed metadata per category."""
+
+    _positions: dict[str, int] = {}
+
+    def __init__(self, category: str, confirmed: int, fixed: int, total: int) -> None:
+        self.category = category
+        self.confirmed = confirmed
+        self.fixed = fixed
+        self.total = total
+
+    def take(self) -> tuple[bool, bool]:
+        position = _TakeCounter._positions.get(self.category, 0)
+        _TakeCounter._positions[self.category] = position + 1
+        return position < self.confirmed, position < self.fixed
+
+
+def _confirmed_fixed_counters() -> dict[str, _TakeCounter]:
+    totals: dict[str, int] = {}
+    for plan in _BUG_PLAN.values():
+        for category, _ in plan:
+            totals[category] = totals.get(category, 0) + 1
+    return {
+        category: _TakeCounter(category, confirmed, fixed, totals[category])
+        for category, (confirmed, fixed) in _CONFIRMED_FIXED.items()
+    }
+
+
+def _assemble_target(
+    name: str,
+    magic: bytes,
+    snippets: list[bug_lib.BugSnippet],
+    benign: list[str],
+    benign_sites: list[int],
+    noisy: bool = False,
+) -> str:
+    sections: list[str] = [f"/* simulated target: {name} */"]
+    for snippet in snippets:
+        if snippet.globals:
+            sections.append(snippet.globals)
+    for snippet in snippets:
+        if snippet.helpers:
+            sections.append(snippet.helpers)
+    for snippet in snippets:
+        sections.append(snippet.handler)
+    sections.extend(benign)
+    dispatch_lines = []
+    for i, snippet in enumerate(snippets):
+        handler = f"h{snippet.site}"
+        dispatch_lines.append(
+            f"    {'if' if not dispatch_lines else 'else if'} (t == {i}) "
+            f"{{ rc = {handler}(buf + 3, len - 3); }}"
+        )
+    for j, site in enumerate(benign_sites):
+        dispatch_lines.append(
+            f"    else if (t == {len(snippets) + j}) {{ rc = h{site}(buf + 3, len - 3); }}"
+        )
+    total = len(snippets) + len(benign_sites)
+    # RQ5: the wireshark simulation embeds a volatile timestamp-looking
+    # value in its output (layout-derived, so it differs per binary).  It
+    # is noise, not a bug: campaigns on this target must scrub it with
+    # OutputNormalizer.standard(), like the paper's regex post-processing.
+    noise = ""
+    if noisy:
+        noise = (
+            '    long t0 = (long)buf;\n'
+            '    printf("%02d:%02d:%02d.%06d [Epan WARNING] capture started\\n",\n'
+            "           (int)(t0 % 24), (int)(t0 % 60),\n"
+            "           (int)((t0 / 7) % 60), (int)(t0 % 1000000));\n"
+        )
+    main = f"""int main(void) {{
+    char buf[256];
+    long len = read_input(buf, 256);
+{noise}    if (len < 4) {{
+        printf("{name}: input too short\\n");
+        return 1;
+    }}
+    if ((buf[0] & 255) != {magic[0]} || (buf[1] & 255) != {magic[1]}) {{
+        printf("{name}: bad magic\\n");
+        return 1;
+    }}
+    int t = (buf[2] & 255) % {total};
+    int rc = 0;
+{chr(10).join(dispatch_lines)}
+    else {{ printf("{name}: no handler\\n"); }}
+    printf("{name}: rc=%d\\n", rc);
+    return rc;
+}}"""
+    sections.append(main)
+    return "\n\n".join(sections) + "\n"
+
+
+def _make_seeds(magic: bytes, handlers: int, rng: random.Random) -> list[bytes]:
+    """Seeds from the 'official test suite': valid headers, varied types."""
+    seeds = []
+    for t in range(min(handlers, 6)):
+        payload = bytes(rng.randrange(256) for _ in range(8))
+        seeds.append(magic + bytes([t]) + payload)
+    return seeds
+
+
+def build_all_targets(seed: int = 20230325) -> list[Target]:
+    _TakeCounter._positions = {}
+    return [build_target(name, seed=seed) for name in target_names()]

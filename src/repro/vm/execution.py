@@ -1,0 +1,107 @@
+"""Execution results and the one-shot run entry point."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.compiler.binary import CompiledBinary
+from repro.vm.machine import DEFAULT_FUEL, Machine
+from repro.vm.memory import ImageLayout
+
+
+class Status(enum.Enum):
+    """Terminal state of one execution."""
+
+    OK = "ok"
+    CRASH = "crash"
+    TIMEOUT = "timeout"
+    SANITIZER = "sanitizer"
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one (binary, input) execution."""
+
+    stdout: bytes
+    stderr: bytes
+    exit_code: int
+    status: Status
+    #: "segv" | "sigfpe" | "abort" when status is CRASH.
+    trap: str | None = None
+    #: (kind, line, detail) when status is SANITIZER.
+    sanitizer_report: tuple[str, int, str] | None = None
+    #: Ground-truth bug sites reached during this execution.
+    bug_sites: frozenset[int] = frozenset()
+    executed_instructions: int = 0
+    binary_name: str = ""
+    #: Source-line execution trace (only populated when requested).
+    line_trace: tuple[int, ...] = ()
+
+    def observation(self) -> tuple:
+        """The tuple CompDiff compares across implementations.
+
+        Final outputs plus the exit status — the paper's oracle observes a
+        process's stdout/stderr (redirected via dup2) and its exit, so a
+        crash in one binary and a clean run in another is a discrepancy.
+        """
+        return (self.stdout, self.stderr, self.exit_code, self.status is Status.TIMEOUT)
+
+    @property
+    def crashed(self) -> bool:
+        return self.status is Status.CRASH
+
+    @property
+    def timed_out(self) -> bool:
+        return self.status is Status.TIMEOUT
+
+
+def run_binary(
+    binary: CompiledBinary,
+    input_bytes: bytes = b"",
+    fuel: int = DEFAULT_FUEL,
+    layout: ImageLayout | None = None,
+    coverage=None,
+    trace_lines: bool = False,
+) -> ExecutionResult:
+    """Execute *binary* on *input_bytes* and collect the observation."""
+    machine = Machine(
+        binary,
+        input_bytes=input_bytes,
+        fuel=fuel,
+        layout=layout,
+        coverage=coverage,
+        trace_lines=trace_lines,
+    )
+    exit_code, trap, sanitizer_stop = machine.run()
+    if sanitizer_stop is not None:
+        status = Status.SANITIZER
+        report = (sanitizer_stop.kind, sanitizer_stop.line, sanitizer_stop.detail)
+        # Sanitizers print their report to stderr, like the real tools.
+        machine.emit_stderr(
+            f"==SAN== {sanitizer_stop.kind} at line {sanitizer_stop.line}: "
+            f"{sanitizer_stop.detail}\n".encode()
+        )
+    elif trap == "timeout":
+        status = Status.TIMEOUT
+        report = None
+        exit_code = -1
+        trap = None
+    elif trap is not None:
+        status = Status.CRASH
+        report = None
+    else:
+        status = Status.OK
+        report = None
+    return ExecutionResult(
+        stdout=bytes(machine.stdout),
+        stderr=bytes(machine.stderr),
+        exit_code=exit_code,
+        status=status,
+        trap=trap,
+        sanitizer_report=report,
+        bug_sites=frozenset(machine.bug_sites),
+        executed_instructions=machine.executed,
+        binary_name=binary.name,
+        line_trace=tuple(machine.line_trace),
+    )

@@ -1,0 +1,37 @@
+"""Forkserver-style fast repeated execution of one binary.
+
+Real AFL++ injects a forkserver so the target's process image is set up
+once and each test case only pays for a fork (§3.2, [26]).  The analog
+here: the :class:`~repro.vm.memory.ImageLayout` (global layout, frame
+layouts, coverage ids) is computed once per binary, and every ``run`` gets
+a fresh :class:`~repro.vm.machine.Machine` that merely copies the
+pre-built segment templates.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.binary import CompiledBinary
+from repro.vm.execution import ExecutionResult, run_binary
+from repro.vm.machine import DEFAULT_FUEL
+from repro.vm.memory import ImageLayout
+
+
+class ForkServer:
+    """Executes many inputs against one binary with shared load-time state."""
+
+    def __init__(self, binary: CompiledBinary, fuel: int = DEFAULT_FUEL) -> None:
+        self.binary = binary
+        self.fuel = fuel
+        self.layout = ImageLayout(binary)
+        self.executions = 0
+
+    def run(self, input_bytes: bytes, fuel: int | None = None, coverage=None) -> ExecutionResult:
+        """Execute one input (the "forked child")."""
+        self.executions += 1
+        return run_binary(
+            self.binary,
+            input_bytes=input_bytes,
+            fuel=fuel if fuel is not None else self.fuel,
+            layout=self.layout,
+            coverage=coverage,
+        )

@@ -1,0 +1,461 @@
+"""Builtin (libc-analog) implementations, including printf formatting.
+
+Behaviors C leaves implementation-defined are driven by the binary's
+compiler configuration: ``memcpy`` direction on (undefined) overlapping
+copies, allocator reuse/poisoning via :class:`~repro.vm.memory.Memory`, and
+``pow``'s polynomial path versus the ``exp2`` libcall the clang-O3 pipeline
+substitutes (float-imprecision Misc divergences, RQ2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import VMError
+from repro.ir.instructions import CallBuiltin
+from repro.minic.types import FloatType, IntType, PointerType
+from repro.vm.memory import MemTrap
+
+
+def call_builtin(machine, frame, instr: CallBuiltin):
+    """Execute a builtin; returns (result value, msan taint of result)."""
+    handler = _BUILTINS.get(instr.name)
+    if handler is None:
+        raise VMError(f"unknown builtin {instr.name!r}")
+    args = [machine._value(frame, a) for a in instr.args]
+    taints = [machine._taint(frame, a) for a in instr.args]
+    return handler(machine, instr, args, taints)
+
+
+# --------------------------------------------------------------------- stdio
+
+
+def _printf_common(machine, instr, args, taints, to_stderr: bool):
+    fmt = machine.memory.read_cstring(int(args[0]), instr.line)
+    rendered = format_printf(machine, fmt, args[1:], instr.arg_types[1:], instr.line)
+    if to_stderr:
+        machine.emit_stderr(rendered)
+    else:
+        machine.emit_stdout(rendered)
+    return len(rendered), False
+
+
+def _bi_printf(machine, instr, args, taints):
+    return _printf_common(machine, instr, args, taints, to_stderr=False)
+
+
+def _bi_eprintf(machine, instr, args, taints):
+    return _printf_common(machine, instr, args, taints, to_stderr=True)
+
+
+def _bi_putchar(machine, instr, args, taints):
+    machine.emit_stdout(bytes([int(args[0]) & 0xFF]))
+    return int(args[0]) & 0xFF, False
+
+
+def _bi_puts(machine, instr, args, taints):
+    text = machine.memory.read_cstring(int(args[0]), instr.line)
+    machine.emit_stdout(text + b"\n")
+    return len(text) + 1, False
+
+
+def format_printf(machine, fmt: bytes, args: list, arg_types: list, line: int) -> bytes:
+    """A faithful subset of printf: %d %i %u %x %X %o %c %s %p %f %e %g %%
+    with '-'/'0' flags, width, precision, and h/l length modifiers."""
+    out = bytearray()
+    arg_index = 0
+    i = 0
+    n = len(fmt)
+
+    def next_arg():
+        nonlocal arg_index
+        if arg_index >= len(args):
+            # Too few printf arguments: reads garbage (UB); use the
+            # implementation's register junk for determinism.
+            value = machine.config.missing_arg_value
+            arg_index += 1
+            return value, None
+        value = args[arg_index]
+        value_type = arg_types[arg_index] if arg_index < len(arg_types) else None
+        arg_index += 1
+        return value, value_type
+
+    while i < n:
+        ch = fmt[i]
+        if ch != 0x25:  # '%'
+            out.append(ch)
+            i += 1
+            continue
+        i += 1
+        if i >= n:
+            break
+        # Parse flags, width, precision, length.
+        flags = ""
+        while i < n and chr(fmt[i]) in "-0+ #":
+            flags += chr(fmt[i])
+            i += 1
+        width = ""
+        while i < n and chr(fmt[i]).isdigit():
+            width += chr(fmt[i])
+            i += 1
+        precision = ""
+        if i < n and fmt[i] == 0x2E:  # '.'
+            i += 1
+            precision = ""
+            while i < n and chr(fmt[i]).isdigit():
+                precision += chr(fmt[i])
+                i += 1
+        length = ""
+        while i < n and chr(fmt[i]) in "hlz":
+            length += chr(fmt[i])
+            i += 1
+        if i >= n:
+            break
+        conv = chr(fmt[i])
+        i += 1
+        if conv == "%":
+            out.append(0x25)
+            continue
+        value, value_type = next_arg()
+        out += _format_one(machine, conv, flags, width, precision, length, value, value_type, line)
+    return bytes(out)
+
+
+def _int_bits(length: str, value_type) -> int:
+    if "ll" in length or "l" in length or "z" in length:
+        return 64
+    if isinstance(value_type, IntType):
+        return max(value_type.bits, 32)
+    if isinstance(value_type, PointerType):
+        return 64
+    return 32
+
+
+def _format_one(
+    machine, conv, flags, width, precision, length, value, value_type, line
+) -> bytes:
+    if conv in "di":
+        bits = _int_bits(length, value_type)
+        text = str(IntType(bits, True).wrap(int(value)))
+    elif conv == "u":
+        bits = _int_bits(length, value_type)
+        text = str(int(value) & ((1 << bits) - 1))
+    elif conv in "xXo":
+        bits = _int_bits(length, value_type)
+        magnitude = int(value) & ((1 << bits) - 1)
+        if conv == "o":
+            text = format(magnitude, "o")
+        else:
+            text = format(magnitude, conv.lower())
+            if conv == "X":
+                text = text.upper()
+    elif conv == "c":
+        text = chr(int(value) & 0xFF)
+    elif conv == "s":
+        raw = machine.memory.read_cstring(int(value), line)
+        text = raw.decode("latin-1")
+        if precision:
+            text = text[: int(precision)]
+    elif conv == "p":
+        # Address rendering is pure layout: a classic Misc divergence.
+        text = f"0x{int(value) & ((1 << 64) - 1):x}"
+    elif conv in "feEgG":
+        number = float(value)
+        digits = int(precision) if precision else 6
+        if conv == "f":
+            text = f"{number:.{digits}f}"
+        elif conv in "eE":
+            text = f"{number:.{digits}e}"
+            if conv == "E":
+                text = text.upper()
+        else:
+            text = f"{number:.{digits if precision else 6}g}"
+    else:
+        return b"%" + conv.encode()
+    if width:
+        pad = int(width)
+        if "-" in flags:
+            text = text.ljust(pad)
+        elif "0" in flags and conv not in "sc":
+            sign = ""
+            if text.startswith("-"):
+                sign, text = "-", text[1:]
+            text = sign + text.rjust(pad - len(sign), "0")
+        else:
+            text = text.rjust(pad)
+    return text.encode("latin-1")
+
+
+# ------------------------------------------------------------------- process
+
+
+def _bi_exit(machine, instr, args, taints):
+    from repro.vm.machine import _Exit
+
+    raise _Exit(int(args[0]))
+
+
+def _bi_abort(machine, instr, args, taints):
+    raise MemTrap("abort", 0, instr.line, "abort()")
+
+
+# ---------------------------------------------------------------------- heap
+
+
+def _bi_malloc(machine, instr, args, taints):
+    return machine.memory.malloc(int(args[0]), instr.line), False
+
+
+def _bi_calloc(machine, instr, args, taints):
+    count, size = int(args[0]), int(args[1])
+    total = count * size  # (deliberately unchecked: CWE-680 feeder)
+    return machine.memory.malloc(total, instr.line, zero=True), False
+
+
+def _bi_free(machine, instr, args, taints):
+    machine.memory.free(int(args[0]), instr.line)
+    return 0, False
+
+
+# ------------------------------------------------------------------- strings
+
+
+def _bi_memset(machine, instr, args, taints):
+    dst, value, count = int(args[0]), int(args[1]) & 0xFF, int(args[2])
+    if count < 0 or count > (1 << 22):
+        raise MemTrap("segv", dst, instr.line, "memset size out of range")
+    machine.fuel -= count
+    machine.memory.write(dst, bytes([value]) * count, instr.line)
+    return dst, False
+
+
+def _bi_memcpy(machine, instr, args, taints):
+    dst, src, count = int(args[0]), int(args[1]), int(args[2])
+    if count < 0 or count > (1 << 22):
+        raise MemTrap("segv", dst, instr.line, "memcpy size out of range")
+    machine.fuel -= count
+    memory = machine.memory
+    if (
+        machine.sanitizer == "asan"
+        and count > 0
+        and (dst < src + count and src < dst + count)
+        and dst != src
+    ):
+        # ASan's interceptor rejects overlapping memcpy ranges (CWE-475).
+        from repro.vm.memory import SanitizerStop
+
+        raise SanitizerStop("memcpy-param-overlap", instr.line, f"[{src:#x},{dst:#x})+{count}")
+    # Overlapping memcpy is UB; the copy direction decides the outcome and
+    # differs across implementations.
+    indices = range(count - 1, -1, -1) if machine.config.memcpy_backward else range(count)
+    # Fast path for the common non-overlapping case.
+    if dst + count <= src or src + count <= dst:
+        data = memory.read(src, count, instr.line) if count else b""
+        memory.write(dst, data, instr.line)
+    else:
+        for offset in indices:
+            memory.write(dst + offset, memory.read(src + offset, 1, instr.line), instr.line)
+    memory.copy_shadow(dst, src, count)
+    return dst, False
+
+
+def _bi_memmove(machine, instr, args, taints):
+    """memmove: overlap-safe by specification — no divergence here."""
+    dst, src, count = int(args[0]), int(args[1]), int(args[2])
+    if count < 0 or count > (1 << 22):
+        raise MemTrap("segv", dst, instr.line, "memmove size out of range")
+    machine.fuel -= count
+    data = machine.memory.read(src, count, instr.line) if count else b""
+    machine.memory.write(dst, data, instr.line)
+    machine.memory.copy_shadow(dst, src, count)
+    return dst, False
+
+
+def _bi_memcmp(machine, instr, args, taints):
+    count = int(args[2])
+    if count < 0 or count > (1 << 22):
+        raise MemTrap("segv", int(args[0]), instr.line, "memcmp size out of range")
+    a = machine.memory.read(int(args[0]), count, instr.line) if count else b""
+    b = machine.memory.read(int(args[1]), count, instr.line) if count else b""
+    return (a > b) - (a < b), False
+
+
+def _bi_realloc(machine, instr, args, taints):
+    old, size = int(args[0]), int(args[1])
+    memory = machine.memory
+    if old == 0:
+        return memory.malloc(size, instr.line), False
+    if size == 0:
+        memory.free(old, instr.line)
+        return 0, False
+    block = memory.blocks.get(old)
+    new = memory.malloc(size, instr.line)
+    if new != 0 and block is not None:
+        keep = min(block.size, size)
+        if new != old:
+            data = memory.read(old, keep, instr.line)
+            memory.write(new, data, instr.line)
+            memory.copy_shadow(new, old, keep)
+            memory.free(old, instr.line)
+    return new, False
+
+
+def _bi_strcat(machine, instr, args, taints):
+    dst, src = int(args[0]), int(args[1])
+    offset = len(machine.memory.read_cstring(dst, instr.line))
+    data = machine.memory.read_cstring(src, instr.line) + b"\0"
+    machine.fuel -= offset + len(data)
+    for i, byte in enumerate(data):
+        machine.memory.write(dst + offset + i, bytes([byte]), instr.line)
+    return dst, False
+
+
+def _bi_strlen(machine, instr, args, taints):
+    return len(machine.memory.read_cstring(int(args[0]), instr.line)), False
+
+
+def _bi_strcpy(machine, instr, args, taints):
+    dst, src = int(args[0]), int(args[1])
+    data = machine.memory.read_cstring(src, instr.line) + b"\0"
+    machine.fuel -= len(data)
+    # Byte-wise so a too-small destination traps/corrupts naturally.
+    for offset, byte in enumerate(data):
+        machine.memory.write(dst + offset, bytes([byte]), instr.line)
+    machine.memory.copy_shadow(dst, src, len(data))
+    return dst, False
+
+
+def _bi_strncpy(machine, instr, args, taints):
+    dst, src, count = int(args[0]), int(args[1]), int(args[2])
+    data = machine.memory.read_cstring(src, instr.line)[:count]
+    data = data.ljust(count, b"\0")
+    machine.fuel -= count
+    machine.memory.write(dst, data, instr.line)
+    return dst, False
+
+
+def _bi_strcmp(machine, instr, args, taints):
+    a = machine.memory.read_cstring(int(args[0]), instr.line)
+    b = machine.memory.read_cstring(int(args[1]), instr.line)
+    return (a > b) - (a < b), False
+
+
+def _bi_strncmp(machine, instr, args, taints):
+    count = int(args[2])
+    a = machine.memory.read_cstring(int(args[0]), instr.line)[:count]
+    b = machine.memory.read_cstring(int(args[1]), instr.line)[:count]
+    return (a > b) - (a < b), False
+
+
+def _bi_atoi(machine, instr, args, taints):
+    text = machine.memory.read_cstring(int(args[0]), instr.line).decode("latin-1").strip()
+    sign = 1
+    index = 0
+    if index < len(text) and text[index] in "+-":
+        sign = -1 if text[index] == "-" else 1
+        index += 1
+    digits = ""
+    while index < len(text) and text[index].isdigit():
+        digits += text[index]
+        index += 1
+    value = sign * int(digits) if digits else 0
+    return IntType(32, True).wrap(value), False
+
+
+# ----------------------------------------------------------------------- math
+
+
+def _bi_abs(machine, instr, args, taints):
+    return IntType(32, True).wrap(abs(int(args[0]))), taints[0] if taints else False
+
+
+def _bi_labs(machine, instr, args, taints):
+    return IntType(64, True).wrap(abs(int(args[0]))), taints[0] if taints else False
+
+
+def _bi_pow(machine, instr, args, taints):
+    x, y = float(args[0]), float(args[1])
+    # Computed via exp/log (as libm does), which disagrees with the exp2
+    # substitution in the last bits — the paper's floating-point Misc case.
+    if x > 0.0 and x != 1.0:
+        return math.exp(y * math.log(x)), False
+    try:
+        return math.pow(x, y), False
+    except ValueError:
+        return math.nan, False
+
+
+def _bi_exp2(machine, instr, args, taints):
+    try:
+        return 2.0 ** float(args[0]), False
+    except OverflowError:
+        return math.inf, False
+
+
+def _bi_sqrt(machine, instr, args, taints):
+    x = float(args[0])
+    return math.sqrt(x) if x >= 0 else math.nan, False
+
+
+def _bi_fabs(machine, instr, args, taints):
+    return abs(float(args[0])), False
+
+
+# ----------------------------------------------------------------- fuzz input
+
+
+def _bi_read_input(machine, instr, args, taints):
+    dst, want = int(args[0]), int(args[1])
+    if want < 0:
+        return -1, False
+    available = machine.input[machine.input_cursor : machine.input_cursor + want]
+    machine.input_cursor += len(available)
+    if available:
+        machine.fuel -= len(available)
+        machine.memory.write(dst, available, instr.line)
+    return len(available), False
+
+
+def _bi_input_size(machine, instr, args, taints):
+    return len(machine.input), False
+
+
+def _bi_input_byte(machine, instr, args, taints):
+    index = int(args[0])
+    if 0 <= index < len(machine.input):
+        return machine.input[index], False
+    return -1, False
+
+
+_BUILTINS = {
+    "printf": _bi_printf,
+    "eprintf": _bi_eprintf,
+    "putchar": _bi_putchar,
+    "puts": _bi_puts,
+    "exit": _bi_exit,
+    "abort": _bi_abort,
+    "malloc": _bi_malloc,
+    "calloc": _bi_calloc,
+    "free": _bi_free,
+    "memset": _bi_memset,
+    "memcpy": _bi_memcpy,
+    "memmove": _bi_memmove,
+    "memcmp": _bi_memcmp,
+    "realloc": _bi_realloc,
+    "strcat": _bi_strcat,
+    "strlen": _bi_strlen,
+    "strcpy": _bi_strcpy,
+    "strncpy": _bi_strncpy,
+    "strcmp": _bi_strcmp,
+    "strncmp": _bi_strncmp,
+    "atoi": _bi_atoi,
+    "abs": _bi_abs,
+    "labs": _bi_labs,
+    "pow": _bi_pow,
+    "exp2": _bi_exp2,
+    "sqrt": _bi_sqrt,
+    "fabs": _bi_fabs,
+    "read_input": _bi_read_input,
+    "input_size": _bi_input_size,
+    "input_byte": _bi_input_byte,
+}

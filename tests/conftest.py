@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_source, implementation
+from repro.compiler.implementations import DEFAULT_IMPLEMENTATIONS
+from repro.vm import run_binary
+
+
+def run_source(source: str, impl: str = "gcc-O0", input_bytes: bytes = b"", fuel: int = 500_000):
+    """Compile *source* for *impl* and execute it once."""
+    binary = compile_source(source, implementation(impl))
+    return run_binary(binary, input_bytes, fuel=fuel)
+
+
+def stdout_of(source: str, impl: str = "gcc-O0", input_bytes: bytes = b"") -> bytes:
+    result = run_source(source, impl, input_bytes)
+    assert result.status.value == "ok", (result.status, result.trap, result.stderr)
+    return result.stdout
+
+
+def outputs_across_impls(source: str, input_bytes: bytes = b"") -> dict[str, tuple]:
+    """Map implementation name -> (stdout, exit_code, status) for all ten."""
+    out = {}
+    for config in DEFAULT_IMPLEMENTATIONS:
+        result = run_binary(compile_source(source, config), input_bytes)
+        out[config.name] = (result.stdout, result.exit_code, result.status.value)
+    return out
+
+
+@pytest.fixture
+def run():
+    return run_source
+
+
+@pytest.fixture
+def stdout():
+    return stdout_of

@@ -1,0 +1,182 @@
+"""Runtime builtin (libc-analog) tests."""
+
+from __future__ import annotations
+
+from tests.conftest import run_source, stdout_of
+
+
+def fmt(body: str, impl: str = "gcc-O0", input_bytes: bytes = b"") -> bytes:
+    return stdout_of(f"int main(void) {{ {body} return 0; }}", impl, input_bytes)
+
+
+class TestStringFunctions:
+    def test_strlen(self):
+        assert fmt('printf("%ld", strlen("hello"));') == b"5"
+
+    def test_strlen_empty(self):
+        assert fmt('printf("%ld", strlen(""));') == b"0"
+
+    def test_strcpy(self):
+        assert fmt('char d[8]; strcpy(d, "abc"); printf("%s", d);') == b"abc"
+
+    def test_strcpy_returns_dst(self):
+        assert fmt('char d[8]; printf("%s", strcpy(d, "zz"));') == b"zz"
+
+    def test_strncpy_pads_with_nul(self):
+        assert (
+            fmt('char d[8]; d[5] = 77; strncpy(d, "ab", 6); printf("%d", d[5]);') == b"0"
+        )
+
+    def test_strncpy_no_terminator_when_truncated(self):
+        assert fmt('char d[4]; strncpy(d, "abcdef", 3); d[3] = 0; printf("%s", d);') == b"abc"
+
+    def test_strcmp_orderings(self):
+        assert fmt('printf("%d %d %d", strcmp("a", "b") < 0, strcmp("b", "a") > 0, strcmp("a", "a"));') == b"1 1 0"
+
+    def test_strncmp_prefix(self):
+        assert fmt('printf("%d", strncmp("abcX", "abcY", 3));') == b"0"
+
+    def test_atoi_basic(self):
+        assert fmt('printf("%d", atoi("123"));') == b"123"
+
+    def test_atoi_negative_and_junk(self):
+        assert fmt('printf("%d %d", atoi("-45x"), atoi("zz"));') == b"-45 0"
+
+
+class TestMemoryFunctions:
+    def test_memset(self):
+        assert fmt("char b[4]; memset(b, 65, 3); b[3] = 0; printf(\"%s\", b);") == b"AAA"
+
+    def test_memcpy_non_overlapping(self):
+        assert fmt('char a[4] = "xy"; char b[4]; memcpy(b, a, 3); printf("%s", b);') == b"xy"
+
+    def test_memcpy_overlap_direction_diverges(self):
+        # Overlapping copy is UB: forward (gcc) smears, backward (clang)
+        # shifts cleanly — the CWE-475 mechanism.
+        body = (
+            "char b[16]; int i;"
+            " for (i = 0; i < 10; i++) { b[i] = 'a' + i; }"
+            " b[10] = 0;"
+            " memcpy(b + 2, b, 6);"
+            ' printf("%s", b);'
+        )
+        gcc = fmt(body, "gcc-O0")
+        clang = fmt(body, "clang-O0")
+        assert gcc != clang
+
+    def test_calloc_zeroes(self):
+        assert fmt('char *p = calloc(4, 2); printf("%d", p[7]);') == b"0"
+
+    def test_malloc_free_roundtrip(self):
+        assert fmt("char *p = malloc(8); p[0] = 'k'; printf(\"%c\", p[0]); free(p);") == b"k"
+
+
+class TestMathFunctions:
+    def test_abs(self):
+        assert fmt('printf("%d %d", abs(-5), abs(5));') == b"5 5"
+
+    def test_labs(self):
+        assert fmt('printf("%ld", labs(-5000000000l));') == b"5000000000"
+
+    def test_sqrt(self):
+        assert fmt('printf("%.1f", sqrt(9.0));') == b"3.0"
+
+    def test_fabs(self):
+        assert fmt('printf("%.1f", fabs(-2.5));') == b"2.5"
+
+    def test_pow_integer_exponent(self):
+        assert fmt('printf("%.0f", pow(3.0, 4.0));') == b"81"
+
+    def test_pow_vs_exp2_disagree_in_last_bits(self):
+        # The clang-O3 pow(2,x)->exp2(x) substitution changes low bits.
+        src = 'int main(void) { printf("%.17g", pow(2.0, 0.5)); return 0; }'
+        o0 = stdout_of(src, "clang-O0")
+        o3 = stdout_of(src, "clang-O3")
+        assert o0 != o3
+
+
+class TestInputChannel:
+    def test_input_size(self):
+        assert fmt('printf("%ld", input_size());', input_bytes=b"abc") == b"3"
+
+    def test_input_byte_in_range(self):
+        assert fmt('printf("%d", input_byte(1));', input_bytes=b"AB") == b"66"
+
+    def test_input_byte_out_of_range(self):
+        assert fmt('printf("%d", input_byte(99));', input_bytes=b"AB") == b"-1"
+
+    def test_read_input_copies(self):
+        body = 'char b[8]; long n = read_input(b, 8); b[n] = 0; printf("%ld:%s", n, b);'
+        assert fmt(body, input_bytes=b"hey") == b"3:hey"
+
+    def test_read_input_cursor_advances(self):
+        body = (
+            "char a[4]; char b[4];"
+            " read_input(a, 2); read_input(b, 2);"
+            " a[2] = 0; b[2] = 0;"
+            ' printf("%s|%s", a, b);'
+        )
+        assert fmt(body, input_bytes=b"wxyz") == b"wx|yz"
+
+    def test_read_input_truncates_at_available(self):
+        body = 'char b[16]; printf("%ld", read_input(b, 16));'
+        assert fmt(body, input_bytes=b"abc") == b"3"
+
+
+class TestProcessControl:
+    def test_exit_code(self):
+        result = run_source('int main(void) { exit(7); printf("never"); return 0; }')
+        assert result.exit_code == 7
+        assert result.stdout == b""
+
+    def test_abort_is_sigabrt(self):
+        result = run_source("int main(void) { abort(); return 0; }")
+        assert result.status.value == "crash"
+        assert result.exit_code == 134
+
+
+class TestExtendedLibc:
+    def test_memmove_overlap_is_stable(self):
+        # memmove is overlap-safe by spec: identical across implementations.
+        body = (
+            "char b[16]; int i;"
+            " for (i = 0; i < 10; i++) { b[i] = 'a' + i; }"
+            " b[10] = 0;"
+            " memmove(b + 2, b, 6);"
+            ' printf("%s", b);'
+        )
+        gcc = fmt(body, "gcc-O0")
+        clang = fmt(body, "clang-O0")
+        assert gcc == clang == b"ababcdefij"
+
+    def test_memcmp(self):
+        assert fmt('printf("%d %d", memcmp("abc", "abd", 3) < 0, memcmp("abc", "abc", 3));') == b"1 0"
+
+    def test_memcmp_zero_length(self):
+        assert fmt('printf("%d", memcmp("x", "y", 0));') == b"0"
+
+    def test_strcat(self):
+        assert fmt('char d[16] = "foo"; strcat(d, "bar"); printf("%s", d);') == b"foobar"
+
+    def test_realloc_grows_and_preserves(self):
+        body = (
+            "char *p = malloc(4); strcpy(p, \"abc\");"
+            " p = realloc(p, 64);"
+            ' printf("%s", p);'
+        )
+        assert fmt(body) == b"abc"
+
+    def test_realloc_null_acts_as_malloc(self):
+        body = "char *p = realloc((char*)0, 8); p[0] = 'k'; printf(\"%c\", p[0]);"
+        assert fmt(body) == b"k"
+
+    def test_realloc_zero_frees(self):
+        body = 'char *p = malloc(8); p = realloc(p, 0); printf("%d", p == (char*)0);'
+        assert fmt(body) == b"1"
+
+    def test_realloc_moves_block(self):
+        body = (
+            "char *p = malloc(8); char *q = realloc(p, 32);"
+            ' printf("%d", p == q);'
+        )
+        assert fmt(body) == b"0"

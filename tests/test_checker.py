@@ -1,0 +1,181 @@
+"""Semantic-checker unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckError
+from repro.minic import ast, load
+from repro.minic import types as ty
+
+
+def expr_type(decl: str, text: str) -> ty.Type:
+    program = load(f"int main(void) {{ {decl} return ({text}) != 0; }}")
+    ret = program.function("main").body.body[-1]
+    comparison = ret.value
+    return comparison.lhs.ty
+
+
+class TestResolution:
+    def test_undefined_identifier_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { return nope; }")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { int a; int a; return 0; }")
+
+    def test_shadowing_in_nested_block_allowed(self):
+        program = load("int main(void) { int a = 1; { int a = 2; } return a; }")
+        assert program is not None
+
+    def test_global_visible_in_function(self):
+        load("int g;\nint main(void) { return g; }")
+
+    def test_builtin_resolved(self):
+        program = load('int main(void) { printf("x"); return 0; }')
+        call = program.function("main").body.body[0].expr
+        assert call.func.symbol.kind == "builtin"
+
+    def test_static_local_gets_mangled_name(self):
+        program = load("int f(void) { static int c = 0; return c; }")
+        decl = program.function("f").body.body[0]
+        assert decl.symbol.mangled != ""
+
+    def test_param_usable(self):
+        load("int f(int a) { return a + 1; }")
+
+
+class TestTyping:
+    def test_int_literal_type(self):
+        assert expr_type("", "1") == ty.INT
+
+    def test_large_literal_promotes_to_long(self):
+        assert expr_type("", "5000000000") == ty.LONG
+
+    def test_unsigned_suffix(self):
+        assert expr_type("", "1u") == ty.UINT
+
+    def test_char_literal_is_int(self):
+        assert expr_type("", "'a'") == ty.INT
+
+    def test_string_literal_is_char_pointer(self):
+        assert expr_type("", '"hi"') == ty.PointerType(ty.CHAR)
+
+    def test_arithmetic_promotion(self):
+        assert expr_type("char c = 1;", "c + c") == ty.INT
+
+    def test_mixed_int_long(self):
+        assert expr_type("long l = 1;", "l + 1") == ty.LONG
+
+    def test_comparison_is_int(self):
+        assert expr_type("", "(1 < 2)") == ty.INT
+
+    def test_pointer_plus_int_is_pointer(self):
+        assert expr_type("char buf[4]; char *p = buf;", "p + 1") == ty.PointerType(ty.CHAR)
+
+    def test_pointer_difference_is_long(self):
+        assert expr_type("char buf[4]; char *p = buf;", "p - p") == ty.LONG
+
+    def test_deref_type(self):
+        assert expr_type("int v; int *p = &v;", "*p") == ty.INT
+
+    def test_addressof_type(self):
+        assert expr_type("int v;", "&v != (int*)0") == ty.INT
+
+    def test_array_index_type(self):
+        assert expr_type("int arr[4];", "arr[0]") == ty.INT
+
+    def test_sizeof_is_unsigned_long(self):
+        assert expr_type("", "sizeof(int)") == ty.ULONG
+
+    def test_division_of_floats(self):
+        assert expr_type("double d = 1.0;", "d / 2") == ty.DOUBLE
+
+
+class TestStructChecking:
+    SRC = """
+    struct Pair { int a; int b; };
+    int main(void) {
+        struct Pair p;
+        struct Pair *q = &p;
+        p.a = 1;
+        q->b = 2;
+        return p.a + q->b;
+    }
+    """
+
+    def test_member_access(self):
+        load(self.SRC)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CheckError):
+            load(
+                "struct S { int a; };\n"
+                "int main(void) { struct S s; return s.nope; }"
+            )
+
+    def test_member_on_non_struct_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { int x; return x.a; }")
+
+    def test_arrow_on_non_pointer_rejected(self):
+        with pytest.raises(CheckError):
+            load("struct S { int a; };\nint main(void) { struct S s; return s->a; }")
+
+
+class TestErrors:
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { int x; return *x; }")
+
+    def test_assign_to_rvalue_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { 1 = 2; return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        with pytest.raises(CheckError):
+            load('int main(void) { char b[4]; b = "x"; return 0; }')
+
+    def test_address_of_rvalue_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { int *p = &42; return 0; }")
+
+    def test_subscript_non_pointer_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { int x; return x[0]; }")
+
+    def test_modulo_on_float_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { double d = 1.0; d = d % 2.0; return 0; }")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { void v; return 0; }")
+
+    def test_call_non_function_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { int x = 1; return x(); }")
+
+    def test_too_few_builtin_args_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void) { memcpy(); return 0; }")
+
+
+class TestUBPermissiveness:
+    """Buggy-but-compilable code must pass the checker (UB is runtime)."""
+
+    def test_missing_user_function_args_allowed(self):
+        load("int f(int a, int b) { return a + b; }\nint main(void) { return f(1); }")
+
+    def test_loose_pointer_casts_allowed(self):
+        load(
+            "struct S { int a; long b; };\n"
+            "int main(void) { int v = 1; struct S *p = (struct S*)&v; return p->a; }"
+        )
+
+    def test_null_assignment_to_typed_pointer_allowed(self):
+        load("int main(void) { int *p = NULL; return p == NULL; }")
+
+    def test_cross_object_pointer_comparison_allowed(self):
+        load("int a;\nint b;\nint main(void) { return &a < &b; }")

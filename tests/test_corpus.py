@@ -1,0 +1,67 @@
+"""Corpus minimization and campaign-stats tests."""
+
+from __future__ import annotations
+
+from repro.fuzzing import CompDiffFuzzer, FuzzerOptions, minimize_corpus, render_stats
+from repro.targets import build_target
+
+BRANCHY = """
+int main(void) {
+    char b[16];
+    long n = read_input(b, 16);
+    if (n < 1) { printf("empty\\n"); return 0; }
+    if (b[0] == 'a') { printf("path-a\\n"); }
+    else if (b[0] == 'b') { printf("path-b\\n"); }
+    else { printf("path-other\\n"); }
+    if (n > 4) { printf("long\\n"); }
+    return 0;
+}
+"""
+
+
+class TestCorpusMinimization:
+    def test_redundant_seeds_dropped(self):
+        seeds = [b"a", b"a1", b"a22", b"a333", b"b", b"zz", b"zzzzzz"]
+        result = minimize_corpus(BRANCHY, seeds)
+        assert result.dropped > 0
+        assert len(result.kept) < len(seeds)
+
+    def test_coverage_preserved(self):
+        seeds = [b"a", b"a1", b"b", b"zz", b"zzzzzz", b""]
+        full = minimize_corpus(BRANCHY, seeds)
+        again = minimize_corpus(BRANCHY, full.kept)
+        assert again.edges == full.edges
+        assert again.dropped == 0
+
+    def test_distinct_paths_all_kept(self):
+        seeds = [b"a", b"b", b"z"]
+        result = minimize_corpus(BRANCHY, seeds)
+        assert len(result.kept) == 3
+
+    def test_smallest_representative_preferred(self):
+        seeds = [b"aaaaaa", b"a"]
+        result = minimize_corpus(BRANCHY, seeds)
+        assert b"a" in result.kept
+
+    def test_duplicates_collapsed(self):
+        result = minimize_corpus(BRANCHY, [b"a", b"a", b"a"])
+        assert result.original_size == 1
+
+    def test_works_on_generated_target(self):
+        target = build_target("libzip")
+        # Pad the corpus with junk that adds no coverage beyond bad-magic.
+        seeds = target.seeds + [b"junk1", b"junk22", b"junk333"]
+        result = minimize_corpus(target.source, seeds)
+        assert result.dropped >= 2
+
+
+class TestCampaignStats:
+    def test_render_contains_key_counters(self):
+        options = FuzzerOptions(max_executions=400, compdiff_stride=5, rng_seed=2)
+        fuzzer = CompDiffFuzzer(BRANCHY, [b"a"], options)
+        result = fuzzer.run()
+        text = render_stats(result, name="branchy")
+        assert "# branchy" in text
+        assert "execs_done        : 400" in text
+        assert "edges_found" in text
+        assert "diff_clusters" in text

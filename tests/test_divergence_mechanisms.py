@@ -1,0 +1,290 @@
+"""The paper's unstable-code mechanisms, end to end.
+
+Each test reproduces one of the concrete examples from §1-§2 and §4.3 and
+asserts the *structure* of the divergence: which implementation groups
+disagree, and in which direction.
+"""
+
+from __future__ import annotations
+
+from tests.conftest import outputs_across_impls
+
+
+def groups_of(out: dict[str, tuple]) -> dict[tuple, list[str]]:
+    groups: dict[tuple, list[str]] = {}
+    for name, obs in out.items():
+        groups.setdefault(obs, []).append(name)
+    return groups
+
+
+class TestListing1SignedOverflowGuard:
+    SRC = """
+    int dump_data(int offset, int len) {
+        if (offset + len < offset) { return -1; }
+        printf("dump offset=%d len=%d\\n", offset, len);
+        return 0;
+    }
+    int main(void) {
+        int r = dump_data(2147483647 - 100, 101);
+        printf("r=%d\\n", r);
+        return 0;
+    }
+    """
+
+    def test_unoptimized_keep_guard_optimized_drop_it(self):
+        out = outputs_across_impls(self.SRC)
+        assert out["gcc-O0"][0] == b"r=-1\n"
+        assert out["clang-O0"][0] == b"r=-1\n"
+        for name in ("gcc-O2", "clang-O3", "gcc-Os"):
+            assert b"dump offset=" in out[name][0]
+
+    def test_exactly_two_groups(self):
+        assert len(groups_of(outputs_across_impls(self.SRC))) == 2
+
+
+class TestListing2PointerComparison:
+    SRC = """
+    char section_a[8];
+    char section_b[64];
+    int main(void) {
+        char *saved_start = section_a;
+        char *look_for = section_b;
+        if (look_for <= saved_start) { printf("before\\n"); }
+        else { printf("after\\n"); }
+        return 0;
+    }
+    """
+
+    def test_comparison_depends_on_global_order_policy(self):
+        out = outputs_across_impls(self.SRC)
+        answers = {obs[0] for obs in out.values()}
+        assert answers == {b"before\n", b"after\n"}
+
+    def test_size_sorting_reverses_declaration_order(self):
+        out = outputs_across_impls(self.SRC)
+        assert out["gcc-O0"][0] != out["gcc-O2"][0]
+
+
+class TestListing3EvaluationOrder:
+    SRC = """
+    char *get_str(int v) {
+        static char buffer[8];
+        buffer[0] = 'A' + v;
+        buffer[1] = 0;
+        return buffer;
+    }
+    int main(void) {
+        printf("who-is %s tell %s\\n", get_str(1), get_str(2));
+        return 0;
+    }
+    """
+
+    def test_families_disagree(self):
+        out = outputs_across_impls(self.SRC)
+        # gcc evaluates right-to-left: the first call wins the buffer.
+        for name, obs in out.items():
+            expected = b"who-is B tell B\n" if name.startswith("gcc") else b"who-is C tell C\n"
+            assert obs[0] == expected, name
+
+
+class TestListing4Uninitialized:
+    SRC = """
+    int main(void) {
+        int l;
+        if (input_size() > 0) { l = 42; }
+        printf("l=%d\\n", l);
+        return 0;
+    }
+    """
+
+    def test_empty_input_reads_impl_garbage(self):
+        out = outputs_across_impls(self.SRC)
+        values = {obs[0] for obs in out.values()}
+        assert len(values) >= 3  # several distinct fill patterns
+
+    def test_initialized_path_is_stable(self):
+        out = outputs_across_impls(self.SRC, input_bytes=b"x")
+        assert {obs[0] for obs in out.values()} == {b"l=42\n"}
+
+
+class TestIntErrorWidening:
+    SRC = """
+    int main(void) {
+        int a = 100000 + (int)input_size();
+        int b = 100000;
+        long total = a * b;
+        printf("total=%ld\\n", total);
+        return 0;
+    }
+    """
+
+    def test_clang_o1_widens_gcc_wraps(self):
+        out = outputs_across_impls(self.SRC)
+        assert out["gcc-O2"][0] == b"total=1410065408\n"  # wrapped at 32 bits
+        assert out["clang-O1"][0] == b"total=10000000000\n"  # widened
+        assert out["clang-O0"][0] == out["gcc-O0"][0]  # -O0 agrees: wrap
+
+
+class TestLineMacro:
+    SRC = (
+        "int report(int line) { printf(\"line=%d\\n\", line); return 0; }\n"
+        "int main(void) {\n"
+        "    int rc =\n"
+        "        report(__LINE__);\n"
+        "    return rc;\n"
+        "}\n"
+    )
+
+    def test_interpretations_differ_by_family(self):
+        out = outputs_across_impls(self.SRC)
+        assert out["gcc-O0"][0] == b"line=4\n"  # token line
+        assert out["clang-O0"][0] == b"line=3\n"  # statement line
+
+
+class TestMemErrorLayout:
+    SRC = """
+    int main(void) {
+        char data[16];
+        char mark[8] = "SAFE";
+        int len = 17 + (int)input_size();
+        int i;
+        for (i = 0; i < len; i++) { data[i] = 'X'; }
+        printf("mark=%s\\n", mark);
+        return 0;
+    }
+    """
+
+    def test_gap_layouts_absorb_small_overflow(self):
+        out = outputs_across_impls(self.SRC)
+        assert out["gcc-O0"][0] == b"mark=SAFE\n"
+        assert out["gcc-O2"][0] != b"mark=SAFE\n"
+
+
+class TestUseAfterFreeReuse:
+    SRC = """
+    int main(void) {
+        char *p = malloc(16);
+        strcpy(p, "OLD");
+        free(p);
+        char *q = malloc(16);
+        strcpy(q, "NEW");
+        printf("p=%s\\n", p);
+        return 0;
+    }
+    """
+
+    def test_reusing_allocators_alias(self):
+        out = outputs_across_impls(self.SRC)
+        assert out["gcc-O0"][0] == b"p=OLD\n"  # bump allocator: stale data
+        assert out["gcc-O1"][0] == b"p=NEW\n"  # free-list reuse: aliased
+
+
+class TestPointerSubtraction:
+    SRC = """
+    int main(void) {
+        char *a = malloc(24);
+        char *b = malloc(24);
+        printf("delta=%ld\\n", b - a);
+        return 0;
+    }
+    """
+
+    def test_heap_spacing_differs(self):
+        out = outputs_across_impls(self.SRC)
+        assert len({obs[0] for obs in out.values()}) >= 2
+
+
+class TestMiscompilations:
+    def test_mujs_patterns_fire_only_in_seeded_impls(self):
+        src = (
+            "int main(void){ unsigned int x = (unsigned int)(input_size() + 100) << 25;"
+            ' printf("%u\\n", (x << 1) >> 1); return 0; }'
+        )
+        out = outputs_across_impls(src)
+        buggy = {n for n, o in out.items() if o != out["gcc-O0"]}
+        assert buggy == {"gcc-O2", "gcc-O3"}
+
+
+class TestFloatImprecision:
+    def test_pow_exp2_divergence_limited_to_clang_o3(self):
+        src = 'int main(void){ printf("%.17g\\n", pow(2.0, 1.5 + input_size())); return 0; }'
+        out = outputs_across_impls(src)
+        buggy = {n for n, o in out.items() if o != out["gcc-O0"]}
+        assert buggy == {"clang-O3"}
+
+    def test_f32_extended_intermediate_divergence(self):
+        src = (
+            "int main(void){ float acc = 1.5f; int i;"
+            " for (i = 0; i < 9; i++) { acc = acc * 1.1f + 0.3f; }"
+            ' printf("%.9g\\n", acc); return 0; }'
+        )
+        out = outputs_across_impls(src)
+        assert out["gcc-O3"] != out["gcc-O2"]  # extended vs per-op rounding
+
+
+class TestStability:
+    """Defined programs must be bit-identical across all ten builds."""
+
+    def test_quicksort_is_stable(self):
+        src = """
+        void sort(int *a, int n) {
+            int i; int j;
+            for (i = 0; i < n; i++) {
+                for (j = i + 1; j < n; j++) {
+                    if (a[j] < a[i]) { int t = a[i]; a[i] = a[j]; a[j] = t; }
+                }
+            }
+        }
+        int main(void) {
+            int data[8] = {5, 2, 8, 1, 9, 3, 7, 4};
+            sort(data, 8);
+            int i;
+            for (i = 0; i < 8; i++) { printf("%d ", data[i]); }
+            printf("\\n");
+            return data[0];
+        }
+        """
+        out = outputs_across_impls(src)
+        assert len(groups_of(out)) == 1
+        assert out["gcc-O0"][0] == b"1 2 3 4 5 7 8 9 \n"
+
+    def test_string_processing_is_stable(self):
+        src = """
+        int main(void) {
+            char buf[64];
+            long n = read_input(buf, 63);
+            buf[n] = 0;
+            long i;
+            int vowels = 0;
+            for (i = 0; i < n; i++) {
+                char c = buf[i];
+                if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') { vowels++; }
+            }
+            printf("%ld bytes, %d vowels, len %ld\\n", n, vowels, strlen(buf));
+            return 0;
+        }
+        """
+        out = outputs_across_impls(src, input_bytes=b"differential testing")
+        assert len(groups_of(out)) == 1
+
+    def test_struct_heap_program_is_stable(self):
+        src = """
+        struct Node { int value; struct Node *next; };
+        int main(void) {
+            struct Node *head = NULL;
+            int i;
+            for (i = 0; i < 5; i++) {
+                struct Node *n = (struct Node*)malloc(16);
+                n->value = i * i;
+                n->next = head;
+                head = n;
+            }
+            int sum = 0;
+            while (head != NULL) { sum += head->value; head = head->next; }
+            printf("sum=%d\\n", sum);
+            return 0;
+        }
+        """
+        out = outputs_across_impls(src)
+        assert len(groups_of(out)) == 1
+        assert out["gcc-O0"][0] == b"sum=30\n"

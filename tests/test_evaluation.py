@@ -1,0 +1,145 @@
+"""Evaluation-driver tests (small-scale versions of the paper experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import (
+    evaluate_juliet,
+    evaluate_realworld,
+    figure_from_vectors,
+    render_figure,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.juliet import build_suite
+from repro.targets import build_target
+
+
+@pytest.fixture(scope="module")
+def tiny_juliet():
+    suite = build_suite(scale=0.003)
+    return suite, evaluate_juliet(suite, fuel=150_000)
+
+
+@pytest.fixture(scope="module")
+def tiny_realworld():
+    targets = [build_target("tcpdump"), build_target("readelf"), build_target("exiv2")]
+    return evaluate_realworld(
+        targets, max_executions=3000, compdiff_stride=3, rng_seed=7
+    )
+
+
+class TestJulietEvaluation:
+    def test_compdiff_has_zero_false_positives(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        assert evaluation.compdiff_false_positives == 0
+
+    def test_all_groups_present(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        assert len(evaluation.per_group) == 10
+
+    def test_detection_rates_within_bounds(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        for group, tools in evaluation.per_group.items():
+            for tool, counts in tools.items():
+                assert 0 <= counts.detection_rate <= 1, (group, tool)
+                assert 0 <= counts.fp_rate <= 1
+
+    def test_unique_bugs_exist(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        assert sum(evaluation.unique_vs_sanitizers.values()) > 0
+
+    def test_ptr_sub_is_compdiff_exclusive(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        row = evaluation.per_group["ptr_sub"]
+        assert row["compdiff"].detection_rate == 1.0
+        assert row["sanitizers_total"].detection_rate == 0.0
+
+    def test_bug_vectors_only_for_detected(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        detected_total = sum(
+            tools["compdiff"].detected for tools in evaluation.per_group.values()
+        )
+        assert len(evaluation.bug_vectors) == detected_total
+
+    def test_render_table2(self, tiny_juliet):
+        suite, _ = tiny_juliet
+        table = render_table2(suite)
+        assert "CWE-590" in table
+
+    def test_render_table3(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        table = render_table3(evaluation)
+        assert "CompDiff" in table and "Memory error" in table
+        assert "Finding 5" in table
+
+
+class TestSubsetEvaluation:
+    def test_figure1_structure(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        figure = figure_from_vectors(evaluation.bug_vectors, evaluation.implementations)
+        sizes = sorted(figure.summaries)
+        assert sizes == list(range(2, 11))
+        # Monotone best-count in subset size (§4.2).
+        bests = [figure.summaries[s].best_count for s in sizes]
+        assert bests == sorted(bests)
+        # Full set detects everything that was detected.
+        assert figure.summaries[10].best_count == len(evaluation.bug_vectors)
+
+    def test_best_pair_is_cross_family(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        figure = figure_from_vectors(evaluation.bug_vectors, evaluation.implementations)
+        best = figure.summaries[2].best_subset
+        families = {name.split("-")[0] for name in best}
+        assert families == {"gcc", "clang"}
+
+    def test_worst_pair_is_a_similar_configuration(self, tiny_juliet):
+        # At tiny suite scale the exact worst pair varies, but it is always
+        # a "similar implementations" pair: same family, or both
+        # unoptimizing (§4.2's explanation for poor subsets).
+        _, evaluation = tiny_juliet
+        figure = figure_from_vectors(evaluation.bug_vectors, evaluation.implementations)
+        worst = figure.summaries[2].worst_subset
+        families = {name.split("-")[0] for name in worst}
+        levels = {name.split("-")[1] for name in worst}
+        assert len(families) == 1 or levels == {"O0"} or len(levels) == 1
+
+    def test_render(self, tiny_juliet):
+        _, evaluation = tiny_juliet
+        figure = figure_from_vectors(evaluation.bug_vectors, evaluation.implementations)
+        text = render_figure(figure, "Figure 1")
+        assert "best  size-2 subset" in text
+
+
+class TestRealWorldEvaluation:
+    def test_finds_most_seeded_bugs(self, tiny_realworld):
+        found = tiny_realworld.found_bugs()
+        total = tiny_realworld.all_bugs()
+        assert len(found) >= len(total) - 2
+
+    def test_eval_order_bugs_not_sanitizer_visible(self, tiny_realworld):
+        for tool in ("asan", "ubsan", "msan"):
+            sites = tiny_realworld.sanitizer_found_sites(tool)
+            eval_order = [b for b in tiny_realworld.all_bugs() if b.category == "EvalOrder"]
+            assert all(b.site not in sites for b in eval_order)
+
+    def test_bug_vectors_map_to_seeded_sites(self, tiny_realworld):
+        vectors = tiny_realworld.bug_vectors()
+        seeded = {b.site for b in tiny_realworld.all_bugs()}
+        assert set(vectors) <= seeded
+
+    def test_render_table5(self, tiny_realworld):
+        table = render_table5(tiny_realworld)
+        assert "EvalOrder" in table and "Found" in table
+
+    def test_render_table6(self, tiny_realworld):
+        table = render_table6(tiny_realworld)
+        assert "MemError" in table and "Total" in table
+
+    def test_render_table4(self):
+        table = render_table4([build_target("tcpdump")])
+        assert "tcpdump" in table and "4.99.1" in table

@@ -1,0 +1,60 @@
+"""The example scripts must run end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", [], capsys)
+    assert "unstable code detected: True" in out
+    assert "Output discrepancy" in out
+
+
+def test_gallery(capsys):
+    out = run_example("unstable_code_gallery.py", [], capsys)
+    assert out.count("unstable: True") == 6
+    assert "Listing 3" in out
+
+
+def test_fuzz_tcpdump(capsys):
+    out = run_example("fuzz_tcpdump_sim.py", ["2500"], capsys)
+    assert "diff inputs saved:" in out
+    assert "FOUND" in out
+
+
+def test_subset_selection(capsys):
+    out = run_example("subset_selection.py", ["0.003"], capsys)
+    assert "recommendation at a 2x budget" in out
+    assert "avoid similar configurations" in out
+
+
+def test_triage_workflow(capsys):
+    out = run_example("triage_workflow.py", [], capsys)
+    assert "discrepancy clusters" in out
+    assert "minimized:" in out
+    assert "trace alignment" in out
+    assert "Output discrepancy" in out
+
+
+@pytest.mark.slow
+def test_juliet_campaign(capsys):
+    out = run_example("juliet_campaign.py", ["0.003"], capsys)
+    assert "CompDiff" in out
+    assert "best  size-2 subset" in out

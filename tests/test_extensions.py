@@ -1,0 +1,200 @@
+"""Tests for the §5 future-work extensions: trace-alignment localization,
+divergence-guided feedback, and the command-line interface."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.localize import Localization, align_traces, localize
+from repro.fuzzing import CompDiffFuzzer, FuzzerOptions
+
+GUARD = """
+int dump_data(int offset, int len) {
+    if (offset + len < offset) { return -1; }
+    printf("dump offset=%d len=%d\\n", offset, len);
+    return 0;
+}
+int main(void) {
+    printf("rc=%d\\n", dump_data(2147483647 - 100, 101));
+    return 0;
+}
+"""
+
+
+class TestAlignTraces:
+    def test_identical_traces_do_not_diverge(self):
+        outcome = align_traces((1, 2, 3), (1, 2, 3), "a", "b")
+        assert not outcome.diverged
+        assert outcome.common_prefix_length == 3
+        assert outcome.last_common_line == 3
+
+    def test_divergence_point_found(self):
+        outcome = align_traces((1, 2, 3, 4), (1, 2, 9), "a", "b")
+        assert outcome.diverged
+        assert outcome.last_common_line == 2
+        assert outcome.next_line_a == 3
+        assert outcome.next_line_b == 9
+
+    def test_prefix_of_other_counts_as_divergence(self):
+        outcome = align_traces((1, 2), (1, 2, 3), "a", "b")
+        assert outcome.diverged
+        assert outcome.next_line_a is None
+        assert outcome.next_line_b == 3
+
+    def test_divergence_at_entry(self):
+        outcome = align_traces((5,), (6,), "a", "b")
+        assert outcome.last_common_line == 0
+        assert outcome.common_prefix_length == 0
+
+
+class TestLocalize:
+    def test_guard_fold_localized_to_guard_line(self):
+        outcome = localize(GUARD, b"", "gcc-O0", "clang-O3")
+        assert outcome.diverged
+        # The last common line is the function head; -O0 proceeds *into*
+        # the guard body while -O3 skips straight to the dump.
+        assert outcome.next_line_a in (2, 3)
+        assert outcome.next_line_b in (3, 4)
+        assert outcome.next_line_a != outcome.next_line_b
+
+    def test_stable_program_does_not_diverge_observably(self):
+        stable = 'int main(void){ int i; int s = 0; for (i = 0; i < 4; i++) { s += i; } printf("%d", s); return 0; }'
+        outcome = localize(stable, b"", "gcc-O0", "gcc-O1")
+        # Traces may differ in *length* due to optimization, but the
+        # render must not crash and traces must share a prefix.
+        assert outcome.common_prefix_length >= 1
+
+    def test_render_includes_source_lines(self):
+        outcome = localize(GUARD, b"", "gcc-O0", "clang-O3")
+        text = outcome.render(GUARD)
+        assert "trace alignment" in text
+        assert "offset + len < offset" in text
+
+    def test_localization_is_dataclass_frozen(self):
+        outcome = localize(GUARD, b"", "gcc-O0", "gcc-O2")
+        with pytest.raises(Exception):
+            outcome.impl_a = "x"  # type: ignore[misc]
+
+
+DIVERGENCE_TARGET = """
+int main(void) {
+    char buf[32];
+    long n = read_input(buf, 32);
+    if (n < 4) { printf("short\\n"); return 1; }
+    if ((buf[0] & 255) != 90) { printf("nope\\n"); return 1; }
+    int x;
+    if (buf[1] == 3) { x = 5; }
+    printf("x=%d\\n", x);
+    return 0;
+}
+"""
+
+
+class TestDivergenceFeedback:
+    def test_divergent_inputs_join_the_pool(self):
+        options = FuzzerOptions(
+            max_executions=1500,
+            compdiff_stride=2,
+            rng_seed=4,
+            divergence_feedback=True,
+        )
+        fuzzer = CompDiffFuzzer(DIVERGENCE_TARGET, [b"Z\x00ab"], options)
+        result = fuzzer.run()
+        assert result.diffs_found > 0
+        pool_inputs = {seed.data for seed in fuzzer.pool.seeds}
+        divergent_inputs = {diff.input for diff in result.diffs}
+        assert pool_inputs & divergent_inputs
+
+    def test_disabled_by_default(self):
+        options = FuzzerOptions(max_executions=300, compdiff_stride=2, rng_seed=4)
+        fuzzer = CompDiffFuzzer(DIVERGENCE_TARGET, [b"Z\x00ab"], options)
+        fuzzer.run()
+        assert fuzzer._seen_signatures == set()
+
+
+class TestCli:
+    @pytest.fixture()
+    def guard_file(self, tmp_path: pathlib.Path) -> str:
+        path = tmp_path / "guard.c"
+        path.write_text(GUARD)
+        return str(path)
+
+    def test_check_divergent_exits_1(self, guard_file, capsys):
+        code = cli_main(["check", guard_file])
+        assert code == 1
+        assert "Output discrepancy" in capsys.readouterr().out
+
+    def test_check_stable_exits_0(self, tmp_path, capsys):
+        path = tmp_path / "ok.c"
+        path.write_text("int main(void){ printf(\"hi\\n\"); return 0; }")
+        assert cli_main(["check", str(path)]) == 0
+        assert "stable" in capsys.readouterr().out
+
+    def test_check_with_subset(self, guard_file, capsys):
+        code = cli_main(["check", guard_file, "--impls", "gcc-O0,clang-O3"])
+        assert code == 1
+
+    def test_run_prints_program_output(self, guard_file, capsys):
+        code = cli_main(["run", guard_file, "--impl", "gcc-O0"])
+        out = capsys.readouterr().out
+        assert "rc=-1" in out
+        assert code == 0
+
+    def test_run_optimized_differs(self, guard_file, capsys):
+        cli_main(["run", guard_file, "--impl", "clang-O2"])
+        assert "dump offset" in capsys.readouterr().out
+
+    def test_localize_command(self, guard_file, capsys):
+        code = cli_main(
+            ["localize", guard_file, "--impl-a", "gcc-O0", "--impl-b", "clang-O3"]
+        )
+        assert code == 0
+        assert "trace alignment" in capsys.readouterr().out
+
+    def test_fuzz_command(self, tmp_path, capsys):
+        path = tmp_path / "t.c"
+        path.write_text(DIVERGENCE_TARGET)
+        code = cli_main(["fuzz", str(path), "--execs", "1200", "--input", "Z\x00ab"])
+        out = capsys.readouterr().out
+        assert "execs_done        : 1200" in out
+        assert code in (0, 1)
+
+    def test_impls_command(self, capsys):
+        assert cli_main(["impls"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc-O0" in out and "clang-Os" in out
+
+    def test_targets_command(self, capsys):
+        assert cli_main(["targets"]) == 0
+        assert "tcpdump" in capsys.readouterr().out
+
+    def test_input_hex(self, tmp_path, capsys):
+        path = tmp_path / "echo.c"
+        path.write_text(
+            'int main(void){ printf("%d", input_byte(0)); return 0; }'
+        )
+        cli_main(["run", str(path), "--input-hex", "41"])
+        assert capsys.readouterr().out.startswith("65")
+
+
+class TestIrCli:
+    def test_ir_dump(self, tmp_path, capsys):
+        path = tmp_path / "p.c"
+        path.write_text("int main(void){ return 1 + 2; }")
+        assert cli_main(["ir", str(path), "--impl", "gcc-O2"]) == 0
+        out = capsys.readouterr().out
+        assert "func @main" in out
+        assert "ret" in out
+
+    def test_ir_dump_shows_optimization_difference(self, tmp_path, capsys):
+        path = tmp_path / "p.c"
+        path.write_text('int main(void){ int x = 3 * 4; printf("%d", x); return 0; }')
+        cli_main(["ir", str(path), "--impl", "gcc-O0"])
+        unoptimized = capsys.readouterr().out
+        cli_main(["ir", str(path), "--impl", "gcc-O2"])
+        optimized = capsys.readouterr().out
+        assert "mul" in unoptimized
+        assert "mul" not in optimized

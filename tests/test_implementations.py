@@ -1,0 +1,136 @@
+"""Invariants of the ten compiler-implementation configurations."""
+
+from __future__ import annotations
+
+from repro.compiler import (
+    DEFAULT_IMPLEMENTATIONS,
+    FUZZ_CONFIG,
+    SANITIZER_CONFIG,
+    implementation,
+    implementation_names,
+)
+
+import pytest
+
+
+class TestRoster:
+    def test_ten_implementations(self):
+        assert len(DEFAULT_IMPLEMENTATIONS) == 10
+
+    def test_two_families_five_levels(self):
+        families = {c.family for c in DEFAULT_IMPLEMENTATIONS}
+        assert families == {"gcc", "clang"}
+        for family in families:
+            levels = [c.opt_level for c in DEFAULT_IMPLEMENTATIONS if c.family == family]
+            assert levels == ["O0", "O1", "O2", "O3", "Os"]
+
+    def test_names_unique_and_resolvable(self):
+        names = implementation_names()
+        assert len(set(names)) == 10
+        for name in names:
+            assert implementation(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            implementation("tcc-O2")
+
+
+class TestPipelineShape:
+    def test_o0_runs_no_passes(self):
+        for name in ("gcc-O0", "clang-O0"):
+            config = implementation(name)
+            assert not config.const_fold
+            assert not config.exploit_ub
+            assert not config.dce
+            assert not config.inline_small
+
+    def test_o1_and_up_exploit_ub(self):
+        for config in DEFAULT_IMPLEMENTATIONS:
+            if config.opt_level != "O0":
+                assert config.exploit_ub, config.name
+                assert config.const_fold and config.dce
+
+    def test_inlining_only_at_o2_o3(self):
+        for config in DEFAULT_IMPLEMENTATIONS:
+            expected = config.opt_level in ("O2", "O3")
+            assert config.inline_small == expected, config.name
+
+    def test_widen_mul_is_clang_o1_plus(self):
+        for config in DEFAULT_IMPLEMENTATIONS:
+            expected = config.family == "clang" and config.opt_level != "O0"
+            assert config.widen_int_mul == expected, config.name
+
+    def test_miscompiles_match_rq2(self):
+        seeded = {
+            config.name: set(config.miscompile_patterns)
+            for config in DEFAULT_IMPLEMENTATIONS
+            if config.miscompile_patterns
+        }
+        assert seeded == {
+            "gcc-O2": {"ushl_ushr_elide"},
+            "gcc-O3": {"ushl_ushr_elide", "sext_shift_pair"},
+            "clang-O1": {"srem_to_mask"},
+        }
+        # Two gcc bugs + one clang bug, as in the paper's RQ2.
+        gcc_bugs = {p for n, ps in seeded.items() if n.startswith("gcc") for p in ps}
+        clang_bugs = {p for n, ps in seeded.items() if n.startswith("clang") for p in ps}
+        assert len(gcc_bugs) == 2 and len(clang_bugs) == 1
+
+
+class TestDivergenceKnobs:
+    def test_families_differ_in_arg_order(self):
+        gcc = implementation("gcc-O0")
+        clang = implementation("clang-O0")
+        assert gcc.args_left_to_right != clang.args_left_to_right
+
+    def test_families_differ_in_line_policy(self):
+        assert (
+            implementation("gcc-O0").line_macro_statement_based
+            != implementation("clang-O0").line_macro_statement_based
+        )
+
+    def test_families_differ_in_memcpy_direction(self):
+        assert (
+            implementation("gcc-O0").memcpy_backward
+            != implementation("clang-O0").memcpy_backward
+        )
+
+    def test_families_differ_in_segment_bases(self):
+        gcc = implementation("gcc-O0")
+        clang = implementation("clang-O0")
+        assert gcc.stack_base != clang.stack_base
+        assert gcc.global_base != clang.global_base
+        assert gcc.heap_base != clang.heap_base
+
+    def test_missing_arg_junk_differs_by_family(self):
+        assert (
+            implementation("gcc-O0").missing_arg_value
+            != implementation("clang-O0").missing_arg_value
+        )
+
+    def test_unoptimized_trio_shares_zero_fill(self):
+        # gcc-O0/gcc-O1/clang-O0 deliberately share 0x00 stack garbage —
+        # the Figure 1 subset effect for uninitialized reads.
+        zero_fill = {c.name for c in DEFAULT_IMPLEMENTATIONS if c.uninit_fill == 0}
+        assert zero_fill == {"gcc-O0", "gcc-O1", "clang-O0"}
+
+    def test_optimized_fills_pairwise_distinct_by_family(self):
+        gcc_o2 = implementation("gcc-O2").uninit_fill
+        clang_o2 = implementation("clang-O2").uninit_fill
+        assert gcc_o2 != clang_o2
+
+
+class TestSpecialConfigs:
+    def test_fuzz_config_is_plain(self):
+        assert not FUZZ_CONFIG.exploit_ub
+        assert FUZZ_CONFIG.miscompile_patterns == ()
+        assert FUZZ_CONFIG.name not in implementation_names()
+
+    def test_sanitizer_config_has_no_optimization(self):
+        assert not SANITIZER_CONFIG.const_fold
+        assert not SANITIZER_CONFIG.exploit_ub
+        assert SANITIZER_CONFIG.miscompile_patterns == ()
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(Exception):
+            implementation("gcc-O0").stack_gap = 99  # type: ignore[misc]

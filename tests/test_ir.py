@@ -1,0 +1,150 @@
+"""IR container, builder, and CFG utility tests."""
+
+from __future__ import annotations
+
+from repro.ir import (
+    BinOp,
+    Branch,
+    Const,
+    FunctionBuilder,
+    Jump,
+    Module,
+    Reg,
+    Ret,
+)
+from repro.ir.cfg import block_order_rpo, predecessors, reachable_blocks, remove_unreachable
+from repro.ir.instructions import Load, Move, Store
+from repro.minic import types as ty
+
+
+def diamond() -> FunctionBuilder:
+    """entry -> (left|right) -> exit."""
+    builder = FunctionBuilder("f", [], ty.INT)
+    left = builder.new_block("left")
+    right = builder.new_block("right")
+    exit_label = builder.new_block("exit")
+    cond = builder.new_reg()
+    builder.emit(Const(cond, 1, ty.INT))
+    builder.branch(cond, left, right)
+    builder.switch_to(left)
+    builder.jump(exit_label)
+    builder.switch_to(right)
+    builder.jump(exit_label)
+    builder.switch_to(exit_label)
+    builder.ret(0)
+    return builder
+
+
+class TestBuilder:
+    def test_entry_block_exists(self):
+        builder = FunctionBuilder("f", [], ty.INT)
+        assert "entry" in builder.func.blocks
+
+    def test_fresh_registers_unique(self):
+        builder = FunctionBuilder("f", [], ty.INT)
+        regs = {builder.new_reg() for _ in range(10)}
+        assert len(regs) == 10
+
+    def test_emit_after_terminator_goes_to_dead_block(self):
+        builder = FunctionBuilder("f", [], ty.INT)
+        builder.ret(0)
+        builder.emit(Const(builder.new_reg(), 1, ty.INT))
+        assert any(label.startswith("dead") for label in builder.func.blocks)
+
+    def test_finish_terminates_open_blocks(self):
+        builder = FunctionBuilder("f", [], ty.INT)
+        open_label = builder.new_block("open")
+        builder.jump(open_label)
+        builder.switch_to(open_label)
+        func = builder.finish()
+        assert all(block.terminator is not None for block in func.blocks.values())
+
+    def test_slot_indices_sequential(self):
+        builder = FunctionBuilder("f", [], ty.INT)
+        assert builder.add_slot("a", 4, 4) == 0
+        assert builder.add_slot("b", 8, 8) == 1
+        assert builder.func.frame_size() == 12
+
+    def test_terminated_property(self):
+        builder = FunctionBuilder("f", [], ty.INT)
+        assert not builder.terminated
+        builder.ret(None)
+        assert builder.terminated
+
+
+class TestInstructions:
+    def test_uses_and_defines(self):
+        instr = BinOp(Reg(3), "add", Reg(1), 5, ty.INT)
+        assert instr.defines() == Reg(3)
+        assert Reg(1) in instr.uses()
+
+    def test_replace_uses(self):
+        instr = BinOp(Reg(3), "add", Reg(1), Reg(2), ty.INT)
+        instr.replace_uses({Reg(1): 7, Reg(2): Reg(9)})
+        assert instr.lhs == 7
+        assert instr.rhs == Reg(9)
+
+    def test_store_has_no_def(self):
+        assert Store(Reg(1), Reg(2), ty.INT).defines() is None
+
+    def test_load_addr_is_use(self):
+        instr = Load(Reg(1), Reg(2), ty.INT)
+        assert instr.uses() == [Reg(2)]
+
+    def test_move_repr_and_subst(self):
+        instr = Move(Reg(1), Reg(0), ty.INT)
+        instr.replace_uses({Reg(0): 42})
+        assert instr.src == 42
+
+    def test_branch_successors(self):
+        builder = diamond()
+        func = builder.finish()
+        entry = func.blocks["entry"]
+        assert len(entry.successors()) == 2
+
+    def test_comparison_detection(self):
+        assert BinOp(Reg(0), "slt", 1, 2, ty.INT).is_comparison
+        assert not BinOp(Reg(0), "add", 1, 2, ty.INT).is_comparison
+
+
+class TestCFG:
+    def test_reachable_blocks(self):
+        func = diamond().finish()
+        assert reachable_blocks(func) == set(func.blocks)
+
+    def test_unreachable_removed(self):
+        builder = diamond()
+        orphan = builder.new_block("orphan")
+        builder.switch_to(orphan)
+        builder.ret(1)
+        func = builder.finish()
+        removed = remove_unreachable(func)
+        assert removed == 1
+        assert not any("orphan" in label for label in func.blocks)
+
+    def test_predecessors(self):
+        func = diamond().finish()
+        preds = predecessors(func)
+        exit_label = next(label for label in func.blocks if label.startswith("exit"))
+        assert len(preds[exit_label]) == 2
+        assert preds["entry"] == set()
+
+    def test_rpo_starts_at_entry(self):
+        func = diamond().finish()
+        order = block_order_rpo(func)
+        assert order[0] == "entry"
+        assert len(order) == len(func.blocks)
+
+
+class TestModule:
+    def test_instruction_count(self):
+        func = diamond().finish()
+        module = Module(name="m", functions={"f": func})
+        assert module.instruction_count() == sum(
+            len(b.instrs) for b in func.blocks.values()
+        )
+
+    def test_function_lookup(self):
+        func = diamond().finish()
+        module = Module(name="m", functions={"f": func})
+        assert module.function("f") is func

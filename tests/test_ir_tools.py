@@ -1,0 +1,130 @@
+"""IR printer and verifier tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import DEFAULT_IMPLEMENTATIONS, compile_source, implementation
+from repro.ir.instructions import BinOp, Const, Jump, Reg
+from repro.ir.module import BasicBlock
+from repro.ir.printer import format_function, format_global, format_module
+from repro.ir.verify import VerificationError, verify_function, verify_module
+from repro.minic import types as ty
+
+SRC = """
+int square(int x) { return x * x; }
+char banner[8] = "hi";
+int main(void) {
+    char buf[16];
+    long n = read_input(buf, 16);
+    printf("%d %s %ld\\n", square(3), banner, n);
+    return 0;
+}
+"""
+
+
+class TestPrinter:
+    def test_module_listing_structure(self):
+        binary = compile_source(SRC, implementation("gcc-O0"))
+        listing = format_module(binary.module)
+        assert "; module" in listing
+        assert "func @main" in listing
+        assert "func @square" in listing
+        assert "@banner" in listing
+        assert "entry:" in listing
+
+    def test_global_formats(self):
+        binary = compile_source(SRC, implementation("gcc-O0"))
+        banner = format_global(binary.module.globals["banner"])
+        assert banner.startswith("@banner: 8 bytes")
+        assert "0x6869" in banner  # "hi"
+
+    def test_frame_slots_listed(self):
+        binary = compile_source(SRC, implementation("gcc-O0"))
+        text = format_function(binary.module.functions["main"])
+        assert "buf: 16 bytes" in text
+        assert "buffer" in text
+
+    def test_relocations_shown(self):
+        src = 'char *m = "x";\nint main(void){ return 0; }'
+        binary = compile_source(src, implementation("gcc-O0"))
+        assert "reloc" in format_global(binary.module.globals["m"])
+
+
+class TestVerifier:
+    def _module(self, impl="gcc-O2"):
+        return compile_source(SRC, implementation(impl)).module
+
+    def test_compiled_modules_verify_for_all_impls(self):
+        for config in DEFAULT_IMPLEMENTATIONS:
+            verify_module(compile_source(SRC, config).module)
+
+    def test_sanitizer_build_verifies(self):
+        from repro.compiler import SANITIZER_CONFIG
+
+        verify_module(compile_source(SRC, SANITIZER_CONFIG, sanitizer="asan").module)
+
+    def test_detects_missing_terminator(self):
+        module = self._module()
+        func = module.functions["main"]
+        broken = BasicBlock("broken", [Const(Reg(0), 1, ty.INT)])
+        func.blocks["broken"] = broken
+        problems = verify_function(func, module)
+        assert any("terminator" in p for p in problems)
+
+    def test_detects_jump_to_unknown_block(self):
+        module = self._module()
+        func = module.functions["main"]
+        func.blocks["bad"] = BasicBlock("bad", [Jump("nowhere")])
+        problems = verify_function(func, module)
+        assert any("unknown block" in p for p in problems)
+
+    def test_detects_out_of_range_register(self):
+        module = self._module()
+        func = module.functions["square"]
+        func.blocks[func.entry].instrs.insert(
+            0, BinOp(Reg(func.num_regs + 5), "add", Reg(0), 1, ty.INT)
+        )
+        problems = verify_function(func, module)
+        assert any("out-of-range" in p or "out of range" in p for p in problems)
+
+    def test_detects_unknown_opcode(self):
+        module = self._module()
+        func = module.functions["square"]
+        func.blocks[func.entry].instrs.insert(0, BinOp(Reg(0), "frobnicate", 1, 2, ty.INT))
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_detects_bad_slot_index(self):
+        from repro.ir.instructions import AddrSlot
+
+        module = self._module()
+        func = module.functions["main"]
+        func.blocks[func.entry].instrs.insert(0, AddrSlot(func.new_reg(), 999))
+        problems = verify_function(func, module)
+        assert any("slot" in p for p in problems)
+
+    def test_juliet_sample_verifies_across_impls(self):
+        from repro.juliet import build_suite
+        from repro.compiler import compile_program
+        from repro.minic import load
+
+        suite = build_suite(scale=0.002)
+        for case in suite.cases[:20]:
+            program = load(case.bad_source)
+            for config in (implementation("gcc-O0"), implementation("clang-O3")):
+                verify_module(compile_program(program, config).module)
+
+    def test_targets_verify(self):
+        from repro.compiler import compile_program
+        from repro.minic import load
+        from repro.targets import build_target
+
+        for name in ("tcpdump", "MuJS", "gpac"):
+            program = load(build_target(name).source)
+            for config in DEFAULT_IMPLEMENTATIONS[:4]:
+                verify_module(compile_program(program, config).module)
+
+    def test_env_flag_enables_verification(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_IR", "1")
+        compile_source(SRC, implementation("clang-O2"))  # must not raise

@@ -1,0 +1,137 @@
+"""Juliet-like suite tests: registry, generation, ground-truth behavior."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.compdiff import CompDiff
+from repro.juliet import CWE_REGISTRY, GROUPS, build_suite, generate_cwe, group_of
+from repro.juliet.cwe import total_paper_tests
+from repro.juliet.generator import scaled_count
+from repro.juliet.templates import TEMPLATES
+from repro.minic import load
+from repro.sanitizers import MemorySanitizer, UndefinedBehaviorSanitizer
+
+
+class TestRegistry:
+    def test_twenty_cwes(self):
+        assert len(CWE_REGISTRY) == 20
+
+    def test_paper_total_matches_table2(self):
+        assert total_paper_tests() == 18142
+
+    def test_groups_partition_registry(self):
+        grouped = [cwe for cwes in GROUPS.values() for cwe in cwes]
+        assert sorted(grouped) == sorted(CWE_REGISTRY)
+
+    def test_group_lookup(self):
+        assert group_of(121) == "memory_error"
+        assert group_of(476) == "null_deref"
+        assert group_of(469) == "ptr_sub"
+
+    def test_every_cwe_has_a_template(self):
+        assert set(TEMPLATES) == set(CWE_REGISTRY)
+
+    def test_scaled_count_floor(self):
+        assert scaled_count(475, 0.02) == 2  # 18 * 0.02 rounds below minimum
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = build_suite(scale=0.01, seed=7)
+        b = build_suite(scale=0.01, seed=7)
+        assert [c.uid for c in a.cases] == [c.uid for c in b.cases]
+        assert [c.bad_source for c in a.cases] == [c.bad_source for c in b.cases]
+
+    def test_different_seed_different_programs(self):
+        a = build_suite(scale=0.01, seed=1)
+        b = build_suite(scale=0.01, seed=2)
+        assert [c.bad_source for c in a.cases] != [c.bad_source for c in b.cases]
+
+    def test_proportions_follow_table2(self):
+        suite = build_suite(scale=0.02)
+        by_cwe = suite.by_cwe
+        assert len(by_cwe[122]) > len(by_cwe[416])  # 3575 vs 394 paper tests
+        assert len(by_cwe[121]) > len(by_cwe[469])
+
+    def test_all_sources_compile(self):
+        suite = build_suite(scale=0.005)
+        for case in suite.cases:
+            load(case.bad_source)
+            load(case.good_source)
+
+    def test_bad_and_good_differ(self):
+        suite = build_suite(scale=0.005)
+        for case in suite.cases:
+            assert case.bad_source != case.good_source
+
+    def test_overview_render(self):
+        suite = build_suite(scale=0.005)
+        table = suite.render_overview()
+        assert "CWE-121" in table
+        assert "Total" in table
+
+    def test_unknown_cwe_rejected(self):
+        with pytest.raises(KeyError):
+            generate_cwe(999, 1)
+
+
+class TestGroundTruth:
+    """Spot-check that bad variants really are bugs and good really fixed."""
+
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return CompDiff(fuel=200_000)
+
+    def test_cwe469_bad_always_diverges_good_never(self, engine):
+        rng = random.Random(3)
+        for case in generate_cwe(469, 4, rng):
+            assert engine.check(load(case.bad_source), case.inputs).divergent, case.uid
+            assert not engine.check(load(case.good_source), case.inputs).divergent
+
+    def test_cwe685_detected_by_compdiff_and_ubsan(self, engine):
+        rng = random.Random(3)
+        ubsan = UndefinedBehaviorSanitizer()
+        for case in generate_cwe(685, 2, rng):
+            assert engine.check(load(case.bad_source), case.inputs).divergent
+            assert ubsan.check(load(case.bad_source), case.inputs) is not None
+            assert ubsan.check(load(case.good_source), case.inputs) is None
+
+    def test_cwe457_branch_mech_visible_to_msan(self, engine):
+        rng = random.Random(0)
+        msan = MemorySanitizer()
+        cases = [c for c in generate_cwe(457, 60, rng) if c.mech == "branch_use"]
+        assert cases, "expected at least one branch_use variant in 60 draws"
+        for case in cases[:3]:
+            assert msan.check(load(case.bad_source), case.inputs) is not None
+            assert msan.check(load(case.good_source), case.inputs) is None
+
+    def test_cwe457_print_mech_invisible_to_msan(self, engine):
+        rng = random.Random(0)
+        msan = MemorySanitizer()
+        cases = [c for c in generate_cwe(457, 40, rng) if c.mech == "print_value"]
+        for case in cases[:3]:
+            assert msan.check(load(case.bad_source), case.inputs) is None
+
+    def test_cwe369_unused_division_divergence(self, engine):
+        rng = random.Random(1)
+        cases = [c for c in generate_cwe(369, 60, rng) if c.mech == "int_unused"]
+        assert cases
+        case = cases[0]
+        assert engine.check(load(case.bad_source), case.inputs).divergent
+
+    def test_cwe369_used_division_not_divergent(self, engine):
+        rng = random.Random(1)
+        cases = [c for c in generate_cwe(369, 60, rng) if c.mech == "int_used"]
+        assert cases
+        case = cases[0]
+        # Every binary traps identically: same observation, no divergence.
+        assert not engine.check(load(case.bad_source), case.inputs).divergent
+
+    def test_good_variants_never_diverge_sample(self, engine):
+        suite = build_suite(scale=0.004)
+        for case in suite.cases:
+            outcome = engine.check(load(case.good_source), case.inputs)
+            assert not outcome.divergent, case.uid

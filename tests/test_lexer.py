@@ -1,0 +1,183 @@
+"""Lexer unit tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LexError
+from repro.minic.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_recognized(self):
+        for kw in ("int", "char", "while", "return", "struct", "sizeof", "NULL"):
+            (token,) = tokenize(kw)[:-1]
+            assert token.kind is TokenKind.KEYWORD
+
+    def test_identifier_with_underscore_and_digits(self):
+        (token,) = tokenize("_foo_bar42")[:-1]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "_foo_bar42"
+
+    def test_identifier_prefixed_by_keyword_is_ident(self):
+        (token,) = tokenize("integer")[:-1]
+        assert token.kind is TokenKind.IDENT
+
+    def test_line_macro_token(self):
+        (token,) = tokenize("__LINE__")[:-1]
+        assert token.kind is TokenKind.KEYWORD
+        assert token.text == "__LINE__"
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (token,) = tokenize("12345")[:-1]
+        assert token.kind is TokenKind.INT
+        assert token.value == 12345
+
+    def test_hex_int(self):
+        (token,) = tokenize("0xFF")[:-1]
+        assert token.value == 255
+
+    def test_suffixes_preserved_in_text(self):
+        (token,) = tokenize("42ul")[:-1]
+        assert token.kind is TokenKind.INT
+        assert token.text == "42ul"
+        assert token.value == 42
+
+    def test_float_literal(self):
+        (token,) = tokenize("3.25")[:-1]
+        assert token.kind is TokenKind.FLOAT
+        assert token.value == 3.25
+
+    def test_float_with_exponent(self):
+        (token,) = tokenize("9.2e18")[:-1]
+        assert token.kind is TokenKind.FLOAT
+        assert token.value == 9.2e18
+
+    def test_exponent_without_dot(self):
+        (token,) = tokenize("1e6")[:-1]
+        assert token.kind is TokenKind.FLOAT
+        assert token.value == 1e6
+
+    def test_float_f_suffix(self):
+        (token,) = tokenize("1.5f")[:-1]
+        assert token.kind is TokenKind.FLOAT
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_any_decimal_roundtrips(self, value):
+        (token,) = tokenize(str(value))[:-1]
+        assert token.value == value
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_any_hex_roundtrips(self, value):
+        (token,) = tokenize(hex(value))[:-1]
+        assert token.value == value
+
+
+class TestCharAndString:
+    def test_simple_char(self):
+        (token,) = tokenize("'a'")[:-1]
+        assert token.kind is TokenKind.CHAR
+        assert token.value == ord("a")
+
+    def test_escaped_newline_char(self):
+        (token,) = tokenize(r"'\n'")[:-1]
+        assert token.value == 10
+
+    def test_nul_char(self):
+        (token,) = tokenize(r"'\0'")[:-1]
+        assert token.value == 0
+
+    def test_hex_escape_char(self):
+        (token,) = tokenize(r"'\x41'")[:-1]
+        assert token.value == 0x41
+
+    def test_string_value_decoded(self):
+        (token,) = tokenize(r'"a\tb\n"')[:-1]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "a\tb\n"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestOperatorsAndComments:
+    def test_maximal_munch_shift_assign(self):
+        assert texts("a <<= 2") == ["a", "<<=", "2"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("p->x - 1") == ["p", "->", "x", "-", "1"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_ellipsis(self):
+        assert texts("...") == ["..."]
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert (tokens[0].line, tokens[1].line, tokens[2].line) == (1, 2, 3)
+
+    def test_column_tracking(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].col == 1
+        assert tokens[1].col == 4
+
+    def test_block_comment_advances_lines(self):
+        tokens = tokenize("/* a\nb\nc */ x")
+        assert tokens[0].line == 3
+
+    def test_token_is_frozen(self):
+        token = tokenize("x")[0]
+        with pytest.raises(Exception):
+            token.text = "y"  # type: ignore[misc]
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60))
+def test_lexer_never_hangs_or_crashes_unexpectedly(source):
+    """Any printable input either tokenizes or raises LexError."""
+    try:
+        tokens = tokenize(source)
+    except LexError:
+        return
+    assert tokens[-1].kind is TokenKind.EOF

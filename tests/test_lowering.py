@@ -1,0 +1,213 @@
+"""Lowering-specific tests: IR shape, config-dependent choices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.implementations import implementation
+from repro.compiler.lowering import lower_program
+from repro.errors import LoweringError
+from repro.ir.instructions import BinOp, BugSite, Call, CallBuiltin, Const, Store
+from repro.minic import load
+from repro.minic import types as ty
+
+from tests.conftest import stdout_of
+
+GCC = implementation("gcc-O0")
+CLANG = implementation("clang-O0")
+
+
+def lower(source: str, config=GCC):
+    return lower_program(load(source), config)
+
+
+class TestFunctionShape:
+    def test_params_stored_to_slots(self):
+        module = lower("int f(int a, int b) { return a + b; }")
+        func = module.functions["f"]
+        stores = [i for i in func.blocks["entry"].instrs if isinstance(i, Store)]
+        assert len(stores) == 2
+        assert len(func.slots) == 2
+
+    def test_param_registers_reserved(self):
+        module = lower("int f(int a, int b) { return a; }")
+        func = module.functions["f"]
+        defined = [i.defines().id for i in func.instructions() if i.defines() is not None]
+        # No temporary may reuse the incoming argument registers 0 and 1.
+        assert all(reg_id >= 2 for reg_id in defined)
+
+    def test_main_gets_implicit_return_zero(self):
+        module = lower('int main(void) { printf("x"); }')
+        terminators = [b.terminator for b in module.functions["main"].blocks.values()]
+        assert any(t is not None and getattr(t, "value", None) == 0 for t in terminators)
+
+    def test_locals_become_slots_with_buffer_flag(self):
+        module = lower("int main(void) { int x; char buf[32]; return 0; }")
+        slots = {s.name: s for s in module.functions["main"].slots}
+        assert not slots["x"].is_buffer
+        assert slots["buf"].is_buffer
+
+
+class TestArgumentOrder:
+    SRC = (
+        "int g = 0;\n"
+        "int tick(int v) { g = g * 10 + v; return v; }\n"
+        'int main(void) { int r = tick(1) + tick(2); printf("%d\\n", g); return r; }'
+    )
+
+    def test_binary_operands_fixed_left_to_right(self):
+        # Binary operand order is fixed in this simulator; only *call
+        # argument* order varies per implementation.
+        assert stdout_of(self.SRC, "gcc-O0") == stdout_of(self.SRC, "clang-O0") == b"12\n"
+
+    CALL_SRC = (
+        "int g = 0;\n"
+        "int tick(int v) { g = g * 10 + v; return v; }\n"
+        "int two(int a, int b) { return a + b; }\n"
+        'int main(void) { two(tick(1), tick(2)); printf("%d\\n", g); return 0; }'
+    )
+
+    def test_call_args_gcc_right_to_left(self):
+        assert stdout_of(self.CALL_SRC, "gcc-O0") == b"21\n"
+
+    def test_call_args_clang_left_to_right(self):
+        assert stdout_of(self.CALL_SRC, "clang-O0") == b"12\n"
+
+    def test_positional_order_preserved_despite_eval_order(self):
+        src = (
+            "int sub(int a, int b) { return a - b; }\n"
+            'int main(void) { printf("%d\\n", sub(10, 3)); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O0") == stdout_of(src, "clang-O0") == b"7\n"
+
+
+class TestNswMarking:
+    def test_signed_arith_marked_nsw(self):
+        module = lower("int f(int a, int b) { return a + b; }")
+        adds = [i for i in module.functions["f"].instructions()
+                if isinstance(i, BinOp) and i.op == "add" and isinstance(i.type, ty.IntType)
+                and i.type.bits == 32]
+        assert any(i.nsw for i in adds)
+
+    def test_unsigned_arith_not_nsw(self):
+        module = lower("unsigned int f(unsigned int a, unsigned int b) { return a + b; }")
+        adds = [i for i in module.functions["f"].instructions()
+                if isinstance(i, BinOp) and i.op == "add"]
+        assert all(not i.nsw for i in adds if isinstance(i.type, ty.IntType) and not i.type.signed)
+
+
+class TestWidenIntMul:
+    SRC = "long f(int a, int b) { long r = a * b; return r; }"
+
+    def test_gcc_wraps_then_extends(self):
+        module = lower(self.SRC, implementation("gcc-O2"))
+        muls = [i for i in module.functions["f"].instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        assert all(i.type.bits == 32 for i in muls)
+
+    def test_clang_o1_computes_in_64(self):
+        module = lower(self.SRC, implementation("clang-O1"))
+        muls = [i for i in module.functions["f"].instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        assert any(i.type.bits == 64 for i in muls)
+
+    def test_clang_o0_does_not_widen(self):
+        module = lower(self.SRC, implementation("clang-O0"))
+        muls = [i for i in module.functions["f"].instructions()
+                if isinstance(i, BinOp) and i.op == "mul"]
+        assert all(i.type.bits == 32 for i in muls)
+
+
+class TestLineMacroPolicy:
+    SRC = (
+        "int main(void) {\n"
+        "    int x =\n"
+        "        __LINE__;\n"
+        '    printf("%d", x);\n'
+        "    return 0;\n"
+        "}\n"
+    )
+
+    def test_gcc_uses_token_line(self):
+        assert stdout_of(self.SRC, "gcc-O0") == b"3"
+
+    def test_clang_uses_statement_line(self):
+        assert stdout_of(self.SRC, "clang-O0") == b"2"
+
+    def test_single_line_statement_agrees(self):
+        src = 'int main(void) { printf("%d", __LINE__); return 0; }'
+        assert stdout_of(src, "gcc-O0") == stdout_of(src, "clang-O0") == b"1"
+
+
+class TestGlobalsAndStrings:
+    def test_string_literals_interned(self):
+        module = lower('int main(void){ printf("abc"); printf("abc"); return 0; }')
+        labels = [name for name in module.globals if name.startswith(".str")]
+        assert len(labels) == 1
+
+    def test_static_local_mangled_global(self):
+        module = lower("int f(void) { static int n = 3; return n; }")
+        statics = [name for name in module.globals if name.startswith("f.n")]
+        assert len(statics) == 1
+        assert module.globals[statics[0]].init == (3).to_bytes(4, "little")
+
+    def test_global_pointer_relocation_recorded(self):
+        module = lower('char *m = "hi";\nint main(void){ return 0; }')
+        assert module.globals["m"].relocations
+
+    def test_global_array_literal_init(self):
+        module = lower("int t[3] = {1, 2, 3};\nint main(void){ return 0; }")
+        raw = module.globals["t"].init
+        assert raw == b"\x01\x00\x00\x00\x02\x00\x00\x00\x03\x00\x00\x00"
+
+    def test_non_constant_global_init_rejected(self):
+        with pytest.raises(LoweringError):
+            lower("int g = input_size();\nint main(void){ return 0; }")
+
+
+class TestMetadata:
+    def test_bugsite_collected(self):
+        module = lower("int main(void) { __bugsite(42); return 0; }")
+        assert module.bug_sites == [42]
+        assert any(isinstance(i, BugSite) for i in module.functions["main"].instructions())
+
+    def test_magic_constants_from_comparisons(self):
+        module = lower("int main(void) { if (input_byte(0) == 77) return 1; return 0; }")
+        assert 77 in module.magic_constants
+
+    def test_magic_strings_from_strcmp(self):
+        module = lower(
+            'int main(void) { char b[8]; read_input(b, 7); b[7] = 0;'
+            ' return strcmp(b, "MAGIC!") == 0; }'
+        )
+        assert b"MAGIC!" in module.magic_strings
+
+    def test_zero_one_literals_not_magic(self):
+        module = lower("int main(void) { if (input_byte(0) == 1) return 1; return 0; }")
+        assert 1 not in module.magic_constants
+
+
+class TestBuiltinsLowering:
+    def test_printf_becomes_callbuiltin(self):
+        module = lower('int main(void){ printf("%d", 5); return 0; }')
+        calls = [i for i in module.functions["main"].instructions()
+                 if isinstance(i, CallBuiltin) and i.name == "printf"]
+        assert len(calls) == 1
+        assert len(calls[0].arg_types) == 2
+
+    def test_user_function_becomes_call(self):
+        module = lower("int f(void) { return 1; }\nint main(void){ return f(); }")
+        calls = [i for i in module.functions["main"].instructions() if isinstance(i, Call)]
+        assert calls and calls[0].callee == "f"
+
+    def test_vararg_float_promoted_to_double(self):
+        module = lower('int main(void){ float f = 1.0f; printf("%f", f); return 0; }')
+        call = next(i for i in module.functions["main"].instructions()
+                    if isinstance(i, CallBuiltin) and i.name == "printf")
+        assert call.arg_types[1] == ty.DOUBLE
+
+    def test_char_vararg_promoted_to_int(self):
+        module = lower('int main(void){ char c = 65; printf("%c", c); return 0; }')
+        call = next(i for i in module.functions["main"].instructions()
+                    if isinstance(i, CallBuiltin) and i.name == "printf")
+        assert call.arg_types[1] == ty.INT

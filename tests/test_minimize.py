@@ -1,0 +1,62 @@
+"""Input-minimization tests."""
+
+from __future__ import annotations
+
+from repro.core.compdiff import CompDiff
+from repro.core.minimize import minimize_input
+
+GATED = """
+int main(void) {
+    char buf[64];
+    long n = read_input(buf, 64);
+    if (n < 3) { printf("short\\n"); return 1; }
+    if ((buf[0] & 255) != 88) { printf("nomagic\\n"); return 1; }
+    int x;
+    if (buf[1] == 7) { x = 3; }
+    printf("x=%d\\n", x);
+    return 0;
+}
+"""
+
+
+class TestMinimizer:
+    def test_strips_irrelevant_tail(self):
+        noisy = b"X\x01" + b"JUNKJUNKJUNKJUNKJUNK"
+        result = minimize_input(GATED, noisy)
+        assert len(result.minimized) <= 4
+        assert result.minimized[:1] == b"X"
+        # The minimized input must still trigger a divergence.
+        outcome = CompDiff().check_source(GATED, [result.minimized])
+        assert outcome.divergent
+
+    def test_reduction_metric(self):
+        noisy = b"X\x01" + b"A" * 30
+        result = minimize_input(GATED, noisy)
+        assert 0.0 <= result.reduction <= 1.0
+        assert result.reduction > 0.5
+
+    def test_non_divergent_input_returned_unchanged(self):
+        result = minimize_input(GATED, b"zz-not-magic")
+        assert result.minimized == b"zz-not-magic"
+
+    def test_canonicalizes_free_bytes(self):
+        noisy = b"X\x01\xff"
+        result = minimize_input(GATED, noisy)
+        # Byte 2 is free: canonicalized to 0x00 or 'A' (or removed).
+        assert result.minimized[0:1] == b"X"
+        if len(result.minimized) >= 3:
+            assert result.minimized[2] in (0, 0x41)
+
+    def test_signature_preserving_mode(self):
+        from repro.core.minimize import Minimizer
+        from repro.core.triage import signature_of
+        from repro.minic import load
+
+        engine = CompDiff()
+        servers = engine.build(load(GATED))
+        data = b"X\x01" + b"tail" * 4
+        before = signature_of(engine.run_input(servers, data))
+        minimizer = Minimizer(engine, servers, preserve_signature=True)
+        result = minimizer.minimize(data)
+        after = signature_of(engine.run_input(servers, result.minimized))
+        assert after == before

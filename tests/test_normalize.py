@@ -1,0 +1,59 @@
+"""Output-normalizer coverage (RQ5 machinery)."""
+
+from __future__ import annotations
+
+from repro.core.normalize import EPOCH_SECONDS, POINTER, TIMESTAMP, OutputNormalizer
+
+
+class TestPatterns:
+    def test_timestamp_pattern_matches_epan_format(self):
+        normalizer = OutputNormalizer(patterns=[TIMESTAMP])
+        assert normalizer.normalize(b"10:44:23.405830 [Epan WARNING]") == b"<TIME> [Epan WARNING]"
+
+    def test_timestamp_requires_fractional_part(self):
+        normalizer = OutputNormalizer(patterns=[TIMESTAMP])
+        assert normalizer.normalize(b"at 10:44:23 sharp") == b"at 10:44:23 sharp"
+
+    def test_pointer_pattern(self):
+        normalizer = OutputNormalizer(patterns=[POINTER])
+        assert normalizer.normalize(b"sym at 0x7fffdead") == b"sym at <PTR>"
+
+    def test_pointer_pattern_ignores_short_hex(self):
+        normalizer = OutputNormalizer(patterns=[POINTER])
+        assert normalizer.normalize(b"flags 0xff") == b"flags 0xff"
+
+    def test_epoch_pattern(self):
+        normalizer = OutputNormalizer(patterns=[EPOCH_SECONDS])
+        assert normalizer.normalize(b"ts=1712345678 ok") == b"ts=<EPOCH> ok"
+
+    def test_multiple_occurrences_all_scrubbed(self):
+        normalizer = OutputNormalizer(patterns=[TIMESTAMP])
+        out = normalizer.normalize(b"11:11:11.111111 x 22:22:22.222222")
+        assert out == b"<TIME> x <TIME>"
+
+
+class TestComposition:
+    def test_patterns_apply_in_order(self):
+        normalizer = OutputNormalizer()
+        normalizer.add_pattern(rb"abc", b"x")
+        normalizer.add_pattern(rb"x+", b"y")
+        assert normalizer.normalize(b"abcabc") == b"y"
+
+    def test_add_pattern_chains(self):
+        normalizer = OutputNormalizer().add_pattern(rb"a", b"b").add_pattern(rb"b+", b"c")
+        assert normalizer.normalize(b"aaa") == b"c"
+
+    def test_standard_composition(self):
+        normalizer = OutputNormalizer.standard()
+        noisy = b"09:08:07.123456 epoch 1699999999 ptr 0xdeadbeef"
+        out = normalizer.normalize(noisy)
+        assert b"<TIME>" in out
+        assert b"<EPOCH>" in out
+        assert b"0xdeadbeef" in out  # pointers are a real signal, kept
+
+    def test_empty_output_passthrough(self):
+        assert OutputNormalizer.standard().normalize(b"") == b""
+
+    def test_binary_garbage_passthrough(self):
+        blob = bytes(range(256))
+        assert OutputNormalizer().normalize(blob) == blob

@@ -1,0 +1,238 @@
+"""Parser unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast, parse
+from repro.minic import types as ty
+
+
+def parse_expr(text: str) -> ast.Expr:
+    program = parse(f"int main(void) {{ return {text}; }}")
+    ret = program.function("main").body.body[0]
+    assert isinstance(ret, ast.Return)
+    return ret.value
+
+
+def parse_body(text: str) -> list[ast.Stmt]:
+    program = parse(f"int main(void) {{ {text} }}")
+    return program.function("main").body.body
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "+"
+
+    def test_comparison_below_shift(self):
+        expr = parse_expr("a << 1 < b")
+        assert expr.op == "<"
+
+    def test_logical_and_below_or(self):
+        expr = parse_expr("a || b && c")
+        assert expr.op == "||"
+        assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "&&"
+
+    def test_left_associativity_of_minus(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.lhs, ast.Binary) and expr.lhs.op == "-"
+
+    def test_assignment_right_associative(self):
+        (stmt,) = parse_body("a = b = 1;")
+        expr = stmt.expr
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_conditional_expression(self):
+        expr = parse_expr("a ? 1 : 2")
+        assert isinstance(expr, ast.Conditional)
+
+    def test_unary_deref_and_addr(self):
+        expr = parse_expr("*&x")
+        assert isinstance(expr, ast.Unary) and expr.op == "*"
+        assert isinstance(expr.operand, ast.Unary) and expr.operand.op == "&"
+
+    def test_postfix_increment(self):
+        expr = parse_expr("x++")
+        assert isinstance(expr, ast.Unary) and expr.op == "p++"
+
+    def test_prefix_increment(self):
+        expr = parse_expr("++x")
+        assert isinstance(expr, ast.Unary) and expr.op == "++"
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, x, g())")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+    def test_index_chain(self):
+        expr = parse_expr("m[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_member_and_arrow(self):
+        dot = parse_expr("s.field")
+        arrow = parse_expr("p->field")
+        assert isinstance(dot, ast.Member) and not dot.arrow
+        assert isinstance(arrow, ast.Member) and arrow.arrow
+
+    def test_cast_expression(self):
+        expr = parse_expr("(long)x")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ty.LONG
+
+    def test_cast_pointer_type(self):
+        expr = parse_expr("(char*)p")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == ty.PointerType(ty.CHAR)
+
+    def test_parenthesized_not_cast(self):
+        expr = parse_expr("(x)")
+        assert isinstance(expr, ast.Ident)
+
+    def test_sizeof_type(self):
+        expr = parse_expr("sizeof(int)")
+        assert isinstance(expr, ast.SizeofType)
+
+    def test_sizeof_expr(self):
+        expr = parse_expr("sizeof x")
+        assert isinstance(expr, ast.SizeofExpr)
+
+    def test_string_concatenation(self):
+        expr = parse_expr('"ab" "cd"')
+        assert isinstance(expr, ast.StrLit)
+        assert expr.value == "abcd"
+
+    def test_null_literal(self):
+        assert isinstance(parse_expr("NULL"), ast.NullLit)
+
+    def test_comma_expression(self):
+        (stmt,) = parse_body("a = (1, 2);")
+        inner = stmt.expr.value
+        assert isinstance(inner, ast.Binary) and inner.op == ","
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = parse_body("if (x) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_body("if (a) if (b) x = 1; else x = 2;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is None
+        inner = stmt.then
+        assert isinstance(inner, ast.If) and inner.otherwise is not None
+
+    def test_while(self):
+        (stmt,) = parse_body("while (x) x = x - 1;")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        (stmt,) = parse_body("do { x++; } while (x < 10);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for_full(self):
+        (stmt,) = parse_body("for (int i = 0; i < 3; i++) { }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_body("for (;;) { break; }")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_multi_declarator(self):
+        stmts = parse_body("int a = 1, b = 2;")
+        flattened = stmts[0]
+        assert isinstance(flattened, ast.Block)
+        assert all(isinstance(s, ast.VarDecl) for s in flattened.body)
+
+    def test_static_local(self):
+        (stmt,) = parse_body("static int counter = 0;")
+        assert isinstance(stmt, ast.VarDecl) and stmt.is_static
+
+    def test_array_declarator(self):
+        (stmt,) = parse_body("char buf[16];")
+        assert isinstance(stmt.var_type, ty.ArrayType)
+        assert stmt.var_type.length == 16
+
+    def test_2d_array_declarator(self):
+        (stmt,) = parse_body("int m[2][3];")
+        assert stmt.var_type.size() == 24
+        assert stmt.var_type.element.length == 3
+
+
+class TestTopLevel:
+    def test_struct_definition_and_use(self):
+        program = parse(
+            """
+            struct Point { int x; int y; };
+            int main(void) { struct Point p; p.x = 1; return p.x; }
+            """
+        )
+        struct_def = program.decls[0]
+        assert isinstance(struct_def, ast.StructDef)
+        assert struct_def.struct_type.size() == 8
+
+    def test_global_with_init(self):
+        program = parse("int g = 42;\nint main(void) { return g; }")
+        g = program.globals()[0]
+        assert isinstance(g.init, ast.IntLit)
+
+    def test_function_params(self):
+        program = parse("int f(int a, char *b) { return a; }")
+        f = program.function("f")
+        assert len(f.params) == 2
+        assert f.params[1].param_type == ty.PointerType(ty.CHAR)
+
+    def test_void_param_list(self):
+        program = parse("int f(void) { return 0; }")
+        assert program.function("f").params == []
+
+    def test_array_param_decays(self):
+        program = parse("int f(char buf[16]) { return 0; }")
+        assert program.function("f").params[0].param_type == ty.PointerType(ty.CHAR)
+
+    def test_unknown_struct_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { struct Nope x; return 0; }")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { return 0 }")
+
+    def test_unbalanced_brace_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { if (1) { return 0; }")
+
+    def test_unsigned_types(self):
+        program = parse("unsigned int g;\nunsigned long h;\nint main(void){return 0;}")
+        assert program.globals()[0].var_type == ty.UINT
+        assert program.globals()[1].var_type == ty.ULONG
+
+
+class TestLineMacro:
+    def test_statement_line_recorded(self):
+        program = parse(
+            "int main(void) {\n"
+            "    int rc =\n"
+            "        __LINE__;\n"
+            "    return rc;\n"
+            "}\n"
+        )
+        decl = program.function("main").body.body[0]
+        macro = decl.init
+        assert isinstance(macro, ast.LineMacro)
+        assert macro.line == 3
+        assert macro.statement_line == 2

@@ -1,0 +1,48 @@
+"""Parser robustness: arbitrary token soup must never crash the front end."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MiniCError
+from repro.minic import load, parse
+
+VOCABULARY = [
+    "int", "char", "long", "unsigned", "void", "struct", "enum", "static",
+    "if", "else", "while", "for", "return", "break", "continue", "switch",
+    "case", "default", "sizeof", "NULL", "__LINE__",
+    "main", "x", "y", "foo", "p",
+    "0", "1", "42", "0xff", "1.5", "'a'", '"str"',
+    "+", "-", "*", "/", "%", "=", "==", "!=", "<", ">", "<<", ">>",
+    "&", "|", "^", "&&", "||", "!", "~", "++", "--", "->", ".",
+    "(", ")", "[", "]", "{", "}", ";", ",", "?", ":",
+]
+
+
+@given(st.lists(st.sampled_from(VOCABULARY), max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_token_soup_never_crashes_parser(tokens):
+    source = " ".join(tokens)
+    try:
+        parse(source)
+    except MiniCError:
+        pass  # rejecting is fine; crashing or hanging is not
+
+
+@given(st.lists(st.sampled_from(VOCABULARY), max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_token_soup_never_crashes_checker(tokens):
+    source = "int main(void) { " + " ".join(tokens) + " ; return 0; }"
+    try:
+        load(source)
+    except MiniCError:
+        pass
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_text_never_crashes_front_end(text):
+    try:
+        load(text)
+    except MiniCError:
+        pass

@@ -1,0 +1,337 @@
+"""Optimization-pass unit tests."""
+
+from __future__ import annotations
+
+from repro.compiler import compile_source, implementation
+from repro.compiler.implementations import CompilerConfig, implementation as get_impl
+from repro.compiler.lowering import lower_program
+from repro.compiler.passes.constant_fold import const_fold
+from repro.compiler.passes.copy_prop import copy_prop
+from repro.compiler.passes.dce import dce
+from repro.compiler.passes.inline import inline_small
+from repro.compiler.passes.mem_forward import (
+    dead_store_slots,
+    non_escaping_scalar_slots,
+    store_forward,
+)
+from repro.compiler.passes.merge_blocks import merge_blocks
+from repro.compiler.passes.simplify import simplify
+from repro.compiler.passes.strength_reduce import strength_reduce
+from repro.ir.instructions import BinOp, Call, CallBuiltin, Const, Load, Move, Store
+from repro.minic import load
+
+from tests.conftest import run_source, stdout_of
+
+O0 = get_impl("gcc-O0")
+O2 = get_impl("gcc-O2")
+
+
+def lower(source: str, config: CompilerConfig = O2):
+    return lower_program(load(source), config)
+
+
+def main_instrs(module):
+    return list(module.functions["main"].instructions())
+
+
+class TestConstantFold:
+    def test_folds_arithmetic_chain(self):
+        module = lower("int main(void){ int x = (3 + 4) * 5; printf(\"%d\", x); return 0; }")
+        func = module.functions["main"]
+        copy_prop(func)
+        folded = const_fold(func, O2)
+        assert folded > 0
+        assert not any(
+            isinstance(i, BinOp) and i.op in ("add", "mul") for i in func.instructions()
+        )
+
+    def test_folds_through_const_defined_registers(self):
+        # A chain a -> a*2 -> a*2+1 must fold in one pass.
+        module = lower('int main(void){ printf("%d", (2 * 21) + 0 * 9); return 0; }')
+        func = module.functions["main"]
+        const_fold(func, O2)
+        consts = [i.value for i in func.instructions() if isinstance(i, Const)]
+        assert 42 in consts
+
+    def test_branch_on_constant_becomes_jump(self):
+        source = 'int main(void){ if (1) { printf("a"); } else { printf("b"); } return 0; }'
+        module = lower(source)
+        func = module.functions["main"]
+        const_fold(func, O2)
+        merge_blocks(func)
+        dce(func)
+        labels = set(func.blocks)
+        assert not any("else" in label for label in labels)
+
+    def test_shift_folding_is_unmasked(self):
+        # Folded 1 << 40 gives 0 (mathematical); runtime masks to 1 << 8.
+        src = "int main(void){ int s = 40; return (1 << s) != 0; }"
+        assert run_source(src, "gcc-O0").exit_code == 1
+        assert run_source(src, "gcc-O2").exit_code == 0
+
+    def test_udiv_fold_uses_unsigned_interpretation(self):
+        src = 'int main(void){ unsigned int a = 0u - 4u; printf("%u", a / 2u); return 0; }'
+        assert stdout_of(src, "gcc-O2") == stdout_of(src, "gcc-O0")
+
+    def test_double_arithmetic_folds_exactly(self):
+        src = 'int main(void){ printf("%.17g", 0.1 + 0.2); return 0; }'
+        assert stdout_of(src, "gcc-O2") == stdout_of(src, "gcc-O0")
+
+
+class TestMiscompilePatterns:
+    def test_ushl_ushr_elide_only_in_buggy_impls(self):
+        src = (
+            "int main(void){ unsigned int x = (unsigned int)(input_size() + 200) << 24;"
+            ' printf("%u", (x << 1) >> 1); return 0; }'
+        )
+        correct = stdout_of(src, "gcc-O1")
+        buggy = stdout_of(src, "gcc-O2")
+        assert correct != buggy
+
+    def test_sext_shift_pair_only_in_gcc_o3(self):
+        src = (
+            "int main(void){ int x = (int)input_size() + 200;"
+            ' printf("%d", (x << 24) >> 24); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O2") == b"-56"
+        assert stdout_of(src, "gcc-O3") == b"200"
+
+    def test_srem_to_mask_only_in_clang_o1(self):
+        src = (
+            "int main(void){ int x = -3 - (int)input_size();"
+            ' printf("%d", x % 8); return 0; }'
+        )
+        assert stdout_of(src, "clang-O0") == b"-3"
+        assert stdout_of(src, "clang-O1") == b"5"  # (-3) & 7: the seeded bug
+
+    def test_patterns_disabled_in_sanitizer_build(self):
+        from repro.compiler import SANITIZER_CONFIG
+
+        assert SANITIZER_CONFIG.miscompile_patterns == ()
+
+
+class TestSimplify:
+    def test_add_zero_eliminated(self):
+        module = lower("int f(int x) { return x + 0; }", O2)
+        func = module.functions["f"]
+        simplify(func)
+        assert not any(isinstance(i, BinOp) and i.op == "add" for i in func.instructions())
+
+    def test_mul_one_eliminated(self):
+        module = lower("int f(int x) { return x * 1; }", O2)
+        func = module.functions["f"]
+        simplify(func)
+        assert not any(isinstance(i, BinOp) and i.op == "mul" for i in func.instructions())
+
+    def test_semantics_preserved_end_to_end(self):
+        src = (
+            "int main(void){ int x = (int)input_size() + 9;"
+            ' printf("%d %d %d %d", x + 0, x * 1, x - x, x * 0); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O2") == b"9 9 0 0"
+
+
+class TestCopyProp:
+    def test_propagates_constants_locally(self):
+        module = lower('int main(void){ int a = 5; printf("%d", a); return 0; }')
+        func = module.functions["main"]
+        store_forward(func)
+        changed = copy_prop(func)
+        assert changed > 0
+
+    def test_invalidation_on_redefinition(self):
+        # b must read the *old* a even after a is reassigned.
+        src = 'int main(void){ int a = 1; int b = a; a = 2; printf("%d%d", a, b); return 0; }'
+        assert stdout_of(src, "gcc-O2") == b"21"
+
+
+class TestStoreForward:
+    SRC = "int main(void){ int p = 7; int unused_store = 3; printf(\"%d\", p); return 0; }"
+
+    def test_non_escaping_detection(self):
+        module = lower("int main(void){ int a = 1; int *q = &a; return *q; }", O2)
+        safe = non_escaping_scalar_slots(module.functions["main"])
+        # a's address is taken (stored into q), so only q itself is safe.
+        names = {module.functions["main"].slots[i].name for i in safe}
+        assert "a" not in names
+
+    def test_forwarding_replaces_load(self):
+        module = lower(self.SRC)
+        func = module.functions["main"]
+        rewrites = store_forward(func)
+        assert rewrites > 0
+
+    def test_dead_store_slots_found(self):
+        module = lower(self.SRC)
+        func = module.functions["main"]
+        dead = dead_store_slots(func)
+        names = {func.slots[i].name for i in dead}
+        assert "unused_store" in names
+        assert "p" not in names or True  # p is loaded via printf arg
+
+    def test_forwarded_value_semantics(self):
+        src = 'int main(void){ int a = 3; a = a + 4; printf("%d", a); return 0; }'
+        assert stdout_of(src, "gcc-O2") == b"7"
+
+
+class TestDCE:
+    def test_unused_pure_instructions_removed(self):
+        module = lower("int main(void){ int waste = 3 * 14; printf(\"x\"); return 0; }")
+        func = module.functions["main"]
+        store_forward(func)
+        copy_prop(func)
+        before = len(list(func.instructions()))
+        dce(func)
+        assert len(list(func.instructions())) < before
+
+    def test_unused_trapping_division_removed(self):
+        # The UB-exploiting deletion behind Table 3's divide-by-zero row.
+        src = (
+            "int main(void){ int d = (int)input_size();"
+            ' int q = 7 / d; printf("alive"); return 0; }'
+        )
+        assert run_source(src, "gcc-O0").status.value == "crash"
+        assert stdout_of(src, "gcc-O2") == b"alive"
+
+    def test_used_division_kept(self):
+        src = (
+            "int main(void){ int d = (int)input_size();"
+            ' printf("%d", 7 / d); return 0; }'
+        )
+        assert run_source(src, "gcc-O2").status.value == "crash"
+
+    def test_effectful_calls_never_removed(self):
+        src = (
+            "int g = 0;\nint bump(void) { g++; return g; }\n"
+            'int main(void){ int unused = bump(); printf("%d", g); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O2") == b"1"
+
+
+class TestInline:
+    SRC = (
+        "int tiny(int a, int b) { return a * 10 + b; }\n"
+        'int main(void){ printf("%d", tiny(4, 2)); return 0; }'
+    )
+
+    def test_small_leaf_inlined_at_o2(self):
+        binary = compile_source(self.SRC, implementation("gcc-O2"))
+        main = binary.module.functions["main"]
+        assert not any(isinstance(i, Call) for i in main.instructions())
+
+    def test_not_inlined_at_o1(self):
+        binary = compile_source(self.SRC, implementation("gcc-O1"))
+        main = binary.module.functions["main"]
+        assert any(isinstance(i, Call) for i in main.instructions())
+
+    def test_inline_preserves_semantics(self):
+        assert stdout_of(self.SRC, "gcc-O2") == stdout_of(self.SRC, "gcc-O0") == b"42"
+
+    def test_inline_merges_frame_slots(self):
+        src = (
+            "int helper(int a) { char scratch[32]; scratch[0] = a; return scratch[0]; }\n"
+            'int main(void){ printf("%d", helper(5)); return 0; }'
+        )
+        module = lower(src, O2)
+        before = len(module.functions["main"].slots)
+        inline_small(module, O2)
+        after = len(module.functions["main"].slots)
+        assert after > before
+
+    def test_recursive_function_not_inlined(self):
+        src = (
+            "int down(int n) { if (n <= 0) return 0; return down(n - 1) + 1; }\n"
+            'int main(void){ printf("%d", down(5)); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O2") == b"5"
+
+    def test_missing_arg_inlined_uses_impl_junk(self):
+        src = (
+            "int two(int a, int b) { return b; }\n"
+            'int main(void){ printf("%d", two(1)); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O2") == stdout_of(src, "gcc-O0")
+
+
+class TestStrengthReduce:
+    def test_mul_pow2_becomes_shift(self):
+        module = lower("int f(int x) { return x * 8; }", O2)
+        func = module.functions["f"]
+        changed = strength_reduce(func)
+        assert changed == 1
+        assert any(isinstance(i, BinOp) and i.op == "shl" for i in func.instructions())
+
+    def test_semantics_equal_including_wrap(self):
+        src = (
+            "int main(void){ int x = 2147483647 - (int)input_size();"
+            ' printf("%d", x * 8); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O2") == stdout_of(src, "gcc-O0")
+
+    def test_non_pow2_untouched(self):
+        module = lower("int f(int x) { return x * 7; }", O2)
+        assert strength_reduce(module.functions["f"]) == 0
+
+
+class TestMergeBlocks:
+    def test_merges_folded_branch_chain(self):
+        src = 'int main(void){ int a = 0; if (1) { a = 5; } printf("%d", a); return 0; }'
+        module = lower(src)
+        func = module.functions["main"]
+        const_fold(func, O2)
+        merged = merge_blocks(func)
+        assert merged >= 1
+
+    def test_does_not_merge_shared_target(self):
+        src = (
+            "int main(void){ int x = (int)input_size();"
+            ' if (x) { printf("a"); } else { printf("b"); } printf("c"); return 0; }'
+        )
+        module = lower(src)
+        func = module.functions["main"]
+        merge_blocks(func)
+        # if.end has two predecessors: must survive as its own block.
+        assert any("if.end" in label for label in func.blocks)
+
+
+class TestUBExploit:
+    def test_null_load_folded_at_o1(self):
+        src = 'int main(void){ int *p = (int*)0; printf("%d", *p); return 0; }'
+        assert run_source(src, "gcc-O0").status.value == "crash"
+        assert stdout_of(src, "gcc-O1") == b"0"
+
+    def test_null_store_deleted_at_o1(self):
+        src = 'int main(void){ int *p = (int*)0; *p = 5; printf("ok"); return 0; }'
+        assert run_source(src, "gcc-O0").status.value == "crash"
+        assert stdout_of(src, "gcc-O1") == b"ok"
+
+    def test_overflow_guard_folded(self):
+        src = (
+            "int check(int offset, int len) {"
+            " if (offset + len < offset) { return -1; }"
+            " return 0; }\n"
+            'int main(void){ printf("%d", check(2147483647, 100)); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O0") == b"-1"
+        assert stdout_of(src, "gcc-O2") == b"0"
+
+    def test_guard_fold_requires_signed(self):
+        # Unsigned wraparound is defined: the guard must be preserved.
+        src = (
+            "int main(void){ unsigned int a = 4294967295u;"
+            " unsigned int b = 100u + (unsigned int)input_size();"
+            ' if (a + b < a) { printf("wrapped"); return 1; }'
+            ' printf("fine"); return 0; }'
+        )
+        assert stdout_of(src, "gcc-O0") == b"wrapped"
+        assert stdout_of(src, "gcc-O2") == b"wrapped"
+
+    def test_guard_fold_keeps_side_effects_defensively(self):
+        # `a + b < a` with b pure: fold; result must match the no-overflow
+        # case exactly at runtime.
+        src = (
+            "int main(void){ int a = 10; int b = 20;"
+            ' if (a + b < a) { printf("neg"); } else { printf("pos"); } return 0; }'
+        )
+        assert stdout_of(src, "gcc-O2") == b"pos"
+        assert stdout_of(src, "gcc-O0") == b"pos"

@@ -1,0 +1,127 @@
+"""printf formatting coverage."""
+
+from __future__ import annotations
+
+from tests.conftest import stdout_of
+
+
+def fmt(call: str) -> bytes:
+    return stdout_of(f"int main(void) {{ {call} return 0; }}")
+
+
+class TestIntegerConversions:
+    def test_d_positive_negative(self):
+        assert fmt('printf("%d %d", 42, -42);') == b"42 -42"
+
+    def test_i_alias(self):
+        assert fmt('printf("%i", 7);') == b"7"
+
+    def test_u_wraps_negative(self):
+        assert fmt('printf("%u", -1);') == b"4294967295"
+
+    def test_x_lower_upper(self):
+        assert fmt('printf("%x %X", 255, 255);') == b"ff FF"
+
+    def test_octal(self):
+        assert fmt('printf("%o", 8);') == b"10"
+
+    def test_long_modifier(self):
+        assert fmt('printf("%ld", 5000000000l);') == b"5000000000"
+
+    def test_lu_modifier(self):
+        assert fmt('printf("%lu", 0ul - 1ul);') == b"18446744073709551615"
+
+    def test_lx_modifier(self):
+        assert fmt('printf("%lx", 1099511627776l);') == b"10000000000"
+
+    def test_char_conversion(self):
+        assert fmt("printf(\"%c%c\", 104, 'i');") == b"hi"
+
+    def test_percent_literal(self):
+        assert fmt('printf("100%%");') == b"100%"
+
+
+class TestWidthAndFlags:
+    def test_width_right_justify(self):
+        assert fmt('printf("[%5d]", 42);') == b"[   42]"
+
+    def test_width_left_justify(self):
+        assert fmt('printf("[%-5d]", 42);') == b"[42   ]"
+
+    def test_zero_pad(self):
+        assert fmt('printf("[%05d]", 42);') == b"[00042]"
+
+    def test_zero_pad_negative_keeps_sign_first(self):
+        assert fmt('printf("[%05d]", -42);') == b"[-0042]"
+
+    def test_zero_pad_hex(self):
+        assert fmt('printf("%08x", 48879);') == b"0000beef"
+
+    def test_width_smaller_than_value(self):
+        assert fmt('printf("[%2d]", 12345);') == b"[12345]"
+
+
+class TestStringsAndPointers:
+    def test_s_conversion(self):
+        assert fmt('printf("%s!", "ok");') == b"ok!"
+
+    def test_s_precision_truncates(self):
+        assert fmt('printf("%.3s", "abcdef");') == b"abc"
+
+    def test_s_reads_from_buffer(self):
+        assert fmt('char b[8] = "xyz"; printf("%s", b);') == b"xyz"
+
+    def test_p_prints_hex_address(self):
+        out = fmt('char b[4]; printf("%p", b);')
+        assert out.startswith(b"0x")
+
+    def test_p_differs_across_implementations(self):
+        src = 'int main(void) { char b[4]; printf("%p", b); return 0; }'
+        assert stdout_of(src, "gcc-O0") != stdout_of(src, "clang-O0")
+
+
+class TestFloats:
+    def test_f_default_precision(self):
+        assert fmt('printf("%f", 1.5);') == b"1.500000"
+
+    def test_f_explicit_precision(self):
+        assert fmt('printf("%.2f", 3.14159);') == b"3.14"
+
+    def test_e_scientific(self):
+        assert fmt('printf("%.2e", 12345.0);') == b"1.23e+04"
+
+    def test_g_compact(self):
+        assert fmt('printf("%g", 0.5);') == b"0.5"
+
+    def test_float_arg_promoted_to_double(self):
+        assert fmt('float f = 2.5f; printf("%.1f", f);') == b"2.5"
+
+
+class TestEdgeCases:
+    def test_missing_argument_uses_impl_junk(self):
+        src = 'int main(void) { printf("%d"); return 0; }'
+        gcc = stdout_of(src, "gcc-O0")
+        clang = stdout_of(src, "clang-O0")
+        assert gcc != clang  # 0x7F7F7F7F vs 0x01010101
+
+    def test_extra_arguments_ignored(self):
+        assert fmt('printf("%d", 1, 2, 3);') == b"1"
+
+    def test_unknown_conversion_passes_through(self):
+        assert fmt('printf("%q", 1);') == b"%q"
+
+    def test_eprintf_goes_to_stderr(self):
+        from tests.conftest import run_source
+
+        result = run_source('int main(void) { eprintf("oops %d", 3); return 0; }')
+        assert result.stderr == b"oops 3"
+        assert result.stdout == b""
+
+    def test_puts_appends_newline(self):
+        assert fmt('puts("line");') == b"line\n"
+
+    def test_putchar(self):
+        assert fmt("putchar(65); putchar(10);") == b"A\n"
+
+    def test_printf_returns_length(self):
+        assert fmt('int n = printf("abcd"); printf(":%d", n);') == b"abcd:4"

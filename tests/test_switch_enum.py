@@ -1,0 +1,219 @@
+"""switch/case and enum support."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CheckError, ParseError
+from repro.minic import load, parse
+
+from tests.conftest import outputs_across_impls, run_source, stdout_of
+
+
+class TestSwitchSemantics:
+    SRC = """
+    int classify(int t) {
+        switch (t) {
+        case 0:
+            return 100;
+        case 1:
+        case 2:
+            return 200;
+        case 3: {
+            int bonus = 5;
+            return 300 + bonus;
+        }
+        default:
+            return -1;
+        }
+    }
+    int main(void) {
+        printf("%d %d %d %d %d\\n",
+               classify(0), classify(1), classify(2), classify(3), classify(9));
+        return 0;
+    }
+    """
+
+    def test_dispatch_and_default(self):
+        assert stdout_of(self.SRC) == b"100 200 200 305 -1\n"
+
+    def test_same_result_optimized(self):
+        assert stdout_of(self.SRC, "clang-O3") == b"100 200 200 305 -1\n"
+
+    def test_fallthrough(self):
+        src = """
+        int main(void) {
+            int t = (int)input_size();
+            switch (t) {
+            case 0:
+                printf("zero ");
+            case 1:
+                printf("one ");
+                break;
+            case 2:
+                printf("two ");
+            }
+            printf("done\\n");
+            return 0;
+        }
+        """
+        assert stdout_of(src, input_bytes=b"") == b"zero one done\n"
+        assert stdout_of(src, input_bytes=b"x") == b"one done\n"
+        assert stdout_of(src, input_bytes=b"xx") == b"two done\n"
+        assert stdout_of(src, input_bytes=b"xxx") == b"done\n"
+
+    def test_break_targets_switch_not_loop(self):
+        src = """
+        int main(void) {
+            int i;
+            int total = 0;
+            for (i = 0; i < 4; i++) {
+                switch (i) {
+                case 2:
+                    break;
+                default:
+                    total += i;
+                }
+            }
+            printf("%d\\n", total);
+            return 0;
+        }
+        """
+        assert stdout_of(src) == b"4\n"  # 0+1+3; i==2 skipped by break
+
+    def test_continue_inside_switch_targets_loop(self):
+        src = """
+        int main(void) {
+            int i;
+            int total = 0;
+            for (i = 0; i < 5; i++) {
+                switch (i % 2) {
+                case 0:
+                    continue;
+                default:
+                    total += i;
+                }
+            }
+            printf("%d\\n", total);
+            return 0;
+        }
+        """
+        assert stdout_of(src) == b"4\n"  # 1 + 3
+
+    def test_no_matching_case_no_default(self):
+        src = """
+        int main(void) {
+            switch ((int)input_size()) {
+            case 5:
+                printf("five\\n");
+            }
+            printf("after\\n");
+            return 0;
+        }
+        """
+        assert stdout_of(src) == b"after\n"
+
+    def test_negative_case_label(self):
+        src = """
+        int main(void) {
+            int v = -3 - (int)input_size();
+            switch (v) {
+            case -3:
+                printf("neg\\n");
+                break;
+            }
+            return 0;
+        }
+        """
+        assert stdout_of(src) == b"neg\n"
+
+    def test_stable_across_all_impls(self):
+        out = outputs_across_impls(self.SRC)
+        assert len(set(out.values())) == 1
+
+    def test_case_values_feed_fuzzer_dictionary(self):
+        from repro.compiler import compile_source, implementation
+
+        src = """
+        int main(void) {
+            switch (input_byte(0)) {
+            case 77:
+                printf("m\\n");
+                break;
+            }
+            return 0;
+        }
+        """
+        binary = compile_source(src, implementation("gcc-O0"))
+        assert 77 in binary.module.magic_constants
+
+
+class TestSwitchErrors:
+    def test_duplicate_case_rejected(self):
+        with pytest.raises(CheckError):
+            load(
+                "int main(void){ switch (1) { case 1: break; case 1: break; } return 0; }"
+            )
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(ParseError):
+            parse(
+                "int main(void){ switch (1) { default: break; default: break; } return 0; }"
+            )
+
+    def test_non_constant_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main(void){ int x = 1; switch (1) { case x: break; } return 0; }")
+
+    def test_float_condition_rejected(self):
+        with pytest.raises(CheckError):
+            load("int main(void){ double d = 1.0; switch (d) { case 1: break; } return 0; }")
+
+
+class TestEnums:
+    SRC = """
+    enum Color { RED, GREEN = 5, BLUE };
+
+    int main(void) {
+        enum Color c = BLUE;
+        printf("%d %d %d\\n", RED, GREEN, c);
+        return 0;
+    }
+    """
+
+    def test_enumerator_values(self):
+        assert stdout_of(self.SRC) == b"0 5 6\n"
+
+    def test_enum_in_switch(self):
+        src = """
+        enum Kind { HEADER = 10, BODY = 20 };
+        int main(void) {
+            int k = 10 + (int)input_size();
+            switch (k) {
+            case HEADER:
+                printf("header\\n");
+                break;
+            case BODY:
+                printf("body\\n");
+                break;
+            }
+            return 0;
+        }
+        """
+        assert stdout_of(src, input_bytes=b"") == b"header\n"
+
+    def test_enum_type_is_int(self):
+        src = "enum E { A };\nint main(void){ enum E e = A; return sizeof(e) == 4; }"
+        assert run_source(src).exit_code == 1
+
+    def test_negative_enumerator(self):
+        src = 'enum S { ERR = -2, OK = 0 };\nint main(void){ printf("%d", ERR); return 0; }'
+        assert stdout_of(src) == b"-2"
+
+    def test_unknown_enum_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main(void){ enum Missing m; return 0; }")
+
+    def test_enum_stable_across_impls(self):
+        out = outputs_across_impls(self.SRC)
+        assert len(set(out.values())) == 1

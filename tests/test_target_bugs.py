@@ -1,0 +1,194 @@
+"""Per-category behavior of the seeded-bug snippet library.
+
+Each category must (a) compile inside a minimal harness, (b) diverge
+across the ten implementations when triggered, and (c) be visible exactly
+to the sanitizer class Table 6 assigns it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.compdiff import CompDiff
+from repro.minic import load
+from repro.sanitizers import all_sanitizers
+from repro.targets import bugs as bug_lib
+
+
+def harness(snippet: bug_lib.BugSnippet, payload: bytes) -> tuple[str, bytes]:
+    """Wrap a handler in a minimal main that feeds it the fuzz input."""
+    source_parts = []
+    if snippet.globals:
+        source_parts.append(snippet.globals)
+    if snippet.helpers:
+        source_parts.append(snippet.helpers)
+    source_parts.append(snippet.handler)
+    source_parts.append(
+        f"""int main(void) {{
+    char buf[128];
+    long n = read_input(buf, 128);
+    int rc = h{snippet.site}(buf, n);
+    printf("rc=%d\\n", rc);
+    return 0;
+}}"""
+    )
+    return "\n\n".join(source_parts), payload
+
+
+ENGINE = CompDiff(fuel=300_000)
+SANITIZERS = {s.name: s for s in all_sanitizers()}
+
+
+def divergent(source: str, payload: bytes) -> bool:
+    return ENGINE.check(load(source), [payload]).divergent
+
+
+def sanitizer_hit(source: str, payload: bytes, tool: str) -> bool:
+    return SANITIZERS[tool].check(load(source), [payload]) is not None
+
+
+class TestEvalOrder:
+    def test_diverges_and_no_sanitizer_sees_it(self):
+        snippet = bug_lib.evalorder_bug(1, random.Random(0))
+        source, payload = harness(snippet, b"\x05\x09rest")
+        assert divergent(source, payload)
+        for tool in ("asan", "ubsan", "msan"):
+            assert not sanitizer_hit(source, payload, tool), tool
+
+
+class TestUninitMem:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_diverges_when_not_initialized(self, seed):
+        snippet = bug_lib.uninit_bug(10 + seed, random.Random(seed))
+        source, payload = harness(snippet, b"\x00\x00xxxx")
+        assert divergent(source, payload), snippet.subcategory
+
+    def test_branch_kind_is_msan_visible(self):
+        rng = random.Random(0)
+        snippets = [bug_lib.uninit_bug(50 + i, rng) for i in range(20)]
+        branch = next(s for s in snippets if s.subcategory == "branch")
+        source, payload = harness(branch, b"\x00\x00xx")
+        assert sanitizer_hit(source, payload, "msan")
+
+    def test_scalar_kind_is_msan_invisible(self):
+        rng = random.Random(0)
+        snippets = [bug_lib.uninit_bug(80 + i, rng) for i in range(20)]
+        scalar = next(s for s in snippets if s.subcategory == "scalar")
+        source, payload = harness(scalar, b"\x00\x00xx")
+        assert not sanitizer_hit(source, payload, "msan")
+
+
+class TestIntError:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_diverges_on_overflowing_payload(self, seed):
+        snippet = bug_lib.interror_bug(20 + seed, random.Random(seed))
+        source, payload = harness(snippet, b"\x7f\x7fxx")
+        assert divergent(source, payload), snippet.subcategory
+
+    def test_ubsan_catches(self):
+        snippet = bug_lib.interror_bug(24, random.Random(1))
+        source, payload = harness(snippet, b"\x7f\x7fxx")
+        assert sanitizer_hit(source, payload, "ubsan")
+
+
+class TestMemError:
+    def _snippets(self):
+        rng = random.Random(3)
+        by_kind = {}
+        for i in range(40):
+            snippet = bug_lib.memerror_bug(200 + i, rng)
+            by_kind.setdefault(snippet.subcategory, snippet)
+        return by_kind
+
+    def test_all_four_kinds_generated(self):
+        assert set(self._snippets()) == {
+            "stack_overflow",
+            "heap_overflow",
+            "uaf",
+            "double_free",
+        }
+
+    def test_stack_overflow_diverges_and_asan_catches(self):
+        snippet = self._snippets()["stack_overflow"]
+        source, payload = harness(snippet, b"\x3f\x41xx")  # len 63: far overflow
+        assert divergent(source, payload)
+        assert sanitizer_hit(source, payload, "asan")
+
+    def test_double_free_diverges_and_asan_catches(self):
+        snippet = self._snippets()["double_free"]
+        source, payload = harness(snippet, b"F\x00xx")
+        assert divergent(source, payload)
+        assert sanitizer_hit(source, payload, "asan")
+
+    def test_uaf_diverges_when_freed(self):
+        snippet = self._snippets()["uaf"]
+        source, payload = harness(snippet, b"\x01\x00xx")
+        assert divergent(source, payload)
+        assert sanitizer_hit(source, payload, "asan")
+
+    def test_benign_payload_is_stable(self):
+        snippet = self._snippets()["double_free"]
+        source, payload = harness(snippet, b"\x00\x00xx")  # gate closed
+        assert not divergent(source, payload)
+
+
+class TestPointerCmpAndLine:
+    def test_ptrcmp_always_diverges(self):
+        snippet = bug_lib.ptrcmp_bug(300, random.Random(0))
+        source, payload = harness(snippet, b"xx")
+        assert divergent(source, payload)
+
+    def test_line_bug_diverges_between_families(self):
+        snippet = bug_lib.line_bug(310, random.Random(0))
+        source, payload = harness(snippet, b"\x04xx")
+        outcome = ENGINE.check(load(source), [payload])
+        diff = outcome.diffs[0]
+        assert diff.divergent
+        gcc_out = diff.observations["gcc-O0"][0]
+        clang_out = diff.observations["clang-O0"][0]
+        assert gcc_out != clang_out
+
+
+class TestMisc:
+    def test_float_bug_diverges(self):
+        rng = random.Random(2)
+        for i in range(4):
+            snippet = bug_lib.misc_float_bug(400 + i, rng)
+            source, payload = harness(snippet, b"\x07xx")
+            assert divergent(source, payload), snippet.subcategory
+
+    @pytest.mark.parametrize(
+        "pattern", ["ushl_ushr_elide", "sext_shift_pair", "srem_to_mask"]
+    )
+    def test_miscompile_bugs_diverge(self, pattern):
+        snippet = bug_lib.misc_miscompile_bug(410, random.Random(0), pattern)
+        source, payload = harness(snippet, b"\xf3xx")
+        assert divergent(source, payload), pattern
+
+    def test_ptrprint_diverges(self):
+        snippet = bug_lib.misc_ptrprint_bug(420, random.Random(0))
+        source, payload = harness(snippet, b"Axx")
+        assert divergent(source, payload)
+
+    def test_address_random_diverges(self):
+        snippet = bug_lib.misc_random_bug(430, random.Random(0))
+        source, payload = harness(snippet, b"Bxx")
+        assert divergent(source, payload)
+
+    def test_benign_handlers_are_stable(self):
+        rng = random.Random(5)
+        for i in range(6):
+            handler = bug_lib.benign_handler(500 + i, rng)
+            source = (
+                handler
+                + f"""
+
+int main(void) {{
+    char buf[64];
+    long n = read_input(buf, 64);
+    return h{500 + i}(buf, n);
+}}"""
+            )
+            assert not divergent(source, b"payload-bytes-here"), i

@@ -1,0 +1,156 @@
+"""Simulated real-world target tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.compiler import DEFAULT_IMPLEMENTATIONS, compile_program
+from repro.core.compdiff import CompDiff
+from repro.core.normalize import OutputNormalizer
+from repro.minic import load
+from repro.targets import TARGET_TABLE, build_all_targets, build_target, target_names
+from repro.vm import run_binary
+
+
+@pytest.fixture(scope="module")
+def targets():
+    return build_all_targets()
+
+
+class TestInventory:
+    def test_twenty_three_targets(self, targets):
+        assert len(targets) == 23
+        assert len(TARGET_TABLE) == 23
+
+    def test_names_match_table4(self, targets):
+        assert [t.name for t in targets] == target_names()
+        assert "tcpdump" in target_names() and "gpac" in target_names()
+
+    def test_total_bug_count_is_78(self, targets):
+        assert sum(len(t.bugs) for t in targets) == 78
+
+    def test_category_mix_matches_table5(self, targets):
+        cats = Counter(b.category for t in targets for b in t.bugs)
+        assert cats == {
+            "EvalOrder": 2,
+            "UninitMem": 27,
+            "IntError": 8,
+            "MemError": 13,
+            "PointerCmp": 1,
+            "LINE": 6,
+            "Misc": 21,
+        }
+
+    def test_confirmed_fixed_metadata(self, targets):
+        bugs = [b for t in targets for b in t.bugs]
+        assert sum(b.confirmed for b in bugs) == 65
+        assert sum(b.fixed for b in bugs) == 52
+        assert all(b.confirmed for b in bugs if b.fixed)  # fixed => confirmed
+
+    def test_signature_bugs_placed_per_paper(self, targets):
+        by_name = {t.name: t for t in targets}
+        assert [b.category for b in by_name["tcpdump"].bugs].count("EvalOrder") == 2
+        assert any(b.category == "PointerCmp" for b in by_name["readelf"].bugs)
+        miscompiles = [b for b in by_name["MuJS"].bugs if "miscompile" in b.subcategory]
+        assert len(miscompiles) == 3
+        line_targets = {t.name for t in targets for b in t.bugs if b.category == "LINE"}
+        assert {"readelf", "ImageMagick", "wireshark", "libtiff", "php"} == line_targets
+
+    def test_sites_are_globally_unique(self, targets):
+        sites = [b.site for t in targets for b in t.bugs]
+        assert len(sites) == len(set(sites))
+
+    def test_sanitizer_classes(self, targets):
+        for t in targets:
+            for b in t.bugs:
+                if b.category == "MemError":
+                    assert b.sanitizer_class == "asan"
+                elif b.category == "IntError":
+                    assert b.sanitizer_class == "ubsan"
+                elif b.category == "UninitMem":
+                    assert b.sanitizer_class == "msan"
+                else:
+                    assert b.sanitizer_class is None
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(KeyError):
+            build_target("nonexistent")
+
+    def test_deterministic(self):
+        assert build_target("jq").source == build_target("jq").source
+
+
+class TestTargetBehavior:
+    def test_all_sources_compile_for_all_impls(self, targets):
+        for target in targets:
+            program = load(target.source)
+            for config in DEFAULT_IMPLEMENTATIONS[:2]:
+                compile_program(program, config)
+
+    def test_bad_magic_is_stable(self, targets):
+        engine = CompDiff(fuel=300_000)
+        for target in targets[:6]:
+            prog = load(target.source)
+            e = engine
+            if target.needs_normalizer:
+                e = CompDiff(fuel=300_000, normalizer=OutputNormalizer.standard())
+            outcome = e.check(prog, [b"\x00\x00\x00\x00\x00"], name=target.name)
+            assert not outcome.divergent, target.name
+
+    def test_seeds_have_valid_magic(self, targets):
+        for target in targets:
+            for seed in target.seeds:
+                assert seed[:2] == target.magic
+
+    def test_seeds_reach_handlers(self, targets):
+        target = targets[0]  # tcpdump
+        program = load(target.source)
+        binary = compile_program(program, DEFAULT_IMPLEMENTATIONS[0])
+        outputs = set()
+        for seed in target.seeds:
+            result = run_binary(binary, seed)
+            assert b"bad magic" not in result.stdout
+            outputs.add(result.stdout)
+        assert len(outputs) > 1  # different handlers produce different output
+
+    def test_wireshark_noise_scrubbed_by_normalizer(self, targets):
+        wireshark = next(t for t in targets if t.name == "wireshark")
+        assert wireshark.needs_normalizer
+        program = load(wireshark.source)
+        raw = CompDiff(fuel=300_000)
+        clean = CompDiff(fuel=300_000, normalizer=OutputNormalizer.standard())
+        benign_input = b"\x00\x00\x00\x00\x00"  # bad magic: benign path
+        assert raw.check(program, [benign_input]).divergent  # timestamp noise
+        assert not clean.check(program, [benign_input]).divergent  # RQ5 fix
+
+    def test_seeded_bugs_diverge_when_reached(self, targets):
+        # Directly drive handler 0 of tcpdump (EvalOrder) with a payload.
+        target = targets[0]
+        program = load(target.source)
+        engine = CompDiff(fuel=300_000)
+        trigger = target.magic + bytes([0]) + b"\x05\x09payload"
+        outcome = engine.check(program, [trigger], name=target.name)
+        assert outcome.divergent
+
+
+class TestFullMatrixCompilation:
+    def test_every_target_compiles_and_verifies_under_all_ten_impls(self, targets):
+        from repro.ir.verify import verify_module
+
+        for target in targets:
+            program = load(target.source)
+            for config in DEFAULT_IMPLEMENTATIONS:
+                module = compile_program(program, config).module
+                verify_module(module)
+
+    def test_every_target_runs_every_seed_without_internal_errors(self, targets):
+        from repro.compiler import FUZZ_CONFIG
+
+        for target in targets:
+            program = load(target.source)
+            binary = compile_program(program, FUZZ_CONFIG, instrument_coverage=True)
+            for seed in target.seeds:
+                result = run_binary(binary, seed, fuel=300_000)
+                assert result.status.value in ("ok", "crash", "timeout"), target.name

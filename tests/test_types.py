@@ -1,0 +1,127 @@
+"""Type-system unit and property tests."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.minic import types as ty
+
+
+class TestSizes:
+    def test_scalar_sizes_lp64(self):
+        assert ty.CHAR.size() == 1
+        assert ty.SHORT.size() == 2
+        assert ty.INT.size() == 4
+        assert ty.LONG.size() == 8
+        assert ty.FLOAT.size() == 4
+        assert ty.DOUBLE.size() == 8
+        assert ty.PointerType(ty.INT).size() == 8
+
+    def test_array_size(self):
+        assert ty.ArrayType(ty.INT, 10).size() == 40
+        assert ty.ArrayType(ty.ArrayType(ty.CHAR, 3), 2).size() == 6
+
+    def test_void_is_zero_sized(self):
+        assert ty.VOID.size() == 0
+        assert ty.VOID.align() == 1
+
+
+class TestIntRanges:
+    def test_signed_bounds(self):
+        assert ty.INT.min_value == -(2**31)
+        assert ty.INT.max_value == 2**31 - 1
+
+    def test_unsigned_bounds(self):
+        assert ty.UINT.min_value == 0
+        assert ty.UINT.max_value == 2**32 - 1
+
+    def test_wrap_signed_overflow(self):
+        assert ty.INT.wrap(2**31) == -(2**31)
+        assert ty.INT.wrap(2**31 - 1) == 2**31 - 1
+
+    def test_wrap_unsigned(self):
+        assert ty.UINT.wrap(2**32 + 5) == 5
+        assert ty.UINT.wrap(-1) == 2**32 - 1
+
+    @given(st.integers())
+    def test_wrap_is_idempotent_int32(self, value):
+        once = ty.INT.wrap(value)
+        assert ty.INT.wrap(once) == once
+        assert ty.INT.contains(once)
+
+    @given(st.integers(), st.sampled_from([8, 16, 32, 64]), st.booleans())
+    def test_wrap_congruent_mod_2n(self, value, bits, signed):
+        t = ty.IntType(bits, signed)
+        assert (t.wrap(value) - value) % (1 << bits) == 0
+
+    @given(st.integers())
+    def test_wrap_matches_two_complement_bytes(self, value):
+        wrapped = ty.INT.wrap(value)
+        raw = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        assert int.from_bytes(raw, "little", signed=True) == wrapped
+
+
+class TestStructLayout:
+    def test_aligned_offsets(self):
+        s = ty.layout_struct("S", [("c", ty.CHAR), ("i", ty.INT), ("d", ty.DOUBLE)])
+        offsets = {f.name: f.offset for f in s.fields}
+        assert offsets == {"c": 0, "i": 4, "d": 8}
+        assert s.size() == 16
+
+    def test_tail_padding(self):
+        s = ty.layout_struct("S", [("i", ty.INT), ("c", ty.CHAR)])
+        assert s.size() == 8  # padded to int alignment
+
+    def test_field_lookup(self):
+        s = ty.layout_struct("S", [("a", ty.INT)])
+        assert s.field_named("a") is not None
+        assert s.field_named("zz") is None
+
+    def test_align_is_max_field_align(self):
+        s = ty.layout_struct("S", [("c", ty.CHAR), ("l", ty.LONG)])
+        assert s.align() == 8
+
+
+class TestConversions:
+    def test_integer_promotion(self):
+        assert ty.integer_promote(ty.CHAR) == ty.INT
+        assert ty.integer_promote(ty.SHORT) == ty.INT
+        assert ty.integer_promote(ty.UINT) == ty.UINT
+        assert ty.integer_promote(ty.LONG) == ty.LONG
+
+    def test_usual_conversion_same_type(self):
+        assert ty.usual_arithmetic_conversion(ty.INT, ty.INT) == ty.INT
+
+    def test_usual_conversion_widths(self):
+        assert ty.usual_arithmetic_conversion(ty.INT, ty.LONG) == ty.LONG
+
+    def test_usual_conversion_signed_unsigned_same_width(self):
+        assert ty.usual_arithmetic_conversion(ty.INT, ty.UINT) == ty.UINT
+
+    def test_usual_conversion_long_vs_uint(self):
+        # long can represent all uint values, so the signed type wins.
+        assert ty.usual_arithmetic_conversion(ty.LONG, ty.UINT) == ty.LONG
+
+    def test_usual_conversion_float_dominates(self):
+        assert ty.usual_arithmetic_conversion(ty.INT, ty.DOUBLE) == ty.DOUBLE
+
+    def test_narrow_types_promote_first(self):
+        assert ty.usual_arithmetic_conversion(ty.CHAR, ty.UCHAR) == ty.INT
+
+    def test_decay_array(self):
+        decayed = ty.decay(ty.ArrayType(ty.INT, 4))
+        assert decayed == ty.PointerType(ty.INT)
+
+    def test_decay_scalar_is_identity(self):
+        assert ty.decay(ty.INT) == ty.INT
+
+
+@given(
+    st.sampled_from([ty.CHAR, ty.UCHAR, ty.SHORT, ty.USHORT, ty.INT, ty.UINT, ty.LONG, ty.ULONG]),
+    st.sampled_from([ty.CHAR, ty.UCHAR, ty.SHORT, ty.USHORT, ty.INT, ty.UINT, ty.LONG, ty.ULONG]),
+)
+def test_usual_conversion_commutative_and_wide_enough(a, b):
+    common = ty.usual_arithmetic_conversion(a, b)
+    assert common == ty.usual_arithmetic_conversion(b, a)
+    assert isinstance(common, ty.IntType)
+    assert common.bits >= min(32, max(a.bits, b.bits))

@@ -1,0 +1,337 @@
+"""VM execution semantics: arithmetic, control flow, functions, traps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import run_source, stdout_of
+
+I32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+U32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestArithmetic:
+    def test_basic_expression(self):
+        assert stdout_of("int main(void){ printf(\"%d\\n\", 2 + 3 * 4); return 0; }") == b"14\n"
+
+    def test_signed_wraparound_add(self):
+        src = 'int main(void){ int x = 2147483647; int y = input_size(); printf("%d\\n", x + 1 + y); return 0; }'
+        assert stdout_of(src) == b"-2147483648\n"
+
+    def test_unsigned_wraparound(self):
+        src = 'int main(void){ unsigned int x = 4294967295u; printf("%u\\n", x + 2u); return 0; }'
+        assert stdout_of(src) == b"1\n"
+
+    def test_truncating_division(self):
+        assert stdout_of('int main(void){ printf("%d %d\\n", -7 / 2, -7 % 2); return 0; }') == b"-3 -1\n"
+
+    def test_unsigned_division(self):
+        src = 'int main(void){ unsigned int x = 0u - 4u; printf("%u\\n", x / 2u); return 0; }'
+        assert stdout_of(src) == b"2147483646\n"
+
+    def test_shift_count_masked_at_runtime(self):
+        # x86 semantics: (1 << 40) with a runtime count behaves as 1 << 8.
+        src = 'int main(void){ int c = 40 + (int)input_size(); printf("%d\\n", 1 << c); return 0; }'
+        assert stdout_of(src) == b"256\n"
+
+    def test_arithmetic_right_shift_sign_fills(self):
+        assert stdout_of('int main(void){ int s = (int)input_size() + 4; printf("%d\\n", -16 >> s); return 0; }') == b"-1\n"
+
+    def test_logical_right_shift_unsigned(self):
+        src = 'int main(void){ unsigned int x = 0u - 16u; int s = (int)input_size() + 4; printf("%u\\n", x >> s); return 0; }'
+        assert stdout_of(src) == b"268435455\n"
+
+    def test_division_by_zero_traps_sigfpe(self):
+        result = run_source('int main(void){ int d = (int)input_size(); printf("%d", 1 / d); return 0; }')
+        assert result.status.value == "crash"
+        assert result.exit_code == 136
+
+    def test_int_min_divided_by_minus_one_traps(self):
+        src = (
+            "int main(void){ int a = -2147483647 - 1; int d = -1 - (int)input_size();"
+            ' printf("%d", a / d); return 0; }'
+        )
+        result = run_source(src)
+        assert result.status.value == "crash"
+
+    def test_float_division_by_zero_is_inf(self):
+        src = 'int main(void){ double z = (double)input_size(); printf("%f\\n", 1.0 / z); return 0; }'
+        assert stdout_of(src) == b"inf\n"
+
+    @given(I32, I32)
+    @settings(max_examples=25, deadline=None)
+    def test_add_matches_c_semantics(self, a, b):
+        src = f'int main(void){{ int a = {a}; int b = {b}; printf("%d\\n", a + b); return 0; }}'
+        expected = (a + b + 2**31) % 2**32 - 2**31
+        assert stdout_of(src) == f"{expected}\n".encode()
+
+    @given(I32, I32)
+    @settings(max_examples=25, deadline=None)
+    def test_mul_matches_c_semantics(self, a, b):
+        src = f'int main(void){{ int a = {a}; int b = {b}; printf("%d\\n", a * b); return 0; }}'
+        expected = (a * b + 2**31) % 2**32 - 2**31
+        assert stdout_of(src) == f"{expected}\n".encode()
+
+    @given(I32, st.integers(min_value=1, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_div_matches_c_truncation(self, a, b):
+        src = f'int main(void){{ int a = {a}; int b = {b}; printf("%d %d\\n", a / b, a % b); return 0; }}'
+        quotient = abs(a) // b * (1 if a >= 0 else -1)
+        remainder = a - quotient * b
+        assert stdout_of(src) == f"{quotient} {remainder}\n".encode()
+
+
+class TestCasts:
+    def test_truncation_to_char(self):
+        assert stdout_of('int main(void){ char c = (char)300; printf("%d\\n", c); return 0; }') == b"44\n"
+
+    def test_sign_extension_from_char(self):
+        assert stdout_of('int main(void){ char c = (char)128; int x = c; printf("%d\\n", x); return 0; }') == b"-128\n"
+
+    def test_zero_extension_from_uchar(self):
+        src = 'int main(void){ unsigned char c = (unsigned char)200; int x = c; printf("%d\\n", x); return 0; }'
+        assert stdout_of(src) == b"200\n"
+
+    def test_float_to_int_truncates(self):
+        assert stdout_of('int main(void){ double d = 3.9; printf("%d\\n", (int)d); return 0; }') == b"3\n"
+
+    def test_float_to_int_negative(self):
+        assert stdout_of('int main(void){ double d = -3.9; printf("%d\\n", (int)d); return 0; }') == b"-3\n"
+
+    def test_int_to_double_exact(self):
+        assert stdout_of('int main(void){ printf("%.1f\\n", (double)41); return 0; }') == b"41.0\n"
+
+    def test_double_to_float_rounds(self):
+        src = 'int main(void){ float f = (float)0.1; printf("%.9g\\n", f); return 0; }'
+        assert stdout_of(src) == b"0.100000001\n"
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = 'int main(void){ int x = 5; if (x > 3) printf("big\\n"); else printf("small\\n"); return 0; }'
+        assert stdout_of(src) == b"big\n"
+
+    def test_while_loop(self):
+        src = 'int main(void){ int i = 0; int s = 0; while (i < 5) { s += i; i++; } printf("%d\\n", s); return 0; }'
+        assert stdout_of(src) == b"10\n"
+
+    def test_do_while_runs_once(self):
+        src = 'int main(void){ int i = 100; do { printf("x"); i++; } while (i < 100); printf("\\n"); return 0; }'
+        assert stdout_of(src) == b"x\n"
+
+    def test_for_with_break_continue(self):
+        src = (
+            "int main(void){ int i; int s = 0;"
+            " for (i = 0; i < 10; i++) { if (i == 2) continue; if (i == 5) break; s += i; }"
+            ' printf("%d\\n", s); return 0; }'
+        )
+        assert stdout_of(src) == b"8\n"
+
+    def test_short_circuit_and(self):
+        src = (
+            "int hits = 0;\n"
+            "int bump(void) { hits++; return 1; }\n"
+            'int main(void){ int r = 0 && bump(); printf("%d %d\\n", r, hits); return 0; }'
+        )
+        assert stdout_of(src) == b"0 0\n"
+
+    def test_short_circuit_or(self):
+        src = (
+            "int hits = 0;\n"
+            "int bump(void) { hits++; return 1; }\n"
+            'int main(void){ int r = 1 || bump(); printf("%d %d\\n", r, hits); return 0; }'
+        )
+        assert stdout_of(src) == b"1 0\n"
+
+    def test_conditional_expression(self):
+        src = 'int main(void){ int x = 7; printf("%d\\n", x > 5 ? 10 : 20); return 0; }'
+        assert stdout_of(src) == b"10\n"
+
+    def test_nested_loops(self):
+        src = (
+            "int main(void){ int i; int j; int c = 0;"
+            " for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) c++;"
+            ' printf("%d\\n", c); return 0; }'
+        )
+        assert stdout_of(src) == b"12\n"
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        src = "int sq(int x) { return x * x; }\nint main(void){ printf(\"%d\\n\", sq(7)); return 0; }"
+        assert stdout_of(src) == b"49\n"
+
+    def test_recursion(self):
+        src = (
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+            'int main(void){ printf("%d\\n", fib(12)); return 0; }'
+        )
+        assert stdout_of(src) == b"144\n"
+
+    def test_mutual_recursion(self):
+        src = (
+            "int is_odd(int n);\n"
+            "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }\n"
+            "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }\n"
+            'int main(void){ printf("%d %d\\n", is_even(10), is_odd(7)); return 0; }'
+        ) if False else (
+            "int is_even(int n) { if (n == 0) return 1; if (n == 1) return 0; return is_even(n - 2); }\n"
+            'int main(void){ printf("%d %d\\n", is_even(10), is_even(7)); return 0; }'
+        )
+        assert stdout_of(src) == b"1 0\n"
+
+    def test_void_function(self):
+        src = 'void greet(void) { printf("hi\\n"); }\nint main(void){ greet(); return 0; }'
+        assert stdout_of(src) == b"hi\n"
+
+    def test_exit_code_from_main(self):
+        assert run_source("int main(void){ return 42; }").exit_code == 42
+
+    def test_exit_code_truncated_to_byte(self):
+        assert run_source("int main(void){ return 300; }").exit_code == 300 & 0xFF
+
+    def test_unbounded_recursion_exhausts_stack(self):
+        src = "int down(int n) { return down(n + 1); }\nint main(void){ return down(0); }"
+        result = run_source(src)
+        assert result.status.value == "crash"
+
+    def test_infinite_loop_times_out(self):
+        result = run_source("int main(void){ while (1) { } return 0; }", fuel=10_000)
+        assert result.status.value == "timeout"
+
+
+class TestGlobalsAndStatics:
+    def test_global_initialized(self):
+        assert stdout_of('int g = 7;\nint main(void){ printf("%d\\n", g); return 0; }') == b"7\n"
+
+    def test_global_zero_initialized(self):
+        assert stdout_of('int g;\nint main(void){ printf("%d\\n", g); return 0; }') == b"0\n"
+
+    def test_global_mutation_persists_across_calls(self):
+        src = (
+            "int counter = 0;\n"
+            "void bump(void) { counter++; }\n"
+            'int main(void){ bump(); bump(); bump(); printf("%d\\n", counter); return 0; }'
+        )
+        assert stdout_of(src) == b"3\n"
+
+    def test_static_local_persists(self):
+        src = (
+            "int next(void) { static int n = 10; n++; return n; }\n"
+            'int main(void){ next(); next(); printf("%d\\n", next()); return 0; }'
+        )
+        assert stdout_of(src) == b"13\n"
+
+    def test_global_string_pointer(self):
+        src = 'char *msg = "boot";\nint main(void){ printf("%s\\n", msg); return 0; }'
+        assert stdout_of(src) == b"boot\n"
+
+    def test_global_array_init(self):
+        src = 'int table[4] = {10, 20, 30, 40};\nint main(void){ printf("%d\\n", table[2]); return 0; }'
+        assert stdout_of(src) == b"30\n"
+
+
+class TestPointersAndArrays:
+    def test_pointer_roundtrip(self):
+        src = 'int main(void){ int v = 5; int *p = &v; *p = 9; printf("%d\\n", v); return 0; }'
+        assert stdout_of(src) == b"9\n"
+
+    def test_pointer_arithmetic_scaling(self):
+        src = (
+            "int main(void){ int arr[4] = {1, 2, 3, 4}; int *p = arr;"
+            ' printf("%d\\n", *(p + 2)); return 0; }'
+        )
+        assert stdout_of(src) == b"3\n"
+
+    def test_array_init_from_string(self):
+        src = 'int main(void){ char b[8] = "hey"; printf("%s %ld\\n", b, strlen(b)); return 0; }'
+        assert stdout_of(src) == b"hey 3\n"
+
+    def test_struct_field_access(self):
+        src = (
+            "struct P { int x; int y; };\n"
+            "int main(void){ struct P p; p.x = 3; p.y = 4;"
+            ' printf("%d\\n", p.x * p.x + p.y * p.y); return 0; }'
+        )
+        assert stdout_of(src) == b"25\n"
+
+    def test_struct_pointer_arrow(self):
+        src = (
+            "struct P { int x; };\n"
+            "void set(struct P *p) { p->x = 77; }\n"
+            'int main(void){ struct P p; set(&p); printf("%d\\n", p.x); return 0; }'
+        )
+        assert stdout_of(src) == b"77\n"
+
+    def test_null_deref_segfaults_at_O0(self):
+        result = run_source("int main(void){ int *p = (int*)0; return *p; }")
+        assert result.status.value == "crash"
+        assert result.exit_code == 139
+
+    def test_wild_pointer_segfaults(self):
+        result = run_source("int main(void){ long a = 12345678901; int *p = (int*)a; return *p; }")
+        assert result.status.value == "crash"
+
+    def test_2d_array_addressing(self):
+        src = (
+            "int main(void){ int m[2][3]; int i; int j;"
+            " for (i = 0; i < 2; i++) for (j = 0; j < 3; j++) m[i][j] = i * 10 + j;"
+            ' printf("%d %d\\n", m[1][2], m[0][1]); return 0; }'
+        )
+        assert stdout_of(src) == b"12 1\n"
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self):
+        src = (
+            "int main(void){ char b[32]; long n = read_input(b, 32); long i;"
+            ' unsigned int h = 17; for (i = 0; i < n; i++) h = h * 31 + b[i];'
+            ' printf("%u\\n", h); return 0; }'
+        )
+        first = run_source(src, "clang-O2", b"hello world")
+        second = run_source(src, "clang-O2", b"hello world")
+        assert first.stdout == second.stdout
+        assert first.exit_code == second.exit_code
+
+
+class TestForkServerReuse:
+    def test_many_runs_share_layout(self):
+        from repro.compiler import compile_source, implementation
+        from repro.vm import ForkServer
+
+        src = (
+            "int g = 0;\n"
+            "int main(void){ g++; printf(\"g=%d n=%ld\\n\", g, input_size()); return 0; }"
+        )
+        server = ForkServer(compile_source(src, implementation("gcc-O2")))
+        for i in range(5):
+            result = server.run(b"x" * i)
+            # Globals are re-initialized per execution: no cross-run leakage.
+            assert result.stdout == f"g=1 n={i}\n".encode()
+        assert server.executions == 5
+
+    def test_heap_state_isolated_between_runs(self):
+        from repro.compiler import compile_source, implementation
+        from repro.vm import ForkServer
+
+        src = (
+            "int main(void){ char *p = malloc(16); p[0] = 'A';"
+            ' printf("%c\\n", p[0]); return 0; }'
+        )
+        server = ForkServer(compile_source(src, implementation("gcc-O1")))
+        first = server.run(b"")
+        second = server.run(b"")
+        assert first.stdout == second.stdout == b"A\n"
+
+    def test_input_cursor_resets_per_run(self):
+        from repro.compiler import compile_source, implementation
+        from repro.vm import ForkServer
+
+        src = (
+            "int main(void){ char b[4]; read_input(b, 2); b[2] = 0;"
+            ' printf("%s\\n", b); return 0; }'
+        )
+        server = ForkServer(compile_source(src, implementation("clang-O0")))
+        assert server.run(b"ab").stdout == b"ab\n"
+        assert server.run(b"cd").stdout == b"cd\n"
