@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-verified bench bench-quick examples clean
+.PHONY: install test test-fast test-verified bench bench-quick bench-scaling examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Quick lane: skip the long-running end-to-end tests.
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
 
 # Same suite with IR verification enabled after every compile.
 test-verified:
@@ -20,6 +24,10 @@ bench:
 bench-quick:
 	REPRO_BENCH_SCALE=0.008 REPRO_BENCH_EXECS=1200 \
 	    $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Parallel-engine speedup curve (1/2/4/8 workers) + verdict-equality check.
+bench-scaling:
+	$(PYTHON) benchmarks/bench_parallel_scaling.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -9,6 +9,8 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_SCALE``  — Juliet suite scale (default 0.02 ≈ 367 tests).
 * ``REPRO_BENCH_EXECS``  — fuzzer executions per campaign (default 2500).
 * ``REPRO_BENCH_STRIDE`` — CompDiff oracle stride in campaigns (default 4).
+* ``REPRO_BENCH_WORKERS`` — worker processes for the differential hot
+  path (default 1 = serial; verdicts are identical at any setting).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 JULIET_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 CAMPAIGN_EXECS = int(os.environ.get("REPRO_BENCH_EXECS", "2500"))
 CAMPAIGN_STRIDE = int(os.environ.get("REPRO_BENCH_STRIDE", "4"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def write_result(name: str, text: str) -> None:
@@ -41,7 +44,7 @@ def juliet_suite():
 
 @functools.lru_cache(maxsize=1)
 def juliet_evaluation():
-    return evaluate_juliet(juliet_suite(), fuel=200_000)
+    return evaluate_juliet(juliet_suite(), fuel=200_000, workers=BENCH_WORKERS)
 
 
 @functools.lru_cache(maxsize=1)

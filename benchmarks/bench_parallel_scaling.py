@@ -1,0 +1,123 @@
+"""E-PAR — parallel differential engine scaling.
+
+Runs the Juliet differential campaign (the CompDiff-only Table 3 pass:
+every bad and good variant through all ten implementations) at 1/2/4/8
+workers, records the wall-clock speedup curve, and verifies that every
+divergence verdict is identical across worker counts — the parallel
+engine must be a pure wall-clock optimization.
+
+Run directly (``make bench-scaling``)::
+
+    python benchmarks/bench_parallel_scaling.py
+
+or through pytest (skipped under ``--benchmark-only`` since it manages
+its own timing loop)::
+
+    python -m pytest benchmarks/bench_parallel_scaling.py -q
+
+Scale via ``REPRO_BENCH_SCALE`` (suite size) as usual.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro.evaluation import evaluate_juliet
+from repro.juliet import build_suite
+
+from _common import JULIET_SCALE, write_result
+
+WORKER_COUNTS = (1, 2, 4, 8)
+#: Acceptance floor: the 4-worker campaign must halve the serial wall clock.
+REQUIRED_SPEEDUP_AT_4 = 2.0
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _campaign(suite, workers: int):
+    """One timed CompDiff-only Juliet campaign; returns (verdicts, secs)."""
+    started = time.perf_counter()
+    evaluation = evaluate_juliet(
+        suite,
+        fuel=200_000,
+        include_static=False,
+        include_sanitizers=False,
+        workers=workers,
+    )
+    elapsed = time.perf_counter() - started
+    verdicts = {
+        "detected": {uid: sorted(map(sorted, vecs), key=str)
+                     for uid, vecs in evaluation.bug_vectors.items()},
+        "false_positives": evaluation.compdiff_false_positives,
+        "per_group": {
+            group: (counts["compdiff"].detected, counts["compdiff"].total)
+            for group, counts in evaluation.per_group.items()
+        },
+    }
+    return verdicts, elapsed
+
+
+def run_scaling(suite=None) -> str:
+    """Measure the speedup curve and render the results table."""
+    if suite is None:
+        suite = build_suite(scale=JULIET_SCALE)
+    timings: dict[int, float] = {}
+    baseline_verdicts = None
+    for workers in WORKER_COUNTS:
+        verdicts, elapsed = _campaign(suite, workers)
+        timings[workers] = elapsed
+        if baseline_verdicts is None:
+            baseline_verdicts = verdicts
+        else:
+            assert verdicts == baseline_verdicts, (
+                f"divergence verdicts differ between workers=1 and workers={workers}"
+            )
+    serial = timings[WORKER_COUNTS[0]]
+    lines = [
+        f"parallel scaling — Juliet differential campaign "
+        f"({len(suite.cases)} cases, bad+good variants, 10 implementations)",
+        "",
+        f"{'workers':>8} {'wall (s)':>10} {'speedup':>8}",
+    ]
+    for workers in WORKER_COUNTS:
+        lines.append(
+            f"{workers:>8} {timings[workers]:>10.2f} {serial / timings[workers]:>7.2f}x"
+        )
+    lines.append("")
+    lines.append("verdicts: identical across all worker counts")
+    cpus = _usable_cpus()
+    speedup4 = serial / timings[4]
+    if cpus >= 4:
+        lines.append(f"host CPUs: {cpus}; workers=4 speedup {speedup4:.2f}x "
+                     f"(floor {REQUIRED_SPEEDUP_AT_4}x)")
+    else:
+        lines.append(
+            f"host CPUs: {cpus}; scaling floor not enforced — multiprocessing "
+            f"cannot beat serial without idle cores (overhead {1 / speedup4:.2f}x)"
+        )
+    table = "\n".join(lines)
+    write_result("parallel_scaling.txt", table)
+    if cpus >= 4:
+        assert speedup4 >= REQUIRED_SPEEDUP_AT_4, (
+            f"workers=4 speedup {speedup4:.2f}x below the {REQUIRED_SPEEDUP_AT_4}x floor"
+        )
+    return table
+
+
+@pytest.mark.parallel
+@pytest.mark.slow
+def test_parallel_scaling():
+    print("\n" + run_scaling())
+
+
+if __name__ == "__main__":
+    sys.stdout.write(run_scaling() + "\n")

@@ -55,11 +55,14 @@ def _select_impls(names: str | None):
 def cmd_check(args: argparse.Namespace) -> int:
     """`repro check`: differential-test one file; exit 1 on divergence."""
     source = open(args.file).read()
-    engine = CompDiff(
+    with CompDiff(
         implementations=_select_impls(args.impls),
         normalizer=OutputNormalizer.standard() if args.normalize else None,
-    )
-    outcome = engine.check_source(source, [_read_input(args)], name=args.file)
+        workers=args.workers,
+    ) as engine:
+        outcome = engine.check_source(source, [_read_input(args)], name=args.file)
+        if args.stats:
+            print(engine.stats.render(), file=sys.stderr)
     if not outcome.divergent:
         print("stable: all implementations agree")
         return 0
@@ -88,9 +91,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         rng_seed=args.seed,
         divergence_feedback=args.divergence_feedback,
         normalizer=OutputNormalizer.standard() if args.normalize else None,
+        workers=args.workers,
     )
-    fuzzer = CompDiffFuzzer(source, seeds, options, name=args.file)
-    result = fuzzer.run()
+    with CompDiffFuzzer(source, seeds, options, name=args.file) as fuzzer:
+        result = fuzzer.run()
+        if args.stats and fuzzer.oracle_stats is not None:
+            print(fuzzer.oracle_stats.render(), file=sys.stderr)
     from repro.fuzzing import render_stats
 
     print(render_stats(result, name=args.file))
@@ -172,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("file")
     check.add_argument("--impls", help=f"comma list from: {', '.join(implementation_names())}")
     check.add_argument("--normalize", action="store_true", help="scrub timestamps (RQ5)")
+    check.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the differential executions")
+    check.add_argument("--stats", action="store_true",
+                       help="print execution metrics to stderr")
     _add_input_flags(check)
     check.set_defaults(func=cmd_check)
 
@@ -188,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--divergence-feedback", action="store_true")
     fuzz.add_argument("--normalize", action="store_true")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the CompDiff oracle")
+    fuzz.add_argument("--stats", action="store_true",
+                      help="print oracle execution metrics to stderr")
     _add_input_flags(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
 

@@ -15,6 +15,9 @@ from repro.core.hashing import output_checksum
 from repro.core.normalize import OutputNormalizer
 from repro.minic import ast as minic_ast
 from repro.minic import load
+from repro.parallel.cache import CompileCache
+from repro.parallel.engine import BatchJob, ParallelEngine, ProgramPayload, ServerGroup
+from repro.parallel.stats import EngineStats
 from repro.vm import ForkServer
 from repro.vm.execution import ExecutionResult, Status
 from repro.vm.machine import DEFAULT_FUEL
@@ -40,11 +43,17 @@ class DiffResult:
         return len(set(self.checksums.values())) > 1
 
     def groups(self) -> list[list[str]]:
-        """Implementation names grouped by identical observation."""
+        """Implementation names grouped by identical observation.
+
+        Ordering is fully deterministic — size descending, ties broken
+        lexicographically by each group's first implementation name — so
+        triage signatures derived from groups are stable across runs and
+        Python hash seeds.
+        """
         by_checksum: dict[int, list[str]] = {}
         for name, checksum in self.checksums.items():
             by_checksum.setdefault(checksum, []).append(name)
-        return sorted(by_checksum.values(), key=len, reverse=True)
+        return sorted(by_checksum.values(), key=lambda group: (-len(group), group[0]))
 
     def divergent_for(self, subset: tuple[str, ...]) -> bool:
         """Would this input be flagged using only *subset* implementations?"""
@@ -97,6 +106,13 @@ class CompDiff:
     >>> outcome = engine.check_source("int main(void){return 0;}", [b""])
     >>> outcome.divergent
     False
+
+    ``workers=1`` (the default) is the fully deterministic serial path.
+    ``workers=N`` fans the per-implementation executions out across a
+    persistent worker pool (:mod:`repro.parallel`) with byte-identical
+    verdicts; call :meth:`close` (or use the engine as a context manager)
+    to shut the pool down.  ``compile_cache`` memoizes compilation by
+    content so repeated checks of identical programs skip the compiler.
     """
 
     def __init__(
@@ -104,15 +120,44 @@ class CompDiff:
         implementations: tuple[CompilerConfig, ...] = DEFAULT_IMPLEMENTATIONS,
         normalizer: OutputNormalizer | None = None,
         fuel: int = DEFAULT_FUEL,
+        workers: int = 1,
+        compile_cache: CompileCache | None = None,
+        stats: EngineStats | None = None,
     ) -> None:
         if len(implementations) < 2:
             raise ValueError("CompDiff needs at least two compiler implementations")
         names = [config.name for config in implementations]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate implementation names: {names}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.implementations = tuple(implementations)
         self.normalizer = normalizer if normalizer is not None else OutputNormalizer()
         self.fuel = fuel
+        self.workers = int(workers)
+        self.compile_cache = compile_cache
+        self.stats = stats if stats is not None else EngineStats()
+        self._engine: ParallelEngine | None = None
+        if self.workers > 1:
+            self._engine = ParallelEngine(
+                self.implementations,
+                fuel=self.fuel,
+                workers=self.workers,
+                stats=self.stats,
+            )
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Shut down the worker pool, if any (idempotent; serial no-op)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "CompDiff":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------- compiling
 
@@ -120,21 +165,53 @@ class CompDiff:
         """Compile *program* with every implementation (§3.1 steps 1-2)."""
         servers: dict[str, ForkServer] = {}
         for config in self.implementations:
-            binary = compile_program(program, config, name=name)
+            binary = self._compile(program, config, name=name)
             servers[config.name] = ForkServer(binary, fuel=self.fuel)
+        if self._engine is not None:
+            return ServerGroup(servers, ProgramPayload.from_program(program, name=name))
         return servers
 
     def build_source(self, source: str, name: str = "") -> dict[str, ForkServer]:
         return self.build(load(source), name=name)
 
+    def _compile(self, program: minic_ast.Program, config: CompilerConfig, name: str = ""):
+        if self.compile_cache is None:
+            return compile_program(program, config, name=name)
+        cache_stats = self.compile_cache.stats
+        hits0, misses0 = cache_stats.hits, cache_stats.misses
+        evictions0 = cache_stats.evictions
+        binary = self.compile_cache.compile(program, config, name=name)
+        # Attribute the (possibly shared) cache's activity to this engine.
+        self.stats.record_cache(
+            cache_stats.hits - hits0,
+            cache_stats.misses - misses0,
+            cache_stats.evictions - evictions0,
+        )
+        return binary
+
     # --------------------------------------------------------------- running
 
     def run_input(self, servers: dict[str, ForkServer], input_bytes: bytes) -> DiffResult:
         """Run one input on every binary and cross-check outputs (§3.1 step 4)."""
+        if self._engine is not None and isinstance(servers, ServerGroup):
+            results = self._engine.run_one(servers.payload, input_bytes)
+            return self._diff_from_results(input_bytes, results)
         results: dict[str, ExecutionResult] = {}
         for name, server in servers.items():
             results[name] = server.run(input_bytes)
+            self.stats.record_exec(name)
         self._retry_partial_timeouts(servers, input_bytes, results)
+        self.stats.record_input()
+        return self._diff_from_results(input_bytes, results)
+
+    def _diff_from_results(
+        self, input_bytes: bytes, results: dict[str, ExecutionResult]
+    ) -> DiffResult:
+        """Normalize, checksum, and package one input's k results.
+
+        Shared verbatim by the serial and parallel paths: whatever process
+        produced the raw results, the observation comparison is identical.
+        """
         observations: dict[str, tuple] = {}
         checksums: dict[str, int] = {}
         for name, result in results.items():
@@ -164,6 +241,8 @@ class CompDiff:
             fuel *= TIMEOUT_RETRY_FACTOR
             for name in timed_out:
                 results[name] = servers[name].run(input_bytes, fuel=fuel)
+                self.stats.record_exec(name)
+                self.stats.record_retry()
 
     @staticmethod
     def _checksum(observation: tuple) -> int:
@@ -177,6 +256,8 @@ class CompDiff:
 
     def check(self, program: minic_ast.Program, inputs: list[bytes], name: str = "") -> CheckOutcome:
         """Full §3.1 workflow for one program over an input set."""
+        if self._engine is not None:
+            return self.check_batch([(program, inputs, name)])[0]
         servers = self.build(program, name=name)
         matrix = ObservationMatrix(tuple(servers))
         diffs: list[DiffResult] = []
@@ -187,4 +268,41 @@ class CompDiff:
         return CheckOutcome(matrix=matrix, diffs=diffs)
 
     def check_source(self, source: str, inputs: list[bytes], name: str = "") -> CheckOutcome:
+        if self._engine is not None:
+            return self.check_batch([(source, inputs, name)])[0]
         return self.check(load(source), inputs, name=name)
+
+    def check_batch(
+        self, jobs: list[tuple[minic_ast.Program | str, list[bytes], str]]
+    ) -> list[CheckOutcome]:
+        """Run the §3.1 workflow for many ``(program, inputs, name)`` jobs.
+
+        Programs may be checked ASTs or raw source strings (sources are
+        parsed where they are compiled — in the workers when parallel).
+        With ``workers=1`` this is exactly a loop over :meth:`check`; with
+        ``workers=N`` the jobs are scattered across the pool and the
+        outcomes are byte-identical to the serial loop.
+        """
+        if self._engine is None:
+            outcomes = []
+            for program, inputs, name in jobs:
+                if isinstance(program, str):
+                    program = load(program)
+                outcomes.append(self.check(program, inputs, name=name))
+            return outcomes
+        batch = [
+            BatchJob(program=program, inputs=list(inputs), name=name)
+            for program, inputs, name in jobs
+        ]
+        raw = self._engine.run_batch(batch)
+        impl_names = tuple(config.name for config in self.implementations)
+        outcomes = []
+        for job, rows in zip(batch, raw):
+            matrix = ObservationMatrix(impl_names)
+            diffs = []
+            for input_bytes, results in zip(job.inputs, rows):
+                diff = self._diff_from_results(input_bytes, results)
+                matrix.add(diff)
+                diffs.append(diff)
+            outcomes.append(CheckOutcome(matrix=matrix, diffs=diffs))
+        return outcomes

@@ -15,6 +15,7 @@ from repro.core.compdiff import CompDiff
 from repro.juliet.cwe import GROUP_LABELS, GROUPS
 from repro.juliet.suite import JulietSuite
 from repro.minic import load
+from repro.parallel.cache import CompileCache
 from repro.sanitizers import all_sanitizers
 from repro.static_analysis import all_static_tools
 
@@ -68,28 +69,72 @@ def evaluate_juliet(
     include_static: bool = True,
     include_sanitizers: bool = True,
     include_good_variants: bool = True,
+    workers: int = 1,
+    compile_cache: CompileCache | None = None,
 ) -> JulietEvaluation:
-    """Run the Table 3 experiment over *suite*."""
+    """Run the Table 3 experiment over *suite*.
+
+    ``workers=N`` scatters the CompDiff checks (the wall-clock hot path)
+    across a :mod:`repro.parallel` worker pool with identical verdicts;
+    the sanitizer/static tool passes stay in-process either way.
+    """
     evaluation = JulietEvaluation(suite=suite)
-    engine = CompDiff(fuel=fuel)
+    engine = CompDiff(fuel=fuel, workers=workers, compile_cache=compile_cache)
+    try:
+        return _evaluate_juliet(
+            evaluation, engine, suite, include_static, include_sanitizers,
+            include_good_variants,
+        )
+    finally:
+        engine.close()
+
+
+def _evaluate_juliet(
+    evaluation: JulietEvaluation,
+    engine: CompDiff,
+    suite: JulietSuite,
+    include_static: bool,
+    include_sanitizers: bool,
+    include_good_variants: bool,
+) -> JulietEvaluation:
     sanitizers = all_sanitizers() if include_sanitizers else []
     static_tools = all_static_tools() if include_static else []
+    # The tool passes need parsed ASTs in this process; the differential
+    # checks only need them where they compile, so in pure-CompDiff mode
+    # (the scaling benchmarks) raw sources go straight to the engine and
+    # parsing happens in the workers too.
+    need_ast = bool(sanitizers or static_tools)
+    jobs = []
     for case in suite.cases:
-        bad = load(case.bad_source)
-        good = load(case.good_source) if include_good_variants else None
+        bad = load(case.bad_source) if need_ast else case.bad_source
+        jobs.append((bad, case.inputs, case.uid))
+        if include_good_variants:
+            good = load(case.good_source) if need_ast else case.good_source
+            jobs.append((good, case.inputs, ""))
+    outcomes = iter(engine.check_batch(jobs))
+    job_programs = iter(jobs)
+    for case in suite.cases:
+        bad = next(job_programs)[0]
+        outcome = next(outcomes)
+        good = None
+        good_outcome = None
+        if include_good_variants:
+            good = next(job_programs)[0]
+            good_outcome = next(outcomes)
+        if isinstance(bad, str):
+            bad = None  # pure-CompDiff mode: no tool pass needs the AST
+            good = None
         group = case.group
         # --- CompDiff ---
         counts = evaluation.counts(group, "compdiff")
         counts.total += 1
-        outcome = engine.check(bad, case.inputs, name=case.uid)
         compdiff_hit = outcome.divergent
         if compdiff_hit:
             counts.detected += 1
             evaluation.bug_vectors[case.uid] = [
                 dict(diff.checksums) for diff in outcome.diffs if diff.divergent
             ]
-        if good is not None:
-            good_outcome = engine.check(good, case.inputs)
+        if good_outcome is not None:
             if good_outcome.divergent:
                 counts.false_positives += 1
                 evaluation.compdiff_false_positives += 1

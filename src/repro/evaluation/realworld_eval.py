@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.normalize import OutputNormalizer
 from repro.fuzzing import CampaignResult, CompDiffFuzzer, FuzzerOptions
+from repro.parallel.cache import CompileCache
 from repro.targets import SeededBug, Target, build_all_targets
 
 CATEGORIES = ("EvalOrder", "UninitMem", "IntError", "MemError", "PointerCmp", "LINE", "Misc")
@@ -82,10 +83,19 @@ def evaluate_realworld(
     fuel: int = 300_000,
     rng_seed: int = 1,
     include_sanitizers: bool = True,
+    workers: int = 1,
+    compile_cache: CompileCache | None = None,
 ) -> RealWorldEvaluation:
-    """Run the §4.3 experiment (scaled by *max_executions* per campaign)."""
+    """Run the §4.3 experiment (scaled by *max_executions* per campaign).
+
+    ``workers=N`` fans each campaign's oracle executions across a worker
+    pool; one compile cache is shared by every campaign so each target's
+    binaries are built once regardless of how many tool campaigns run.
+    """
     if targets is None:
         targets = build_all_targets()
+    if compile_cache is None:
+        compile_cache = CompileCache()
     evaluation = RealWorldEvaluation()
     for target in targets:
         normalizer = OutputNormalizer.standard() if target.needs_normalizer else None
@@ -95,11 +105,13 @@ def evaluate_realworld(
             compdiff_stride=compdiff_stride,
             fuel=fuel,
             normalizer=normalizer,
+            workers=workers,
+            compile_cache=compile_cache,
         )
-        fuzzer = CompDiffFuzzer(target.source, target.seeds, options, name=target.name)
-        campaign = fuzzer.run()
-        if not evaluation.implementations:
-            evaluation.implementations = fuzzer.implementations
+        with CompDiffFuzzer(target.source, target.seeds, options, name=target.name) as fuzzer:
+            campaign = fuzzer.run()
+            if not evaluation.implementations:
+                evaluation.implementations = fuzzer.implementations
         outcome = TargetOutcome(target=target, campaign=campaign)
         if include_sanitizers:
             for sanitizer in SANITIZERS:
@@ -109,6 +121,7 @@ def evaluate_realworld(
                     fuel=fuel,
                     enable_compdiff=False,
                     sanitizer=sanitizer,
+                    compile_cache=compile_cache,
                 )
                 san_fuzzer = CompDiffFuzzer(
                     target.source, target.seeds, san_options, name=target.name

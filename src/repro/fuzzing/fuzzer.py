@@ -22,6 +22,7 @@ from repro.compiler import (
 from repro.core.compdiff import CompDiff, DiffResult
 from repro.core.normalize import OutputNormalizer
 from repro.core.triage import DivergenceSignature, signature_of
+from repro.parallel.cache import CompileCache
 from repro.fuzzing.coverage import CoverageMap
 from repro.fuzzing.mutators import MutationEngine, build_dictionary
 from repro.fuzzing.seedpool import SeedPool
@@ -56,6 +57,14 @@ class FuzzerOptions:
     #: back into the fuzzer — an input that produced a *new* divergence
     #: signature joins the seed pool even without new edge coverage.
     divergence_feedback: bool = False
+    #: Fan each oracle input's k executions across a worker pool
+    #: (``repro.parallel``).  1 = the deterministic serial path.  Verdicts
+    #: are identical either way; the pool pays off once per-execution cost
+    #: (fuel, program size) outweighs the dispatch overhead.
+    workers: int = 1
+    #: Content-addressed compile cache shared across campaigns, so
+    #: repeated builds of the same target skip the compiler entirely.
+    compile_cache: CompileCache | None = None
 
 
 @dataclass
@@ -105,13 +114,23 @@ class CompDiffFuzzer:
         self.name = name
         self.rng = random.Random(self.options.rng_seed)
         # B_fuzz: coverage-instrumented (optionally sanitized) build.
-        fuzz_binary = compile_program(
-            program,
-            FUZZ_CONFIG,
-            name=name,
-            instrument_coverage=True,
-            sanitizer=self.options.sanitizer,
-        )
+        cache = self.options.compile_cache
+        if cache is not None:
+            fuzz_binary = cache.compile(
+                program,
+                FUZZ_CONFIG,
+                name=name,
+                instrument_coverage=True,
+                sanitizer=self.options.sanitizer,
+            )
+        else:
+            fuzz_binary = compile_program(
+                program,
+                FUZZ_CONFIG,
+                name=name,
+                instrument_coverage=True,
+                sanitizer=self.options.sanitizer,
+            )
         self.fuzz_server = ForkServer(fuzz_binary, fuel=self.options.fuel)
         # The k differential binaries.
         self.compdiff: CompDiff | None = None
@@ -121,6 +140,8 @@ class CompDiffFuzzer:
                 implementations=self.options.implementations,
                 normalizer=self.options.normalizer or OutputNormalizer(),
                 fuel=self.options.fuel,
+                workers=self.options.workers,
+                compile_cache=cache,
             )
             self.diff_servers = self.compdiff.build(program, name=name)
         self.coverage = CoverageMap()
@@ -205,6 +226,22 @@ class CompDiffFuzzer:
 
     # -------------------------------------------------------------- helpers
 
+    def close(self) -> None:
+        """Release the oracle's worker pool, if any (idempotent)."""
+        if self.compdiff is not None:
+            self.compdiff.close()
+
+    def __enter__(self) -> "CompDiffFuzzer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     @property
     def implementations(self) -> tuple[str, ...]:
         return tuple(self.diff_servers)
+
+    @property
+    def oracle_stats(self):
+        """The oracle engine's :class:`repro.parallel.stats.EngineStats`."""
+        return self.compdiff.stats if self.compdiff is not None else None

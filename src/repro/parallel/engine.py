@@ -1,0 +1,396 @@
+"""Batched multi-process differential execution.
+
+The serial :class:`~repro.core.compdiff.CompDiff` runs the ``k``
+per-implementation executions of every input back to back in one
+process.  :class:`ParallelEngine` fans that work out across a persistent
+``multiprocessing`` worker pool:
+
+* each worker process keeps **warm state** — a content-addressed
+  :class:`~repro.parallel.cache.CompileCache` plus a registry of live
+  :class:`~repro.vm.forkserver.ForkServer` instances per
+  ``(program, implementation)`` — so a program is compiled at most once
+  per worker and re-executions pay only for the VM run;
+* the parent scatters ``(job, implementation-chunk)`` tasks, gathers raw
+  :class:`~repro.vm.execution.ExecutionResult` objects, and performs the
+  RQ6 partial-timeout retry rounds with exactly the serial engine's fuel
+  schedule, so verdicts are byte-identical to ``workers=1``;
+* all observation normalization and checksumming stays in the parent
+  (in :class:`~repro.core.compdiff.CompDiff`), which is what guarantees
+  result assembly order — and therefore ``DiffResult`` contents — cannot
+  depend on worker scheduling.
+
+Workers are spawned lazily on the first batch and live until
+``close()``; the ``fork`` start method is preferred (cheap, inherits the
+imported modules) with ``spawn`` as the portable fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.compiler.implementations import CompilerConfig
+from repro.minic import ast as minic_ast
+from repro.minic import load
+from repro.parallel.cache import CompileCache
+from repro.parallel.stats import EngineStats
+from repro.vm import ForkServer
+from repro.vm.execution import ExecutionResult
+
+#: Hard cap on pool size; beyond this the scatter overhead dominates.
+MAX_WORKERS = 32
+#: Programs (and their fork servers) kept warm per worker before LRU drop.
+WORKER_PROGRAM_CAP = 64
+
+
+@dataclass(frozen=True)
+class ProgramPayload:
+    """A program in transit to a worker: content key plus serialized form.
+
+    ``kind`` is ``"src"`` (raw MiniC source, parsed worker-side with the
+    same :func:`repro.minic.load` the serial path uses) or ``"ast"``
+    (pickled checked AST).
+    """
+
+    key: str
+    kind: str
+    blob: bytes
+    name: str = ""
+
+    @staticmethod
+    def from_program(
+        program: minic_ast.Program | str, name: str = "", key: str | None = None
+    ) -> "ProgramPayload":
+        from repro.parallel.cache import program_fingerprint
+
+        fp = key if key is not None else program_fingerprint(program)
+        if isinstance(program, str):
+            return ProgramPayload(key=fp, kind="src", blob=program.encode("utf-8"), name=name)
+        return ProgramPayload(key=fp, kind="ast", blob=pickle.dumps(program), name=name)
+
+
+class ServerGroup(dict):
+    """``CompDiff.build()`` result in parallel mode: a plain name→ForkServer
+    mapping (fully usable serially) plus the payload the engine needs to
+    route executions of this program to the worker pool."""
+
+    def __init__(self, servers: dict[str, ForkServer], payload: ProgramPayload) -> None:
+        super().__init__(servers)
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One scatter unit: run *runs* under *configs* for one program."""
+
+    job_idx: int
+    payload: ProgramPayload
+    configs: tuple[CompilerConfig, ...]
+    base_fuel: int
+    #: (input_idx, input_bytes, explicit fuel or None for the base fuel).
+    runs: tuple[tuple[int, bytes, Optional[int]], ...]
+
+
+@dataclass
+class _Reply:
+    """One task's gathered results plus worker-side accounting."""
+
+    job_idx: int
+    #: (input_idx, implementation name, result) triples.
+    results: list[tuple[int, str, ExecutionResult]]
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    seconds: float
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  Module-level state + functions so both fork and spawn start
+# methods can resolve them by reference.
+# ---------------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _worker_init(cache_entries: int) -> None:
+    _WORKER["cache"] = CompileCache(max_entries=cache_entries)
+    _WORKER["programs"] = OrderedDict()  # key -> checked Program AST
+    _WORKER["servers"] = OrderedDict()  # (key, impl name) -> ForkServer
+
+
+def _worker_program(payload: ProgramPayload) -> minic_ast.Program:
+    programs: OrderedDict = _WORKER["programs"]
+    program = programs.get(payload.key)
+    if program is None:
+        if payload.kind == "src":
+            program = load(payload.blob.decode("utf-8"))
+        else:
+            program = pickle.loads(payload.blob)
+        programs[payload.key] = program
+        while len(programs) > WORKER_PROGRAM_CAP:
+            evicted_key, _ = programs.popitem(last=False)
+            servers: OrderedDict = _WORKER["servers"]
+            for server_key in [k for k in servers if k[0] == evicted_key]:
+                del servers[server_key]
+    else:
+        programs.move_to_end(payload.key)
+    return program
+
+
+def _worker_server(
+    payload: ProgramPayload, config: CompilerConfig, base_fuel: int
+) -> ForkServer:
+    servers: OrderedDict = _WORKER["servers"]
+    server_key = (payload.key, config.name)
+    server = servers.get(server_key)
+    if server is None:
+        cache: CompileCache = _WORKER["cache"]
+        program = _worker_program(payload)
+        binary = cache.compile(program, config, name=payload.name, program_fp=payload.key)
+        server = ForkServer(binary, fuel=base_fuel)
+        servers[server_key] = server
+    else:
+        servers.move_to_end(server_key)
+    return server
+
+
+def _worker_run(task: _Task) -> _Reply:
+    """Service one scatter unit inside a worker process."""
+    started = time.perf_counter()
+    cache: CompileCache = _WORKER["cache"]
+    hits0, misses0 = cache.stats.hits, cache.stats.misses
+    evictions0 = cache.stats.evictions
+    results: list[tuple[int, str, ExecutionResult]] = []
+    for config in task.configs:
+        server = _worker_server(task.payload, config, task.base_fuel)
+        for input_idx, input_bytes, fuel in task.runs:
+            results.append((input_idx, config.name, server.run(input_bytes, fuel=fuel)))
+    return _Reply(
+        job_idx=task.job_idx,
+        results=results,
+        cache_hits=cache.stats.hits - hits0,
+        cache_misses=cache.stats.misses - misses0,
+        cache_evictions=cache.stats.evictions - evictions0,
+        seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchJob:
+    """One program plus the inputs to run through the oracle."""
+
+    program: minic_ast.Program | str
+    inputs: list[bytes]
+    name: str = ""
+    payload: ProgramPayload = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.payload = ProgramPayload.from_program(self.program, name=self.name)
+
+
+class ParallelEngine:
+    """Persistent worker pool executing differential batches.
+
+    The engine returns *raw* per-implementation results; turning them
+    into :class:`~repro.core.compdiff.DiffResult` objects (normalization,
+    checksumming, grouping) is the caller's job so the serial and
+    parallel paths share that code verbatim.
+    """
+
+    def __init__(
+        self,
+        implementations: tuple[CompilerConfig, ...],
+        fuel: int,
+        workers: int,
+        stats: EngineStats | None = None,
+        cache_entries: int = 256,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("ParallelEngine needs workers >= 2; use CompDiff serially")
+        self.implementations = tuple(implementations)
+        self.fuel = fuel
+        self.workers = min(int(workers), MAX_WORKERS)
+        self.stats = stats if stats is not None else EngineStats()
+        self.cache_entries = cache_entries
+        self._pool = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in methods else "spawn"
+            context = multiprocessing.get_context(method)
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(self.cache_entries,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- batching
+
+    def run_batch(self, jobs: list[BatchJob]) -> list[list[dict[str, ExecutionResult]]]:
+        """Execute every job's inputs on every implementation.
+
+        Returns, per job, per input, an implementation-name→result map
+        ordered exactly like ``self.implementations`` — the same order
+        the serial engine produces — with RQ6 timeout retries applied.
+        """
+        if not jobs:
+            return []
+        tasks = self._scatter_tasks(jobs)
+        gathered: list[list[dict[str, ExecutionResult]]] = [
+            [dict() for _ in job.inputs] for job in jobs
+        ]
+        self._dispatch(tasks, gathered)
+        self._retry_partial_timeouts(jobs, gathered)
+        ordered = [
+            [self._in_implementation_order(row) for row in job_rows]
+            for job_rows in gathered
+        ]
+        for job in jobs:
+            self.stats.record_input(len(job.inputs))
+        return ordered
+
+    def run_one(self, payload: ProgramPayload, input_bytes: bytes) -> dict[str, ExecutionResult]:
+        """Fan one input's k executions out across the pool."""
+        job = BatchJob.__new__(BatchJob)
+        job.program = ""
+        job.inputs = [input_bytes]
+        job.name = payload.name
+        job.payload = payload
+        return self.run_batch([job])[0][0]
+
+    # -------------------------------------------------------------- internals
+
+    def _in_implementation_order(
+        self, row: dict[str, ExecutionResult]
+    ) -> dict[str, ExecutionResult]:
+        return {config.name: row[config.name] for config in self.implementations}
+
+    def _scatter_tasks(self, jobs: list[BatchJob]) -> list[_Task]:
+        """Split (job × implementation) work into pool-sized units.
+
+        With many jobs each task covers one job across all k
+        implementations (coarse, low overhead); with few jobs the k
+        implementations are chunked so even a single ``check()`` call
+        spreads across the pool.
+        """
+        chunks_per_job = max(1, math.ceil(self.workers / len(jobs)))
+        chunks_per_job = min(chunks_per_job, len(self.implementations))
+        impl_chunks = _split_evenly(self.implementations, chunks_per_job)
+        tasks = []
+        for job_idx, job in enumerate(jobs):
+            runs = tuple(
+                (input_idx, input_bytes, None)
+                for input_idx, input_bytes in enumerate(job.inputs)
+            )
+            for chunk in impl_chunks:
+                tasks.append(
+                    _Task(
+                        job_idx=job_idx,
+                        payload=job.payload,
+                        configs=chunk,
+                        base_fuel=self.fuel,
+                        runs=runs,
+                    )
+                )
+        return tasks
+
+    def _dispatch(
+        self,
+        tasks: list[_Task],
+        gathered: list[list[dict[str, ExecutionResult]]],
+    ) -> None:
+        pool = self._ensure_pool()
+        pending = [pool.apply_async(_worker_run, (task,)) for task in tasks]
+        for handle in pending:
+            reply: _Reply = handle.get()
+            for input_idx, impl_name, result in reply.results:
+                gathered[reply.job_idx][input_idx][impl_name] = result
+                self.stats.record_exec(impl_name)
+            self.stats.record_cache(
+                reply.cache_hits, reply.cache_misses, reply.cache_evictions
+            )
+            self.stats.record_batch(reply.seconds)
+
+    def _retry_partial_timeouts(
+        self,
+        jobs: list[BatchJob],
+        gathered: list[list[dict[str, ExecutionResult]]],
+    ) -> None:
+        """RQ6, batched: re-run partial-timeout stragglers with the serial
+        engine's exact fuel schedule (×FACTOR per round, up to the cap)."""
+        from repro.core.compdiff import TIMEOUT_MAX_RETRIES, TIMEOUT_RETRY_FACTOR
+
+        total = len(self.implementations)
+        fuel = self.fuel
+        for _ in range(TIMEOUT_MAX_RETRIES):
+            fuel *= TIMEOUT_RETRY_FACTOR
+            retries: list[_Task] = []
+            for job_idx, job in enumerate(jobs):
+                by_impl: dict[str, list[tuple[int, bytes, Optional[int]]]] = {}
+                for input_idx, row in enumerate(gathered[job_idx]):
+                    timed_out = [name for name, result in row.items() if result.timed_out]
+                    if not timed_out or len(timed_out) == total:
+                        continue
+                    for name in timed_out:
+                        by_impl.setdefault(name, []).append(
+                            (input_idx, job.inputs[input_idx], fuel)
+                        )
+                for name, runs in by_impl.items():
+                    config = next(c for c in self.implementations if c.name == name)
+                    retries.append(
+                        _Task(
+                            job_idx=job_idx,
+                            payload=job.payload,
+                            configs=(config,),
+                            base_fuel=self.fuel,
+                            runs=tuple(runs),
+                        )
+                    )
+            if not retries:
+                return
+            self.stats.record_retry(sum(len(task.runs) for task in retries))
+            self._dispatch(retries, gathered)
+
+
+def _split_evenly(
+    items: tuple[CompilerConfig, ...], chunks: int
+) -> list[tuple[CompilerConfig, ...]]:
+    """Split *items* into *chunks* contiguous, size-balanced groups."""
+    quotient, remainder = divmod(len(items), chunks)
+    out = []
+    start = 0
+    for index in range(chunks):
+        size = quotient + (1 if index < remainder else 0)
+        if size == 0:
+            continue
+        out.append(tuple(items[start : start + size]))
+        start += size
+    return out

@@ -1,0 +1,143 @@
+"""Structured execution metrics for the differential engines.
+
+One :class:`EngineStats` instance rides along with every
+:class:`~repro.core.compdiff.CompDiff` (serial or parallel) and records
+the operational signals the ROADMAP's scaling work needs: per-
+implementation execution counts, compile-cache effectiveness, timeout
+retries (the RQ6 path), and batch latency percentiles.  ``snapshot()``
+emits the JSON-shaped schema documented in ``docs/PARALLELISM.md``.
+
+Latency samples are observability only — no experiment verdict or test
+assertion may depend on them (CONTRIBUTING.md rule 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Percentiles reported by ``snapshot()``/``render()``.
+DEFAULT_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class EngineStats:
+    """Counters and latency samples for one engine's lifetime."""
+
+    #: implementation name -> number of binary executions (retries included).
+    exec_counts: dict[str, int] = field(default_factory=dict)
+    #: Inputs pushed through the differential oracle.
+    inputs_checked: int = 0
+    #: Re-executions forced by partial timeouts (RQ6 retry path).
+    timeout_retries: int = 0
+    #: Compile-cache accounting, aggregated across parent and workers.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    #: Scatter batches dispatched (1 per task in parallel mode).
+    batches: int = 0
+    #: Per-batch wall-clock durations in seconds (worker-measured).
+    batch_latencies: list[float] = field(default_factory=list)
+
+    # -------------------------------------------------------------- recording
+
+    def record_exec(self, implementation: str, count: int = 1) -> None:
+        self.exec_counts[implementation] = self.exec_counts.get(implementation, 0) + count
+
+    def record_input(self, count: int = 1) -> None:
+        self.inputs_checked += count
+
+    def record_retry(self, count: int = 1) -> None:
+        self.timeout_retries += count
+
+    def record_cache(self, hits: int = 0, misses: int = 0, evictions: int = 0) -> None:
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self.cache_evictions += evictions
+
+    def record_batch(self, seconds: float) -> None:
+        self.batches += 1
+        self.batch_latencies.append(seconds)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another instance's counters into this one."""
+        for name, count in other.exec_counts.items():
+            self.record_exec(name, count)
+        self.inputs_checked += other.inputs_checked
+        self.timeout_retries += other.timeout_retries
+        self.record_cache(other.cache_hits, other.cache_misses, other.cache_evictions)
+        self.batches += other.batches
+        self.batch_latencies.extend(other.batch_latencies)
+
+    # ---------------------------------------------------------------- queries
+
+    @property
+    def total_executions(self) -> int:
+        return sum(self.exec_counts.values())
+
+    @property
+    def cache_requests(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cache_requests if self.cache_requests else 0.0
+
+    def latency_percentiles(
+        self, percentiles: tuple[float, ...] = DEFAULT_PERCENTILES
+    ) -> dict[float, float]:
+        """Nearest-rank percentiles of the recorded batch latencies."""
+        if not self.batch_latencies:
+            return {p: 0.0 for p in percentiles}
+        ordered = sorted(self.batch_latencies)
+        out = {}
+        for p in percentiles:
+            rank = max(1, min(len(ordered), round(p / 100.0 * len(ordered) + 0.5)))
+            out[p] = ordered[int(rank) - 1]
+        return out
+
+    # --------------------------------------------------------------- emitting
+
+    def snapshot(self) -> dict:
+        """The metrics schema (see docs/PARALLELISM.md §Metrics)."""
+        return {
+            "executions": {
+                "per_implementation": dict(sorted(self.exec_counts.items())),
+                "total": self.total_executions,
+                "inputs_checked": self.inputs_checked,
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
+                "hit_rate": self.cache_hit_rate,
+            },
+            "timeouts": {"retries": self.timeout_retries},
+            "batches": {
+                "dispatched": self.batches,
+                "latency_percentiles": {
+                    f"p{p:g}": value for p, value in self.latency_percentiles().items()
+                },
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable one-screen summary."""
+        snap = self.snapshot()
+        lines = [
+            f"executions: {snap['executions']['total']} "
+            f"over {snap['executions']['inputs_checked']} inputs",
+        ]
+        for name, count in snap["executions"]["per_implementation"].items():
+            lines.append(f"  {name:<12} {count}")
+        cache = snap["cache"]
+        lines.append(
+            f"compile cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"({100 * cache['hit_rate']:.1f}% hit rate, {cache['evictions']} evicted)"
+        )
+        lines.append(f"timeout retries: {snap['timeouts']['retries']}")
+        percentiles = snap["batches"]["latency_percentiles"]
+        lines.append(
+            f"batches: {snap['batches']['dispatched']} dispatched; latency "
+            + " ".join(f"{k}={1000 * v:.2f}ms" for k, v in percentiles.items())
+        )
+        return "\n".join(lines)

@@ -137,6 +137,26 @@ class TestCompDiffRunner:
         names = sorted(name for group in groups for name in group)
         assert names == sorted(c.name for c in DEFAULT_IMPLEMENTATIONS)
 
+    def test_groups_tie_ordering_is_deterministic(self):
+        """Equal-size groups order lexicographically by their first member
+        (after size-descending), independent of checksum insertion order."""
+        diff = DiffResult(
+            input=b"",
+            observations={},
+            checksums={
+                # Two singleton groups and two pair groups, inserted in an
+                # order chosen to disagree with the required output order.
+                "zeta": 1, "alpha": 2, "mid-b": 3, "mid-a": 3, "big-c": 4,
+                "big-a": 4, "big-b": 4,
+            },
+        )
+        assert diff.groups() == [
+            ["big-c", "big-a", "big-b"],  # size 3 first; members keep insertion order
+            ["mid-b", "mid-a"],
+            ["alpha"],                    # size-1 ties: "alpha" < "zeta"
+            ["zeta"],
+        ]
+
     def test_divergent_for_subset(self):
         engine = CompDiff()
         outcome = engine.check_source(UNSTABLE, [b""])

@@ -1,0 +1,152 @@
+"""Compile-cache behavior: accounting, key stability, eviction, isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import implementation
+from repro.compiler.implementations import CompilerConfig
+from repro.core.compdiff import CompDiff
+from repro.minic import load
+from repro.parallel import CompileCache, cache_key, config_fingerprint, program_fingerprint
+from repro.vm import ForkServer
+
+SOURCE = """
+int counter;
+int main(void) {
+    counter = counter + 1;
+    printf("count=%d\\n", counter);
+    return 0;
+}
+"""
+
+OTHER_SOURCE = "int main(void) { printf(\"other\\n\"); return 0; }"
+
+
+# ----------------------------------------------------------- hit/miss counts
+
+
+def test_cache_hit_and_miss_accounting():
+    cache = CompileCache()
+    program = load(SOURCE)
+    gcc = implementation("gcc-O2")
+    first = cache.compile(program, gcc)
+    assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+    second = cache.compile(program, gcc)
+    assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+    assert second is first
+    # A different implementation is a different artifact.
+    cache.compile(program, implementation("clang-O2"))
+    assert (cache.stats.hits, cache.stats.misses) == (1, 2)
+    assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+def test_build_options_are_part_of_the_key():
+    cache = CompileCache()
+    program = load(SOURCE)
+    gcc = implementation("gcc-O0")
+    plain = cache.compile(program, gcc)
+    instrumented = cache.compile(program, gcc, instrument_coverage=True)
+    sanitized = cache.compile(program, gcc, sanitizer="asan")
+    assert plain is not instrumented and plain is not sanitized
+    assert cache.stats.misses == 3
+    assert cache.compile(program, gcc, instrument_coverage=True) is instrumented
+
+
+# ------------------------------------------------------------- key stability
+
+
+def test_key_stable_under_ast_reload():
+    """Two load() calls on identical source yield distinct AST objects with
+    distinct checker symbol uids — but the same content-addressed key."""
+    gcc = implementation("gcc-O1")
+    first, second = load(SOURCE), load(SOURCE)
+    assert first is not second
+    assert program_fingerprint(first) == program_fingerprint(second)
+    assert cache_key(first, gcc) == cache_key(second, gcc)
+
+
+def test_key_distinguishes_programs_and_knobs():
+    gcc = implementation("gcc-O1")
+    assert program_fingerprint(load(SOURCE)) != program_fingerprint(load(OTHER_SOURCE))
+    # Same name, one knob flipped: the fingerprint must not trust the name.
+    tweaked = CompilerConfig(**{**gcc.__dict__, "stack_gap": gcc.stack_gap + 4, "extra": {}})
+    assert tweaked.name == gcc.name
+    assert config_fingerprint(tweaked) != config_fingerprint(gcc)
+
+
+def test_source_and_reload_hits_through_cache():
+    """Reloading identical source and compiling again is a cache hit."""
+    cache = CompileCache()
+    gcc = implementation("gcc-O3")
+    cache.compile(load(SOURCE), gcc)
+    again = cache.compile(load(SOURCE), gcc)
+    assert cache.stats.hits == 1
+    assert again.config is gcc
+
+
+# ----------------------------------------------------------------- eviction
+
+
+def test_lru_eviction_at_size_cap():
+    cache = CompileCache(max_entries=2)
+    program = load(SOURCE)
+    o0, o1, o2 = (implementation(name) for name in ("gcc-O0", "gcc-O1", "gcc-O2"))
+    cache.compile(program, o0)
+    cache.compile(program, o1)
+    # Touch O0 so O1 becomes least recently used.
+    cache.compile(program, o0)
+    assert cache.stats.hits == 1
+    cache.compile(program, o2)
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    # O1 was evicted: compiling it again is a miss, and its reinsertion
+    # pushes out O0 (least recently used once O2 arrived).
+    misses_before = cache.stats.misses
+    cache.compile(program, o1)
+    assert cache.stats.misses == misses_before + 1
+    assert cache.stats.evictions == 2
+
+
+# --------------------------------------------------------- state isolation
+
+
+def test_cached_binary_never_leaks_state_between_runs():
+    """A cached binary is shared between fork servers, but every run gets a
+    fresh memory image: the global counter restarts at zero each run."""
+    cache = CompileCache()
+    program = load(SOURCE)
+    binary = cache.compile(program, implementation("gcc-O2"))
+    server = ForkServer(binary)
+    runs = [server.run(b"") for _ in range(3)]
+    assert [r.stdout for r in runs] == [b"count=1\n"] * 3
+    # A second server over the very same cached binary starts fresh too.
+    other = ForkServer(cache.compile(program, implementation("gcc-O2")))
+    assert other.run(b"").stdout == b"count=1\n"
+
+
+def test_compdiff_verdicts_identical_with_and_without_cache():
+    inputs = [b"", b"x"]
+    cold = CompDiff().check_source(SOURCE, inputs)
+    cache = CompileCache()
+    warm_engine = CompDiff(compile_cache=cache)
+    warm1 = warm_engine.check_source(SOURCE, inputs)
+    warm2 = warm_engine.check_source(SOURCE, inputs)  # all compiles cached
+    for diff_cold, diff_w1, diff_w2 in zip(cold.diffs, warm1.diffs, warm2.diffs):
+        assert diff_cold.checksums == diff_w1.checksums == diff_w2.checksums
+        assert diff_cold.observations == diff_w1.observations == diff_w2.observations
+    assert warm_engine.stats.cache_hits > 0
+    assert warm_engine.stats.cache_hit_rate == 0.5
+
+
+def test_engine_stats_attribute_shared_cache_activity():
+    """Two engines sharing one cache each see only their own hit/miss deltas."""
+    cache = CompileCache()
+    first = CompDiff(compile_cache=cache)
+    second = CompDiff(compile_cache=cache)
+    first.check_source(SOURCE, [b""])
+    second.check_source(SOURCE, [b""])
+    assert first.stats.cache_misses == len(first.implementations)
+    assert first.stats.cache_hits == 0
+    assert second.stats.cache_hits == len(second.implementations)
+    assert second.stats.cache_misses == 0

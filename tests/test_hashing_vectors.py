@@ -1,0 +1,73 @@
+"""Known-answer tests for the MurmurHash3_x86_32 port.
+
+The whole differential oracle keys on :func:`repro.core.hashing.murmur3_32`
+(AFL++'s output checksum, paper §3.2), so the port is pinned against the
+public-domain reference implementation's verification vectors: empty
+input under multiple seeds, every sub-4-byte tail length, 4-byte blocks,
+multi-block inputs, and non-ASCII bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import murmur3_32, output_checksum
+
+#: (data, seed, MurmurHash3_x86_32 reference digest).
+REFERENCE_VECTORS = [
+    # Empty input: the seed passes straight into finalization.
+    (b"", 0x00000000, 0x00000000),
+    (b"", 0x00000001, 0x514E28B7),
+    (b"", 0xFFFFFFFF, 0x81F16F39),
+    # A full zero block still mixes (k*c1 rotl k*c2 over zeros is zero,
+    # but the length xor is not).
+    (b"\x00\x00\x00\x00", 0x00000000, 0x2362F9DE),
+    # Tail handling: 1-, 2-, and 3-byte remainders.
+    (b"a", 0x9747B28C, 0x7FA09EA6),
+    (b"aa", 0x9747B28C, 0x5D211726),
+    (b"aaa", 0x9747B28C, 0x283E0130),
+    (b"aaaa", 0x9747B28C, 0x5A97808A),
+    (b"ab", 0x9747B28C, 0x74875592),
+    (b"abc", 0x9747B28C, 0xC84A62DD),
+    (b"abcd", 0x9747B28C, 0xF0478627),
+    # Block + tail combinations with seed 0.
+    (b"abc", 0x00000000, 0xB3DD93FA),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq", 0x00000000, 0xEE925B90),
+    # Longer mixed-content inputs.
+    (b"test", 0x9747B28C, 0x704B81DC),
+    (b"Hello, world!", 0x9747B28C, 0x24884CBA),
+    (b"The quick brown fox jumps over the lazy dog", 0x9747B28C, 0x2FA826CD),
+    # Non-ASCII bytes exercise the unsigned byte handling in the tail.
+    ("ππππππππ".encode("utf-8"), 0x9747B28C, 0xD58063C1),
+    # 64 full blocks, no tail.
+    (b"a" * 256, 0x9747B28C, 0x37405BDC),
+]
+
+
+@pytest.mark.parametrize("data,seed,expected", REFERENCE_VECTORS)
+def test_murmur3_reference_vector(data, seed, expected):
+    assert murmur3_32(data, seed) == expected
+
+
+def test_murmur3_result_is_32_bit():
+    for data, seed, _ in REFERENCE_VECTORS:
+        assert 0 <= murmur3_32(data, seed) <= 0xFFFFFFFF
+
+
+def test_output_checksum_framing_matches_murmur():
+    """output_checksum is murmur3 over the documented framed blob."""
+    stdout, stderr, exit_code = b"out", b"err", 3
+    blob = stdout + b"\x00--stderr--\x00" + stderr + exit_code.to_bytes(4, "little", signed=True)
+    assert output_checksum(stdout, stderr, exit_code) == murmur3_32(blob, seed=0xA5B35705)
+
+
+def test_output_checksum_distinguishes_channels():
+    """Moving bytes between stdout and stderr must change the checksum —
+    the separator frame exists precisely so ab| != a|b."""
+    assert output_checksum(b"ab", b"", 0) != output_checksum(b"a", b"b", 0)
+    assert output_checksum(b"", b"ab", 0) != output_checksum(b"ab", b"", 0)
+
+
+def test_output_checksum_sees_exit_code():
+    assert output_checksum(b"x", b"", 0) != output_checksum(b"x", b"", 1)
+    assert output_checksum(b"x", b"", -1) != output_checksum(b"x", b"", 255)
