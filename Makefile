@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-verified bench bench-quick bench-scaling examples clean
+.PHONY: install test test-fast test-verified bench bench-quick bench-scaling analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,6 +28,10 @@ bench-quick:
 # Parallel-engine speedup curve (1/2/4/8 workers) + verdict-equality check.
 bench-scaling:
 	$(PYTHON) benchmarks/bench_parallel_scaling.py
+
+# UB-oracle triage precision (Juliet + real-world) and analysis-boost curve.
+analyze:
+	$(PYTHON) benchmarks/bench_analysis_triage.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -7,6 +7,7 @@ Commands:
 * ``fuzz FILE``      — a CompDiff-AFL++ campaign;
 * ``localize FILE``  — trace-alignment fault localization;
 * ``minimize FILE``  — shrink a diff-triggering input (afl-tmin style);
+* ``analyze FILE``   — IR-level UB findings plus divergence triage;
 * ``impls``          — list the compiler implementations;
 * ``targets``        — print the Table 4 target inventory.
 """
@@ -41,9 +42,18 @@ def _read_input(args: argparse.Namespace) -> bytes:
 
 
 def _add_input_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--input", default="", help="input as a latin-1 string")
-    parser.add_argument("--input-hex", default="", help="input as hex bytes")
-    parser.add_argument("--input-file", default="", help="read input from a file")
+    parser.add_argument("--input", default=None, help="input as a latin-1 string")
+    parser.add_argument("--input-hex", default=None, help="input as hex bytes")
+    parser.add_argument("--input-file", default=None, help="read input from a file")
+
+
+def _input_given(args: argparse.Namespace) -> bool:
+    """True when any input flag was passed — `--input ""` counts."""
+    return (
+        args.input is not None
+        or args.input_hex is not None
+        or args.input_file is not None
+    )
 
 
 def _select_impls(names: str | None):
@@ -84,7 +94,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_fuzz(args: argparse.Namespace) -> int:
     """`repro fuzz`: a CompDiff-AFL++ campaign with stats output."""
     source = open(args.file).read()
-    seeds = [_read_input(args)] if (args.input or args.input_hex or args.input_file) else [b""]
+    seeds = [_read_input(args)] if _input_given(args) else [b""]
     options = FuzzerOptions(
         max_executions=args.execs,
         compdiff_stride=args.stride,
@@ -129,6 +139,105 @@ def cmd_minimize(args: argparse.Namespace) -> int:
     print(f"reduction: {100 * result.reduction:.0f}% "
           f"in {result.executions} oracle executions")
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """`repro analyze`: IR-level UB findings, plus divergence triage.
+
+    Without an input, reports the static findings.  With an input, also
+    localizes the divergence between ``--impl-a`` and ``--impl-b`` on
+    that input and labels it with a Table 5 category (exit 1 when the
+    input diverges).  ``--json`` emits the schema documented in
+    docs/ANALYSIS.md.
+    """
+    import json
+
+    from repro.minic import load
+    from repro.static_analysis import UBOracle
+    from repro.static_analysis.triage import triage_divergence
+
+    source = open(args.file).read()
+    program = load(source)
+    report = UBOracle().report(program, name=args.file)
+    localization = None
+    label = None
+    divergent = False
+    if _input_given(args):
+        input_bytes = _read_input(args)
+        localization = localize(program, input_bytes, args.impl_a, args.impl_b)
+        # The trace alignment alone cannot see value-only divergences
+        # (identical paths, different output), so the divergence verdict
+        # comes from the differential oracle itself.
+        engine = CompDiff(
+            implementations=(
+                implementation(args.impl_a),
+                implementation(args.impl_b),
+            )
+        )
+        divergent = engine.check(program, [input_bytes], name=args.file).divergent
+        if divergent:
+            label = triage_divergence(report.findings, localization, window=args.window)
+    if args.json:
+        payload = {
+            "file": args.file,
+            "tool": "ub-oracle",
+            "converged": report.converged,
+            "findings": [
+                {
+                    "checker": f.checker,
+                    "category": f.category,
+                    "confidence": f.confidence,
+                    "line": f.line,
+                    "function": f.function,
+                    "block": f.block,
+                    "message": f.message,
+                }
+                for f in report.findings
+            ],
+        }
+        if localization is not None:
+            payload["triage"] = {
+                "impl_a": localization.impl_a,
+                "impl_b": localization.impl_b,
+                "diverged": divergent,
+                "last_common_line": localization.last_common_line,
+                "next_line_a": localization.next_line_a,
+                "next_line_b": localization.next_line_b,
+            }
+            if label is not None:
+                payload["triage"].update(
+                    {
+                        "category": label.category,
+                        "confidence": label.confidence,
+                        "line": label.line,
+                        "rationale": label.rationale,
+                        "explained": label.explained,
+                    }
+                )
+        print(json.dumps(payload, indent=2))
+    else:
+        confirmed = sum(1 for f in report.findings if f.confidence == "confirmed")
+        print(
+            f"ub-oracle: {len(report.findings)} findings "
+            f"({confirmed} confirmed) in {args.file}"
+        )
+        for f in report.findings:
+            print(
+                f"  line {f.line:>4}  {f.category:<10} {f.confidence:<9} "
+                f"{f.checker:<16} {f.message}"
+            )
+        if not report.converged:
+            print(f"  warning: solver budget exhausted in: {report.nonconverged}")
+        if localization is not None:
+            if label is None:
+                print(f"input: no divergence between "
+                      f"{localization.impl_a} and {localization.impl_b}")
+            else:
+                print(f"divergence at line {label.line} "
+                      f"({localization.impl_a} vs {localization.impl_b}): "
+                      f"{label.category} [{label.confidence}]")
+                print(f"  {label.rationale}")
+    return 1 if label is not None else 0
 
 
 def cmd_ir(args: argparse.Namespace) -> int:
@@ -216,6 +325,16 @@ def build_parser() -> argparse.ArgumentParser:
     mini.add_argument("file")
     _add_input_flags(mini)
     mini.set_defaults(func=cmd_minimize)
+
+    analyze = sub.add_parser("analyze", help="IR-level UB findings + divergence triage")
+    analyze.add_argument("file")
+    analyze.add_argument("--json", action="store_true", help="machine-readable report")
+    analyze.add_argument("--impl-a", default="gcc-O0", choices=implementation_names())
+    analyze.add_argument("--impl-b", default="gcc-O2", choices=implementation_names())
+    analyze.add_argument("--window", type=int, default=2,
+                         help="max line distance between divergence site and finding")
+    _add_input_flags(analyze)
+    analyze.set_defaults(func=cmd_analyze)
 
     ir = sub.add_parser("ir", help="dump verified IR for one implementation")
     ir.add_argument("file")

@@ -6,9 +6,21 @@ One module per paper artifact family:
 * :mod:`repro.evaluation.subset_eval` — Figures 1 and 2;
 * :mod:`repro.evaluation.realworld_eval` — Tables 5 and 6 (and Table 4's
   target inventory via :mod:`repro.targets`).
+
+``evaluate_juliet(..., include_triage=True)`` and
+``evaluate_realworld(..., include_triage=True)`` additionally label every
+divergence with a Table 5 root-cause category via the IR-level UB oracle
+(:mod:`repro.static_analysis.ub_oracle`); render the extra data with
+:func:`render_triage_confusion` / :func:`render_triage`.
 """
 
-from repro.evaluation.juliet_eval import JulietEvaluation, evaluate_juliet, render_table2, render_table3
+from repro.evaluation.juliet_eval import (
+    JulietEvaluation,
+    evaluate_juliet,
+    render_table2,
+    render_table3,
+    render_triage_confusion,
+)
 from repro.evaluation.subset_eval import figure_from_vectors, render_figure
 from repro.evaluation.realworld_eval import (
     RealWorldEvaluation,
@@ -16,6 +28,7 @@ from repro.evaluation.realworld_eval import (
     render_table4,
     render_table5,
     render_table6,
+    render_triage,
 )
 
 __all__ = [
@@ -30,4 +43,6 @@ __all__ = [
     "render_table4",
     "render_table5",
     "render_table6",
+    "render_triage",
+    "render_triage_confusion",
 ]

@@ -17,10 +17,28 @@ from repro.juliet.suite import JulietSuite
 from repro.minic import load
 from repro.parallel.cache import CompileCache
 from repro.sanitizers import all_sanitizers
-from repro.static_analysis import all_static_tools
+from repro.static_analysis import UBOracle, all_static_tools
+from repro.static_analysis.triage import TABLE5_CATEGORIES, TriageLabel, triage_diff
 
 STATIC_TOOLS = ("coverity", "cppcheck", "infer")
 SANITIZERS = ("asan", "ubsan", "msan")
+
+#: Table 5 categories the triage layer may legitimately assign per CWE
+#: group.  Some groups admit two labels: e.g. an overlapping ``memcpy``
+#: (CWE-475) is spec misuse with no single UB instruction, so both a
+#: MemError match and the Misc fallback are faithful.
+GROUP_EXPECTED_CATEGORY: dict[str, set[str]] = {
+    "memory_error": {"MemError"},
+    "api_ub": {"Misc", "MemError"},
+    "bad_struct_ptr": {"MemError", "Misc"},
+    "bad_func_call": {"Misc"},
+    "ub": {"IntError", "Misc"},
+    "integer_error": {"IntError"},
+    "div_zero": {"IntError"},
+    "null_deref": {"MemError"},
+    "uninit": {"UninitMem"},
+    "ptr_sub": {"PointerCmp", "MemError"},
+}
 
 
 @dataclass
@@ -57,6 +75,9 @@ class JulietEvaluation:
     implementations: tuple[str, ...] = tuple(c.name for c in DEFAULT_IMPLEMENTATIONS)
     #: Total CompDiff false positives observed on good variants (Finding 5).
     compdiff_false_positives: int = 0
+    #: case uid -> triage label for the first divergent diff (only when
+    #: the evaluation ran with ``include_triage=True``).
+    triage_labels: dict[str, TriageLabel] = field(default_factory=dict)
 
     def counts(self, group: str, tool: str) -> ToolCounts:
         """The (group, tool) cell, created on first access."""
@@ -69,6 +90,7 @@ def evaluate_juliet(
     include_static: bool = True,
     include_sanitizers: bool = True,
     include_good_variants: bool = True,
+    include_triage: bool = False,
     workers: int = 1,
     compile_cache: CompileCache | None = None,
 ) -> JulietEvaluation:
@@ -77,13 +99,15 @@ def evaluate_juliet(
     ``workers=N`` scatters the CompDiff checks (the wall-clock hot path)
     across a :mod:`repro.parallel` worker pool with identical verdicts;
     the sanitizer/static tool passes stay in-process either way.
+    ``include_triage=True`` additionally runs the UB oracle on every
+    diverging bad variant and stores a Table 5 label per case uid.
     """
     evaluation = JulietEvaluation(suite=suite)
     engine = CompDiff(fuel=fuel, workers=workers, compile_cache=compile_cache)
     try:
         return _evaluate_juliet(
             evaluation, engine, suite, include_static, include_sanitizers,
-            include_good_variants,
+            include_good_variants, include_triage, fuel,
         )
     finally:
         engine.close()
@@ -96,14 +120,17 @@ def _evaluate_juliet(
     include_static: bool,
     include_sanitizers: bool,
     include_good_variants: bool,
+    include_triage: bool = False,
+    fuel: int = 200_000,
 ) -> JulietEvaluation:
     sanitizers = all_sanitizers() if include_sanitizers else []
     static_tools = all_static_tools() if include_static else []
+    oracle = UBOracle() if include_triage else None
     # The tool passes need parsed ASTs in this process; the differential
     # checks only need them where they compile, so in pure-CompDiff mode
     # (the scaling benchmarks) raw sources go straight to the engine and
     # parsing happens in the workers too.
-    need_ast = bool(sanitizers or static_tools)
+    need_ast = bool(sanitizers or static_tools or include_triage)
     jobs = []
     for case in suite.cases:
         bad = load(case.bad_source) if need_ast else case.bad_source
@@ -134,6 +161,12 @@ def _evaluate_juliet(
             evaluation.bug_vectors[case.uid] = [
                 dict(diff.checksums) for diff in outcome.diffs if diff.divergent
             ]
+            if oracle is not None and bad is not None:
+                diff = next(d for d in outcome.diffs if d.divergent)
+                findings = oracle.analyze(bad)
+                evaluation.triage_labels[case.uid] = triage_diff(
+                    bad, diff, findings, fuel=fuel
+                )
         if good_outcome is not None:
             if good_outcome.divergent:
                 counts.false_positives += 1
@@ -214,4 +247,37 @@ def render_table3(evaluation: JulietEvaluation) -> str:
         f"CompDiff false positives on good variants: "
         f"{evaluation.compdiff_false_positives} (Finding 5 expects 0)"
     )
+    return "\n".join(lines)
+
+
+def render_triage_confusion(evaluation: JulietEvaluation) -> str:
+    """Confusion matrix: CWE group (ground truth) × triaged category.
+
+    Rendered only from evaluations run with ``include_triage=True``; the
+    trailing agreement line scores labels against
+    :data:`GROUP_EXPECTED_CATEGORY`.
+    """
+    group_of = {case.uid: case.group for case in evaluation.suite.cases}
+    matrix: dict[str, dict[str, int]] = {}
+    agreed = 0
+    for uid, label in evaluation.triage_labels.items():
+        group = group_of.get(uid, "?")
+        matrix.setdefault(group, {})
+        matrix[group][label.category] = matrix[group].get(label.category, 0) + 1
+        if label.category in GROUP_EXPECTED_CATEGORY.get(group, set()):
+            agreed += 1
+    header = f"{'Group':<22} " + " ".join(f"{c:>10}" for c in TABLE5_CATEGORIES)
+    lines = [header, "-" * len(header)]
+    for group in GROUPS:
+        row = matrix.get(group)
+        if row is None:
+            continue
+        lines.append(
+            f"{GROUP_LABELS[group]:<22} "
+            + " ".join(f"{row.get(c, 0):>10}" for c in TABLE5_CATEGORIES)
+        )
+    total = len(evaluation.triage_labels)
+    pct = 100 * agreed / total if total else 0.0
+    lines.append("-" * len(header))
+    lines.append(f"Triage agreement with CWE ground truth: {agreed}/{total} ({pct:.0f}%)")
     return "\n".join(lines)

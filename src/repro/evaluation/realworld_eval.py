@@ -13,7 +13,10 @@ from dataclasses import dataclass, field
 
 from repro.core.normalize import OutputNormalizer
 from repro.fuzzing import CampaignResult, CompDiffFuzzer, FuzzerOptions
+from repro.minic import load
 from repro.parallel.cache import CompileCache
+from repro.static_analysis import UBOracle
+from repro.static_analysis.triage import TriageLabel, triage_diff
 from repro.targets import SeededBug, Target, build_all_targets
 
 CATEGORIES = ("EvalOrder", "UninitMem", "IntError", "MemError", "PointerCmp", "LINE", "Misc")
@@ -28,6 +31,8 @@ class TargetOutcome:
     campaign: CampaignResult
     #: site -> set of sanitizer names whose campaign reported it.
     sanitizer_hits: dict[int, set[str]] = field(default_factory=dict)
+    #: One Table 5 label per campaign diff (``include_triage=True`` runs).
+    triage_labels: list[TriageLabel] = field(default_factory=list)
 
 
 @dataclass
@@ -83,6 +88,7 @@ def evaluate_realworld(
     fuel: int = 300_000,
     rng_seed: int = 1,
     include_sanitizers: bool = True,
+    include_triage: bool = False,
     workers: int = 1,
     compile_cache: CompileCache | None = None,
 ) -> RealWorldEvaluation:
@@ -91,6 +97,8 @@ def evaluate_realworld(
     ``workers=N`` fans each campaign's oracle executions across a worker
     pool; one compile cache is shared by every campaign so each target's
     binaries are built once regardless of how many tool campaigns run.
+    ``include_triage=True`` runs the UB oracle once per target and labels
+    every divergence-triggering input with a Table 5 category.
     """
     if targets is None:
         targets = build_all_targets()
@@ -113,6 +121,13 @@ def evaluate_realworld(
             if not evaluation.implementations:
                 evaluation.implementations = fuzzer.implementations
         outcome = TargetOutcome(target=target, campaign=campaign)
+        if include_triage and campaign.diffs:
+            program = load(target.source)
+            findings = UBOracle().analyze(program)
+            outcome.triage_labels = [
+                triage_diff(program, diff, findings, fuel=fuel)
+                for diff in campaign.diffs
+            ]
         if include_sanitizers:
             for sanitizer in SANITIZERS:
                 san_options = FuzzerOptions(
@@ -176,6 +191,55 @@ def render_table5(evaluation: RealWorldEvaluation) -> str:
             + " ".join(f"{per_category[c]:>10}" for c in CATEGORIES)
             + f" {total:>7}"
         )
+    labels = [
+        label for outcome in evaluation.outcomes for label in outcome.triage_labels
+    ]
+    if labels:
+        # Extra row only for include_triage=True runs: divergent *inputs*
+        # per triaged root-cause category (an input may repeat a bug).
+        per_category = {c: 0 for c in CATEGORIES}
+        for label in labels:
+            per_category[label.category] = per_category.get(label.category, 0) + 1
+        lines.append(
+            f"{'Triaged':<10} "
+            + " ".join(f"{per_category[c]:>10}" for c in CATEGORIES)
+            + f" {len(labels):>7}"
+        )
+    return "\n".join(lines)
+
+
+def render_triage(evaluation: RealWorldEvaluation) -> str:
+    """Per-target triage summary for ``include_triage=True`` runs.
+
+    One row per target: how many divergence-triggering inputs the
+    campaign found, how many the static oracle explained (matched to a
+    nearby UB finding), and the category histogram.
+    """
+    lines = [
+        f"{'Target':<14} {'Diffs':>6} {'Explained':>10}  Categories"
+    ]
+    total = explained_total = 0
+    for outcome in evaluation.outcomes:
+        labels = outcome.triage_labels
+        if not labels:
+            continue
+        explained = sum(1 for label in labels if label.explained)
+        total += len(labels)
+        explained_total += explained
+        histogram: dict[str, int] = {}
+        for label in labels:
+            histogram[label.category] = histogram.get(label.category, 0) + 1
+        cats = ", ".join(
+            f"{c}:{histogram[c]}" for c in CATEGORIES if histogram.get(c)
+        )
+        lines.append(
+            f"{outcome.target.name:<14} {len(labels):>6} {explained:>10}  {cats}"
+        )
+    pct = 100 * explained_total / total if total else 0.0
+    lines.append(
+        f"{'Total':<14} {total:>6} {explained_total:>10}  "
+        f"({pct:.0f}% of divergences explained by a static finding)"
+    )
     return "\n".join(lines)
 
 

@@ -65,6 +65,11 @@ class FuzzerOptions:
     #: Content-addressed compile cache shared across campaigns, so
     #: repeated builds of the same target skip the compiler entirely.
     compile_cache: CompileCache | None = None
+    #: Analysis-directed fuzzing (opt-in): multiply the energy of seeds
+    #: whose coverage touches a block the IR-level UB oracle flagged.
+    #: 1.0 disables it.  This only biases seed scheduling; the CompDiff
+    #: verdict for any given input is unaffected.
+    analysis_boost: float = 1.0
 
 
 @dataclass
@@ -149,9 +154,42 @@ class CompDiffFuzzer:
             fuzz_binary.module.magic_constants, fuzz_binary.module.magic_strings
         )
         self.mutator = MutationEngine(self.rng, dictionary)
-        self.pool = SeedPool(self.rng)
+        self.pool = SeedPool(self.rng, analysis_boost=self.options.analysis_boost)
         self._initial_seeds = [bytes(seed) for seed in initial_seeds] or [b""]
         self._seen_signatures: set[DivergenceSignature] = set()
+        #: Coverage edges whose target block carries a static UB finding.
+        self._flagged_edges: frozenset[int] = frozenset()
+        if self.options.analysis_boost != 1.0:
+            self._flagged_edges = self._compute_flagged_edges(fuzz_binary.module)
+
+    def _compute_flagged_edges(self, module) -> frozenset[int]:
+        """Edges that enter a block the UB oracle flags, as bitmap indices.
+
+        The checkers run on the *fuzz binary's own* lowering, so block
+        labels line up with the coverage ids exactly.  A block can be
+        entered from any predecessor (including inter-procedurally via
+        calls, where the previous location is the callee's last block),
+        so every (possible-prev, flagged-block) pair is folded through
+        the AFL edge hash — a cheap over-approximation that errs toward
+        boosting.
+        """
+        from repro.static_analysis.ub_oracle import analyze_modules, flagged_blocks
+
+        report = analyze_modules(module)
+        ids = self.fuzz_server.layout.label_ids
+        flagged_ids = [
+            ids[key] for key in flagged_blocks(report.findings) if key in ids
+        ]
+        prevs = [0] + list(ids.values())  # 0 = program entry
+        size = self.coverage.size
+        return frozenset(
+            ((prev >> 1) ^ cur) % size for cur in flagged_ids for prev in prevs
+        )
+
+    def _trace_touches_flagged(self) -> bool:
+        return bool(self._flagged_edges) and not self._flagged_edges.isdisjoint(
+            self.coverage.trace
+        )
 
     # ----------------------------------------------------------------- loop
 
@@ -161,7 +199,7 @@ class CompDiffFuzzer:
         seen_diff_inputs: set[bytes] = set()
         for seed in self._initial_seeds:
             self._execute_and_classify(seed, result, seen_diff_inputs, force_oracle=True)
-            self.pool.add(seed)
+            self.pool.add(seed, flagged=self._trace_touches_flagged())
         generated = 0
         while result.executions < self.options.max_executions:
             parent = self.pool.select()
@@ -202,7 +240,11 @@ class CompDiffFuzzer:
             if len(result.crashes) < self.options.max_saved_crashes:
                 result.crashes.append((candidate, execution))
         elif self.coverage.has_new_bits():
-            self.pool.add(candidate, exec_instructions=execution.executed_instructions)
+            self.pool.add(
+                candidate,
+                exec_instructions=execution.executed_instructions,
+                flagged=self._trace_touches_flagged(),
+            )
         # Lines 9-12: the CompDiff oracle.
         if self.compdiff is None or not force_oracle:
             return
@@ -222,7 +264,9 @@ class CompDiffFuzzer:
                 signature = signature_of(diff)
                 if signature not in self._seen_signatures:
                     self._seen_signatures.add(signature)
-                    self.pool.add(candidate, favored=True)
+                    self.pool.add(
+                        candidate, favored=True, flagged=self._trace_touches_flagged()
+                    )
 
     # -------------------------------------------------------------- helpers
 

@@ -16,6 +16,9 @@ class Seed:
     #: Whether the seed produced new coverage when found (favored).
     favored: bool = True
     exec_instructions: int = 0
+    #: Whether the seed's trace touched a statically-flagged block
+    #: (analysis-directed fuzzing; scheduling hint only).
+    flagged: bool = False
 
 
 @dataclass
@@ -28,10 +31,19 @@ class SeedPool:
 
     rng: random.Random
     seeds: list[Seed] = field(default_factory=list)
+    #: Energy multiplier for seeds covering statically-flagged blocks
+    #: (1.0 = off).  Affects scheduling only — never the oracle verdicts.
+    analysis_boost: float = 1.0
     _next_index: int = 0
     _dedupe: set[bytes] = field(default_factory=set)
 
-    def add(self, data: bytes, exec_instructions: int = 0, favored: bool = True) -> Seed | None:
+    def add(
+        self,
+        data: bytes,
+        exec_instructions: int = 0,
+        favored: bool = True,
+        flagged: bool = False,
+    ) -> Seed | None:
         if data in self._dedupe:
             return None
         self._dedupe.add(data)
@@ -40,6 +52,7 @@ class SeedPool:
             index=self._next_index,
             favored=favored,
             exec_instructions=exec_instructions,
+            flagged=flagged,
         )
         self._next_index += 1
         self.seeds.append(seed)
@@ -68,6 +81,8 @@ class SeedPool:
         energy = 1.0
         if seed.favored:
             energy *= 4.0
+        if seed.flagged:
+            energy *= self.analysis_boost
         # Prefer less-fuzzed seeds; decay with attention already spent.
         energy /= 1.0 + seed.fuzzed / 32.0
         # Prefer small inputs (faster, denser mutations).

@@ -1,0 +1,62 @@
+"""Reusable dataflow analyses over :mod:`repro.ir` CFGs.
+
+The package splits into one framework module and three concrete clients:
+
+* :mod:`~repro.ir.dataflow.framework` — dominators plus the iterative
+  worklist solver (:func:`solve`) parameterized by a
+  :class:`DataflowAnalysis`;
+* :mod:`~repro.ir.dataflow.pointsto` — flow-insensitive register
+  points-to facts shared by the flow-sensitive analyses;
+* :mod:`~repro.ir.dataflow.reaching` — initialization state /
+  uninitialized-use detection;
+* :mod:`~repro.ir.dataflow.intervals` — signed-integer intervals with
+  overflow, UB-shift, and zero-divisor checks;
+* :mod:`~repro.ir.dataflow.provenance` — pointer null/OOB/liveness
+  tiers and cross-object pointer comparisons.
+
+`repro.static_analysis.ub_oracle` packages the three clients as a
+static "tool" whose findings feed divergence triage and directed
+fuzzing.
+"""
+
+from repro.ir.dataflow.framework import (
+    MAX_VISITS_PER_BLOCK,
+    DataflowAnalysis,
+    DataflowResult,
+    dominates,
+    dominators,
+    immediate_dominators,
+    loop_headers,
+    solve,
+)
+from repro.ir.dataflow.intervals import IntervalAnalysis, IntFinding, find_integer_ub
+from repro.ir.dataflow.pointsto import MemObject, Pointer, PointsTo
+from repro.ir.dataflow.provenance import (
+    ProvenanceAnalysis,
+    PtrFinding,
+    find_pointer_ub,
+)
+from repro.ir.dataflow.reaching import InitAnalysis, UninitUse, find_uninit_uses
+
+__all__ = [
+    "MAX_VISITS_PER_BLOCK",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "dominates",
+    "dominators",
+    "immediate_dominators",
+    "loop_headers",
+    "solve",
+    "IntervalAnalysis",
+    "IntFinding",
+    "find_integer_ub",
+    "MemObject",
+    "Pointer",
+    "PointsTo",
+    "ProvenanceAnalysis",
+    "PtrFinding",
+    "find_pointer_ub",
+    "InitAnalysis",
+    "UninitUse",
+    "find_uninit_uses",
+]

@@ -1,0 +1,213 @@
+"""Iterative dataflow framework over :mod:`repro.ir` CFGs.
+
+An analysis supplies lattice operations (boundary/top/join) plus a block
+transfer function; :func:`solve` runs the classic worklist algorithm in
+reverse postorder (forward) or postorder (backward) until the block
+states stop changing.  The solver carries a hard visit cap so clients
+can *assert* that a fixpoint was reached instead of looping forever on a
+lattice with unbounded ascending chains — analyses with infinite-height
+lattices (intervals) hook :meth:`DataflowAnalysis.widen` to force
+convergence.
+
+Dominator computation lives here too (the usual iterative intersection
+formulation); it is both a building block for clients that need
+loop-head identification and a directly tested artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.ir.cfg import block_order_rpo, predecessors
+from repro.ir.module import Function
+
+#: Per-block visit budget before the solver gives up.  Generous: with
+#: widening every analysis here stabilizes within a handful of visits.
+MAX_VISITS_PER_BLOCK = 64
+
+
+def dominators(func: Function) -> dict[str, set[str]]:
+    """Dominator *sets* for every reachable block.
+
+    ``label in dominators(f)[b]`` iff every path from entry to ``b``
+    passes through ``label``.  Unreachable blocks are absent.
+    """
+    order = block_order_rpo(func)
+    reachable = set(order)
+    preds = predecessors(func)
+    doms: dict[str, set[str]] = {func.entry: {func.entry}}
+    for label in order:
+        if label != func.entry:
+            doms[label] = set(reachable)
+    changed = True
+    while changed:
+        changed = False
+        for label in order:
+            if label == func.entry:
+                continue
+            live = [p for p in preds.get(label, ()) if p in reachable]
+            new = set.intersection(*(doms[p] for p in live)) if live else set()
+            new.add(label)
+            if new != doms[label]:
+                doms[label] = new
+                changed = True
+    return doms
+
+
+def immediate_dominators(func: Function) -> dict[str, str | None]:
+    """Immediate dominator per reachable block (entry maps to None)."""
+    doms = dominators(func)
+    idom: dict[str, str | None] = {func.entry: None}
+    for label, dom in doms.items():
+        if label == func.entry:
+            continue
+        strict = dom - {label}
+        # The immediate dominator is the strict dominator dominated by
+        # all the others, i.e. the one with the largest dominator set.
+        idom[label] = max(strict, key=lambda d: (len(doms[d]), d)) if strict else None
+    return idom
+
+
+def dominates(doms: dict[str, set[str]], a: str, b: str) -> bool:
+    """Does block *a* dominate block *b* (given :func:`dominators` output)?"""
+    return a in doms.get(b, set())
+
+
+def loop_headers(func: Function) -> set[str]:
+    """Blocks that are targets of a back edge (successor dominates source)."""
+    doms = dominators(func)
+    headers: set[str] = set()
+    for label in doms:
+        for succ in func.blocks[label].successors():
+            if succ in doms and dominates(doms, succ, label):
+                headers.add(succ)
+    return headers
+
+
+class DataflowAnalysis:
+    """Base class for a dataflow problem.
+
+    States are opaque to the solver: they only need ``==`` for the
+    change test.  ``transfer_block`` must return a *fresh* state (never
+    mutate its input — the solver caches block states by reference).
+    """
+
+    #: "forward" (states flow along edges) or "backward" (against them).
+    direction: str = "forward"
+
+    def boundary(self, func: Function) -> Any:
+        """State at the CFG boundary (entry for forward, exits for backward)."""
+        raise NotImplementedError
+
+    def top(self, func: Function) -> Any:
+        """Initial optimistic state for non-boundary blocks."""
+        raise NotImplementedError
+
+    def join(self, states: list[Any]) -> Any:
+        """Combine predecessor (or successor) out-states."""
+        raise NotImplementedError
+
+    def transfer_block(self, func: Function, label: str, state: Any) -> Any:
+        """Apply the block's instructions to *state*; return the new state."""
+        raise NotImplementedError
+
+    def widen(self, label: str, old: Any, new: Any, visits: int) -> Any:
+        """Accelerate convergence at *label* after repeated visits.
+
+        Default: no widening (finite lattices converge on their own).
+        """
+        return new
+
+
+@dataclass
+class DataflowResult:
+    """Solver output: per-block states plus convergence telemetry."""
+
+    block_in: dict[str, Any] = field(default_factory=dict)
+    block_out: dict[str, Any] = field(default_factory=dict)
+    #: Total block-transfer applications performed.
+    iterations: int = 0
+    #: False when the visit cap fired before the states stabilized.
+    converged: bool = True
+
+    def state_before(self, label: str) -> Any:
+        return self.block_in.get(label)
+
+
+def solve(
+    func: Function,
+    analysis: DataflowAnalysis,
+    max_visits_per_block: int = MAX_VISITS_PER_BLOCK,
+) -> DataflowResult:
+    """Run the worklist algorithm for *analysis* over *func*'s CFG."""
+    order = block_order_rpo(func)
+    preds = predecessors(func)
+    succs = {label: func.blocks[label].successors() for label in order}
+    if analysis.direction == "backward":
+        order = list(reversed(order))
+        edges_in = succs
+        edges_out = {label: sorted(preds.get(label, ())) for label in order}
+    else:
+        edges_in = {label: sorted(preds.get(label, ())) for label in order}
+        edges_out = succs
+    reachable = set(order)
+    position = {label: i for i, label in enumerate(order)}
+
+    result = DataflowResult()
+    boundary_labels = _boundary_labels(func, analysis, order)
+    for label in order:
+        result.block_in[label] = (
+            analysis.boundary(func) if label in boundary_labels else analysis.top(func)
+        )
+
+    # Worklist keyed by RPO position: deterministic and loop-friendly.
+    pending = set(order)
+    worklist = list(order)
+    visits: dict[str, int] = {}
+    budget = max_visits_per_block * max(1, len(order))
+    while worklist:
+        worklist.sort(key=lambda lbl: position[lbl], reverse=True)
+        label = worklist.pop()
+        pending.discard(label)
+        incoming = [
+            result.block_out[edge]
+            for edge in edges_in[label]
+            if edge in reachable and edge in result.block_out
+        ]
+        if incoming:
+            joined = analysis.join(incoming)
+            if label in boundary_labels:
+                joined = analysis.join([joined, analysis.boundary(func)])
+        else:
+            joined = result.block_in[label]
+        count = visits.get(label, 0) + 1
+        visits[label] = count
+        joined = analysis.widen(label, result.block_in[label], joined, count)
+        result.block_in[label] = joined
+        out = analysis.transfer_block(func, label, joined)
+        result.iterations += 1
+        if result.iterations > budget:
+            result.converged = False
+            result.block_out[label] = out
+            break
+        if label not in result.block_out or result.block_out[label] != out:
+            result.block_out[label] = out
+            for succ in edges_out[label]:
+                if succ in reachable and succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return result
+
+
+def _boundary_labels(
+    func: Function, analysis: DataflowAnalysis, order: list[str]
+) -> set[str]:
+    if analysis.direction == "forward":
+        return {func.entry}
+    exits = {
+        label
+        for label in order
+        if not func.blocks[label].successors()
+    }
+    return exits or set(order[:1])

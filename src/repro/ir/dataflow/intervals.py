@@ -1,0 +1,536 @@
+"""Signed-integer interval analysis: overflow, UB shifts, zero divisors.
+
+A forward analysis whose state maps virtual registers and scalar stack
+slots to value intervals ``(lo, hi)`` (``None`` = unknown).  Arithmetic
+transfers compute the *unwrapped* mathematical interval first — that is
+where signed-overflow UB is visible — and then wrap the stored value to
+the instruction's type, matching the VM's two's-complement semantics.
+
+Interval lattices have unbounded ascending chains, so loop convergence
+comes from widening: after a block has been visited twice, any bound
+still growing is pushed to the 64-bit extreme.
+
+Finding tiers:
+
+* CONFIRMED — the operation misbehaves on *every* abstract value
+  (e.g. a divisor interval of exactly ``[0, 0]``);
+* POSSIBLE — some abstract values misbehave (partial overflow, a
+  divisor interval straddling zero, a suspicious-magnitude operand
+  combined with an unknown one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.dataflow.framework import DataflowAnalysis, DataflowResult, solve
+from repro.ir.dataflow.pointsto import WRITES_THROUGH_ARG0, PointsTo
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CallBuiltin,
+    Cast,
+    Const,
+    Load,
+    Move,
+    Reg,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import Function, Module
+from repro.minic.types import IntType
+
+Interval = Optional[tuple[int, int]]
+
+#: Hard clamp so widened bounds stay machine-integers.
+CLAMP_MIN = -(1 << 63)
+CLAMP_MAX = (1 << 63) - 1
+#: Visits of one block before widening kicks in.
+WIDEN_AFTER = 2
+
+#: Builtins with a known, useful result range.
+BUILTIN_RANGES: dict[str, tuple[int, int]] = {
+    "input_byte": (-1, 255),
+    "input_size": (0, CLAMP_MAX),
+    "strlen": (0, CLAMP_MAX),
+    "memcmp": (CLAMP_MIN, CLAMP_MAX),
+}
+
+
+@dataclass(frozen=True)
+class IntFinding:
+    """One integer-UB observation at a specific instruction."""
+
+    checker: str  # "signed_overflow" | "shift_ub" | "div_zero"
+    confidence: str  # "confirmed" | "possible"
+    line: int
+    function: str
+    block: str
+    instr_index: int
+    message: str
+
+
+def _clamp(value: int) -> int:
+    return min(max(value, CLAMP_MIN), CLAMP_MAX)
+
+
+def _hull(a: Interval, b: Interval) -> Interval:
+    if a is None or b is None:
+        return None
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _single_def_consts(func: Function) -> dict[int, Optional[int]]:
+    """Registers holding one statically-known integer constant.
+
+    Flow-insensitive: a register qualifies only if every definition
+    resolves to the same constant through Const/Move/Cast chains.  A
+    redefinition with a different (or unresolvable) value kills the fact.
+    """
+    def resolve(operand) -> Optional[int]:
+        if isinstance(operand, bool):
+            return None
+        if isinstance(operand, int):
+            return operand
+        if isinstance(operand, Reg):
+            return consts.get(operand.id)
+        return None
+
+    consts: dict[int, Optional[int]] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            dst = instr.defines()
+            if dst is None:
+                continue
+            value: Optional[int] = None
+            if isinstance(instr, Const) and isinstance(instr.value, int) \
+                    and not isinstance(instr.value, bool):
+                value = instr.value
+            elif isinstance(instr, (Move, Cast)):
+                value = resolve(instr.src)
+            elif isinstance(instr, BinOp) and instr.op in ("add", "sub", "mul"):
+                lhs, rhs = resolve(instr.lhs), resolve(instr.rhs)
+                if lhs is not None and rhs is not None:
+                    value = lhs + rhs if instr.op == "add" else \
+                        lhs - rhs if instr.op == "sub" else lhs * rhs
+            consts[dst.id] = value if dst.id not in consts or \
+                consts[dst.id] == value else None
+    return consts
+
+
+class IntervalAnalysis(DataflowAnalysis):
+    """Forward interval propagation over one function."""
+
+    direction = "forward"
+
+    def __init__(self, func: Function, module: Module, points_to: PointsTo | None = None):
+        self.func = func
+        self.module = module
+        self.pt = points_to if points_to is not None else PointsTo(func, module)
+        escaped = self.pt.escaped_objects()
+        #: Scalar (non-buffer, word-sized, unescaped) slots tracked by index.
+        self.tracked_slots = {
+            index
+            for index, slot in enumerate(func.slots)
+            if not slot.is_buffer and slot.size <= 8 and
+            not any(obj.kind == "slot" and obj.key == index for obj in escaped)
+        }
+        #: callee name -> return-value interval (Juliet's constant-source
+        #: helpers and similar trivially-summarizable functions).
+        self._return_cache: dict[str, Interval] = {}
+        self._param_seed = self._param_intervals()
+
+    def _param_intervals(self) -> dict:
+        """Hull of constant arguments over every module call site.
+
+        The context-sensitivity analog of :meth:`_return_interval`: when
+        *every* caller passes a resolvable constant for a parameter, the
+        entry state can seed that parameter's interval — the shape of
+        Listing 1, where ``main`` passes ``INT_MAX - 100`` into the
+        function holding the unstable overflow guard.  Any unresolvable
+        argument makes the parameter unknown.
+        """
+        n_params = len(self.func.params)
+        if n_params == 0:
+            return {}
+        hulls: list[Interval] = [None] * n_params
+        seen_call = False
+        for caller in self.module.functions.values():
+            consts = _single_def_consts(caller)
+            for block in caller.blocks.values():
+                for instr in block.instrs:
+                    if not isinstance(instr, Call) or instr.callee != self.func.name:
+                        continue
+                    seen_call = True
+                    for index in range(n_params):
+                        value = instr.args[index] if index < len(instr.args) else None
+                        if isinstance(value, Reg):
+                            value = consts.get(value.id)
+                        if isinstance(value, bool) or not isinstance(value, int):
+                            hulls[index] = "unknown"
+                        elif hulls[index] != "unknown":
+                            point = (value, value)
+                            hulls[index] = point if hulls[index] is None \
+                                else _hull(hulls[index], point)
+        if not seen_call:
+            return {}
+        return {
+            ("r", index): hull
+            for index, hull in enumerate(hulls)
+            if hull is not None and hull != "unknown"
+        }
+
+    # ------------------------------------------------------------- lattice
+
+    def boundary(self, func: Function):
+        return dict(self._param_seed)
+
+    def top(self, func: Function):
+        return {}
+
+    def join(self, states):
+        merged = dict(states[0])
+        for state in states[1:]:
+            for key, interval in state.items():
+                if key in merged:
+                    merged[key] = _hull(merged[key], interval)
+                else:
+                    merged[key] = interval
+        # Keys absent from one side are unknown there.
+        for key in list(merged):
+            if any(key not in state for state in states):
+                merged[key] = None
+        return merged
+
+    def widen(self, label, old, new, visits):
+        if visits <= WIDEN_AFTER or not isinstance(old, dict):
+            return new
+        widened = dict(new)
+        for key, interval in new.items():
+            previous = old.get(key)
+            if interval is None or previous is None:
+                continue
+            lo = CLAMP_MIN if interval[0] < previous[0] else interval[0]
+            hi = CLAMP_MAX if interval[1] > previous[1] else interval[1]
+            widened[key] = (lo, hi)
+        return widened
+
+    # ------------------------------------------------------------ transfer
+
+    def transfer_block(self, func: Function, label: str, state):
+        out = dict(state)
+        for instr in func.blocks[label].instrs:
+            self.transfer_instr(instr, out)
+        return out
+
+    def transfer_instr(self, instr, state, findings=None, where=None) -> None:
+        """Apply one instruction; optionally record findings during a scan."""
+        if isinstance(instr, Const):
+            if isinstance(instr.value, int) and isinstance(instr.type, IntType):
+                state[("r", instr.dst.id)] = (instr.value, instr.value)
+            else:
+                state[("r", instr.dst.id)] = None
+        elif isinstance(instr, Move):
+            state[("r", instr.dst.id)] = self._operand(instr.src, state)
+        elif isinstance(instr, BinOp):
+            state[("r", instr.dst.id)] = self._binop(instr, state, findings, where)
+        elif isinstance(instr, UnOp):
+            src = self._operand(instr.src, state)
+            if instr.op == "neg" and src is not None:
+                state[("r", instr.dst.id)] = (_clamp(-src[1]), _clamp(-src[0]))
+            elif instr.op == "not":
+                state[("r", instr.dst.id)] = (0, 1)
+            else:
+                state[("r", instr.dst.id)] = None
+        elif isinstance(instr, Cast):
+            state[("r", instr.dst.id)] = self._cast(instr, state)
+        elif isinstance(instr, Load):
+            state[("r", instr.dst.id)] = self._load(instr, state)
+        elif isinstance(instr, Store):
+            self._store(instr, state)
+        elif isinstance(instr, (Call, CallBuiltin)):
+            if isinstance(instr, CallBuiltin):
+                if instr.name in WRITES_THROUGH_ARG0 and instr.args:
+                    ptr = self.pt.pointer(instr.args[0])
+                    if ptr is not None and ptr.obj.kind == "slot":
+                        state[("s", ptr.obj.key)] = None
+                known = BUILTIN_RANGES.get(instr.name)
+            else:
+                known = self._return_interval(instr.callee)
+            if instr.defines() is not None:
+                state[("r", instr.defines().id)] = known
+
+    def _return_interval(self, callee: str) -> Interval:
+        """Hull of *callee*'s returned constants, or None.
+
+        Juliet hides the critical value behind a ``source()`` helper whose
+        body is ``return <const>;`` (possibly under branches); summarizing
+        those — every ``Ret`` operand resolvable through a single-def
+        Const/Move/Cast chain — makes the call result as precise as the
+        constant itself.  Anything else (loops, arithmetic, recursion)
+        stays unknown.
+        """
+        if callee in self._return_cache:
+            return self._return_cache[callee]
+        self._return_cache[callee] = None  # provisional: breaks recursion
+        func = self.module.functions.get(callee)
+        if func is None:
+            return None
+        consts = _single_def_consts(func)
+        rets: list = []
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, Ret):
+                    rets.append(instr.value)
+        hull: Interval = None
+        for value in rets:
+            if isinstance(value, Reg):
+                value = consts.get(value.id)
+            if isinstance(value, bool) or not isinstance(value, int):
+                return None
+            hull = (value, value) if hull is None else _hull(hull, (value, value))
+        self._return_cache[callee] = hull
+        return hull
+
+    # --------------------------------------------------------- value lookup
+
+    def _operand(self, operand, state) -> Interval:
+        if isinstance(operand, bool):
+            return (int(operand), int(operand))
+        if isinstance(operand, int):
+            return (operand, operand)
+        if isinstance(operand, float):
+            return None
+        if isinstance(operand, Reg):
+            return state.get(("r", operand.id))
+        return None
+
+    @staticmethod
+    def _type_range(type_) -> Interval:
+        if isinstance(type_, IntType):
+            return (type_.min_value, type_.max_value)
+        return None
+
+    def _load(self, instr: Load, state) -> Interval:
+        ptr = self.pt.pointer(instr.addr)
+        if (
+            ptr is not None
+            and ptr.obj.kind == "slot"
+            and ptr.obj.key in self.tracked_slots
+        ):
+            return state.get(("s", ptr.obj.key))
+        # Sub-word loads still yield a useful range; full-word loads from
+        # untracked memory are unknown (a full-width range would make
+        # every downstream addition look like a potential overflow).
+        if isinstance(instr.type, IntType) and instr.type.bits < 32:
+            return self._type_range(instr.type)
+        return None
+
+    def _store(self, instr: Store, state) -> None:
+        ptr = self.pt.pointer(instr.addr)
+        if ptr is None or ptr.obj.kind != "slot" or ptr.obj.key not in self.tracked_slots:
+            return
+        value = self._operand(instr.src, state)
+        if value is not None and isinstance(instr.type, IntType):
+            lo, hi = value
+            value = (instr.type.wrap(lo), instr.type.wrap(hi)) if (
+                instr.type.contains(lo) and instr.type.contains(hi)
+            ) else self._type_range(instr.type)
+        state[("s", ptr.obj.key)] = value
+
+    def _cast(self, instr: Cast, state) -> Interval:
+        src = self._operand(instr.src, state)
+        if not isinstance(instr.to_type, IntType):
+            return None
+        if src is None:
+            if isinstance(instr.from_type, IntType) and instr.from_type.bits < 32:
+                return self._type_range(instr.from_type)
+            return None
+        lo, hi = src
+        if instr.to_type.contains(lo) and instr.to_type.contains(hi):
+            return (lo, hi)
+        return self._type_range(instr.to_type)
+
+    # ------------------------------------------------------------ arithmetic
+
+    def _binop(self, instr: BinOp, state, findings, where) -> Interval:
+        op = instr.op
+        type_ = instr.type
+        lhs = self._operand(instr.lhs, state)
+        rhs = self._operand(instr.rhs, state)
+        if op in ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"):
+            return (0, 1)
+        if not isinstance(type_, IntType):
+            return None
+        if op in ("sdiv", "udiv", "srem", "urem"):
+            self._check_division(instr, rhs, findings, where)
+            if lhs is not None and rhs is not None and lhs[0] == lhs[1] and rhs[0] == rhs[1]:
+                if rhs[0] != 0:
+                    value = abs(lhs[0]) // abs(rhs[0]) if op in ("sdiv", "udiv") else abs(
+                        lhs[0]
+                    ) % abs(rhs[0])
+                    sign = -1 if (lhs[0] < 0) != (rhs[0] < 0) and op in ("sdiv",) else 1
+                    return (sign * value, sign * value)
+            return None
+        if op in ("shl", "lshr", "ashr"):
+            self._check_shift(instr, rhs, findings, where)
+            if lhs is not None and rhs is not None and lhs[0] == lhs[1] and rhs[0] == rhs[1]:
+                if 0 <= rhs[0] < type_.bits:
+                    raw = {
+                        "shl": lhs[0] << rhs[0],
+                        "lshr": (lhs[0] & ((1 << type_.bits) - 1)) >> rhs[0],
+                        "ashr": lhs[0] >> rhs[0],
+                    }[op]
+                    wrapped = type_.wrap(raw)
+                    return (wrapped, wrapped)
+            return None
+        if op == "and":
+            if isinstance(instr.rhs, int) and instr.rhs >= 0:
+                return (0, instr.rhs)
+            if isinstance(instr.lhs, int) and instr.lhs >= 0:
+                return (0, instr.lhs)
+            if lhs is not None and rhs is not None and lhs[0] >= 0 and rhs[0] >= 0:
+                return (0, min(lhs[1], rhs[1]))
+            return None
+        if op in ("or", "xor"):
+            if lhs is not None and rhs is not None and lhs[0] >= 0 and rhs[0] >= 0:
+                bound = max(lhs[1], rhs[1])
+                width = bound.bit_length()
+                return (0, (1 << width) - 1)
+            return None
+        if op not in ("add", "sub", "mul"):
+            return None
+        raw = self._raw_arith(op, lhs, rhs)
+        if type_.signed:
+            self._check_overflow(instr, lhs, rhs, raw, findings, where)
+        if raw is None:
+            return None
+        lo, hi = raw
+        if type_.contains(lo) and type_.contains(hi):
+            return (lo, hi)
+        return self._type_range(type_)
+
+    @staticmethod
+    def _raw_arith(op: str, lhs: Interval, rhs: Interval) -> Interval:
+        if lhs is None or rhs is None:
+            return None
+        a_lo, a_hi = lhs
+        b_lo, b_hi = rhs
+        if op == "add":
+            return (_clamp(a_lo + b_lo), _clamp(a_hi + b_hi))
+        if op == "sub":
+            return (_clamp(a_lo - b_hi), _clamp(a_hi - b_lo))
+        corners = [a_lo * b_lo, a_lo * b_hi, a_hi * b_lo, a_hi * b_hi]
+        return (_clamp(min(corners)), _clamp(max(corners)))
+
+    # ------------------------------------------------------------- findings
+
+    def _emit(self, findings, where, instr, checker, confidence, message) -> None:
+        if findings is None or where is None:
+            return
+        label, idx = where
+        findings.append(
+            IntFinding(
+                checker=checker,
+                confidence=confidence,
+                line=instr.line,
+                function=self.func.name,
+                block=label,
+                instr_index=idx,
+                message=message,
+            )
+        )
+
+    def _check_overflow(self, instr, lhs, rhs, raw, findings, where) -> None:
+        type_ = instr.type
+        if raw is not None:
+            lo, hi = raw
+            if type_.contains(lo) and type_.contains(hi):
+                return
+            always = hi < type_.min_value or lo > type_.max_value
+            self._emit(
+                findings,
+                where,
+                instr,
+                "signed_overflow",
+                "confirmed" if always else "possible",
+                f"signed {instr.op} on {type_} may produce [{lo}, {hi}] "
+                f"outside [{type_.min_value}, {type_.max_value}]",
+            )
+            return
+        # One side unknown: only a suspicious-magnitude partner makes the
+        # overflow plausible enough to report (keeps `x + 1` quiet).
+        known = lhs if lhs is not None else rhs
+        if known is None:
+            return
+        magnitude = max(abs(known[0]), abs(known[1]))
+        if instr.op in ("add", "sub"):
+            suspicious = magnitude >= (type_.max_value + 1) // 2
+        else:  # mul
+            suspicious = magnitude >= (1 << (type_.bits // 2))
+        if suspicious:
+            self._emit(
+                findings,
+                where,
+                instr,
+                "signed_overflow",
+                "possible",
+                f"signed {instr.op} of unknown value with large operand "
+                f"[{known[0]}, {known[1]}] may overflow {type_}",
+            )
+
+    def _check_shift(self, instr, amount, findings, where) -> None:
+        if amount is None:
+            return
+        bits = instr.type.bits if isinstance(instr.type, IntType) else 64
+        lo, hi = amount
+        if lo >= 0 and hi < bits:
+            return
+        always = lo >= bits or hi < 0
+        self._emit(
+            findings,
+            where,
+            instr,
+            "shift_ub",
+            "confirmed" if always else "possible",
+            f"shift amount in [{lo}, {hi}] is undefined for {bits}-bit {instr.op}",
+        )
+
+    def _check_division(self, instr, divisor, findings, where) -> None:
+        if divisor is None:
+            self._emit(
+                findings,
+                where,
+                instr,
+                "div_zero",
+                "possible",
+                f"{instr.op} by a value the analysis cannot bound away from zero",
+            )
+            return
+        lo, hi = divisor
+        if lo > 0 or hi < 0:
+            return
+        self._emit(
+            findings,
+            where,
+            instr,
+            "div_zero",
+            "confirmed" if lo == 0 and hi == 0 else "possible",
+            f"{instr.op} divisor interval [{lo}, {hi}] contains zero",
+        )
+
+
+def find_integer_ub(
+    func: Function, module: Module, points_to: PointsTo | None = None
+) -> tuple[list[IntFinding], DataflowResult]:
+    """Solve intervals for *func* and scan every instruction for UB."""
+    analysis = IntervalAnalysis(func, module, points_to=points_to)
+    result = solve(func, analysis)
+    findings: list[IntFinding] = []
+    for label in result.block_in:
+        state = dict(result.block_in[label])
+        for idx, instr in enumerate(func.blocks[label].instrs):
+            analysis.transfer_instr(instr, state, findings=findings, where=(label, idx))
+    return findings, result

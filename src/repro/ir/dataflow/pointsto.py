@@ -1,0 +1,326 @@
+"""Register points-to facts: which memory object does a register address?
+
+The lowered IR computes addresses into fresh virtual registers
+(``AddrSlot`` / ``AddrGlobal`` / ``malloc``) and derives further
+addresses by ``add``/``sub``/``Move``/``Cast``.  Because the lowering
+mints a new register per temporary, almost every address-carrying
+register has exactly one definition, so a cheap flow-insensitive
+resolution over single-definition registers recovers precise
+(object, byte-offset) facts.  Registers with multiple definitions (loop
+phis via slots never produce these) or values loaded from memory stay
+unknown — the analyses treat unknown addresses conservatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.instructions import (
+    AddrGlobal,
+    AddrSlot,
+    BinOp,
+    Call,
+    CallBuiltin,
+    Cast,
+    Const,
+    Instr,
+    Move,
+    Reg,
+    Store,
+)
+from repro.ir.module import Function, Module
+
+#: Builtins that allocate a fresh heap object into their destination.
+HEAP_ALLOCATORS = frozenset({"malloc", "calloc", "realloc"})
+
+#: Builtins that write through their first pointer argument (initialize
+#: the destination object, at whole-object granularity).
+WRITES_THROUGH_ARG0 = frozenset(
+    {"memset", "memcpy", "memmove", "strcpy", "strncpy", "strcat", "read_input"}
+)
+
+#: Builtins that only *read* through their pointer arguments.
+READ_ONLY_BUILTINS = frozenset(
+    {
+        "printf",
+        "eprintf",
+        "puts",
+        "strlen",
+        "strcmp",
+        "strncmp",
+        "memcmp",
+        "atoi",
+        "free",
+        "__bugsite",
+    }
+)
+
+
+@dataclass(frozen=True)
+class MemObject:
+    """One abstract memory object: a stack slot, global, or heap site."""
+
+    kind: str  # "slot" | "global" | "heap"
+    #: slot index (int), global name (str), or "<block>:<idx>" heap site.
+    key: object
+    #: Declared byte size; None when unknown (e.g. malloc of a variable).
+    size: Optional[int] = None
+    line: int = 0
+    name: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "slot":
+            return f"stack object '{self.name or self.key}'"
+        if self.kind == "global":
+            return f"global '{self.key}'"
+        return f"heap block (allocated at line {self.line})"
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """An abstract address: base object plus byte offset (None = unknown)."""
+
+    obj: MemObject
+    offset: Optional[int] = 0
+
+    def shifted(self, delta: Optional[int]) -> "Pointer":
+        if delta is None or self.offset is None:
+            return Pointer(self.obj, None)
+        return Pointer(self.obj, self.offset + delta)
+
+
+class PointsTo:
+    """Resolved register→:class:`Pointer` facts for one function."""
+
+    def __init__(self, func: Function, module: Module) -> None:
+        self.func = func
+        self.module = module
+        self.by_reg: dict[int, Pointer] = {}
+        self.heap_objects: list[MemObject] = []
+        self._resolve()
+
+    # ------------------------------------------------------------ queries
+
+    def pointer(self, operand) -> Optional[Pointer]:
+        """The pointer fact for an operand, if it is a resolved register."""
+        if isinstance(operand, Reg):
+            return self.by_reg.get(operand.id)
+        return None
+
+    def objects(self) -> list[MemObject]:
+        """All stack-slot and heap objects of the function, in order."""
+        slots = [self._slot_object(i) for i in range(len(self.func.slots))]
+        return slots + list(self.heap_objects)
+
+    def escaped_objects(self) -> set[MemObject]:
+        """Objects whose address escapes to a call or into memory.
+
+        An escaped object may be written (or retained) by code the
+        analyses cannot see, so they must treat its contents as unknown
+        but initialized.  Read-only builtins do not escape their
+        arguments; neither does ``free``.
+        """
+        escaped: set[MemObject] = set()
+        for block in self.func.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, Store):
+                    src = self.pointer(instr.src)
+                    if src is not None:
+                        # Parking a pointer in a local slot is not an
+                        # escape — the slot analyses track it.  Storing
+                        # it into heap/global/unknown memory is.
+                        dst = self.pointer(instr.addr)
+                        if dst is None or dst.obj.kind != "slot":
+                            escaped.add(src.obj)
+                elif isinstance(instr, Call):
+                    for arg in instr.args:
+                        ptr = self.pointer(arg)
+                        if ptr is not None:
+                            escaped.add(ptr.obj)
+                elif isinstance(instr, CallBuiltin):
+                    if instr.name in READ_ONLY_BUILTINS or instr.name in HEAP_ALLOCATORS:
+                        continue
+                    if instr.name in WRITES_THROUGH_ARG0:
+                        continue  # modeled precisely by the init analysis
+                    for arg in instr.args:
+                        ptr = self.pointer(arg)
+                        if ptr is not None:
+                            escaped.add(ptr.obj)
+        return escaped
+
+    # ---------------------------------------------------------- resolution
+
+    def _slot_object(self, index: int) -> MemObject:
+        slot = self.func.slots[index]
+        return MemObject(
+            kind="slot", key=index, size=slot.size, line=slot.line, name=slot.name
+        )
+
+    def _global_object(self, name: str) -> MemObject:
+        data = self.module.globals.get(name)
+        size = data.size if data is not None else None
+        return MemObject(kind="global", key=name, size=size, name=name)
+
+    def _resolve(self) -> None:
+        defs: dict[int, tuple[Instr, str, int]] = {}
+        def_count: dict[int, int] = {}
+        for i in range(len(self.func.params)):
+            def_count[i] = def_count.get(i, 0) + 1  # implicit argument defs
+        for label, block in self.func.blocks.items():
+            for idx, instr in enumerate(block.instrs):
+                dst = instr.defines()
+                if dst is not None:
+                    def_count[dst.id] = def_count.get(dst.id, 0) + 1
+                    defs[dst.id] = (instr, label, idx)
+        self._defs = defs
+        self._def_count = def_count
+        heap_seen: dict[tuple[str, int], MemObject] = {}
+        # Alternate direct resolution with single-store pointer-slot
+        # resolution: `int *p = malloc(..); ... p[i]` round-trips the
+        # heap pointer through p's stack slot, and recovering it needs
+        # the store facts that the direct pass just established.
+        outer_changed = True
+        while outer_changed:
+            changed = True
+            while changed:
+                changed = False
+                for rid, (instr, label, idx) in defs.items():
+                    if def_count.get(rid, 0) != 1 or rid in self.by_reg:
+                        continue
+                    ptr = self._value_of(instr, label, idx, heap_seen)
+                    if ptr is not None:
+                        self.by_reg[rid] = ptr
+                        changed = True
+            outer_changed = self._resolve_slot_loads(defs, def_count)
+        self.heap_objects = [heap_seen[key] for key in sorted(heap_seen)]
+
+    def _resolve_slot_loads(
+        self,
+        defs: dict[int, tuple[Instr, str, int]],
+        def_count: dict[int, int],
+    ) -> bool:
+        """Resolve loads from slots that hold exactly one known pointer.
+
+        A pointer-sized scalar slot whose address is used *only* as a
+        load/store target and that receives exactly one pointer-typed
+        store propagates that pointer to every load — sound up to the
+        load-before-store ordering, which the lowering's
+        declaration-with-initializer shape never produces.
+        """
+        from repro.minic.types import PointerType
+
+        stores: dict[int, list] = {}
+        loads: dict[int, list[int]] = {}
+        tainted: set[int] = set()
+        for block in self.func.blocks.values():
+            for instr in block.instrs:
+                addr_operands = []
+                if isinstance(instr, Store):
+                    addr_operands.append(instr.addr)
+                    if isinstance(instr.type, PointerType):
+                        ptr = self.pointer(instr.addr)
+                        if ptr is not None and ptr.obj.kind == "slot" and ptr.offset == 0:
+                            stores.setdefault(ptr.obj.key, []).append(instr.src)
+                    src_ptr = self.pointer(instr.src)
+                    if src_ptr is not None and src_ptr.obj.kind == "slot":
+                        tainted.add(src_ptr.obj.key)
+                elif hasattr(instr, "addr"):
+                    addr_operands.append(instr.addr)
+                for operand in instr.uses():
+                    if operand in addr_operands:
+                        continue
+                    ptr = self.pointer(operand)
+                    if ptr is not None and ptr.obj.kind == "slot":
+                        tainted.add(ptr.obj.key)
+        changed = False
+        for block in self.func.blocks.values():
+            for instr in block.instrs:
+                if not hasattr(instr, "addr") or instr.defines() is None:
+                    continue
+                rid = instr.defines().id
+                if rid in self.by_reg or def_count.get(rid, 0) != 1:
+                    continue
+                addr = self.pointer(instr.addr)
+                if addr is None or addr.obj.kind != "slot" or addr.offset != 0:
+                    continue
+                index = addr.obj.key
+                slot = self.func.slots[index]
+                if slot.is_buffer or slot.size != 8 or index in tainted:
+                    continue
+                slot_stores = stores.get(index, [])
+                if len(slot_stores) != 1:
+                    continue
+                value = self.pointer(slot_stores[0])
+                if value is not None:
+                    self.by_reg[rid] = value
+                    changed = True
+        return changed
+
+    def _value_of(
+        self,
+        instr: Instr,
+        label: str,
+        idx: int,
+        heap_seen: dict[tuple[str, int], MemObject],
+    ) -> Optional[Pointer]:
+        if isinstance(instr, AddrSlot):
+            return Pointer(self._slot_object(instr.slot), 0)
+        if isinstance(instr, AddrGlobal):
+            return Pointer(self._global_object(instr.name), 0)
+        if isinstance(instr, CallBuiltin) and instr.name in HEAP_ALLOCATORS:
+            key = (label, idx)
+            if key not in heap_seen:
+                heap_seen[key] = MemObject(
+                    kind="heap",
+                    key=f"{label}:{idx}",
+                    size=self._alloc_size(instr),
+                    line=instr.line,
+                )
+            return Pointer(heap_seen[key], 0)
+        if isinstance(instr, (Move, Cast)) and isinstance(instr.src, Reg):
+            base = self.by_reg.get(instr.src.id)
+            return base
+        if isinstance(instr, BinOp) and instr.op in ("add", "sub"):
+            lhs, rhs = instr.lhs, instr.rhs
+            base = self.pointer(lhs)
+            other = rhs
+            if base is None and instr.op == "add":
+                base = self.pointer(rhs)
+                other = lhs
+            if base is None:
+                return None
+            if isinstance(other, int):
+                delta = -other if instr.op == "sub" else other
+                return base.shifted(delta)
+            return base.shifted(None)
+        return None
+
+    def _const_value(self, operand, depth: int = 0) -> Optional[int]:
+        """Resolve an operand to an int constant through Const/Cast/Move
+        chains of single-definition registers."""
+        if isinstance(operand, bool):
+            return int(operand)
+        if isinstance(operand, int):
+            return operand
+        if not isinstance(operand, Reg) or depth > 8:
+            return None
+        if self._def_count.get(operand.id, 0) != 1:
+            return None
+        entry = self._defs.get(operand.id)
+        if entry is None:
+            return None
+        instr = entry[0]
+        if isinstance(instr, Const):
+            return instr.value if isinstance(instr.value, int) else None
+        if isinstance(instr, (Move, Cast)):
+            return self._const_value(instr.src, depth + 1)
+        return None
+
+    def _alloc_size(self, instr: CallBuiltin) -> Optional[int]:
+        args = [self._const_value(a) for a in instr.args]
+        if instr.name == "malloc" and len(args) == 1 and args[0] is not None:
+            return args[0]
+        if instr.name == "calloc" and len(args) == 2 and None not in args:
+            return args[0] * args[1]
+        return None

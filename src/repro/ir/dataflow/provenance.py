@@ -1,0 +1,501 @@
+"""Pointer provenance: null/dangling/out-of-bounds tiers per access.
+
+Builds on the flow-insensitive :class:`~repro.ir.dataflow.pointsto.PointsTo`
+facts with a forward flow-sensitive layer that tracks
+
+* the pointer value held by each unescaped pointer-sized stack slot
+  (``("pslot", index)`` keys) — null, a (object, offset) pair, or both;
+* heap-block liveness (``("live", site)`` keys: LIVE / FREED / MAYBE);
+* pointer values of registers loaded back out of those slots.
+
+The scan phase classifies every memory access into the provenance tiers
+the paper's Table 5 taxonomy needs: null dereference, out-of-bounds
+(using the interval analysis to bound computed offsets), use-after-free
+and double-free, plus relational comparisons / subtraction of pointers
+into *different* objects (the PointerCmp divergence class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.dataflow.framework import DataflowAnalysis, DataflowResult, solve
+from repro.ir.dataflow.intervals import IntervalAnalysis
+from repro.ir.dataflow.pointsto import (
+    HEAP_ALLOCATORS,
+    WRITES_THROUGH_ARG0,
+    MemObject,
+    Pointer,
+    PointsTo,
+)
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CallBuiltin,
+    Cast,
+    Instr,
+    Load,
+    Move,
+    Reg,
+    Store,
+)
+from repro.ir.module import Function, Module
+from repro.minic.types import PointerType
+
+LIVE = "live"
+FREED = "freed"
+MAYBE_FREED = "maybe_freed"
+
+#: Relational comparisons that are UB on pointers to distinct objects.
+RELATIONAL_CMPS = frozenset({"slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"})
+
+#: Builtins whose trailing integer argument bounds the bytes written /
+#: read through the first pointer argument.
+LENGTH_ARG_BUILTINS = frozenset({"memset", "memcpy", "memmove", "read_input"})
+
+
+@dataclass(frozen=True)
+class PtrVal:
+    """Abstract pointer value: maybe-null plus an optional (obj, offset)."""
+
+    obj: Optional[MemObject]  # None with may_null=True means "definitely null"
+    offset: Optional[int] = 0
+    may_null: bool = False
+
+    @property
+    def is_null(self) -> bool:
+        return self.obj is None and self.may_null
+
+    def shifted(self, delta: Optional[int]) -> "PtrVal":
+        if self.obj is None:
+            return self
+        if delta is None or self.offset is None:
+            return PtrVal(self.obj, None, self.may_null)
+        return PtrVal(self.obj, self.offset + delta, self.may_null)
+
+
+NULL = PtrVal(obj=None, offset=None, may_null=True)
+
+
+def _join_ptr(a: Optional[PtrVal], b: Optional[PtrVal]) -> Optional[PtrVal]:
+    if a is None or b is None:
+        return None
+    if a.is_null and b.is_null:
+        return NULL
+    if a.is_null:
+        return PtrVal(b.obj, b.offset, True)
+    if b.is_null:
+        return PtrVal(a.obj, a.offset, True)
+    if a.obj != b.obj:
+        return None
+    offset = a.offset if a.offset == b.offset else None
+    return PtrVal(a.obj, offset, a.may_null or b.may_null)
+
+
+def _join_live(a: str, b: str) -> str:
+    if a == b:
+        return a
+    return MAYBE_FREED
+
+
+@dataclass(frozen=True)
+class PtrFinding:
+    """One pointer-provenance observation at a specific instruction."""
+
+    checker: str  # null_deref | oob_access | use_after_free | double_free
+    #         | bad_free | pointer_cmp
+    confidence: str  # "confirmed" | "possible"
+    line: int
+    function: str
+    block: str
+    instr_index: int
+    message: str
+
+
+class ProvenanceAnalysis(DataflowAnalysis):
+    """Forward pointer-state analysis over one function."""
+
+    direction = "forward"
+
+    def __init__(self, func: Function, module: Module, points_to: PointsTo | None = None):
+        self.func = func
+        self.module = module
+        self.pt = points_to if points_to is not None else PointsTo(func, module)
+        escaped = self.pt.escaped_objects()
+        #: Pointer-sized, unescaped scalar slots that ever hold a pointer.
+        self.pointer_slots = self._find_pointer_slots(escaped)
+        #: Single-definition map for decomposing computed addresses.
+        self.defs = self._single_defs()
+
+    def _find_pointer_slots(self, escaped: set[MemObject]) -> set[int]:
+        candidates: set[int] = set()
+        for block in self.func.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, Store) and isinstance(instr.type, PointerType):
+                    ptr = self.pt.pointer(instr.addr)
+                    if ptr is not None and ptr.obj.kind == "slot" and ptr.offset == 0:
+                        candidates.add(ptr.obj.key)
+        return {
+            index
+            for index in candidates
+            if self.func.slots[index].size == 8
+            and not self.func.slots[index].is_buffer
+            and not any(o.kind == "slot" and o.key == index for o in escaped)
+        }
+
+    def _single_defs(self) -> dict[int, Instr]:
+        defs: dict[int, Instr] = {}
+        counts: dict[int, int] = {i: 1 for i in range(len(self.func.params))}
+        for block in self.func.blocks.values():
+            for instr in block.instrs:
+                dst = instr.defines()
+                if dst is not None:
+                    counts[dst.id] = counts.get(dst.id, 0) + 1
+                    defs[dst.id] = instr
+        return {rid: instr for rid, instr in defs.items() if counts.get(rid) == 1}
+
+    # ------------------------------------------------------------- lattice
+
+    def boundary(self, func: Function):
+        return {}
+
+    def top(self, func: Function):
+        return {}
+
+    def join(self, states):
+        merged = dict(states[0])
+        for state in states[1:]:
+            for key, value in state.items():
+                if key not in merged:
+                    # Absent liveness means "never freed here"; absent
+                    # pointer value means unknown.
+                    merged[key] = value if key[0] == "live" else None
+                elif key[0] == "live":
+                    merged[key] = _join_live(merged[key], value)
+                else:
+                    merged[key] = _join_ptr(merged[key], value)
+        for key in list(merged):
+            if key[0] != "live" and any(key not in state for state in states):
+                merged[key] = None
+        merged = {k: v for k, v in merged.items() if v is not None}
+        return merged
+
+    # ------------------------------------------------------------ transfer
+
+    def transfer_block(self, func: Function, label: str, state):
+        out = dict(state)
+        for instr in func.blocks[label].instrs:
+            self.transfer_instr(instr, out)
+        return out
+
+    def transfer_instr(self, instr, state, findings=None, where=None) -> None:
+        """Apply one instruction; optionally record findings during a scan."""
+        if isinstance(instr, Store):
+            self._do_store(instr, state, findings, where)
+        elif isinstance(instr, Load):
+            self._do_load(instr, state, findings, where)
+        elif isinstance(instr, (Move, Cast)):
+            if isinstance(instr.src, Reg):
+                value = state.get(("r", instr.src.id))
+                if value is not None:
+                    state[("r", instr.dst.id)] = value
+        elif isinstance(instr, BinOp):
+            self._do_binop(instr, state, findings, where)
+        elif isinstance(instr, CallBuiltin):
+            self._do_builtin(instr, state, findings, where)
+        elif isinstance(instr, Call):
+            # A callee may free any heap block it can reach.
+            for arg in instr.args:
+                ptr = self.ptr_of(arg, state)
+                if ptr is not None and ptr.obj is not None and ptr.obj.kind == "heap":
+                    key = ("live", ptr.obj.key)
+                    if state.get(key, LIVE) != FREED:
+                        state[key] = MAYBE_FREED
+
+    # --------------------------------------------------------- value lookup
+
+    def ptr_of(self, operand, state) -> Optional[PtrVal]:
+        """The abstract pointer value of *operand* at this program point."""
+        if isinstance(operand, int) and operand == 0:
+            return NULL
+        if not isinstance(operand, Reg):
+            return None
+        flow = state.get(("r", operand.id))
+        if flow is not None:
+            return flow
+        static = self.pt.pointer(operand)
+        if static is not None:
+            return PtrVal(static.obj, static.offset, False)
+        return None
+
+    # ------------------------------------------------------------ transfers
+
+    def _do_store(self, instr: Store, state, findings, where) -> None:
+        self._check_access(instr.addr, instr.type.size(), instr, state, findings, where, "write")
+        ptr = self.pt.pointer(instr.addr)
+        if ptr is None or ptr.obj.kind != "slot" or ptr.obj.key not in self.pointer_slots:
+            return
+        key = ("pslot", ptr.obj.key)
+        if isinstance(instr.type, PointerType):
+            value = self.ptr_of(instr.src, state)
+            if value is not None:
+                state[key] = value
+            else:
+                state.pop(key, None)
+        else:
+            state.pop(key, None)
+
+    def _do_load(self, instr: Load, state, findings, where) -> None:
+        self._check_access(instr.addr, instr.type.size(), instr, state, findings, where, "read")
+        ptr = self.pt.pointer(instr.addr)
+        if (
+            isinstance(instr.type, PointerType)
+            and ptr is not None
+            and ptr.obj.kind == "slot"
+            and ptr.obj.key in self.pointer_slots
+            and ptr.offset == 0
+        ):
+            value = state.get(("pslot", ptr.obj.key))
+            if value is not None:
+                state[("r", instr.dst.id)] = value
+            else:
+                state.pop(("r", instr.dst.id), None)
+
+    def _do_binop(self, instr: BinOp, state, findings, where) -> None:
+        lhs = self.ptr_of(instr.lhs, state)
+        rhs = self.ptr_of(instr.rhs, state)
+        if instr.op in RELATIONAL_CMPS or instr.op == "sub":
+            if (
+                lhs is not None
+                and rhs is not None
+                and lhs.obj is not None
+                and rhs.obj is not None
+                and lhs.obj != rhs.obj
+            ):
+                verb = "subtraction" if instr.op == "sub" else "relational comparison"
+                self._emit(
+                    findings,
+                    where,
+                    instr,
+                    "pointer_cmp",
+                    "confirmed",
+                    f"{verb} of pointers into unrelated objects "
+                    f"({lhs.obj.describe()} vs {rhs.obj.describe()}) — the result "
+                    "depends on object layout",
+                )
+            return
+        if instr.op not in ("add", "sub"):
+            return
+        base, other = (lhs, instr.rhs) if lhs is not None and lhs.obj is not None else (
+            rhs if instr.op == "add" else None,
+            instr.lhs,
+        )
+        if base is None or base.obj is None:
+            return
+        delta = other if isinstance(other, int) else None
+        if delta is not None and instr.op == "sub":
+            delta = -delta
+        state[("r", instr.dst.id)] = base.shifted(delta)
+
+    def _do_builtin(self, instr: CallBuiltin, state, findings, where) -> None:
+        name = instr.name
+        if name in HEAP_ALLOCATORS:
+            ptr = self.pt.pointer(instr.dst) if instr.dst is not None else None
+            if ptr is not None and ptr.obj.kind == "heap":
+                state[("live", ptr.obj.key)] = LIVE
+            if name == "realloc" and instr.args:
+                old = self.ptr_of(instr.args[0], state)
+                if old is not None and old.obj is not None and old.obj.kind == "heap":
+                    state[("live", old.obj.key)] = FREED
+            return
+        if name == "free":
+            if not instr.args:
+                return
+            ptr = self.ptr_of(instr.args[0], state)
+            if ptr is None or ptr.is_null:
+                return  # free(NULL) is defined; unknown pointers are skipped
+            if ptr.obj is None:
+                return
+            if ptr.obj.kind != "heap":
+                self._emit(
+                    findings,
+                    where,
+                    instr,
+                    "bad_free",
+                    "confirmed",
+                    f"free() of non-heap {ptr.obj.describe()}",
+                )
+                return
+            key = ("live", ptr.obj.key)
+            liveness = state.get(key, LIVE)
+            if liveness == FREED:
+                self._emit(
+                    findings,
+                    where,
+                    instr,
+                    "double_free",
+                    "confirmed",
+                    f"second free() of {ptr.obj.describe()}",
+                )
+            elif liveness == MAYBE_FREED:
+                self._emit(
+                    findings,
+                    where,
+                    instr,
+                    "double_free",
+                    "possible",
+                    f"free() of {ptr.obj.describe()} already freed on some path",
+                )
+            state[key] = FREED
+            return
+        if name in WRITES_THROUGH_ARG0 and instr.args:
+            size = None
+            if name in LENGTH_ARG_BUILTINS:
+                length = instr.args[-1]
+                if isinstance(length, int):
+                    size = length
+            self._check_access(instr.args[0], size, instr, state, findings, where, "write")
+
+    # ------------------------------------------------------------- findings
+
+    def _emit(self, findings, where, instr, checker, confidence, message) -> None:
+        if findings is None or where is None:
+            return
+        label, idx = where
+        findings.append(
+            PtrFinding(
+                checker=checker,
+                confidence=confidence,
+                line=instr.line,
+                function=self.func.name,
+                block=label,
+                instr_index=idx,
+                message=message,
+            )
+        )
+
+    def _check_access(
+        self, addr, access_size, instr, state, findings, where, mode
+    ) -> None:
+        if findings is None:
+            return
+        ptr = self.ptr_of(addr, state)
+        if ptr is None:
+            return
+        if ptr.is_null:
+            self._emit(
+                findings, where, instr, "null_deref", "confirmed",
+                f"null pointer {mode} dereference",
+            )
+            return
+        if ptr.may_null:
+            self._emit(
+                findings, where, instr, "null_deref", "possible",
+                f"{mode} through a pointer that is null on some path",
+            )
+        if ptr.obj is None:
+            return
+        if ptr.obj.kind == "heap":
+            liveness = state.get(("live", ptr.obj.key), LIVE)
+            if liveness == FREED:
+                self._emit(
+                    findings, where, instr, "use_after_free", "confirmed",
+                    f"{mode} through {ptr.obj.describe()} after free()",
+                )
+            elif liveness == MAYBE_FREED:
+                self._emit(
+                    findings, where, instr, "use_after_free", "possible",
+                    f"{mode} through {ptr.obj.describe()} freed on some path",
+                )
+        self._check_bounds(addr, ptr, access_size, instr, findings, where, mode)
+
+    def _check_bounds(
+        self, addr, ptr: PtrVal, access_size, instr, findings, where, mode
+    ) -> None:
+        obj = ptr.obj
+        if obj is None or obj.size is None:
+            return
+        interval = self._offset_interval(addr, ptr, where)
+        if interval is None:
+            return
+        lo, hi = interval
+        size = access_size if access_size is not None else 1
+        if hi + size <= obj.size and lo >= 0:
+            return
+        always = lo + size > obj.size or hi < 0
+        self._emit(
+            findings,
+            where,
+            instr,
+            "oob_access",
+            "confirmed" if always else "possible",
+            f"{mode} of {size} byte(s) at offset [{lo}, {hi}] "
+            f"{'exceeds' if always else 'may exceed'} {obj.describe()} "
+            f"of {obj.size} bytes",
+        )
+
+    def _offset_interval(self, addr, ptr: PtrVal, where) -> Optional[tuple[int, int]]:
+        if ptr.offset is not None:
+            return (ptr.offset, ptr.offset)
+        # Computed offset: decompose `addr = base + idx` and ask the
+        # interval analysis how large idx can get at this point.
+        if self._interval_states is None or not isinstance(addr, Reg):
+            return None
+        instr = self.defs.get(addr.id)
+        if not isinstance(instr, BinOp) or instr.op not in ("add", "sub"):
+            return None
+        base = self.pt.pointer(instr.lhs)
+        index = instr.rhs
+        if base is None and instr.op == "add":
+            base = self.pt.pointer(instr.rhs)
+            index = instr.lhs
+        if base is None or base.offset is None or not isinstance(index, Reg):
+            return None
+        label, idx = where
+        states = self._interval_states.get(label)
+        if states is None or idx >= len(states):
+            return None
+        interval = states[idx].get(("r", index.id))
+        if interval is None:
+            return None
+        lo, hi = interval
+        if instr.op == "sub":
+            lo, hi = -hi, -lo
+        return (base.offset + lo, base.offset + hi)
+
+    #: Per-(block → per-instruction interval state); set by the scan driver.
+    _interval_states: Optional[dict[str, list[dict]]] = None
+
+
+def find_pointer_ub(
+    func: Function,
+    module: Module,
+    points_to: PointsTo | None = None,
+    interval_analysis: IntervalAnalysis | None = None,
+    interval_result: DataflowResult | None = None,
+) -> tuple[list[PtrFinding], DataflowResult]:
+    """Solve provenance for *func* and scan every access for pointer UB."""
+    analysis = ProvenanceAnalysis(func, module, points_to=points_to)
+    result = solve(func, analysis)
+    if interval_analysis is None or interval_result is None:
+        interval_analysis = IntervalAnalysis(func, module, points_to=analysis.pt)
+        interval_result = solve(func, interval_analysis)
+    # Record the interval state *before* each instruction so computed
+    # array offsets can be bounded at their access points.
+    interval_states: dict[str, list[dict]] = {}
+    for label in interval_result.block_in:
+        istate = dict(interval_result.block_in[label])
+        per_instr: list[dict] = []
+        for instr in func.blocks[label].instrs:
+            per_instr.append(dict(istate))
+            interval_analysis.transfer_instr(instr, istate)
+        interval_states[label] = per_instr
+    analysis._interval_states = interval_states
+    findings: list[PtrFinding] = []
+    for label in result.block_in:
+        state = dict(result.block_in[label])
+        for idx, instr in enumerate(func.blocks[label].instrs):
+            analysis.transfer_instr(instr, state, findings=findings, where=(label, idx))
+    analysis._interval_states = None
+    return findings, result

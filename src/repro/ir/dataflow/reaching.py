@@ -1,0 +1,303 @@
+"""Reaching-definition / uninitialized-use analysis.
+
+A forward may-analysis at whole-object granularity: every stack slot and
+heap allocation site is UNINIT until a store (or an initializing call)
+reaches it, INIT once a definition reaches it on *every* path, and MAYBE
+when only some paths define it.  A load from an UNINIT object is a
+confirmed uninitialized read; from a MAYBE object, a possible one — the
+distinction CompDiff's divergence triage surfaces as CONFIRMED versus
+POSSIBLE evidence.
+
+Objects whose address escapes (passed to an unmodeled call or stored
+into memory) are assumed initialized at the escape point; this trades
+recall for precision, matching how the baseline static-tool analogs
+handle intractable flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.dataflow.framework import DataflowAnalysis, DataflowResult, solve
+from repro.ir.dataflow.pointsto import (
+    HEAP_ALLOCATORS,
+    READ_ONLY_BUILTINS,
+    WRITES_THROUGH_ARG0,
+    MemObject,
+    PointsTo,
+)
+from repro.ir.instructions import BinOp, Call, CallBuiltin, Cast, Load, Move, Reg, Ret, Store
+from repro.ir.module import Function, Module
+
+UNINIT = "uninit"
+INIT = "init"
+MAYBE = "maybe"
+
+_JOIN = {
+    (UNINIT, UNINIT): UNINIT,
+    (INIT, INIT): INIT,
+}
+
+
+def _join_states(a: str, b: str) -> str:
+    return _JOIN.get((a, b), MAYBE)
+
+
+def _param_aliases(func: Function) -> dict[int, int]:
+    """Register id -> index of the parameter it is derived from.
+
+    Parameters arrive in registers 0..n-1; Move/Cast/pointer-arithmetic
+    chains keep addressing the same underlying object at whole-object
+    granularity, which is all the init analysis distinguishes.
+    """
+    alias: dict[int, int] = {i: i for i in range(len(func.params))}
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                dst = instr.defines()
+                if dst is None or dst.id in alias:
+                    continue
+                src = None
+                if isinstance(instr, (Move, Cast)):
+                    src = instr.src
+                elif isinstance(instr, BinOp) and instr.op in ("add", "sub"):
+                    if isinstance(instr.lhs, Reg) and instr.lhs.id in alias:
+                        src = instr.lhs
+                    elif instr.op == "add" and isinstance(instr.rhs, Reg):
+                        src = instr.rhs
+                if isinstance(src, Reg) and src.id in alias:
+                    alias[dst.id] = alias[src.id]
+                    changed = True
+    return alias
+
+
+def param_write_summary(func: Function) -> dict[int, str]:
+    """Which pointer parameters *func* writes through: ``must`` or ``may``.
+
+    ``must`` — a store through the parameter reaches every return, so the
+    caller's object is definitely initialized after the call.  ``may`` —
+    some path writes (or the pointer is passed on to another call), the
+    conditional-initializer shape behind CWE-457's address-taken
+    variants.  Parameters absent from the result are never written.
+    """
+    alias = _param_aliases(func)
+
+    def written(instr) -> set[int]:
+        if isinstance(instr, Store) and isinstance(instr.addr, Reg):
+            if instr.addr.id in alias:
+                return {alias[instr.addr.id]}
+        if isinstance(instr, CallBuiltin) and instr.name in WRITES_THROUGH_ARG0:
+            if instr.args and isinstance(instr.args[0], Reg) and instr.args[0].id in alias:
+                return {alias[instr.args[0].id]}
+        return set()
+
+    may: set[int] = set()
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            may |= written(instr)
+            if isinstance(instr, Call):
+                for arg in instr.args:
+                    if isinstance(arg, Reg) and arg.id in alias:
+                        may.add(alias[arg.id])
+
+    class _MustWrite(DataflowAnalysis):
+        direction = "forward"
+
+        def boundary(self, f):
+            return frozenset()
+
+        def top(self, f):
+            return frozenset(range(len(func.params)))
+
+        def join(self, states):
+            merged = states[0]
+            for state in states[1:]:
+                merged = merged & state
+            return merged
+
+        def transfer_block(self, f, label, state):
+            out = set(state)
+            for instr in f.blocks[label].instrs:
+                out |= written(instr)
+            return frozenset(out)
+
+    result = solve(func, _MustWrite())
+    must: frozenset | None = None
+    if result.converged:
+        for label, block in func.blocks.items():
+            if isinstance(block.terminator, Ret):
+                out = result.block_out[label]
+                must = out if must is None else must & out
+    summary: dict[int, str] = {}
+    for index in sorted(may):
+        summary[index] = "must" if must is not None and index in must else "may"
+    return summary
+
+
+@dataclass(frozen=True)
+class UninitUse:
+    """One load observed before any reaching definition."""
+
+    obj: MemObject
+    line: int
+    function: str
+    block: str
+    instr_index: int
+    #: "uninit" (no path defines it) or "maybe" (some paths do).
+    state: str
+
+
+class InitAnalysis(DataflowAnalysis):
+    """Forward initialization-state analysis over one function."""
+
+    direction = "forward"
+
+    def __init__(self, func: Function, module: Module, points_to: PointsTo | None = None):
+        self.func = func
+        self.module = module
+        self.pt = points_to if points_to is not None else PointsTo(func, module)
+        self.tracked = tuple(self.pt.objects())
+        self.escaped = self._escaped_for_init()
+        self._summaries: dict[str, dict[int, str] | None] = {}
+
+    def _callee_summary(self, name: str) -> dict[int, str] | None:
+        """Param-write summary for a module-internal callee (None = opaque)."""
+        if name not in self._summaries:
+            callee = self.module.functions.get(name)
+            self._summaries[name] = (
+                param_write_summary(callee) if callee is not None else None
+            )
+        return self._summaries[name]
+
+    def _escaped_for_init(self) -> set[MemObject]:
+        """Escapes that force assuming-initialized for *this* analysis.
+
+        Unlike :meth:`PointsTo.escaped_objects`, an address handed to a
+        *module-internal* call does not escape here: the callee's
+        param-write summary models its effect precisely, which is what
+        catches the CWE-457 address-taken conditional-init shape.
+        """
+        escaped: set[MemObject] = set()
+        for block in self.func.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, Store):
+                    src = self.pt.pointer(instr.src)
+                    if src is not None:
+                        dst = self.pt.pointer(instr.addr)
+                        if dst is None or dst.obj.kind != "slot":
+                            escaped.add(src.obj)
+                elif isinstance(instr, Call):
+                    if instr.callee in self.module.functions:
+                        continue
+                    for arg in instr.args:
+                        ptr = self.pt.pointer(arg)
+                        if ptr is not None:
+                            escaped.add(ptr.obj)
+                elif isinstance(instr, CallBuiltin):
+                    if (
+                        instr.name in READ_ONLY_BUILTINS
+                        or instr.name in HEAP_ALLOCATORS
+                        or instr.name in WRITES_THROUGH_ARG0
+                    ):
+                        continue
+                    for arg in instr.args:
+                        ptr = self.pt.pointer(arg)
+                        if ptr is not None:
+                            escaped.add(ptr.obj)
+        return escaped
+
+    # ------------------------------------------------------------- lattice
+
+    def boundary(self, func: Function):
+        return {obj: UNINIT for obj in self.tracked}
+
+    def top(self, func: Function):
+        # Optimistic: lets loop bodies see the state the entry actually
+        # provides rather than pessimizing to MAYBE immediately.
+        return {obj: UNINIT for obj in self.tracked}
+
+    def join(self, states):
+        merged = dict(states[0])
+        for state in states[1:]:
+            for obj, value in state.items():
+                merged[obj] = _join_states(merged.get(obj, UNINIT), value)
+        return merged
+
+    # ------------------------------------------------------------ transfer
+
+    def transfer_block(self, func: Function, label: str, state):
+        out = dict(state)
+        for instr in func.blocks[label].instrs:
+            self.transfer_instr(instr, out)
+        return out
+
+    def transfer_instr(self, instr, state) -> None:
+        """Apply one instruction's effect to *state* in place."""
+        if isinstance(instr, Store):
+            ptr = self.pt.pointer(instr.addr)
+            if ptr is not None:
+                state[ptr.obj] = INIT
+            return
+        if isinstance(instr, CallBuiltin):
+            if instr.name in HEAP_ALLOCATORS:
+                ptr = self.pt.pointer(instr.dst) if instr.dst is not None else None
+                if ptr is not None:
+                    # calloc zeroes; malloc'd memory starts undefined.
+                    state[ptr.obj] = INIT if instr.name == "calloc" else UNINIT
+                return
+            if instr.name in WRITES_THROUGH_ARG0 and instr.args:
+                ptr = self.pt.pointer(instr.args[0])
+                if ptr is not None:
+                    state[ptr.obj] = INIT
+                return
+            return
+        if isinstance(instr, Call):
+            summary = self._callee_summary(instr.callee)
+            for index, arg in enumerate(instr.args):
+                ptr = self.pt.pointer(arg)
+                if ptr is None:
+                    continue
+                if summary is None or ptr.offset != 0:
+                    # Opaque callee (or interior pointer): it may
+                    # initialize anything it was handed.
+                    state[ptr.obj] = INIT
+                    continue
+                kind = summary.get(index)
+                if kind == "must":
+                    state[ptr.obj] = INIT
+                elif kind == "may":
+                    state[ptr.obj] = _join_states(state.get(ptr.obj, UNINIT), INIT)
+                # Never written by the callee: state is unchanged.
+
+
+def find_uninit_uses(
+    func: Function, module: Module, points_to: PointsTo | None = None
+) -> tuple[list[UninitUse], DataflowResult]:
+    """Solve the init analysis and scan every load against its in-state."""
+    analysis = InitAnalysis(func, module, points_to=points_to)
+    result = solve(func, analysis)
+    uses: list[UninitUse] = []
+    for label in result.block_in:
+        state = dict(result.block_in[label])
+        for idx, instr in enumerate(func.blocks[label].instrs):
+            if isinstance(instr, Load):
+                ptr = analysis.pt.pointer(instr.addr)
+                if (
+                    ptr is not None
+                    and ptr.obj not in analysis.escaped
+                    and state.get(ptr.obj, INIT) in (UNINIT, MAYBE)
+                ):
+                    uses.append(
+                        UninitUse(
+                            obj=ptr.obj,
+                            line=instr.line,
+                            function=func.name,
+                            block=label,
+                            instr_index=idx,
+                            state=state.get(ptr.obj, INIT),
+                        )
+                    )
+            analysis.transfer_instr(instr, state)
+    return uses, result

@@ -17,14 +17,46 @@ rows, Cppcheck/Coverity's 100% on CWE-475/685, and Infer's strength on
 null dereference and heap state.
 """
 
-from repro.static_analysis.base import StaticAnalyzer, StaticFinding
+from repro.static_analysis.base import StaticAnalyzer, StaticFinding, dedupe_findings
 from repro.static_analysis.coverity import Coverity
 from repro.static_analysis.cppcheck import Cppcheck
 from repro.static_analysis.infer import Infer
+from repro.static_analysis.ub_oracle import UBFinding, UBOracle, UBReport, flagged_blocks
+from repro.static_analysis.triage import (
+    TABLE5_CATEGORIES,
+    TriageLabel,
+    triage_diff,
+    triage_divergence,
+    triage_program,
+)
 
 
 def all_static_tools() -> list[StaticAnalyzer]:
+    """The three baseline-tool analogs of Table 3.
+
+    The IR-level :class:`UBOracle` is intentionally *not* part of this
+    list: Table 3 compares CompDiff against the commercial-tool
+    baselines, and adding a fourth tool would change those rows.  Use
+    :class:`UBOracle` directly (or ``repro analyze``) for triage.
+    """
     return [Coverity(), Cppcheck(), Infer()]
 
 
-__all__ = ["Coverity", "Cppcheck", "Infer", "StaticAnalyzer", "StaticFinding", "all_static_tools"]
+__all__ = [
+    "Coverity",
+    "Cppcheck",
+    "Infer",
+    "StaticAnalyzer",
+    "StaticFinding",
+    "TABLE5_CATEGORIES",
+    "TriageLabel",
+    "UBFinding",
+    "UBOracle",
+    "UBReport",
+    "all_static_tools",
+    "dedupe_findings",
+    "flagged_blocks",
+    "triage_diff",
+    "triage_divergence",
+    "triage_program",
+]

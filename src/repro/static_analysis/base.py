@@ -57,6 +57,22 @@ class StaticFinding:
     message: str
 
 
+def dedupe_findings(findings: list) -> list:
+    """Drop exact duplicates and order findings deterministically.
+
+    Sort key is (line, checker, message) so reports diff stably across
+    runs, checker registration order, and worker counts.  Works for any
+    finding type exposing those three attributes.
+    """
+    seen: set = set()
+    ordered: list = []
+    for finding in sorted(findings, key=lambda f: (f.line, f.checker, f.message)):
+        if finding not in seen:
+            seen.add(finding)
+            ordered.append(finding)
+    return ordered
+
+
 @dataclass
 class FunctionTrace:
     func: ast.FuncDef
@@ -377,7 +393,7 @@ class StaticAnalyzer:
                 findings.append(
                     StaticFinding(tool=self.name, checker=checker_name, line=line, message=message)
                 )
-        return findings
+        return dedupe_findings(findings)
 
     def analyze_source(self, source: str) -> list[StaticFinding]:
         return self.analyze(load(source))

@@ -1,0 +1,246 @@
+"""Divergence triage: label a CompDiff discrepancy with a Table 5 category.
+
+The paper hand-assigned each confirmed real-world divergence to one of
+EvalOrder / UninitMem / IntError / MemError / PointerCmp / Misc (plus
+the ``__LINE__`` class the repo seeds separately).  This module closes
+that loop automatically: it takes the divergence site recovered by the
+trace-alignment localizer (:mod:`repro.core.localize`) and matches it
+against the UB oracle's instruction-level findings.  The nearest finding
+within a small line window names the category and the culpable
+instruction; a site with no nearby finding falls back to Misc — which is
+exactly right for the miscompile-style seeds that have no source-level
+UB to point at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler import CompilerConfig
+from repro.core.localize import Localization, localize
+from repro.minic import ast
+from repro.minic import load
+from repro.static_analysis.ub_oracle import UBFinding, UBOracle
+
+#: Triage label space: the paper's Table 5 plus the seeded LINE class.
+TABLE5_CATEGORIES = (
+    "EvalOrder",
+    "UninitMem",
+    "IntError",
+    "MemError",
+    "PointerCmp",
+    "LINE",
+    "Misc",
+)
+
+#: Tie-break order among equally-near findings — differential and
+#: pointer evidence is more specific than arithmetic-range evidence.
+_CATEGORY_PRIORITY = {name: rank for rank, name in enumerate(
+    ("EvalOrder", "LINE", "PointerCmp", "MemError", "UninitMem", "IntError", "Misc")
+)}
+
+#: Findings farther than this many lines from every divergence-site
+#: candidate line do not explain the divergence.
+DEFAULT_WINDOW = 2
+
+
+@dataclass(frozen=True)
+class TriageLabel:
+    """One triaged divergence: category plus the supporting finding."""
+
+    category: str
+    confidence: str  # "confirmed" | "possible"
+    #: Divergence line the label anchors to (0 when diverged at entry).
+    line: int
+    finding: UBFinding | None
+    rationale: str
+
+    @property
+    def explained(self) -> bool:
+        return self.finding is not None
+
+
+def triage_divergence(
+    findings: list[UBFinding],
+    localization: Localization,
+    window: int = DEFAULT_WINDOW,
+) -> TriageLabel:
+    """Label one localized divergence using the oracle's *findings*.
+
+    Two regimes, matching how unstable code actually manifests:
+
+    * **Control divergence** — the two traces depart (guard folding,
+      null-check elision, short-circuit differences): the nearest
+      finding within *window* lines of the divergence-site candidates
+      names the category.
+    * **Value divergence** — the traces are identical but the outputs
+      differ (an uninitialized read, overflowed arithmetic, or
+      address-dependent value flowed into the output): line distance to
+      the final print statement is meaningless, so the label comes from
+      the findings on the *executed path*, preferring specific
+      categories, confirmed evidence, and the most recently executed
+      suspicious instruction.
+    """
+    if localization.diverged and (
+        localization.next_line_a is not None or localization.next_line_b is not None
+    ):
+        candidates = [
+            line
+            for line in (
+                localization.next_line_a,
+                localization.next_line_b,
+                localization.last_common_line,
+            )
+            if line
+        ]
+        if candidates:
+            label = _triage_control_divergence(findings, candidates, window)
+            if label is not None and label.category != "Misc":
+                return label
+            if label is not None:
+                # A Misc-category finding near the branch point (an address
+                # cast, a pointer print) is weak evidence: it explains *a*
+                # difference, not necessarily *this* one.  Prefer a specific
+                # cause on the executed path when one exists.
+                value = _triage_value_divergence(findings, localization)
+                return value if value.category != "Misc" else label
+    return _triage_value_divergence(findings, localization)
+
+
+def _triage_control_divergence(
+    findings: list[UBFinding], candidates: list[int], window: int
+) -> TriageLabel | None:
+    anchor = candidates[0]
+    best: tuple | None = None
+    for finding in findings:
+        distance = min(abs(finding.line - line) for line in candidates)
+        if distance > window:
+            continue
+        key = (
+            distance,
+            0 if finding.confidence == "confirmed" else 1,
+            _CATEGORY_PRIORITY.get(finding.category, len(_CATEGORY_PRIORITY)),
+            finding.line,
+            finding.checker,
+            finding.message,
+        )
+        if best is None or key < best[0]:
+            best = (key, finding)
+    if best is None:
+        return None
+    finding = best[1]
+    return TriageLabel(
+        category=finding.category,
+        confidence=finding.confidence,
+        line=anchor,
+        finding=finding,
+        rationale=(
+            f"{finding.checker} at {finding.function}:{finding.line} "
+            f"({finding.confidence}): {finding.message}"
+        ),
+    )
+
+
+def _triage_value_divergence(
+    findings: list[UBFinding], localization: Localization
+) -> TriageLabel:
+    anchor = localization.last_common_line
+    last_pos: dict[int, int] = {}
+    for trace in (localization.trace_a, localization.trace_b):
+        for index, line in enumerate(trace):
+            if index > last_pos.get(line, -1):
+                last_pos[line] = index
+    best: tuple | None = None
+    for finding in findings:
+        # Multi-line expressions can record the instruction one line off
+        # from the traced statement line, so tolerate a ±1 mismatch.
+        position, distance = None, 0
+        for delta in (0, -1, 1):
+            hit = last_pos.get(finding.line + delta)
+            if hit is not None:
+                position, distance = hit, abs(delta)
+                break
+        if position is None:
+            continue  # never executed on this input: cannot be culpable
+        key = (
+            _CATEGORY_PRIORITY.get(finding.category, len(_CATEGORY_PRIORITY)),
+            0 if finding.confidence == "confirmed" else 1,
+            distance,
+            -position,
+            finding.line,
+            finding.checker,
+            finding.message,
+        )
+        if best is None or key < best[0]:
+            best = (key, finding)
+    if best is None:
+        return TriageLabel(
+            category="Misc",
+            confidence="possible",
+            line=anchor,
+            finding=None,
+            rationale=(
+                "no static UB finding on the executed path (or within the "
+                "divergence window) — unexplained divergences default to Misc"
+            ),
+        )
+    finding = best[1]
+    return TriageLabel(
+        category=finding.category,
+        confidence=finding.confidence,
+        line=anchor,
+        finding=finding,
+        rationale=(
+            f"executed-path match: {finding.checker} at "
+            f"{finding.function}:{finding.line} ({finding.confidence}): "
+            f"{finding.message}"
+        ),
+    )
+
+
+def triage_diff(
+    program: ast.Program | str,
+    diff,
+    findings: list[UBFinding],
+    window: int = DEFAULT_WINDOW,
+    fuel: int | None = None,
+) -> TriageLabel:
+    """Triage one :class:`~repro.core.compdiff.DiffResult`.
+
+    Localizes between one representative of the majority observation
+    group and one of the first minority group — the deterministic pair
+    :meth:`DiffResult.groups` ordering provides.
+    """
+    groups = diff.groups()
+    if len(groups) < 2:
+        return TriageLabel(
+            category="Misc",
+            confidence="possible",
+            line=0,
+            finding=None,
+            rationale="input did not diverge; nothing to triage",
+        )
+    kwargs = {} if fuel is None else {"fuel": fuel}
+    localization = localize(program, diff.input, groups[0][0], groups[1][0], **kwargs)
+    return triage_divergence(findings, localization, window=window)
+
+
+def triage_program(
+    program: ast.Program | str,
+    input_bytes: bytes,
+    impl_a: CompilerConfig | str = "gcc-O0",
+    impl_b: CompilerConfig | str = "gcc-O2",
+    findings: list[UBFinding] | None = None,
+    window: int = DEFAULT_WINDOW,
+) -> TriageLabel:
+    """Localize the divergence between two implementations and triage it.
+
+    Pass precomputed *findings* when triaging many inputs of one
+    program; otherwise the UB oracle runs once per call.
+    """
+    if isinstance(program, str):
+        program = load(program)
+    if findings is None:
+        findings = UBOracle().analyze(program)
+    localization = localize(program, input_bytes, impl_a, impl_b)
+    return triage_divergence(findings, localization, window=window)

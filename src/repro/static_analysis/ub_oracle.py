@@ -1,0 +1,459 @@
+"""IR-level UB oracle: the repo's fourth static "tool".
+
+Unlike the Coverity/Cppcheck/Infer analogs — AST checkers over a
+syntactic trace — this tool lowers the program to :mod:`repro.ir` and
+runs the :mod:`repro.ir.dataflow` analyses, emitting one
+:class:`UBFinding` per suspicious instruction with a CONFIRMED or
+POSSIBLE confidence and the Table 5 category the divergence-triage
+layer needs (EvalOrder, UninitMem, IntError, MemError, PointerCmp,
+LINE, Misc).
+
+Two checkers are inherently *differential* and need a second lowering:
+
+* ``line_macro`` compares the constant operands of matched call sites
+  between a gcc-config and a clang-config O0 module — an
+  implementation-defined ``__LINE__`` expansion shows up as the same
+  call receiving different constants;
+* ``eval_order`` is single-module but interprocedural: two calls on one
+  source line whose callees write the same global (the Listing 3
+  static-buffer pattern) are flagged as evaluation-order dependent.
+
+Both O0 modules come from the same deterministic lowering, so call
+sites align structurally; checkers only compare sites whose callee and
+arity agree, which keeps argument-evaluation-order differences from
+producing false ``line_macro`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.binary import compile_module
+from repro.compiler.implementations import implementation
+from repro.ir.cfg import block_order_rpo
+from repro.ir.dataflow import (
+    IntervalAnalysis,
+    PointsTo,
+    find_integer_ub,
+    find_pointer_ub,
+    find_uninit_uses,
+    solve,
+)
+from repro.ir.dataflow.pointsto import WRITES_THROUGH_ARG0
+from repro.ir.dataflow.reaching import UNINIT
+from repro.ir.instructions import (
+    FLOAT_BINOPS,
+    BinOp,
+    Call,
+    CallBuiltin,
+    Cast,
+    Const,
+    Load,
+    Reg,
+    Store,
+)
+from repro.ir.module import Function, Module
+from repro.minic import ast
+from repro.minic import load
+from repro.minic.types import FloatType, IntType
+from repro.static_analysis.base import dedupe_findings
+
+#: Table 5 category per checker (LINE is the repo's extra seeded class).
+CHECKER_CATEGORY = {
+    "uninit_read": "UninitMem",
+    "signed_overflow": "IntError",
+    "shift_ub": "IntError",
+    "div_zero": "IntError",
+    "null_deref": "MemError",
+    "oob_access": "MemError",
+    "use_after_free": "MemError",
+    "double_free": "MemError",
+    "bad_free": "MemError",
+    "eval_order": "EvalOrder",
+    "line_macro": "LINE",
+    "pointer_cmp": "PointerCmp",
+    "pointer_print": "Misc",
+    "address_cast": "Misc",
+    "float_sensitivity": "Misc",
+}
+
+#: Builtins whose results are implementation/rounding sensitive.
+_FLOAT_SENSITIVE_BUILTINS = frozenset({"pow", "exp2", "exp", "log"})
+
+CONFIRMED = "confirmed"
+POSSIBLE = "possible"
+
+
+@dataclass(frozen=True)
+class UBFinding:
+    """One instruction-level UB observation with its Table 5 category."""
+
+    tool: str
+    checker: str
+    category: str
+    confidence: str  # "confirmed" | "possible"
+    line: int
+    function: str
+    block: str
+    message: str
+
+
+@dataclass
+class UBReport:
+    """Oracle output: findings plus solver-convergence telemetry."""
+
+    findings: list[UBFinding]
+    #: (function, analysis-name) pairs whose solver hit the visit cap.
+    nonconverged: list[tuple[str, str]]
+
+    @property
+    def converged(self) -> bool:
+        return not self.nonconverged
+
+
+def flagged_blocks(findings: list[UBFinding]) -> set[tuple[str, str]]:
+    """(function, block-label) pairs touched by any finding — the set the
+    directed-fuzzing energy boost intersects with seed coverage."""
+    return {(f.function, f.block) for f in findings if f.block}
+
+
+class UBOracle:
+    """Static tool facade matching the analyzer-analog interface."""
+
+    name = "ub-oracle"
+
+    def analyze(self, program: ast.Program) -> list[UBFinding]:
+        return self.report(program).findings
+
+    def analyze_source(self, source: str) -> list[UBFinding]:
+        return self.analyze(load(source))
+
+    def flags(self, program: ast.Program) -> bool:
+        return bool(self.analyze(program))
+
+    def report(self, program: ast.Program, name: str = "") -> UBReport:
+        """Full oracle run: lower twice, run all checkers, dedupe."""
+        gcc_module = compile_module(program, implementation("gcc-O0"), name=name)
+        clang_module = compile_module(program, implementation("clang-O0"), name=name)
+        return analyze_modules(gcc_module, clang_module)
+
+
+def analyze_modules(module: Module, other_module: Module | None = None) -> UBReport:
+    """Run every checker over *module* (plus the differential ``line_macro``
+    checker when a second lowering is supplied)."""
+    findings: list[UBFinding] = []
+    nonconverged: list[tuple[str, str]] = []
+    effects = _GlobalEffects(module)
+    for func in module.functions.values():
+        pt = PointsTo(func, module)
+        _dataflow_findings(func, module, pt, findings, nonconverged)
+        _eval_order_findings(func, effects, findings)
+        _misc_findings(func, module, pt, findings)
+    if other_module is not None:
+        _line_macro_findings(module, other_module, findings)
+    return UBReport(findings=dedupe_findings(findings), nonconverged=nonconverged)
+
+
+# ------------------------------------------------------------------ dataflow
+
+
+def _dataflow_findings(
+    func: Function,
+    module: Module,
+    pt: PointsTo,
+    findings: list[UBFinding],
+    nonconverged: list[tuple[str, str]],
+) -> None:
+    uses, r_init = find_uninit_uses(func, module, points_to=pt)
+    interval_analysis = IntervalAnalysis(func, module, points_to=pt)
+    interval_result = solve(func, interval_analysis)
+    int_findings: list = []
+    for label in interval_result.block_in:
+        state = dict(interval_result.block_in[label])
+        for idx, instr in enumerate(func.blocks[label].instrs):
+            interval_analysis.transfer_instr(
+                instr, state, findings=int_findings, where=(label, idx)
+            )
+    ptr_findings, r_ptr = find_pointer_ub(
+        func,
+        module,
+        points_to=pt,
+        interval_analysis=interval_analysis,
+        interval_result=interval_result,
+    )
+    for result, which in ((r_init, "init"), (interval_result, "intervals"), (r_ptr, "provenance")):
+        if not result.converged:
+            nonconverged.append((func.name, which))
+    for use in uses:
+        confirmed = use.state == UNINIT
+        findings.append(
+            _finding(
+                "uninit_read",
+                CONFIRMED if confirmed else POSSIBLE,
+                use.line,
+                func.name,
+                use.block,
+                f"read of {use.obj.describe()} before initialization on "
+                f"{'every' if confirmed else 'some'} path",
+            )
+        )
+    for f in int_findings:
+        findings.append(
+            _finding(f.checker, f.confidence, f.line, func.name, f.block, f.message)
+        )
+    for f in ptr_findings:
+        findings.append(
+            _finding(f.checker, f.confidence, f.line, func.name, f.block, f.message)
+        )
+
+
+def _finding(
+    checker: str, confidence: str, line: int, function: str, block: str, message: str
+) -> UBFinding:
+    return UBFinding(
+        tool=UBOracle.name,
+        checker=checker,
+        category=CHECKER_CATEGORY[checker],
+        confidence=confidence,
+        line=line,
+        function=function,
+        block=block,
+        message=message,
+    )
+
+
+# ---------------------------------------------------------------- eval order
+
+
+class _GlobalEffects:
+    """Transitive per-function global read/write summaries."""
+
+    def __init__(self, module: Module) -> None:
+        self.writes: dict[str, set[str]] = {}
+        self.reads: dict[str, set[str]] = {}
+        callees: dict[str, set[str]] = {}
+        for func in module.functions.values():
+            pt = PointsTo(func, module)
+            writes: set[str] = set()
+            reads: set[str] = set()
+            called: set[str] = set()
+            for block in func.blocks.values():
+                for instr in block.instrs:
+                    if isinstance(instr, Store):
+                        ptr = pt.pointer(instr.addr)
+                        if ptr is not None and ptr.obj.kind == "global":
+                            writes.add(ptr.obj.key)
+                    elif isinstance(instr, Load):
+                        ptr = pt.pointer(instr.addr)
+                        if ptr is not None and ptr.obj.kind == "global":
+                            reads.add(ptr.obj.key)
+                    elif isinstance(instr, CallBuiltin):
+                        if instr.name in WRITES_THROUGH_ARG0 and instr.args:
+                            ptr = pt.pointer(instr.args[0])
+                            if ptr is not None and ptr.obj.kind == "global":
+                                writes.add(ptr.obj.key)
+                    elif isinstance(instr, Call):
+                        called.add(instr.callee)
+            self.writes[func.name] = writes
+            self.reads[func.name] = reads
+            callees[func.name] = called
+        changed = True
+        while changed:
+            changed = False
+            for name, called in callees.items():
+                for callee in called:
+                    for table in (self.writes, self.reads):
+                        extra = table.get(callee, set()) - table[name]
+                        if extra:
+                            table[name] |= extra
+                            changed = True
+
+
+def _eval_order_findings(
+    func: Function, effects: _GlobalEffects, findings: list[UBFinding]
+) -> None:
+    by_line: dict[int, list[tuple[str, str]]] = {}
+    for label in block_order_rpo(func):
+        for instr in func.blocks[label].instrs:
+            if isinstance(instr, Call):
+                by_line.setdefault(instr.line, []).append((instr.callee, label))
+    for line, calls in sorted(by_line.items()):
+        if len(calls) < 2:
+            continue
+        for i, (callee_a, label_a) in enumerate(calls):
+            for callee_b, _ in calls[i + 1 :]:
+                wa = effects.writes.get(callee_a, set())
+                wb = effects.writes.get(callee_b, set())
+                ra = effects.reads.get(callee_a, set())
+                rb = effects.reads.get(callee_b, set())
+                if wa & wb:
+                    shared = sorted(wa & wb)[0]
+                    confidence, what = CONFIRMED, f"both write global '{shared}'"
+                elif (wa & rb) or (wb & ra):
+                    shared = sorted((wa & rb) | (wb & ra))[0]
+                    confidence, what = POSSIBLE, f"one writes global '{shared}' the other reads"
+                else:
+                    continue
+                findings.append(
+                    _finding(
+                        "eval_order",
+                        confidence,
+                        line,
+                        func.name,
+                        label_a,
+                        f"calls to {callee_a}() and {callee_b}() in one full "
+                        f"expression {what}; argument evaluation order is "
+                        "unspecified",
+                    )
+                )
+                break
+            else:
+                continue
+            break
+
+
+# --------------------------------------------------------------------- misc
+
+
+def _misc_findings(
+    func: Function, module: Module, pt: PointsTo, findings: list[UBFinding]
+) -> None:
+    for label, block in func.blocks.items():
+        for instr in block.instrs:
+            if isinstance(instr, Cast):
+                # Address-of casts are typed as integer conversions by the
+                # lowering, so the pointer provenance of the *source
+                # register* is the reliable signal, not ``from_type``.
+                if (
+                    isinstance(instr.to_type, IntType)
+                    and isinstance(instr.src, Reg)
+                    and pt.pointer(instr.src) is not None
+                ):
+                    obj = pt.pointer(instr.src).obj
+                    findings.append(
+                        _finding(
+                            "address_cast",
+                            CONFIRMED,
+                            instr.line,
+                            func.name,
+                            label,
+                            f"cast of the address of {obj.describe()} to an "
+                            "integer — the value depends on each "
+                            "implementation's object layout",
+                        )
+                    )
+            elif isinstance(instr, CallBuiltin):
+                if instr.name in ("printf", "eprintf") and instr.args:
+                    fmt = _format_string(instr.args[0], pt, module)
+                    if fmt is not None and b"%p" in fmt:
+                        findings.append(
+                            _finding(
+                                "pointer_print",
+                                CONFIRMED,
+                                instr.line,
+                                func.name,
+                                label,
+                                "printing a pointer value (%p) — addresses "
+                                "differ across implementations",
+                            )
+                        )
+                elif instr.name in _FLOAT_SENSITIVE_BUILTINS:
+                    findings.append(
+                        _finding(
+                            "float_sensitivity",
+                            POSSIBLE,
+                            instr.line,
+                            func.name,
+                            label,
+                            f"{instr.name}() result may differ in the last "
+                            "bit across math-library implementations",
+                        )
+                    )
+            elif isinstance(instr, BinOp):
+                # Single-precision accumulation is sensitive to whether an
+                # implementation keeps extended-precision intermediates.
+                if instr.op in FLOAT_BINOPS and isinstance(instr.type, FloatType) and instr.type.bits == 32:
+                    findings.append(
+                        _finding(
+                            "float_sensitivity",
+                            POSSIBLE,
+                            instr.line,
+                            func.name,
+                            label,
+                            "single-precision float arithmetic may round "
+                            "differently across implementations",
+                        )
+                    )
+
+
+def _format_string(arg, pt: PointsTo, module: Module) -> bytes | None:
+    ptr = pt.pointer(arg)
+    if ptr is None or ptr.obj.kind != "global":
+        return None
+    data = module.globals.get(ptr.obj.key)
+    return data.init if data is not None else None
+
+
+# --------------------------------------------------------------- line macro
+
+
+def _line_macro_findings(
+    module: Module, other: Module, findings: list[UBFinding]
+) -> None:
+    for name, func in module.functions.items():
+        twin = other.functions.get(name)
+        if twin is None:
+            continue
+        calls_a = _call_constants(func)
+        calls_b = _call_constants(twin)
+        for (callee_a, args_a, line, label), (callee_b, args_b, _, _) in zip(
+            calls_a, calls_b
+        ):
+            if callee_a != callee_b or len(args_a) != len(args_b):
+                continue
+            for value_a, value_b in zip(args_a, args_b):
+                if value_a is not None and value_b is not None and value_a != value_b:
+                    findings.append(
+                        _finding(
+                            "line_macro",
+                            CONFIRMED,
+                            line,
+                            name,
+                            label,
+                            f"call to {callee_a}() receives constant {value_a} "
+                            f"under one implementation but {value_b} under "
+                            "another (__LINE__-style implementation-defined "
+                            "expansion)",
+                        )
+                    )
+                    break
+
+
+def _call_constants(func: Function):
+    """Calls in deterministic order with int-constant args resolved."""
+    consts: dict[int, int] = {}
+    counts: dict[int, int] = {}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            dst = instr.defines()
+            if dst is not None:
+                counts[dst.id] = counts.get(dst.id, 0) + 1
+            if isinstance(instr, Const) and isinstance(instr.value, int):
+                consts[instr.dst.id] = instr.value
+    out = []
+    for label in block_order_rpo(func):
+        for instr in func.blocks[label].instrs:
+            if not isinstance(instr, Call):
+                continue
+            args = []
+            for arg in instr.args:
+                if isinstance(arg, bool):
+                    args.append(int(arg))
+                elif isinstance(arg, int):
+                    args.append(arg)
+                elif isinstance(arg, Reg) and counts.get(arg.id) == 1:
+                    args.append(consts.get(arg.id))
+                else:
+                    args.append(None)
+            out.append((instr.callee, tuple(args), instr.line, label))
+    return out

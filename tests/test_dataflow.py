@@ -1,0 +1,197 @@
+"""Unit tests for the IR dataflow framework: dominators and the worklist solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.dataflow import (
+    DataflowAnalysis,
+    dominates,
+    dominators,
+    immediate_dominators,
+    loop_headers,
+    solve,
+)
+from repro.ir.instructions import Const
+from repro.minic import load
+from repro.minic.types import INT
+
+pytestmark = pytest.mark.analysis
+
+
+def _diamond():
+    """entry -> {left, right} -> join."""
+    b = FunctionBuilder("diamond", [], INT)
+    cond = b.new_reg()
+    b.emit(Const(cond, 1, INT))
+    left, right, join = b.new_block("left"), b.new_block("right"), b.new_block("join")
+    b.branch(cond, left, right)
+    b.switch_to(left)
+    b.jump(join)
+    b.switch_to(right)
+    b.jump(join)
+    b.switch_to(join)
+    b.ret()
+    return b.finish(), left, right, join
+
+
+def _loop():
+    """entry -> header; header -> {body, exit}; body -> header."""
+    b = FunctionBuilder("loop", [], INT)
+    cond = b.new_reg()
+    b.emit(Const(cond, 1, INT))
+    header, body, exit_ = b.new_block("header"), b.new_block("body"), b.new_block("exit")
+    b.jump(header)
+    b.switch_to(header)
+    b.branch(cond, body, exit_)
+    b.switch_to(body)
+    b.jump(header)
+    b.switch_to(exit_)
+    b.ret()
+    return b.finish(), header, body, exit_
+
+
+class TestDominators:
+    def test_diamond(self):
+        func, left, right, join = _diamond()
+        doms = dominators(func)
+        assert doms[join] == {"entry", join}
+        assert doms[left] == {"entry", left}
+        assert dominates(doms, "entry", join)
+        assert not dominates(doms, left, join)
+        assert not dominates(doms, right, join)
+
+    def test_diamond_immediate(self):
+        func, left, right, join = _diamond()
+        idom = immediate_dominators(func)
+        assert idom["entry"] is None
+        assert idom[left] == "entry"
+        assert idom[right] == "entry"
+        assert idom[join] == "entry"
+
+    def test_loop(self):
+        func, header, body, exit_ = _loop()
+        doms = dominators(func)
+        assert dominates(doms, header, body)
+        assert dominates(doms, header, exit_)
+        assert not dominates(doms, body, exit_)
+        idom = immediate_dominators(func)
+        assert idom[body] == header
+        assert idom[exit_] == header
+
+    def test_loop_headers(self):
+        func, header, _, _ = _loop()
+        assert loop_headers(func) == {header}
+        diamond_func, *_ = _diamond()
+        assert loop_headers(diamond_func) == set()
+
+
+class _ReachedVia(DataflowAnalysis):
+    """Toy forward analysis: the set of blocks on some path to this point."""
+
+    direction = "forward"
+
+    def boundary(self, func):
+        return frozenset()
+
+    def top(self, func):
+        return frozenset()
+
+    def join(self, states):
+        out = frozenset()
+        for state in states:
+            out |= state
+        return out
+
+    def transfer_block(self, func, label, state):
+        return state | {label}
+
+
+class TestWorklistSolver:
+    def test_fixpoint_on_diamond(self):
+        func, left, right, join = _diamond()
+        result = solve(func, _ReachedVia())
+        assert result.converged
+        assert result.block_in[join] == {"entry", left, right}
+        assert result.block_out[join] == {"entry", left, right, join}
+
+    def test_fixpoint_on_loop(self):
+        func, header, body, exit_ = _loop()
+        result = solve(func, _ReachedVia())
+        assert result.converged
+        # The back edge feeds body's contribution into the header.
+        assert result.block_in[header] == {"entry", header, body}
+        assert result.block_in[exit_] == {"entry", header, body}
+
+    def test_deterministic(self):
+        func, *_ = _loop()
+        first = solve(func, _ReachedVia())
+        second = solve(func, _ReachedVia())
+        assert first.block_in == second.block_in
+        assert first.iterations == second.iterations
+
+    def test_visit_cap_reports_nonconvergence(self):
+        class Diverging(DataflowAnalysis):
+            """Strictly-increasing counter: no fixpoint without widening."""
+
+            def boundary(self, func):
+                return 0
+
+            def top(self, func):
+                return 0
+
+            def join(self, states):
+                return max(states)
+
+            def transfer_block(self, func, label, state):
+                return state + 1
+
+        func, *_ = _loop()
+        result = solve(func, Diverging(), max_visits_per_block=8)
+        assert not result.converged
+
+    def test_widening_restores_convergence(self):
+        class Widened(DataflowAnalysis):
+            CAP = 1 << 10
+
+            def boundary(self, func):
+                return 0
+
+            def top(self, func):
+                return 0
+
+            def join(self, states):
+                return max(states)
+
+            def transfer_block(self, func, label, state):
+                return min(state + 1, self.CAP)
+
+            def widen(self, label, old, new, visits):
+                return self.CAP if visits > 3 and new > old else new
+
+        func, *_ = _loop()
+        result = solve(func, Widened())
+        assert result.converged
+
+
+class TestConvergenceOnRealModules:
+    """The acceptance bar: every analysis reaches fixpoint on real programs."""
+
+    def test_oracle_converges_on_targets(self):
+        from repro.static_analysis import UBOracle
+        from repro.targets import build_target
+
+        oracle = UBOracle()
+        for name in ("tcpdump", "readelf", "exiv2", "MuJS", "libxml2"):
+            report = oracle.report(load(build_target(name).source), name=name)
+            assert report.converged, f"{name}: {report.nonconverged}"
+
+    def test_oracle_converges_on_juliet_sample(self):
+        from repro.juliet import build_suite
+        from repro.static_analysis import UBOracle
+
+        oracle = UBOracle()
+        for case in build_suite(scale=0.003).cases:
+            report = oracle.report(load(case.bad_source), name=case.uid)
+            assert report.converged, f"{case.uid}: {report.nonconverged}"

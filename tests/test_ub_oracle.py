@@ -1,0 +1,161 @@
+"""Per-checker tests for the IR-level UB oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.static_analysis import UBOracle
+from repro.static_analysis.ub_oracle import CHECKER_CATEGORY, flagged_blocks
+
+pytestmark = pytest.mark.analysis
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return UBOracle()
+
+
+def _checkers(findings):
+    return {f.checker for f in findings}
+
+
+class TestCheckers:
+    def test_uninit_read_confirmed(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            int main(void) {
+                int x;
+                printf("%d\\n", x);
+                return 0;
+            }
+            """
+        )
+        (f,) = [f for f in findings if f.checker == "uninit_read"]
+        assert f.confidence == "confirmed"
+        assert f.category == "UninitMem"
+        assert f.line == 4
+
+    def test_uninit_read_possible_on_some_paths(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            int main(void) {
+                int x;
+                int c = input_byte(0);
+                if (c > 64) { x = 1; }
+                printf("%d\\n", x);
+                return 0;
+            }
+            """
+        )
+        (f,) = [f for f in findings if f.checker == "uninit_read"]
+        assert f.confidence == "possible"
+
+    def test_signed_overflow(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            int main(void) {
+                int big = 2147483647;
+                int sum = big + 100;
+                printf("%d\\n", sum);
+                return 0;
+            }
+            """
+        )
+        assert "signed_overflow" in _checkers(findings)
+        f = next(f for f in findings if f.checker == "signed_overflow")
+        assert f.category == "IntError"
+
+    def test_shift_ub(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            int main(void) {
+                int v = 1;
+                printf("%d\\n", v << 35);
+                return 0;
+            }
+            """
+        )
+        assert "shift_ub" in _checkers(findings)
+
+    def test_div_zero(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            int main(void) {
+                int d = 0;
+                printf("%d\\n", 7 / d);
+                return 0;
+            }
+            """
+        )
+        assert "div_zero" in _checkers(findings)
+
+    def test_oob_access(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            int main(void) {
+                int buf[4];
+                buf[0] = 1;
+                buf[7] = 2;
+                printf("%d\\n", buf[0]);
+                return 0;
+            }
+            """
+        )
+        assert "oob_access" in _checkers(findings)
+        f = next(f for f in findings if f.checker == "oob_access")
+        assert f.category == "MemError"
+
+    def test_clean_program_has_no_findings(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            int main(void) {
+                int buf[4];
+                buf[0] = 1;
+                buf[3] = 4;
+                int sum = buf[0] + buf[3];
+                printf("%d\\n", sum);
+                return 0;
+            }
+            """
+        )
+        assert findings == []
+
+
+class TestReportShape:
+    SOURCE = """
+    int main(void) {
+        int x;
+        int big = 2147483646;
+        printf("%d %d\\n", x, big + 100);
+        return 0;
+    }
+    """
+
+    def test_findings_sorted_and_deterministic(self, oracle):
+        first = oracle.analyze_source(self.SOURCE)
+        second = oracle.analyze_source(self.SOURCE)
+        assert first == second
+        keys = [(f.line, f.checker, f.message) for f in first]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)  # deduped
+
+    def test_categories_match_checker_table(self, oracle):
+        for f in oracle.analyze_source(self.SOURCE):
+            assert f.category == CHECKER_CATEGORY[f.checker]
+
+    def test_flags_and_flagged_blocks(self, oracle):
+        from repro.minic import load
+
+        program = load(self.SOURCE)
+        assert oracle.flags(program)
+        findings = oracle.analyze(program)
+        blocks = flagged_blocks(findings)
+        assert blocks
+        assert all(func == "main" for func, _ in blocks)
+
+    def test_report_converges(self, oracle):
+        from repro.minic import load
+
+        report = oracle.report(load(self.SOURCE), name="shape")
+        assert report.converged
+        assert report.findings == oracle.analyze_source(self.SOURCE)
