@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-verified bench bench-quick bench-scaling analyze examples clean
+.PHONY: install test test-fast test-faults test-verified bench bench-quick bench-scaling analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,10 @@ test:
 # Quick lane: skip the long-running end-to-end tests.
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# Robustness lane: fault injection + checkpoint/resume round trips.
+test-faults:
+	$(PYTHON) -m pytest tests/ -m faults
 
 # Same suite with IR verification enabled after every compile.
 test-verified:

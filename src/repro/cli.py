@@ -92,9 +92,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    """`repro fuzz`: a CompDiff-AFL++ campaign with stats output."""
+    """`repro fuzz`: a CompDiff-AFL++ campaign with stats output.
+
+    ``--checkpoint-dir`` journals the campaign periodically (and on
+    Ctrl-C); ``--resume DIR`` continues a killed campaign from its last
+    checkpoint, reproducing the uninterrupted campaign's verdicts.
+    """
     source = open(args.file).read()
     seeds = [_read_input(args)] if _input_given(args) else [b""]
+    # Resuming keeps journaling into the same directory unless overridden.
+    checkpoint_dir = args.checkpoint_dir or args.resume
     options = FuzzerOptions(
         max_executions=args.execs,
         compdiff_stride=args.stride,
@@ -102,9 +109,22 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         divergence_feedback=args.divergence_feedback,
         normalizer=OutputNormalizer.standard() if args.normalize else None,
         workers=args.workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     with CompDiffFuzzer(source, seeds, options, name=args.file) as fuzzer:
-        result = fuzzer.run()
+        try:
+            result = fuzzer.run(resume_from=args.resume)
+        except KeyboardInterrupt:
+            if checkpoint_dir:
+                print(
+                    f"interrupted: checkpoint flushed to {checkpoint_dir}; "
+                    f"continue with `repro fuzz {args.file} --resume {checkpoint_dir}`",
+                    file=sys.stderr,
+                )
+            else:
+                print("interrupted (no --checkpoint-dir; progress lost)", file=sys.stderr)
+            return 130
         if args.stats and fuzzer.oracle_stats is not None:
             print(fuzzer.oracle_stats.render(), file=sys.stderr)
     from repro.fuzzing import render_stats
@@ -311,6 +331,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the CompDiff oracle")
     fuzz.add_argument("--stats", action="store_true",
                       help="print oracle execution metrics to stderr")
+    fuzz.add_argument("--checkpoint-dir", default=None,
+                      help="journal the campaign into this directory "
+                           "(atomic, crash-safe; flushed on Ctrl-C)")
+    fuzz.add_argument("--checkpoint-every", type=int, default=1000,
+                      help="executions between periodic checkpoints")
+    fuzz.add_argument("--resume", default=None, metavar="DIR",
+                      help="resume a killed campaign from its checkpoint "
+                           "directory (pass the original flags)")
     _add_input_flags(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
 

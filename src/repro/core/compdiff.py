@@ -13,13 +13,16 @@ from dataclasses import dataclass, field
 from repro.compiler import DEFAULT_IMPLEMENTATIONS, CompilerConfig, compile_program
 from repro.core.hashing import output_checksum
 from repro.core.normalize import OutputNormalizer
+from repro.errors import EngineConfigError, ReproError
 from repro.minic import ast as minic_ast
 from repro.minic import load
 from repro.parallel.cache import CompileCache
 from repro.parallel.engine import BatchJob, ParallelEngine, ProgramPayload, ServerGroup
+from repro.parallel.faults import FaultPlan
 from repro.parallel.stats import EngineStats
+from repro.parallel.supervisor import SupervisorPolicy
 from repro.vm import ForkServer
-from repro.vm.execution import ExecutionResult, Status
+from repro.vm.execution import ExecutionResult, Status, deadline_result
 from repro.vm.machine import DEFAULT_FUEL
 
 #: RQ6: when only some binaries time out, re-run them with the threshold
@@ -37,10 +40,20 @@ class DiffResult:
     observations: dict[str, tuple]
     checksums: dict[str, int]
     results: dict[str, ExecutionResult] = field(repr=False, default_factory=dict)
+    #: Implementations dropped from this input's cross-check (k-1
+    #: graceful degradation): they persistently failed to compile or
+    #: execute, or their task was quarantined.  Never checksummed; the
+    #: verdict below is over the surviving implementations only.
+    dropped: tuple[str, ...] = ()
 
     @property
     def divergent(self) -> bool:
         return len(set(self.checksums.values())) > 1
+
+    @property
+    def degraded(self) -> bool:
+        """True when this verdict came from a k-1 (or smaller) cross-check."""
+        return bool(self.dropped)
 
     def groups(self) -> list[list[str]]:
         """Implementation names grouped by identical observation.
@@ -123,14 +136,18 @@ class CompDiff:
         workers: int = 1,
         compile_cache: CompileCache | None = None,
         stats: EngineStats | None = None,
+        policy: SupervisorPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if len(implementations) < 2:
-            raise ValueError("CompDiff needs at least two compiler implementations")
+            raise EngineConfigError(
+                "CompDiff needs at least two compiler implementations"
+            )
         names = [config.name for config in implementations]
         if len(set(names)) != len(names):
-            raise ValueError(f"duplicate implementation names: {names}")
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+            raise EngineConfigError(f"duplicate implementation names: {names}")
+        if not isinstance(workers, int) or workers < 1:
+            raise EngineConfigError(f"workers must be an int >= 1, got {workers!r}")
         self.implementations = tuple(implementations)
         self.normalizer = normalizer if normalizer is not None else OutputNormalizer()
         self.fuel = fuel
@@ -144,6 +161,8 @@ class CompDiff:
                 fuel=self.fuel,
                 workers=self.workers,
                 stats=self.stats,
+                policy=policy,
+                fault_plan=fault_plan,
             )
 
     # ------------------------------------------------------------- lifecycle
@@ -162,11 +181,37 @@ class CompDiff:
     # ------------------------------------------------------------- compiling
 
     def build(self, program: minic_ast.Program, name: str = "") -> dict[str, ForkServer]:
-        """Compile *program* with every implementation (§3.1 steps 1-2)."""
+        """Compile *program* with every implementation (§3.1 steps 1-2).
+
+        An implementation that fails to compile the program is dropped
+        from this program's cross-check (k-1 graceful degradation,
+        recorded in stats and flagged on every resulting DiffResult)
+        rather than aborting — unless fewer than two implementations
+        survive, which is a hard error.
+        """
         servers: dict[str, ForkServer] = {}
+        errors: dict[str, str] = {}
+        first_error: ReproError | None = None
         for config in self.implementations:
-            binary = self._compile(program, config, name=name)
+            try:
+                binary = self._compile(program, config, name=name)
+            except ReproError as exc:
+                errors[config.name] = str(exc)
+                if first_error is None:
+                    first_error = exc
+                continue
             servers[config.name] = ForkServer(binary, fuel=self.fuel)
+        if not servers and first_error is not None:
+            # The program itself is broken (front-end error in every
+            # implementation): surface the original exception type.
+            raise first_error
+        if len(servers) < 2:
+            raise ReproError(
+                f"fewer than two implementations can build {name or 'program'!r}: "
+                f"{errors}"
+            )
+        for impl_name in errors:
+            self.stats.record_degraded(impl_name)
         if self._engine is not None:
             return ServerGroup(servers, ProgramPayload.from_program(program, name=name))
         return servers
@@ -198,7 +243,14 @@ class CompDiff:
             return self._diff_from_results(input_bytes, results)
         results: dict[str, ExecutionResult] = {}
         for name, server in servers.items():
-            results[name] = server.run(input_bytes)
+            try:
+                results[name] = server.run(input_bytes)
+            except ReproError as exc:
+                # Internal VM failure on this implementation only: degrade
+                # the cross-check rather than killing the campaign.
+                results[name] = deadline_result(name, f"execution failed: {exc}")
+                self.stats.record_degraded(name)
+                continue
             self.stats.record_exec(name)
         self._retry_partial_timeouts(servers, input_bytes, results)
         self.stats.record_input()
@@ -211,18 +263,31 @@ class CompDiff:
 
         Shared verbatim by the serial and parallel paths: whatever process
         produced the raw results, the observation comparison is identical.
+        Implementations without a usable result — absent entirely (build
+        failure) or present as a ``Status.DEADLINE`` placeholder (hung or
+        quarantined) — are excluded from the checksums and listed in
+        ``DiffResult.dropped``, so the verdict is a flagged k-1 cross-check.
         """
         observations: dict[str, tuple] = {}
         checksums: dict[str, int] = {}
+        dropped: list[str] = []
         for name, result in results.items():
+            if result.deadline_expired:
+                dropped.append(name)
+                continue
             obs = self.normalizer.normalize_observation(result.observation())
             observations[name] = obs
             checksums[name] = self._checksum(obs)
+        for config in self.implementations:
+            if config.name not in results:
+                dropped.append(config.name)
+        order = {config.name: i for i, config in enumerate(self.implementations)}
         return DiffResult(
             input=input_bytes,
             observations=observations,
             checksums=checksums,
             results=results,
+            dropped=tuple(sorted(dropped, key=lambda name: order.get(name, len(order)))),
         )
 
     def _retry_partial_timeouts(
@@ -232,11 +297,20 @@ class CompDiff:
         results: dict[str, ExecutionResult],
     ) -> None:
         """RQ6: a partially-timed-out input gets its threshold raised until
-        the stragglers terminate (or the retry budget runs out)."""
+        the stragglers terminate (or the retry budget runs out).
+
+        Only fuel exhaustion qualifies — ``Status.DEADLINE`` results
+        (dropped implementations) are excluded from both the retry set
+        and the all-timed-out denominator, so a hung implementation never
+        burns fuel-escalation rounds."""
         fuel = self.fuel
         for _ in range(TIMEOUT_MAX_RETRIES):
-            timed_out = [name for name, result in results.items() if result.timed_out]
-            if not timed_out or len(timed_out) == len(results):
+            live = [
+                name for name, result in results.items()
+                if not result.deadline_expired
+            ]
+            timed_out = [name for name in live if results[name].timed_out]
+            if not timed_out or len(timed_out) == len(live):
                 return
             fuel *= TIMEOUT_RETRY_FACTOR
             for name in timed_out:

@@ -26,6 +26,8 @@ class BugReport:
     observation_b: tuple
     #: Full grouping of implementations by identical output.
     groups: list[list[str]] = field(default_factory=list)
+    #: Implementations dropped from the cross-check (k-1 degradation).
+    dropped: tuple[str, ...] = ()
 
     def render(self) -> str:
         """Human-readable report text."""
@@ -58,6 +60,13 @@ class BugReport:
         ]
         for group in self.groups:
             parts.append(f"  - {', '.join(group)}")
+        if self.dropped:
+            parts.append("")
+            parts.append(
+                "## Implementations dropped from the cross-check "
+                "(k-1 differential)"
+            )
+            parts.append(f"  - {', '.join(self.dropped)}")
         return "\n".join(parts) + "\n"
 
 
@@ -81,4 +90,5 @@ def make_report(target: str, diff: DiffResult) -> BugReport:
         observation_a=diff.observations[config_a],
         observation_b=diff.observations[config_b],
         groups=groups,
+        dropped=diff.dropped,
     )

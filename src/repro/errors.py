@@ -42,3 +42,15 @@ class LoweringError(ReproError):
 
 class VMError(ReproError):
     """Internal virtual machine failure (not a guest program trap)."""
+
+
+class EngineConfigError(ReproError, ValueError):
+    """Invalid engine configuration (bad worker count, empty scatter...).
+
+    Also a :class:`ValueError` so pre-existing callers that caught the
+    engines' original validation errors keep working.
+    """
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint is missing, corrupt, or incompatible."""

@@ -16,6 +16,7 @@ from repro.juliet.cwe import GROUP_LABELS, GROUPS
 from repro.juliet.suite import JulietSuite
 from repro.minic import load
 from repro.parallel.cache import CompileCache
+from repro.parallel.stats import EngineStats
 from repro.sanitizers import all_sanitizers
 from repro.static_analysis import UBOracle, all_static_tools
 from repro.static_analysis.triage import TABLE5_CATEGORIES, TriageLabel, triage_diff
@@ -78,6 +79,9 @@ class JulietEvaluation:
     #: case uid -> triage label for the first divergent diff (only when
     #: the evaluation ran with ``include_triage=True``).
     triage_labels: dict[str, TriageLabel] = field(default_factory=dict)
+    #: Engine metrics for the differential checks (executions, cache,
+    #: worker restarts/retries/quarantines, degraded cross-checks).
+    engine_stats: "EngineStats | None" = None
 
     def counts(self, group: str, tool: str) -> ToolCounts:
         """The (group, tool) cell, created on first access."""
@@ -104,6 +108,7 @@ def evaluate_juliet(
     """
     evaluation = JulietEvaluation(suite=suite)
     engine = CompDiff(fuel=fuel, workers=workers, compile_cache=compile_cache)
+    evaluation.engine_stats = engine.stats
     try:
         return _evaluate_juliet(
             evaluation, engine, suite, include_static, include_sanitizers,

@@ -15,6 +15,7 @@ from repro.core.normalize import OutputNormalizer
 from repro.fuzzing import CampaignResult, CompDiffFuzzer, FuzzerOptions
 from repro.minic import load
 from repro.parallel.cache import CompileCache
+from repro.parallel.stats import EngineStats
 from repro.static_analysis import UBOracle
 from repro.static_analysis.triage import TriageLabel, triage_diff
 from repro.targets import SeededBug, Target, build_all_targets
@@ -41,6 +42,9 @@ class RealWorldEvaluation:
 
     outcomes: list[TargetOutcome] = field(default_factory=list)
     implementations: tuple[str, ...] = ()
+    #: Aggregated oracle engine metrics across every campaign (executions,
+    #: cache effectiveness, worker restarts/retries/quarantines...).
+    oracle_stats: "EngineStats | None" = None
 
     # ------------------------------------------------------------ queries
 
@@ -120,6 +124,10 @@ def evaluate_realworld(
             campaign = fuzzer.run()
             if not evaluation.implementations:
                 evaluation.implementations = fuzzer.implementations
+            if fuzzer.oracle_stats is not None:
+                if evaluation.oracle_stats is None:
+                    evaluation.oracle_stats = EngineStats()
+                evaluation.oracle_stats.merge(fuzzer.oracle_stats)
         outcome = TargetOutcome(target=target, campaign=campaign)
         if include_triage and campaign.diffs:
             program = load(target.source)
@@ -138,10 +146,10 @@ def evaluate_realworld(
                     sanitizer=sanitizer,
                     compile_cache=compile_cache,
                 )
-                san_fuzzer = CompDiffFuzzer(
+                with CompDiffFuzzer(
                     target.source, target.seeds, san_options, name=target.name
-                )
-                san_campaign = san_fuzzer.run()
+                ) as san_fuzzer:
+                    san_campaign = san_fuzzer.run()
                 for site in san_campaign.sites_sanitizer:
                     outcome.sanitizer_hits.setdefault(site, set()).add(sanitizer)
         evaluation.outcomes.append(outcome)

@@ -7,6 +7,11 @@ the k differential binaries and save the input to ``diffs/`` when their
 outputs disagree.
 """
 
+from repro.fuzzing.checkpoint import (
+    CampaignCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.fuzzing.coverage import CoverageMap
 from repro.fuzzing.corpus import CorpusMinimization, minimize_corpus, render_stats
 from repro.fuzzing.mutators import MutationEngine
@@ -14,6 +19,7 @@ from repro.fuzzing.seedpool import Seed, SeedPool
 from repro.fuzzing.fuzzer import CampaignResult, CompDiffFuzzer, FuzzerOptions
 
 __all__ = [
+    "CampaignCheckpoint",
     "CampaignResult",
     "CompDiffFuzzer",
     "CorpusMinimization",
@@ -22,6 +28,8 @@ __all__ = [
     "MutationEngine",
     "Seed",
     "SeedPool",
+    "load_checkpoint",
     "minimize_corpus",
     "render_stats",
+    "save_checkpoint",
 ]

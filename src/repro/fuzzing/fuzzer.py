@@ -10,7 +10,10 @@ users do, without touching the differential binaries.
 
 from __future__ import annotations
 
+import copy
 import random
+import signal
+import time
 from dataclasses import dataclass, field
 
 from repro.compiler import (
@@ -22,7 +25,14 @@ from repro.compiler import (
 from repro.core.compdiff import CompDiff, DiffResult
 from repro.core.normalize import OutputNormalizer
 from repro.core.triage import DivergenceSignature, signature_of
-from repro.parallel.cache import CompileCache
+from repro.errors import CheckpointError
+from repro.fuzzing.checkpoint import (
+    CampaignCheckpoint,
+    load_checkpoint,
+    options_digest,
+    save_checkpoint,
+)
+from repro.parallel.cache import CompileCache, program_fingerprint
 from repro.fuzzing.coverage import CoverageMap
 from repro.fuzzing.mutators import MutationEngine, build_dictionary
 from repro.fuzzing.seedpool import SeedPool
@@ -70,6 +80,13 @@ class FuzzerOptions:
     #: 1.0 disables it.  This only biases seed scheduling; the CompDiff
     #: verdict for any given input is unaffected.
     analysis_boost: float = 1.0
+    #: Directory for periodic atomic campaign checkpoints (None = off).
+    #: A killed campaign resumes from the last checkpoint via
+    #: ``CompDiffFuzzer.run(resume_from=dir)`` / ``repro fuzz --resume``,
+    #: reproducing the uninterrupted campaign's verdicts exactly.
+    checkpoint_dir: str | None = None
+    #: Executions between periodic checkpoints (journal cadence).
+    checkpoint_every: int = 1000
 
 
 @dataclass
@@ -157,6 +174,10 @@ class CompDiffFuzzer:
         self.pool = SeedPool(self.rng, analysis_boost=self.options.analysis_boost)
         self._initial_seeds = [bytes(seed) for seed in initial_seeds] or [b""]
         self._seen_signatures: set[DivergenceSignature] = set()
+        self._seen_diff_inputs: set[bytes] = set()
+        self._program_fp = program_fingerprint(program)
+        self._generated = 0
+        self._interrupted = False
         #: Coverage edges whose target block carries a static UB finding.
         self._flagged_edges: frozenset[int] = frozenset()
         if self.options.analysis_boost != 1.0:
@@ -193,40 +214,66 @@ class CompDiffFuzzer:
 
     # ----------------------------------------------------------------- loop
 
-    def run(self) -> CampaignResult:
-        """Execute the campaign (Algorithm 1) and return its findings."""
-        result = CampaignResult()
-        seen_diff_inputs: set[bytes] = set()
-        for seed in self._initial_seeds:
-            self._execute_and_classify(seed, result, seen_diff_inputs, force_oracle=True)
-            self.pool.add(seed, flagged=self._trace_touches_flagged())
-        generated = 0
-        while result.executions < self.options.max_executions:
-            parent = self.pool.select()
-            if (
-                self.options.splice_probability > 0
-                and self.rng.random() < self.options.splice_probability
-            ):
-                other = self.pool.pick_other(parent)
-                candidate = (
-                    self.mutator.splice(parent.data, other.data)
-                    if other is not None
-                    else self.mutator.mutate(parent.data)
-                )
-            else:
-                candidate = self.mutator.mutate(parent.data)
-            generated += 1
-            run_oracle = generated % self.options.compdiff_stride == 0
-            self._execute_and_classify(candidate, result, seen_diff_inputs, run_oracle)
+    def run(self, resume_from: str | None = None) -> CampaignResult:
+        """Execute the campaign (Algorithm 1) and return its findings.
+
+        With ``resume_from`` set, the loop restarts from the checkpoint
+        journaled in that directory (see :mod:`repro.fuzzing.checkpoint`)
+        and replays the remaining iterations deterministically: the final
+        result is byte-identical to an uninterrupted campaign.  With
+        ``options.checkpoint_dir`` set, the loop journals periodically,
+        flushes a final checkpoint on completion, and — because SIGINT is
+        deferred to the next iteration boundary — flushes a consistent
+        checkpoint before propagating ``KeyboardInterrupt`` on Ctrl-C.
+        """
+        if resume_from is not None:
+            result = self._restore(resume_from)
+        else:
+            result = CampaignResult()
+            self._generated = 0
+            self._seen_diff_inputs = set()
+            for seed in self._initial_seeds:
+                self._execute_and_classify(seed, result, force_oracle=True)
+                self.pool.add(seed, flagged=self._trace_touches_flagged())
+        self._interrupted = False
+        previous_handler = self._install_sigint_handler()
+        try:
+            while result.executions < self.options.max_executions:
+                if self._interrupted:
+                    self._finalize(result)
+                    self._checkpoint(result, force=True)
+                    raise KeyboardInterrupt("campaign interrupted; checkpoint flushed")
+                parent = self.pool.select()
+                if (
+                    self.options.splice_probability > 0
+                    and self.rng.random() < self.options.splice_probability
+                ):
+                    other = self.pool.pick_other(parent)
+                    candidate = (
+                        self.mutator.splice(parent.data, other.data)
+                        if other is not None
+                        else self.mutator.mutate(parent.data)
+                    )
+                else:
+                    candidate = self.mutator.mutate(parent.data)
+                self._generated += 1
+                run_oracle = self._generated % self.options.compdiff_stride == 0
+                self._execute_and_classify(candidate, result, run_oracle)
+                self._checkpoint(result)
+        finally:
+            self._restore_sigint_handler(previous_handler)
+        self._finalize(result)
+        self._checkpoint(result, force=True)
+        return result
+
+    def _finalize(self, result: CampaignResult) -> None:
         result.edges_covered = self.coverage.edges_covered
         result.queue_size = len(self.pool)
-        return result
 
     def _execute_and_classify(
         self,
         candidate: bytes,
         result: CampaignResult,
-        seen_diff_inputs: set[bytes],
         force_oracle: bool,
     ) -> None:
         # Lines 4-8: execute on B_fuzz with coverage feedback.
@@ -248,9 +295,9 @@ class CompDiffFuzzer:
         # Lines 9-12: the CompDiff oracle.
         if self.compdiff is None or not force_oracle:
             return
-        if candidate in seen_diff_inputs:
+        if candidate in self._seen_diff_inputs:
             return
-        seen_diff_inputs.add(candidate)
+        self._seen_diff_inputs.add(candidate)
         diff = self.compdiff.run_input(self.diff_servers, candidate)
         result.oracle_executions += 1
         if diff.divergent:
@@ -267,6 +314,89 @@ class CompDiffFuzzer:
                     self.pool.add(
                         candidate, favored=True, flagged=self._trace_touches_flagged()
                     )
+
+    # -------------------------------------------------------- checkpointing
+
+    def _options_digest(self) -> str:
+        return options_digest(
+            self.options,
+            tuple(config.name for config in self.options.implementations),
+        )
+
+    def _checkpoint(self, result: CampaignResult, force: bool = False) -> None:
+        """Journal the loop state at an iteration boundary (atomic write)."""
+        directory = self.options.checkpoint_dir
+        if directory is None:
+            return
+        every = self.options.checkpoint_every
+        if not force and (every <= 0 or result.executions % every != 0):
+            return
+        started = time.perf_counter()
+        state = CampaignCheckpoint(
+            program_fingerprint=self._program_fp,
+            options_digest=self._options_digest(),
+            generated=self._generated,
+            rng_state=self.rng.getstate(),
+            result=result,
+            pool_seeds=list(self.pool.seeds),
+            pool_next_index=self.pool._next_index,
+            pool_dedupe=set(self.pool._dedupe),
+            coverage_virgin=dict(self.coverage.virgin),
+            seen_diff_inputs=set(self._seen_diff_inputs),
+            seen_signatures=set(self._seen_signatures),
+            oracle_stats=(
+                copy.deepcopy(self.compdiff.stats) if self.compdiff is not None else None
+            ),
+        )
+        save_checkpoint(directory, state)
+        if self.compdiff is not None:
+            self.compdiff.stats.record_checkpoint(time.perf_counter() - started)
+
+    def _restore(self, directory: str) -> CampaignResult:
+        """Rehydrate the loop state journaled in *directory*."""
+        state = load_checkpoint(directory)
+        if state.program_fingerprint != self._program_fp:
+            raise CheckpointError(
+                f"checkpoint in {directory!r} was taken for a different program "
+                f"({state.program_fingerprint[:16]}... != {self._program_fp[:16]}...)"
+            )
+        if state.options_digest != self._options_digest():
+            raise CheckpointError(
+                f"checkpoint in {directory!r} was taken under different "
+                "campaign options; resume with the original flags"
+            )
+        self._generated = state.generated
+        self.rng.setstate(state.rng_state)
+        self.pool.seeds = list(state.pool_seeds)
+        self.pool._next_index = state.pool_next_index
+        self.pool._dedupe = set(state.pool_dedupe)
+        self.coverage.virgin = dict(state.coverage_virgin)
+        self._seen_diff_inputs = set(state.seen_diff_inputs)
+        self._seen_signatures = set(state.seen_signatures)
+        if state.oracle_stats is not None and self.compdiff is not None:
+            self.compdiff.stats.restore(state.oracle_stats)
+        return state.result
+
+    def _install_sigint_handler(self):
+        """Defer SIGINT to the next iteration boundary so the flushed
+        checkpoint is always consistent.  Only active when checkpointing
+        is on, and only installable from the main thread."""
+        if self.options.checkpoint_dir is None:
+            return None
+        def _on_sigint(signum, frame):
+            self._interrupted = True
+        try:
+            return signal.signal(signal.SIGINT, _on_sigint)
+        except ValueError:  # not the main thread
+            return None
+
+    def _restore_sigint_handler(self, previous) -> None:
+        if previous is None:
+            return
+        try:
+            signal.signal(signal.SIGINT, previous)
+        except ValueError:
+            pass
 
     # -------------------------------------------------------------- helpers
 

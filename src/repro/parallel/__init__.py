@@ -37,16 +37,26 @@ from repro.parallel.engine import (
     ProgramPayload,
     ServerGroup,
 )
+from repro.parallel.faults import FaultPlan
 from repro.parallel.stats import EngineStats
+from repro.parallel.supervisor import (
+    QuarantineEntry,
+    SupervisedPool,
+    SupervisorPolicy,
+)
 
 __all__ = [
     "BatchJob",
     "CacheStats",
     "CompileCache",
     "EngineStats",
+    "FaultPlan",
     "ParallelEngine",
     "ProgramPayload",
+    "QuarantineEntry",
     "ServerGroup",
+    "SupervisedPool",
+    "SupervisorPolicy",
     "cache_key",
     "config_fingerprint",
     "program_fingerprint",

@@ -19,29 +19,41 @@ process.  :class:`ParallelEngine` fans that work out across a persistent
   result assembly order — and therefore ``DiffResult`` contents — cannot
   depend on worker scheduling.
 
+Dispatch goes through :class:`~repro.parallel.supervisor.SupervisedPool`,
+which detects dead and hung workers via per-wave wall-clock deadlines,
+restarts the pool, re-dispatches lost tasks with bounded retries and
+exponential backoff, and quarantines poison tasks that keep killing
+workers.  Recovery is verdict-transparent: a retried task produces the
+reply a fault-free run would have, and a quarantined task degrades its
+program's cross-check to the surviving k-1 implementations (flagged in
+the :class:`~repro.core.compdiff.DiffResult`) instead of aborting.
+
 Workers are spawned lazily on the first batch and live until
 ``close()``; the ``fork`` start method is preferred (cheap, inherits the
-imported modules) with ``spawn`` as the portable fallback.
+imported modules) with ``spawn`` as the portable fallback.  See
+``docs/ROBUSTNESS.md`` for the failure model.
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
-import os
 import pickle
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.compiler.implementations import CompilerConfig
+from repro.errors import EngineConfigError, ReproError
 from repro.minic import ast as minic_ast
 from repro.minic import load
 from repro.parallel.cache import CompileCache
+from repro.parallel.faults import CORRUPT, CORRUPT_CRC_MASK, FaultPlan, execute_fault
 from repro.parallel.stats import EngineStats
+from repro.parallel.supervisor import QuarantineEntry, SupervisedPool, SupervisorPolicy
 from repro.vm import ForkServer
-from repro.vm.execution import ExecutionResult
+from repro.vm.execution import ExecutionResult, deadline_result
 
 #: Hard cap on pool size; beyond this the scatter overhead dominates.
 MAX_WORKERS = 32
@@ -89,12 +101,18 @@ class ServerGroup(dict):
 class _Task:
     """One scatter unit: run *runs* under *configs* for one program."""
 
+    #: Unique dispatch id, assigned parent-side in deterministic order;
+    #: the supervisor keys retries/quarantine (and the fault plan keys
+    #: injection decisions) off this.
+    seq: int
     job_idx: int
     payload: ProgramPayload
     configs: tuple[CompilerConfig, ...]
     base_fuel: int
     #: (input_idx, input_bytes, explicit fuel or None for the base fuel).
     runs: tuple[tuple[int, bytes, Optional[int]], ...]
+    #: Injected fault for this dispatch attempt (None outside fault tests).
+    fault: Optional[str] = None
 
 
 @dataclass
@@ -104,10 +122,29 @@ class _Reply:
     job_idx: int
     #: (input_idx, implementation name, result) triples.
     results: list[tuple[int, str, ExecutionResult]]
+    #: (implementation name, reason) for configs that failed to
+    #: compile/execute — degraded rather than fatal.
+    failed: tuple[tuple[str, str], ...]
     cache_hits: int
     cache_misses: int
     cache_evictions: int
     seconds: float
+    #: CRC32 over the pickled results — the parent's integrity check.
+    crc: int = 0
+
+
+def _results_crc(results: list[tuple[int, str, ExecutionResult]]) -> int:
+    return zlib.crc32(pickle.dumps(results))
+
+
+def _validate_reply(reply: _Reply) -> str | None:
+    """Integrity check run in the parent; a mismatch means the reply was
+    corrupted in transit and the task must be re-dispatched."""
+    if not isinstance(reply, _Reply):
+        return f"malformed reply of type {type(reply).__name__}"
+    if _results_crc(reply.results) != reply.crc:
+        return "corrupted reply (checksum mismatch)"
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -162,22 +199,40 @@ def _worker_server(
 
 def _worker_run(task: _Task) -> _Reply:
     """Service one scatter unit inside a worker process."""
+    if task.fault is not None:
+        execute_fault(task.fault)
     started = time.perf_counter()
     cache: CompileCache = _WORKER["cache"]
     hits0, misses0 = cache.stats.hits, cache.stats.misses
     evictions0 = cache.stats.evictions
     results: list[tuple[int, str, ExecutionResult]] = []
+    failed: list[tuple[str, str]] = []
     for config in task.configs:
-        server = _worker_server(task.payload, config, task.base_fuel)
-        for input_idx, input_bytes, fuel in task.runs:
-            results.append((input_idx, config.name, server.run(input_bytes, fuel=fuel)))
+        try:
+            server = _worker_server(task.payload, config, task.base_fuel)
+        except ReproError as exc:
+            # Per-implementation build failure: degrade this program's
+            # cross-check rather than killing the task (and the batch).
+            failed.append((config.name, f"compile failed: {exc}"))
+            continue
+        try:
+            for input_idx, input_bytes, fuel in task.runs:
+                results.append((input_idx, config.name, server.run(input_bytes, fuel=fuel)))
+        except ReproError as exc:
+            results = [r for r in results if r[1] != config.name]
+            failed.append((config.name, f"execution failed: {exc}"))
+    crc = _results_crc(results)
+    if task.fault == CORRUPT:
+        crc ^= CORRUPT_CRC_MASK
     return _Reply(
         job_idx=task.job_idx,
         results=results,
+        failed=tuple(failed),
         cache_hits=cache.stats.hits - hits0,
         cache_misses=cache.stats.misses - misses0,
         cache_evictions=cache.stats.evictions - evictions0,
         seconds=time.perf_counter() - started,
+        crc=crc,
     )
 
 
@@ -200,12 +255,16 @@ class BatchJob:
 
 
 class ParallelEngine:
-    """Persistent worker pool executing differential batches.
+    """Persistent supervised worker pool executing differential batches.
 
     The engine returns *raw* per-implementation results; turning them
     into :class:`~repro.core.compdiff.DiffResult` objects (normalization,
     checksumming, grouping) is the caller's job so the serial and
-    parallel paths share that code verbatim.
+    parallel paths share that code verbatim.  Worker faults are absorbed
+    by the supervisor (see module docstring); implementations that could
+    not produce a result for an input appear as
+    :func:`~repro.vm.execution.deadline_result` placeholders so the
+    caller can drop them from the cross-check.
     """
 
     def __init__(
@@ -215,36 +274,41 @@ class ParallelEngine:
         workers: int,
         stats: EngineStats | None = None,
         cache_entries: int = 256,
+        policy: SupervisorPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 2:
-            raise ValueError("ParallelEngine needs workers >= 2; use CompDiff serially")
+            raise EngineConfigError(
+                f"ParallelEngine needs workers >= 2, got {workers}; use CompDiff serially"
+            )
+        if not implementations:
+            raise EngineConfigError("ParallelEngine needs at least one implementation")
         self.implementations = tuple(implementations)
         self.fuel = fuel
         self.workers = min(int(workers), MAX_WORKERS)
         self.stats = stats if stats is not None else EngineStats()
         self.cache_entries = cache_entries
-        self._pool = None
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self.fault_plan = fault_plan
+        self._seq = 0
+        self._supervisor = SupervisedPool(
+            processes=self.workers,
+            worker_fn=_worker_run,
+            initializer=_worker_init,
+            initargs=(self.cache_entries,),
+            policy=self.policy,
+            stats=self.stats,
+            fault_plan=self.fault_plan,
+            task_label=_task_label,
+        )
+        #: Quarantine log across this engine's lifetime (newest last).
+        self.quarantine_log: list[QuarantineEntry] = []
 
     # ------------------------------------------------------------- lifecycle
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            methods = multiprocessing.get_all_start_methods()
-            method = "fork" if "fork" in methods else "spawn"
-            context = multiprocessing.get_context(method)
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_worker_init,
-                initargs=(self.cache_entries,),
-            )
-        return self._pool
-
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut the worker pool down (idempotent; also runs via atexit)."""
+        self._supervisor.close()
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -260,7 +324,13 @@ class ParallelEngine:
         Returns, per job, per input, an implementation-name→result map
         ordered exactly like ``self.implementations`` — the same order
         the serial engine produces — with RQ6 timeout retries applied.
+        Implementations dropped by quarantine or per-implementation build
+        failure appear as ``Status.DEADLINE`` placeholders; if fewer than
+        two implementations survive for a job, a :class:`ReproError` is
+        raised (a cross-check needs at least a pair).
         """
+        if jobs is None:
+            raise EngineConfigError("run_batch needs a list of jobs, got None")
         if not jobs:
             return []
         tasks = self._scatter_tasks(jobs)
@@ -269,6 +339,7 @@ class ParallelEngine:
         ]
         self._dispatch(tasks, gathered)
         self._retry_partial_timeouts(jobs, gathered)
+        self._check_survivors(jobs, gathered)
         ordered = [
             [self._in_implementation_order(row) for row in job_rows]
             for job_rows in gathered
@@ -288,10 +359,19 @@ class ParallelEngine:
 
     # -------------------------------------------------------------- internals
 
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
     def _in_implementation_order(
         self, row: dict[str, ExecutionResult]
     ) -> dict[str, ExecutionResult]:
-        return {config.name: row[config.name] for config in self.implementations}
+        return {
+            config.name: row[config.name]
+            for config in self.implementations
+            if config.name in row
+        }
 
     def _scatter_tasks(self, jobs: list[BatchJob]) -> list[_Task]:
         """Split (job × implementation) work into pool-sized units.
@@ -310,9 +390,12 @@ class ParallelEngine:
                 (input_idx, input_bytes, None)
                 for input_idx, input_bytes in enumerate(job.inputs)
             )
+            if not runs:
+                continue
             for chunk in impl_chunks:
                 tasks.append(
                     _Task(
+                        seq=self._next_seq(),
                         job_idx=job_idx,
                         payload=job.payload,
                         configs=chunk,
@@ -327,17 +410,81 @@ class ParallelEngine:
         tasks: list[_Task],
         gathered: list[list[dict[str, ExecutionResult]]],
     ) -> None:
-        pool = self._ensure_pool()
-        pending = [pool.apply_async(_worker_run, (task,)) for task in tasks]
-        for handle in pending:
-            reply: _Reply = handle.get()
+        """Run one wave of tasks under supervision and fold in the replies.
+
+        Replies are processed in task-seq order (not arrival order) so
+        stats accounting and result assembly stay scheduling-independent.
+        Quarantined tasks fill their cells with ``DEADLINE`` placeholders;
+        per-implementation failures reported by healthy workers leave
+        their cells absent — both are folded into ``DiffResult.dropped``
+        by the caller.
+        """
+        if not tasks:
+            return
+        by_seq = {task.seq: task for task in tasks}
+        replies, quarantined = self._supervisor.run_tasks(tasks, validate=_validate_reply)
+        for seq in sorted(replies):
+            reply: _Reply = replies[seq]
             for input_idx, impl_name, result in reply.results:
                 gathered[reply.job_idx][input_idx][impl_name] = result
                 self.stats.record_exec(impl_name)
+            for impl_name, _reason in reply.failed:
+                self.stats.record_degraded(impl_name)
             self.stats.record_cache(
                 reply.cache_hits, reply.cache_misses, reply.cache_evictions
             )
             self.stats.record_batch(reply.seconds)
+        for seq in sorted(quarantined):
+            entry = quarantined[seq]
+            task = by_seq[seq]
+            self.quarantine_log.append(entry)
+            for config in task.configs:
+                self.stats.record_degraded(config.name)
+                placeholder = deadline_result(config.name, entry.reason)
+                for input_idx, _input_bytes, _fuel in task.runs:
+                    gathered[task.job_idx][input_idx].setdefault(
+                        config.name, placeholder
+                    )
+
+    def _check_survivors(
+        self,
+        jobs: list[BatchJob],
+        gathered: list[list[dict[str, ExecutionResult]]],
+    ) -> None:
+        """A cross-check needs >= 2 live implementations per job.
+
+        Degradation below that — every implementation quarantined or
+        failing to build (e.g. an unloadable program) — is a hard error,
+        matching the serial engine's behavior of raising on front-end
+        failures rather than silently reporting "no divergence".
+        """
+        for job, job_rows in zip(jobs, gathered):
+            if not job.inputs:
+                continue
+            live = {
+                name
+                for row in job_rows
+                for name, result in row.items()
+                if not result.deadline_expired
+            }
+            if len(live) < 2:
+                dead = {
+                    name: result.stderr.decode("utf-8", "replace")
+                    for row in job_rows
+                    for name, result in row.items()
+                    if result.deadline_expired
+                }
+                missing = [
+                    config.name
+                    for config in self.implementations
+                    if config.name not in live and config.name not in dead
+                ]
+                for name in missing:
+                    dead.setdefault(name, "no result produced")
+                raise ReproError(
+                    f"job {job.name or job.payload.key[:12]!r}: fewer than two "
+                    f"implementations survived the cross-check: {dead}"
+                )
 
     def _retry_partial_timeouts(
         self,
@@ -345,10 +492,13 @@ class ParallelEngine:
         gathered: list[list[dict[str, ExecutionResult]]],
     ) -> None:
         """RQ6, batched: re-run partial-timeout stragglers with the serial
-        engine's exact fuel schedule (×FACTOR per round, up to the cap)."""
+        engine's exact fuel schedule (×FACTOR per round, up to the cap).
+
+        Only fuel exhaustion (``Status.TIMEOUT``) is retried — cells whose
+        wall-clock deadline expired (``Status.DEADLINE``) are dropped from
+        the cross-check, never given more fuel."""
         from repro.core.compdiff import TIMEOUT_MAX_RETRIES, TIMEOUT_RETRY_FACTOR
 
-        total = len(self.implementations)
         fuel = self.fuel
         for _ in range(TIMEOUT_MAX_RETRIES):
             fuel *= TIMEOUT_RETRY_FACTOR
@@ -356,8 +506,12 @@ class ParallelEngine:
             for job_idx, job in enumerate(jobs):
                 by_impl: dict[str, list[tuple[int, bytes, Optional[int]]]] = {}
                 for input_idx, row in enumerate(gathered[job_idx]):
-                    timed_out = [name for name, result in row.items() if result.timed_out]
-                    if not timed_out or len(timed_out) == total:
+                    live = [
+                        name for name, result in row.items()
+                        if not result.deadline_expired
+                    ]
+                    timed_out = [name for name in live if row[name].timed_out]
+                    if not timed_out or len(timed_out) == len(live):
                         continue
                     for name in timed_out:
                         by_impl.setdefault(name, []).append(
@@ -367,6 +521,7 @@ class ParallelEngine:
                     config = next(c for c in self.implementations if c.name == name)
                     retries.append(
                         _Task(
+                            seq=self._next_seq(),
                             job_idx=job_idx,
                             payload=job.payload,
                             configs=(config,),
@@ -380,10 +535,19 @@ class ParallelEngine:
             self._dispatch(retries, gathered)
 
 
+def _task_label(task: _Task) -> str:
+    configs = ",".join(config.name for config in task.configs)
+    return f"{task.payload.name or task.payload.key[:12]}[{configs}]"
+
+
 def _split_evenly(
     items: tuple[CompilerConfig, ...], chunks: int
 ) -> list[tuple[CompilerConfig, ...]]:
     """Split *items* into *chunks* contiguous, size-balanced groups."""
+    if chunks < 1:
+        raise EngineConfigError(f"cannot split into {chunks} chunks")
+    if not items:
+        raise EngineConfigError("cannot split an empty implementation set")
     quotient, remainder = divmod(len(items), chunks)
     out = []
     start = 0

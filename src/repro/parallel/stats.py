@@ -37,6 +37,20 @@ class EngineStats:
     batches: int = 0
     #: Per-batch wall-clock durations in seconds (worker-measured).
     batch_latencies: list[float] = field(default_factory=list)
+    #: Worker-pool hard restarts after a crash, hang, or corrupt reply.
+    worker_restarts: int = 0
+    #: Task re-dispatches after a worker fault (distinct from the RQ6
+    #: fuel-escalation ``timeout_retries``).
+    task_retries: int = 0
+    #: Poison tasks pulled from the schedule after exhausting retries.
+    quarantined: int = 0
+    #: implementation name -> programs where it was dropped from the
+    #: cross-check (k-1 graceful degradation).
+    degraded: dict[str, int] = field(default_factory=dict)
+    #: Campaign checkpoints journaled to disk.
+    checkpoints_written: int = 0
+    #: Per-checkpoint write durations in seconds (observability only).
+    checkpoint_latencies: list[float] = field(default_factory=list)
 
     # -------------------------------------------------------------- recording
 
@@ -58,6 +72,43 @@ class EngineStats:
         self.batches += 1
         self.batch_latencies.append(seconds)
 
+    def record_restart(self, count: int = 1) -> None:
+        self.worker_restarts += count
+
+    def record_task_retry(self, count: int = 1) -> None:
+        self.task_retries += count
+
+    def record_quarantine(self, count: int = 1) -> None:
+        self.quarantined += count
+
+    def record_degraded(self, implementation: str, count: int = 1) -> None:
+        self.degraded[implementation] = self.degraded.get(implementation, 0) + count
+
+    def record_checkpoint(self, seconds: float) -> None:
+        self.checkpoints_written += 1
+        self.checkpoint_latencies.append(seconds)
+
+    def restore(self, other: "EngineStats") -> None:
+        """Overwrite every counter in place with *other*'s values.
+
+        Used by checkpoint resume: engines share one stats instance by
+        reference, so restoring must mutate rather than reassign.
+        """
+        self.exec_counts = dict(other.exec_counts)
+        self.inputs_checked = other.inputs_checked
+        self.timeout_retries = other.timeout_retries
+        self.cache_hits = other.cache_hits
+        self.cache_misses = other.cache_misses
+        self.cache_evictions = other.cache_evictions
+        self.batches = other.batches
+        self.batch_latencies = list(other.batch_latencies)
+        self.worker_restarts = other.worker_restarts
+        self.task_retries = other.task_retries
+        self.quarantined = other.quarantined
+        self.degraded = dict(other.degraded)
+        self.checkpoints_written = other.checkpoints_written
+        self.checkpoint_latencies = list(other.checkpoint_latencies)
+
     def merge(self, other: "EngineStats") -> None:
         """Fold another instance's counters into this one."""
         for name, count in other.exec_counts.items():
@@ -67,6 +118,13 @@ class EngineStats:
         self.record_cache(other.cache_hits, other.cache_misses, other.cache_evictions)
         self.batches += other.batches
         self.batch_latencies.extend(other.batch_latencies)
+        self.worker_restarts += other.worker_restarts
+        self.task_retries += other.task_retries
+        self.quarantined += other.quarantined
+        for name, count in other.degraded.items():
+            self.record_degraded(name, count)
+        self.checkpoints_written += other.checkpoints_written
+        self.checkpoint_latencies.extend(other.checkpoint_latencies)
 
     # ---------------------------------------------------------------- queries
 
@@ -118,6 +176,16 @@ class EngineStats:
                     f"p{p:g}": value for p, value in self.latency_percentiles().items()
                 },
             },
+            "faults": {
+                "worker_restarts": self.worker_restarts,
+                "task_retries": self.task_retries,
+                "quarantined": self.quarantined,
+                "degraded": dict(sorted(self.degraded.items())),
+            },
+            "checkpoints": {
+                "written": self.checkpoints_written,
+                "total_seconds": sum(self.checkpoint_latencies),
+            },
         }
 
     def render(self) -> str:
@@ -140,4 +208,20 @@ class EngineStats:
             f"batches: {snap['batches']['dispatched']} dispatched; latency "
             + " ".join(f"{k}={1000 * v:.2f}ms" for k, v in percentiles.items())
         )
+        faults = snap["faults"]
+        lines.append(
+            f"faults: {faults['worker_restarts']} pool restarts, "
+            f"{faults['task_retries']} task retries, "
+            f"{faults['quarantined']} quarantined"
+        )
+        if faults["degraded"]:
+            dropped = ", ".join(
+                f"{name} x{count}" for name, count in faults["degraded"].items()
+            )
+            lines.append(f"degraded (k-1 cross-checks): {dropped}")
+        if snap["checkpoints"]["written"]:
+            lines.append(
+                f"checkpoints: {snap['checkpoints']['written']} written "
+                f"in {snap['checkpoints']['total_seconds']:.3f}s"
+            )
         return "\n".join(lines)

@@ -15,8 +15,15 @@ class Status(enum.Enum):
 
     OK = "ok"
     CRASH = "crash"
+    #: The VM exhausted its *fuel* (instruction budget).  More fuel may
+    #: let the execution finish — this is what the RQ6 retry path escalates.
     TIMEOUT = "timeout"
     SANITIZER = "sanitizer"
+    #: A *wall-clock* deadline expired (hung or repeatedly-dying worker):
+    #: no result was produced and no amount of fuel would help.  Results
+    #: with this status are dropped from the cross-check (k-1 differential)
+    #: instead of being retried or compared.
+    DEADLINE = "deadline"
 
 
 @dataclass
@@ -53,7 +60,29 @@ class ExecutionResult:
 
     @property
     def timed_out(self) -> bool:
+        """Fuel exhaustion only — never wall-clock deadline expiry, so the
+        RQ6 fuel-escalation retry never re-runs a genuinely hung task."""
         return self.status is Status.TIMEOUT
+
+    @property
+    def deadline_expired(self) -> bool:
+        return self.status is Status.DEADLINE
+
+
+def deadline_result(binary_name: str, reason: str) -> ExecutionResult:
+    """Placeholder for an execution that never produced a result.
+
+    Synthesized by the supervised engine when a task is quarantined or an
+    implementation is dropped from a program's cross-check; carries the
+    failure reason in ``stderr`` for forensics but is never checksummed.
+    """
+    return ExecutionResult(
+        stdout=b"",
+        stderr=reason.encode("utf-8", "replace"),
+        exit_code=-1,
+        status=Status.DEADLINE,
+        binary_name=binary_name,
+    )
 
 
 def run_binary(
