@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-verified bench bench-quick bench-scaling analyze examples clean
+.PHONY: install test test-fast test-faults test-passes test-verified bench bench-quick bench-scaling bench-passes analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,7 +18,12 @@ test-fast:
 test-faults:
 	$(PYTHON) -m pytest tests/ -m faults
 
-# Same suite with IR verification enabled after every compile.
+# Pass-manager lane: pipeline shape, golden IR digests, bisection.
+test-passes:
+	$(PYTHON) -m pytest tests/ -m passes
+
+# Same suite with IR verification enabled after every compile (and,
+# with the pass manager, after every individual pass application).
 test-verified:
 	REPRO_VERIFY_IR=1 $(PYTHON) -m pytest tests/
 
@@ -32,6 +37,10 @@ bench-quick:
 # Parallel-engine speedup curve (1/2/4/8 workers) + verdict-equality check.
 bench-scaling:
 	$(PYTHON) benchmarks/bench_parallel_scaling.py
+
+# Per-config/per-pass compile-cost breakdown; refreshes BENCH_passes.json.
+bench-passes:
+	$(PYTHON) benchmarks/bench_passes.py
 
 # UB-oracle triage precision (Juliet + real-world) and analysis-boost curve.
 analyze:

@@ -1,0 +1,139 @@
+"""E-PASS — pass-pipeline cost breakdown per implementation.
+
+Compiles the example corpus (gallery + Listing 1) under all ten
+implementations with the instrumented pass manager and aggregates, per
+config and per pass, the number of applications, the change counts, and
+the wall-clock time spent.  The deterministic columns (applications,
+changes) double as a coarse pipeline-shape regression signal; the timing
+columns track where compile time actually goes.
+
+Run directly (``make bench-passes``) to refresh the committed baseline::
+
+    python benchmarks/bench_passes.py      # rewrites BENCH_passes.json
+
+or through pytest (``python -m pytest benchmarks/bench_passes.py -q``),
+which checks the deterministic columns against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler.implementations import DEFAULT_IMPLEMENTATIONS
+from repro.compiler.passes.manager import pipeline_digest
+
+from _common import write_result
+
+BASELINE = pathlib.Path(__file__).parent / "BENCH_passes.json"
+ITERATIONS = 3
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _corpus() -> dict[str, str]:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        from unstable_code_gallery import EXAMPLES
+        from quickstart import LISTING_1
+    finally:
+        sys.path.pop(0)
+    corpus = {
+        f"gallery/{i:02d}": src
+        for i, (_, src) in enumerate(sorted(EXAMPLES.items()))
+    }
+    corpus["quickstart/listing1"] = LISTING_1
+    return corpus
+
+
+def measure() -> dict:
+    """One full sweep: per-config wall time and per-pass aggregates."""
+    corpus = _corpus()
+    configs = {}
+    for config in DEFAULT_IMPLEMENTATIONS:
+        passes: dict[str, dict] = {}
+        total_apps = total_changes = 0
+        best_wall = None
+        for _ in range(ITERATIONS):
+            started = time.perf_counter()
+            reports = [
+                compile_source(src, config, name=key).pass_report
+                for key, src in corpus.items()
+            ]
+            wall = time.perf_counter() - started
+            best_wall = wall if best_wall is None else min(best_wall, wall)
+            passes = {}
+            total_apps = total_changes = 0
+            for report in reports:
+                total_apps += len(report.schedule)
+                total_changes += report.total_changes
+                for name, row in report.per_pass().items():
+                    slot = passes.setdefault(
+                        name, {"applications": 0, "changes": 0, "seconds": 0.0}
+                    )
+                    slot["applications"] += row["applications"]
+                    slot["changes"] += row["changes"]
+                    slot["seconds"] += row["seconds"]
+        for slot in passes.values():
+            slot["seconds"] = round(slot["seconds"], 6)
+        configs[config.name] = {
+            "pipeline_digest": pipeline_digest(config),
+            "corpus_wall_seconds": round(best_wall, 4),
+            "applications": total_apps,
+            "changes": total_changes,
+            "passes": dict(sorted(passes.items())),
+        }
+    return {
+        "corpus": "examples (gallery + quickstart/listing1)",
+        "programs": len(corpus),
+        "iterations": ITERATIONS,
+        "configs": configs,
+    }
+
+
+def render(data: dict) -> str:
+    lines = [
+        "E-PASS: pass-pipeline cost over the example corpus "
+        f"({data['programs']} programs, best of {data['iterations']})",
+        "",
+        f"{'config':<12} {'wall s':>8} {'applies':>8} {'changes':>8}  hottest passes",
+    ]
+    for name, row in data["configs"].items():
+        hot = sorted(
+            row["passes"].items(), key=lambda kv: kv[1]["seconds"], reverse=True
+        )[:3]
+        hot_text = ", ".join(
+            f"{p} {s['seconds'] * 1e3:.1f}ms/{s['changes']}ch" for p, s in hot
+        ) or "-"
+        lines.append(
+            f"{name:<12} {row['corpus_wall_seconds']:>8.4f} "
+            f"{row['applications']:>8} {row['changes']:>8}  {hot_text}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.passes
+def test_pass_costs_match_baseline():
+    data = measure()
+    print("\n" + render(data))
+    write_result("passes.txt", render(data))
+    baseline = json.loads(BASELINE.read_text())
+    for name, row in data["configs"].items():
+        base = baseline["configs"][name]
+        # Timing is machine-dependent; the schedule shape is not.
+        assert row["pipeline_digest"] == base["pipeline_digest"], name
+        assert row["applications"] == base["applications"], name
+        assert row["changes"] == base["changes"], name
+
+
+if __name__ == "__main__":
+    data = measure()
+    BASELINE.write_text(json.dumps(data, indent=2) + "\n")
+    write_result("passes.txt", render(data))
+    sys.stdout.write(render(data) + "\n")
+    sys.stdout.write(f"\nbaseline written to {BASELINE}\n")

@@ -8,6 +8,7 @@ Commands:
 * ``localize FILE``  — trace-alignment fault localization;
 * ``minimize FILE``  — shrink a diff-triggering input (afl-tmin style);
 * ``analyze FILE``   — IR-level UB findings plus divergence triage;
+* ``bisect FILE``    — attribute a divergence to one pass application;
 * ``impls``          — list the compiler implementations;
 * ``targets``        — print the Table 4 target inventory.
 """
@@ -260,6 +261,38 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if label is not None else 0
 
 
+def cmd_bisect(args: argparse.Namespace) -> int:
+    """`repro bisect`: name the pass application that flips the output.
+
+    Like LLVM's ``-opt-bisect-limit``, but automated: binary-search the
+    target implementation's pass-application count for the first prefix
+    whose output departs from the reference.  Exit 0 when a culprit
+    application is attributed, 1 when the pair does not diverge on the
+    input, 2 when the divergence exists with zero passes applied (layout
+    or front-end, not pass-attributable).
+    """
+    import json
+
+    from repro.core.bisect import bisect_divergence
+
+    source = open(args.file).read()
+    result = bisect_divergence(
+        source,
+        _read_input(args),
+        impl_ref=args.impl_a,
+        impl_target=args.impl_b,
+        normalizer=OutputNormalizer.standard() if args.normalize else None,
+        name=args.file,
+    )
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render())
+    if result.attributed:
+        return 0
+    return 1 if result.status == "no_divergence" else 2
+
+
 def cmd_ir(args: argparse.Namespace) -> int:
     """`repro ir`: dump verified IR for one implementation."""
     from repro.ir.printer import format_module
@@ -273,7 +306,11 @@ def cmd_ir(args: argparse.Namespace) -> int:
 
 
 def cmd_impls(args: argparse.Namespace) -> int:
-    """`repro impls`: list the compiler implementations and traits."""
+    """`repro impls`: list the compiler implementations and traits.
+
+    ``--pipelines`` additionally prints each implementation's declarative
+    pass schedule and cache digest (see docs/PASSES.md).
+    """
     for config in DEFAULT_IMPLEMENTATIONS:
         flags = []
         if config.exploit_ub:
@@ -285,6 +322,8 @@ def cmd_impls(args: argparse.Namespace) -> int:
         if config.miscompile_patterns:
             flags.append(f"miscompiles={','.join(config.miscompile_patterns)}")
         print(f"{config.name:<10} {' '.join(flags)}")
+        if args.pipelines:
+            print(f"           {config.pipeline_summary()}")
     return 0
 
 
@@ -364,12 +403,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
+    bisect = sub.add_parser(
+        "bisect", help="attribute a divergence to one pass application"
+    )
+    bisect.add_argument("file")
+    bisect.add_argument("--impl-a", default="gcc-O0", choices=implementation_names(),
+                        help="reference implementation (built in full)")
+    bisect.add_argument("--impl-b", default="gcc-O2", choices=implementation_names(),
+                        help="target implementation (prefix-bisected)")
+    bisect.add_argument("--normalize", action="store_true",
+                        help="scrub timestamps before comparing (RQ5)")
+    bisect.add_argument("--json", action="store_true", help="machine-readable result")
+    _add_input_flags(bisect)
+    bisect.set_defaults(func=cmd_bisect)
+
     ir = sub.add_parser("ir", help="dump verified IR for one implementation")
     ir.add_argument("file")
     ir.add_argument("--impl", default="gcc-O2", choices=implementation_names())
     ir.set_defaults(func=cmd_ir)
 
-    sub.add_parser("impls", help="list compiler implementations").set_defaults(func=cmd_impls)
+    impls = sub.add_parser("impls", help="list compiler implementations")
+    impls.add_argument("--pipelines", action="store_true",
+                       help="show each implementation's pass schedule + digest")
+    impls.set_defaults(func=cmd_impls)
     sub.add_parser("targets", help="Table 4 target inventory").set_defaults(func=cmd_targets)
     return parser
 

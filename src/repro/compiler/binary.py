@@ -4,6 +4,14 @@ A :class:`CompiledBinary` is the analog of the on-disk binary AFL++ runs:
 the optimized IR plus the compiler configuration whose layout policy the
 loader (:mod:`repro.vm.memory`) will apply.  ``compile_source`` is the
 one-call "cc" front door.
+
+Every compile runs through the instrumented pass manager: one
+:class:`~repro.compiler.passes.manager.PassBudget` spans lowering and the
+pipeline, the resulting :class:`PipelineReport` (per-pass wall time and
+change counts) rides on ``CompiledBinary.labels["pass_report"]``, and
+``max_pass_applications`` truncates the build after the first N pass
+applications — the knob divergence bisection (:mod:`repro.core.bisect`)
+binary-searches.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from repro.ir.module import Module
 from repro.minic import ast, load
 from repro.compiler.implementations import CompilerConfig
 from repro.compiler.lowering import lower_program
-from repro.compiler.passes import optimize
+from repro.compiler.passes.manager import PassBudget, PipelineReport, run_pipeline
 
 
 @dataclass
@@ -34,16 +42,56 @@ class CompiledBinary:
     def name(self) -> str:
         return f"{self.module.name}:{self.config.name}"
 
+    @property
+    def pass_report(self) -> PipelineReport | None:
+        """The build's pass instrumentation, when compiled through the
+        standard front door."""
+        return self.labels.get("pass_report")
 
-def compile_module(program: ast.Program, config: CompilerConfig, name: str = "") -> Module:
-    """Lower and optimize *program* for *config*, returning the IR module."""
-    module = lower_program(program, config, name=name)
-    module = optimize(module, config)
+
+def compile_module(
+    program: ast.Program,
+    config: CompilerConfig,
+    name: str = "",
+    max_pass_applications: int | None = None,
+    budget: PassBudget | None = None,
+) -> Module:
+    """Lower and optimize *program* for *config*, returning the IR module.
+
+    One :class:`PassBudget` spans the whole build, so the lowering-stage
+    UB exploitation and every pipeline pass share a single application
+    schedule; ``max_pass_applications=N`` runs exactly the first N
+    applications of that schedule (the bisection substrate).
+    """
+    module, _ = compile_module_instrumented(
+        program,
+        config,
+        name=name,
+        max_pass_applications=max_pass_applications,
+        budget=budget,
+    )
+    return module
+
+
+def compile_module_instrumented(
+    program: ast.Program,
+    config: CompilerConfig,
+    name: str = "",
+    max_pass_applications: int | None = None,
+    budget: PassBudget | None = None,
+) -> tuple[Module, PipelineReport]:
+    """`compile_module` returning the pass-instrumentation report too."""
+    if budget is None:
+        budget = PassBudget(max_applications=max_pass_applications)
+    module = lower_program(program, config, name=name, budget=budget)
+    report = run_pipeline(module, config, budget=budget)
     if os.environ.get("REPRO_VERIFY_IR"):
+        # Per-pass verification already ran inside the manager; this
+        # final whole-module check also covers pipelines with no passes.
         from repro.ir.verify import verify_module
 
         verify_module(module)
-    return module
+    return module, report
 
 
 def compile_program(
@@ -52,14 +100,18 @@ def compile_program(
     name: str = "",
     instrument_coverage: bool = False,
     sanitizer: str | None = None,
+    max_pass_applications: int | None = None,
 ) -> CompiledBinary:
     """Compile a checked AST into a runnable binary for *config*."""
-    module = compile_module(program, config, name=name)
+    module, report = compile_module_instrumented(
+        program, config, name=name, max_pass_applications=max_pass_applications
+    )
     return CompiledBinary(
         module=module,
         config=config,
         instrument_coverage=instrument_coverage,
         sanitizer=sanitizer,
+        labels={"pass_report": report},
     )
 
 
@@ -69,6 +121,7 @@ def compile_source(
     name: str = "",
     instrument_coverage: bool = False,
     sanitizer: str | None = None,
+    max_pass_applications: int | None = None,
 ) -> CompiledBinary:
     """Parse, check, lower, and optimize MiniC *source* for *config*."""
     program = load(source)
@@ -78,4 +131,5 @@ def compile_source(
         name=name,
         instrument_coverage=instrument_coverage,
         sanitizer=sanitizer,
+        max_pass_applications=max_pass_applications,
     )

@@ -103,6 +103,38 @@ class CompilerConfig:
     def __str__(self) -> str:
         return self.name
 
+    #: Knobs that shape the optimization pipeline (the inputs of
+    #: :func:`repro.compiler.passes.manager.pipeline_for`).  Everything
+    #: else on the config is front-end semantics or runtime layout.
+    PIPELINE_KNOBS = (
+        "const_fold",
+        "copy_prop",
+        "dce",
+        "exploit_ub",
+        "inline_small",
+        "strength_reduce",
+        "float_pow_to_exp2",
+    )
+
+    def pipeline_knobs(self) -> dict[str, bool]:
+        """The pipeline-shaping knob vector, by name."""
+        return {knob: getattr(self, knob) for knob in self.PIPELINE_KNOBS}
+
+    def pipeline_summary(self) -> str:
+        """One-line pipeline description: pass schedule + cache digest.
+
+        Delegates to the declarative pass manager — the authoritative
+        mapping from this knob vector to an ordered pipeline.
+        """
+        from repro.compiler.passes.manager import pipeline_for
+
+        pipeline = pipeline_for(self)
+        names = [p.name for p in pipeline.prelude] + [
+            p.name for p in pipeline.function_passes()
+        ]
+        schedule = " -> ".join(names) if names else "(no passes)"
+        return f"{schedule}  [digest {pipeline.digest()[:12]}]"
+
 
 def _gcc(level: str, **kw) -> CompilerConfig:
     defaults = dict(

@@ -56,12 +56,33 @@ _ARITH_BY_OP = {
 
 
 class Lowerer:
-    """Lowers one checked MiniC program to an IR module."""
+    """Lowers one checked MiniC program to an IR module.
 
-    def __init__(self, program: ast.Program, config: CompilerConfig, name: str = "") -> None:
+    When a :class:`~repro.compiler.passes.manager.PassBudget` is passed,
+    the lowering-stage UB exploitation (the Listing-1 overflow-guard
+    folds) claims one slot in the build's pass-application schedule —
+    so divergence bisection can attribute a flipped output to the
+    ``exploit_ub`` transform even though it runs before the pipeline.
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        config: CompilerConfig,
+        name: str = "",
+        budget=None,
+    ) -> None:
         self.program = program
         self.config = config
         self.module = Module(name=name or program.filename)
+        self._ub_guard_application = None
+        if config.exploit_ub and budget is not None:
+            from repro.compiler.passes.manager import PASS_UB_GUARD_FOLD
+
+            self._ub_guard_application = budget.begin(PASS_UB_GUARD_FOLD, "<lowering>")
+            self._ub_guard_enabled = self._ub_guard_application is not None
+        else:
+            self._ub_guard_enabled = config.exploit_ub
         self._string_pool: dict[str, str] = {}
         self._global_names: dict[int, str] = {}  # Symbol uid -> global name
         self._func_ret_types: dict[str, ty.Type] = {}
@@ -804,9 +825,10 @@ class Lowerer:
         exactly the transformation that deletes Listing 1's wraparound
         check — and ``p + i OP p`` with unsigned ``i`` folds to a constant
         under the no-pointer-overflow assumption.  Only active when the
-        configuration exploits UB (O1 and above).
+        configuration exploits UB (O1 and above) and the build's pass
+        budget has not cut the lowering-stage application off.
         """
-        if not self.config.exploit_ub:
+        if not self._ub_guard_enabled:
             return None
         if expr.op not in ("<", "<=", ">", ">="):
             return None
@@ -834,6 +856,7 @@ class Lowerer:
                     dst = b.new_reg()
                     opcode = "s" + _CMP_BY_OP[op]
                     b.emit(BinOp(dst, opcode, value, 0, add_ty, line=expr.line))
+                    self._note_guard_fold()
                     return dst
             # Pointer overflow guard: p + i OP p with unsigned i.
             if add_ty.is_pointer and other_ty.is_pointer and add_side.op == "+":
@@ -844,8 +867,14 @@ class Lowerer:
                         op = expr.op if not flip else _flip_op(expr.op)
                         # i >= 0 and no wrap: p+i < p is false, p+i >= p true.
                         self._lower_expr(remainder)  # keep side effects
+                        self._note_guard_fold()
                         return 1 if op in (">=", ">") else 0
         return None
+
+    def _note_guard_fold(self) -> None:
+        """Count one guard fold on the scheduled lowering application."""
+        if self._ub_guard_application is not None:
+            self._ub_guard_application.changed += 1
 
     def _match_add_guard(self, add: ast.Binary, other: ast.Expr) -> ast.Expr | None:
         """If ``add`` is ``X + Y`` (or ``X - Y``) and ``other`` equals X,
@@ -1084,6 +1113,14 @@ def _pack_scalar(value, var_type: ty.Type) -> bytes:
     return (wrapped & ((1 << var_type.bits) - 1)).to_bytes(var_type.size(), "little")
 
 
-def lower_program(program: ast.Program, config: CompilerConfig, name: str = "") -> Module:
-    """Lower a checked MiniC *program* to an IR module for *config*."""
-    return Lowerer(program, config, name=name).run()
+def lower_program(
+    program: ast.Program, config: CompilerConfig, name: str = "", budget=None
+) -> Module:
+    """Lower a checked MiniC *program* to an IR module for *config*.
+
+    *budget* (a :class:`~repro.compiler.passes.manager.PassBudget`)
+    schedules the lowering-stage UB exploitation as a budgeted pass
+    application; without one, guard folding follows ``config.exploit_ub``
+    unconditionally.
+    """
+    return Lowerer(program, config, name=name, budget=budget).run()

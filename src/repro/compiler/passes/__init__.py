@@ -14,8 +14,42 @@ Passes come in two moral categories:
 
 Seeded miscompilation patterns (RQ2's compiler bugs) live in
 :mod:`repro.compiler.passes.constant_fold` behind explicit pattern ids.
+
+Passes are registered with the declarative pass manager
+(:mod:`repro.compiler.passes.manager`): each is a :class:`Pass` object,
+each config maps to a :class:`Pipeline` with a stable cache digest, and
+the :class:`PassManager` instruments every application (per-pass wall
+time, change counts, optional IR verification, and the
+``max_pass_applications`` cutoff that powers divergence pass-bisection).
+See docs/PASSES.md for the full inventory and pipeline shapes.
 """
 
+from repro.compiler.passes.manager import (
+    ALL_PASSES,
+    FixpointGroup,
+    Pass,
+    PassApplication,
+    PassBudget,
+    PassManager,
+    Pipeline,
+    PipelineReport,
+    pipeline_digest,
+    pipeline_for,
+    run_pipeline,
+)
 from repro.compiler.passes.pipeline import optimize
 
-__all__ = ["optimize"]
+__all__ = [
+    "ALL_PASSES",
+    "FixpointGroup",
+    "Pass",
+    "PassApplication",
+    "PassBudget",
+    "PassManager",
+    "Pipeline",
+    "PipelineReport",
+    "optimize",
+    "pipeline_digest",
+    "pipeline_for",
+    "run_pipeline",
+]

@@ -1,0 +1,66 @@
+"""Libcall substitution: clang -O3 style ``pow(2, x) -> exp2(x)``.
+
+Real clang's SimplifyLibCalls rewrites ``pow(2.0, x)`` into ``exp2(x)``
+at -O3 (paper §4.3 RQ2, floating point).  The two calls round
+differently for some inputs on the simulated runtime, which is exactly
+the cross-implementation float divergence the paper attributes to
+libcall substitution.
+
+The base can reach the call in two shapes:
+
+* the literal ``2.0`` (source ``pow(2.0, x)``), possibly forwarded into
+  the argument slot by copy propagation; or
+* an **integer-typed** constant ``2`` that lowering produced for a float
+  context (source ``pow(2, x)`` lowers to ``cast 2 : int -> double``
+  feeding the call).  Pipelines that run constant folding first collapse
+  the cast, but the substitution must not depend on another pass having
+  run — a config with ``float_pow_to_exp2`` alone still matches.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import CallBuiltin, Cast, Const, Instr, Reg
+from repro.ir.module import Function
+from repro.minic.types import FloatType
+
+
+def pow_to_exp2(func: Function) -> int:
+    """Rewrite ``pow(2, x)`` builtins to ``exp2(x)``; returns rewrites."""
+    changed = 0
+    for block in func.blocks.values():
+        defs: dict[Reg, Instr] = {}
+        for instr in block.instrs:
+            if (
+                isinstance(instr, CallBuiltin)
+                and instr.name == "pow"
+                and len(instr.args) == 2
+                and _is_const_two(instr.args[0], defs)
+            ):
+                instr.name = "exp2"
+                instr.args = [instr.args[1]]
+                instr.arg_types = [instr.arg_types[1]]
+                changed += 1
+            dst = instr.defines()
+            if dst is not None:
+                defs[dst] = instr
+    return changed
+
+
+def _is_const_two(operand, defs: dict[Reg, Instr]) -> bool:
+    """True when *operand* is a constant 2, literal or block-locally
+    traceable through a lowering-produced int->float cast."""
+    if isinstance(operand, Reg):
+        definition = defs.get(operand)
+        if isinstance(definition, Const):
+            operand = definition.value
+        elif (
+            isinstance(definition, Cast)
+            and isinstance(definition.to_type, FloatType)
+            and isinstance(definition.src, (int, float))
+        ):
+            operand = definition.src
+        else:
+            return False
+    if isinstance(operand, bool) or not isinstance(operand, (int, float)):
+        return False
+    return float(operand) == 2.0

@@ -1,0 +1,516 @@
+"""First-class pass manager: declarative pipelines, instrumentation, bisection.
+
+The optimization layer used to be a hardcoded ``if config.X:`` chain with
+a magic two-round loop.  This module replaces it with the architecture
+real compilers use (and the paper's triage story needs):
+
+* every transform is a registered :class:`Pass` — name, scope, version,
+  and a ``run(target, config) -> changed_count`` callable;
+* each :class:`~repro.compiler.implementations.CompilerConfig` maps to a
+  *declarative* :class:`Pipeline` (:func:`pipeline_for`): an ordered list
+  of passes and :class:`FixpointGroup`\\ s whose bounded, change-driven
+  driver replaces the old fixed two rounds;
+* every pipeline has a stable :meth:`Pipeline.digest` that the compile
+  cache folds into artifact keys, so cached binaries invalidate whenever
+  a pass version or pipeline shape changes;
+* the :class:`PassManager` instruments every application — wall time,
+  change count, optional per-pass IR verification (``REPRO_VERIFY_IR``)
+  — and honors a ``max_pass_applications`` cutoff via :class:`PassBudget`;
+* the cutoff is the substrate for **divergence pass-bisection**
+  (:mod:`repro.core.bisect`): LLVM's ``-opt-bisect-limit`` idea, used to
+  attribute a differential-oracle divergence to the first pass
+  application that flips the program's output.
+
+Scopes: ``function`` passes run once per function per application;
+``module`` passes see the whole module; ``lowering`` passes are applied
+*inside* :mod:`repro.compiler.lowering` (the source-level overflow-guard
+folds of Listing 1) but still occupy one slot in the application
+schedule so bisection can attribute divergences to them.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.compiler.implementations import CompilerConfig
+from repro.compiler.passes.constant_fold import const_fold
+from repro.compiler.passes.copy_prop import copy_prop
+from repro.compiler.passes.dce import dce
+from repro.compiler.passes.inline import inline_small
+from repro.compiler.passes.libcall_subst import pow_to_exp2
+from repro.compiler.passes.mem_forward import store_forward
+from repro.compiler.passes.merge_blocks import merge_blocks
+from repro.compiler.passes.simplify import simplify
+from repro.compiler.passes.strength_reduce import strength_reduce
+from repro.compiler.passes.ub_exploit import exploit_ub
+from repro.ir.module import Module
+
+SCOPE_FUNCTION = "function"
+SCOPE_MODULE = "module"
+SCOPE_LOWERING = "lowering"
+
+#: Bound on change-driven fixpoint rounds per function.  The old driver
+#: hardcoded 2 rounds; real chains converge in 2-4.  Hitting this bound
+#: is recorded on the report, never an error.
+DEFAULT_MAX_ROUNDS = 8
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One registered IR transform.
+
+    ``run`` takes ``(target, config)`` — a :class:`Function` for
+    function-scope passes, a :class:`Module` for module scope — and
+    returns the number of changes it made (0 = IR untouched, a contract
+    the fixpoint driver relies on).  ``version`` participates in the
+    pipeline digest: bump it whenever the pass's output can change, and
+    every cached artifact built with the old behavior invalidates.
+    """
+
+    name: str
+    run: Optional[Callable[..., int]] = None
+    scope: str = SCOPE_FUNCTION
+    version: int = 1
+    description: str = ""
+
+    def signature(self) -> str:
+        return f"{self.name}@v{self.version}/{self.scope}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FixpointGroup:
+    """Passes iterated together until a full round changes nothing."""
+
+    passes: tuple[Pass, ...]
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+
+    def signature(self) -> str:
+        inner = ",".join(p.signature() for p in self.passes)
+        return f"fixpoint(max_rounds={self.max_rounds})[{inner}]"
+
+
+Step = Union[Pass, FixpointGroup]
+
+
+# --------------------------------------------------------------- registry
+
+
+PASS_STORE_FORWARD = Pass(
+    "store_forward", lambda func, config: store_forward(func),
+    description="store-to-load forwarding for non-escaping scalar slots",
+)
+PASS_COPY_PROP = Pass(
+    "copy_prop", lambda func, config: copy_prop(func),
+    description="block-local copy and constant propagation",
+)
+PASS_CONST_FOLD = Pass(
+    "const_fold", const_fold,
+    description="constant folding incl. compile-time UB resolution",
+)
+PASS_SIMPLIFY = Pass(
+    "simplify", lambda func, config: simplify(func),
+    description="algebraic peephole simplification",
+)
+PASS_MERGE_BLOCKS = Pass(
+    "merge_blocks", lambda func, config: merge_blocks(func),
+    description="merge single-predecessor jump chains",
+)
+PASS_EXPLOIT_UB = Pass(
+    "exploit_ub", lambda func, config: exploit_ub(func),
+    description="UB-exploiting folds: null-deref elision, poisoned division",
+)
+PASS_INLINE = Pass(
+    "inline_small", inline_small, scope=SCOPE_MODULE,
+    description="inline small leaf functions into callers",
+)
+PASS_STRENGTH_REDUCE = Pass(
+    "strength_reduce", lambda func, config: strength_reduce(func),
+    description="power-of-two multiply/divide to shifts",
+)
+PASS_POW_TO_EXP2 = Pass(
+    "pow_to_exp2", lambda func, config: pow_to_exp2(func),
+    description="libcall substitution pow(2, x) -> exp2(x)",
+)
+PASS_DCE = Pass(
+    "dce", lambda func, config: dce(func),
+    description="dead code elimination incl. unused trapping divisions",
+)
+#: Lowering-stage UB exploitation: the Listing-1 overflow-guard folds in
+#: :meth:`repro.compiler.lowering.Lowerer._fold_ub_guard`.  Shares the
+#: ``exploit_ub`` name so bisection attributes guard-fold divergences to
+#: the UB-exploiting transform regardless of which stage applied it.
+PASS_UB_GUARD_FOLD = Pass(
+    "exploit_ub", scope=SCOPE_LOWERING,
+    description="source-level nsw/pointer overflow-guard folding at lowering",
+)
+
+#: Full inventory, in canonical pipeline order (docs/PASSES.md).
+ALL_PASSES: tuple[Pass, ...] = (
+    PASS_UB_GUARD_FOLD,
+    PASS_INLINE,
+    PASS_STORE_FORWARD,
+    PASS_COPY_PROP,
+    PASS_CONST_FOLD,
+    PASS_SIMPLIFY,
+    PASS_MERGE_BLOCKS,
+    PASS_EXPLOIT_UB,
+    PASS_STRENGTH_REDUCE,
+    PASS_POW_TO_EXP2,
+    PASS_DCE,
+)
+
+
+# --------------------------------------------------------------- pipeline
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """A declarative pass schedule for one compiler configuration."""
+
+    name: str
+    #: Lowering-stage passes (one schedule slot each, applied by the
+    #: lowerer itself under budget control).
+    prelude: tuple[Pass, ...] = ()
+    steps: tuple[Step, ...] = ()
+
+    def describe(self) -> str:
+        """Canonical one-line-per-step description (digest input)."""
+        lines = [f"pipeline:{self.name}"]
+        for p in self.prelude:
+            lines.append(f"  prelude:{p.signature()}")
+        for step in self.steps:
+            lines.append(f"  step:{step.signature()}")
+        return "\n".join(lines)
+
+    def digest(self) -> str:
+        """Stable content hash of the pipeline shape and pass versions.
+
+        Folded into compile-cache keys: reordering passes, changing a
+        fixpoint bound, or bumping a pass version all produce a new
+        digest, so stale artifacts can never be served.
+        """
+        return hashlib.sha256(self.describe().encode("utf-8")).hexdigest()
+
+    def function_passes(self) -> list[Pass]:
+        """Flat list of non-prelude passes, in schedule order."""
+        out: list[Pass] = []
+        for step in self.steps:
+            if isinstance(step, FixpointGroup):
+                out.extend(step.passes)
+            else:
+                out.append(step)
+        return out
+
+
+def _pipeline_for(config: CompilerConfig, max_fixpoint_rounds: int) -> Pipeline:
+    prelude: list[Pass] = []
+    if config.exploit_ub:
+        prelude.append(PASS_UB_GUARD_FOLD)
+    steps: list[Step] = []
+    if config.inline_small:
+        steps.append(PASS_INLINE)
+    group: list[Pass] = []
+    if config.copy_prop:
+        group += [PASS_STORE_FORWARD, PASS_COPY_PROP]
+    if config.const_fold:
+        group += [PASS_CONST_FOLD, PASS_SIMPLIFY, PASS_MERGE_BLOCKS]
+    if config.exploit_ub:
+        group.append(PASS_EXPLOIT_UB)
+    if group:
+        steps.append(FixpointGroup(tuple(group), max_rounds=max_fixpoint_rounds))
+    if config.strength_reduce:
+        steps.append(PASS_STRENGTH_REDUCE)
+    if config.float_pow_to_exp2:
+        steps.append(PASS_POW_TO_EXP2)
+    if config.dce:
+        steps.append(PASS_DCE)
+    return Pipeline(name=config.name, prelude=tuple(prelude), steps=tuple(steps))
+
+
+@functools.lru_cache(maxsize=256)
+def pipeline_for(
+    config: CompilerConfig, max_fixpoint_rounds: int | None = None
+) -> Pipeline:
+    """The declarative pipeline selected by *config* (memoized).
+
+    The shape mirrors a real -O pipeline: inline first (exposes constants
+    across call boundaries), then a change-driven fixpoint of local
+    cleanups, then the one-shot tail (strength reduction, libcall
+    substitution, DCE last).
+
+    ``max_fixpoint_rounds`` overrides the fixpoint group's round bound
+    (default :data:`DEFAULT_MAX_ROUNDS`).  Passing ``2`` reproduces the
+    historical hardcoded two-round schedule byte-for-byte — the
+    ``tests/golden/ir_digests_tworound.json`` gate pins exactly that.
+    The bound is part of the pipeline's :meth:`Pipeline.describe` text,
+    so overriding it changes the digest (and hence compile-cache keys).
+    """
+    if max_fixpoint_rounds is None:
+        max_fixpoint_rounds = DEFAULT_MAX_ROUNDS
+    return _pipeline_for(config, max_fixpoint_rounds)
+
+
+def pipeline_digest(config: CompilerConfig) -> str:
+    """Digest of the pipeline *config* selects — the cache-key component."""
+    return pipeline_for(config).digest()
+
+
+# ----------------------------------------------------------- budget/schedule
+
+
+@dataclass
+class PassApplication:
+    """One scheduled application of one pass to one target."""
+
+    index: int
+    pass_name: str
+    scope: str
+    target: str  # function name, "<module>", or "<lowering>"
+    #: False when the ``max_pass_applications`` cutoff skipped this slot.
+    applied: bool = True
+    changed: int = 0
+    seconds: float = 0.0
+    #: 1-based fixpoint round for grouped passes, 0 for one-shot steps.
+    round: int = 0
+
+    def label(self) -> str:
+        where = f" on {self.target}" if self.target else ""
+        round_part = f" round {self.round}" if self.round else ""
+        return f"#{self.index} {self.pass_name} ({self.scope}){where}{round_part}"
+
+
+class PassBudget:
+    """Shared application counter, schedule recorder, and cutoff.
+
+    One budget spans a whole build — the lowering-stage prelude and every
+    pipeline application — so ``max_applications=N`` reproduces exactly
+    the first N applications of the unrestricted build (the prefix
+    property divergence bisection depends on).
+    """
+
+    def __init__(self, max_applications: int | None = None) -> None:
+        if max_applications is not None and max_applications < 0:
+            raise ValueError("max_applications must be >= 0")
+        self.max_applications = max_applications
+        self.schedule: list[PassApplication] = []
+        self.exhausted = False
+
+    def begin(
+        self, pass_: Pass, target: str, round: int = 0
+    ) -> PassApplication | None:
+        """Claim the next schedule slot for *pass_* on *target*.
+
+        Returns the application record when the slot is within budget,
+        or ``None`` (recording a skipped slot) once the cutoff is hit.
+        """
+        index = len(self.schedule)
+        allowed = self.max_applications is None or index < self.max_applications
+        application = PassApplication(
+            index=index,
+            pass_name=pass_.name,
+            scope=pass_.scope,
+            target=target,
+            applied=allowed,
+            round=round,
+        )
+        self.schedule.append(application)
+        if not allowed:
+            self.exhausted = True
+            return None
+        return application
+
+    @property
+    def applications(self) -> int:
+        """Slots actually applied (skipped ones excluded)."""
+        return sum(1 for app in self.schedule if app.applied)
+
+
+# ----------------------------------------------------------------- report
+
+
+@dataclass
+class PipelineReport:
+    """Instrumentation record of one build's pass schedule."""
+
+    pipeline_name: str
+    pipeline_digest: str
+    schedule: list[PassApplication] = field(default_factory=list)
+    #: True when a max_pass_applications cutoff skipped at least one slot.
+    truncated: bool = False
+    #: Functions whose fixpoint group hit DEFAULT_MAX_ROUNDS still changing.
+    fixpoint_bound_hits: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(app.seconds for app in self.schedule)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(app.changed for app in self.schedule)
+
+    def per_pass(self) -> dict[str, dict]:
+        """Aggregate ``{pass name: {applications, changes, seconds}}``."""
+        out: dict[str, dict] = {}
+        for app in self.schedule:
+            if not app.applied:
+                continue
+            row = out.setdefault(
+                app.pass_name, {"applications": 0, "changes": 0, "seconds": 0.0}
+            )
+            row["applications"] += 1
+            row["changes"] += app.changed
+            row["seconds"] += app.seconds
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"pipeline {self.pipeline_name} "
+            f"({len(self.schedule)} applications, "
+            f"{self.total_changes} changes, {1000 * self.total_seconds:.2f}ms)"
+        ]
+        for name, row in self.per_pass().items():
+            lines.append(
+                f"  {name:<16} x{row['applications']:<3} "
+                f"changes={row['changes']:<5} {1000 * row['seconds']:.2f}ms"
+            )
+        if self.truncated:
+            applied = sum(1 for app in self.schedule if app.applied)
+            lines.append(f"  [truncated after {applied} applications]")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- manager
+
+
+def _verify_enabled() -> bool:
+    return bool(os.environ.get("REPRO_VERIFY_IR"))
+
+
+class PassManager:
+    """Runs a :class:`Pipeline` over a module with full instrumentation.
+
+    ``verify=True`` (default: the ``REPRO_VERIFY_IR`` environment
+    variable) re-checks IR invariants after **every pass application**
+    and names the offending pass in the failure — the difference between
+    "the compile produced bad IR" and "simplify broke block L3 of f".
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        config: CompilerConfig,
+        budget: PassBudget | None = None,
+        verify: bool | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config
+        self.budget = budget if budget is not None else PassBudget()
+        self.verify = _verify_enabled() if verify is None else verify
+        self.report = PipelineReport(
+            pipeline_name=pipeline.name, pipeline_digest=pipeline.digest()
+        )
+
+    # The report shares the budget's schedule list so lowering-stage
+    # applications recorded before the manager ran are included.
+
+    def run(self, module: Module) -> Module:
+        """Apply the pipeline to *module* in place and return it."""
+        self.report.schedule = self.budget.schedule
+        for step in self.pipeline.steps:
+            if isinstance(step, FixpointGroup):
+                self._run_fixpoint(step, module)
+            elif step.scope == SCOPE_MODULE:
+                self._apply(step, module, module, "<module>")
+            else:
+                for func in module.functions.values():
+                    if self.budget.exhausted:
+                        break
+                    self._apply(step, func, module, func.name)
+            if self.budget.exhausted:
+                break
+        self.report.truncated = self.budget.exhausted
+        return module
+
+    # ------------------------------------------------------------- internal
+
+    def _run_fixpoint(self, group: FixpointGroup, module: Module) -> None:
+        """Change-driven driver: per function, iterate the group until a
+        full round reports zero changes (or the round bound / application
+        budget runs out)."""
+        for func in module.functions.values():
+            rounds = 0
+            while rounds < group.max_rounds:
+                rounds += 1
+                round_changes = 0
+                for pass_ in group.passes:
+                    if self.budget.exhausted:
+                        return
+                    changed = self._apply(pass_, func, module, func.name, rounds)
+                    if changed is None:
+                        return
+                    round_changes += changed
+                if round_changes == 0:
+                    break
+            else:
+                if round_changes:
+                    self.report.fixpoint_bound_hits += 1
+
+    def _apply(
+        self, pass_: Pass, target, module: Module, target_name: str, round: int = 0
+    ) -> int | None:
+        """One budgeted, timed, optionally verified pass application."""
+        application = self.budget.begin(pass_, target_name, round)
+        if application is None:
+            return None
+        started = time.perf_counter()
+        changed = pass_.run(target, self.config)
+        application.seconds = time.perf_counter() - started
+        application.changed = int(changed)
+        if self.verify:
+            self._verify_after(pass_, target, module, application)
+        return application.changed
+
+    def _verify_after(
+        self, pass_: Pass, target, module: Module, application: PassApplication
+    ) -> None:
+        from repro.ir.verify import VerificationError, verify_function
+
+        if pass_.scope == SCOPE_MODULE:
+            problems: list[str] = []
+            for func in module.functions.values():
+                problems.extend(verify_function(func, module))
+        else:
+            problems = verify_function(target, module)
+        if problems:
+            raise VerificationError(
+                f"IR verification failed after {application.label()} "
+                f"in pipeline {self.pipeline.name!r}:\n  " + "\n  ".join(problems)
+            )
+
+
+def run_pipeline(
+    module: Module,
+    config: CompilerConfig,
+    budget: PassBudget | None = None,
+    verify: bool | None = None,
+    pipeline: Pipeline | None = None,
+) -> PipelineReport:
+    """Optimize *module* for *config*; returns the instrumentation report.
+
+    ``pipeline`` substitutes a non-standard pipeline (e.g. the legacy
+    two-round schedule from ``pipeline_for(config, max_fixpoint_rounds=2)``);
+    by default the config's standard pipeline runs.
+    """
+    if pipeline is None:
+        pipeline = pipeline_for(config)
+    manager = PassManager(pipeline, config, budget=budget, verify=verify)
+    manager.run(module)
+    return manager.report

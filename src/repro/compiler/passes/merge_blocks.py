@@ -15,9 +15,13 @@ from repro.ir.module import Function
 
 
 def merge_blocks(func: Function) -> int:
-    """Merge single-predecessor jump chains; returns merges performed."""
-    remove_unreachable(func)
-    merged = 0
+    """Merge single-predecessor jump chains.
+
+    Returns merges performed plus unreachable blocks removed — every
+    mutation counts, a contract the change-driven fixpoint driver
+    (:mod:`repro.compiler.passes.manager`) relies on.
+    """
+    merged = remove_unreachable(func)
     changed = True
     while changed:
         changed = False

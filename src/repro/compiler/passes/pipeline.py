@@ -1,65 +1,31 @@
-"""Per-implementation optimization pipeline."""
+"""Back-compat facade over the declarative pass manager.
+
+The per-implementation pipeline used to live here as a hardcoded
+``if config.X:`` chain with a fixed two-round loop.  It is now declared
+in :mod:`repro.compiler.passes.manager` (:func:`pipeline_for`) and run
+by the instrumented :class:`~repro.compiler.passes.manager.PassManager`;
+``optimize`` keeps the historical one-call entry point.
+"""
 
 from __future__ import annotations
 
-from repro.ir.module import Module
 from repro.compiler.implementations import CompilerConfig
-from repro.compiler.passes.constant_fold import const_fold
-from repro.compiler.passes.copy_prop import copy_prop
-from repro.compiler.passes.dce import dce
-from repro.compiler.passes.inline import inline_small
-from repro.compiler.passes.mem_forward import store_forward
-from repro.compiler.passes.merge_blocks import merge_blocks
-from repro.compiler.passes.simplify import simplify
-from repro.compiler.passes.strength_reduce import strength_reduce
-from repro.compiler.passes.ub_exploit import exploit_ub
+from repro.compiler.passes.manager import PassBudget, run_pipeline
+from repro.ir.module import Module
 
 
-def optimize(module: Module, config: CompilerConfig) -> Module:
+def optimize(
+    module: Module,
+    config: CompilerConfig,
+    budget: "PassBudget | None" = None,
+    verify: bool | None = None,
+) -> Module:
     """Run the pass pipeline selected by *config* over *module* in place.
 
-    The pipeline shape mirrors a real -O pipeline: inline first (exposes
-    constants across call boundaries), then iterate local cleanups, then
-    UB-exploiting folds once addresses/divisors have been propagated, and
-    DCE last.
+    ``budget`` threads a shared :class:`PassBudget` through (schedule
+    recording and the ``max_pass_applications`` cutoff); ``verify``
+    forces per-pass IR verification on or off (default: the
+    ``REPRO_VERIFY_IR`` environment variable).
     """
-    if config.inline_small:
-        inline_small(module, config)
-    for func in module.functions.values():
-        for _ in range(2):  # two rounds reach the common fixpoints
-            if config.copy_prop:
-                store_forward(func)
-                copy_prop(func)
-            if config.const_fold:
-                const_fold(func, config)
-                simplify(func)
-                merge_blocks(func)
-            if config.exploit_ub:
-                exploit_ub(func)
-        if config.strength_reduce:
-            strength_reduce(func)
-        if config.float_pow_to_exp2:
-            _pow_to_exp2(func)
-        if config.dce:
-            dce(func)
+    run_pipeline(module, config, budget=budget, verify=verify)
     return module
-
-
-def _pow_to_exp2(func) -> int:
-    """clang -O3 style libcall substitution: pow(2.0, x) -> exp2(x)."""
-    from repro.ir.instructions import CallBuiltin
-
-    changed = 0
-    for block in func.blocks.values():
-        for instr in block.instrs:
-            if (
-                isinstance(instr, CallBuiltin)
-                and instr.name == "pow"
-                and len(instr.args) == 2
-                and instr.args[0] == 2.0
-            ):
-                instr.name = "exp2"
-                instr.args = [instr.args[1]]
-                instr.arg_types = [instr.arg_types[1]]
-                changed += 1
-    return changed

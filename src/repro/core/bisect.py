@@ -1,0 +1,277 @@
+"""Divergence pass-bisection: which pass application flipped the output?
+
+Marcozzi et al.'s impact study (PAPERS.md) found that attributing a
+miscompilation to the *specific transform* that introduced it is the
+expensive manual step of compiler-bug triage.  LLVM answers with
+``-opt-bisect-limit``; this module is the same idea on our pass manager.
+
+Every build records a deterministic schedule of pass applications, and
+``max_pass_applications=N`` produces exactly the first N applications of
+that schedule (the *prefix property* — one
+:class:`~repro.compiler.passes.manager.PassBudget` spans lowering and the
+pipeline, so the lowering-stage UB-guard fold occupies slot 0 and is
+bisectable like any pipeline pass).  Given a divergent (program, input,
+implementation pair), we binary-search the application count for the
+first prefix whose output disagrees with the reference implementation
+and name the application at that boundary.
+
+The search assumes divergence is *monotone* in the prefix length — once
+a prefix diverges, longer prefixes stay diverged.  That holds for the
+single-culprit case the oracle surfaces in practice; when it does not,
+the reported application is still a true flip point (its prefix diverges,
+one application shorter agrees), just not necessarily the only one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.binary import CompiledBinary, compile_program
+from repro.compiler.implementations import CompilerConfig, implementation
+from repro.compiler.passes.manager import PassApplication, pipeline_for
+from repro.core.compdiff import DiffResult
+from repro.core.normalize import OutputNormalizer
+from repro.minic import ast as minic_ast
+from repro.minic import load
+from repro.vm import run_binary
+from repro.vm.machine import DEFAULT_FUEL
+
+#: ``BisectionResult.status`` values.
+STATUS_ATTRIBUTED = "attributed"
+STATUS_NO_DIVERGENCE = "no_divergence"
+STATUS_BASELINE_DIVERGENT = "baseline_divergent"
+
+
+@dataclass(frozen=True)
+class Culprit:
+    """The first pass application whose prefix flips the output."""
+
+    #: 1-based position in the build's application schedule.
+    position: int
+    pass_name: str
+    scope: str
+    target: str
+    round: int = 0
+
+    def label(self) -> str:
+        where = f" on {self.target}" if self.target else ""
+        round_part = f" round {self.round}" if self.round else ""
+        return f"#{self.position} {self.pass_name} ({self.scope}){where}{round_part}"
+
+
+@dataclass
+class BisectionResult:
+    """Outcome of bisecting one divergent (program, input, pair) triple."""
+
+    program: str
+    input: bytes
+    impl_ref: str
+    impl_target: str
+    status: str
+    #: Applications in the target's full schedule.
+    total_applications: int = 0
+    #: Truncated builds performed by the search (cost accounting).
+    probes: int = 0
+    culprit: Culprit | None = None
+    pipeline_digest: str = ""
+
+    @property
+    def attributed(self) -> bool:
+        return self.status == STATUS_ATTRIBUTED
+
+    def render(self) -> str:
+        head = (
+            f"pass bisection: {self.impl_target} vs {self.impl_ref} "
+            f"({self.total_applications} applications, {self.probes} probes)"
+        )
+        if self.status == STATUS_NO_DIVERGENCE:
+            return head + "\n  no divergence on this input"
+        if self.status == STATUS_BASELINE_DIVERGENT:
+            return head + (
+                "\n  diverges with zero passes applied "
+                "(front-end/layout difference, not pass-attributable)"
+            )
+        assert self.culprit is not None
+        return head + f"\n  first divergent application: {self.culprit.label()}"
+
+    def to_json(self) -> dict:
+        return {
+            "program": self.program,
+            "input_hex": self.input.hex(),
+            "impl_ref": self.impl_ref,
+            "impl_target": self.impl_target,
+            "status": self.status,
+            "total_applications": self.total_applications,
+            "probes": self.probes,
+            "pipeline_digest": self.pipeline_digest,
+            "culprit": None
+            if self.culprit is None
+            else {
+                "position": self.culprit.position,
+                "pass": self.culprit.pass_name,
+                "scope": self.culprit.scope,
+                "target": self.culprit.target,
+                "round": self.culprit.round,
+            },
+        }
+
+
+def _culprit_from(application: PassApplication) -> Culprit:
+    return Culprit(
+        position=application.index + 1,
+        pass_name=application.pass_name,
+        scope=application.scope,
+        target=application.target,
+        round=application.round,
+    )
+
+
+class _Prober:
+    """Compiles and runs prefix builds of one (program, config) pair."""
+
+    def __init__(
+        self,
+        program: minic_ast.Program,
+        config: CompilerConfig,
+        input_bytes: bytes,
+        fuel: int,
+        normalizer: OutputNormalizer,
+        name: str,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.input_bytes = input_bytes
+        self.fuel = fuel
+        self.normalizer = normalizer
+        self.name = name
+        self.probes = 0
+
+    def build(self, limit: int | None) -> CompiledBinary:
+        return compile_program(
+            self.program, self.config, name=self.name, max_pass_applications=limit
+        )
+
+    def observe(self, binary: CompiledBinary) -> tuple:
+        result = run_binary(binary, self.input_bytes, fuel=self.fuel)
+        return self.normalizer.normalize_observation(result.observation())
+
+    def probe(self, limit: int) -> tuple:
+        self.probes += 1
+        return self.observe(self.build(limit))
+
+
+def bisect_divergence(
+    program: minic_ast.Program | str,
+    input_bytes: bytes,
+    impl_ref: CompilerConfig | str = "gcc-O0",
+    impl_target: CompilerConfig | str = "gcc-O2",
+    fuel: int = DEFAULT_FUEL,
+    normalizer: OutputNormalizer | None = None,
+    name: str = "",
+) -> BisectionResult:
+    """Find the first *impl_target* pass application that departs from
+    *impl_ref*'s output on *input_bytes*.
+
+    The reference implementation is built in full; only the target is
+    prefix-truncated.  O(log n) probes via binary search on the
+    application count.
+    """
+    if isinstance(program, str):
+        program = load(program)
+    if isinstance(impl_ref, str):
+        impl_ref = implementation(impl_ref)
+    if isinstance(impl_target, str):
+        impl_target = implementation(impl_target)
+    if normalizer is None:
+        normalizer = OutputNormalizer()  # raw comparison, like the oracle default
+
+    prober = _Prober(program, impl_target, input_bytes, fuel, normalizer, name)
+    ref_binary = compile_program(program, impl_ref, name=name)
+    ref_obs = prober.observe(ref_binary)
+
+    full_binary = prober.build(None)
+    report = full_binary.pass_report
+    schedule = [app for app in report.schedule if app.applied]
+    total = len(schedule)
+    result = BisectionResult(
+        program=name or program.__class__.__name__,
+        input=input_bytes,
+        impl_ref=impl_ref.name,
+        impl_target=impl_target.name,
+        status=STATUS_NO_DIVERGENCE,
+        total_applications=total,
+        pipeline_digest=report.pipeline_digest,
+    )
+    if prober.observe(full_binary) == ref_obs:
+        result.probes = prober.probes
+        return result
+
+    if total == 0 or prober.probe(0) != ref_obs:
+        # Divergence exists before any pass runs: layout policy or
+        # front-end lowering, outside the pass schedule's reach.
+        result.status = STATUS_BASELINE_DIVERGENT
+        result.probes = prober.probes
+        return result
+
+    lo, hi = 0, total  # invariant: prefix(lo) agrees, prefix(hi) diverges
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if prober.probe(mid) == ref_obs:
+            lo = mid
+        else:
+            hi = mid
+    result.status = STATUS_ATTRIBUTED
+    result.culprit = _culprit_from(schedule[hi - 1])
+    result.probes = prober.probes
+    return result
+
+
+def choose_bisection_pair(
+    diff: DiffResult, implementations: dict[str, CompilerConfig] | None = None
+) -> tuple[str, str]:
+    """Pick (reference, target) implementation names from a divergent diff.
+
+    Reference: the implementation with the *shortest* pass schedule across
+    all groups (closest to un-optimized source semantics — in the default
+    set, an -O0).  Target: the implementation from any *other* observation
+    group with the longest schedule — the most transforms to bisect over,
+    and in practice the most aggressive pipeline, which is where UB
+    exploitation lives.
+    """
+    groups = diff.groups()
+    if len(groups) < 2:
+        raise ValueError("diff is not divergent; nothing to bisect")
+
+    def schedule_length(impl_name: str) -> int:
+        if implementations is not None and impl_name in implementations:
+            config = implementations[impl_name]
+        else:
+            config = implementation(impl_name)
+        pipeline = pipeline_for(config)
+        return len(pipeline.prelude) + len(pipeline.function_passes())
+
+    members = {impl: group_i for group_i, group in enumerate(groups) for impl in group}
+    ref = min(members, key=lambda impl: (schedule_length(impl), impl))
+    others = [impl for impl in members if members[impl] != members[ref]]
+    target = max(others, key=lambda impl: (schedule_length(impl), impl))
+    return ref, target
+
+
+def bisect_diff(
+    program: minic_ast.Program | str,
+    diff: DiffResult,
+    fuel: int = DEFAULT_FUEL,
+    normalizer: OutputNormalizer | None = None,
+    name: str = "",
+) -> BisectionResult:
+    """Bisect a :class:`DiffResult` from the oracle, auto-picking the pair."""
+    ref, target = choose_bisection_pair(diff)
+    return bisect_divergence(
+        program,
+        diff.input,
+        impl_ref=ref,
+        impl_target=target,
+        fuel=fuel,
+        normalizer=normalizer,
+        name=name,
+    )

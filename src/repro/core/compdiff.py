@@ -221,7 +221,9 @@ class CompDiff:
 
     def _compile(self, program: minic_ast.Program, config: CompilerConfig, name: str = ""):
         if self.compile_cache is None:
-            return compile_program(program, config, name=name)
+            binary = compile_program(program, config, name=name)
+            self.stats.record_pass_report(binary.pass_report)
+            return binary
         cache_stats = self.compile_cache.stats
         hits0, misses0 = cache_stats.hits, cache_stats.misses
         evictions0 = cache_stats.evictions
@@ -232,6 +234,8 @@ class CompDiff:
             cache_stats.misses - misses0,
             cache_stats.evictions - evictions0,
         )
+        if cache_stats.misses > misses0:  # fresh compile, not a replayed artifact
+            self.stats.record_pass_report(binary.pass_report)
         return binary
 
     # --------------------------------------------------------------- running

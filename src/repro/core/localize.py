@@ -109,3 +109,41 @@ def localize(
         compile_program(program, impl_b), input_bytes, fuel=fuel, trace_lines=True
     )
     return align_traces(result_a.line_trace, result_b.line_trace, impl_a.name, impl_b.name)
+
+
+@dataclass
+class DivergenceProfile:
+    """*Where* behavior departs (trace alignment) combined with *which
+    transform* makes it depart (pass bisection).
+
+    The two answers are complementary: the trace pinpoints the source
+    line, the bisection names the pass application — together they are
+    the report a compiler-bug triager actually wants.
+    """
+
+    localization: Localization
+    bisection: "BisectionResult"
+
+    def render(self, source: str = "") -> str:
+        return self.localization.render(source) + "\n" + self.bisection.render()
+
+
+def divergence_profile(
+    program: minic_ast.Program | str,
+    input_bytes: bytes,
+    impl_a: CompilerConfig | str = "gcc-O0",
+    impl_b: CompilerConfig | str = "gcc-O2",
+    fuel: int = DEFAULT_FUEL,
+) -> DivergenceProfile:
+    """Trace-align *and* pass-bisect one divergent pair in one call.
+
+    ``impl_a`` doubles as the bisection reference, ``impl_b`` as the
+    bisected target, matching ``repro localize``'s flag order.
+    """
+    from repro.core.bisect import bisect_divergence
+
+    loc = localize(program, input_bytes, impl_a=impl_a, impl_b=impl_b, fuel=fuel)
+    bis = bisect_divergence(
+        program, input_bytes, impl_ref=impl_a, impl_target=impl_b, fuel=fuel
+    )
+    return DivergenceProfile(localization=loc, bisection=bis)

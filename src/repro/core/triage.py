@@ -54,3 +54,33 @@ def triage(
             sites = sites_by_input.get(diff.input, frozenset())
         clusters.setdefault(signature_of(diff, sites), []).append(diff)
     return clusters
+
+
+def attribute_clusters(
+    program,
+    clusters: dict[DivergenceSignature, list[DiffResult]],
+    fuel: int | None = None,
+    normalizer=None,
+    name: str = "",
+) -> dict[DivergenceSignature, "BisectionResult"]:
+    """Pass-bisect one representative diff per cluster.
+
+    The cluster signature identifies *which implementations disagree*;
+    bisection (:mod:`repro.core.bisect`) adds *which pass application
+    makes them disagree* — the attribution step the paper's triage
+    discussion (§3.2) leaves manual.  One representative per cluster
+    keeps cost at O(log n) truncated builds per signature.
+    """
+    from repro.core.bisect import bisect_diff
+    from repro.vm.machine import DEFAULT_FUEL
+
+    out: dict[DivergenceSignature, "BisectionResult"] = {}
+    for signature, members in clusters.items():
+        out[signature] = bisect_diff(
+            program,
+            members[0],
+            fuel=DEFAULT_FUEL if fuel is None else fuel,
+            normalizer=normalizer,
+            name=name,
+        )
+    return out

@@ -12,11 +12,17 @@ One module per paper artifact family:
 divergence with a Table 5 root-cause category via the IR-level UB oracle
 (:mod:`repro.static_analysis.ub_oracle`); render the extra data with
 :func:`render_triage_confusion` / :func:`render_triage`.
+
+``include_bisection=True`` on either driver pass-bisects diverging cases
+(:mod:`repro.core.bisect`) and attributes each divergence to the first
+pass application that flips the output; render with
+:func:`render_bisections` / :func:`render_bisection`.
 """
 
 from repro.evaluation.juliet_eval import (
     JulietEvaluation,
     evaluate_juliet,
+    render_bisections,
     render_table2,
     render_table3,
     render_triage_confusion,
@@ -25,6 +31,7 @@ from repro.evaluation.subset_eval import figure_from_vectors, render_figure
 from repro.evaluation.realworld_eval import (
     RealWorldEvaluation,
     evaluate_realworld,
+    render_bisection,
     render_table4,
     render_table5,
     render_table6,
@@ -37,6 +44,8 @@ __all__ = [
     "evaluate_juliet",
     "evaluate_realworld",
     "figure_from_vectors",
+    "render_bisection",
+    "render_bisections",
     "render_figure",
     "render_table2",
     "render_table3",

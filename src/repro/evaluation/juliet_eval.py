@@ -79,6 +79,9 @@ class JulietEvaluation:
     #: case uid -> triage label for the first divergent diff (only when
     #: the evaluation ran with ``include_triage=True``).
     triage_labels: dict[str, TriageLabel] = field(default_factory=dict)
+    #: case uid -> pass-bisection of the first divergent diff (only when
+    #: the evaluation ran with ``include_bisection=True``).
+    bisections: dict[str, "BisectionResult"] = field(default_factory=dict)
     #: Engine metrics for the differential checks (executions, cache,
     #: worker restarts/retries/quarantines, degraded cross-checks).
     engine_stats: "EngineStats | None" = None
@@ -95,6 +98,7 @@ def evaluate_juliet(
     include_sanitizers: bool = True,
     include_good_variants: bool = True,
     include_triage: bool = False,
+    include_bisection: bool = False,
     workers: int = 1,
     compile_cache: CompileCache | None = None,
 ) -> JulietEvaluation:
@@ -105,6 +109,8 @@ def evaluate_juliet(
     the sanitizer/static tool passes stay in-process either way.
     ``include_triage=True`` additionally runs the UB oracle on every
     diverging bad variant and stores a Table 5 label per case uid.
+    ``include_bisection=True`` pass-bisects each diverging bad variant
+    (:mod:`repro.core.bisect`) and stores the attribution per case uid.
     """
     evaluation = JulietEvaluation(suite=suite)
     engine = CompDiff(fuel=fuel, workers=workers, compile_cache=compile_cache)
@@ -113,6 +119,7 @@ def evaluate_juliet(
         return _evaluate_juliet(
             evaluation, engine, suite, include_static, include_sanitizers,
             include_good_variants, include_triage, fuel,
+            include_bisection=include_bisection,
         )
     finally:
         engine.close()
@@ -127,6 +134,7 @@ def _evaluate_juliet(
     include_good_variants: bool,
     include_triage: bool = False,
     fuel: int = 200_000,
+    include_bisection: bool = False,
 ) -> JulietEvaluation:
     sanitizers = all_sanitizers() if include_sanitizers else []
     static_tools = all_static_tools() if include_static else []
@@ -171,6 +179,13 @@ def _evaluate_juliet(
                 findings = oracle.analyze(bad)
                 evaluation.triage_labels[case.uid] = triage_diff(
                     bad, diff, findings, fuel=fuel
+                )
+            if include_bisection:
+                from repro.core.bisect import bisect_diff
+
+                diff = next(d for d in outcome.diffs if d.divergent)
+                evaluation.bisections[case.uid] = bisect_diff(
+                    case.bad_source, diff, fuel=fuel, name=case.uid
                 )
         if good_outcome is not None:
             if good_outcome.divergent:
@@ -253,6 +268,34 @@ def render_table3(evaluation: JulietEvaluation) -> str:
         f"{evaluation.compdiff_false_positives} (Finding 5 expects 0)"
     )
     return "\n".join(lines)
+
+
+def render_bisections(evaluation: JulietEvaluation) -> str:
+    """Pass-attribution summary: which transform flipped each bad variant.
+
+    Rendered only from evaluations run with ``include_bisection=True``.
+    The histogram names the culprit pass per diverging case — the
+    automated version of the manual "which optimization did this"
+    triage step.
+    """
+    by_pass: dict[str, int] = {}
+    lines = []
+    for uid in sorted(evaluation.bisections):
+        result = evaluation.bisections[uid]
+        if result.attributed:
+            culprit = result.culprit
+            by_pass[culprit.pass_name] = by_pass.get(culprit.pass_name, 0) + 1
+            detail = culprit.label()
+        else:
+            by_pass[result.status] = by_pass.get(result.status, 0) + 1
+            detail = result.status
+        lines.append(
+            f"  {uid:<44} {result.impl_target:>9} vs {result.impl_ref:<9} {detail}"
+        )
+    header = [f"Pass attribution over {len(evaluation.bisections)} diverging cases:"]
+    for name, count in sorted(by_pass.items(), key=lambda kv: (-kv[1], kv[0])):
+        header.append(f"  {name:<24} {count}")
+    return "\n".join(header + lines)
 
 
 def render_triage_confusion(evaluation: JulietEvaluation) -> str:

@@ -34,6 +34,9 @@ class TargetOutcome:
     sanitizer_hits: dict[int, set[str]] = field(default_factory=dict)
     #: One Table 5 label per campaign diff (``include_triage=True`` runs).
     triage_labels: list[TriageLabel] = field(default_factory=list)
+    #: Pass-bisection per divergence signature (``include_bisection=True``
+    #: runs): one representative diff per cluster is attributed.
+    bisections: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -93,6 +96,7 @@ def evaluate_realworld(
     rng_seed: int = 1,
     include_sanitizers: bool = True,
     include_triage: bool = False,
+    include_bisection: bool = False,
     workers: int = 1,
     compile_cache: CompileCache | None = None,
 ) -> RealWorldEvaluation:
@@ -103,6 +107,8 @@ def evaluate_realworld(
     binaries are built once regardless of how many tool campaigns run.
     ``include_triage=True`` runs the UB oracle once per target and labels
     every divergence-triggering input with a Table 5 category.
+    ``include_bisection=True`` pass-bisects one representative diff per
+    divergence signature and stores the attribution on the outcome.
     """
     if targets is None:
         targets = build_all_targets()
@@ -136,6 +142,17 @@ def evaluate_realworld(
                 triage_diff(program, diff, findings, fuel=fuel)
                 for diff in campaign.diffs
             ]
+        if include_bisection and campaign.diffs:
+            from repro.core.triage import attribute_clusters, triage
+
+            clusters = triage(campaign.diffs, campaign.sites_by_input)
+            outcome.bisections = attribute_clusters(
+                target.source,
+                clusters,
+                fuel=fuel,
+                normalizer=normalizer,
+                name=target.name,
+            )
         if include_sanitizers:
             for sanitizer in SANITIZERS:
                 san_options = FuzzerOptions(
@@ -248,6 +265,36 @@ def render_triage(evaluation: RealWorldEvaluation) -> str:
         f"{'Total':<14} {total:>6} {explained_total:>10}  "
         f"({pct:.0f}% of divergences explained by a static finding)"
     )
+    return "\n".join(lines)
+
+
+def render_bisection(evaluation: RealWorldEvaluation) -> str:
+    """Per-target pass attribution for ``include_bisection=True`` runs.
+
+    One row per (target, divergence signature): the bisected pair and
+    the first pass application that flips the output — automated
+    root-cause attribution at transform granularity.
+    """
+    lines = [f"{'Target':<14} {'Pair':<22} Attribution"]
+    histogram: dict[str, int] = {}
+    for outcome in evaluation.outcomes:
+        for signature, result in outcome.bisections.items():
+            pair = f"{result.impl_target} vs {result.impl_ref}"
+            if result.attributed:
+                detail = result.culprit.label()
+                histogram[result.culprit.pass_name] = (
+                    histogram.get(result.culprit.pass_name, 0) + 1
+                )
+            else:
+                detail = result.status
+                histogram[result.status] = histogram.get(result.status, 0) + 1
+            lines.append(f"{outcome.target.name:<14} {pair:<22} {detail}")
+    total = sum(histogram.values())
+    cats = ", ".join(
+        f"{name}:{count}"
+        for name, count in sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))
+    )
+    lines.append(f"{'Total':<14} {total:>3} signatures attributed  ({cats})")
     return "\n".join(lines)
 
 

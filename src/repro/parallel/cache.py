@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.compiler.binary import CompiledBinary, compile_program
 from repro.compiler.implementations import CompilerConfig
+from repro.compiler.passes.manager import pipeline_digest
 from repro.minic import ast as minic_ast
 from repro.minic.checker import Symbol
 
@@ -68,18 +69,25 @@ def program_fingerprint(program: minic_ast.Program | str) -> str:
 
 
 def config_fingerprint(config: CompilerConfig) -> str:
-    """Content hash of a compiler implementation's full knob vector.
+    """Content hash of a compiler implementation's full knob vector *and*
+    the pipeline it selects.
 
     The name alone is not trusted: two configs may share a name but differ
     in a knob (tests do this), and a knob change must miss the cache.  The
     ``extra`` escape hatch is excluded, matching the config's own
     equality semantics.
+
+    The :func:`~repro.compiler.passes.manager.pipeline_digest` component
+    makes cached artifacts invalidate when the *pipeline* changes even if
+    the knob vector does not — bumping a pass's ``version``, reordering a
+    pipeline, or changing a fixpoint bound all produce a new digest.
     """
     parts = []
     for field in fields(config):
         if field.name == "extra":
             continue
         parts.append(f"{field.name}={getattr(config, field.name)!r}")
+    parts.append(f"pipeline={pipeline_digest(config)}")
     return hashlib.sha256(";".join(parts).encode("utf-8")).hexdigest()
 
 

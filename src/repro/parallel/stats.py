@@ -51,6 +51,10 @@ class EngineStats:
     checkpoints_written: int = 0
     #: Per-checkpoint write durations in seconds (observability only).
     checkpoint_latencies: list[float] = field(default_factory=list)
+    #: pass name -> [applications, changes, seconds] aggregated over every
+    #: fresh (non-cache-hit) compile this engine performed.  Parent-process
+    #: compiles only: worker replies carry cache counters, not schedules.
+    pass_timings: dict[str, list] = field(default_factory=dict)
 
     # -------------------------------------------------------------- recording
 
@@ -88,6 +92,24 @@ class EngineStats:
         self.checkpoints_written += 1
         self.checkpoint_latencies.append(seconds)
 
+    def record_pass(
+        self, name: str, applications: int = 1, changes: int = 0, seconds: float = 0.0
+    ) -> None:
+        row = self.pass_timings.setdefault(name, [0, 0, 0.0])
+        row[0] += applications
+        row[1] += changes
+        row[2] += seconds
+
+    def record_pass_report(self, report) -> None:
+        """Fold one build's :class:`~repro.compiler.passes.manager.PipelineReport`
+        into the per-pass aggregate."""
+        if report is None:
+            return
+        for name, row in report.per_pass().items():
+            self.record_pass(
+                name, row["applications"], row["changes"], row["seconds"]
+            )
+
     def restore(self, other: "EngineStats") -> None:
         """Overwrite every counter in place with *other*'s values.
 
@@ -108,6 +130,7 @@ class EngineStats:
         self.degraded = dict(other.degraded)
         self.checkpoints_written = other.checkpoints_written
         self.checkpoint_latencies = list(other.checkpoint_latencies)
+        self.pass_timings = {name: list(row) for name, row in other.pass_timings.items()}
 
     def merge(self, other: "EngineStats") -> None:
         """Fold another instance's counters into this one."""
@@ -125,6 +148,8 @@ class EngineStats:
             self.record_degraded(name, count)
         self.checkpoints_written += other.checkpoints_written
         self.checkpoint_latencies.extend(other.checkpoint_latencies)
+        for name, row in other.pass_timings.items():
+            self.record_pass(name, row[0], row[1], row[2])
 
     # ---------------------------------------------------------------- queries
 
@@ -186,6 +211,14 @@ class EngineStats:
                 "written": self.checkpoints_written,
                 "total_seconds": sum(self.checkpoint_latencies),
             },
+            "passes": {
+                name: {
+                    "applications": row[0],
+                    "changes": row[1],
+                    "seconds": row[2],
+                }
+                for name, row in sorted(self.pass_timings.items())
+            },
         }
 
     def render(self) -> str:
@@ -224,4 +257,11 @@ class EngineStats:
                 f"checkpoints: {snap['checkpoints']['written']} written "
                 f"in {snap['checkpoints']['total_seconds']:.3f}s"
             )
+        if snap["passes"]:
+            lines.append("pass pipeline (fresh compiles, parent process):")
+            for name, row in snap["passes"].items():
+                lines.append(
+                    f"  {name:<16} x{row['applications']:<5} "
+                    f"changes={row['changes']:<6} {1000 * row['seconds']:.2f}ms"
+                )
         return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Divergence pass-bisection tests (core/bisect.py, CLI, evaluation)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.bisect import (
+    STATUS_ATTRIBUTED,
+    STATUS_BASELINE_DIVERGENT,
+    STATUS_NO_DIVERGENCE,
+    bisect_diff,
+    bisect_divergence,
+    choose_bisection_pair,
+)
+from repro.core.compdiff import CompDiff
+from repro.core.localize import divergence_profile
+from repro.core.triage import attribute_clusters, triage
+
+pytestmark = pytest.mark.passes
+
+#: Listing-1-style nsw overflow guard: -O0 keeps the guard, exploit_ub
+#: folds it away at lowering time under optimizing configs.
+GUARD_SOURCE = """
+int dump_data(int offset, int len) {
+    if (offset + len < offset) {
+        printf("overflow guard tripped");
+        return -1;
+    }
+    printf("dumping %d at %d", len, offset);
+    return 0;
+}
+
+int main(void) {
+    int rc = dump_data(2147483547, 101);
+    printf(" rc=%d", rc);
+    return 0;
+}
+"""
+
+STABLE_SOURCE = "int main(void){ printf(\"ok\"); return 0; }"
+
+
+class TestBisectDivergence:
+    def test_attributes_guard_fold_to_exploit_ub(self):
+        result = bisect_divergence(GUARD_SOURCE, b"", "gcc-O0", "gcc-O2")
+        assert result.status == STATUS_ATTRIBUTED
+        assert result.culprit.pass_name == "exploit_ub"
+        assert result.culprit.scope == "lowering"
+        assert result.culprit.position == 1
+        assert result.total_applications > 0
+        assert "exploit_ub" in result.render()
+
+    def test_binary_search_cost_is_logarithmic(self):
+        result = bisect_divergence(GUARD_SOURCE, b"", "gcc-O0", "gcc-O2")
+        # full + zero probes + ceil(log2(total)) bisection probes, with slack
+        assert result.probes <= 3 + result.total_applications.bit_length()
+
+    def test_no_divergence(self):
+        result = bisect_divergence(STABLE_SOURCE, b"", "gcc-O0", "gcc-O2")
+        assert result.status == STATUS_NO_DIVERGENCE
+        assert result.culprit is None
+        assert not result.attributed
+
+    def test_baseline_divergent_when_layouts_differ(self):
+        # Cross-family O0 pair: no passes anywhere, any divergence is
+        # front-end/layout.  gcc and clang evaluate call arguments in
+        # opposite order, so this classic diverges with zero passes.
+        source = """
+        int counter = 0;
+        int tick(void) { counter = counter + 1; return counter; }
+        int main(void) { printf("%d %d", tick(), tick()); return 0; }
+        """
+        result = bisect_divergence(source, b"", "gcc-O0", "clang-O0")
+        assert result.status == STATUS_BASELINE_DIVERGENT
+        assert result.total_applications == 0
+
+    def test_to_json_round_trips(self):
+        result = bisect_divergence(GUARD_SOURCE, b"", "gcc-O0", "gcc-O2")
+        payload = result.to_json()
+        assert payload["status"] == "attributed"
+        assert payload["culprit"]["pass"] == "exploit_ub"
+        assert payload["culprit"]["position"] == 1
+        json.dumps(payload)  # JSON-serializable
+
+
+class TestPairChoice:
+    def _diff(self, source: str):
+        with CompDiff() as engine:
+            outcome = engine.check_source(source, [b""], name="t")
+        return outcome.diffs[0]
+
+    def test_reference_is_least_optimized(self):
+        ref, target = choose_bisection_pair(self._diff(GUARD_SOURCE))
+        assert ref.endswith("-O0")
+        assert not target.endswith("-O0")
+
+    def test_pair_spans_two_observation_groups(self):
+        diff = self._diff(GUARD_SOURCE)
+        ref, target = choose_bisection_pair(diff)
+        groups = diff.groups()
+        ref_group = next(i for i, g in enumerate(groups) if ref in g)
+        target_group = next(i for i, g in enumerate(groups) if target in g)
+        assert ref_group != target_group
+
+    def test_rejects_stable_diff(self):
+        with pytest.raises(ValueError):
+            choose_bisection_pair(self._diff(STABLE_SOURCE))
+
+    def test_bisect_diff_end_to_end(self):
+        diff = self._diff(GUARD_SOURCE)
+        result = bisect_diff(GUARD_SOURCE, diff, name="guard")
+        assert result.attributed
+        assert result.culprit.pass_name == "exploit_ub"
+
+
+class TestTriageWiring:
+    def test_attribute_clusters_labels_each_signature(self):
+        with CompDiff() as engine:
+            outcome = engine.check_source(GUARD_SOURCE, [b""], name="guard")
+        clusters = triage(outcome.diffs)
+        assert clusters
+        attributions = attribute_clusters(GUARD_SOURCE, clusters, name="guard")
+        assert set(attributions) == set(clusters)
+        result = next(iter(attributions.values()))
+        assert result.attributed
+        assert result.culprit.pass_name == "exploit_ub"
+
+
+class TestLocalizeWiring:
+    def test_divergence_profile_combines_both_answers(self):
+        profile = divergence_profile(GUARD_SOURCE, b"", "gcc-O0", "gcc-O2")
+        assert profile.localization.diverged
+        assert profile.bisection.attributed
+        text = profile.render(GUARD_SOURCE)
+        assert "trace alignment" in text
+        assert "pass bisection" in text
+
+
+class TestCli:
+    def _write(self, tmp_path, source: str) -> str:
+        path = tmp_path / "prog.c"
+        path.write_text(source)
+        return str(path)
+
+    def test_bisect_attributed_exit_zero(self, tmp_path, capsys):
+        rc = cli_main(
+            ["bisect", self._write(tmp_path, GUARD_SOURCE),
+             "--impl-a", "gcc-O0", "--impl-b", "gcc-O2"]
+        )
+        assert rc == 0
+        assert "exploit_ub" in capsys.readouterr().out
+
+    def test_bisect_json(self, tmp_path, capsys):
+        rc = cli_main(
+            ["bisect", self._write(tmp_path, GUARD_SOURCE), "--json",
+             "--impl-a", "gcc-O0", "--impl-b", "gcc-O2"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "attributed"
+        assert payload["culprit"]["pass"] == "exploit_ub"
+
+    def test_bisect_stable_exit_one(self, tmp_path, capsys):
+        rc = cli_main(["bisect", self._write(tmp_path, STABLE_SOURCE)])
+        assert rc == 1
+        assert "no divergence" in capsys.readouterr().out
+
+
+class TestEvaluationWiring:
+    def test_juliet_bisections_recorded(self):
+        from repro.evaluation import evaluate_juliet, render_bisections
+        from repro.juliet import build_suite
+
+        suite = build_suite(scale=0.002)
+        evaluation = evaluate_juliet(
+            suite,
+            include_static=False,
+            include_sanitizers=False,
+            include_good_variants=False,
+            include_bisection=True,
+        )
+        diverging = [
+            uid for uid, vectors in evaluation.bug_vectors.items() if vectors
+        ]
+        assert set(evaluation.bisections) == set(diverging)
+        report = render_bisections(evaluation)
+        assert "Pass attribution" in report

@@ -71,7 +71,11 @@ class TestLocalize:
         outcome = localize(GUARD, b"", "gcc-O0", "clang-O3")
         text = outcome.render(GUARD)
         assert "trace alignment" in text
-        assert "offset + len < offset" in text
+        # Each reported line is echoed with its source text: -O0 steps
+        # into dump_data while -O3 (guard folded away) goes straight to
+        # the dump printf.
+        assert "int dump_data(int offset, int len) {" in text
+        assert "dump offset=%d len=%d" in text
 
     def test_localization_is_dataclass_frozen(self):
         outcome = localize(GUARD, b"", "gcc-O0", "gcc-O2")

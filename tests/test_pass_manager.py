@@ -1,0 +1,337 @@
+"""Pass-manager architecture tests: declarative pipelines, digests,
+budgets, the change-driven fixpoint driver, and per-pass verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_source, implementation
+from repro.compiler.binary import compile_module_instrumented
+from repro.compiler.implementations import DEFAULT_IMPLEMENTATIONS
+from repro.compiler.lowering import lower_program
+from repro.compiler.passes.libcall_subst import pow_to_exp2
+from repro.compiler.passes.manager import (
+    ALL_PASSES,
+    DEFAULT_MAX_ROUNDS,
+    FixpointGroup,
+    Pass,
+    PassBudget,
+    PassManager,
+    Pipeline,
+    pipeline_digest,
+    pipeline_for,
+    run_pipeline,
+)
+from repro.ir.instructions import CallBuiltin, Load
+from repro.ir.printer import format_module
+from repro.minic import load
+
+pytestmark = pytest.mark.passes
+
+O0 = implementation("gcc-O0")
+O2 = implementation("gcc-O2")
+
+#: Needs exactly 3 fixpoint rounds: round 1 folds `if (1)` and merges,
+#: round 2 forwards `a` and folds `if (a)` and merges again, round 3
+#: forwards the `b = 2` store into the printf argument.
+THREE_ROUND_CHAIN = """
+int main(void) {
+    int a = 1;
+    if (1) { }
+    int b = 0;
+    if (a) { b = 2; }
+    printf("%d", b);
+    return 0;
+}
+"""
+
+
+def lower(source: str, config=O2):
+    return lower_program(load(source), config)
+
+
+class TestPipelineShape:
+    def test_registry_covers_every_knob(self):
+        names = {p.name for p in ALL_PASSES}
+        assert {
+            "store_forward", "copy_prop", "const_fold", "simplify",
+            "merge_blocks", "exploit_ub", "inline_small", "strength_reduce",
+            "pow_to_exp2", "dce",
+        } <= names
+
+    def test_o0_pipeline_is_empty(self):
+        pipeline = pipeline_for(O0)
+        assert pipeline.prelude == ()
+        assert pipeline.steps == ()
+
+    def test_o2_pipeline_orders_inline_fixpoint_tail(self):
+        pipeline = pipeline_for(O2)
+        assert [p.name for p in pipeline.prelude] == ["exploit_ub"]
+        assert pipeline.steps[0].name == "inline_small"
+        assert isinstance(pipeline.steps[1], FixpointGroup)
+        assert [p.name for p in pipeline.steps[1].passes] == [
+            "store_forward", "copy_prop", "const_fold",
+            "simplify", "merge_blocks", "exploit_ub",
+        ]
+        assert [s.name for s in pipeline.steps[2:]] == ["strength_reduce", "dce"]
+
+    def test_every_default_config_builds_a_pipeline(self):
+        for config in DEFAULT_IMPLEMENTATIONS:
+            pipeline = pipeline_for(config)
+            assert pipeline.describe()
+            assert len(pipeline.digest()) == 64
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert pipeline_digest(O2) == pipeline_digest(O2)
+
+    def test_digest_differs_across_configs(self):
+        digests = {pipeline_digest(c) for c in DEFAULT_IMPLEMENTATIONS}
+        assert len(digests) == len(DEFAULT_IMPLEMENTATIONS)
+
+    def test_fixpoint_bound_is_part_of_the_digest(self):
+        assert pipeline_for(O2).digest() != pipeline_for(
+            O2, max_fixpoint_rounds=2
+        ).digest()
+
+    def test_pass_version_bump_changes_digest(self):
+        base = Pipeline(name="p", prelude=(), steps=(Pass(name="x", run=None),))
+        bumped = Pipeline(
+            name="p", prelude=(), steps=(Pass(name="x", run=None, version=2),)
+        )
+        assert base.digest() != bumped.digest()
+
+
+class TestFixpointDriver:
+    def test_stops_when_a_round_changes_nothing(self):
+        # A trivial program converges in one round; the change-driven
+        # driver must not schedule DEFAULT_MAX_ROUNDS worth of slots.
+        binary = compile_source("int main(void){ return 0; }", O2)
+        rounds = {a.round for a in binary.pass_report.schedule if a.round}
+        assert rounds <= {1, 2}
+
+    def test_three_round_chain_converges(self):
+        binary = compile_source(THREE_ROUND_CHAIN, O2)
+        report = binary.pass_report
+        rounds = max(a.round for a in report.schedule if a.round)
+        assert rounds >= 3
+        assert report.fixpoint_bound_hits == 0
+        # Full convergence: the forwarded printf argument leaves no Load.
+        assert not any(
+            isinstance(i, Load)
+            for i in binary.module.functions["main"].instructions()
+        )
+
+    def test_two_round_schedule_leaves_the_chain_unconverged(self):
+        # The historical hardcoded loop stopped after 2 rounds; pinning
+        # the bound reproduces that (the golden-digest gate relies on it).
+        program = load(THREE_ROUND_CHAIN)
+        budget = PassBudget()
+        module = lower_program(program, O2, budget=budget)
+        run_pipeline(
+            module, O2, budget=budget,
+            pipeline=pipeline_for(O2, max_fixpoint_rounds=2),
+        )
+        assert any(
+            isinstance(i, Load) for i in module.functions["main"].instructions()
+        )
+
+    def test_legacy_two_round_result_is_a_prefix_of_convergence(self):
+        # Rounds 1-2 of the converging driver replay the legacy schedule
+        # exactly; convergence only appends rounds.
+        binary = compile_source(THREE_ROUND_CHAIN, O2)
+        schedule = [a for a in binary.pass_report.schedule if a.round]
+        legacy_rounds = [a for a in schedule if a.round <= 2]
+        assert [a.pass_name for a in legacy_rounds[:6]] == [
+            "store_forward", "copy_prop", "const_fold",
+            "simplify", "merge_blocks", "exploit_ub",
+        ]
+
+    def test_bound_hit_is_reported(self):
+        # An adversarial group whose pass always reports a change must
+        # stop at the bound and count the hit instead of spinning.
+        ticks = []
+
+        def restless(func, config):
+            ticks.append(func.name)
+            return 1
+
+        pipeline = Pipeline(
+            name="restless",
+            prelude=(),
+            steps=(
+                FixpointGroup(
+                    passes=(Pass(name="restless", run=restless),), max_rounds=4
+                ),
+            ),
+        )
+        module = lower("int main(void){ return 0; }", O2)
+        manager = PassManager(pipeline, O2, verify=False)
+        manager.run(module)
+        assert manager.report.fixpoint_bound_hits == 1
+        assert len(ticks) == 4
+
+
+class TestBudget:
+    def test_prefix_property(self):
+        # Building with max_pass_applications=N must equal the full
+        # build's schedule truncated to its first N applications.
+        program = load(THREE_ROUND_CHAIN)
+        full, full_report = compile_module_instrumented(program, O2)
+        total = sum(1 for a in full_report.schedule if a.applied)
+        for limit in (0, 1, total // 2, total):
+            module, report = compile_module_instrumented(
+                program, O2, max_pass_applications=limit
+            )
+            applied = [a for a in report.schedule if a.applied]
+            assert len(applied) == limit
+            assert [a.label() for a in applied] == [
+                a.label() for a in full_report.schedule[:limit]
+            ]
+        # And the final prefix is the full build.
+        module, _ = compile_module_instrumented(
+            program, O2, max_pass_applications=total
+        )
+        assert format_module(module) == format_module(full)
+
+    def test_lowering_guard_fold_occupies_slot_zero(self):
+        binary = compile_source(THREE_ROUND_CHAIN, O2)
+        first = binary.pass_report.schedule[0]
+        assert (first.pass_name, first.scope) == ("exploit_ub", "lowering")
+
+    def test_truncation_is_flagged(self):
+        binary = compile_source(THREE_ROUND_CHAIN, O2, max_pass_applications=1)
+        assert binary.pass_report.truncated
+        assert binary.pass_report.schedule[0].applied
+
+    def test_zero_budget_disables_the_lowering_guard_fold(self):
+        source = """
+        int main(void) {
+            int offset = 2147483547; int len = 101;
+            if (offset + len < offset) { printf("guarded"); return 1; }
+            printf("through");
+            return 0;
+        }
+        """
+        from repro.vm import run_binary
+
+        guarded = run_binary(compile_source(source, O2, max_pass_applications=0), b"")
+        folded = run_binary(compile_source(source, O2), b"")
+        assert guarded.stdout == b"guarded"
+        assert folded.stdout == b"through"
+
+
+class TestInstrumentation:
+    def test_report_records_time_and_changes(self):
+        binary = compile_source(THREE_ROUND_CHAIN, O2)
+        report = binary.pass_report
+        assert report.total_changes > 0
+        assert report.total_seconds >= 0.0
+        per_pass = report.per_pass()
+        assert per_pass["store_forward"]["applications"] >= 3
+        assert "pipeline" in report.render()
+
+    def test_per_pass_verification_names_the_culprit(self):
+        def corrupt(func, config):
+            # Drop the entry block's terminator: structurally invalid IR.
+            entry = func.blocks[func.entry]
+            entry.instrs = entry.instrs[:-1]
+            return 1
+
+        pipeline = Pipeline(
+            name="corrupt", prelude=(), steps=(Pass(name="corrupt", run=corrupt),)
+        )
+        module = lower("int main(void){ return 0; }", O2)
+        from repro.ir.verify import VerificationError
+
+        manager = PassManager(pipeline, O2, verify=True)
+        with pytest.raises(VerificationError, match="corrupt"):
+            manager.run(module)
+
+
+class TestLibcallSubst:
+    def _func(self, source: str, config):
+        binary = compile_source(source, config)
+        return binary.module.functions["main"]
+
+    def test_float_literal_base_two(self):
+        module = lower('int main(void){ printf("%g", pow(2.0, 5.0)); return 0; }', O0)
+        func = module.functions["main"]
+        assert pow_to_exp2(func) == 1
+        calls = [i for i in func.instructions() if isinstance(i, CallBuiltin)]
+        assert any(c.name == "exp2" and len(c.args) == 1 for c in calls)
+        assert not any(c.name == "pow" for c in calls)
+
+    def test_integer_literal_base_two(self):
+        # Satellite: integer-typed constant base 2 (cast to double by the
+        # front end) must also match.
+        module = lower('int main(void){ printf("%g", pow(2, 5.0)); return 0; }', O0)
+        func = module.functions["main"]
+        assert pow_to_exp2(func) == 1
+
+    def test_non_two_base_is_left_alone(self):
+        module = lower('int main(void){ printf("%g", pow(3.0, 5.0)); return 0; }', O0)
+        func = module.functions["main"]
+        assert pow_to_exp2(func) == 0
+        assert any(
+            isinstance(i, CallBuiltin) and i.name == "pow"
+            for i in func.instructions()
+        )
+
+    def test_variable_base_is_left_alone(self):
+        source = """
+        double base(void) { return 2.0; }
+        int main(void) {
+            printf("%g", pow(base(), 5.0));
+            return 0;
+        }
+        """
+        module = lower(source, O0)
+        assert pow_to_exp2(module.functions["main"]) == 0
+
+    def test_observable_behavior_matches_pow(self):
+        source = 'int main(void){ printf("%g", pow(2.0, 10.0)); return 0; }'
+        from repro.vm import run_binary
+
+        out_o0 = run_binary(compile_source(source, implementation("clang-O0")), b"")
+        out_o3 = run_binary(compile_source(source, implementation("clang-O3")), b"")
+        assert out_o0.stdout == out_o3.stdout == b"1024"
+
+
+class TestCacheDigestCoupling:
+    def test_cache_key_changes_with_pipeline_digest(self, monkeypatch):
+        from repro.parallel import cache as cache_mod
+
+        key_before = cache_mod.cache_key("int main(void){return 0;}", O2)
+        monkeypatch.setattr(
+            cache_mod, "pipeline_digest", lambda config: "different-pipeline"
+        )
+        key_after = cache_mod.cache_key("int main(void){return 0;}", O2)
+        assert key_before != key_after
+
+    def test_same_config_same_key(self):
+        from repro.parallel.cache import cache_key
+
+        assert cache_key("int main(void){return 0;}", O2) == cache_key(
+            "int main(void){return 0;}", O2
+        )
+
+
+class TestStatsIntegration:
+    def test_engine_records_pass_timings_on_fresh_compiles(self):
+        from repro.core.compdiff import CompDiff
+        from repro.parallel.cache import CompileCache
+
+        engine = CompDiff(compile_cache=CompileCache())
+        engine.check_source(THREE_ROUND_CHAIN, [b""], name="chain")
+        timings = engine.stats.pass_timings
+        assert timings, "fresh compiles must populate pass_timings"
+        assert timings["store_forward"][0] > 0
+        # A second identical check hits the cache: no new pass applications.
+        before = {name: list(row) for name, row in timings.items()}
+        engine.check_source(THREE_ROUND_CHAIN, [b""], name="chain")
+        assert engine.stats.pass_timings == before
+        snapshot = engine.stats.snapshot()
+        assert "store_forward" in snapshot["passes"]
+        assert "pass pipeline" in engine.stats.render()

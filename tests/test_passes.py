@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.compiler import compile_source, implementation
 from repro.compiler.implementations import CompilerConfig, implementation as get_impl
 from repro.compiler.lowering import lower_program
@@ -21,6 +23,8 @@ from repro.ir.instructions import BinOp, Call, CallBuiltin, Const, Load, Move, S
 from repro.minic import load
 
 from tests.conftest import run_source, stdout_of
+
+pytestmark = pytest.mark.passes
 
 O0 = get_impl("gcc-O0")
 O2 = get_impl("gcc-O2")
