@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-passes test-verified bench bench-quick bench-scaling bench-passes analyze examples clean
+.PHONY: install test test-fast test-faults test-passes test-verified bench bench-quick bench-scaling bench-passes precision analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,9 +10,9 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Quick lane: skip the long-running end-to-end tests.
+# Quick lane: skip the long-running end-to-end and interprocedural tests.
 test-fast:
-	$(PYTHON) -m pytest tests/ -m "not slow"
+	$(PYTHON) -m pytest tests/ -m "not slow and not interproc"
 
 # Robustness lane: fault injection + checkpoint/resume round trips.
 test-faults:
@@ -41,6 +41,10 @@ bench-scaling:
 # Per-config/per-pass compile-cost breakdown; refreshes BENCH_passes.json.
 bench-passes:
 	$(PYTHON) benchmarks/bench_passes.py
+
+# Oracle-validated per-checker scoreboard; refreshes BENCH_precision.json.
+precision:
+	$(PYTHON) benchmarks/bench_precision.py
 
 # UB-oracle triage precision (Juliet + real-world) and analysis-boost curve.
 analyze:

@@ -1,0 +1,119 @@
+"""E-PREC — oracle-validated precision scoreboard for the UB oracle.
+
+Scores every checker in both analysis modes (intraprocedural and
+summary-based interprocedural) against the differential engine's
+divergence verdicts over the seeded standard suite plus the
+interprocedural extension corpus.  The committed baseline
+(``BENCH_precision.json``) is the contract: the pytest gate fails when
+any checker's F1 drops below it in either mode, when the
+interprocedural mode stops strictly out-detecting the intraprocedural
+mode, or when the SARIF export of the corpus findings stops validating.
+
+Run directly (``make precision``) to refresh the committed baseline::
+
+    python benchmarks/bench_precision.py   # rewrites BENCH_precision.json
+
+or through pytest (``python -m pytest benchmarks/bench_precision.py``),
+which checks the current run against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.evaluation.precision_eval import (
+    PrecisionReport,
+    evaluate_precision,
+    precision_corpus,
+    regressions,
+)
+from repro.juliet.templates.interproc import interproc_cases
+from repro.minic import load
+from repro.static_analysis import (
+    SummaryCache,
+    UBOracle,
+    to_diagnostics,
+    to_sarif,
+    validate_sarif,
+)
+
+from _common import write_result
+
+BASELINE = pathlib.Path(__file__).parent / "BENCH_precision.json"
+
+#: Checkers the interprocedural upgrade must strictly improve (TP count)
+#: without losing precision anywhere.  These are the families whose
+#: extension-corpus flaws only exist across call boundaries.
+EXPECTED_GAINS = ("uninit_read", "shift_ub", "signed_overflow", "oob_access", "null_deref")
+
+
+def measure() -> PrecisionReport:
+    cases = precision_corpus()
+    return evaluate_precision(cases, summary_cache=SummaryCache())
+
+
+@pytest.mark.interproc
+def test_precision_matches_baseline():
+    report = measure()
+    print("\n" + report.render())
+    write_result("precision.txt", report.render())
+    baseline = PrecisionReport.load(BASELINE)
+    problems = regressions(baseline, report)
+    assert not problems, "F1 regressions vs committed baseline:\n" + "\n".join(problems)
+
+
+@pytest.mark.interproc
+def test_interproc_strictly_improves():
+    report = measure()
+    intra = report.scores["intra"]
+    inter = report.scores["interproc"]
+    for checker in EXPECTED_GAINS:
+        assert inter[checker].tp > intra.get(checker, inter[checker]).tp or (
+            checker not in intra
+        ), f"{checker}: interproc TPs did not exceed intra"
+    for checker, score in inter.items():
+        if checker in intra:
+            assert score.precision >= intra[checker].precision - 1e-9, (
+                f"{checker}: interprocedural mode lost precision "
+                f"({intra[checker].precision:.4f} -> {score.precision:.4f})"
+            )
+
+
+@pytest.mark.interproc
+def test_corpus_sarif_validates():
+    """The SARIF export of real corpus findings passes schema validation."""
+    oracle = UBOracle(mode="interproc")
+    cases = interproc_cases(per_shape=2)
+    diagnostics = []
+    for case in cases:
+        findings = oracle.report(load(case.bad_source), name=case.uid).findings
+        diagnostics.extend(to_diagnostics(findings))
+    assert diagnostics, "corpus produced no findings to export"
+    document = to_sarif(diagnostics, artifact_uri="corpus.c")
+    assert validate_sarif(document) == []
+
+
+@pytest.mark.interproc
+def test_warm_cache_verdicts_identical(tmp_path):
+    """A warm summary cache reproduces byte-identical verdicts."""
+    cases = interproc_cases(per_shape=2)
+    cache = SummaryCache(tmp_path)
+    cold = evaluate_precision(cases, summary_cache=cache)
+    assert cache.stats.misses > 0 and cache.stats.hits == 0
+    cache.save()
+    warm_cache = SummaryCache(tmp_path)
+    warm = evaluate_precision(cases, summary_cache=warm_cache)
+    assert warm_cache.stats.hits > 0 and warm_cache.stats.misses == 0
+    assert json.dumps(cold.to_json()) == json.dumps(warm.to_json())
+
+
+if __name__ == "__main__":
+    data = measure()
+    BASELINE.write_text(json.dumps(data.to_json(), indent=2) + "\n")
+    write_result("precision.txt", data.render())
+    sys.stdout.write(data.render() + "\n")
+    sys.stdout.write(f"\nbaseline written to {BASELINE}\n")

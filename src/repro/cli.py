@@ -8,6 +8,7 @@ Commands:
 * ``localize FILE``  — trace-alignment fault localization;
 * ``minimize FILE``  — shrink a diff-triggering input (afl-tmin style);
 * ``analyze FILE``   — IR-level UB findings plus divergence triage;
+* ``precision``      — per-checker TP/FP/FN scoreboard vs the oracle;
 * ``bisect FILE``    — attribute a divergence to one pass application;
 * ``impls``          — list the compiler implementations;
 * ``targets``        — print the Table 4 target inventory.
@@ -168,18 +169,57 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     Without an input, reports the static findings.  With an input, also
     localizes the divergence between ``--impl-a`` and ``--impl-b`` on
     that input and labels it with a Table 5 category (exit 1 when the
-    input diverges).  ``--json`` emits the schema documented in
-    docs/ANALYSIS.md.
+    input diverges).  ``--interproc`` upgrades the checkers to
+    summary-based interprocedural mode (``--summary-cache DIR`` makes
+    the summaries incremental across runs); ``--refine`` additionally
+    pass-bisects a diverging input and re-analyzes the culprit slice
+    path-sensitively.  ``--json`` emits the schema documented in
+    docs/ANALYSIS.md, ``--sarif`` a SARIF 2.1.0 log, and
+    ``--baseline``/``--write-baseline`` suppress known findings.
     """
     import json
 
     from repro.minic import load
-    from repro.static_analysis import UBOracle
+    from repro.static_analysis import Baseline, SummaryCache, UBOracle, to_sarif
+    from repro.static_analysis.diagnostics import (
+        ANALYZE_SCHEMA_VERSION,
+        diagnostic_sort_key,
+        to_diagnostics,
+    )
     from repro.static_analysis.triage import triage_divergence
+
+    if args.refine and not args.interproc:
+        print("analyze: --refine requires --interproc", file=sys.stderr)
+        return 2
+    if args.refine and not _input_given(args):
+        print("analyze: --refine needs an input to bisect", file=sys.stderr)
+        return 2
 
     source = open(args.file).read()
     program = load(source)
-    report = UBOracle().report(program, name=args.file)
+    cache = SummaryCache(args.summary_cache) if args.summary_cache else None
+    mode = "interproc" if args.interproc else "intra"
+    oracle = UBOracle(mode=mode, summary_cache=cache)
+
+    refine_report = None
+    interproc_ctx = None
+    gcc_module = None
+    if args.refine:
+        # Refinement needs the lowered module and summary context the
+        # report was produced from, so build the pieces explicitly.
+        from repro.compiler.binary import compile_module
+        from repro.static_analysis.interproc import summarize_module
+        from repro.static_analysis.ub_oracle import analyze_modules
+
+        gcc_module = compile_module(program, implementation("gcc-O0"), name=args.file)
+        clang_module = compile_module(
+            program, implementation("clang-O0"), name=args.file
+        )
+        interproc_ctx = summarize_module(gcc_module, cache=cache)
+        report = analyze_modules(gcc_module, clang_module, interproc=interproc_ctx)
+    else:
+        report = oracle.report(program, name=args.file)
+
     localization = None
     label = None
     divergent = False
@@ -196,26 +236,86 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
         )
         divergent = engine.check(program, [input_bytes], name=args.file).divergent
+        if divergent and args.refine:
+            from repro.core.bisect import bisect_divergence
+            from repro.static_analysis.refine import refine_findings
+
+            bisection = bisect_divergence(
+                source,
+                input_bytes,
+                impl_ref=args.impl_a,
+                impl_target=args.impl_b,
+                name=args.file,
+            )
+            if bisection.attributed and bisection.culprit.target:
+                findings, refine_report = refine_findings(
+                    gcc_module,
+                    interproc_ctx,
+                    report.findings,
+                    bisection.culprit.target,
+                )
+                report.findings[:] = findings
         if divergent:
             label = triage_divergence(report.findings, localization, window=args.window)
+
+    diagnostics = to_diagnostics(report.findings)
+    suppressed = 0
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+        suppressed = len(baseline.suppressed(diagnostics))
+        diagnostics = baseline.filter(diagnostics)
+    if args.write_baseline:
+        Baseline.from_diagnostics(diagnostics).save(args.write_baseline)
+
+    sarif_to_stdout = args.sarif == "-"
+    if args.sarif:
+        sarif_doc = to_sarif(diagnostics, artifact_uri=args.file)
+        rendered = json.dumps(sarif_doc, indent=2)
+        if sarif_to_stdout:
+            print(rendered)
+        else:
+            with open(args.sarif, "w") as handle:
+                handle.write(rendered + "\n")
+
+    if cache is not None:
+        cache.save()
+        if args.stats:
+            snap = cache.stats.snapshot()
+            print(
+                f"summary cache: {snap['hits']} hits / {snap['misses']} misses "
+                f"({snap['invalidations']} invalidated)",
+                file=sys.stderr,
+            )
+
+    # `--sarif -` owns stdout: the SARIF log must stay parseable as one
+    # JSON document, so the human/JSON report is skipped.
+    if sarif_to_stdout:
+        return 1 if label is not None else 0
+
     if args.json:
         payload = {
+            "schema_version": ANALYZE_SCHEMA_VERSION,
             "file": args.file,
             "tool": "ub-oracle",
+            "mode": mode,
             "converged": report.converged,
+            "suppressed": suppressed,
             "findings": [
                 {
-                    "checker": f.checker,
-                    "category": f.category,
-                    "confidence": f.confidence,
-                    "line": f.line,
-                    "function": f.function,
-                    "block": f.block,
-                    "message": f.message,
+                    "checker": d.checker,
+                    "category": d.category,
+                    "severity": d.severity,
+                    "line": d.line,
+                    "function": d.function,
+                    "message": d.message,
+                    "trace": list(d.trace),
+                    "fingerprint": d.fingerprint,
                 }
-                for f in report.findings
+                for d in sorted(diagnostics, key=diagnostic_sort_key)
             ],
         }
+        if refine_report is not None:
+            payload["refined"] = refine_report
         if localization is not None:
             payload["triage"] = {
                 "impl_a": localization.impl_a,
@@ -237,18 +337,22 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                 )
         print(json.dumps(payload, indent=2))
     else:
-        confirmed = sum(1 for f in report.findings if f.confidence == "confirmed")
+        errors = sum(1 for d in diagnostics if d.severity == "error")
+        suffix = f", {suppressed} baseline-suppressed" if suppressed else ""
         print(
-            f"ub-oracle: {len(report.findings)} findings "
-            f"({confirmed} confirmed) in {args.file}"
+            f"ub-oracle[{mode}]: {len(diagnostics)} findings "
+            f"({errors} confirmed{suffix}) in {args.file}"
         )
-        for f in report.findings:
-            print(
-                f"  line {f.line:>4}  {f.category:<10} {f.confidence:<9} "
-                f"{f.checker:<16} {f.message}"
-            )
+        for d in sorted(diagnostics, key=diagnostic_sort_key):
+            print("  " + d.render())
         if not report.converged:
             print(f"  warning: solver budget exhausted in: {report.nonconverged}")
+        if refine_report is not None:
+            for func, counts in sorted(refine_report.items()):
+                print(
+                    f"  refined {func}: {counts['dropped']} dropped, "
+                    f"{counts['upgraded']} upgraded, {counts['kept']} kept"
+                )
         if localization is not None:
             if label is None:
                 print(f"input: no divergence between "
@@ -259,6 +363,35 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                       f"{label.category} [{label.confidence}]")
                 print(f"  {label.rationale}")
     return 1 if label is not None else 0
+
+
+def cmd_precision(args: argparse.Namespace) -> int:
+    """`repro precision`: the oracle-validated per-checker scoreboard.
+
+    Runs both analysis modes (intra and interprocedural) over the seeded
+    standard suite plus the interprocedural extension corpus, scoring
+    TP/FP/FN per checker against the differential engine's divergence
+    verdicts.  See docs/ANALYSIS.md for the tally rules.
+    """
+    import json
+
+    from repro.evaluation.precision_eval import evaluate_precision, precision_corpus
+    from repro.static_analysis import SummaryCache
+
+    cache = SummaryCache(args.summary_cache) if args.summary_cache else None
+    cases = precision_corpus(
+        scale=args.scale, seed=args.seed, per_shape=args.per_shape
+    )
+    report = evaluate_precision(cases, summary_cache=cache)
+    if cache is not None:
+        cache.save()
+    if args.out:
+        report.save(args.out)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render())
+    return 0
 
 
 def cmd_bisect(args: argparse.Namespace) -> int:
@@ -400,8 +533,39 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--impl-b", default="gcc-O2", choices=implementation_names())
     analyze.add_argument("--window", type=int, default=2,
                          help="max line distance between divergence site and finding")
+    analyze.add_argument("--interproc", action="store_true",
+                         help="summary-based interprocedural checkers")
+    analyze.add_argument("--summary-cache", default=None, metavar="DIR",
+                         help="persist function summaries (incremental re-analysis)")
+    analyze.add_argument("--refine", action="store_true",
+                         help="pass-bisect a diverging input and re-analyze the "
+                              "culprit slice path-sensitively (needs --interproc)")
+    analyze.add_argument("--sarif", default=None, metavar="PATH",
+                         help="write a SARIF 2.1.0 log ('-' for stdout)")
+    analyze.add_argument("--baseline", default=None, metavar="FILE",
+                         help="suppress findings fingerprinted in this baseline")
+    analyze.add_argument("--write-baseline", default=None, metavar="FILE",
+                         help="write the (post-suppression) findings as a baseline")
+    analyze.add_argument("--stats", action="store_true",
+                         help="print summary-cache metrics to stderr")
     _add_input_flags(analyze)
     analyze.set_defaults(func=cmd_analyze)
+
+    precision = sub.add_parser(
+        "precision",
+        help="score every UB-oracle checker against the differential oracle",
+    )
+    precision.add_argument("--scale", type=float, default=0.002,
+                           help="standard-suite scale fed to the corpus")
+    precision.add_argument("--seed", type=int, default=20230325)
+    precision.add_argument("--per-shape", type=int, default=3,
+                           help="interprocedural extension cases per shape")
+    precision.add_argument("--json", action="store_true", help="machine-readable report")
+    precision.add_argument("--out", default=None, metavar="FILE",
+                           help="also write the JSON report to FILE")
+    precision.add_argument("--summary-cache", default=None, metavar="DIR",
+                           help="persist interprocedural summaries across runs")
+    precision.set_defaults(func=cmd_precision)
 
     bisect = sub.add_parser(
         "bisect", help="attribute a divergence to one pass application"

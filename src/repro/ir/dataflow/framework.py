@@ -139,11 +139,42 @@ def solve(
     func: Function,
     analysis: DataflowAnalysis,
     max_visits_per_block: int = MAX_VISITS_PER_BLOCK,
+    dead_edges: set[tuple[str, str]] | None = None,
 ) -> DataflowResult:
-    """Run the worklist algorithm for *analysis* over *func*'s CFG."""
+    """Run the worklist algorithm for *analysis* over *func*'s CFG.
+
+    ``dead_edges`` removes (source, target) CFG edges the caller has
+    proven infeasible (constant branch conditions — see
+    :func:`repro.ir.dataflow.pruning.infeasible_edges`) before solving;
+    blocks that become unreachable are dropped from the result entirely,
+    so scan phases iterating ``block_in`` never visit them.  Forward
+    analyses only — backward clients don't prune.
+    """
     order = block_order_rpo(func)
     preds = predecessors(func)
     succs = {label: func.blocks[label].successors() for label in order}
+    if dead_edges:
+        succs = {
+            label: [s for s in succ if (label, s) not in dead_edges]
+            for label, succ in succs.items()
+        }
+        live = {func.entry}
+        frontier = [func.entry]
+        while frontier:
+            label = frontier.pop()
+            for succ in succs.get(label, ()):
+                if succ not in live:
+                    live.add(succ)
+                    frontier.append(succ)
+        order = [label for label in order if label in live]
+        preds = {
+            label: {
+                p
+                for p in preds.get(label, set())
+                if p in live and (p, label) not in dead_edges
+            }
+            for label in order
+        }
     if analysis.direction == "backward":
         order = list(reversed(order))
         edges_in = succs

@@ -125,10 +125,21 @@ class IntervalAnalysis(DataflowAnalysis):
 
     direction = "forward"
 
-    def __init__(self, func: Function, module: Module, points_to: PointsTo | None = None):
+    def __init__(
+        self,
+        func: Function,
+        module: Module,
+        points_to: PointsTo | None = None,
+        interproc=None,
+        param_seed: dict | None = None,
+    ):
         self.func = func
         self.module = module
         self.pt = points_to if points_to is not None else PointsTo(func, module)
+        #: Optional :class:`repro.static_analysis.interproc.InterprocContext`:
+        #: supplies summary return intervals and flow-sensitive parameter
+        #: environments in place of the syntactic const-only fallbacks.
+        self.interproc = interproc
         escaped = self.pt.escaped_objects()
         #: Scalar (non-buffer, word-sized, unescaped) slots tracked by index.
         self.tracked_slots = {
@@ -140,7 +151,25 @@ class IntervalAnalysis(DataflowAnalysis):
         #: callee name -> return-value interval (Juliet's constant-source
         #: helpers and similar trivially-summarizable functions).
         self._return_cache: dict[str, Interval] = {}
-        self._param_seed = self._param_intervals()
+        if param_seed is not None:
+            # Explicit override: summary computation must stay context-free
+            # (a summary's digest covers the function and its callees, not
+            # its callers), so it passes {}.
+            self._param_seed = dict(param_seed)
+        else:
+            self._param_seed = self._param_intervals()
+            if interproc is not None:
+                for index, value in interproc.param_env.get(func.name, {}).items():
+                    key = ("r", index)
+                    current = self._param_seed.get(key)
+                    # Both seeds are sound hulls of the actual arguments;
+                    # keep the tighter bound per endpoint.
+                    if current is None:
+                        self._param_seed[key] = value
+                    elif value is not None:
+                        lo = max(current[0], value[0])
+                        hi = min(current[1], value[1])
+                        self._param_seed[key] = (lo, hi) if lo <= hi else value
 
     def _param_intervals(self) -> dict:
         """Hull of constant arguments over every module call site.
@@ -272,6 +301,10 @@ class IntervalAnalysis(DataflowAnalysis):
         constant itself.  Anything else (loops, arithmetic, recursion)
         stays unknown.
         """
+        if self.interproc is not None:
+            summary = self.interproc.summary(callee)
+            if summary is not None:
+                return summary.returns
         if callee in self._return_cache:
             return self._return_cache[callee]
         self._return_cache[callee] = None  # provisional: breaks recursion

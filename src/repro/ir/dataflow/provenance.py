@@ -111,6 +111,9 @@ class PtrFinding:
     block: str
     instr_index: int
     message: str
+    #: Interprocedural trace ("func:line" frames) when the faulting
+    #: access happens inside a summarized callee, not at this line.
+    via: tuple[str, ...] = ()
 
 
 class ProvenanceAnalysis(DataflowAnalysis):
@@ -118,10 +121,19 @@ class ProvenanceAnalysis(DataflowAnalysis):
 
     direction = "forward"
 
-    def __init__(self, func: Function, module: Module, points_to: PointsTo | None = None):
+    def __init__(
+        self,
+        func: Function,
+        module: Module,
+        points_to: PointsTo | None = None,
+        interproc=None,
+    ):
         self.func = func
         self.module = module
         self.pt = points_to if points_to is not None else PointsTo(func, module)
+        #: Optional InterprocContext: callee free/deref summaries replace
+        #: the havoc-everything treatment of module-internal calls.
+        self.interproc = interproc
         escaped = self.pt.escaped_objects()
         #: Pointer-sized, unescaped scalar slots that ever hold a pointer.
         self.pointer_slots = self._find_pointer_slots(escaped)
@@ -200,18 +212,40 @@ class ProvenanceAnalysis(DataflowAnalysis):
                 value = state.get(("r", instr.src.id))
                 if value is not None:
                     state[("r", instr.dst.id)] = value
+            elif isinstance(instr.src, int) and instr.src == 0:
+                # O0 materializes NULL as `cast 0 : int -> ptr`; losing
+                # the constant here would hide every stored null.
+                state[("r", instr.dst.id)] = NULL
         elif isinstance(instr, BinOp):
             self._do_binop(instr, state, findings, where)
         elif isinstance(instr, CallBuiltin):
             self._do_builtin(instr, state, findings, where)
         elif isinstance(instr, Call):
-            # A callee may free any heap block it can reach.
-            for arg in instr.args:
+            summary = (
+                self.interproc.summary(instr.callee)
+                if self.interproc is not None
+                else None
+            )
+            for index, arg in enumerate(instr.args):
                 ptr = self.ptr_of(arg, state)
-                if ptr is not None and ptr.obj is not None and ptr.obj.kind == "heap":
-                    key = ("live", ptr.obj.key)
+                if ptr is None or ptr.obj is None or ptr.obj.kind != "heap":
+                    continue
+                key = ("live", ptr.obj.key)
+                if summary is None:
+                    # Opaque callee may free any heap block it can reach.
                     if state.get(key, LIVE) != FREED:
                         state[key] = MAYBE_FREED
+                    continue
+                effect = summary.frees.get(index)
+                if effect is None:
+                    if ptr.offset == 0:
+                        continue  # Summary proves this argument is never freed.
+                    if state.get(key, LIVE) != FREED:
+                        state[key] = MAYBE_FREED
+                elif effect.conf == "must":
+                    state[key] = FREED
+                elif state.get(key, LIVE) != FREED:
+                    state[key] = MAYBE_FREED
 
     # --------------------------------------------------------- value lookup
 
@@ -359,7 +393,9 @@ class ProvenanceAnalysis(DataflowAnalysis):
 
     # ------------------------------------------------------------- findings
 
-    def _emit(self, findings, where, instr, checker, confidence, message) -> None:
+    def _emit(
+        self, findings, where, instr, checker, confidence, message, via=()
+    ) -> None:
         if findings is None or where is None:
             return
         label, idx = where
@@ -372,6 +408,7 @@ class ProvenanceAnalysis(DataflowAnalysis):
                 block=label,
                 instr_index=idx,
                 message=message,
+                via=tuple(via),
             )
         )
 
@@ -468,19 +505,112 @@ class ProvenanceAnalysis(DataflowAnalysis):
     _interval_states: Optional[dict[str, list[dict]]] = None
 
 
+def _scan_call_site(
+    analysis: ProvenanceAnalysis, interproc, instr: Call, state, findings, where
+) -> None:
+    """Project a summarized callee's pointer effects onto its arguments.
+
+    Runs *before* the call's transfer so the pre-call liveness is what
+    the checks observe.  Null dereference is reported only for a
+    definitely-null argument — a may-null value flowing into a callee
+    that guards before dereferencing is the common benign shape, and
+    flagging it would cost the precision the scoreboard measures.
+    """
+    summary = interproc.summary(instr.callee)
+    if summary is None:
+        return
+    for index, arg in enumerate(instr.args):
+        ptr = analysis.ptr_of(arg, state)
+        if ptr is None:
+            continue
+        deref = summary.derefs.get(index)
+        if ptr.is_null:
+            if deref is not None:
+                analysis._emit(
+                    findings,
+                    where,
+                    instr,
+                    "null_deref",
+                    "confirmed" if deref.conf == "must" else "possible",
+                    f"null pointer passed to {instr.callee}() which "
+                    "dereferences it",
+                    via=deref.chain,
+                )
+            continue
+        if ptr.obj is None:
+            continue
+        access = summary.accesses.get(index)
+        if (
+            access is not None
+            and ptr.offset is not None
+            and ptr.obj.size is not None
+        ):
+            lo = access[0] + ptr.offset
+            hi = access[1] + ptr.offset
+            if not (lo >= 0 and hi <= ptr.obj.size):
+                always = lo >= ptr.obj.size or hi <= 0
+                analysis._emit(
+                    findings,
+                    where,
+                    instr,
+                    "oob_access",
+                    "confirmed" if always else "possible",
+                    f"{instr.callee}() accesses bytes [{lo}, {hi}) of "
+                    f"{ptr.obj.describe()} of {ptr.obj.size} bytes",
+                    via=(summary.name,),
+                )
+        if ptr.obj.kind != "heap":
+            continue
+        liveness = state.get(("live", ptr.obj.key), LIVE)
+        uses = deref if deref is not None else summary.reads.get(index)
+        if uses is not None and liveness in (FREED, MAYBE_FREED):
+            confirmed = liveness == FREED and uses.conf == "must"
+            analysis._emit(
+                findings,
+                where,
+                instr,
+                "use_after_free",
+                "confirmed" if confirmed else "possible",
+                f"{instr.callee}() uses {ptr.obj.describe()} "
+                + ("after free()" if liveness == FREED else "freed on some path"),
+                via=uses.chain,
+            )
+        frees = summary.frees.get(index)
+        if frees is not None and liveness in (FREED, MAYBE_FREED):
+            confirmed = liveness == FREED and frees.conf == "must"
+            analysis._emit(
+                findings,
+                where,
+                instr,
+                "double_free",
+                "confirmed" if confirmed else "possible",
+                f"{instr.callee}() frees {ptr.obj.describe()} "
+                + (
+                    "already freed"
+                    if liveness == FREED
+                    else "already freed on some path"
+                ),
+                via=frees.chain,
+            )
+
+
 def find_pointer_ub(
     func: Function,
     module: Module,
     points_to: PointsTo | None = None,
     interval_analysis: IntervalAnalysis | None = None,
     interval_result: DataflowResult | None = None,
+    interproc=None,
+    dead_edges: set | None = None,
 ) -> tuple[list[PtrFinding], DataflowResult]:
     """Solve provenance for *func* and scan every access for pointer UB."""
-    analysis = ProvenanceAnalysis(func, module, points_to=points_to)
-    result = solve(func, analysis)
+    analysis = ProvenanceAnalysis(func, module, points_to=points_to, interproc=interproc)
+    result = solve(func, analysis, dead_edges=dead_edges)
     if interval_analysis is None or interval_result is None:
-        interval_analysis = IntervalAnalysis(func, module, points_to=analysis.pt)
-        interval_result = solve(func, interval_analysis)
+        interval_analysis = IntervalAnalysis(
+            func, module, points_to=analysis.pt, interproc=interproc
+        )
+        interval_result = solve(func, interval_analysis, dead_edges=dead_edges)
     # Record the interval state *before* each instruction so computed
     # array offsets can be bounded at their access points.
     interval_states: dict[str, list[dict]] = {}
@@ -496,6 +626,10 @@ def find_pointer_ub(
     for label in result.block_in:
         state = dict(result.block_in[label])
         for idx, instr in enumerate(func.blocks[label].instrs):
+            if interproc is not None and isinstance(instr, Call):
+                _scan_call_site(
+                    analysis, interproc, instr, state, findings, (label, idx)
+                )
             analysis.transfer_instr(instr, state, findings=findings, where=(label, idx))
     analysis._interval_states = None
     return findings, result

@@ -1,0 +1,171 @@
+"""Constant-branch edge pruning for the flow-sensitive analyses.
+
+Juliet's flow shapes guard the planted bug behind conditions that are
+statically constant (``if (flag)`` with ``flag = 0`` stored above, or a
+literal ``if (1)``).  The plain worklist solver joins both branch edges
+regardless, which costs exactly the precision the interprocedural layer
+needs: a pointer that is NULL only on the statically-dead arm still
+joins to may-null, an uninitialized object still joins to MAYBE.
+
+:func:`infeasible_edges` evaluates every ``Branch`` condition against
+the interval analysis' end-of-block state — including one level of
+comparison refinement (``branch (a < b)`` where both operand intervals
+are known) — and returns the CFG edges that can never be taken.
+:func:`prune_function` iterates interval-solve → prune until the edge
+set stabilizes, since removing an edge can make more conditions
+constant.  The result feeds ``solve(..., dead_edges=...)`` for all
+three analyses, which is the path-sensitivity backbone of the
+interprocedural mode (``UBOracle(mode="interproc")``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.dataflow.framework import DataflowResult, solve
+from repro.ir.dataflow.intervals import IntervalAnalysis, Interval
+from repro.ir.instructions import BinOp, Branch, Reg, UnOp
+from repro.ir.module import Function, Module
+
+#: Prune → re-solve rounds before accepting the current edge set.
+MAX_PRUNE_ROUNDS = 3
+
+
+def _single_defs(func: Function) -> dict[int, object]:
+    defs: dict[int, object] = {}
+    counts: dict[int, int] = {i: 1 for i in range(len(func.params))}
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            dst = instr.defines()
+            if dst is not None:
+                counts[dst.id] = counts.get(dst.id, 0) + 1
+                defs[dst.id] = instr
+    return {rid: instr for rid, instr in defs.items() if counts.get(rid) == 1}
+
+
+def _compare(op: str, a: Interval, b: Interval) -> Interval:
+    """Evaluate a comparison over intervals to (0,0)/(1,1) when decided."""
+    if a is None or b is None:
+        return None
+    a_lo, a_hi = a
+    b_lo, b_hi = b
+    if op in ("ult", "ule", "ugt", "uge"):
+        # Unsigned compares agree with signed ones on non-negative ranges.
+        if a_lo < 0 or b_lo < 0:
+            return None
+        op = {"ult": "slt", "ule": "sle", "ugt": "sgt", "uge": "sge"}[op]
+    if op == "eq":
+        if a_hi < b_lo or b_hi < a_lo:
+            return (0, 0)
+        if a_lo == a_hi == b_lo == b_hi:
+            return (1, 1)
+        return None
+    if op == "ne":
+        inverted = _compare("eq", a, b)
+        if inverted is None:
+            return None
+        return (1, 1) if inverted == (0, 0) else (0, 0)
+    if op == "slt":
+        if a_hi < b_lo:
+            return (1, 1)
+        if a_lo >= b_hi:
+            return (0, 0)
+        return None
+    if op == "sle":
+        if a_hi <= b_lo:
+            return (1, 1)
+        if a_lo > b_hi:
+            return (0, 0)
+        return None
+    if op == "sgt":
+        inverted = _compare("sle", a, b)
+    elif op == "sge":
+        inverted = _compare("slt", a, b)
+    else:
+        return None
+    if inverted is None:
+        return None
+    return (1, 1) if inverted == (0, 0) else (0, 0)
+
+
+def _condition_interval(
+    cond,
+    state: dict,
+    analysis: IntervalAnalysis,
+    defs: dict[int, object],
+    depth: int = 0,
+) -> Interval:
+    """The branch condition's interval, refined through compares/negation."""
+    value = analysis._operand(cond, state)
+    if value is not None and (value[0] > 0 or value[1] < 0 or value == (0, 0)):
+        return value
+    if not isinstance(cond, Reg) or depth > 2:
+        return value
+    instr = defs.get(cond.id)
+    if isinstance(instr, BinOp):
+        lhs = analysis._operand(instr.lhs, state)
+        rhs = analysis._operand(instr.rhs, state)
+        refined = _compare(instr.op, lhs, rhs)
+        if refined is not None:
+            return refined
+    elif isinstance(instr, UnOp) and instr.op == "not":
+        src = _condition_interval(instr.src, state, analysis, defs, depth + 1)
+        if src is not None:
+            if src == (0, 0):
+                return (1, 1)
+            if src[0] > 0 or src[1] < 0:
+                return (0, 0)
+    return value
+
+
+def infeasible_edges(
+    func: Function,
+    analysis: IntervalAnalysis,
+    result: DataflowResult,
+) -> set[tuple[str, str]]:
+    """CFG edges whose branch condition is decided by the intervals."""
+    defs = _single_defs(func)
+    dead: set[tuple[str, str]] = set()
+    for label in result.block_out:
+        terminator = func.blocks[label].terminator
+        if not isinstance(terminator, Branch):
+            continue
+        state = result.block_out[label]
+        if not isinstance(state, dict):
+            continue
+        value = _condition_interval(terminator.cond, state, analysis, defs)
+        if value is None:
+            continue
+        if value == (0, 0):
+            dead.add((label, terminator.if_true))
+        elif value[0] > 0 or value[1] < 0:
+            dead.add((label, terminator.if_false))
+    return dead
+
+
+def prune_function(
+    func: Function,
+    module: Module,
+    points_to=None,
+    interproc=None,
+    max_rounds: int = MAX_PRUNE_ROUNDS,
+) -> tuple[set[tuple[str, str]], IntervalAnalysis, DataflowResult]:
+    """Iterate interval-solve → edge pruning to a stable dead-edge set.
+
+    Returns the final edges plus the last interval analysis/result (both
+    computed *with* the pruning applied), which callers reuse for the
+    scan phases so every analysis sees the same CFG view.
+    """
+    dead: set[tuple[str, str]] = set()
+    analysis = IntervalAnalysis(func, module, points_to=points_to, interproc=interproc)
+    result = solve(func, analysis, dead_edges=dead)
+    for _ in range(max_rounds):
+        found = infeasible_edges(func, analysis, result)
+        if not (found - dead):
+            break
+        dead |= found
+        analysis = IntervalAnalysis(
+            func, module, points_to=points_to, interproc=interproc
+        )
+        result = solve(func, analysis, dead_edges=dead)
+    return dead, analysis, result

@@ -147,6 +147,9 @@ class UninitUse:
     instr_index: int
     #: "uninit" (no path defines it) or "maybe" (some paths do).
     state: str
+    #: Interprocedural trace ("func:line" frames) when the read happens
+    #: inside a summarized callee rather than at this instruction.
+    via: tuple[str, ...] = ()
 
 
 class InitAnalysis(DataflowAnalysis):
@@ -154,16 +157,29 @@ class InitAnalysis(DataflowAnalysis):
 
     direction = "forward"
 
-    def __init__(self, func: Function, module: Module, points_to: PointsTo | None = None):
+    def __init__(
+        self,
+        func: Function,
+        module: Module,
+        points_to: PointsTo | None = None,
+        interproc=None,
+    ):
         self.func = func
         self.module = module
         self.pt = points_to if points_to is not None else PointsTo(func, module)
+        #: Optional InterprocContext: transitive must/may write summaries
+        #: replace the local single-level :func:`param_write_summary`.
+        self.interproc = interproc
         self.tracked = tuple(self.pt.objects())
         self.escaped = self._escaped_for_init()
         self._summaries: dict[str, dict[int, str] | None] = {}
 
     def _callee_summary(self, name: str) -> dict[int, str] | None:
         """Param-write summary for a module-internal callee (None = opaque)."""
+        if self.interproc is not None:
+            summary = self.interproc.summary(name)
+            if summary is not None:
+                return summary.writes
         if name not in self._summaries:
             callee = self.module.functions.get(name)
             self._summaries[name] = (
@@ -273,11 +289,22 @@ class InitAnalysis(DataflowAnalysis):
 
 
 def find_uninit_uses(
-    func: Function, module: Module, points_to: PointsTo | None = None
+    func: Function,
+    module: Module,
+    points_to: PointsTo | None = None,
+    interproc=None,
+    dead_edges: set | None = None,
 ) -> tuple[list[UninitUse], DataflowResult]:
-    """Solve the init analysis and scan every load against its in-state."""
-    analysis = InitAnalysis(func, module, points_to=points_to)
-    result = solve(func, analysis)
+    """Solve the init analysis and scan every load against its in-state.
+
+    With an interprocedural context, an uninitialized (or maybe-
+    initialized) object handed to a callee whose summary reads that
+    parameter before writing it is reported *at the call site*, carrying
+    the summary's cross-function trace — the Juliet ``*_badSink`` shape
+    no intraprocedural scan can see.
+    """
+    analysis = InitAnalysis(func, module, points_to=points_to, interproc=interproc)
+    result = solve(func, analysis, dead_edges=dead_edges)
     uses: list[UninitUse] = []
     for label in result.block_in:
         state = dict(result.block_in[label])
@@ -299,5 +326,34 @@ def find_uninit_uses(
                             state=state.get(ptr.obj, INIT),
                         )
                     )
+            elif interproc is not None and isinstance(instr, Call):
+                summary = interproc.summary(instr.callee)
+                if summary is not None and summary.reads:
+                    for index, arg in enumerate(instr.args):
+                        effect = summary.reads.get(index)
+                        if effect is None:
+                            continue
+                        ptr = analysis.pt.pointer(arg)
+                        if (
+                            ptr is None
+                            or ptr.offset != 0
+                            or ptr.obj in analysis.escaped
+                        ):
+                            continue
+                        obj_state = state.get(ptr.obj, INIT)
+                        if obj_state not in (UNINIT, MAYBE):
+                            continue
+                        confirmed = obj_state == UNINIT and effect.conf == "must"
+                        uses.append(
+                            UninitUse(
+                                obj=ptr.obj,
+                                line=instr.line,
+                                function=func.name,
+                                block=label,
+                                instr_index=idx,
+                                state=UNINIT if confirmed else MAYBE,
+                                via=effect.chain,
+                            )
+                        )
             analysis.transfer_instr(instr, state)
     return uses, result

@@ -1,0 +1,245 @@
+"""Interprocedural extension corpus (not part of the standard suite).
+
+The standard Juliet-style templates keep the flaw and its trigger in the
+same function on purpose — that is the shape the paper's Table 3 tools
+were calibrated against, and the per-CWE generators must stay
+byte-stable (their seeded rng draw sequences define the committed suite
+composition).  This module is a *separate* corpus of bad/good pairs
+whose defining property is that the flaw only becomes visible across a
+call boundary: the trigger value or the flawed operation sits in a
+callee, so an intraprocedural analysis is structurally blind to it
+while the summary-based interprocedural oracle is not.
+
+Every shape keeps the divergence mechanism of a proven standard
+template (printed stack garbage, fold-vs-mask shifts, folded overflow
+guards, layout-dependent adjacent overwrite, folded null loads) so the
+differential oracle can still confirm the bad variants — that is what
+makes the corpus usable as precision ground truth.
+
+Cases carry ``IPX``-prefixed uids so they can never collide with the
+standard suite, and :func:`interproc_cases` is deterministic in its
+arguments (no module-level rng).
+"""
+
+from __future__ import annotations
+
+from repro.juliet.cwe import group_of
+from repro.juliet.flows import assemble, flow_int
+from repro.juliet.generator import TestCase
+
+#: Flow variants the interprocedural interval refinement can resolve at
+#: the call site (plain/const_true fold via edge pruning; func folds via
+#: the callee's return-interval summary).
+_FLOWS = ("plain", "const_true", "func")
+
+
+def _case(shape: str, cwe: int, index: int, flow: str, bad: str, good: str) -> TestCase:
+    return TestCase(
+        uid=f"IPX{cwe}_{shape}_{flow}_{index:04d}",
+        cwe=cwe,
+        group=group_of(cwe),
+        bad_source=bad,
+        good_source=good,
+        mech=f"interproc_{shape}",
+        flow=flow,
+    )
+
+
+def _uninit_chain(index: int, flow: str) -> TestCase:
+    """CWE-457 through a two-deep call chain.
+
+    The conditionally-initialized local is only *read* inside the leaf
+    callee; main just passes its address along.  Printing the
+    indeterminate value diverges exactly like the standard print_value
+    mechanism — but an intraprocedural analysis never connects the read
+    in ``read_ipx`` to the uninitialized object in ``main``.
+    """
+    uid = f"ipx{index:04d}"
+    helpers = f"""static int read_ipx_{uid}(int *p) {{
+    return *p;
+}}
+
+static int chain_ipx_{uid}(int *p) {{
+    return read_ipx_{uid}(p);
+}}"""
+    body = f"""int main(void) {{
+    int value;
+    {{flow}}
+    if (doinit) {{ value = 42; }}
+    printf("v=%d\\n", chain_ipx_{uid}(&value));
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "doinit", "0", uid), body, extra_helpers=helpers)
+    good = assemble(flow_int(flow, "doinit", "1", uid), body, extra_helpers=helpers)
+    return _case("uninit_chain", 457, index, flow, bad, good)
+
+
+def _fill_chain(index: int, flow: str) -> TestCase:
+    """CWE-457 where the *good* variant is the interesting one.
+
+    A helper chain is supposed to initialize through the pointer.  The
+    good variant writes unconditionally — a must-write summary proves
+    the local initialized, silencing the false positive an
+    intraprocedural analysis raises when it cannot see into the callee.
+    The bad variant gates the write on a set global flag and skips it,
+    so the print diverges on stack garbage.
+    """
+    uid = f"ipx{index:04d}"
+    put = f"""static void put_ipx_{uid}(int *p) {{
+    *p = 42;
+}}"""
+    bad_fill = f"""{put}
+
+static void fill_ipx_{uid}(int *p) {{
+    if (g_skip_ipx_{uid}) {{ return; }}
+    put_ipx_{uid}(p);
+}}"""
+    good_fill = f"""{put}
+
+static void fill_ipx_{uid}(int *p) {{
+    put_ipx_{uid}(p);
+}}"""
+    body = f"""int main(void) {{
+    int value;
+    fill_ipx_{uid}(&value);
+    printf("v=%d\\n", value);
+    return 0;
+}}"""
+    parts = flow_int("plain", "unused", "0", uid)
+    # The flow machinery is not used here (the trigger is the guard
+    # inside the callee); assemble with an empty flow site.
+    bad = assemble(
+        parts,
+        body.replace("{flow}", ""),
+        extra_globals=f"int g_skip_ipx_{uid} = 1;",
+        extra_helpers=bad_fill,
+    )
+    good = assemble(parts, body.replace("{flow}", ""), extra_helpers=good_fill)
+    return _case("fill_chain", 457, index, "plain", bad, good)
+
+
+def _shift_chain(index: int, flow: str) -> TestCase:
+    """CWE-758 oversized shift where the shift lives in a callee.
+
+    Implementations that inline the one-line helper fold ``1 << 40`` at
+    compile time; the rest mask the amount at runtime — the standard
+    oversized_shift divergence, moved across a call boundary so only a
+    parameter-environment analysis sees the amount.
+    """
+    uid = f"ipx{index:04d}"
+    helpers = f"""static int shl_ipx_{uid}(int amount) {{
+    return 1 << amount;
+}}"""
+    body = f"""int main(void) {{
+    {{flow}}
+    printf("x=%d\\n", shl_ipx_{uid}(sh));
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "sh", "40", uid), body, extra_helpers=helpers)
+    good = assemble(flow_int(flow, "sh", "5", uid), body, extra_helpers=helpers)
+    return _case("shift_chain", 758, index, flow, bad, good)
+
+
+def _overflow_chain(index: int, flow: str) -> TestCase:
+    """CWE-190 folded overflow guard inside a helper (Listing 1 shape).
+
+    The helper's ``a + b < a`` guard is sound only under wrapping;
+    implementations that inline and fold it under the no-overflow
+    assumption print the wrapped sum while the rest reject.  The
+    overflowing operands are only visible interprocedurally.
+    """
+    uid = f"ipx{index:04d}"
+    helpers = f"""static int checked_sum_ipx_{uid}(int a, int b) {{
+    if (a + b < a) {{
+        printf("overflow rejected\\n");
+        return 1;
+    }}
+    printf("sum=%d\\n", a + b);
+    return 0;
+}}"""
+    body = f"""int main(void) {{
+    int a = 2147483600;
+    {{flow}}
+    return checked_sum_ipx_{uid}(a, b);
+}}"""
+    bad = assemble(flow_int(flow, "b", "500", uid), body, extra_helpers=helpers)
+    good = assemble(flow_int(flow, "b", "-500", uid), body, extra_helpers=helpers)
+    return _case("overflow_chain", 190, index, flow, bad, good)
+
+
+def _oob_chain(index: int, flow: str) -> TestCase:
+    """CWE-121 fixed-size memset through a pointer parameter.
+
+    The callee always clears 16 bytes; the bad variant hands it a
+    12-byte buffer, clobbering the adjacent local (layout-dependent,
+    so the printed neighbor diverges — the adjacent_print mechanism).
+    Only the access-range summary connects the constant inside the
+    callee to the undersized object at the call site.
+    """
+    uid = f"ipx{index:04d}"
+    helpers = f"""static void blast_ipx_{uid}(char *p) {{
+    memset(p, 'A', 16);
+}}"""
+    body_bad = f"""int main(void) {{
+    char data[12];
+    char neighbor[8] = "SAFE";
+    blast_ipx_{uid}(data);
+    printf("n=%s d=%c\\n", neighbor, data[0]);
+    return 0;
+}}"""
+    body_good = body_bad.replace("char data[12];", "char data[16];")
+    parts = flow_int("plain", "unused", "0", uid)
+    bad = assemble(parts, body_bad.replace("{flow}", ""), extra_helpers=helpers)
+    good = assemble(parts, body_good.replace("{flow}", ""), extra_helpers=helpers)
+    return _case("oob_chain", 121, index, "plain", bad, good)
+
+
+def _null_chain(index: int, flow: str) -> TestCase:
+    """CWE-476 dereference inside a deliberately tiny callee.
+
+    The standard opaque_callee mechanism keeps the callee large so no
+    implementation inlines it (the crash is then identical everywhere).
+    This one is a single load, so inlining implementations fold the
+    null dereference away while the rest trap — and the call-site
+    dereference summary plus edge pruning prove the argument null.
+    """
+    uid = f"ipx{index:04d}"
+    helpers = f"""static int deref_ipx_{uid}(int *p) {{
+    return *p;
+}}"""
+    body = f"""int main(void) {{
+    int box = 7;
+    int *p = &box;
+    {{flow}}
+    if (usenull) {{ p = 0; }}
+    printf("x=%d\\n", deref_ipx_{uid}(p));
+    return 0;
+}}"""
+    bad = assemble(flow_int(flow, "usenull", "1", uid), body, extra_helpers=helpers)
+    good = assemble(flow_int(flow, "usenull", "0", uid), body, extra_helpers=helpers)
+    return _case("null_chain", 476, index, flow, bad, good)
+
+
+_SHAPES = (
+    _uninit_chain,
+    _fill_chain,
+    _shift_chain,
+    _overflow_chain,
+    _oob_chain,
+    _null_chain,
+)
+
+
+def interproc_cases(per_shape: int = 3) -> list[TestCase]:
+    """The extension corpus: *per_shape* cases of each shape.
+
+    Deterministic in *per_shape* — cases differ only in which flow
+    variant routes the trigger, cycling through :data:`_FLOWS`.
+    """
+    cases: list[TestCase] = []
+    index = 0
+    for shape in _SHAPES:
+        for i in range(per_shape):
+            cases.append(shape(index, _FLOWS[i % len(_FLOWS)]))
+            index += 1
+    return cases

@@ -33,6 +33,10 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: Interprocedural summary-cache accounting (UBOracle interproc mode).
+    summary_hits: int = 0
+    summary_misses: int = 0
+    summary_invalidations: int = 0
     #: Scatter batches dispatched (1 per task in parallel mode).
     batches: int = 0
     #: Per-batch wall-clock durations in seconds (worker-measured).
@@ -71,6 +75,21 @@ class EngineStats:
         self.cache_hits += hits
         self.cache_misses += misses
         self.cache_evictions += evictions
+
+    def record_summary(
+        self, hits: int = 0, misses: int = 0, invalidations: int = 0
+    ) -> None:
+        self.summary_hits += hits
+        self.summary_misses += misses
+        self.summary_invalidations += invalidations
+
+    def record_summary_cache(self, cache) -> None:
+        """Fold a :class:`~repro.static_analysis.summary_cache.SummaryCache`
+        instance's counters in, then zero them so repeated folds don't
+        double-count."""
+        stats = cache.stats
+        self.record_summary(stats.hits, stats.misses, stats.invalidations)
+        stats.hits = stats.misses = stats.invalidations = 0
 
     def record_batch(self, seconds: float) -> None:
         self.batches += 1
@@ -122,6 +141,9 @@ class EngineStats:
         self.cache_hits = other.cache_hits
         self.cache_misses = other.cache_misses
         self.cache_evictions = other.cache_evictions
+        self.summary_hits = other.summary_hits
+        self.summary_misses = other.summary_misses
+        self.summary_invalidations = other.summary_invalidations
         self.batches = other.batches
         self.batch_latencies = list(other.batch_latencies)
         self.worker_restarts = other.worker_restarts
@@ -139,6 +161,9 @@ class EngineStats:
         self.inputs_checked += other.inputs_checked
         self.timeout_retries += other.timeout_retries
         self.record_cache(other.cache_hits, other.cache_misses, other.cache_evictions)
+        self.record_summary(
+            other.summary_hits, other.summary_misses, other.summary_invalidations
+        )
         self.batches += other.batches
         self.batch_latencies.extend(other.batch_latencies)
         self.worker_restarts += other.worker_restarts
@@ -194,6 +219,11 @@ class EngineStats:
                 "evictions": self.cache_evictions,
                 "hit_rate": self.cache_hit_rate,
             },
+            "summaries": {
+                "hits": self.summary_hits,
+                "misses": self.summary_misses,
+                "invalidations": self.summary_invalidations,
+            },
             "timeouts": {"retries": self.timeout_retries},
             "batches": {
                 "dispatched": self.batches,
@@ -235,6 +265,13 @@ class EngineStats:
             f"compile cache: {cache['hits']} hits / {cache['misses']} misses "
             f"({100 * cache['hit_rate']:.1f}% hit rate, {cache['evictions']} evicted)"
         )
+        summaries = snap["summaries"]
+        if summaries["hits"] or summaries["misses"]:
+            lines.append(
+                f"summary cache: {summaries['hits']} hits / "
+                f"{summaries['misses']} misses "
+                f"({summaries['invalidations']} invalidated)"
+            )
         lines.append(f"timeout retries: {snap['timeouts']['retries']}")
         percentiles = snap["batches"]["latency_percentiles"]
         lines.append(

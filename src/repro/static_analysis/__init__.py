@@ -20,7 +20,22 @@ null dereference and heap state.
 from repro.static_analysis.base import StaticAnalyzer, StaticFinding, dedupe_findings
 from repro.static_analysis.coverity import Coverity
 from repro.static_analysis.cppcheck import Cppcheck
+from repro.static_analysis.diagnostics import (
+    Baseline,
+    Diagnostic,
+    all_tool_diagnostics,
+    diagnostic_sort_key,
+    to_diagnostics,
+)
 from repro.static_analysis.infer import Infer
+from repro.static_analysis.interproc import (
+    FunctionSummary,
+    InterprocContext,
+    summarize_module,
+)
+from repro.static_analysis.refine import refine_findings
+from repro.static_analysis.sarif import to_sarif, validate_sarif
+from repro.static_analysis.summary_cache import SummaryCache
 from repro.static_analysis.ub_oracle import UBFinding, UBOracle, UBReport, flagged_blocks
 from repro.static_analysis.triage import (
     TABLE5_CATEGORIES,
@@ -43,20 +58,32 @@ def all_static_tools() -> list[StaticAnalyzer]:
 
 
 __all__ = [
+    "Baseline",
     "Coverity",
     "Cppcheck",
+    "Diagnostic",
+    "FunctionSummary",
     "Infer",
+    "InterprocContext",
     "StaticAnalyzer",
     "StaticFinding",
+    "SummaryCache",
     "TABLE5_CATEGORIES",
     "TriageLabel",
     "UBFinding",
     "UBOracle",
     "UBReport",
     "all_static_tools",
+    "all_tool_diagnostics",
+    "diagnostic_sort_key",
     "dedupe_findings",
     "flagged_blocks",
+    "refine_findings",
+    "summarize_module",
+    "to_diagnostics",
+    "to_sarif",
     "triage_diff",
     "triage_divergence",
     "triage_program",
+    "validate_sarif",
 ]

@@ -1,0 +1,225 @@
+"""Unified diagnostics: one record shape for all four tool models.
+
+The repo grew four finding vocabularies — three AST analyzer analogs
+emitting :class:`~repro.static_analysis.base.StaticFinding` and the
+IR-level :class:`~repro.static_analysis.ub_oracle.UBOracle` emitting
+:class:`~repro.static_analysis.ub_oracle.UBFinding` — which forced every
+consumer (CLI rendering, triage, evaluation) to special-case the source.
+:class:`Diagnostic` is the common record: source location, severity,
+checker id, Table 5 category, and the interprocedural trace when the
+flagged behavior lives inside a summarized callee.
+
+Two consumers are built on top:
+
+* :func:`diagnostic_sort_key` — the canonical deterministic order
+  (checker id first, then location) shared by ``repro analyze --json``
+  and the SARIF exporter;
+* :class:`Baseline` — a committed suppression file keyed by stable
+  fingerprints (line numbers excluded, so unrelated edits above a known
+  finding do not un-suppress it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.static_analysis.base import StaticFinding
+from repro.static_analysis.ub_oracle import CHECKER_CATEGORY, UBFinding
+
+#: Schema version for ``repro analyze --json`` payloads; bump on any
+#: field or ordering change.
+ANALYZE_SCHEMA_VERSION = 2
+
+#: Baseline suppression-file format version.
+BASELINE_VERSION = 1
+
+#: Table 5 category per AST-tool checker (the UB oracle's checkers map
+#: through :data:`~repro.static_analysis.ub_oracle.CHECKER_CATEGORY`).
+STATIC_CHECKER_CATEGORY = {
+    "stack_bounds": "MemError",
+    "heap_bounds": "MemError",
+    "heap_state": "MemError",
+    "memcpy_overlap": "MemError",
+    "call_args": "Misc",
+    "div_zero": "IntError",
+    "int_overflow": "IntError",
+    "null_deref": "MemError",
+    "uninit": "UninitMem",
+    "partial_init": "UninitMem",
+    "ub_shift_cast": "IntError",
+    "cast_struct": "Misc",
+    "mul_zero": "IntError",
+}
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding in the unified cross-tool shape."""
+
+    tool: str
+    checker: str
+    #: Table 5 category ("Misc" when the checker has no mapping).
+    category: str
+    #: "error" (confirmed) or "warning" (possible / AST-tool default).
+    severity: str
+    line: int
+    function: str = ""
+    message: str = ""
+    #: Interprocedural route ("func:line" frames, outermost first).
+    trace: tuple[str, ...] = ()
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable suppression key: location-independent within a function.
+
+        Deliberately excludes the line number — a baseline should
+        survive edits that only shift a known finding down the file.
+        """
+        text = "|".join((self.tool, self.checker, self.function, self.message))
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+    def to_json(self) -> dict:
+        return {
+            "tool": self.tool,
+            "checker": self.checker,
+            "category": self.category,
+            "severity": self.severity,
+            "line": self.line,
+            "function": self.function,
+            "message": self.message,
+            "trace": list(self.trace),
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One CLI line in the unified format."""
+        where = f"{self.function}:{self.line}" if self.function else f"line {self.line}"
+        head = (
+            f"{where:<24} {self.category:<10} {self.severity:<8} "
+            f"{self.tool}/{self.checker}: {self.message}"
+        )
+        if self.trace:
+            head += f"\n{'':<24} via {' -> '.join(self.trace)}"
+        return head
+
+
+def diagnostic_sort_key(diag: Diagnostic) -> tuple:
+    """Canonical deterministic order: checker id, then location."""
+    return (diag.checker, diag.line, diag.function, diag.tool, diag.message)
+
+
+def from_ub_finding(finding: UBFinding) -> Diagnostic:
+    return Diagnostic(
+        tool=finding.tool,
+        checker=finding.checker,
+        category=finding.category,
+        severity=ERROR if finding.confidence == "confirmed" else WARNING,
+        line=finding.line,
+        function=finding.function,
+        message=finding.message,
+        trace=tuple(finding.trace),
+    )
+
+
+def from_static_finding(finding: StaticFinding) -> Diagnostic:
+    return Diagnostic(
+        tool=finding.tool,
+        checker=finding.checker,
+        category=STATIC_CHECKER_CATEGORY.get(finding.checker, "Misc"),
+        severity=WARNING,
+        line=finding.line,
+        function="",
+        message=finding.message,
+    )
+
+
+def to_diagnostics(findings) -> list[Diagnostic]:
+    """Convert any mix of UBFinding/StaticFinding/Diagnostic, sorted."""
+    out: list[Diagnostic] = []
+    for finding in findings:
+        if isinstance(finding, Diagnostic):
+            out.append(finding)
+        elif isinstance(finding, UBFinding):
+            out.append(from_ub_finding(finding))
+        elif isinstance(finding, StaticFinding):
+            out.append(from_static_finding(finding))
+        else:
+            raise TypeError(f"cannot unify finding of type {type(finding).__name__}")
+    return sorted(out, key=diagnostic_sort_key)
+
+
+def all_tool_diagnostics(program, oracle=None) -> list[Diagnostic]:
+    """Run all four tool models over *program*, unified and sorted."""
+    from repro.static_analysis import all_static_tools
+    from repro.static_analysis.ub_oracle import UBOracle
+
+    oracle = oracle if oracle is not None else UBOracle()
+    findings: list = list(oracle.analyze(program))
+    for tool in all_static_tools():
+        findings.extend(tool.analyze(program))
+    return to_diagnostics(findings)
+
+
+# ------------------------------------------------------------------- baseline
+
+
+@dataclass
+class Baseline:
+    """A committed set of suppressed finding fingerprints.
+
+    The file is reviewable JSON: each suppression carries the checker
+    and message it was minted from, so a stale entry is recognizable at
+    a glance.  Unknown fingerprints are harmless; matching is exact.
+    """
+
+    suppressions: dict[str, dict] = field(default_factory=dict)
+
+    def __contains__(self, diag: Diagnostic) -> bool:
+        return diag.fingerprint in self.suppressions
+
+    def filter(self, diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+        return [d for d in diagnostics if d not in self]
+
+    def suppressed(self, diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+        return [d for d in diagnostics if d in self]
+
+    @staticmethod
+    def from_diagnostics(diagnostics: list[Diagnostic]) -> "Baseline":
+        baseline = Baseline()
+        for diag in sorted(diagnostics, key=diagnostic_sort_key):
+            baseline.suppressions.setdefault(
+                diag.fingerprint,
+                {
+                    "tool": diag.tool,
+                    "checker": diag.checker,
+                    "function": diag.function,
+                    "message": diag.message,
+                },
+            )
+        return baseline
+
+    @staticmethod
+    def load(path: str | os.PathLike) -> "Baseline":
+        document = json.loads(Path(path).read_text())
+        if document.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {document.get('version')!r}; "
+                f"expected {BASELINE_VERSION}"
+            )
+        return Baseline(suppressions=dict(document.get("suppressions", {})))
+
+    def save(self, path: str | os.PathLike) -> None:
+        document = {
+            "version": BASELINE_VERSION,
+            "suppressions": {
+                fp: self.suppressions[fp] for fp in sorted(self.suppressions)
+            },
+        }
+        Path(path).write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,1078 @@
+"""Interprocedural summary layer: call graph, SCCs, bottom-up summaries.
+
+The intraprocedural analyses in :mod:`repro.ir.dataflow` stop at call
+boundaries: a pointer handed to a module-internal callee is summarized
+only as "may be written", a parameter's interval is known only when every
+call site passes a syntactic constant, and nothing at all is known about
+reads, dereferences, frees, or out-of-bounds accesses *inside* the
+callee.  Juliet's ``*_badSink`` call chains live exactly there, so the
+UB oracle systematically under-reports cross-function flows.
+
+This module computes context-insensitive whole-program summaries:
+
+1. **Call graph** over the lowered IR (:class:`CallGraph`), with
+   unresolved targets (calls to functions absent from the module) kept
+   separate — their effects widen to the conservative defaults the
+   intraprocedural analyses already use for opaque calls.
+2. **SCC condensation** via Tarjan's algorithm.  Tarjan emits SCCs in
+   reverse-topological order (callees before callers), which is exactly
+   the bottom-up order summary computation needs.  Functions not
+   reachable from the entry points are excluded from the order.
+3. **Bottom-up summary computation** (:func:`summarize_module`): each
+   SCC is iterated to a fixpoint (trivial for singleton SCCs without
+   self-loops); recursion is bounded by :data:`MAX_SCC_ROUNDS`, after
+   which still-changing summary parts widen to top (unknown returns,
+   dropped access hulls).
+4. **Top-down parameter environments**: after summaries stabilize, one
+   pass in topological order (callers first) propagates flow-sensitive
+   argument intervals into callee parameter seeds — the
+   context-insensitive hull over every call site.  This is what lets the
+   interval checkers fire on ``shift(amount)`` / ``scale(big)`` shapes
+   where the argument is routed through a stack slot and the syntactic
+   constant hull of :meth:`IntervalAnalysis._param_intervals` gives up.
+
+Summaries are content-addressed by a *transitive* function digest
+(:func:`function_digests`): own IR text plus the digests of all resolved
+callees (SCC members are digested jointly), so editing one function
+invalidates exactly the summaries whose meaning could change — see
+:mod:`repro.static_analysis.summary_cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.dataflow.framework import DataflowAnalysis, dominates, dominators, solve
+from repro.ir.dataflow.pointsto import (
+    READ_ONLY_BUILTINS,
+    WRITES_THROUGH_ARG0,
+    PointsTo,
+)
+from repro.ir.instructions import (
+    BinOp,
+    Call,
+    CallBuiltin,
+    Cast,
+    Const,
+    Load,
+    Move,
+    Reg,
+    Ret,
+    Store,
+)
+from repro.ir.module import Function, Module
+from repro.ir.printer import format_function
+
+#: Bump when summary semantics change: part of every digest, so stale
+#: on-disk caches invalidate themselves.
+SUMMARY_VERSION = 1
+
+#: Fixpoint rounds per SCC before widening to top.
+MAX_SCC_ROUNDS = 8
+
+#: Interprocedural trace frames kept per effect ("func:line" hops).
+MAX_CHAIN_DEPTH = 8
+
+#: Builtins that read through pointer arguments at the given positions
+#: (beyond the generic read-only set, whose every pointer arg is read).
+_READS_THROUGH: dict[str, tuple[int, ...]] = {
+    "memcpy": (1,),
+    "memmove": (1,),
+    "strcpy": (1,),
+    "strncpy": (1,),
+    "strcat": (1,),
+}
+
+MUST = "must"
+MAY = "may"
+
+Interval = Optional[tuple[int, int]]
+
+
+def _conf_join(a: str, b: str) -> str:
+    return MUST if a == MUST and b == MUST else MAY
+
+
+@dataclass(frozen=True)
+class ParamEffect:
+    """One summarized effect on a pointer parameter, with its trace.
+
+    ``conf`` is MUST when the effect happens on every path through the
+    callee, MAY otherwise.  ``chain`` records the interprocedural route
+    as ``"function:line"`` frames, outermost call first, ending at the
+    instruction that performs the access.
+    """
+
+    conf: str
+    chain: tuple[str, ...] = ()
+
+    def to_json(self) -> list:
+        return [self.conf, list(self.chain)]
+
+    @staticmethod
+    def from_json(data: list) -> "ParamEffect":
+        return ParamEffect(conf=data[0], chain=tuple(data[1]))
+
+
+def _merge_effect(old: Optional[ParamEffect], new: ParamEffect) -> ParamEffect:
+    """Deterministic merge: stronger confidence, then shorter/smaller chain."""
+    if old is None:
+        return new
+    rank_old = (0 if old.conf == MUST else 1, len(old.chain), old.chain)
+    rank_new = (0 if new.conf == MUST else 1, len(new.chain), new.chain)
+    return old if rank_old <= rank_new else new
+
+
+@dataclass
+class FunctionSummary:
+    """Context-insensitive effect summary for one function.
+
+    Parameter indexes refer to the function's positional parameters; all
+    pointer effects are at whole-object granularity with byte offsets
+    tracked where constant.  A parameter absent from a map provably
+    lacks that effect (given the summarized callees); the conservative
+    "anything may happen" element is :meth:`top`.
+    """
+
+    name: str
+    n_params: int
+    #: param -> MUST/MAY: written through the pointer (transitive).
+    writes: dict[int, str] = field(default_factory=dict)
+    #: param -> effect: read through the pointer *before any summary
+    #: write on that path* — the uninit-escape set.
+    reads: dict[int, ParamEffect] = field(default_factory=dict)
+    #: param -> effect: dereferenced (read or write) anywhere.
+    derefs: dict[int, ParamEffect] = field(default_factory=dict)
+    #: param -> effect: passed to free() (directly or transitively).
+    frees: dict[int, ParamEffect] = field(default_factory=dict)
+    #: param -> (lo, hi) byte range accessed through the pointer
+    #: (hi is exclusive: offset + access size).
+    accesses: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: Signed-interval return summary (None = unknown).
+    returns: Interval = None
+    #: Transitive global effect sets (the eval_order checker's input).
+    reads_globals: frozenset = frozenset()
+    writes_globals: frozenset = frozenset()
+    #: True when the summary was widened (recursion budget, unresolved
+    #: self-effects): consumers should treat it like an opaque call.
+    widened: bool = False
+
+    @staticmethod
+    def top(name: str, n_params: int) -> "FunctionSummary":
+        """The conservative element: may write/free anything it was
+        handed, reports nothing, returns unknown."""
+        return FunctionSummary(
+            name=name,
+            n_params=n_params,
+            writes={i: MAY for i in range(n_params)},
+            frees={i: ParamEffect(MAY, (f"{name}:?",)) for i in range(n_params)},
+            widened=True,
+        )
+
+    # ------------------------------------------------------------ persistence
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "n_params": self.n_params,
+            "writes": {str(k): v for k, v in sorted(self.writes.items())},
+            "reads": {str(k): v.to_json() for k, v in sorted(self.reads.items())},
+            "derefs": {str(k): v.to_json() for k, v in sorted(self.derefs.items())},
+            "frees": {str(k): v.to_json() for k, v in sorted(self.frees.items())},
+            "accesses": {str(k): list(v) for k, v in sorted(self.accesses.items())},
+            "returns": list(self.returns) if self.returns is not None else None,
+            "reads_globals": sorted(self.reads_globals),
+            "writes_globals": sorted(self.writes_globals),
+            "widened": self.widened,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "FunctionSummary":
+        return FunctionSummary(
+            name=data["name"],
+            n_params=data["n_params"],
+            writes={int(k): v for k, v in data["writes"].items()},
+            reads={int(k): ParamEffect.from_json(v) for k, v in data["reads"].items()},
+            derefs={int(k): ParamEffect.from_json(v) for k, v in data["derefs"].items()},
+            frees={int(k): ParamEffect.from_json(v) for k, v in data["frees"].items()},
+            accesses={int(k): (v[0], v[1]) for k, v in data["accesses"].items()},
+            returns=tuple(data["returns"]) if data["returns"] is not None else None,
+            reads_globals=frozenset(data["reads_globals"]),
+            writes_globals=frozenset(data["writes_globals"]),
+            widened=data["widened"],
+        )
+
+
+# ------------------------------------------------------------------ call graph
+
+
+@dataclass
+class CallGraph:
+    """Resolved call edges over one module, plus unresolved targets."""
+
+    module: Module
+    #: caller -> set of module-internal callees.
+    callees: dict[str, set[str]] = field(default_factory=dict)
+    #: caller -> set of call targets absent from the module.
+    external: dict[str, set[str]] = field(default_factory=dict)
+    #: callee -> set of module-internal callers.
+    callers: dict[str, set[str]] = field(default_factory=dict)
+
+    def reachable(self, roots: tuple[str, ...]) -> set[str]:
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.module.functions]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, ()))
+        return seen
+
+
+def build_call_graph(module: Module) -> CallGraph:
+    graph = CallGraph(module=module)
+    for name, func in module.functions.items():
+        graph.callees.setdefault(name, set())
+        graph.external.setdefault(name, set())
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, Call):
+                    if instr.callee in module.functions:
+                        graph.callees[name].add(instr.callee)
+                        graph.callers.setdefault(instr.callee, set()).add(name)
+                    else:
+                        graph.external[name].add(instr.callee)
+    return graph
+
+
+def tarjan_sccs(graph: CallGraph, names: list[str]) -> list[tuple[str, ...]]:
+    """Strongly connected components of the restriction to *names*.
+
+    Emitted in reverse-topological order (every SCC precedes its
+    callers), i.e. exactly the bottom-up summary-computation order.
+    Iterative formulation: lowered Juliet call chains are shallow, but
+    generated torture programs need not be.
+    """
+    nameset = set(names)
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[tuple[str, ...]] = []
+    counter = [0]
+
+    def successors(name: str) -> list[str]:
+        return sorted(c for c in graph.callees.get(name, ()) if c in nameset)
+
+    for root in names:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            succs = successors(node)
+            for i in range(child_index, len(succs)):
+                succ = succs[i]
+                if succ not in index:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    recurse = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(component)))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+#: Functions treated as whole-program entry points when present.
+ENTRY_POINTS = ("main",)
+
+
+def bottom_up_order(graph: CallGraph) -> tuple[list[tuple[str, ...]], list[str]]:
+    """SCCs (reverse-topological) restricted to functions reachable from
+    the entry points; dead functions are excluded from the order."""
+    roots = tuple(n for n in ENTRY_POINTS if n in graph.module.functions)
+    if not roots:
+        roots = tuple(graph.module.functions)
+    live = graph.reachable(roots)
+    names = [n for n in graph.module.functions if n in live]
+    sccs = tarjan_sccs(graph, names)
+    order = [name for scc in sccs for name in scc]
+    return sccs, order
+
+
+# -------------------------------------------------------------------- digests
+
+
+def function_digests(module: Module, graph: CallGraph | None = None) -> dict[str, str]:
+    """Transitive content digest per function (reachable or not).
+
+    ``digest(f) = H(version, ir(f), joint SCC text, digests of
+    out-of-SCC resolved callees, names of unresolved callees)`` — the
+    full input set of :func:`summarize_module` for that function, so a
+    pass pipeline that rewrites any function in the transitive callee
+    closure changes the digest and invalidates the cached summary.
+    """
+    graph = graph if graph is not None else build_call_graph(module)
+    names = list(module.functions)
+    sccs = tarjan_sccs(graph, names)
+    digests: dict[str, str] = {}
+    for scc in sccs:
+        member_text = {name: format_function(module.functions[name]) for name in scc}
+        joint = hashlib.sha256()
+        joint.update(f"summary-v{SUMMARY_VERSION}".encode())
+        for name in scc:
+            joint.update(member_text[name].encode())
+        callee_digests: list[str] = []
+        external: list[str] = []
+        for name in scc:
+            for callee in sorted(graph.callees.get(name, ())):
+                if callee not in scc:
+                    callee_digests.append(f"{callee}={digests[callee]}")
+            external.extend(sorted(graph.external.get(name, ())))
+        joint_digest = joint.hexdigest()
+        for name in scc:
+            h = hashlib.sha256()
+            h.update(member_text[name].encode())
+            h.update(joint_digest.encode())
+            for entry in sorted(set(callee_digests)):
+                h.update(entry.encode())
+            for entry in sorted(set(external)):
+                h.update(f"extern:{entry}".encode())
+            digests[name] = h.hexdigest()
+    return digests
+
+
+# ---------------------------------------------------------------- the context
+
+
+@dataclass
+class InterprocContext:
+    """Everything the per-function analyses need to cross call edges."""
+
+    module: Module
+    graph: CallGraph
+    #: function -> summary (reachable, summarized functions only).
+    summaries: dict[str, FunctionSummary]
+    #: function -> {param index -> interval} flow-sensitive call-site hull.
+    param_env: dict[str, dict[int, Interval]]
+    #: Bottom-up analysis order (dead functions excluded).
+    order: list[str]
+    #: SCC condensation in bottom-up order.
+    sccs: list[tuple[str, ...]]
+    #: function -> transitive IR digest (every function in the module).
+    digests: dict[str, str]
+
+    def summary(self, name: str) -> Optional[FunctionSummary]:
+        """The usable summary for *name*: None for unknown functions and
+        for widened (top) summaries, which consumers must treat exactly
+        like opaque calls."""
+        found = self.summaries.get(name)
+        if found is None or found.widened:
+            return None
+        return found
+
+
+# ------------------------------------------------------- per-function scanning
+
+
+def _spill_slots(
+    func: Function, pt: PointsTo
+) -> dict[object, tuple[str, int, Reg]]:
+    """Slot key -> its unique (block, index, stored register), for slots
+    written exactly once and whose address never escapes.
+
+    The O0 lowering spills every parameter into a dedicated frame slot
+    and reloads it at each use, so register-chain aliasing alone never
+    connects a use back to the parameter.  A slot with a single
+    dominating store is a transparent copy: loads from it yield the
+    stored value.
+    """
+    escaped = {o.key for o in pt.escaped_objects() if o.kind == "slot"}
+    stores: dict[object, list[tuple[str, int, object]]] = {}
+    poisoned: set[object] = set()
+    for label, block in func.blocks.items():
+        for idx, instr in enumerate(block.instrs):
+            if isinstance(instr, Store):
+                ptr = pt.pointer(instr.addr)
+                if ptr is not None and ptr.obj.kind == "slot":
+                    if ptr.offset == 0:
+                        stores.setdefault(ptr.obj.key, []).append(
+                            (label, idx, instr.src)
+                        )
+                    else:
+                        poisoned.add(ptr.obj.key)
+            elif isinstance(instr, CallBuiltin):
+                # A builtin writing through the slot's address is an
+                # untracked second store.
+                if instr.name in WRITES_THROUGH_ARG0 and instr.args:
+                    ptr = pt.pointer(instr.args[0])
+                    if ptr is not None and ptr.obj.kind == "slot":
+                        poisoned.add(ptr.obj.key)
+    return {
+        key: (entries[0][0], entries[0][1], entries[0][2])
+        for key, entries in stores.items()
+        if len(entries) == 1
+        and key not in poisoned
+        and key not in escaped
+        and isinstance(entries[0][2], Reg)
+    }
+
+
+def _param_offsets(
+    func: Function, pt: PointsTo | None = None
+) -> dict[int, tuple[int, Optional[int]]]:
+    """Register id -> (parameter index, byte offset or None).
+
+    Like :func:`repro.ir.dataflow.reaching._param_aliases` but tracking
+    constant offsets through Move/Cast/pointer-arithmetic chains — and,
+    when a :class:`PointsTo` is supplied, through single-store spill
+    slots (store param to slot, reload at each use), which is how the
+    O0 lowerings materialize every parameter — so summaries can
+    distinguish ``p`` from ``p + 8``.
+    """
+    from repro.ir.dataflow.intervals import _single_def_consts
+
+    consts = _single_def_consts(func)
+    spills = _spill_slots(func, pt) if pt is not None else {}
+    doms = dominators(func) if spills else {}
+
+    def const_of(operand) -> Optional[int]:
+        if isinstance(operand, bool):
+            return None
+        if isinstance(operand, int):
+            return operand
+        if isinstance(operand, Reg):
+            return consts.get(operand.id)
+        return None
+
+    def store_reaches(store_at: tuple[str, int], load_at: tuple[str, int]) -> bool:
+        (sb, si), (lb, li) = store_at, load_at
+        if sb == lb:
+            return si < li
+        return dominates(doms, sb, lb)
+
+    alias: dict[int, tuple[int, Optional[int]]] = {
+        i: (i, 0) for i in range(len(func.params))
+    }
+    changed = True
+    while changed:
+        changed = False
+        for label, block in func.blocks.items():
+            for idx, instr in enumerate(block.instrs):
+                dst = instr.defines()
+                if dst is None or dst.id in alias:
+                    continue
+                fact: Optional[tuple[int, Optional[int]]] = None
+                if isinstance(instr, (Move, Cast)):
+                    if isinstance(instr.src, Reg) and instr.src.id in alias:
+                        fact = alias[instr.src.id]
+                elif isinstance(instr, Load) and pt is not None:
+                    ptr = pt.pointer(instr.addr)
+                    if (
+                        ptr is not None
+                        and ptr.obj.kind == "slot"
+                        and ptr.offset == 0
+                        and ptr.obj.key in spills
+                    ):
+                        s_label, s_idx, src = spills[ptr.obj.key]
+                        if src.id in alias and store_reaches(
+                            (s_label, s_idx), (label, idx)
+                        ):
+                            fact = alias[src.id]
+                elif isinstance(instr, BinOp) and instr.op in ("add", "sub"):
+                    base, other = None, None
+                    if isinstance(instr.lhs, Reg) and instr.lhs.id in alias:
+                        base, other = alias[instr.lhs.id], instr.rhs
+                    elif (
+                        instr.op == "add"
+                        and isinstance(instr.rhs, Reg)
+                        and instr.rhs.id in alias
+                    ):
+                        base, other = alias[instr.rhs.id], instr.lhs
+                    if base is not None:
+                        delta = const_of(other)
+                        if delta is not None and instr.op == "sub":
+                            delta = -delta
+                        offset = (
+                            base[1] + delta
+                            if base[1] is not None and delta is not None
+                            else None
+                        )
+                        fact = (base[0], offset)
+                if fact is not None:
+                    alias[dst.id] = fact
+                    changed = True
+    return alias
+
+
+def _must_blocks(func: Function) -> set[str]:
+    """Blocks that execute on every terminating path (dominate all exits)."""
+    doms = dominators(func)
+    exits = [
+        label
+        for label, block in func.blocks.items()
+        if label in doms and not block.successors()
+    ]
+    if not exits:
+        return {func.entry}
+    return {
+        label
+        for label in doms
+        if all(dominates(doms, label, exit_) for exit_ in exits)
+    }
+
+
+class _WriteSets(DataflowAnalysis):
+    """Forward must- and may-written parameter sets in one solve.
+
+    State is ``(must: frozenset, may: frozenset)``; join intersects the
+    must component and unions the may component.
+    """
+
+    direction = "forward"
+
+    def __init__(self, func: Function, writes_of) -> None:
+        self._func = func
+        self._writes_of = writes_of
+
+    def boundary(self, func: Function):
+        return (frozenset(), frozenset())
+
+    def top(self, func: Function):
+        n = frozenset(range(len(self._func.params)))
+        return (n, frozenset())
+
+    def join(self, states):
+        must = states[0][0]
+        may = states[0][1]
+        for state in states[1:]:
+            must = must & state[0]
+            may = may | state[1]
+        return (must, may)
+
+    def transfer_block(self, func: Function, label: str, state):
+        must, may = set(state[0]), set(state[1])
+        for instr in func.blocks[label].instrs:
+            w_must, w_may = self._writes_of(instr)
+            must |= w_must
+            may |= w_must | w_may
+        return (frozenset(must), frozenset(may))
+
+
+def _trim(chain: tuple[str, ...]) -> tuple[str, ...]:
+    return chain[:MAX_CHAIN_DEPTH]
+
+
+def _summarize_function(
+    func: Function,
+    module: Module,
+    summaries: dict[str, FunctionSummary],
+) -> FunctionSummary:
+    """One bottom-up summary pass over *func* given current *summaries*.
+
+    Callees absent from *summaries* (external, unreachable, or not yet
+    computed on the first SCC round) contribute opaque-call defaults:
+    may-write + may-free every pointer argument, unknown return.
+    """
+    from repro.ir.dataflow.intervals import IntervalAnalysis
+
+    pt = PointsTo(func, module)
+    alias = _param_offsets(func, pt)
+    must_blocks = _must_blocks(func)
+    n_params = len(func.params)
+
+    def param_of(operand) -> Optional[tuple[int, Optional[int]]]:
+        if isinstance(operand, Reg):
+            return alias.get(operand.id)
+        return None
+
+    consts = _const_env(func)
+
+    def const_of(operand) -> Optional[int]:
+        if isinstance(operand, int) and not isinstance(operand, bool):
+            return operand
+        if isinstance(operand, Reg):
+            return consts.get(operand.id)
+        return None
+
+    # ---- write effects (drives both the summary and read-before-write)
+    def writes_of(instr) -> tuple[set[int], set[int]]:
+        """(must-written, may-written) parameter indexes of one instruction."""
+        must: set[int] = set()
+        may: set[int] = set()
+        if isinstance(instr, Store):
+            fact = param_of(instr.addr)
+            if fact is not None:
+                must.add(fact[0])
+        elif isinstance(instr, CallBuiltin):
+            if instr.name in WRITES_THROUGH_ARG0 and instr.args:
+                fact = param_of(instr.args[0])
+                if fact is not None:
+                    must.add(fact[0])
+        elif isinstance(instr, Call):
+            callee = summaries.get(instr.callee)
+            if callee is not None and callee.widened:
+                callee = None
+            for j, arg in enumerate(instr.args):
+                fact = param_of(arg)
+                if fact is None:
+                    continue
+                if callee is None:
+                    may.add(fact[0])  # opaque: may initialize anything
+                else:
+                    kind = callee.writes.get(j)
+                    if kind == MUST and fact[1] == 0:
+                        must.add(fact[0])
+                    elif kind is not None:
+                        may.add(fact[0])
+        return must, may
+
+    write_result = solve(func, _WriteSets(func, writes_of))
+    exit_musts: list[frozenset] = []
+    for label, block in func.blocks.items():
+        if label in write_result.block_out and isinstance(block.terminator, Ret):
+            exit_musts.append(write_result.block_out[label][0])
+    all_exits_must = (
+        frozenset.intersection(*exit_musts) if exit_musts and write_result.converged
+        else frozenset()
+    )
+
+    summary = FunctionSummary(name=func.name, n_params=n_params)
+    for index in range(n_params):
+        ever_may = any(
+            index in write_result.block_out[label][1]
+            for label in write_result.block_out
+        )
+        if index in all_exits_must:
+            summary.writes[index] = MUST
+        elif ever_may:
+            summary.writes[index] = MAY
+
+    # ---- effect scan: reads-before-write, derefs, frees, access ranges
+    def here(line: int) -> tuple[str, ...]:
+        return (f"{func.name}:{line}",)
+
+    def add_read(index: int, conf: str, chain: tuple[str, ...]) -> None:
+        summary.reads[index] = _merge_effect(
+            summary.reads.get(index), ParamEffect(conf, _trim(chain))
+        )
+
+    def add_deref(index: int, conf: str, chain: tuple[str, ...]) -> None:
+        summary.derefs[index] = _merge_effect(
+            summary.derefs.get(index), ParamEffect(conf, _trim(chain))
+        )
+
+    def add_free(index: int, conf: str, chain: tuple[str, ...]) -> None:
+        summary.frees[index] = _merge_effect(
+            summary.frees.get(index), ParamEffect(conf, _trim(chain))
+        )
+
+    def add_access(index: int, lo: Optional[int], size: Optional[int]) -> None:
+        if lo is None:
+            summary.accesses.pop(index, None)
+            unbounded.add(index)
+            return
+        if index in unbounded:
+            return
+        hi = lo + (size if size is not None else 1)
+        old = summary.accesses.get(index)
+        summary.accesses[index] = (
+            (min(old[0], lo), max(old[1], hi)) if old is not None else (lo, hi)
+        )
+
+    unbounded: set[int] = set()
+    globals_read: set[str] = set()
+    globals_written: set[str] = set()
+
+    for label, block in func.blocks.items():
+        if label not in write_result.block_in:
+            continue
+        must_state, may_state = write_result.block_in[label]
+        must_state, may_state = set(must_state), set(may_state)
+        must_here = label in must_blocks
+        for instr in block.instrs:
+            if isinstance(instr, Load):
+                fact = param_of(instr.addr)
+                if fact is not None:
+                    index, offset = fact
+                    conf = (
+                        MUST
+                        if must_here and index not in may_state
+                        else MAY
+                    )
+                    if index not in must_state:
+                        add_read(index, conf, here(instr.line))
+                    add_deref(index, MUST if must_here else MAY, here(instr.line))
+                    add_access(index, offset, instr.type.size())
+                gptr = pt.pointer(instr.addr)
+                if gptr is not None and gptr.obj.kind == "global":
+                    globals_read.add(gptr.obj.key)
+            elif isinstance(instr, Store):
+                fact = param_of(instr.addr)
+                if fact is not None:
+                    index, offset = fact
+                    add_deref(index, MUST if must_here else MAY, here(instr.line))
+                    add_access(index, offset, instr.type.size())
+                gptr = pt.pointer(instr.addr)
+                if gptr is not None and gptr.obj.kind == "global":
+                    globals_written.add(gptr.obj.key)
+            elif isinstance(instr, CallBuiltin):
+                _builtin_effects(
+                    instr, param_of, const_of, pt, must_here, must_state,
+                    may_state, add_read, add_deref, add_free, add_access,
+                    here, globals_written,
+                )
+            elif isinstance(instr, Call):
+                callee = summaries.get(instr.callee)
+                if callee is not None and callee.widened:
+                    callee = None
+                for j, arg in enumerate(instr.args):
+                    fact = param_of(arg)
+                    if fact is None:
+                        continue
+                    index, offset = fact
+                    if callee is None:
+                        # Opaque callee: no evidence to report, but any
+                        # constant-offset knowledge ends here.
+                        add_access(index, None, None)
+                        continue
+                    link = (f"{func.name}:{instr.line}",)
+                    site_conf = MUST if must_here else MAY
+                    eff = callee.reads.get(j)
+                    if eff is not None and index not in must_state:
+                        conf = _conf_join(site_conf, eff.conf)
+                        if index in may_state:
+                            conf = MAY
+                        add_read(index, conf, link + eff.chain)
+                    eff = callee.derefs.get(j)
+                    if eff is not None:
+                        add_deref(index, _conf_join(site_conf, eff.conf), link + eff.chain)
+                    eff = callee.frees.get(j)
+                    if eff is not None and offset == 0:
+                        add_free(index, _conf_join(site_conf, eff.conf), link + eff.chain)
+                    acc = callee.accesses.get(j)
+                    if acc is not None and offset is not None:
+                        add_access(index, offset + acc[0], acc[1] - acc[0])
+                    elif j < callee.n_params and (
+                        j in callee.writes or j in callee.derefs
+                    ):
+                        # The callee touches the pointer but we cannot
+                        # bound where: drop the hull.
+                        add_access(index, None, None)
+            # Track write-state progression for read-before-write.
+            w_must, w_may = writes_of(instr)
+            must_state |= w_must
+            may_state |= w_must | w_may
+
+    # ---- transitive global effects
+    for callee_name in sorted(
+        set(
+            instr.callee
+            for block in func.blocks.values()
+            for instr in block.instrs
+            if isinstance(instr, Call)
+        )
+    ):
+        callee = summaries.get(callee_name)
+        if callee is not None:
+            globals_read |= set(callee.reads_globals)
+            globals_written |= set(callee.writes_globals)
+    for block in func.blocks.values():
+        for instr in block.instrs:
+            if isinstance(instr, CallBuiltin):
+                if instr.name in WRITES_THROUGH_ARG0 and instr.args:
+                    gptr = pt.pointer(instr.args[0])
+                    if gptr is not None and gptr.obj.kind == "global":
+                        globals_written.add(gptr.obj.key)
+    summary.reads_globals = frozenset(globals_read)
+    summary.writes_globals = frozenset(globals_written)
+
+    # ---- return interval (context-free: no caller-derived param seeds)
+    class _SummaryView:
+        """Minimal InterprocContext stand-in for the bottom-up phase."""
+
+        param_env: dict = {}
+
+        def __init__(self, table: dict) -> None:
+            self.summaries = table
+
+        def summary(self, name: str):
+            return self.summaries.get(name)
+
+    analysis = IntervalAnalysis(
+        func, module, interproc=_SummaryView(summaries), param_seed={}
+    )
+    result = solve(func, analysis)
+    hull: Interval = None
+    saw_ret = False
+    if result.converged:
+        for label in result.block_in:
+            state = dict(result.block_in[label])
+            for instr in func.blocks[label].instrs:
+                analysis.transfer_instr(instr, state)
+            terminator = func.blocks[label].terminator
+            if isinstance(terminator, Ret) and terminator.value is not None:
+                value = analysis._operand(terminator.value, state)
+                if not saw_ret:
+                    hull, saw_ret = value, True
+                elif hull is not None:
+                    hull = (
+                        None
+                        if value is None
+                        else (min(hull[0], value[0]), max(hull[1], value[1]))
+                    )
+    summary.returns = hull if saw_ret else None
+    return summary
+
+
+def _const_env(func: Function) -> dict[int, int]:
+    """Registers holding a known integer constant (through Const/Cast/Move).
+
+    O0 lowering materializes builtin length operands as registers
+    (``cast 16 : int -> long``); resolving them here is what turns a
+    callee's ``memset(p, c, 16)`` into a usable access range.
+    """
+    env: dict[int, int] = {}
+
+    def resolve(operand) -> Optional[int]:
+        if isinstance(operand, int) and not isinstance(operand, bool):
+            return operand
+        if isinstance(operand, Reg):
+            return env.get(operand.id)
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+        for block in func.blocks.values():
+            for instr in block.instrs:
+                if isinstance(instr, Const) and isinstance(instr.value, int):
+                    value: Optional[int] = instr.value
+                elif isinstance(instr, (Cast, Move)):
+                    value = resolve(instr.src)
+                else:
+                    continue
+                if value is not None and env.get(instr.dst.id) != value:
+                    env[instr.dst.id] = value
+                    changed = True
+    return env
+
+
+def _builtin_effects(
+    instr: CallBuiltin,
+    param_of,
+    const_of,
+    pt: PointsTo,
+    must_here: bool,
+    must_state: set,
+    may_state: set,
+    add_read,
+    add_deref,
+    add_free,
+    add_access,
+    here,
+    globals_written: set,
+) -> None:
+    """Fold one builtin call's pointer effects into the summary."""
+    site_conf = MUST if must_here else MAY
+    if instr.name == "free" and instr.args:
+        fact = param_of(instr.args[0])
+        if fact is not None and fact[1] == 0:
+            add_free(fact[0], site_conf, here(instr.line))
+        return
+    if instr.name in WRITES_THROUGH_ARG0 and instr.args:
+        fact = param_of(instr.args[0])
+        if fact is not None:
+            index, offset = fact
+            add_deref(index, site_conf, here(instr.line))
+            length = const_of(instr.args[-1]) if len(instr.args) > 1 else None
+            add_access(index, offset, length)
+        for pos in _READS_THROUGH.get(instr.name, ()):
+            if pos < len(instr.args):
+                fact = param_of(instr.args[pos])
+                if fact is not None:
+                    index, offset = fact
+                    conf = MUST if must_here and index not in may_state else MAY
+                    if index not in must_state:
+                        add_read(index, conf, here(instr.line))
+                    add_deref(index, site_conf, here(instr.line))
+        return
+    if instr.name in READ_ONLY_BUILTINS:
+        for arg in instr.args:
+            fact = param_of(arg)
+            if fact is not None:
+                index, offset = fact
+                conf = MUST if must_here and index not in may_state else MAY
+                if index not in must_state:
+                    add_read(index, conf, here(instr.line))
+                add_deref(index, site_conf, here(instr.line))
+
+
+# --------------------------------------------------------------- the fixpoint
+
+
+def summarize_module(
+    module: Module,
+    cache: "SummaryCache | None" = None,
+) -> InterprocContext:
+    """Bottom-up summaries + top-down parameter environments for *module*.
+
+    With a :class:`~repro.static_analysis.summary_cache.SummaryCache`,
+    each function's summary is looked up by transitive digest before
+    being computed, and stored after; an SCC is only recomputed when at
+    least one member misses.
+    """
+    graph = build_call_graph(module)
+    sccs, order = bottom_up_order(graph)
+    digests = function_digests(module, graph)
+    summaries: dict[str, FunctionSummary] = {}
+
+    for scc in sccs:
+        if cache is not None:
+            cached = {
+                name: cache.lookup(module.name, name, digests[name]) for name in scc
+            }
+            if all(s is not None for s in cached.values()):
+                summaries.update(cached)
+                continue
+        members = {name: module.functions[name] for name in scc}
+        has_cycle = len(scc) > 1 or scc[0] in graph.callees.get(scc[0], ())
+        rounds = MAX_SCC_ROUNDS if has_cycle else 1
+        previous: dict[str, FunctionSummary] | None = None
+        converged = not has_cycle
+        for round_index in range(rounds):
+            current: dict[str, FunctionSummary] = {}
+            for name in scc:
+                current[name] = _summarize_function(members[name], module, summaries)
+            if has_cycle and round_index >= 2 and previous is not None:
+                # Widen unstable interval parts so chains terminate.
+                for name in scc:
+                    old = previous.get(name)
+                    new = current[name]
+                    if old is not None and old.returns != new.returns:
+                        new.returns = None
+                    if old is not None and old.accesses != new.accesses:
+                        grown = {
+                            k
+                            for k, v in new.accesses.items()
+                            if old.accesses.get(k) != v
+                        }
+                        for k in grown:
+                            new.accesses.pop(k, None)
+            summaries.update(current)
+            if previous is not None and current == previous:
+                converged = True
+                break
+            previous = current
+        if has_cycle and not converged:
+            # Fixpoint budget exhausted: widen the whole SCC to top.
+            for name in scc:
+                summaries[name] = FunctionSummary.top(
+                    name, len(members[name].params)
+                )
+        if cache is not None:
+            for name in scc:
+                cache.store(module.name, name, digests[name], summaries[name])
+
+    ctx = InterprocContext(
+        module=module,
+        graph=graph,
+        summaries=summaries,
+        param_env={},
+        order=order,
+        sccs=sccs,
+        digests=digests,
+    )
+    ctx.param_env.update(_param_environments(module, ctx))
+    return ctx
+
+
+def _param_environments(
+    module: Module, ctx: InterprocContext
+) -> dict[str, dict[int, Interval]]:
+    """Flow-sensitive argument-interval hulls, propagated top-down.
+
+    Functions are visited callers-first (reverse bottom-up order); each
+    caller is solved with the environments computed so far, and its
+    argument intervals at every call site are hulled into the callee's
+    environment.  Calls *within* an SCC contribute nothing (recursive
+    seeding would need its own fixpoint; unknown is sound), and a callee
+    is only seeded when every reachable call site was analyzable.
+    """
+    from repro.ir.dataflow.intervals import IntervalAnalysis, _hull
+
+    scc_of: dict[str, int] = {}
+    for i, scc in enumerate(ctx.sccs):
+        for name in scc:
+            scc_of[name] = i
+
+    env: dict[str, dict[int, object]] = {}
+    for name in reversed(ctx.order):
+        func = module.functions[name]
+        analysis = IntervalAnalysis(func, module, interproc=ctx)
+        result = solve(func, analysis)
+        if not result.converged:
+            # Mark every callee parameter unknown: a partial hull could
+            # be unsound.
+            for callee in ctx.graph.callees.get(name, ()):
+                target = module.functions[callee]
+                env.setdefault(callee, {}).update(
+                    {i: "unknown" for i in range(len(target.params))}
+                )
+            continue
+        for label in result.block_in:
+            state = dict(result.block_in[label])
+            for instr in func.blocks[label].instrs:
+                if isinstance(instr, Call) and instr.callee in module.functions:
+                    slots = env.setdefault(instr.callee, {})
+                    n = len(module.functions[instr.callee].params)
+                    if scc_of.get(instr.callee) == scc_of.get(name):
+                        # Recursive call site: seeding would need its own
+                        # fixpoint, so the whole environment widens.
+                        slots.update({i: "unknown" for i in range(n)})
+                    else:
+                        for index in range(n):
+                            arg = instr.args[index] if index < len(instr.args) else None
+                            value = (
+                                analysis._operand(arg, state) if arg is not None else None
+                            )
+                            if value is None:
+                                slots[index] = "unknown"
+                            elif slots.get(index) != "unknown":
+                                current = slots.get(index)
+                                slots[index] = (
+                                    value if current is None else _hull(current, value)
+                                )
+                analysis.transfer_instr(instr, state)
+    return {
+        name: {
+            index: value
+            for index, value in slots.items()
+            if value is not None and value != "unknown"
+        }
+        for name, slots in env.items()
+        if any(value is not None and value != "unknown" for value in slots.values())
+    }

@@ -1,0 +1,268 @@
+"""Path-sensitive refinement of the divergence-implicated slice.
+
+The interprocedural oracle is flow-sensitive but path-*insensitive*:
+states join at CFG merge points, so a pointer that is null only on one
+arm of a branch reaches the merged successor as may-null, and an object
+initialized on one arm reaches it as MAYBE.  That is the right cost
+model for whole-module analysis, but once
+:func:`repro.core.bisect.bisect_divergence` has named a culprit pass
+application — and with it a target *function* — the interesting slice is
+small enough to afford path enumeration.
+
+:func:`refine_findings` re-analyzes exactly that slice (the culprit
+function plus its transitive callees): every acyclic entry→exit path is
+materialized as a ``dead_edges`` restriction of the CFG (back edges are
+never taken, so loop bodies are traversed once), interval-checked for
+feasibility, and re-scanned with the same dataflow checkers.  Per-path
+states have no joins, so each path delivers a definite verdict; the
+merge is
+
+* a finding observed on **no** feasible path is dropped (it lived only
+  on an infeasible joined state);
+* a finding confirmed on **every** feasible path is upgraded to
+  confirmed;
+* anything else stays possible.
+
+Functions whose path count exceeds :data:`MAX_REFINE_PATHS` (or whose
+every path is pruned as infeasible, which means the enumeration was
+truncated by the acyclic restriction) keep their unrefined findings —
+refinement only ever acts on a complete, feasible path enumeration.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dataflow import IntervalAnalysis, find_pointer_ub, find_uninit_uses, solve
+from repro.ir.dataflow.pruning import infeasible_edges
+from repro.ir.dataflow.reaching import UNINIT
+from repro.ir.module import Function, Module
+from repro.static_analysis.interproc import InterprocContext
+from repro.static_analysis.ub_oracle import (
+    CONFIRMED,
+    POSSIBLE,
+    UBFinding,
+    _dedupe_sites,
+    _finding,
+)
+
+#: Acyclic path budget per function; beyond this, refinement declines.
+MAX_REFINE_PATHS = 64
+
+#: Checkers the per-path re-scan can reproduce (the dataflow families).
+#: Everything else (eval_order, line_macro, misc) passes through.
+REFINABLE = frozenset(
+    {
+        "uninit_read",
+        "signed_overflow",
+        "shift_ub",
+        "div_zero",
+        "null_deref",
+        "oob_access",
+        "use_after_free",
+        "double_free",
+        "bad_free",
+        "pointer_cmp",
+    }
+)
+
+
+def slice_functions(ctx: InterprocContext, focus: str) -> set[str]:
+    """The divergence-implicated slice: *focus* plus transitive callees."""
+    if focus not in ctx.module.functions:
+        return set()
+    return ctx.graph.reachable((focus,))
+
+
+def enumerate_paths(
+    func: Function, cap: int = MAX_REFINE_PATHS
+) -> list[tuple[str, ...]] | None:
+    """All acyclic entry→exit block paths, or None past the *cap*."""
+    paths: list[tuple[str, ...]] = []
+    stack: list[tuple[str, tuple[str, ...]]] = [(func.entry, (func.entry,))]
+    while stack:
+        label, path = stack.pop()
+        succs = [s for s in func.blocks[label].successors() if s not in path]
+        if not func.blocks[label].successors():
+            paths.append(path)
+            if len(paths) > cap:
+                return None
+            continue
+        if not succs:
+            # Every successor is a back edge: the acyclic walk ends here
+            # without reaching an exit — an incomplete path, not a
+            # terminating one.  Dropping it keeps verdicts honest; the
+            # all-paths-dropped case declines refinement below.
+            continue
+        for succ in reversed(succs):
+            stack.append((succ, path + (succ,)))
+    return paths
+
+
+def _path_dead_edges(func: Function, path: tuple[str, ...]) -> set[tuple[str, str]]:
+    """Edges that pin the CFG to exactly *path*."""
+    taken = set(zip(path, path[1:]))
+    dead: set[tuple[str, str]] = set()
+    for label in path:
+        for succ in func.blocks[label].successors():
+            if (label, succ) not in taken:
+                dead.add((label, succ))
+    return dead
+
+
+def _path_findings(
+    func: Function,
+    module: Module,
+    ctx: InterprocContext,
+    dead: set[tuple[str, str]],
+) -> list | None:
+    """One path's re-scan: dataflow findings, or None if infeasible."""
+    analysis = IntervalAnalysis(func, module, interproc=ctx)
+    result = solve(func, analysis, dead_edges=dead)
+    if not result.converged:
+        return None
+    contradicted = infeasible_edges(func, analysis, result)
+    live = {
+        (a, b)
+        for a in result.block_in
+        for b in func.blocks[a].successors()
+        if (a, b) not in dead
+    }
+    if contradicted & live:
+        return None  # the intervals rule this path out
+    findings: list[UBFinding] = []
+    uses, _ = find_uninit_uses(
+        func, module, interproc=ctx, dead_edges=dead
+    )
+    for use in uses:
+        findings.append(
+            _finding(
+                "uninit_read",
+                CONFIRMED if use.state == UNINIT else POSSIBLE,
+                use.line,
+                func.name,
+                use.block,
+                "path-refined uninitialized read",
+                trace=use.via,
+            )
+        )
+    int_findings: list = []
+    for label in result.block_in:
+        state = dict(result.block_in[label])
+        for idx, instr in enumerate(func.blocks[label].instrs):
+            analysis.transfer_instr(
+                instr, state, findings=int_findings, where=(label, idx)
+            )
+    ptr_findings, _ = find_pointer_ub(
+        func,
+        module,
+        interval_analysis=analysis,
+        interval_result=result,
+        interproc=ctx,
+        dead_edges=dead,
+    )
+    for f in int_findings:
+        findings.append(
+            _finding(f.checker, f.confidence, f.line, func.name, f.block, f.message)
+        )
+    for f in ptr_findings:
+        findings.append(
+            _finding(
+                f.checker, f.confidence, f.line, func.name, f.block, f.message,
+                trace=f.via,
+            )
+        )
+    return findings
+
+
+def refine_function(
+    func: Function, module: Module, ctx: InterprocContext
+) -> dict[tuple[str, int], str] | None:
+    """Per-site path-sensitive verdicts for *func*.
+
+    Returns ``{(checker, line): "confirmed" | "possible"}`` covering
+    every refinable site observed on at least one feasible path — sites
+    absent from the map were observed on no feasible path.  Returns
+    None when refinement declines (path cap, truncated enumeration,
+    no feasible path).
+    """
+    paths = enumerate_paths(func)
+    if not paths:
+        return None
+    observations: dict[tuple[str, int], list[str]] = {}
+    feasible = 0
+    for path in paths:
+        findings = _path_findings(func, module, ctx, _path_dead_edges(func, path))
+        if findings is None:
+            continue
+        feasible += 1
+        per_path: dict[tuple[str, int], str] = {}
+        for finding in findings:
+            key = (finding.checker, finding.line)
+            if per_path.get(key) != CONFIRMED:
+                per_path[key] = finding.confidence
+        for key, confidence in per_path.items():
+            observations.setdefault(key, []).append(confidence)
+    if feasible == 0:
+        return None
+    return {
+        key: (
+            CONFIRMED
+            if len(confs) == feasible and all(c == CONFIRMED for c in confs)
+            else POSSIBLE
+        )
+        for key, confs in observations.items()
+    }
+
+
+def refine_findings(
+    module: Module,
+    ctx: InterprocContext,
+    findings: list[UBFinding],
+    focus: str,
+) -> tuple[list[UBFinding], dict[str, dict[str, int]]]:
+    """Refine the *focus* slice's refinable findings path-sensitively.
+
+    Returns the updated finding list plus a per-function report of what
+    changed: ``{function: {"dropped": n, "upgraded": n, "kept": n}}``.
+    Functions where refinement declines are reported with a ``skipped``
+    marker and keep their findings untouched.
+    """
+    targets = slice_functions(ctx, focus)
+    report: dict[str, dict[str, int]] = {}
+    verdicts: dict[str, dict[tuple[str, int], str] | None] = {}
+    for name in sorted(targets):
+        verdicts[name] = refine_function(module.functions[name], module, ctx)
+
+    refined: list[UBFinding] = []
+    for finding in findings:
+        if finding.function not in targets or finding.checker not in REFINABLE:
+            refined.append(finding)
+            continue
+        stats = report.setdefault(
+            finding.function, {"dropped": 0, "upgraded": 0, "kept": 0, "skipped": 0}
+        )
+        table = verdicts.get(finding.function)
+        if table is None:
+            stats["skipped"] += 1
+            refined.append(finding)
+            continue
+        verdict = table.get((finding.checker, finding.line))
+        if verdict is None:
+            stats["dropped"] += 1
+            continue
+        if verdict == CONFIRMED and finding.confidence != CONFIRMED:
+            stats["upgraded"] += 1
+            refined.append(
+                _finding(
+                    finding.checker,
+                    CONFIRMED,
+                    finding.line,
+                    finding.function,
+                    finding.block,
+                    finding.message + " (path-refined: holds on every feasible path)",
+                    trace=finding.trace,
+                )
+            )
+        else:
+            stats["kept"] += 1
+            refined.append(finding)
+    return _dedupe_sites(refined), report

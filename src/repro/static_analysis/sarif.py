@@ -1,0 +1,264 @@
+"""SARIF 2.1.0 export for the unified diagnostics.
+
+:func:`to_sarif` renders a list of
+:class:`~repro.static_analysis.diagnostics.Diagnostic` records as one
+SARIF log with a single run per producing tool.  The subset emitted is
+deliberately small and strictly schema-conformant: rules (one per
+checker, with the Table 5 category in rule properties), results with
+physical + logical locations, and a ``codeFlows`` thread flow for
+findings that carry an interprocedural trace.
+
+:func:`validate_sarif` is an in-repo structural validator for exactly
+that subset (the container has no ``jsonschema`` package, and the CI
+gate needs *some* machine check that exports stay well-formed).  It
+checks the invariants the official schema would: required properties,
+types, ``ruleIndex``/``ruleId`` consistency, legal ``level`` values,
+and 1-based region lines.  It is intentionally strict about what we
+produce rather than lenient about what SARIF allows.
+"""
+
+from __future__ import annotations
+
+from repro.static_analysis.diagnostics import Diagnostic, diagnostic_sort_key
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF result levels we emit (the schema also allows "none").
+_LEVELS = frozenset({"error", "warning", "note"})
+
+
+def _rule_id(diag: Diagnostic) -> str:
+    return f"{diag.tool}/{diag.checker}"
+
+
+def to_sarif(
+    diagnostics: list[Diagnostic],
+    artifact_uri: str,
+    tool_version: str = "1.0.0",
+) -> dict:
+    """One SARIF 2.1.0 log: a run per tool, results in canonical order."""
+    by_tool: dict[str, list[Diagnostic]] = {}
+    for diag in sorted(diagnostics, key=diagnostic_sort_key):
+        by_tool.setdefault(diag.tool, []).append(diag)
+
+    runs = []
+    for tool_name in sorted(by_tool):
+        entries = by_tool[tool_name]
+        rule_ids = sorted({_rule_id(d) for d in entries})
+        rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+        rules = []
+        for rid in rule_ids:
+            sample = next(d for d in entries if _rule_id(d) == rid)
+            rules.append(
+                {
+                    "id": rid,
+                    "shortDescription": {"text": f"{sample.checker} checker"},
+                    "properties": {"category": sample.category},
+                }
+            )
+        results = []
+        for diag in entries:
+            result = {
+                "ruleId": _rule_id(diag),
+                "ruleIndex": rule_index[_rule_id(diag)],
+                "level": diag.severity,
+                "message": {"text": diag.message},
+                "locations": [_location(diag, artifact_uri)],
+                "partialFingerprints": {"repro/v1": diag.fingerprint},
+                "properties": {"category": diag.category},
+            }
+            if diag.trace:
+                result["codeFlows"] = [_code_flow(diag, artifact_uri)]
+            results.append(result)
+        runs.append(
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": tool_version,
+                        "informationUri": "https://github.com/compdiff/repro",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": runs,
+    }
+
+
+def _location(diag: Diagnostic, artifact_uri: str) -> dict:
+    location = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": artifact_uri},
+            "region": {"startLine": max(1, diag.line)},
+        }
+    }
+    if diag.function:
+        location["logicalLocations"] = [
+            {"name": diag.function, "kind": "function"}
+        ]
+    return location
+
+
+def _code_flow(diag: Diagnostic, artifact_uri: str) -> dict:
+    """The interprocedural trace as one SARIF thread flow.
+
+    Frames are ``"function:line"`` strings produced by the summary
+    layer; a ``?`` line (widened summaries) maps to the finding's own
+    line so the flow stays schema-valid.
+    """
+    flow_locations = [
+        {"location": _location(diag, artifact_uri)}
+    ]
+    for frame in diag.trace:
+        name, _, line_text = frame.rpartition(":")
+        line = int(line_text) if line_text.isdigit() else diag.line
+        frame_diag = Diagnostic(
+            tool=diag.tool,
+            checker=diag.checker,
+            category=diag.category,
+            severity=diag.severity,
+            line=line,
+            function=name or frame,
+            message=diag.message,
+        )
+        flow_locations.append({"location": _location(frame_diag, artifact_uri)})
+    return {"threadFlows": [{"locations": flow_locations}]}
+
+
+# ----------------------------------------------------------------- validation
+
+
+def validate_sarif(document: dict) -> list[str]:
+    """Structural problems in a SARIF log (empty list = valid).
+
+    Validates the subset :func:`to_sarif` produces against the SARIF
+    2.1.0 schema's requirements for that subset.
+    """
+    problems: list[str] = []
+
+    def check(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not check(isinstance(document, dict), "log must be an object"):
+        return problems
+    check(document.get("version") == SARIF_VERSION,
+          f"version must be {SARIF_VERSION!r}")
+    check(isinstance(document.get("$schema"), str) and "sarif" in document["$schema"],
+          "$schema must point at the SARIF schema")
+    runs = document.get("runs")
+    if not check(isinstance(runs, list) and runs, "runs must be a non-empty array"):
+        return problems
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not check(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if check(isinstance(driver, dict), f"{where}.tool.driver is required"):
+            check(
+                isinstance(driver.get("name"), str) and driver["name"],
+                f"{where}.tool.driver.name must be a non-empty string",
+            )
+            rules = driver.get("rules", [])
+            rule_ids: list[str] = []
+            if check(isinstance(rules, list), f"{where}: rules must be an array"):
+                for i, rule in enumerate(rules):
+                    if check(
+                        isinstance(rule, dict) and isinstance(rule.get("id"), str),
+                        f"{where}.rules[{i}] needs a string id",
+                    ):
+                        rule_ids.append(rule["id"])
+            check(
+                len(rule_ids) == len(set(rule_ids)),
+                f"{where}: rule ids must be unique",
+            )
+        else:
+            rule_ids = []
+        results = run.get("results")
+        if not check(isinstance(results, list), f"{where}.results must be an array"):
+            continue
+        for i, result in enumerate(results):
+            rwhere = f"{where}.results[{i}]"
+            if not check(isinstance(result, dict), f"{rwhere} must be an object"):
+                continue
+            message = result.get("message")
+            check(
+                isinstance(message, dict) and isinstance(message.get("text"), str),
+                f"{rwhere}.message.text is required",
+            )
+            check(
+                result.get("level") in _LEVELS,
+                f"{rwhere}.level must be one of {sorted(_LEVELS)}",
+            )
+            rule_id = result.get("ruleId")
+            check(isinstance(rule_id, str), f"{rwhere}.ruleId must be a string")
+            index = result.get("ruleIndex")
+            if index is not None and check(
+                isinstance(index, int) and 0 <= index < len(rule_ids),
+                f"{rwhere}.ruleIndex out of range",
+            ):
+                check(
+                    rule_ids[index] == rule_id,
+                    f"{rwhere}.ruleIndex does not match ruleId",
+                )
+            for j, location in enumerate(result.get("locations", [])):
+                _validate_location(location, f"{rwhere}.locations[{j}]", check)
+            for j, flow in enumerate(result.get("codeFlows", [])):
+                fwhere = f"{rwhere}.codeFlows[{j}]"
+                threads = flow.get("threadFlows") if isinstance(flow, dict) else None
+                if not check(
+                    isinstance(threads, list) and threads,
+                    f"{fwhere}.threadFlows must be non-empty",
+                ):
+                    continue
+                for k, thread in enumerate(threads):
+                    locations = (
+                        thread.get("locations") if isinstance(thread, dict) else None
+                    )
+                    if not check(
+                        isinstance(locations, list) and locations,
+                        f"{fwhere}.threadFlows[{k}].locations must be non-empty",
+                    ):
+                        continue
+                    for m, entry in enumerate(locations):
+                        if check(
+                            isinstance(entry, dict) and "location" in entry,
+                            f"{fwhere}.threadFlows[{k}].locations[{m}] "
+                            "needs a location",
+                        ):
+                            _validate_location(
+                                entry["location"],
+                                f"{fwhere}.threadFlows[{k}].locations[{m}].location",
+                                check,
+                            )
+    return problems
+
+
+def _validate_location(location, where: str, check) -> None:
+    if not check(isinstance(location, dict), f"{where} must be an object"):
+        return
+    physical = location.get("physicalLocation")
+    if not check(isinstance(physical, dict), f"{where}.physicalLocation is required"):
+        return
+    artifact = physical.get("artifactLocation")
+    check(
+        isinstance(artifact, dict) and isinstance(artifact.get("uri"), str),
+        f"{where}: artifactLocation.uri is required",
+    )
+    region = physical.get("region")
+    if check(isinstance(region, dict), f"{where}.region is required"):
+        check(
+            isinstance(region.get("startLine"), int) and region["startLine"] >= 1,
+            f"{where}.region.startLine must be a positive integer",
+        )

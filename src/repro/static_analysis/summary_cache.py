@@ -1,0 +1,158 @@
+"""Incremental on-disk cache for interprocedural function summaries.
+
+Summaries are content-addressed by the *transitive* IR digest of
+:func:`repro.static_analysis.interproc.function_digests`: the digest
+covers the function's own lowered text, its SCC, and every resolved
+callee's digest, so a cached entry is valid exactly as long as nothing
+in the function's semantic input set changed.  The cache key is
+``(module name, function name)`` — one slot per function — and a lookup
+whose stored digest differs from the requested one is an
+**invalidation**: the pass pipeline (or the source) rewrote something in
+the function's callee closure, and the stale summary is discarded.
+
+The disk format is a single JSON document (version-stamped with
+:data:`~repro.static_analysis.interproc.SUMMARY_VERSION`; mismatched or
+corrupt files are ignored wholesale), intended to live next to the
+campaign's other artifacts.  Loading and saving are explicit — the
+analysis loop touches only the in-memory table — so a crashed run never
+leaves a half-written cache behind: :meth:`SummaryCache.save` writes to
+a temp file and renames.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.static_analysis.interproc import SUMMARY_VERSION, FunctionSummary
+
+#: On-disk file name used by the CLI when given a cache *directory*.
+CACHE_FILENAME = "summaries.json"
+
+
+@dataclass
+class SummaryCacheStats:
+    """Hit/miss/invalidation accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Lookups that found the function under a *different* digest — the
+    #: entry was stale and has been discarded.
+    invalidations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SummaryCache:
+    """Digest-addressed store of :class:`FunctionSummary` records."""
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path: Optional[Path] = None
+        if path is not None:
+            self.path = Path(path)
+            if self.path.is_dir():
+                self.path = self.path / CACHE_FILENAME
+        self.stats = SummaryCacheStats()
+        #: (module, function) -> (digest, summary)
+        self._entries: dict[tuple[str, str], tuple[str, FunctionSummary]] = {}
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ----------------------------------------------------------------- access
+
+    def lookup(
+        self, module_name: str, func_name: str, digest: str
+    ) -> Optional[FunctionSummary]:
+        """The cached summary for this exact digest, or None.
+
+        A same-name entry with a different digest counts as both a miss
+        and an invalidation, and is evicted — its digest can never
+        become valid again (digests are content hashes).
+        """
+        key = (module_name, func_name)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        stored_digest, summary = entry
+        if stored_digest != digest:
+            self.stats.misses += 1
+            self.stats.invalidations += 1
+            del self._entries[key]
+            return None
+        self.stats.hits += 1
+        return summary
+
+    def store(
+        self, module_name: str, func_name: str, digest: str, summary: FunctionSummary
+    ) -> None:
+        self._entries[(module_name, func_name)] = (digest, summary)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------ persistence
+
+    def load(self) -> bool:
+        """Replace the in-memory table from :attr:`path`.
+
+        Returns False (leaving the table empty) when the file is absent,
+        unparsable, or written by a different :data:`SUMMARY_VERSION`.
+        """
+        self._entries.clear()
+        if self.path is None or not self.path.exists():
+            return False
+        try:
+            document = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        if not isinstance(document, dict) or document.get("version") != SUMMARY_VERSION:
+            return False
+        try:
+            for module_name, func_name, digest, data in document["entries"]:
+                self._entries[(module_name, func_name)] = (
+                    digest,
+                    FunctionSummary.from_json(data),
+                )
+        except (KeyError, TypeError, ValueError, IndexError):
+            self._entries.clear()
+            return False
+        return True
+
+    def save(self) -> None:
+        """Atomically persist the table to :attr:`path` (no-op if unset)."""
+        if self.path is None:
+            return
+        document = {
+            "version": SUMMARY_VERSION,
+            "entries": [
+                [module_name, func_name, digest, summary.to_json()]
+                for (module_name, func_name), (digest, summary) in sorted(
+                    self._entries.items()
+                )
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, self.path)

@@ -55,8 +55,10 @@ from repro.ir.instructions import (
 from repro.ir.module import Function, Module
 from repro.minic import ast
 from repro.minic import load
+from repro.ir.dataflow.pruning import prune_function
 from repro.minic.types import FloatType, IntType
 from repro.static_analysis.base import dedupe_findings
+from repro.static_analysis.interproc import InterprocContext, summarize_module
 
 #: Table 5 category per checker (LINE is the repo's extra seeded class).
 CHECKER_CATEGORY = {
@@ -96,6 +98,9 @@ class UBFinding:
     function: str
     block: str
     message: str
+    #: Interprocedural route ("func:line" frames, outermost call first)
+    #: when the flagged behavior happens inside a summarized callee.
+    trace: tuple[str, ...] = ()
 
 
 @dataclass
@@ -118,9 +123,23 @@ def flagged_blocks(findings: list[UBFinding]) -> set[tuple[str, str]]:
 
 
 class UBOracle:
-    """Static tool facade matching the analyzer-analog interface."""
+    """Static tool facade matching the analyzer-analog interface.
+
+    ``mode`` selects the analysis depth: ``"intra"`` (the seed behavior,
+    call boundaries are opaque) or ``"interproc"`` (bottom-up function
+    summaries + top-down parameter environments + constant-branch edge
+    pruning — see :mod:`repro.static_analysis.interproc`).  A
+    :class:`~repro.static_analysis.summary_cache.SummaryCache` makes
+    interprocedural re-analysis incremental across runs.
+    """
 
     name = "ub-oracle"
+
+    def __init__(self, mode: str = "intra", summary_cache=None) -> None:
+        if mode not in ("intra", "interproc"):
+            raise ValueError(f"unknown UBOracle mode: {mode!r}")
+        self.mode = mode
+        self.summary_cache = summary_cache
 
     def analyze(self, program: ast.Program) -> list[UBFinding]:
         return self.report(program).findings
@@ -135,23 +154,56 @@ class UBOracle:
         """Full oracle run: lower twice, run all checkers, dedupe."""
         gcc_module = compile_module(program, implementation("gcc-O0"), name=name)
         clang_module = compile_module(program, implementation("clang-O0"), name=name)
-        return analyze_modules(gcc_module, clang_module)
+        interproc = None
+        if self.mode == "interproc":
+            interproc = summarize_module(gcc_module, cache=self.summary_cache)
+        return analyze_modules(gcc_module, clang_module, interproc=interproc)
 
 
-def analyze_modules(module: Module, other_module: Module | None = None) -> UBReport:
+def analyze_modules(
+    module: Module,
+    other_module: Module | None = None,
+    interproc: InterprocContext | None = None,
+) -> UBReport:
     """Run every checker over *module* (plus the differential ``line_macro``
-    checker when a second lowering is supplied)."""
+    checker when a second lowering is supplied).  An
+    :class:`InterprocContext` upgrades the dataflow checkers from
+    intraprocedural to context-insensitive interprocedural."""
     findings: list[UBFinding] = []
     nonconverged: list[tuple[str, str]] = []
     effects = _GlobalEffects(module)
     for func in module.functions.values():
         pt = PointsTo(func, module)
-        _dataflow_findings(func, module, pt, findings, nonconverged)
+        _dataflow_findings(func, module, pt, findings, nonconverged, interproc)
         _eval_order_findings(func, effects, findings)
         _misc_findings(func, module, pt, findings)
     if other_module is not None:
         _line_macro_findings(module, other_module, findings)
-    return UBReport(findings=dedupe_findings(findings), nonconverged=nonconverged)
+    return UBReport(
+        findings=_dedupe_sites(dedupe_findings(findings)), nonconverged=nonconverged
+    )
+
+
+def _dedupe_sites(findings: list[UBFinding]) -> list[UBFinding]:
+    """Collapse findings sharing (checker, function, line) to one report.
+
+    The dataflow scans visit every block's in-state, so one faulty
+    source expression can be flagged from several blocks (loop bodies,
+    join points) with near-identical messages.  Keep the strongest:
+    confirmed over possible, then the lexicographically smallest
+    message so the survivor is deterministic.
+    """
+    best: dict[tuple[str, str, int], UBFinding] = {}
+    for finding in findings:
+        key = (finding.checker, finding.function, finding.line)
+        rank = (0 if finding.confidence == CONFIRMED else 1, finding.message)
+        old = best.get(key)
+        if old is None or rank < (
+            0 if old.confidence == CONFIRMED else 1,
+            old.message,
+        ):
+            best[key] = finding
+    return dedupe_findings(list(best.values()))
 
 
 # ------------------------------------------------------------------ dataflow
@@ -163,10 +215,22 @@ def _dataflow_findings(
     pt: PointsTo,
     findings: list[UBFinding],
     nonconverged: list[tuple[str, str]],
+    interproc: InterprocContext | None = None,
 ) -> None:
-    uses, r_init = find_uninit_uses(func, module, points_to=pt)
-    interval_analysis = IntervalAnalysis(func, module, points_to=pt)
-    interval_result = solve(func, interval_analysis)
+    if interproc is not None:
+        # Interprocedural mode prunes statically-dead branch edges first;
+        # the pruned interval solve is shared by every scan below.
+        dead, interval_analysis, interval_result = prune_function(
+            func, module, points_to=pt, interproc=interproc
+        )
+        dead_edges = dead or None
+    else:
+        dead_edges = None
+        interval_analysis = IntervalAnalysis(func, module, points_to=pt)
+        interval_result = solve(func, interval_analysis)
+    uses, r_init = find_uninit_uses(
+        func, module, points_to=pt, interproc=interproc, dead_edges=dead_edges
+    )
     int_findings: list = []
     for label in interval_result.block_in:
         state = dict(interval_result.block_in[label])
@@ -180,12 +244,24 @@ def _dataflow_findings(
         points_to=pt,
         interval_analysis=interval_analysis,
         interval_result=interval_result,
+        interproc=interproc,
+        dead_edges=dead_edges,
     )
     for result, which in ((r_init, "init"), (interval_result, "intervals"), (r_ptr, "provenance")):
         if not result.converged:
             nonconverged.append((func.name, which))
     for use in uses:
         confirmed = use.state == UNINIT
+        if use.via:
+            message = (
+                f"{use.obj.describe()} passed uninitialized to a callee "
+                f"that reads it (via {' -> '.join(use.via)})"
+            )
+        else:
+            message = (
+                f"read of {use.obj.describe()} before initialization on "
+                f"{'every' if confirmed else 'some'} path"
+            )
         findings.append(
             _finding(
                 "uninit_read",
@@ -193,8 +269,8 @@ def _dataflow_findings(
                 use.line,
                 func.name,
                 use.block,
-                f"read of {use.obj.describe()} before initialization on "
-                f"{'every' if confirmed else 'some'} path",
+                message,
+                trace=use.via,
             )
         )
     for f in int_findings:
@@ -203,12 +279,26 @@ def _dataflow_findings(
         )
     for f in ptr_findings:
         findings.append(
-            _finding(f.checker, f.confidence, f.line, func.name, f.block, f.message)
+            _finding(
+                f.checker,
+                f.confidence,
+                f.line,
+                func.name,
+                f.block,
+                f.message,
+                trace=f.via,
+            )
         )
 
 
 def _finding(
-    checker: str, confidence: str, line: int, function: str, block: str, message: str
+    checker: str,
+    confidence: str,
+    line: int,
+    function: str,
+    block: str,
+    message: str,
+    trace: tuple[str, ...] = (),
 ) -> UBFinding:
     return UBFinding(
         tool=UBOracle.name,
@@ -219,6 +309,7 @@ def _finding(
         function=function,
         block=block,
         message=message,
+        trace=tuple(trace),
     )
 
 

@@ -1,0 +1,205 @@
+"""Unified diagnostics, baseline suppression, SARIF export, CLI schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.minic import load
+from repro.static_analysis import (
+    Baseline,
+    Diagnostic,
+    UBOracle,
+    all_tool_diagnostics,
+    diagnostic_sort_key,
+    to_diagnostics,
+    to_sarif,
+    validate_sarif,
+)
+from repro.static_analysis.base import StaticFinding
+from repro.static_analysis.diagnostics import ANALYZE_SCHEMA_VERSION
+from repro.static_analysis.sarif import SARIF_VERSION
+
+pytestmark = pytest.mark.analysis
+
+UNINIT = """
+int main(void) {
+    int x;
+    printf("%d\\n", x);
+    return 0;
+}
+"""
+
+
+def _diag(**overrides) -> Diagnostic:
+    fields = dict(
+        tool="ub-oracle",
+        checker="uninit_read",
+        category="UninitMem",
+        severity="error",
+        line=4,
+        function="main",
+        message="read of x before any write",
+        trace=(),
+    )
+    fields.update(overrides)
+    return Diagnostic(**fields)
+
+
+class TestUnification:
+    def test_ub_finding_conversion(self):
+        findings = UBOracle(mode="intra").analyze_source(UNINIT)
+        diagnostics = to_diagnostics(findings)
+        assert diagnostics
+        d = diagnostics[0]
+        assert d.tool == "ub-oracle"
+        assert d.severity in ("error", "warning")
+        assert d.category  # every checker maps to a Table 5 category
+        assert len(d.fingerprint) == 16
+
+    def test_static_finding_conversion(self):
+        finding = StaticFinding(
+            tool="bounds-tool", checker="stack_bounds", line=3, message="m"
+        )
+        (d,) = to_diagnostics([finding])
+        assert d.category == "MemError"
+        assert d.severity == "warning"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_diagnostics([object()])
+
+    def test_sort_is_deterministic(self):
+        diags = [
+            _diag(checker="shift_ub", line=9),
+            _diag(checker="uninit_read", line=2),
+            _diag(checker="shift_ub", line=3),
+        ]
+        ordered = sorted(diags, key=diagnostic_sort_key)
+        assert [(d.checker, d.line) for d in ordered] == [
+            ("shift_ub", 3),
+            ("shift_ub", 9),
+            ("uninit_read", 2),
+        ]
+
+    def test_all_tools_over_program(self):
+        diagnostics = all_tool_diagnostics(load(UNINIT))
+        assert any(d.tool == "ub-oracle" for d in diagnostics)
+        assert diagnostics == sorted(diagnostics, key=diagnostic_sort_key)
+
+
+class TestFingerprint:
+    def test_line_shift_preserves_fingerprint(self):
+        # The suppression key survives edits above the finding.
+        assert _diag(line=4).fingerprint == _diag(line=40).fingerprint
+
+    def test_distinct_messages_distinct_fingerprints(self):
+        assert _diag().fingerprint != _diag(message="other").fingerprint
+
+
+class TestBaseline:
+    def test_round_trip_and_filtering(self, tmp_path):
+        known, fresh = _diag(), _diag(checker="null_deref", message="null arg")
+        baseline = Baseline.from_diagnostics([known])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+
+        loaded = Baseline.load(path)
+        assert known in loaded and fresh not in loaded
+        assert loaded.filter([known, fresh]) == [fresh]
+        assert loaded.suppressed([known, fresh]) == [known]
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 999, "suppressions": {}}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+    def test_entries_carry_review_context(self):
+        baseline = Baseline.from_diagnostics([_diag()])
+        (entry,) = baseline.suppressions.values()
+        assert entry["checker"] == "uninit_read"
+        assert entry["message"]
+
+
+class TestSarif:
+    def test_export_validates(self):
+        diags = [_diag(), _diag(checker="null_deref", trace=("chain:3", "deref:2"))]
+        document = to_sarif(diags, artifact_uri="case.c")
+        assert document["version"] == SARIF_VERSION
+        assert validate_sarif(document) == []
+
+    def test_one_run_per_tool_with_rules(self):
+        diags = [_diag(), _diag(tool="bounds-tool", checker="stack_bounds")]
+        document = to_sarif(diags, artifact_uri="case.c")
+        names = sorted(run["tool"]["driver"]["name"] for run in document["runs"])
+        assert names == ["bounds-tool", "ub-oracle"]
+        for run in document["runs"]:
+            for result in run["results"]:
+                rules = run["tool"]["driver"]["rules"]
+                assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_trace_becomes_code_flow(self):
+        (diag,) = [_diag(trace=("chain:3", "readit:2"))]
+        document = to_sarif([diag], artifact_uri="case.c")
+        (result,) = document["runs"][0]["results"]
+        locations = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        # Finding site plus one frame per trace entry.
+        assert len(locations) == 3
+
+    def test_validator_rejects_broken_documents(self):
+        good = to_sarif([_diag()], artifact_uri="case.c")
+
+        bad_version = json.loads(json.dumps(good))
+        bad_version["version"] = "1.0.0"
+        assert validate_sarif(bad_version)
+
+        bad_level = json.loads(json.dumps(good))
+        bad_level["runs"][0]["results"][0]["level"] = "fatal"
+        assert validate_sarif(bad_level)
+
+        bad_index = json.loads(json.dumps(good))
+        bad_index["runs"][0]["results"][0]["ruleIndex"] = 7
+        assert validate_sarif(bad_index)
+
+        bad_region = json.loads(json.dumps(good))
+        location = bad_region["runs"][0]["results"][0]["locations"][0]
+        location["physicalLocation"]["region"]["startLine"] = 0
+        assert validate_sarif(bad_region)
+
+
+class TestAnalyzeJsonSchema:
+    def test_cli_payload_is_versioned_and_sorted(self, tmp_path, capsys):
+        from repro.cli import main
+
+        case = tmp_path / "case.c"
+        case.write_text(UNINIT)
+        code = main(["analyze", str(case), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == ANALYZE_SCHEMA_VERSION
+        assert payload["mode"] == "intra"
+        checkers = [f["checker"] for f in payload["findings"]]
+        assert checkers == sorted(checkers)
+        for finding in payload["findings"]:
+            assert set(finding) >= {
+                "checker",
+                "category",
+                "severity",
+                "line",
+                "function",
+                "message",
+                "trace",
+                "fingerprint",
+            }
+        assert code in (0, 1)
+
+    def test_cli_sarif_round_trip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        case = tmp_path / "case.c"
+        case.write_text(UNINIT)
+        out = tmp_path / "case.sarif"
+        main(["analyze", str(case), "--interproc", "--sarif", str(out)])
+        document = json.loads(out.read_text())
+        assert validate_sarif(document) == []

@@ -1,0 +1,245 @@
+"""Interprocedural summary construction and the upgraded checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.binary import compile_module
+from repro.compiler.implementations import implementation
+from repro.minic import load
+from repro.static_analysis import UBOracle
+from repro.static_analysis.interproc import (
+    bottom_up_order,
+    build_call_graph,
+    summarize_module,
+    tarjan_sccs,
+)
+
+pytestmark = pytest.mark.interproc
+
+
+def _module(source: str, name: str = "t"):
+    return compile_module(load(source), implementation("gcc-O0"), name=name)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return UBOracle(mode="interproc")
+
+
+@pytest.fixture(scope="module")
+def intra():
+    return UBOracle(mode="intra")
+
+
+def _by_checker(findings, checker):
+    return [f for f in findings if f.checker == checker]
+
+
+# ----------------------------------------------------------- graph machinery
+
+
+class TestCallGraph:
+    def test_sccs_reverse_topological(self):
+        module = _module(
+            """
+            static int c(void) { return 1; }
+            static int b(void) { return c(); }
+            static int a(void) { return b() + c(); }
+            int main(void) { return a(); }
+            """
+        )
+        graph = build_call_graph(module)
+        sccs = tarjan_sccs(graph, list(module.functions))
+        position = {name: i for i, scc in enumerate(sccs) for name in scc}
+        # Callees come strictly before callers.
+        assert position["c"] < position["b"] < position["a"] < position["main"]
+
+    def test_mutual_recursion_one_scc(self):
+        module = _module(
+            """
+            static int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+            static int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+            int main(void) { return even(4); }
+            """
+        )
+        sccs = tarjan_sccs(build_call_graph(module), list(module.functions))
+        (cycle,) = [scc for scc in sccs if len(scc) > 1]
+        assert set(cycle) == {"even", "odd"}
+
+    def test_dead_functions_excluded_from_bottom_up_order(self):
+        module = _module(
+            """
+            static int unused(void) { return 9; }
+            static int used(void) { return 1; }
+            int main(void) { return used(); }
+            """
+        )
+        _, order = bottom_up_order(build_call_graph(module))
+        assert "used" in order and "main" in order
+        assert "unused" not in order
+
+    def test_external_callee_widens_not_crashes(self):
+        # A call to a function with no body in the module must degrade
+        # to an opaque (absent) summary, not raise.
+        module = _module(
+            """
+            int main(void) {
+                int x = 3;
+                printf("%d\\n", x);
+                return 0;
+            }
+            """
+        )
+        ctx = summarize_module(module)
+        assert ctx.summary("printf") is None
+        assert ctx.summary("not_a_function") is None
+
+
+class TestRecursionFixpoint:
+    def test_direct_recursion_converges(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            static int fact(int n) {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            int main(void) {
+                printf("%d\\n", fact(5));
+                return 0;
+            }
+            """
+        )
+        assert not _by_checker(findings, "uninit_read")
+
+    def test_mutual_recursion_converges(self, oracle):
+        findings = oracle.analyze_source(
+            """
+            static int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+            static int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+            int main(void) {
+                printf("%d\\n", even(6));
+                return 0;
+            }
+            """
+        )
+        assert not findings
+
+    def test_recursive_summary_still_usable(self):
+        module = _module(
+            """
+            static int down(int n) {
+                if (n <= 0) { return 0; }
+                return down(n - 1);
+            }
+            int main(void) { return down(3); }
+            """
+        )
+        ctx = summarize_module(module)
+        summary = ctx.summary("down")
+        # The SCC fixpoint either converges to a concrete summary or
+        # widens; a widened summary must read as opaque (None).
+        assert summary is None or summary.name == "down"
+
+
+# ------------------------------------------------------- upgraded checkers
+
+
+class TestInterprocCheckers:
+    CHAIN = """
+    static int readit(int *p) { return *p; }
+    static int chain(int *p) { return readit(p); }
+    int main(void) {
+        int value;
+        printf("v=%d\\n", chain(&value));
+        return 0;
+    }
+    """
+
+    def test_uninit_escape_through_chain(self, oracle, intra):
+        findings = _by_checker(oracle.analyze_source(self.CHAIN), "uninit_read")
+        (f,) = findings
+        assert f.confidence == "confirmed"
+        assert f.function == "main"
+        assert any("readit" in frame for frame in f.trace)
+        # The intraprocedural mode is structurally blind to this.
+        assert not _by_checker(intra.analyze_source(self.CHAIN), "uninit_read")
+
+    FILL = """
+    static void put(int *p) { *p = 42; }
+    static void fill(int *p) { put(p); }
+    int main(void) {
+        int value;
+        fill(&value);
+        printf("v=%d\\n", value);
+        return 0;
+    }
+    """
+
+    def test_must_write_summary_silences_fp(self, oracle, intra):
+        # Intraprocedural analysis cannot see the write inside fill()
+        # and reports the read; the must-write summary proves it safe.
+        assert _by_checker(intra.analyze_source(self.FILL), "uninit_read")
+        assert not _by_checker(oracle.analyze_source(self.FILL), "uninit_read")
+
+    def test_shift_amount_through_param(self, oracle, intra):
+        # The amount is routed through a local: the call site passes a
+        # spill-slot load, which the intraprocedural constant-argument
+        # hull cannot resolve, but the top-down parameter environment can.
+        source = """
+        static int shl(int amount) { return 1 << amount; }
+        int main(void) {
+            int sh = 40;
+            printf("x=%d\\n", shl(sh));
+            return 0;
+        }
+        """
+        (f,) = _by_checker(oracle.analyze_source(source), "shift_ub")
+        assert f.confidence == "confirmed"
+        assert not _by_checker(intra.analyze_source(source), "shift_ub")
+
+    def test_access_range_vs_object_size(self, oracle, intra):
+        source = """
+        static void blast(char *p) { memset(p, 'A', 16); }
+        int main(void) {
+            char data[12];
+            blast(data);
+            printf("d=%c\\n", data[0]);
+            return 0;
+        }
+        """
+        findings = _by_checker(oracle.analyze_source(source), "oob_access")
+        assert findings and findings[0].function == "main"
+        assert not _by_checker(intra.analyze_source(source), "oob_access")
+        # A big-enough buffer must stay quiet.
+        ok = source.replace("char data[12];", "char data[16];")
+        assert not _by_checker(oracle.analyze_source(ok), "oob_access")
+
+    def test_null_argument_to_dereferencing_callee(self, oracle):
+        source = """
+        static int deref(int *p) { return *p; }
+        int main(void) {
+            int box = 7;
+            int *p = &box;
+            int usenull = 1;
+            if (usenull) { p = 0; }
+            printf("x=%d\\n", deref(p));
+            return 0;
+        }
+        """
+        (f,) = _by_checker(oracle.analyze_source(source), "null_deref")
+        assert f.confidence == "confirmed"
+        good = source.replace("int usenull = 1;", "int usenull = 0;")
+        assert not _by_checker(oracle.analyze_source(good), "null_deref")
+
+    def test_intra_mode_unchanged_without_calls(self, oracle, intra):
+        source = """
+        int main(void) {
+            int x;
+            printf("%d\\n", x);
+            return 0;
+        }
+        """
+        a = [(f.checker, f.confidence, f.line) for f in intra.analyze_source(source)]
+        b = [(f.checker, f.confidence, f.line) for f in oracle.analyze_source(source)]
+        assert a == b
