@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-passes test-verified bench bench-quick bench-scaling bench-passes precision analyze examples clean
+.PHONY: install test test-fast test-faults test-passes test-generative test-verified smoke-generate bench bench-quick bench-scaling bench-passes precision analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,9 +10,10 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Quick lane: skip the long-running end-to-end and interprocedural tests.
+# Quick lane: skip the long-running end-to-end, interprocedural, and
+# generative-pipeline tests.
 test-fast:
-	$(PYTHON) -m pytest tests/ -m "not slow and not interproc"
+	$(PYTHON) -m pytest tests/ -m "not slow and not interproc and not generative"
 
 # Robustness lane: fault injection + checkpoint/resume round trips.
 test-faults:
@@ -21,6 +22,18 @@ test-faults:
 # Pass-manager lane: pipeline shape, golden IR digests, bisection.
 test-passes:
 	$(PYTHON) -m pytest tests/ -m passes
+
+# Generative lane: program generator properties, reducer invariants, and
+# the generate->diff->reduce->bank campaign end-to-end.
+test-generative:
+	$(PYTHON) -m pytest tests/ -m generative
+
+# Smoke campaign: a seeded known-divergent configuration must bank at
+# least one reduced repro (exit 1 otherwise).  docs/GENERATIVE.md.
+smoke-generate:
+	rm -rf /tmp/repro-smoke-corpus
+	$(PYTHON) -m repro generate --corpus /tmp/repro-smoke-corpus \
+	    --seed 0 --budget 5 --profile ub --min-banked 1
 
 # Same suite with IR verification enabled after every compile (and,
 # with the pass manager, after every individual pass application).

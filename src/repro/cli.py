@@ -5,6 +5,7 @@ Commands:
 * ``check FILE``     — CompDiff a MiniC program (exit 1 on divergence);
 * ``run FILE``       — run one binary and print its output;
 * ``fuzz FILE``      — a CompDiff-AFL++ campaign;
+* ``generate``       — a generative campaign: synthesize, reduce, bank;
 * ``localize FILE``  — trace-alignment fault localization;
 * ``minimize FILE``  — shrink a diff-triggering input (afl-tmin style);
 * ``analyze FILE``   — IR-level UB findings plus divergence triage;
@@ -138,6 +139,59 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print()
         print(make_report(args.file, result.diffs[0]).render())
     return 1 if result.diffs_found else 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """`repro generate`: a generative fuzzing campaign.
+
+    Walks ``--budget`` generator seeds starting at ``--seed`` through
+    generate→diff→reduce→bank (docs/GENERATIVE.md), appending reduced
+    repros to the ``--corpus`` directory.  Deterministic: the same seed
+    range and options always produce the same banked set.  Exit 0 when
+    the run banked at least one new repro (or found no divergence but
+    completed), 1 when ``--min-banked`` was requested and not reached.
+    """
+    from repro.generative import CorpusBank, GenerativeCampaign, GenerativeOptions
+
+    checkpoint_dir = args.checkpoint_dir or args.resume
+    options = GenerativeOptions(
+        seed=args.seed,
+        budget=args.budget,
+        profile=args.profile,
+        inputs=[_read_input(args)] if _input_given(args) else [b""],
+        reduce=not args.no_reduce,
+        step_budget=args.step_budget,
+        min_banked=args.min_banked,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+    )
+    bank = CorpusBank(args.corpus)
+    try:
+        with GenerativeCampaign(options, bank) as campaign:
+            result = campaign.run()
+    except KeyboardInterrupt:
+        if checkpoint_dir:
+            print(
+                f"interrupted: checkpoint in {checkpoint_dir}; continue with "
+                f"`repro generate --corpus {args.corpus} --resume {checkpoint_dir}`",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted (no --checkpoint-dir; progress lost)", file=sys.stderr)
+        return 130
+    print(result.render())
+    for repro in bank:
+        if repro.key in result.keys:
+            drift = " [culprit drift]" if repro.culprit_drifted else ""
+            print(
+                f"  {repro.key} seed={repro.seed} group={repro.group} "
+                f"culprit={repro.culprit_original} "
+                f"nodes {repro.original_nodes}->{repro.reduced_nodes}{drift}"
+            )
+    if args.min_banked is not None and result.banked_new < args.min_banked:
+        return 1
+    return 0
 
 
 def cmd_localize(args: argparse.Namespace) -> int:
@@ -380,7 +434,7 @@ def cmd_precision(args: argparse.Namespace) -> int:
 
     cache = SummaryCache(args.summary_cache) if args.summary_cache else None
     cases = precision_corpus(
-        scale=args.scale, seed=args.seed, per_shape=args.per_shape
+        scale=args.scale, seed=args.seed, per_shape=args.per_shape, corpus=args.corpus
     )
     report = evaluate_precision(cases, summary_cache=cache)
     if cache is not None:
@@ -514,6 +568,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_flags(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
 
+    generate = sub.add_parser(
+        "generate", help="generative campaign: synthesize, reduce, bank repros"
+    )
+    generate.add_argument("--corpus", required=True, metavar="DIR",
+                          help="repro corpus directory (created/extended)")
+    generate.add_argument("--seed", type=int, default=0,
+                          help="first generator seed of the campaign range")
+    generate.add_argument("--budget", type=int, default=20,
+                          help="number of generator seeds to process")
+    generate.add_argument("--profile", default="ub",
+                          help="generator profile: plain, ub, or interproc")
+    generate.add_argument("--no-reduce", action="store_true",
+                          help="bank raw divergent programs without reduction")
+    generate.add_argument("--step-budget", type=int, default=200,
+                          help="max accepted reduction steps per program")
+    generate.add_argument("--min-banked", type=int, default=None,
+                          help="stop early after this many new repros "
+                               "(exit 1 if not reached)")
+    generate.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the CompDiff oracle")
+    generate.add_argument("--checkpoint-dir", default=None,
+                          help="journal campaign progress into this directory")
+    generate.add_argument("--checkpoint-every", type=int, default=5,
+                          help="processed seeds between periodic checkpoints")
+    generate.add_argument("--resume", default=None, metavar="DIR",
+                          help="resume a killed campaign from its checkpoint "
+                               "directory (pass the original flags)")
+    _add_input_flags(generate)
+    generate.set_defaults(func=cmd_generate)
+
     loc = sub.add_parser("localize", help="trace-alignment fault localization")
     loc.add_argument("file")
     loc.add_argument("--impl-a", default="gcc-O0", choices=implementation_names())
@@ -565,6 +649,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also write the JSON report to FILE")
     precision.add_argument("--summary-cache", default=None, metavar="DIR",
                            help="persist interprocedural summaries across runs")
+    precision.add_argument("--corpus", default=None, metavar="DIR",
+                           help="also score the banked generative repro corpus")
     precision.set_defaults(func=cmd_precision)
 
     bisect = sub.add_parser(

@@ -39,6 +39,11 @@ GROUP_EXPECTED_CATEGORY: dict[str, set[str]] = {
     "null_deref": {"MemError"},
     "uninit": {"UninitMem"},
     "ptr_sub": {"PointerCmp", "MemError"},
+    # Groups reachable only via banked generative repros (the Juliet
+    # templates never plant these shapes): unsequenced side effects in
+    # call arguments, and __LINE__-sensitive output.
+    "eval_order": {"EvalOrder"},
+    "line_macro": {"LINE"},
 }
 
 

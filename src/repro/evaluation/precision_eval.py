@@ -191,12 +191,29 @@ def regressions(baseline: PrecisionReport, current: PrecisionReport) -> list[str
 
 
 def precision_corpus(
-    scale: float = 0.002, seed: int = 20230325, per_shape: int = 3
+    scale: float = 0.002,
+    seed: int = 20230325,
+    per_shape: int = 3,
+    corpus=None,
 ) -> list:
-    """The scored corpus: seeded standard suite + interproc extension."""
-    return list(build_suite(scale=scale, seed=seed).cases) + interproc_cases(
+    """The scored corpus: seeded standard suite + interproc extension.
+
+    *corpus* (a :class:`~repro.generative.bank.CorpusBank` or a corpus
+    directory path) appends the banked generative repros: each reduced
+    divergent program scores as a bad variant whose divergence the
+    engine re-confirms, with its stabilized twin as the good variant.
+    Repros banked with group ``unclassified`` (no surviving diagnostic)
+    have no eligible checkers and contribute divergence counts only.
+    """
+    cases = list(build_suite(scale=scale, seed=seed).cases) + interproc_cases(
         per_shape=per_shape
     )
+    if corpus is not None:
+        from repro.generative.bank import CorpusBank
+
+        bank = corpus if isinstance(corpus, CorpusBank) else CorpusBank(corpus)
+        cases += bank.test_cases()
+    return cases
 
 
 def evaluate_precision(

@@ -29,13 +29,10 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
-import struct
-import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import CheckpointError
+from repro.persist import read_record, write_record
 
 #: Format magic; bump the trailing digit on incompatible layout changes.
 MAGIC = b"RPRCKPT1"
@@ -110,46 +107,13 @@ def checkpoint_path(directory: str) -> str:
 def save_checkpoint(directory: str, checkpoint: CampaignCheckpoint) -> str:
     """Atomically journal *checkpoint* into *directory*; returns the path.
 
-    tmp + fsync + rename: a crash at any point leaves either the old
-    record or the new one, never a torn file under the final name.
+    tmp + fsync + rename (via :func:`repro.persist.write_record`): a
+    crash at any point leaves either the old record or the new one,
+    never a torn file under the final name.
     """
-    os.makedirs(directory, exist_ok=True)
-    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
-    record = MAGIC + struct.pack(">I", zlib.crc32(payload)) + payload
-    final = checkpoint_path(directory)
-    tmp = final + ".tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(record)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, final)
-    return final
+    return write_record(checkpoint_path(directory), MAGIC, checkpoint)
 
 
 def load_checkpoint(directory: str) -> CampaignCheckpoint:
     """Load and verify the checkpoint journaled in *directory*."""
-    path = checkpoint_path(directory)
-    try:
-        with open(path, "rb") as handle:
-            record = handle.read()
-    except OSError as exc:
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
-    if len(record) < len(MAGIC) + 4 or not record.startswith(MAGIC):
-        raise CheckpointError(f"{path!r} is not a campaign checkpoint (bad magic)")
-    (expected_crc,) = struct.unpack(
-        ">I", record[len(MAGIC) : len(MAGIC) + 4]
-    )
-    payload = record[len(MAGIC) + 4 :]
-    if zlib.crc32(payload) != expected_crc:
-        raise CheckpointError(
-            f"{path!r} failed its integrity check (torn write or corruption)"
-        )
-    try:
-        checkpoint = pickle.loads(payload)
-    except Exception as exc:
-        raise CheckpointError(f"{path!r} cannot be unpickled: {exc}") from exc
-    if not isinstance(checkpoint, CampaignCheckpoint):
-        raise CheckpointError(
-            f"{path!r} holds a {type(checkpoint).__name__}, not a CampaignCheckpoint"
-        )
-    return checkpoint
+    return read_record(checkpoint_path(directory), MAGIC, CampaignCheckpoint)

@@ -1,0 +1,551 @@
+"""Seeded, grammar-driven MiniC program generator.
+
+CSmith-style closed-form generation (see ROADMAP and the evolutionary
+generative-fuzzing paper in PAPERS.md), adapted to this reproduction's
+needs: every emitted program is
+
+* **well-typed and checker-clean** — it passes :func:`repro.minic.load`
+  unconditionally, so downstream layers never see front-end rejects;
+* **terminating under fuel** — every loop is a counted ``for`` whose
+  induction variable the generated code never writes, every call edge
+  goes to an earlier function (a DAG), and the one recursive shape
+  decreases a guarded counter — so the reference implementation always
+  halts well inside the default execution budget;
+* **byte-deterministic per seed** — the same ``(seed, profile)`` pair
+  regenerates the identical source, which is what makes campaign
+  checkpoint/resume and corpus dedupe exact.
+
+The *profile* knob biases generation toward UB-adjacent shapes: signed
+arithmetic at the ``INT_MAX`` boundary, oversized shifts, uninit-prone
+branches, cross-object pointer comparisons, unsequenced call arguments,
+dead trapping divisions, and call-boundary flows that only the
+interprocedural checkers can connect.  Each shape corresponds to a knob
+on :class:`~repro.compiler.implementations.CompilerConfig` that the ten
+implementations resolve differently, so biased programs have a high
+prior of actually diverging under CompDiff.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Bump when generated output changes shape: corpus entries record the
+#: generator version so a bank can tell which grammar produced them.
+GENERATOR_VERSION = 1
+
+#: UB-adjacent shape identifiers (the generator's unstable-code menu).
+SHAPE_OVERFLOW_GUARD = "overflow_guard"
+SHAPE_UNINIT_BRANCH = "uninit_branch"
+SHAPE_ARG_ORDER = "arg_order"
+SHAPE_PTR_COMPARE = "ptr_compare"
+SHAPE_WIDEN_MUL = "widen_mul"
+SHAPE_OVERSIZED_SHIFT = "oversized_shift"
+SHAPE_DEAD_DIV = "dead_div"
+SHAPE_CALL_UNINIT = "call_uninit"
+SHAPE_CALL_OVERFLOW = "call_overflow"
+
+ALL_SHAPES = (
+    SHAPE_OVERFLOW_GUARD,
+    SHAPE_UNINIT_BRANCH,
+    SHAPE_ARG_ORDER,
+    SHAPE_PTR_COMPARE,
+    SHAPE_WIDEN_MUL,
+    SHAPE_OVERSIZED_SHIFT,
+    SHAPE_DEAD_DIV,
+    SHAPE_CALL_UNINIT,
+    SHAPE_CALL_OVERFLOW,
+)
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Structural and bias knobs for one family of generated programs."""
+
+    name: str
+    #: Helper function count range (main is extra).
+    functions: tuple[int, int] = (2, 4)
+    #: Statements per block range.
+    stmts: tuple[int, int] = (2, 5)
+    #: Maximum nesting depth of if/for blocks.
+    max_depth: int = 2
+    #: Counted-loop trip-count range (termination bound).
+    loop_bound: tuple[int, int] = (2, 8)
+    #: How many UB-adjacent shapes to splice in.
+    ub_sites: tuple[int, int] = (1, 3)
+    #: shape -> selection weight (unlisted shapes are never emitted).
+    shape_weights: tuple[tuple[str, int], ...] = tuple(
+        (shape, 1) for shape in ALL_SHAPES
+    )
+    #: Probability an expression atom taps the fuzz input channel.
+    input_prob: float = 0.2
+    #: Probability of emitting the bounded-recursion helper shape.
+    recursion_prob: float = 0.3
+
+    def pick_shape(self, rng: random.Random) -> str:
+        shapes = [shape for shape, _ in self.shape_weights]
+        weights = [weight for _, weight in self.shape_weights]
+        return rng.choices(shapes, weights=weights, k=1)[0]
+
+
+#: Named profiles selectable from the CLI (``repro generate --profile``).
+PROFILES: dict[str, GeneratorProfile] = {
+    # Structurally identical generation with zero UB sites: the control
+    # arm — these programs should essentially never diverge.
+    "plain": GeneratorProfile(name="plain", ub_sites=(0, 0), input_prob=0.1),
+    # The default: every shape on the menu, weighted toward the ones
+    # with the broadest implementation-partition diversity.
+    "ub": GeneratorProfile(
+        name="ub",
+        shape_weights=(
+            (SHAPE_OVERFLOW_GUARD, 3),
+            (SHAPE_UNINIT_BRANCH, 3),
+            (SHAPE_ARG_ORDER, 2),
+            (SHAPE_PTR_COMPARE, 2),
+            (SHAPE_WIDEN_MUL, 2),
+            (SHAPE_OVERSIZED_SHIFT, 2),
+            (SHAPE_DEAD_DIV, 1),
+            (SHAPE_CALL_UNINIT, 2),
+            (SHAPE_CALL_OVERFLOW, 2),
+        ),
+    ),
+    # Call-boundary bias: flows the interprocedural checkers own.
+    "interproc": GeneratorProfile(
+        name="interproc",
+        functions=(3, 5),
+        ub_sites=(2, 4),
+        shape_weights=(
+            (SHAPE_CALL_UNINIT, 4),
+            (SHAPE_CALL_OVERFLOW, 4),
+            (SHAPE_OVERFLOW_GUARD, 1),
+            (SHAPE_UNINIT_BRANCH, 1),
+        ),
+    ),
+}
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated program plus its generation metadata."""
+
+    seed: int
+    profile: str
+    source: str
+    #: UB-adjacent shapes actually spliced in (generation ground truth).
+    ub_shapes: tuple[str, ...] = ()
+    functions: int = 0
+    generator_version: int = GENERATOR_VERSION
+
+
+class _Scope:
+    """Names visible at the current generation point."""
+
+    def __init__(self, parent: "_Scope | None" = None) -> None:
+        self.parent = parent
+        #: int-typed names that may be read.
+        self.readable: list[str] = []
+        #: int-typed names that may be written (excludes loop counters).
+        self.mutable: list[str] = []
+
+    def all_readable(self) -> list[str]:
+        names: list[str] = []
+        scope: _Scope | None = self
+        while scope is not None:
+            names.extend(scope.readable)
+            scope = scope.parent
+        return names
+
+    def all_mutable(self) -> list[str]:
+        names: list[str] = []
+        scope: _Scope | None = self
+        while scope is not None:
+            names.extend(scope.mutable)
+            scope = scope.parent
+        return names
+
+
+@dataclass
+class _Function:
+    """A helper function under construction."""
+
+    name: str
+    params: list[str]
+    #: Rendered body statements (each entry = list of lines, one indent).
+    blocks: list[list[str]] = field(default_factory=list)
+    return_expr: str = "0"
+
+    def render(self) -> list[str]:
+        params = ", ".join(f"int {p}" for p in self.params) or "void"
+        lines = [f"int {self.name}({params}) {{"]
+        for block in self.blocks:
+            lines.extend(f"    {line}" for line in block)
+        lines.append(f"    return {self.return_expr};")
+        lines.append("}")
+        return lines
+
+
+class ProgramGenerator:
+    """Single-use generator for one ``(seed, profile)`` pair."""
+
+    def __init__(self, seed: int, profile: str | GeneratorProfile = "ub") -> None:
+        if isinstance(profile, str):
+            if profile not in PROFILES:
+                raise KeyError(
+                    f"unknown generator profile {profile!r}; have {sorted(PROFILES)}"
+                )
+            profile = PROFILES[profile]
+        self.seed = seed
+        self.profile = profile
+        self.rng = random.Random(f"minic-gen:{GENERATOR_VERSION}:{profile.name}:{seed}")
+        self._counter = 0
+        self._globals: list[str] = []
+        self._global_names: list[str] = []
+        #: Top-level support definitions emitted by shapes (rendered lines).
+        self._support: list[list[str]] = []
+        self._shapes_used: list[str] = []
+
+    # ------------------------------------------------------------ utilities
+
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def _const(self) -> int:
+        r = self.rng
+        if r.random() < 0.2:
+            return r.choice([0, 1, 2, 7, 8, 15, 16, 255, 256, 1000])
+        return r.randint(-99, 99)
+
+    # ---------------------------------------------------------- expressions
+
+    def _atom(self, scope: _Scope) -> str:
+        r = self.rng
+        names = scope.all_readable()
+        if names and r.random() < 0.6:
+            return r.choice(names)
+        if r.random() < self.profile.input_prob:
+            return f"(input_byte({r.randint(0, 7)}) & {r.choice([15, 31, 63])})"
+        return str(self._const())
+
+    def _expr(self, scope: _Scope, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 2 or r.random() < 0.35:
+            return self._atom(scope)
+        op = r.choice(["+", "-", "*", "&", "|", "^", "%", "<<", ">>"])
+        lhs = self._expr(scope, depth + 1)
+        if op == "%":
+            return f"({lhs} % {r.randint(2, 31)})"
+        if op in ("<<", ">>"):
+            return f"({lhs} {op} {r.randint(0, 7)})"
+        rhs = self._expr(scope, depth + 1)
+        return f"({lhs} {op} {rhs})"
+
+    def _cond(self, scope: _Scope) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return f"({self._expr(scope, 1)} {op} {self._expr(scope, 1)})"
+
+    # ----------------------------------------------------------- statements
+
+    def _block(
+        self, scope: _Scope, depth: int, callees: list[tuple[str, int]]
+    ) -> list[str]:
+        r = self.rng
+        lines: list[str] = []
+        for _ in range(r.randint(*self.profile.stmts)):
+            lines.extend(self._statement(scope, depth, callees))
+        return lines
+
+    def _statement(
+        self, scope: _Scope, depth: int, callees: list[tuple[str, int]]
+    ) -> list[str]:
+        r = self.rng
+        choices = ["decl", "assign", "print"]
+        if depth < self.profile.max_depth:
+            choices += ["if", "for"]
+        if callees:
+            choices.append("call")
+        kind = r.choice(choices)
+        if kind == "decl":
+            name = self._fresh("v")
+            lines = [f"int {name} = {self._expr(scope)};"]
+            scope.readable.append(name)
+            scope.mutable.append(name)
+            return lines
+        if kind == "assign":
+            targets = scope.all_mutable()
+            if not targets:
+                return [f"printf(\"x %d\\n\", {self._expr(scope)});"]
+            target = r.choice(targets)
+            op = r.choice(["=", "+=", "-=", "*=", "^="])
+            return [f"{target} {op} {self._expr(scope)};"]
+        if kind == "print":
+            return [f"printf(\"p %d\\n\", {self._expr(scope)});"]
+        if kind == "call":
+            callee, arity = r.choice(callees)
+            args = ", ".join(self._expr(scope, 1) for _ in range(arity))
+            name = self._fresh("c")
+            scope.readable.append(name)
+            scope.mutable.append(name)
+            return [f"int {name} = {callee}({args});"]
+        if kind == "if":
+            inner_then = _Scope(scope)
+            inner_else = _Scope(scope)
+            lines = [f"if ({self._cond(scope)}) {{"]
+            lines.extend(
+                f"    {line}" for line in self._block(inner_then, depth + 1, callees)
+            )
+            if r.random() < 0.5:
+                lines.append("} else {")
+                lines.extend(
+                    f"    {line}"
+                    for line in self._block(inner_else, depth + 1, callees)
+                )
+            lines.append("}")
+            return lines
+        # Counted for loop: the induction variable is readable but never
+        # joins the mutable pool, so generated code cannot perturb the
+        # trip count — the termination invariant.
+        counter = self._fresh("i")
+        bound = r.randint(*self.profile.loop_bound)
+        inner = _Scope(scope)
+        inner.readable.append(counter)
+        # No calls inside loop bodies: a call chain where every frame
+        # multiplies by its trip count would make total work exponential
+        # in the helper count, defeating the fuel bound.
+        lines = [f"for (int {counter} = 0; {counter} < {bound}; {counter} = {counter} + 1) {{"]
+        lines.extend(f"    {line}" for line in self._block(inner, depth + 1, []))
+        lines.append("}")
+        return lines
+
+    # -------------------------------------------------------------- shapes
+
+    def _emit_shape(self, shape: str) -> list[str]:
+        """Render one UB-adjacent shape as a self-contained statement block.
+
+        Shapes reference only fresh names (plus their own support
+        globals/functions), so they can be spliced at any statement
+        boundary of any function without breaking checker-cleanliness.
+        """
+        r = self.rng
+        self._shapes_used.append(shape)
+        tag = self._fresh("s")
+        if shape == SHAPE_OVERFLOW_GUARD:
+            # Listing 1: the nsw-folded overflow guard.  base + delta
+            # wraps at O0 but the guard folds to true under exploit_ub.
+            slack = r.randint(0, 5)
+            base = 2147483647 - slack
+            delta = r.randint(slack + 1, slack + 6)
+            return [
+                f"int {tag}g = {base};",
+                f"if (({tag}g + {delta}) > {tag}g) {{",
+                f"    printf(\"{tag} guard 1\\n\");",
+                "} else {",
+                f"    printf(\"{tag} guard 0\\n\");",
+                "}",
+            ]
+        if shape == SHAPE_UNINIT_BRANCH:
+            # The read of an uninitialized stack slot: fill byte and slot
+            # placement differ per implementation.
+            return [
+                f"int {tag}u;",
+                f"int {tag}m = {r.randint(1, 50)};",
+                f"if (({tag}u & 255) < {r.randint(64, 192)}) {{",
+                f"    printf(\"{tag} lo %d\\n\", ({tag}u + {tag}m));",
+                "} else {",
+                f"    printf(\"{tag} hi\\n\");",
+                "}",
+            ]
+        if shape == SHAPE_ARG_ORDER:
+            # Unsequenced side effects in call arguments: gcc evaluates
+            # right-to-left, clang left-to-right.
+            self._support.append([f"int {tag}state = {r.randint(1, 5)};"])
+            self._support.append(
+                [
+                    f"int {tag}inc(void) {{",
+                    f"    {tag}state = ({tag}state + {r.randint(1, 3)});",
+                    f"    return {tag}state;",
+                    "}",
+                ]
+            )
+            self._support.append(
+                [
+                    f"int {tag}dbl(void) {{",
+                    f"    {tag}state = ({tag}state * 2);",
+                    f"    return {tag}state;",
+                    "}",
+                ]
+            )
+            return [f"printf(\"{tag} %d %d\\n\", {tag}inc(), {tag}dbl());"]
+        if shape == SHAPE_PTR_COMPARE:
+            # Cross-object pointer comparison: data-segment ordering is a
+            # layout policy ("decl" vs "alpha" vs "size_desc").  The two
+            # globals are named so declaration and alphabetical order
+            # disagree.
+            self._support.append([f"int {tag}z = {r.randint(1, 9)};"])
+            self._support.append([f"int {tag}a = {r.randint(1, 9)};"])
+            return [
+                f"if (&{tag}z < &{tag}a) {{",
+                f"    printf(\"{tag} lt\\n\");",
+                "} else {",
+                f"    printf(\"{tag} ge\\n\");",
+                "}",
+            ]
+        if shape == SHAPE_WIDEN_MUL:
+            # int*int feeding a long context: 64-bit evaluation under
+            # widen_int_mul vs 32-bit wraparound elsewhere.
+            factor = r.randint(46342, 70000)
+            return [
+                f"int {tag}w = {factor};",
+                f"long {tag}r = (long)({tag}w * {tag}w);",
+                f"printf(\"{tag} %ld\\n\", {tag}r);",
+            ]
+        if shape == SHAPE_OVERSIZED_SHIFT:
+            return [
+                f"int {tag}n = {r.randint(32, 40)};",
+                f"printf(\"{tag} %d\\n\", ({r.randint(1, 7)} << {tag}n));",
+            ]
+        if shape == SHAPE_DEAD_DIV:
+            # An unused trapping division: deleted by DCE at O1+, traps
+            # at O0 — the exit statuses split the implementations.
+            return [
+                f"int {tag}z = 0;",
+                f"int {tag}d = ({r.randint(1, 99)} / {tag}z);",
+                f"printf(\"{tag} live\\n\");",
+            ]
+        if shape == SHAPE_CALL_UNINIT:
+            # Call-boundary uninit flow: the callee returns an
+            # uninitialized slot on the branch the caller's constant
+            # argument selects — invisible intraprocedurally.
+            self._support.append(
+                [
+                    f"int {tag}leak(int k) {{",
+                    "    if ((k & 1) == 1) {",
+                    "        return (k * 3);",
+                    "    }",
+                    f"    int {tag}q;",
+                    f"    return ({tag}q & 255);",
+                    "}",
+                ]
+            )
+            even = r.randint(1, 40) * 2
+            return [f"printf(\"{tag} %d\\n\", {tag}leak({even}));"]
+        if shape == SHAPE_CALL_OVERFLOW:
+            # Call-boundary overflow guard: the INT_MAX-adjacent value
+            # crosses a call, so only summary-based analysis connects the
+            # guard to its unreachable-by-folding else branch.
+            slack = r.randint(0, 5)
+            delta = r.randint(slack + 1, slack + 6)
+            self._support.append(
+                [
+                    f"int {tag}probe(int x) {{",
+                    f"    if ((x + {delta}) > x) {{",
+                    "        return 1;",
+                    "    }",
+                    "    return 0;",
+                    "}",
+                ]
+            )
+            return [
+                f"int {tag}v = {2147483647 - slack};",
+                f"printf(\"{tag} %d\\n\", {tag}probe({tag}v));",
+            ]
+        raise KeyError(f"unknown shape {shape!r}")  # pragma: no cover
+
+    def _emit_recursion(self) -> tuple[list[str], str, int]:
+        """The bounded-recursion helper: strictly decreasing, guarded."""
+        r = self.rng
+        name = self._fresh("rec")
+        self._support.append(
+            [
+                f"int {name}(int n) {{",
+                "    if (n <= 0) {",
+                f"        return {r.randint(1, 9)};",
+                "    }",
+                f"    return (n + {name}(n - {r.randint(1, 2)}));",
+                "}",
+            ]
+        )
+        return [f"printf(\"{name} %d\\n\", {name}({r.randint(3, 9)}));"], name, 1
+
+    # ------------------------------------------------------------ assembly
+
+    def generate(self) -> GeneratedProgram:
+        r = self.rng
+        # Globals shared by all helpers.
+        for _ in range(r.randint(1, 3)):
+            name = self._fresh("g")
+            self._globals.append(f"int {name} = {self._const()};")
+            self._global_names.append(name)
+
+        helper_count = r.randint(*self.profile.functions)
+        helpers: list[_Function] = []
+        callees: list[tuple[str, int]] = []
+        for index in range(helper_count):
+            func = _Function(name=f"fn{index}", params=[])
+            for _ in range(r.randint(1, 3)):
+                func.params.append(self._fresh("a"))
+            scope = _Scope()
+            scope.readable.extend(self._global_names)
+            scope.mutable.extend(self._global_names)
+            scope.readable.extend(func.params)
+            scope.mutable.extend(func.params)
+            # Call DAG: helpers only ever call earlier helpers.
+            func.blocks.append(self._block(scope, 0, list(callees)))
+            func.return_expr = self._expr(scope)
+            helpers.append(func)
+            callees.append((func.name, len(func.params)))
+
+        main = _Function(name="main", params=[])
+        main_scope = _Scope()
+        main_scope.readable.extend(self._global_names)
+        main_scope.mutable.extend(self._global_names)
+        for func in helpers:
+            result = self._fresh("r")
+            args = ", ".join(str(self._const()) for _ in func.params)
+            main.blocks.append(
+                [
+                    f"int {result} = {func.name}({args});",
+                    f"printf(\"{func.name} %d\\n\", {result});",
+                ]
+            )
+            main_scope.readable.append(result)
+            main_scope.mutable.append(result)
+        main.blocks.append(self._block(main_scope, 0, list(callees)))
+        main.return_expr = "0"
+
+        if r.random() < self.profile.recursion_prob:
+            call_lines, _, _ = self._emit_recursion()
+            main.blocks.insert(r.randint(0, len(main.blocks)), call_lines)
+
+        # Splice the UB-adjacent shapes at random statement boundaries.
+        site_count = r.randint(*self.profile.ub_sites)
+        targets: list[_Function] = helpers + [main]
+        for _ in range(site_count):
+            shape_lines = self._emit_shape(self.profile.pick_shape(r))
+            target = r.choice(targets)
+            target.blocks.insert(r.randint(0, len(target.blocks)), shape_lines)
+
+        lines: list[str] = []
+        for decl in self._globals:
+            lines.append(decl)
+        for support in self._support:
+            lines.append("")
+            lines.extend(support)
+        for func in helpers:
+            lines.append("")
+            lines.extend(func.render())
+        lines.append("")
+        lines.extend(main.render())
+        source = "\n".join(lines) + "\n"
+        return GeneratedProgram(
+            seed=self.seed,
+            profile=self.profile.name,
+            source=source,
+            ub_shapes=tuple(self._shapes_used),
+            functions=helper_count + 1,
+        )
+
+
+def generate_program(seed: int, profile: str | GeneratorProfile = "ub") -> GeneratedProgram:
+    """Generate one program for ``(seed, profile)`` (deterministic)."""
+    return ProgramGenerator(seed, profile).generate()

@@ -1,0 +1,636 @@
+"""AST-level delta-debugging reducer for divergent MiniC programs.
+
+Classic ddmin works on byte ranges; this reducer works on the parsed
+AST (diopter/C-Reduce style), so every candidate it proposes is still a
+*program* — and only candidates that re-parse and re-check cleanly are
+ever handed to the interestingness predicate.  The transformation menu,
+coarsest first:
+
+* **drop function** — remove an entire unreferenced function;
+* **inline constant** — replace a call expression with ``0``, which is
+  what eventually makes its callee unreferenced;
+* **drop statement** — remove one statement from any block;
+* **unroll to straight line** — replace a loop with a single unrolled
+  copy of its body;
+* **flatten branch** — replace an ``if`` with one of its arms;
+* **simplify expression** — replace a compound expression with one of
+  its operands or a literal ``0``;
+* **drop global** — remove an unreferenced global or struct.
+
+The engine runs a greedy fixpoint loop: sweep the menu in order, accept
+any candidate the predicate still finds interesting, and restart until a
+full sweep accepts nothing (the 1-minimal fixpoint) or the per-reduction
+step budget runs out.  Acceptance is *monotone by construction* — a
+candidate is only ever adopted after the predicate confirmed it — and
+the trace of accepted snapshots is kept on the result so tests can
+re-verify every step (``tests/test_generative_reducer.py``).
+
+Predicates are pluggable callables over source text.  Three ship here,
+matching the ISSUE's menu: :class:`StillDiverges` (CompDiff verdict),
+:class:`SameCulprit` (``repro bisect`` attribution), and
+:class:`SameFingerprint` (UB-oracle diagnostic fingerprints); compose
+them with :class:`AllOf`.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import ReproError
+from repro.minic import ast, load, count_nodes, to_source
+
+#: Default cap on accepted reduction steps per program.
+DEFAULT_STEP_BUDGET = 200
+#: Default cap on predicate evaluations per program (the expensive part).
+DEFAULT_TEST_BUDGET = 2500
+
+
+# --------------------------------------------------------------------------
+# Interestingness predicates
+# --------------------------------------------------------------------------
+
+
+class Predicate(Protocol):
+    """An interestingness test over candidate source text."""
+
+    def __call__(self, source: str) -> bool: ...  # pragma: no cover
+
+
+class StillDiverges:
+    """Interesting iff CompDiff still flags the program on *inputs*.
+
+    ``same_signature=True`` additionally pins the divergence signature
+    (the implementation partition), so reduction cannot slide from one
+    discrepancy class onto a different, cheaper one.
+    """
+
+    def __init__(
+        self,
+        engine,
+        inputs: list[bytes],
+        name: str = "reduce",
+        same_signature: bool = False,
+        signature=None,
+    ) -> None:
+        from repro.core.triage import signature_of
+
+        self.engine = engine
+        self.inputs = list(inputs)
+        self.name = name
+        self.same_signature = same_signature
+        self._signature_of = signature_of
+        self.signature = signature
+
+    def __call__(self, source: str) -> bool:
+        try:
+            outcome = self.engine.check_source(source, self.inputs, name=self.name)
+        except ReproError:
+            return False
+        if not outcome.divergent:
+            return False
+        if not self.same_signature:
+            return True
+        for diff in outcome.diffs:
+            if diff.divergent and self._signature_of(diff) == self.signature:
+                return True
+        return False
+
+
+class SameCulprit:
+    """Interesting iff ``repro bisect`` attributes the divergence to the
+    same pass (by name) between the pinned implementation pair.
+
+    The pair is pinned from the *original* diff rather than re-chosen
+    per candidate: re-picking would let reduction drift onto a different
+    implementation pair, at which point "same culprit" is vacuous (see
+    docs/GENERATIVE.md on attribution drift).
+    """
+
+    def __init__(
+        self,
+        input_bytes: bytes,
+        impl_ref: str,
+        impl_target: str,
+        pass_name: str,
+        name: str = "reduce",
+    ) -> None:
+        self.input_bytes = input_bytes
+        self.impl_ref = impl_ref
+        self.impl_target = impl_target
+        self.pass_name = pass_name
+        self.name = name
+
+    def __call__(self, source: str) -> bool:
+        from repro.core.bisect import bisect_divergence
+
+        try:
+            result = bisect_divergence(
+                source,
+                self.input_bytes,
+                impl_ref=self.impl_ref,
+                impl_target=self.impl_target,
+                name=self.name,
+            )
+        except ReproError:
+            return False
+        return (
+            result.attributed
+            and result.culprit is not None
+            and result.culprit.pass_name == self.pass_name
+        )
+
+
+class SameFingerprint:
+    """Interesting iff the UB oracle still reports the pinned diagnostic
+    fingerprints.
+
+    ``mode="any"`` keeps at least one of the pinned fingerprints alive
+    (the campaign default — a reduction is allowed to shed secondary
+    findings); ``mode="all"`` requires every pinned fingerprint to
+    survive.
+    """
+
+    def __init__(self, fingerprints: set[str], mode: str = "any", oracle=None) -> None:
+        if mode not in ("any", "all"):
+            raise ValueError(f"mode must be 'any' or 'all', got {mode!r}")
+        if oracle is None:
+            from repro.static_analysis import UBOracle
+
+            oracle = UBOracle(mode="interproc")
+        self.fingerprints = set(fingerprints)
+        self.mode = mode
+        self.oracle = oracle
+
+    def __call__(self, source: str) -> bool:
+        from repro.static_analysis.diagnostics import to_diagnostics
+
+        try:
+            report = self.oracle.report(load(source))
+        except ReproError:
+            return False
+        seen = {d.fingerprint for d in to_diagnostics(report.findings)}
+        if self.mode == "all":
+            return self.fingerprints <= seen
+        return bool(self.fingerprints & seen)
+
+
+class AllOf:
+    """Conjunction of predicates, evaluated left to right."""
+
+    def __init__(self, *predicates: Callable[[str], bool]) -> None:
+        self.predicates = predicates
+
+    def __call__(self, source: str) -> bool:
+        return all(predicate(source) for predicate in self.predicates)
+
+
+# --------------------------------------------------------------------------
+# AST transformations
+# --------------------------------------------------------------------------
+
+
+def _referenced_names(program: ast.Program) -> set[str]:
+    """Every identifier read anywhere in *program* (calls included)."""
+    names: set[str] = set()
+
+    def visit_expr(expr: ast.Expr) -> None:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Ident):
+                names.add(node.name)
+
+    for decl in program.decls:
+        if isinstance(decl, ast.GlobalVar) and decl.init is not None:
+            visit_expr(decl.init)
+        if isinstance(decl, ast.FuncDef):
+            for stmt in ast.walk_stmts(decl.body):
+                for expr in ast.statement_exprs(stmt):
+                    visit_expr(expr)
+    return names
+
+
+def _blocks_of(func: ast.FuncDef) -> list[list[ast.Stmt]]:
+    """Every mutable statement list in *func*, outermost first."""
+    blocks: list[list[ast.Stmt]] = []
+    for stmt in ast.walk_stmts(func.body):
+        if isinstance(stmt, ast.Block):
+            blocks.append(stmt.body)
+        elif isinstance(stmt, ast.Switch):
+            for case in stmt.cases:
+                blocks.append(case.body)
+    return blocks
+
+
+def _loop_sites(block: list[ast.Stmt]) -> list[int]:
+    return [
+        i
+        for i, stmt in enumerate(block)
+        if isinstance(stmt, (ast.While, ast.DoWhile, ast.For))
+    ]
+
+
+def _if_sites(block: list[ast.Stmt]) -> list[int]:
+    return [i for i, stmt in enumerate(block) if isinstance(stmt, ast.If)]
+
+
+class _Candidates:
+    """Enumerates single-step transformations of one program snapshot.
+
+    Every method yields ``(description, mutate)`` pairs, where *mutate*
+    applies the transformation in place to a fresh deep copy.  The
+    enumeration order is deterministic, which (with a deterministic
+    predicate) makes the whole reduction deterministic.
+    """
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+
+    # Pass 1: whole unreferenced definitions (coarsest grain).
+    def drop_definitions(self):
+        referenced = _referenced_names(self.program)
+        for index, decl in enumerate(self.program.decls):
+            if isinstance(decl, ast.FuncDef):
+                if decl.name == "main" or decl.name in referenced:
+                    continue
+                label = f"drop function {decl.name}"
+            elif isinstance(decl, ast.GlobalVar):
+                if decl.name in referenced:
+                    continue
+                label = f"drop global {decl.name}"
+            elif isinstance(decl, ast.StructDef):
+                label = f"drop struct {decl.name}"
+            else:  # pragma: no cover - no other decl kinds
+                continue
+
+            def mutate(prog: ast.Program, index=index) -> None:
+                del prog.decls[index]
+
+            yield label, mutate
+
+    # Pass 2: drop one statement anywhere.
+    def drop_statements(self):
+        for f_idx, func in enumerate(self.program.functions()):
+            for b_idx, block in enumerate(_blocks_of(func)):
+                for s_idx in range(len(block)):
+                    label = f"drop stmt {func.name}[{b_idx}][{s_idx}]"
+
+                    def mutate(
+                        prog: ast.Program, f_idx=f_idx, b_idx=b_idx, s_idx=s_idx
+                    ) -> None:
+                        target = prog.functions()[f_idx]
+                        del _blocks_of(target)[b_idx][s_idx]
+
+                    yield label, mutate
+
+    # Pass 3: replace a call with the constant 0 (enables pass 1 later).
+    def inline_constant_calls(self):
+        from repro.minic.builtins import is_builtin
+
+        for f_idx, func in enumerate(self.program.functions()):
+            sites = 0
+            for stmt in ast.walk_stmts(func.body):
+                for top in ast.statement_exprs(stmt):
+                    for node in ast.walk_expr(top):
+                        if (
+                            isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Ident)
+                            and not is_builtin(node.func.name)
+                        ):
+                            sites += 1
+            for site in range(sites):
+                label = f"inline call #{site} in {func.name} -> 0"
+
+                def mutate(prog: ast.Program, f_idx=f_idx, site=site) -> None:
+                    _replace_call(prog.functions()[f_idx], site)
+
+                yield label, mutate
+
+    # Pass 4: unroll a loop into one straight-line copy of its body.
+    def unroll_loops(self):
+        for f_idx, func in enumerate(self.program.functions()):
+            for b_idx, block in enumerate(_blocks_of(func)):
+                for s_idx in _loop_sites(block):
+                    label = f"unroll loop {func.name}[{b_idx}][{s_idx}]"
+
+                    def mutate(
+                        prog: ast.Program, f_idx=f_idx, b_idx=b_idx, s_idx=s_idx
+                    ) -> None:
+                        target = prog.functions()[f_idx]
+                        inner = _blocks_of(target)[b_idx]
+                        inner[s_idx] = _unrolled(inner[s_idx])
+
+                    yield label, mutate
+
+    # Pass 5: flatten an if into one of its arms.
+    def flatten_branches(self):
+        for f_idx, func in enumerate(self.program.functions()):
+            for b_idx, block in enumerate(_blocks_of(func)):
+                for s_idx in _if_sites(block):
+                    for arm in ("then", "else"):
+                        if arm == "else" and getattr(block[s_idx], "otherwise") is None:
+                            continue
+                        label = f"flatten if {func.name}[{b_idx}][{s_idx}] -> {arm}"
+
+                        def mutate(
+                            prog: ast.Program,
+                            f_idx=f_idx,
+                            b_idx=b_idx,
+                            s_idx=s_idx,
+                            arm=arm,
+                        ) -> None:
+                            target = prog.functions()[f_idx]
+                            inner = _blocks_of(target)[b_idx]
+                            branch = inner[s_idx]
+                            chosen = branch.then if arm == "then" else branch.otherwise
+                            inner[s_idx] = chosen
+
+                        yield label, mutate
+
+    # Pass 6: shrink one compound expression to an operand or literal.
+    def simplify_expressions(self):
+        sites = 0
+        for func in self.program.functions():
+            for stmt in ast.walk_stmts(func.body):
+                for top in ast.statement_exprs(stmt):
+                    for node in ast.walk_expr(top):
+                        if isinstance(node, (ast.Binary, ast.Conditional, ast.Cast)):
+                            sites += 1
+        for site in range(sites):
+            for how in ("lhs", "rhs", "zero"):
+                label = f"simplify expr #{site} -> {how}"
+
+                def mutate(prog: ast.Program, site=site, how=how) -> None:
+                    _simplify_expr_site(prog, site, how)
+
+                yield label, mutate
+
+    def passes(self):
+        yield "drop-definition", self.drop_definitions()
+        yield "drop-statement", self.drop_statements()
+        yield "inline-constant", self.inline_constant_calls()
+        yield "unroll-loop", self.unroll_loops()
+        yield "flatten-branch", self.flatten_branches()
+        yield "simplify-expression", self.simplify_expressions()
+
+
+def _replace_call(func: ast.FuncDef, site: int) -> None:
+    """Replace the *site*-th non-builtin call in *func* with ``0``."""
+    from repro.minic.builtins import is_builtin
+
+    seen = 0
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        nonlocal seen
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Ident)
+            and not is_builtin(expr.func.name)
+        ):
+            if seen == site:
+                seen += 1
+                return ast.IntLit(expr.line, expr.col, value=0)
+            seen += 1
+        _rewrite_children(expr, rewrite)
+        return expr
+
+    _rewrite_exprs(func, rewrite)
+
+
+def _simplify_expr_site(program: ast.Program, site: int, how: str) -> None:
+    """Shrink the *site*-th compound expression in *program*."""
+    seen = 0
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        nonlocal seen
+        if isinstance(expr, (ast.Binary, ast.Conditional, ast.Cast)):
+            if seen == site:
+                seen += 1
+                if how == "zero":
+                    return ast.IntLit(expr.line, expr.col, value=0)
+                if isinstance(expr, ast.Binary):
+                    return expr.lhs if how == "lhs" else expr.rhs
+                if isinstance(expr, ast.Conditional):
+                    return expr.then if how == "lhs" else expr.otherwise
+                return expr.operand  # Cast: both arms collapse to operand
+            seen += 1
+        _rewrite_children(expr, rewrite)
+        return expr
+
+    for func in program.functions():
+        _rewrite_exprs(func, rewrite)
+
+
+def _rewrite_children(expr: ast.Expr, rewrite) -> None:
+    """Apply *rewrite* to each direct child expression of *expr*."""
+    if isinstance(expr, ast.Unary):
+        expr.operand = rewrite(expr.operand)
+    elif isinstance(expr, ast.Binary):
+        expr.lhs = rewrite(expr.lhs)
+        expr.rhs = rewrite(expr.rhs)
+    elif isinstance(expr, ast.Assign):
+        expr.value = rewrite(expr.value)
+    elif isinstance(expr, ast.Conditional):
+        expr.cond = rewrite(expr.cond)
+        expr.then = rewrite(expr.then)
+        expr.otherwise = rewrite(expr.otherwise)
+    elif isinstance(expr, ast.Call):
+        expr.args = [rewrite(arg) for arg in expr.args]
+    elif isinstance(expr, ast.Index):
+        expr.index = rewrite(expr.index)
+    elif isinstance(expr, (ast.Cast, ast.SizeofExpr)):
+        expr.operand = rewrite(expr.operand)
+
+
+def _rewrite_exprs(func: ast.FuncDef, rewrite) -> None:
+    """Apply *rewrite* to every top-level expression position in *func*."""
+    for stmt in ast.walk_stmts(func.body):
+        if isinstance(stmt, ast.ExprStmt):
+            stmt.expr = rewrite(stmt.expr)
+        elif isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+            stmt.init = rewrite(stmt.init)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = rewrite(stmt.cond)
+        elif isinstance(stmt, ast.While):
+            stmt.cond = rewrite(stmt.cond)
+        elif isinstance(stmt, ast.DoWhile):
+            stmt.cond = rewrite(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            if stmt.cond is not None:
+                stmt.cond = rewrite(stmt.cond)
+            if stmt.step is not None:
+                stmt.step = rewrite(stmt.step)
+        elif isinstance(stmt, ast.Switch):
+            stmt.cond = rewrite(stmt.cond)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            stmt.value = rewrite(stmt.value)
+
+
+def _unrolled(loop: ast.Stmt) -> ast.Stmt:
+    """One straight-line copy of *loop*'s body (plus a For's init)."""
+    body: list[ast.Stmt] = []
+    if isinstance(loop, ast.For):
+        if loop.init is not None:
+            body.append(loop.init)
+        body.append(loop.body)
+    elif isinstance(loop, (ast.While, ast.DoWhile)):
+        body.append(loop.body)
+    else:  # pragma: no cover - callers filter to loops
+        raise TypeError(f"not a loop: {type(loop).__name__}")
+    return ast.Block(loop.line, loop.col, body=body)
+
+
+# --------------------------------------------------------------------------
+# Reduction engine
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ReductionStep:
+    """One accepted transformation."""
+
+    description: str
+    nodes_before: int
+    nodes_after: int
+    #: Source snapshot *after* this step (for monotonicity re-checks).
+    source: str = field(repr=False, default="")
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of reducing one program."""
+
+    original_source: str
+    reduced_source: str
+    original_nodes: int
+    reduced_nodes: int
+    steps: list[ReductionStep] = field(default_factory=list)
+    #: Predicate evaluations consumed (candidate tests, not acceptances).
+    tests_run: int = 0
+    #: True when a full sweep accepted nothing (1-minimal fixpoint);
+    #: False when a budget stopped the reduction early.
+    reached_fixpoint: bool = False
+
+    @property
+    def reduction_ratio(self) -> float:
+        if self.original_nodes == 0:
+            return 1.0
+        return self.reduced_nodes / self.original_nodes
+
+
+class Reducer:
+    """Greedy fixpoint delta-debugging over the transformation menu."""
+
+    def __init__(
+        self,
+        predicate: Callable[[str], bool],
+        step_budget: int = DEFAULT_STEP_BUDGET,
+        test_budget: int = DEFAULT_TEST_BUDGET,
+    ) -> None:
+        if step_budget < 1:
+            raise ValueError(f"step_budget must be >= 1, got {step_budget}")
+        self.predicate = predicate
+        self.step_budget = step_budget
+        self.test_budget = test_budget
+
+    def reduce(self, source: str) -> ReductionResult:
+        """Reduce *source*, which must already satisfy the predicate."""
+        program = load(source)
+        result = ReductionResult(
+            original_source=source,
+            reduced_source=source,
+            original_nodes=count_nodes(program),
+            reduced_nodes=count_nodes(program),
+        )
+        if not self.predicate(source):
+            raise ReproError(
+                "reduction requires an interesting starting point; the "
+                "predicate rejected the original program"
+            )
+        current = source
+        #: Candidate sources already tested and rejected for the current
+        #: snapshot generation (avoids re-testing identical dead ends).
+        rejected: set[str] = set()
+        while True:
+            accepted_any = False
+            candidates = _Candidates(load(current))
+            for pass_name, pass_candidates in candidates.passes():
+                for description, mutate in pass_candidates:
+                    if len(result.steps) >= self.step_budget:
+                        result.reduced_source = current
+                        return self._finish(result, current)
+                    if result.tests_run >= self.test_budget:
+                        result.reduced_source = current
+                        return self._finish(result, current)
+                    candidate = self._apply(current, mutate)
+                    if candidate is None or candidate == current:
+                        continue
+                    digest = hashlib.sha256(candidate.encode()).hexdigest()
+                    if digest in rejected:
+                        continue
+                    result.tests_run += 1
+                    if not self.predicate(candidate):
+                        rejected.add(digest)
+                        continue
+                    nodes_before = count_nodes(load(current))
+                    nodes_after = count_nodes(load(candidate))
+                    result.steps.append(
+                        ReductionStep(
+                            description=f"{pass_name}: {description}",
+                            nodes_before=nodes_before,
+                            nodes_after=nodes_after,
+                            source=candidate,
+                        )
+                    )
+                    current = candidate
+                    rejected.clear()
+                    accepted_any = True
+                    # Re-enumerate against the new snapshot: indices into
+                    # the old AST are stale after a mutation.
+                    break
+                else:
+                    continue
+                break
+            if not accepted_any:
+                result.reached_fixpoint = True
+                result.reduced_source = current
+                return self._finish(result, current)
+
+    @staticmethod
+    def _apply(source: str, mutate) -> str | None:
+        """Apply one mutation to a fresh parse of *source*.
+
+        Returns the reprinted candidate, or None when the mutated AST no
+        longer parses/checks (e.g. a dropped declaration with surviving
+        uses) — such candidates are discarded before the predicate ever
+        sees them.
+        """
+        program = load(source)
+        mutated = copy.deepcopy(program)
+        try:
+            mutate(mutated)
+            candidate = to_source(mutated)
+            load(candidate)  # still parseable and checker-clean?
+        except ReproError:
+            return None
+        return candidate
+
+    @staticmethod
+    def _finish(result: ReductionResult, current: str) -> ReductionResult:
+        result.reduced_nodes = count_nodes(load(current))
+        return result
+
+
+def single_step_variants(source: str):
+    """Yield every valid one-step transformation of *source*.
+
+    Each yielded candidate re-parses and re-checks cleanly.  The
+    campaign's good-twin stabilization search walks these with an
+    *inverted* interestingness test (non-divergent and oracle-clean).
+    """
+    for _pass_name, candidates in _Candidates(load(source)).passes():
+        for _description, mutate in candidates:
+            candidate = Reducer._apply(source, mutate)
+            if candidate is not None and candidate != source:
+                yield candidate

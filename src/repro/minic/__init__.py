@@ -19,6 +19,7 @@ Public entry points:
 from repro.minic.lexer import Token, TokenKind, tokenize
 from repro.minic.parser import parse
 from repro.minic.checker import check
+from repro.minic.printer import count_nodes, to_source
 from repro.minic import ast
 from repro.minic import types
 
@@ -36,6 +37,8 @@ __all__ = [
     "parse",
     "check",
     "load",
+    "to_source",
+    "count_nodes",
     "ast",
     "types",
 ]

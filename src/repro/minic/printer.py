@@ -1,0 +1,309 @@
+"""MiniC AST pretty-printer: the inverse of :func:`repro.minic.parse`.
+
+:func:`to_source` renders a (checked or unchecked) AST back into source
+text that re-parses to a semantically identical program.  It is the
+substrate of the generative pipeline (:mod:`repro.generative`): the
+program generator emits ASTs, the delta-debugging reducer transforms
+ASTs, and both rely on this module to turn the result into the source
+form every other layer (compiler, checker, corpus bank) consumes.
+
+Two properties matter and are pinned by ``tests/test_minic_printer.py``:
+
+* **round-trip**: ``load(to_source(load(src)))`` succeeds and the
+  reprinted program's observable behavior matches the original on every
+  implementation;
+* **idempotence**: printing is a fixpoint — reprinting a reprinted
+  program yields byte-identical text — so reduced repros bank
+  deterministically.
+
+Expressions are parenthesized from the parser's precedence table, so
+printed trees never re-associate; brace initializers round-trip through
+the parser's ``__array_init`` call encoding.
+"""
+
+from __future__ import annotations
+
+from repro.minic import ast
+from repro.minic import types as ty
+
+#: Sentinel callee the parser uses to encode brace initializer lists.
+ARRAY_INIT = "__array_init"
+
+_INDENT = "    "
+
+#: Characters escaped inside string literals (subset the lexer accepts).
+_STR_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+    "\0": "\\0",
+}
+
+
+def _escape_string(value: str) -> str:
+    out = []
+    for ch in value:
+        if ch in _STR_ESCAPES:
+            out.append(_STR_ESCAPES[ch])
+        elif 32 <= ord(ch) < 127:
+            out.append(ch)
+        else:
+            out.append(f"\\x{ord(ch) & 0xFF:02x}")
+    return "".join(out)
+
+
+def type_text(t: ty.Type) -> str:
+    """The type-specifier spelling of *t* (no declarator suffixes)."""
+    if isinstance(t, ty.PointerType):
+        return f"{type_text(t.pointee)}*"
+    if isinstance(t, ty.ArrayType):
+        # Only reachable for casts/sizeof, where arrays decay anyway.
+        return f"{type_text(t.element)}*"
+    if isinstance(t, ty.StructType):
+        return f"struct {t.name}"
+    return str(t)
+
+
+def _declarator(t: ty.Type, name: str) -> str:
+    """C declarator form of ``t name`` (pointers and array suffixes)."""
+    dims: list[int] = []
+    while isinstance(t, ty.ArrayType):
+        dims.append(t.length)
+        t = t.element
+    stars = ""
+    while isinstance(t, ty.PointerType):
+        stars += "*"
+        t = t.pointee
+    base = f"struct {t.name}" if isinstance(t, ty.StructType) else str(t)
+    suffix = "".join(f"[{dim}]" for dim in dims)
+    return f"{base} {stars}{name}{suffix}"
+
+
+class Printer:
+    """Single-use source renderer for one program."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    # ------------------------------------------------------------- structure
+
+    def render(self, program: ast.Program) -> str:
+        for decl in program.decls:
+            self._top_level(decl)
+        return "\n".join(self._lines) + "\n"
+
+    def _emit(self, text: str) -> None:
+        self._lines.append(_INDENT * self._depth + text)
+
+    def _top_level(self, decl: ast.Node) -> None:
+        if isinstance(decl, ast.StructDef):
+            self._emit(f"struct {decl.name} {{")
+            self._depth += 1
+            for field in decl.struct_type.fields:
+                self._emit(f"{_declarator(field.type, field.name)};")
+            self._depth -= 1
+            self._emit("};")
+        elif isinstance(decl, ast.GlobalVar):
+            prefix = "static " if decl.is_static else ""
+            init = f" = {self.expr(decl.init)}" if decl.init is not None else ""
+            self._emit(f"{prefix}{_declarator(decl.var_type, decl.name)}{init};")
+        elif isinstance(decl, ast.FuncDef):
+            self._function(decl)
+        else:  # pragma: no cover - no other top-level nodes exist
+            raise TypeError(f"cannot print top-level {type(decl).__name__}")
+
+    def _function(self, func: ast.FuncDef) -> None:
+        if func.params:
+            params = ", ".join(
+                _declarator(p.param_type, p.name) for p in func.params
+            )
+            if func.varargs:
+                params += ", ..."
+        else:
+            params = "..." if func.varargs else "void"
+        prefix = "static " if func.is_static else ""
+        self._emit(f"{prefix}{_declarator(func.ret_type, func.name)}({params}) {{")
+        self._depth += 1
+        for stmt in func.body.body:
+            self.stmt(stmt)
+        self._depth -= 1
+        self._emit("}")
+
+    # ------------------------------------------------------------ statements
+
+    def stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._emit("{")
+            self._depth += 1
+            for inner in stmt.body:
+                self.stmt(inner)
+            self._depth -= 1
+            self._emit("}")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._emit(f"{self.expr(stmt.expr)};")
+        elif isinstance(stmt, ast.VarDecl):
+            prefix = "static " if stmt.is_static else ""
+            init = f" = {self.expr(stmt.init)}" if stmt.init is not None else ""
+            self._emit(f"{prefix}{_declarator(stmt.var_type, stmt.name)}{init};")
+        elif isinstance(stmt, ast.If):
+            self._emit(f"if ({self.expr(stmt.cond)}) {{")
+            self._branch_body(stmt.then)
+            if stmt.otherwise is not None:
+                self._emit("} else {")
+                self._branch_body(stmt.otherwise)
+            self._emit("}")
+        elif isinstance(stmt, ast.While):
+            self._emit(f"while ({self.expr(stmt.cond)}) {{")
+            self._branch_body(stmt.body)
+            self._emit("}")
+        elif isinstance(stmt, ast.DoWhile):
+            self._emit("do {")
+            self._branch_body(stmt.body)
+            self._emit(f"}} while ({self.expr(stmt.cond)});")
+        elif isinstance(stmt, ast.For):
+            init = ""
+            if isinstance(stmt.init, ast.VarDecl):
+                prefix = "static " if stmt.init.is_static else ""
+                value = (
+                    f" = {self.expr(stmt.init.init)}"
+                    if stmt.init.init is not None
+                    else ""
+                )
+                init = f"{prefix}{_declarator(stmt.init.var_type, stmt.init.name)}{value}"
+            elif isinstance(stmt.init, ast.ExprStmt):
+                init = self.expr(stmt.init.expr)
+            cond = self.expr(stmt.cond) if stmt.cond is not None else ""
+            step = self.expr(stmt.step) if stmt.step is not None else ""
+            self._emit(f"for ({init}; {cond}; {step}) {{")
+            self._branch_body(stmt.body)
+            self._emit("}")
+        elif isinstance(stmt, ast.Switch):
+            self._emit(f"switch ({self.expr(stmt.cond)}) {{")
+            for case in stmt.cases:
+                label = "default" if case.value is None else f"case {case.value}"
+                self._emit(f"{label}:")
+                self._depth += 1
+                for inner in case.body:
+                    self.stmt(inner)
+                self._depth -= 1
+            self._emit("}")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self._emit("return;")
+            else:
+                self._emit(f"return {self.expr(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self._emit("break;")
+        elif isinstance(stmt, ast.Continue):
+            self._emit("continue;")
+        else:  # pragma: no cover - exhaustive over ast statement nodes
+            raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+    def _branch_body(self, body: ast.Stmt) -> None:
+        """Print a control-flow arm always brace-wrapped (one level in)."""
+        self._depth += 1
+        if isinstance(body, ast.Block):
+            for inner in body.body:
+                self.stmt(inner)
+        else:
+            self.stmt(body)
+        self._depth -= 1
+
+    # ----------------------------------------------------------- expressions
+
+    def expr(self, expr: ast.Expr) -> str:
+        """Render one expression, fully parenthesizing compound forms."""
+        if isinstance(expr, ast.IntLit):
+            return f"{expr.value}{expr.suffix.upper()}"
+        if isinstance(expr, ast.FloatLit):
+            text = repr(float(expr.value))
+            if "e" not in text and "." not in text and "inf" not in text:
+                text += ".0"
+            return f"{text}f" if expr.is_single else text
+        if isinstance(expr, ast.CharLit):
+            ch = chr(expr.value & 0xFF)
+            if ch in _STR_ESCAPES:
+                return f"'{_STR_ESCAPES[ch]}'"
+            if 32 <= (expr.value & 0xFF) < 127 and ch != "'":
+                return f"'{ch}'"
+            return str(expr.value)
+        if isinstance(expr, ast.StrLit):
+            return f'"{_escape_string(expr.value)}"'
+        if isinstance(expr, ast.NullLit):
+            return "NULL"
+        if isinstance(expr, ast.LineMacro):
+            return "__LINE__"
+        if isinstance(expr, ast.Ident):
+            return expr.name
+        if isinstance(expr, ast.Unary):
+            if expr.op in ("p++", "p--"):
+                return f"({self.expr(expr.operand)}){expr.op[1:]}"
+            return f"{expr.op}({self.expr(expr.operand)})"
+        if isinstance(expr, ast.Binary):
+            if expr.op == ",":
+                return f"({self.expr(expr.lhs)}, {self.expr(expr.rhs)})"
+            return f"({self.expr(expr.lhs)} {expr.op} {self.expr(expr.rhs)})"
+        if isinstance(expr, ast.Assign):
+            return f"({self.expr(expr.target)} {expr.op} ({self.expr(expr.value)}))"
+        if isinstance(expr, ast.Conditional):
+            return (
+                f"({self.expr(expr.cond)} ? {self.expr(expr.then)}"
+                f" : {self.expr(expr.otherwise)})"
+            )
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Ident) and expr.func.name == ARRAY_INIT:
+                return "{" + ", ".join(self.expr(a) for a in expr.args) + "}"
+            args = ", ".join(self.expr(a) for a in expr.args)
+            func = (
+                expr.func.name
+                if isinstance(expr.func, ast.Ident)
+                else f"({self.expr(expr.func)})"
+            )
+            return f"{func}({args})"
+        if isinstance(expr, ast.Index):
+            base = (
+                expr.base.name
+                if isinstance(expr.base, ast.Ident)
+                else f"({self.expr(expr.base)})"
+            )
+            return f"{base}[{self.expr(expr.index)}]"
+        if isinstance(expr, ast.Member):
+            op = "->" if expr.arrow else "."
+            return f"({self.expr(expr.base)}){op}{expr.name}"
+        if isinstance(expr, ast.Cast):
+            return f"({type_text(expr.target_type)})({self.expr(expr.operand)})"
+        if isinstance(expr, ast.SizeofType):
+            return f"sizeof({type_text(expr.target_type)})"
+        if isinstance(expr, ast.SizeofExpr):
+            return f"sizeof({self.expr(expr.operand)})"
+        raise TypeError(  # pragma: no cover - exhaustive over ast expr nodes
+            f"cannot print expression {type(expr).__name__}"
+        )
+
+
+def to_source(program: ast.Program) -> str:
+    """Render *program* as parseable MiniC source text."""
+    return Printer().render(program)
+
+
+def count_nodes(program: ast.Program) -> int:
+    """Total AST size: declarations + statements + expressions.
+
+    The reducer's progress metric — reduction ratios in banked metadata
+    and the ≤25 % fixture bound are measured in these units.
+    """
+    total = 0
+    for decl in program.decls:
+        total += 1
+        if isinstance(decl, ast.GlobalVar) and decl.init is not None:
+            total += sum(1 for _ in ast.walk_expr(decl.init))
+        if isinstance(decl, ast.FuncDef):
+            total += len(decl.params)
+            for stmt in ast.walk_stmts(decl.body):
+                total += 1
+                for top in ast.statement_exprs(stmt):
+                    total += sum(1 for _ in ast.walk_expr(top))
+    return total

@@ -1,0 +1,73 @@
+"""Atomic, integrity-checked record persistence.
+
+The on-disk shape both campaign checkpoints share (the byte-input fuzzer
+in :mod:`repro.fuzzing.checkpoint` and the generative campaign in
+:mod:`repro.generative.campaign`)::
+
+    8 bytes   format magic (per record type)
+    4 bytes   CRC32 (big-endian) over the payload
+    N bytes   pickled object
+
+Writes are atomic: the record goes to a ``.tmp`` file in the same
+directory, is fsync'd, then ``os.replace``-d over the final name — a
+kill mid-write leaves the previous record intact, and a torn or
+bit-flipped record fails the CRC on load with a
+:class:`~repro.errors.CheckpointError` instead of resuming from garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import CheckpointError
+
+#: Every record type's magic is exactly this long.
+MAGIC_LENGTH = 8
+
+
+def write_record(path: str, magic: bytes, obj: Any) -> str:
+    """Atomically persist *obj* as a magic+CRC+pickle record at *path*."""
+    if len(magic) != MAGIC_LENGTH:
+        raise ValueError(f"record magic must be {MAGIC_LENGTH} bytes, got {magic!r}")
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    record = magic + struct.pack(">I", zlib.crc32(payload)) + payload
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(record)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_record(path: str, magic: bytes, expected_type: type) -> Any:
+    """Load and verify the record at *path*; must be an *expected_type*."""
+    try:
+        with open(path, "rb") as handle:
+            record = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    if len(record) < len(magic) + 4 or not record.startswith(magic):
+        raise CheckpointError(f"{path!r} is not a campaign checkpoint (bad magic)")
+    (expected_crc,) = struct.unpack(">I", record[len(magic) : len(magic) + 4])
+    payload = record[len(magic) + 4 :]
+    if zlib.crc32(payload) != expected_crc:
+        raise CheckpointError(
+            f"{path!r} failed its integrity check (torn write or corruption)"
+        )
+    try:
+        obj = pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"{path!r} cannot be unpickled: {exc}") from exc
+    if not isinstance(obj, expected_type):
+        raise CheckpointError(
+            f"{path!r} holds a {type(obj).__name__}, not a {expected_type.__name__}"
+        )
+    return obj

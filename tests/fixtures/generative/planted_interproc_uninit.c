@@ -1,0 +1,97 @@
+int g1 = 256;
+int g2 = 42;
+int g3 = -81;
+
+int s34probe(int x) {
+    if ((x + 5) > x) {
+        return 1;
+    }
+    return 0;
+}
+
+int fn0(int a4) {
+    if (((37 | a4) <= (input_byte(7) & 63))) {
+        if ((((input_byte(0) & 31) >> 0) != 70)) {
+            g3 -= g3;
+            int v5 = ((a4 + g2) ^ (95 + 77));
+        } else {
+            g3 -= ((0 * a4) ^ 87);
+            int v6 = ((a4 * 32) * 94);
+            printf("p %d\n", 6);
+            printf("p %d\n", ((v6 + -76) % 11));
+        }
+        for (int i7 = 0; i7 < 5; i7 = i7 + 1) {
+            g1 ^= (a4 | 16);
+            int v8 = g2;
+        }
+        printf("p %d\n", (2 | (g3 - 22)));
+        printf("p %d\n", ((38 | -21) >> 5));
+        a4 ^= g3;
+    }
+    g1 ^= ((-21 ^ g2) | 47);
+    printf("p %d\n", -32);
+    return ((21 | g3) % 8);
+}
+
+int fn1(int a9, int a10) {
+    if (((g2 << 0) == a9)) {
+        for (int i11 = 0; i11 < 2; i11 = i11 + 1) {
+            int v12 = g2;
+            g1 ^= 15;
+        }
+        for (int i13 = 0; i13 < 4; i13 = i13 + 1) {
+            int v14 = g1;
+            g3 ^= ((73 * g2) * -57);
+            printf("p %d\n", (37 ^ (g3 % 30)));
+            g2 -= ((v14 ^ 16) & g2);
+            int v15 = ((v14 & -31) | ((input_byte(2) & 15) ^ a10));
+        }
+    } else {
+        if (((a10 % 28) == g2)) {
+            int v16 = ((93 * g2) | a9);
+            int c17 = fn0((g3 << 3));
+            int c18 = fn0((2 + (input_byte(4) & 31)));
+        }
+        int c19 = fn0(a10);
+    }
+    int v20 = 16;
+    int c21 = fn0((-69 | g3));
+    g3 ^= g3;
+    g2 += (42 * (g2 - 255));
+    int s33g = 2147483644;
+    if ((s33g + 9) > s33g) {
+        printf("s33 guard 1\n");
+    } else {
+        printf("s33 guard 0\n");
+    }
+    return ((a9 % 27) * (-4 & -65));
+}
+
+int fn2(int a22, int a23, int a24) {
+    int s34v = 2147483643;
+    printf("s34 %d\n", s34probe(s34v));
+    int s32u;
+    int s32m = 17;
+    if ((s32u & 255) < 158) {
+        printf("s32 lo %d\n", (s32u + s32m));
+    } else {
+        printf("s32 hi\n");
+    }
+    int c25 = fn0(a22);
+    int c26 = fn0(a24);
+    return -3;
+}
+
+int main(void) {
+    int r27 = fn0(256);
+    printf("fn0 %d\n", r27);
+    int r28 = fn1(5, 16);
+    printf("fn1 %d\n", r28);
+    int r29 = fn2(91, -4, 4);
+    printf("fn2 %d\n", r29);
+    r28 ^= r29;
+    r27 -= ((g3 + -62) + (g1 << 0));
+    int v30 = ((7 * g2) << 5);
+    int v31 = (56 + (-75 % 7));
+    return 0;
+}

@@ -1,0 +1,128 @@
+int g1 = -31;
+int g2 = -85;
+
+int s37probe(int x) {
+    if ((x + 4) > x) {
+        return 1;
+    }
+    return 0;
+}
+
+int fn0(int a3, int a4, int a5) {
+    if (((g1 << 3) >= (16 + (input_byte(4) & 15)))) {
+        printf("p %d\n", ((1000 % 24) % 29));
+        a3 -= g1;
+        int v6 = g2;
+        if ((a4 != ((input_byte(0) & 31) & v6))) {
+            int v7 = g2;
+            int v8 = (v6 & a3);
+            printf("p %d\n", ((a4 >> 6) ^ (v7 - -46)));
+        }
+    }
+    if (((-13 * a5) != (a4 % 10))) {
+        a3 += (86 + (a3 ^ g2));
+        if (((-66 << 6) > a3)) {
+            printf("p %d\n", g2);
+            g2 = ((a3 % 5) >> 7);
+            printf("p %d\n", (a5 % 24));
+        }
+        if (((a3 + a4) == a5)) {
+            int v9 = 2;
+            printf("p %d\n", (a3 % 21));
+            printf("p %d\n", ((g1 - a4) * g1));
+            v9 += ((a3 + a5) * 71);
+            printf("p %d\n", (60 * (a3 | a4)));
+        } else {
+            int v10 = a5;
+            int v11 = (input_byte(6) & 63);
+            g2 = 1000;
+        }
+        for (int i12 = 0; i12 < 4; i12 = i12 + 1) {
+            printf("p %d\n", 8);
+            int v13 = -46;
+            printf("p %d\n", ((-77 | a5) + (a5 << 4)));
+            g2 *= ((a5 % 10) ^ 8);
+        }
+    } else {
+        if ((-30 >= (96 & g2))) {
+            g2 = a4;
+            a3 = 92;
+            printf("p %d\n", (((input_byte(2) & 15) & 256) % 30));
+            int v14 = ((-40 + g2) % 17);
+            g1 = ((v14 ^ (input_byte(3) & 63)) | (g1 % 24));
+        }
+        if (((-46 & a3) <= (-38 & 51))) {
+            a4 *= (g2 * (33 & a5));
+            printf("p %d\n", (a4 >> 5));
+            printf("p %d\n", (((input_byte(4) & 31) + 1000) | g2));
+            printf("p %d\n", (a4 * (a4 - a4)));
+        }
+    }
+    for (int i15 = 0; i15 < 4; i15 = i15 + 1) {
+        for (int i16 = 0; i16 < 2; i16 = i16 + 1) {
+            int v17 = ((-13 >> 7) + -62);
+            int v18 = i15;
+            printf("p %d\n", (63 + (62 & g2)));
+            int v19 = i15;
+        }
+        if ((((input_byte(3) & 31) + i15) != (46 >> 6))) {
+            printf("p %d\n", -84);
+            printf("p %d\n", (((input_byte(2) & 31) % 24) * g2));
+        } else {
+            a5 = ((-59 - g1) - (-93 | i15));
+            printf("p %d\n", ((i15 & -83) - (a4 % 28)));
+            printf("p %d\n", g2);
+            int v20 = (g2 << 1);
+            int v21 = g2;
+        }
+        printf("p %d\n", g1);
+    }
+    printf("p %d\n", (21 % 19));
+    return (a4 & (a3 * a5));
+}
+
+int fn1(int a22, int a23, int a24) {
+    int s35g = 2147483645;
+    if ((s35g + 6) > s35g) {
+        printf("s35 guard 1\n");
+    } else {
+        printf("s35 guard 0\n");
+    }
+    int v25 = a24;
+    int v26 = (40 + (g1 | v25));
+    if (((-32 - g1) > (g2 ^ g2))) {
+        int v27 = a22;
+        for (int i28 = 0; i28 < 3; i28 = i28 + 1) {
+            v27 -= ((a23 + v25) * -85);
+            a23 -= (v26 - (-62 << 1));
+            printf("p %d\n", v27);
+            int v29 = (((input_byte(6) & 63) << 3) - (g1 % 20));
+        }
+    }
+    printf("p %d\n", a24);
+    for (int i30 = 0; i30 < 5; i30 = i30 + 1) {
+        printf("p %d\n", g1);
+        int v31 = ((i30 << 7) ^ a24);
+    }
+    return -69;
+}
+
+int main(void) {
+    int r32 = fn0(8, 26, -69);
+    printf("fn0 %d\n", r32);
+    int s36g = 2147483643;
+    if ((s36g + 8) > s36g) {
+        printf("s36 guard 1\n");
+    } else {
+        printf("s36 guard 0\n");
+    }
+    int r33 = fn1(80, -24, 1000);
+    printf("fn1 %d\n", r33);
+    int c34 = fn0((g2 * g1), r33, (-57 + 72));
+    printf("p %d\n", ((55 | r33) & (c34 * (input_byte(7) & 15))));
+    printf("p %d\n", (g1 >> 5));
+    printf("p %d\n", g2);
+    int s37v = 2147483647;
+    printf("s37 %d\n", s37probe(s37v));
+    return 0;
+}

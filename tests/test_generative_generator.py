@@ -1,0 +1,98 @@
+"""Property suite for the grammar-driven MiniC program generator.
+
+Every generated program must be a *valid campaign subject*: it parses,
+passes the semantic checker, regenerates byte-identically from its seed
+(campaign resume depends on this), and terminates within the default
+fuel on the reference implementation — the generator's bounded
+loops/recursion make non-termination structurally impossible, and this
+suite pins that over 200+ seeds across all profiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_source, implementation
+from repro.core.compdiff import CompDiff
+from repro.generative import PROFILES, generate_program
+from repro.generative.generator import GENERATOR_VERSION
+from repro.minic import load
+from repro.vm import run_binary
+from repro.vm.execution import Status
+from repro.vm.machine import DEFAULT_FUEL
+
+pytestmark = pytest.mark.generative
+
+#: Seeds per profile for the property sweep (3 profiles -> 201 programs).
+SEEDS_PER_PROFILE = 67
+
+#: UB-adjacent shapes that only exist in call-boundary form.
+INTERPROC_SHAPES = {"call_uninit", "call_overflow"}
+
+
+def _sweep():
+    for profile in sorted(PROFILES):
+        for seed in range(SEEDS_PER_PROFILE):
+            yield profile, seed
+
+
+def test_generated_programs_parse_and_check():
+    """Every program is well-typed and checker-clean."""
+    for profile, seed in _sweep():
+        program = generate_program(seed, profile)
+        load(program.source)  # raises on parse or check failure
+        assert program.seed == seed
+        assert program.profile == profile
+        assert program.generator_version == GENERATOR_VERSION
+
+
+def test_generation_is_deterministic():
+    """The same (seed, profile) regenerates byte-identical source."""
+    for profile, seed in _sweep():
+        first = generate_program(seed, profile)
+        second = generate_program(seed, profile)
+        assert first.source == second.source, (profile, seed)
+        assert first.ub_shapes == second.ub_shapes, (profile, seed)
+
+
+def test_generated_programs_terminate_within_fuel():
+    """Bounded loops/recursion: no generated program exhausts the fuel.
+
+    A CRASH is legitimate termination — the dead-division shape plants a
+    trap that only unoptimized implementations execute.  TIMEOUT (fuel
+    exhaustion) is the failure this property forbids.
+    """
+    config = implementation("gcc-O0")
+    for profile, seed in _sweep():
+        program = generate_program(seed, profile)
+        binary = compile_source(program.source, config, name=f"{profile}-{seed}")
+        result = run_binary(binary, b"", fuel=DEFAULT_FUEL)
+        assert result.status in (Status.OK, Status.CRASH), (
+            profile,
+            seed,
+            result.status,
+        )
+
+
+def test_profiles_bias_shapes():
+    """The ub/interproc profiles actually splice UB-adjacent shapes, and
+    the interproc profile reaches call-boundary shapes."""
+    ub_shapes: set[str] = set()
+    interproc_shapes: set[str] = set()
+    for seed in range(SEEDS_PER_PROFILE):
+        ub_shapes.update(generate_program(seed, "ub").ub_shapes)
+        interproc_shapes.update(generate_program(seed, "interproc").ub_shapes)
+    assert len(ub_shapes) >= 5, ub_shapes
+    assert interproc_shapes & INTERPROC_SHAPES, interproc_shapes
+
+
+def test_ub_profile_yields_divergence():
+    """The point of the bias: a seeded ub-profile program diverges."""
+    engine = CompDiff()
+    program = generate_program(0, "ub")
+    assert engine.check_source(program.source, [b""], name="yield0").divergent
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(KeyError):
+        generate_program(0, "no-such-profile")

@@ -1,0 +1,155 @@
+"""Printer round-trip suite: ``to_source`` must invert ``parse``.
+
+The generative pipeline rests on two properties of the pretty-printer:
+
+* **idempotence** — printing is a fixpoint, so reduced repros bank as
+  stable bytes;
+* **behavior preservation** — a reprinted program produces the same
+  per-implementation checksums as the original, so reduction and
+  banking never smuggle in a semantic change.
+
+Both are pinned here over the Juliet-style corpus (every construct the
+templates emit) plus a handwritten kitchen-sink program covering the
+syntax corners the corpus is thin on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compdiff import CompDiff
+from repro.juliet import build_suite
+from repro.minic import count_nodes, load, to_source
+
+#: Structs, arrays + brace init, pointer declarators, switch/default,
+#: do-while, for-with-decl, casts, sizeof (both forms), char/string
+#: escapes, conditional, comma, postfix ++, static storage, NULL.
+KITCHEN_SINK = r"""
+struct point {
+    int x;
+    int y;
+    int tags[3];
+};
+
+static int counter = 7;
+int table[4] = {1, 2, 3, 4};
+
+static long scale(int value, int factor) {
+    long wide = (long)value * factor;
+    return wide;
+}
+
+int pick(int which) {
+    switch (which) {
+    case 0:
+        return table[0];
+    case 1: {
+        int t = table[1];
+        return t;
+    }
+    default:
+        break;
+    }
+    return -1;
+}
+
+int main(void) {
+    struct point p;
+    struct point *pp = &p;
+    char *msg = "edge\tcases: \"quoted\" \\ \n";
+    int i;
+    p.x = 0;
+    p.y = 0;
+    pp->x = counter > 0 ? pick(1) : pick(0);
+    for (i = 0; i < 3; i++) {
+        p.tags[i] = i * i;
+    }
+    do {
+        counter--;
+    } while (counter > 9);
+    while (p.y < 2) {
+        p.y = p.y + 1;
+    }
+    if (msg != NULL) {
+        printf("%d %d %d\n", p.x, p.y, p.tags[2]);
+    }
+    printf("%d\n", (int)scale(counter, 3));
+    printf("%d %d\n", (int)sizeof(struct point), (int)sizeof(table));
+    printf("%c\n", 'A');
+    i = (1, 2);
+    printf("%d %u %ld\n", i, 5u, 6l);
+    return 0;
+}
+"""
+
+
+def _corpus_sources() -> list[tuple[str, str]]:
+    suite = build_suite(scale=0.002)
+    sources = [("kitchen_sink", KITCHEN_SINK)]
+    for case in suite.cases:
+        sources.append((f"{case.uid}_bad", case.bad_source))
+        sources.append((f"{case.uid}_good", case.good_source))
+    return sources
+
+
+@pytest.fixture(scope="module")
+def corpus_sources():
+    return _corpus_sources()
+
+
+def test_roundtrip_reparses_and_is_idempotent(corpus_sources):
+    """to_source(load(s)) re-parses, and reprinting it is a fixpoint."""
+    for name, source in corpus_sources:
+        printed = to_source(load(source))
+        reprinted = to_source(load(printed))
+        assert printed == reprinted, f"printer not idempotent on {name}"
+
+
+def test_roundtrip_preserves_node_count(corpus_sources):
+    """The reducer's progress metric is invariant under reprinting."""
+    for name, source in corpus_sources:
+        program = load(source)
+        reloaded = load(to_source(program))
+        assert count_nodes(program) == count_nodes(reloaded), name
+
+
+def test_roundtrip_preserves_behavior():
+    """Reprinted programs produce identical per-implementation checksums.
+
+    ``__LINE__`` programs are excluded: the printer legitimately changes
+    line numbers, which that macro observes by design.
+    """
+    engine = CompDiff()
+    cases = [
+        ("kitchen_sink", KITCHEN_SINK, [b""]),
+    ]
+    suite = build_suite(scale=0.001)
+    for case in suite.cases[:4]:
+        if "__LINE__" not in case.bad_source:
+            cases.append((case.uid, case.bad_source, list(case.inputs)))
+    for name, source, inputs in cases:
+        original = engine.check_source(source, inputs, name=name)
+        reprinted = engine.check_source(
+            to_source(load(source)), inputs, name=f"{name}_reprinted"
+        )
+        for diff_a, diff_b in zip(original.diffs, reprinted.diffs):
+            assert diff_a.checksums == diff_b.checksums, name
+
+
+def test_brace_initializers_roundtrip():
+    """The parser's __array_init encoding prints back as braces."""
+    printed = to_source(load("int xs[3] = {4, 5, 6};\nint main(void) { return xs[1]; }"))
+    assert "{4, 5, 6}" in printed
+    assert "__array_init" not in printed
+
+
+def test_char_and_string_escapes_roundtrip():
+    source = 'int main(void) {\n    printf("a\\x01b\\n");\n    return \'\\n\';\n}\n'
+    printed = to_source(load(source))
+    assert printed == to_source(load(printed))
+
+
+def test_int_literal_suffixes_roundtrip():
+    printed = to_source(load("int main(void) { printf(\"%lu\\n\", 3ul); return 0; }"))
+    assert "3UL" in printed
+    assert to_source(load(printed)) == printed
