@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-passes test-generative test-verified smoke-generate bench bench-quick bench-scaling bench-passes precision analyze examples clean
+.PHONY: install test test-fast test-faults test-passes test-generative test-sanval test-verified smoke-generate sancheck sancheck-baseline bench bench-quick bench-scaling bench-passes precision analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,10 +10,10 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Quick lane: skip the long-running end-to-end, interprocedural, and
-# generative-pipeline tests.
+# Quick lane: skip the long-running end-to-end, interprocedural,
+# generative-pipeline, and sanitizer-validation tests.
 test-fast:
-	$(PYTHON) -m pytest tests/ -m "not slow and not interproc and not generative"
+	$(PYTHON) -m pytest tests/ -m "not slow and not interproc and not generative and not sanval"
 
 # Robustness lane: fault injection + checkpoint/resume round trips.
 test-faults:
@@ -28,12 +28,28 @@ test-passes:
 test-generative:
 	$(PYTHON) -m pytest tests/ -m generative
 
+# Sanitizer-validation lane: relocation transformer, verdict engine,
+# campaign driver, and the scoreboard regression gate.  docs/SANVAL.md.
+test-sanval:
+	$(PYTHON) -m pytest tests/ benchmarks/bench_sanval.py -m sanval
+
 # Smoke campaign: a seeded known-divergent configuration must bank at
 # least one reduced repro (exit 1 otherwise).  docs/GENERATIVE.md.
 smoke-generate:
 	rm -rf /tmp/repro-smoke-corpus
 	$(PYTHON) -m repro generate --corpus /tmp/repro-smoke-corpus \
 	    --seed 0 --budget 5 --profile ub --min-banked 1
+
+# Sancheck smoke: the planted fixture corpus must surface at least one
+# sanitizer FN and one FP, with banked reduced repros (exit 1 otherwise).
+sancheck:
+	rm -rf /tmp/repro-sanval-bank
+	timeout 300 $(PYTHON) -m repro sancheck --fixtures tests/fixtures/sanval \
+	    --bank /tmp/repro-sanval-bank --min-fn 1 --min-fp 1
+
+# Refresh the committed sanitizer-validation scoreboard baseline.
+sancheck-baseline:
+	cd benchmarks && $(PYTHON) bench_sanval.py
 
 # Same suite with IR verification enabled after every compile (and,
 # with the pass manager, after every individual pass application).

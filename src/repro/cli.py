@@ -6,6 +6,7 @@ Commands:
 * ``run FILE``       — run one binary and print its output;
 * ``fuzz FILE``      — a CompDiff-AFL++ campaign;
 * ``generate``       — a generative campaign: synthesize, reduce, bank;
+* ``sancheck``       — sanitizer validation: relocate UB sites, judge, bank;
 * ``localize FILE``  — trace-alignment fault localization;
 * ``minimize FILE``  — shrink a diff-triggering input (afl-tmin style);
 * ``analyze FILE``   — IR-level UB findings plus divergence triage;
@@ -190,6 +191,106 @@ def cmd_generate(args: argparse.Namespace) -> int:
                 f"nodes {repro.original_nodes}->{repro.reduced_nodes}{drift}"
             )
     if args.min_banked is not None and result.banked_new < args.min_banked:
+        return 1
+    return 0
+
+
+def cmd_sancheck(args: argparse.Namespace) -> int:
+    """`repro sancheck`: the sanitizer-validation campaign.
+
+    Sweeps UB seeds (planted fixtures, the generative corpus bank,
+    and/or fresh generator seeds) through relocation × sanitizer
+    classification against the interprocedural UB oracle and the
+    ten-implementation differential verdict (docs/SANVAL.md).  Confirmed
+    FNs/FPs are reduced and banked into ``--bank`` with their evidence
+    chains.  Deterministic: the same options produce byte-identical
+    verdicts at any worker count.  Exit 1 when ``--min-fn``/``--min-fp``
+    was requested and not reached.
+    """
+    import json
+
+    from repro.sanval import (
+        RELOCATION_KINDS,
+        FindingBank,
+        SancheckCampaign,
+        SancheckOptions,
+    )
+    from repro.static_analysis import Baseline, to_sarif
+
+    if not (args.fixtures or args.corpus or args.budget > 0):
+        print(
+            "sancheck: no seed source; pass --fixtures, --corpus, or --budget N",
+            file=sys.stderr,
+        )
+        return 2
+    relocations = RELOCATION_KINDS
+    if args.relocations is not None:
+        relocations = tuple(k.strip() for k in args.relocations.split(",") if k.strip())
+        unknown = [k for k in relocations if k not in RELOCATION_KINDS]
+        if unknown:
+            print(f"sancheck: unknown relocation(s) {','.join(unknown)}", file=sys.stderr)
+            return 2
+    checkpoint_dir = args.checkpoint_dir or args.resume
+    options = SancheckOptions(
+        fixtures=args.fixtures,
+        corpus=args.corpus,
+        seed=args.seed,
+        budget=args.budget,
+        profile=args.profile,
+        inputs=[_read_input(args)] if _input_given(args) else [b""],
+        relocations=relocations,
+        reduce=not args.no_reduce,
+        step_budget=args.step_budget,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        workers=args.workers,
+    )
+    bank = FindingBank(args.bank) if args.bank else None
+    try:
+        with SancheckCampaign(options, bank=bank) as campaign:
+            result = campaign.run()
+    except KeyboardInterrupt:
+        if checkpoint_dir:
+            print(
+                f"interrupted: checkpoint in {checkpoint_dir}; continue with "
+                f"`repro sancheck --resume {checkpoint_dir}` plus the original flags",
+                file=sys.stderr,
+            )
+        else:
+            print("interrupted (no --checkpoint-dir; progress lost)", file=sys.stderr)
+        return 130
+
+    diagnostics = [d for v in result.findings() for d in v.reported]
+    suppressed = 0
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+        suppressed = len(baseline.suppressed(diagnostics))
+        diagnostics = baseline.filter(diagnostics)
+    if args.sarif:
+        sarif_doc = to_sarif(diagnostics, artifact_uri="sanval")
+        with open(args.sarif, "w") as handle:
+            handle.write(json.dumps(sarif_doc, indent=2) + "\n")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n")
+
+    counts = result.counts()
+    fn_found = sum(row["FN"] for row in counts.values())
+    fp_found = sum(row["FP"] for row in counts.values())
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        if suppressed:
+            print(f"{suppressed} sanitizer report(s) baseline-suppressed")
+        findings = result.findings()
+        if findings:
+            print("findings:")
+            for verdict in findings:
+                print("  " + verdict.render())
+    if args.min_fn is not None and fn_found < args.min_fn:
+        return 1
+    if args.min_fp is not None and fp_found < args.min_fp:
         return 1
     return 0
 
@@ -597,6 +698,52 @@ def build_parser() -> argparse.ArgumentParser:
                                "directory (pass the original flags)")
     _add_input_flags(generate)
     generate.set_defaults(func=cmd_generate)
+
+    sancheck = sub.add_parser(
+        "sancheck", help="sanitizer-validation campaign: relocate, judge, bank"
+    )
+    sancheck.add_argument("--fixtures", default=None, metavar="DIR",
+                          help="planted fixture corpus (manifest.json + programs)")
+    sancheck.add_argument("--corpus", default=None, metavar="DIR",
+                          help="generative corpus bank to pull seeds from")
+    sancheck.add_argument("--seed", type=int, default=0,
+                          help="first generator seed (with --budget)")
+    sancheck.add_argument("--budget", type=int, default=0,
+                          help="generator seeds to draw (0 = none)")
+    sancheck.add_argument("--profile", default="ub",
+                          help="generator profile for --budget seeds")
+    sancheck.add_argument("--bank", default=None, metavar="DIR",
+                          help="finding bank directory (created/extended)")
+    sancheck.add_argument("--relocations", default=None,
+                          help="comma-separated relocation kinds "
+                               "(default: outline,loop_shift,carry)")
+    sancheck.add_argument("--no-reduce", action="store_true",
+                          help="bank raw FN/FP programs without reduction")
+    sancheck.add_argument("--step-budget", type=int, default=200,
+                          help="max accepted reduction steps per finding")
+    sancheck.add_argument("--min-fn", type=int, default=None,
+                          help="exit 1 unless at least this many FNs found")
+    sancheck.add_argument("--min-fp", type=int, default=None,
+                          help="exit 1 unless at least this many FPs found")
+    sancheck.add_argument("--json", action="store_true",
+                          help="print the scoreboard as JSON")
+    sancheck.add_argument("--out", default=None, metavar="FILE",
+                          help="also write the scoreboard JSON to FILE")
+    sancheck.add_argument("--sarif", default=None, metavar="FILE",
+                          help="write fired sanitizer reports as SARIF 2.1.0")
+    sancheck.add_argument("--baseline", default=None, metavar="FILE",
+                          help="suppress sanitizer reports by fingerprint")
+    sancheck.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the CompDiff oracle")
+    sancheck.add_argument("--checkpoint-dir", default=None,
+                          help="journal campaign progress into this directory")
+    sancheck.add_argument("--checkpoint-every", type=int, default=1,
+                          help="processed seeds between periodic checkpoints")
+    sancheck.add_argument("--resume", default=None, metavar="DIR",
+                          help="resume a killed campaign from its checkpoint "
+                               "directory (pass the original flags)")
+    _add_input_flags(sancheck)
+    sancheck.set_defaults(func=cmd_sancheck)
 
     loc = sub.add_parser("localize", help="trace-alignment fault localization")
     loc.add_argument("file")

@@ -42,19 +42,35 @@ class Sanitizer:
         )
         return ForkServer(binary, fuel=self.fuel)
 
-    def check(
+    def check_all(
         self, program: minic_ast.Program, inputs: list[bytes], name: str = ""
-    ) -> SanitizerFinding | None:
-        """Run *inputs* under the sanitizer; return the first finding."""
+    ) -> list[SanitizerFinding]:
+        """Run every input under the sanitizer; return every finding.
+
+        At most one finding per input — an instrumented run aborts at
+        its first report, like the real tools without
+        ``halt_on_error=0`` — but distinct inputs can each contribute
+        one, which is what false-positive accounting needs.
+        """
         server = self.build(program, name=name)
+        findings: list[SanitizerFinding] = []
         for input_bytes in inputs:
             result = server.run(input_bytes)
             if result.sanitizer_report is not None:
                 kind, line, detail = result.sanitizer_report
-                return SanitizerFinding(
-                    tool=self.name, kind=kind, line=line, detail=detail, input=input_bytes
+                findings.append(
+                    SanitizerFinding(
+                        tool=self.name, kind=kind, line=line, detail=detail, input=input_bytes
+                    )
                 )
-        return None
+        return findings
+
+    def check(
+        self, program: minic_ast.Program, inputs: list[bytes], name: str = ""
+    ) -> SanitizerFinding | None:
+        """Run *inputs* under the sanitizer; return the first finding."""
+        findings = self.check_all(program, inputs, name=name)
+        return findings[0] if findings else None
 
     def check_source(self, source: str, inputs: list[bytes]) -> SanitizerFinding | None:
         """Like :meth:`check`, from source text."""

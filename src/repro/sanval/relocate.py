@@ -1,0 +1,254 @@
+"""UB-site relocation: semantics-preserving variants that move UB activation.
+
+UBfuzz's core observation (PAPERS.md) is that sanitizer implementations
+are sensitive to *where* undefined behavior activates, not just whether
+it does: an overflow a checker catches in straight-line ``main`` can go
+unreported once the same overflow executes inside a callee, on a later
+loop iteration, or after the poisoned value crossed a call boundary.
+This module produces those variants over the MiniC AST:
+
+* ``outline`` — move the whole body of ``main`` into a fresh callee
+  (``__sv_outlined``) that ``main`` tail-calls, shifting the UB site
+  across a **function boundary** (new frame, new stack layout, new
+  redzone geometry);
+* ``loop_shift`` — wrap the body in a two-iteration loop whose first
+  iteration is a no-op, so the UB executes on a **different loop
+  iteration** than in the original straight-line program;
+* ``carry`` — route integer values at the UB site through per-type
+  identity helpers (``__sv_carry_i32`` etc.), so the poisoned value
+  crosses a **call boundary** via parameter and return.
+
+Every variant is validated the same way the reducer validates its
+candidates: print with :func:`repro.minic.to_source`, re-``load`` (parse
++ semantic check), and discard the variant on any failure.  Programs
+already using the ``__sv_`` name prefix are refused outright — the
+transformer must never capture or shadow user names.
+
+Relocation preserves *defined* semantics by construction (an identity
+call, a guarded loop, and function outlining are all behavior-neutral
+for UB-free programs — ``tests/test_sanval_relocate.py`` checks this
+byte-for-byte across all ten implementations).  What it deliberately
+does **not** preserve is implementation-defined detail like frame
+layout: that is the degree of freedom the sanitizer-validation campaign
+exploits.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.minic import ast, load, to_source
+from repro.minic.types import IntType
+
+#: All relocation kinds, in campaign sweep order.
+RELOCATION_KINDS = ("outline", "loop_shift", "carry")
+
+#: Reserved name prefix for transformer-introduced functions/variables.
+SV_PREFIX = "__sv_"
+
+_INT = IntType(32, True)
+
+
+@dataclass(frozen=True)
+class RelocatedVariant:
+    """One validated relocation of a seed program."""
+
+    kind: str
+    source: str
+
+
+def relocate(source: str, kind: str, line: int | None = None) -> str | None:
+    """Apply relocation *kind* to *source*; None when it does not apply.
+
+    ``line`` focuses the ``carry`` relocation on the statements at that
+    source line (typically the oracle-confirmed UB site); without it,
+    every eligible statement is carried.  The result is guaranteed to
+    re-parse and re-check; callers re-establish the semantic ground
+    truth themselves (oracle + differential verdict) per variant.
+    """
+    if kind not in RELOCATION_KINDS:
+        raise ValueError(f"unknown relocation kind {kind!r}")
+    try:
+        program = load(source)
+    except ReproError:
+        return None
+    if _uses_sv_prefix(program):
+        return None
+    mutated = copy.deepcopy(program)
+    applied = _TRANSFORMS[kind](mutated, line)
+    if not applied:
+        return None
+    try:
+        candidate = to_source(mutated)
+        load(candidate)
+    except ReproError:
+        return None
+    if candidate == source:
+        return None
+    return candidate
+
+
+def relocation_variants(
+    source: str, line: int | None = None, kinds: tuple[str, ...] = RELOCATION_KINDS
+) -> list[RelocatedVariant]:
+    """Every applicable relocation of *source*, in sweep order."""
+    variants: list[RelocatedVariant] = []
+    for kind in kinds:
+        candidate = relocate(source, kind, line=line)
+        if candidate is not None:
+            variants.append(RelocatedVariant(kind=kind, source=candidate))
+    return variants
+
+
+# --------------------------------------------------------------------------
+# Transforms (mutate a checked AST in place; return True when applied)
+# --------------------------------------------------------------------------
+
+
+def _outline(program: ast.Program, line: int | None) -> bool:
+    """Move main's body into ``__sv_outlined``; main tail-calls it."""
+    main = program.function("main")
+    if main is None or main.params:
+        return False
+    if not main.body.body:
+        return False
+    outlined = ast.FuncDef(
+        0,
+        0,
+        name=f"{SV_PREFIX}outlined",
+        ret_type=main.ret_type,
+        params=[],
+        body=main.body,
+    )
+    call = ast.Call(0, 0, func=ast.Ident(0, 0, name=outlined.name), args=[])
+    main.body = ast.Block(0, 0, body=[ast.Return(0, 0, value=call)])
+    program.decls.insert(program.decls.index(main), outlined)
+    return True
+
+
+def _loop_shift(program: ast.Program, line: int | None) -> bool:
+    """Run main's body on iteration 1 of a fresh two-iteration loop."""
+    main = program.function("main")
+    if main is None or not main.body.body:
+        return False
+    counter = f"{SV_PREFIX}i"
+    ident = lambda: ast.Ident(0, 0, name=counter)  # noqa: E731 - local factory
+    guard = ast.If(
+        0,
+        0,
+        cond=ast.Binary(0, 0, op="==", lhs=ident(), rhs=ast.IntLit(0, 0, value=1)),
+        then=ast.Block(0, 0, body=main.body.body),
+        otherwise=None,
+    )
+    loop = ast.For(
+        0,
+        0,
+        init=ast.VarDecl(0, 0, name=counter, var_type=_INT, init=ast.IntLit(0, 0, value=0)),
+        cond=ast.Binary(0, 0, op="<", lhs=ident(), rhs=ast.IntLit(0, 0, value=2)),
+        step=ast.Assign(
+            0,
+            0,
+            op="=",
+            target=ident(),
+            value=ast.Binary(0, 0, op="+", lhs=ident(), rhs=ast.IntLit(0, 0, value=1)),
+        ),
+        body=ast.Block(0, 0, body=[guard]),
+    )
+    main.body = ast.Block(0, 0, body=[loop])
+    return True
+
+
+def _carry(program: ast.Program, line: int | None) -> bool:
+    """Pass integer values at the UB site through identity helpers."""
+    carried_types: set[IntType] = set()
+
+    def wrap(expr: ast.Expr) -> ast.Expr:
+        ty = expr.ty
+        if not isinstance(ty, IntType):
+            return expr
+        carried_types.add(ty)
+        return ast.Call(
+            0, 0, func=ast.Ident(0, 0, name=_carry_name(ty)), args=[expr]
+        )
+
+    wrapped = 0
+    for func in program.functions():
+        for stmt in ast.walk_stmts(func.body):
+            if line is not None and stmt.line != line:
+                continue
+            wrapped += _carry_stmt(stmt, wrap)
+    if not wrapped:
+        return False
+    helpers = [_carry_helper(ty) for ty in sorted(carried_types, key=_carry_name)]
+    program.decls[:0] = helpers
+    return True
+
+
+def _carry_stmt(stmt: ast.Stmt, wrap) -> int:
+    """Wrap the carry-eligible expression slots of one statement."""
+    before = _CarryCount()
+    if isinstance(stmt, ast.ExprStmt):
+        expr = stmt.expr
+        if isinstance(expr, ast.Assign):
+            expr.value = before.note(wrap(expr.value))
+            if isinstance(expr.target, ast.Index):
+                expr.target.index = before.note(wrap(expr.target.index))
+        elif isinstance(expr, ast.Call):
+            expr.args = [before.note(wrap(arg)) for arg in expr.args]
+    elif isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+        stmt.init = before.note(wrap(stmt.init))
+    elif isinstance(stmt, (ast.If, ast.While, ast.DoWhile, ast.Switch)):
+        stmt.cond = before.note(wrap(stmt.cond))
+    elif isinstance(stmt, ast.Return) and stmt.value is not None:
+        stmt.value = before.note(wrap(stmt.value))
+    return before.wrapped
+
+
+class _CarryCount:
+    """Counts how many slots :func:`_carry_stmt` actually rewrote."""
+
+    def __init__(self) -> None:
+        self.wrapped = 0
+
+    def note(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Ident):
+            if expr.func.name.startswith(f"{SV_PREFIX}carry_"):
+                self.wrapped += 1
+        return expr
+
+
+def _carry_name(ty: IntType) -> str:
+    sign = "i" if ty.signed else "u"
+    return f"{SV_PREFIX}carry_{sign}{ty.bits}"
+
+
+def _carry_helper(ty: IntType) -> ast.FuncDef:
+    param = ast.Param(0, 0, name=f"{SV_PREFIX}v", param_type=ty)
+    body = ast.Block(0, 0, body=[ast.Return(0, 0, value=ast.Ident(0, 0, name=param.name))])
+    return ast.FuncDef(0, 0, name=_carry_name(ty), ret_type=ty, params=[param], body=body)
+
+
+def _uses_sv_prefix(program: ast.Program) -> bool:
+    """True when any declared or referenced name collides with ours."""
+    for decl in program.decls:
+        name = getattr(decl, "name", "")
+        if isinstance(name, str) and name.startswith(SV_PREFIX):
+            return True
+    for func in program.functions():
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.VarDecl) and stmt.name.startswith(SV_PREFIX):
+                return True
+            for top in ast.statement_exprs(stmt):
+                for expr in ast.walk_expr(top):
+                    if isinstance(expr, ast.Ident) and expr.name.startswith(SV_PREFIX):
+                        return True
+    return False
+
+
+_TRANSFORMS = {
+    "outline": _outline,
+    "loop_shift": _loop_shift,
+    "carry": _carry,
+}

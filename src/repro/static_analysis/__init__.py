@@ -21,10 +21,12 @@ from repro.static_analysis.base import StaticAnalyzer, StaticFinding, dedupe_fin
 from repro.static_analysis.coverity import Coverity
 from repro.static_analysis.cppcheck import Cppcheck
 from repro.static_analysis.diagnostics import (
+    SANITIZER_KIND_CATEGORY,
     Baseline,
     Diagnostic,
     all_tool_diagnostics,
     diagnostic_sort_key,
+    from_sanitizer_finding,
     to_diagnostics,
 )
 from repro.static_analysis.infer import Infer
@@ -59,6 +61,7 @@ def all_static_tools() -> list[StaticAnalyzer]:
 
 __all__ = [
     "Baseline",
+    "SANITIZER_KIND_CATEGORY",
     "Coverity",
     "Cppcheck",
     "Diagnostic",
@@ -78,6 +81,7 @@ __all__ = [
     "diagnostic_sort_key",
     "dedupe_findings",
     "flagged_blocks",
+    "from_sanitizer_finding",
     "refine_findings",
     "summarize_module",
     "to_diagnostics",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -54,6 +55,29 @@ STATIC_CHECKER_CATEGORY = {
     "cast_struct": "Misc",
     "mul_zero": "IntError",
 }
+
+#: Table 5 category per sanitizer report kind — the dynamic-tool side
+#: of the unified model (``repro.sanitizers``).
+SANITIZER_KIND_CATEGORY = {
+    "stack-buffer-overflow": "MemError",
+    "heap-buffer-overflow": "MemError",
+    "global-buffer-overflow": "MemError",
+    "heap-use-after-free": "MemError",
+    "double-free": "MemError",
+    "bad-free": "MemError",
+    "memcpy-param-overlap": "MemError",
+    "signed-integer-overflow": "IntError",
+    "division-by-zero": "IntError",
+    "invalid-shift": "IntError",
+    "null-pointer-dereference": "MemError",
+    "function-type-mismatch": "Misc",
+    "use-of-uninitialized-value": "UninitMem",
+}
+
+#: Runtime addresses in sanitizer report details are layout-dependent
+#: (they differ across implementations and even relocations of the same
+#: program); scrubbing them keeps Diagnostic fingerprints stable.
+_ADDRESS = re.compile(r"0x[0-9a-fA-F]+")
 
 ERROR = "error"
 WARNING = "warning"
@@ -140,8 +164,32 @@ def from_static_finding(finding: StaticFinding) -> Diagnostic:
     )
 
 
+def from_sanitizer_finding(finding, function: str = "") -> Diagnostic:
+    """Bridge a :class:`~repro.sanitizers.base.SanitizerFinding`.
+
+    Sanitizer reports are dynamic evidence, so they map to ``error``
+    severity; the report kind doubles as the checker id.  Addresses in
+    the detail text are scrubbed so the fingerprint survives layout
+    changes (relocation, re-linking) that move the fault but not the
+    bug.
+    """
+    detail = _ADDRESS.sub("0x?", finding.detail)
+    message = f"{finding.kind}: {detail}" if detail else finding.kind
+    return Diagnostic(
+        tool=finding.tool,
+        checker=finding.kind,
+        category=SANITIZER_KIND_CATEGORY.get(finding.kind, "Misc"),
+        severity=ERROR,
+        line=finding.line,
+        function=function,
+        message=message,
+    )
+
+
 def to_diagnostics(findings) -> list[Diagnostic]:
-    """Convert any mix of UBFinding/StaticFinding/Diagnostic, sorted."""
+    """Convert any mix of UBFinding/StaticFinding/SanitizerFinding/Diagnostic."""
+    from repro.sanitizers.base import SanitizerFinding
+
     out: list[Diagnostic] = []
     for finding in findings:
         if isinstance(finding, Diagnostic):
@@ -150,6 +198,8 @@ def to_diagnostics(findings) -> list[Diagnostic]:
             out.append(from_ub_finding(finding))
         elif isinstance(finding, StaticFinding):
             out.append(from_static_finding(finding))
+        elif isinstance(finding, SanitizerFinding):
+            out.append(from_sanitizer_finding(finding))
         else:
             raise TypeError(f"cannot unify finding of type {type(finding).__name__}")
     return sorted(out, key=diagnostic_sort_key)

@@ -1,0 +1,11 @@
+int main(void) {
+    char a[8];
+    char z[64];
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        z[i] = 7;
+    }
+    a[2] = 1;
+    printf("%d\n", z[0]);
+    return 0;
+}

@@ -1,0 +1,5 @@
+int main(void) {
+    int x;
+    printf("%d\n", x);
+    return 0;
+}

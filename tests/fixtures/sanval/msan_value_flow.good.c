@@ -1,0 +1,6 @@
+int main(void) {
+    int x;
+    x = 3;
+    printf("%d\n", x);
+    return 0;
+}

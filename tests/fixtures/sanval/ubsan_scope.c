@@ -1,0 +1,5 @@
+int main(void) {
+    int x = 2147483647;
+    printf("%d\n", x + 1);
+    return 0;
+}

@@ -1,0 +1,8 @@
+int helper(int a, int b) {
+    return a - a;
+}
+
+int main(void) {
+    printf("%d\n", helper(1));
+    return 0;
+}

@@ -204,6 +204,74 @@ class TestMSan:
         assert kind_of(MSAN, src) == "use-of-uninitialized-value"
 
 
+#: One minimal firing program per documented report kind, per tool.
+KIND_WITNESSES = {
+    "asan": {
+        "stack-buffer-overflow": "int main(void){ char b[8]; b[8 + (int)input_size()] = 1; return 0; }",
+        "heap-buffer-overflow": "int main(void){ char *p = malloc(8); p[8 + (int)input_size()] = 1; return 0; }",
+        "global-buffer-overflow": "char g[4];\nint main(void){ g[4 + (int)input_size()] = 1; return 0; }",
+        "heap-use-after-free": 'int main(void){ char *p = malloc(8); free(p); printf("%d", p[0]); return 0; }',
+        "double-free": "int main(void){ char *p = malloc(8); free(p); free(p); return 0; }",
+        "bad-free": "int main(void){ char b[8]; free(b); return 0; }",
+        "memcpy-param-overlap": "int main(void){ char b[16]; memset(b, 65, 16); memcpy(b + 2, b, 8); return 0; }",
+    },
+    "ubsan": {
+        "signed-integer-overflow": 'int main(void){ int x = 2147483647; printf("%d", x + 1); return 0; }',
+        "division-by-zero": 'int main(void){ int d = (int)input_size(); printf("%d", 1 / d); return 0; }',
+        "invalid-shift": 'int main(void){ int s = 33 + (int)input_size(); printf("%d", 1 << s); return 0; }',
+        "null-pointer-dereference": "int main(void){ int *p = (int*)0; return *p; }",
+        "function-type-mismatch": "int f(int a, int b) { return a + b; }\nint main(void){ return f(1); }",
+    },
+    "msan": {
+        "use-of-uninitialized-value": 'int main(void){ int x; if (x > 0) printf("p"); return 0; }',
+    },
+}
+
+
+class TestCheckAll:
+    # First byte 48 ('0') divides by zero; anything else is clean.
+    BY_INPUT = (
+        "int main(void){ int d = (int)input_byte(0) - 48;"
+        ' printf("%d", 100 / d); return 0; }'
+    )
+
+    def test_one_finding_per_firing_input(self):
+        from repro.minic import load
+
+        findings = UBSAN.check_all(load(self.BY_INPUT), [b"0", b"5", b"0x"])
+        assert [f.input for f in findings] == [b"0", b"0x"]
+        assert {f.kind for f in findings} == {"division-by-zero"}
+
+    def test_clean_program_yields_no_findings(self):
+        from repro.minic import load
+
+        src = "int main(void){ return 0; }"
+        for sanitizer in all_sanitizers():
+            assert sanitizer.check_all(load(src), [b"", b"abc"]) == []
+
+    def test_check_is_first_of_check_all(self):
+        from repro.minic import load
+
+        program = load(self.BY_INPUT)
+        inputs = [b"7", b"0", b"0z"]
+        first = UBSAN.check(program, inputs)
+        everything = UBSAN.check_all(program, inputs)
+        assert first == everything[0]
+        assert len(everything) == 2
+
+    def test_witness_table_covers_every_documented_kind(self):
+        for sanitizer in all_sanitizers():
+            assert set(KIND_WITNESSES[sanitizer.name]) == sanitizer.detects
+
+    @pytest.mark.parametrize(
+        "tool,kind",
+        [(tool, kind) for tool, table in KIND_WITNESSES.items() for kind in table],
+    )
+    def test_every_documented_kind_fires(self, tool, kind):
+        sanitizer = {t.name: t for t in all_sanitizers()}[tool]
+        assert kind_of(sanitizer, KIND_WITNESSES[tool][kind]) == kind
+
+
 class TestScopes:
     def test_all_sanitizers_returns_three(self):
         tools = all_sanitizers()

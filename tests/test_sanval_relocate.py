@@ -1,0 +1,146 @@
+"""Relocation transformer invariants (repro.sanval.relocate).
+
+The two contracts the verdict engine leans on:
+
+* relocation preserves *observable behavior* on UB-free programs —
+  byte-identical stdout/exit/status across all ten implementations;
+* relocation preserves the *oracle's UB classification* on UB programs —
+  the confirmed checker survives the move across function/loop/call
+  boundaries (where it does not, the campaign drops the variant instead
+  of judging it, which tests/test_sanval_campaign.py covers).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from tests.conftest import outputs_across_impls
+from repro.minic import load
+from repro.sanval import RELOCATION_KINDS, relocate, relocation_variants
+from repro.static_analysis.ub_oracle import CONFIRMED, UBOracle
+
+pytestmark = pytest.mark.sanval
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "sanval"
+
+CLEAN = """int helper(int v) {
+    return v + 2;
+}
+
+int main(void) {
+    int total;
+    int i;
+    total = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        total = total + helper(i);
+    }
+    if (total > 10) {
+        printf("big %d\\n", total);
+    } else {
+        printf("small %d\\n", total);
+    }
+    return 0;
+}
+"""
+
+CLEAN_INPUT = """int main(void) {
+    int c = (int)input_byte(0);
+    if (c == 65) {
+        printf("A\\n");
+    } else {
+        printf("other %d\\n", c);
+    }
+    return 0;
+}
+"""
+
+
+def confirmed_checkers(source: str) -> set[str]:
+    oracle = UBOracle(mode="interproc")
+    report = oracle.report(load(source))
+    return {f.checker for f in report.findings if f.confidence == CONFIRMED}
+
+
+class TestBehaviorPreservation:
+    @pytest.mark.parametrize("kind", RELOCATION_KINDS)
+    def test_clean_program_output_identical_across_all_impls(self, kind):
+        variant = relocate(CLEAN, kind)
+        assert variant is not None, f"{kind} did not apply to the clean program"
+        original = outputs_across_impls(CLEAN)
+        relocated = outputs_across_impls(variant)
+        assert relocated == original
+
+    @pytest.mark.parametrize("kind", RELOCATION_KINDS)
+    def test_input_dependent_program_preserved_on_both_branches(self, kind):
+        variant = relocate(CLEAN_INPUT, kind)
+        assert variant is not None
+        for input_bytes in (b"A", b"z"):
+            assert outputs_across_impls(variant, input_bytes) == outputs_across_impls(
+                CLEAN_INPUT, input_bytes
+            )
+
+    def test_good_twin_fixtures_preserved(self):
+        for path in sorted(FIXTURES.glob("*.good.c")):
+            source = path.read_text()
+            original = outputs_across_impls(source)
+            for variant in relocation_variants(source):
+                assert outputs_across_impls(variant.source) == original, (
+                    path.name,
+                    variant.kind,
+                )
+
+
+class TestOracleClassificationPreservation:
+    @pytest.mark.parametrize(
+        "fixture", ["asan_far_oob.c", "msan_value_flow.c", "ubsan_scope.c"]
+    )
+    @pytest.mark.parametrize("kind", ("outline", "loop_shift"))
+    def test_confirmed_checker_survives_relocation(self, fixture, kind):
+        source = (FIXTURES / fixture).read_text()
+        original = confirmed_checkers(source)
+        assert original, "fixture must carry a confirmed finding"
+        variant = relocate(source, kind)
+        assert variant is not None
+        assert confirmed_checkers(variant) & original
+
+    def test_carry_preserves_uninit_and_overflow(self):
+        for fixture, line in (("msan_value_flow.c", 3), ("ubsan_scope.c", 3)):
+            source = (FIXTURES / fixture).read_text()
+            variant = relocate(source, "carry", line=line)
+            assert variant is not None, fixture
+            assert confirmed_checkers(variant) & confirmed_checkers(source)
+
+
+class TestTransformerHygiene:
+    def test_variants_reload_cleanly(self):
+        for variant in relocation_variants(CLEAN):
+            load(variant.source)
+
+    def test_outline_moves_body_into_callee(self):
+        variant = relocate(CLEAN, "outline")
+        program = load(variant)
+        assert program.function("__sv_outlined") is not None
+        main = program.function("main")
+        assert len(main.body.body) == 1
+
+    def test_carry_introduces_identity_helpers(self):
+        variant = relocate(CLEAN, "carry")
+        assert "__sv_carry_i32" in variant
+
+    def test_sv_prefix_collision_refused(self):
+        source = "int __sv_mine(void) { return 1; }\nint main(void) { return __sv_mine(); }\n"
+        for kind in RELOCATION_KINDS:
+            assert relocate(source, kind) is None
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            relocate(CLEAN, "teleport")
+
+    def test_outline_skips_main_with_params(self):
+        source = "int main(int argc) { return argc; }\n"
+        assert relocate(source, "outline") is None
+
+    def test_invalid_source_returns_none(self):
+        assert relocate("int main(void { return 0; }", "outline") is None
