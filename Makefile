@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-passes test-generative test-sanval test-verified smoke-generate sancheck sancheck-baseline bench bench-quick bench-scaling bench-passes precision analyze examples clean
+.PHONY: install test test-fast test-faults test-passes test-generative test-sanval test-verified smoke-generate sancheck sancheck-baseline chaos bench bench-quick bench-scaling bench-passes precision analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -50,6 +50,14 @@ sancheck:
 # Refresh the committed sanitizer-validation scoreboard baseline.
 sancheck-baseline:
 	cd benchmarks && $(PYTHON) bench_sanval.py
+
+# Chaos smoke: sharded campaigns under injected shard faults (crash,
+# hang, checkpoint corruption, poison seed) must merge a corpus
+# byte-identical to a fault-free serial run, quarantining only the
+# poison seed.  The hard timeout is part of the contract: a watchdog
+# regression fails by timeout instead of stalling.  docs/ROBUSTNESS.md.
+chaos:
+	timeout 600 $(PYTHON) benchmarks/chaos_smoke.py
 
 # Same suite with IR verification enabled after every compile (and,
 # with the pass manager, after every individual pass application).

@@ -1,0 +1,16 @@
+"""Shared campaign infrastructure: sharded runtime, SIGINT, salvage.
+
+The generative campaign (``repro generate``) and the sanitizer-validation
+campaign (``repro sancheck``) are different pipelines over the same
+shape: a deterministic seed list walked in order, checkpointed at seed
+boundaries, banking into a keyed, deduped corpus.  This package holds
+the machinery that shape shares:
+
+* :mod:`repro.campaigns.sigint` — deferred Ctrl-C: interrupt at a seed
+  boundary with the checkpoint flushed, never mid-seed;
+* :mod:`repro.campaigns.runtime` — the sharded, self-healing campaign
+  supervisor (seed-range partitioning, watchdogs, quarantine,
+  deterministic merge);
+* :mod:`repro.campaigns.fsck` — corpus salvage for corrupted banks
+  (``repro bank fsck``).
+"""

@@ -12,6 +12,7 @@ Commands:
 * ``analyze FILE``   — IR-level UB findings plus divergence triage;
 * ``precision``      — per-checker TP/FP/FN scoreboard vs the oracle;
 * ``bisect FILE``    — attribute a divergence to one pass application;
+* ``bank fsck DIR``  — salvage a corrupted corpus bank;
 * ``impls``          — list the compiler implementations;
 * ``targets``        — print the Table 4 target inventory.
 """
@@ -142,19 +143,57 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if result.diffs_found else 0
 
 
+def _shard_policy(args: argparse.Namespace):
+    from repro.campaigns.runtime import ShardPolicy
+
+    return ShardPolicy(
+        seed_deadline=args.seed_deadline,
+        max_seed_attempts=args.max_seed_attempts,
+    )
+
+
+def _print_shard_summary(runtime) -> None:
+    shards = runtime.stats.snapshot()["shards"]
+    print(
+        f"shards: {runtime.shards} workers, {shards['restarts']} restarts, "
+        f"{shards['adoptions']} ranges adopted, "
+        f"{shards['seeds_quarantined']} seeds quarantined"
+    )
+    for entry in runtime.quarantine:
+        print(f"  quarantined offset {entry.seq} ({entry.label}): {entry.reason}")
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     """`repro generate`: a generative fuzzing campaign.
 
     Walks ``--budget`` generator seeds starting at ``--seed`` through
     generate→diff→reduce→bank (docs/GENERATIVE.md), appending reduced
     repros to the ``--corpus`` directory.  Deterministic: the same seed
-    range and options always produce the same banked set.  Exit 0 when
-    the run banked at least one new repro (or found no divergence but
-    completed), 1 when ``--min-banked`` was requested and not reached.
+    range and options always produce the same banked set — including
+    under ``--shards N``, which partitions the range across N supervised
+    worker processes (docs/ROBUSTNESS.md) and merges their bank shards
+    byte-identically to a serial run.  Exit 0 when the run banked at
+    least one new repro (or found no divergence but completed), 1 when
+    ``--min-banked`` was requested and not reached.
     """
     from repro.generative import CorpusBank, GenerativeCampaign, GenerativeOptions
 
     checkpoint_dir = args.checkpoint_dir or args.resume
+    if args.shards > 1:
+        if not checkpoint_dir:
+            print(
+                "generate: --shards needs --checkpoint-dir "
+                "(shard state lives there)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.min_banked is not None:
+            print(
+                "generate: --min-banked is discovery-order-dependent and "
+                "incompatible with --shards",
+                file=sys.stderr,
+            )
+            return 2
     options = GenerativeOptions(
         seed=args.seed,
         budget=args.budget,
@@ -168,9 +207,22 @@ def cmd_generate(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     bank = CorpusBank(args.corpus)
+    runtime = None
     try:
-        with GenerativeCampaign(options, bank) as campaign:
-            result = campaign.run()
+        if args.shards > 1:
+            from repro.campaigns.runtime import CampaignRuntime, GenerativeShardAdapter
+
+            runtime = CampaignRuntime(
+                GenerativeShardAdapter(options),
+                bank,
+                root=checkpoint_dir,
+                shards=args.shards,
+                policy=_shard_policy(args),
+            )
+            result = runtime.run()
+        else:
+            with GenerativeCampaign(options, bank) as campaign:
+                result = campaign.run()
     except KeyboardInterrupt:
         if checkpoint_dir:
             print(
@@ -182,6 +234,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
             print("interrupted (no --checkpoint-dir; progress lost)", file=sys.stderr)
         return 130
     print(result.render())
+    if runtime is not None:
+        _print_shard_summary(runtime)
     for repro in bank:
         if repro.key in result.keys:
             drift = " [culprit drift]" if repro.culprit_drifted else ""
@@ -231,6 +285,12 @@ def cmd_sancheck(args: argparse.Namespace) -> int:
             print(f"sancheck: unknown relocation(s) {','.join(unknown)}", file=sys.stderr)
             return 2
     checkpoint_dir = args.checkpoint_dir or args.resume
+    if args.shards > 1 and not checkpoint_dir:
+        print(
+            "sancheck: --shards needs --checkpoint-dir (shard state lives there)",
+            file=sys.stderr,
+        )
+        return 2
     options = SancheckOptions(
         fixtures=args.fixtures,
         corpus=args.corpus,
@@ -246,9 +306,22 @@ def cmd_sancheck(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     bank = FindingBank(args.bank) if args.bank else None
+    runtime = None
     try:
-        with SancheckCampaign(options, bank=bank) as campaign:
-            result = campaign.run()
+        if args.shards > 1:
+            from repro.campaigns.runtime import CampaignRuntime, SancheckShardAdapter
+
+            runtime = CampaignRuntime(
+                SancheckShardAdapter(options),
+                bank,
+                root=checkpoint_dir,
+                shards=args.shards,
+                policy=_shard_policy(args),
+            )
+            result = runtime.run()
+        else:
+            with SancheckCampaign(options, bank=bank) as campaign:
+                result = campaign.run()
     except KeyboardInterrupt:
         if checkpoint_dir:
             print(
@@ -281,6 +354,8 @@ def cmd_sancheck(args: argparse.Namespace) -> int:
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
     else:
         print(result.render())
+        if runtime is not None:
+            _print_shard_summary(runtime)
         if suppressed:
             print(f"{suppressed} sanitizer report(s) baseline-suppressed")
         findings = result.findings()
@@ -293,6 +368,33 @@ def cmd_sancheck(args: argparse.Namespace) -> int:
     if args.min_fp is not None and fp_found < args.min_fp:
         return 1
     return 0
+
+
+def cmd_bank_fsck(args: argparse.Namespace) -> int:
+    """`repro bank fsck`: salvage a corrupted corpus bank.
+
+    Quarantines unloadable manifest entries, key mismatches, duplicate
+    keys, and orphaned program files into a ``corrupt/`` sidecar (with a
+    ledger recording why), then rewrites the manifest over the
+    survivors so the bank loads cleanly again (docs/ROBUSTNESS.md).
+    Exit 0 when the bank was already clean, 1 when something was
+    salvaged, 2 when the directory is not a bank at all.
+    """
+    import json
+
+    from repro.campaigns.fsck import fsck_bank
+    from repro.errors import ReproError
+
+    try:
+        report = fsck_bank(args.dir, kind=args.kind)
+    except ReproError as exc:
+        print(f"bank fsck: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
 
 
 def cmd_localize(args: argparse.Namespace) -> int:
@@ -623,6 +725,20 @@ def cmd_targets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_shard_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shards", type=int, default=1,
+                        help="partition the seed range across this many "
+                             "supervised worker processes (needs "
+                             "--checkpoint-dir; merged corpus is "
+                             "byte-identical to a serial run)")
+    parser.add_argument("--seed-deadline", type=float, default=120.0,
+                        help="seconds a shard may sit on one seed before "
+                             "it is declared hung and restarted")
+    parser.add_argument("--max-seed-attempts", type=int, default=3,
+                        help="blamed failures before a seed is quarantined "
+                             "as poison and skipped")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -696,6 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--resume", default=None, metavar="DIR",
                           help="resume a killed campaign from its checkpoint "
                                "directory (pass the original flags)")
+    _add_shard_flags(generate)
     _add_input_flags(generate)
     generate.set_defaults(func=cmd_generate)
 
@@ -742,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
     sancheck.add_argument("--resume", default=None, metavar="DIR",
                           help="resume a killed campaign from its checkpoint "
                                "directory (pass the original flags)")
+    _add_shard_flags(sancheck)
     _add_input_flags(sancheck)
     sancheck.set_defaults(func=cmd_sancheck)
 
@@ -818,6 +936,20 @@ def build_parser() -> argparse.ArgumentParser:
     ir.add_argument("file")
     ir.add_argument("--impl", default="gcc-O2", choices=implementation_names())
     ir.set_defaults(func=cmd_ir)
+
+    bank = sub.add_parser("bank", help="corpus bank maintenance")
+    bank_sub = bank.add_subparsers(dest="bank_command", required=True)
+    fsck = bank_sub.add_parser(
+        "fsck", help="salvage a corrupted bank into a corrupt/ sidecar"
+    )
+    fsck.add_argument("dir", help="bank directory to salvage")
+    fsck.add_argument("--kind", default="auto",
+                      choices=("auto", "generative", "sancheck"),
+                      help="bank kind when the manifest is too damaged "
+                           "to detect it from")
+    fsck.add_argument("--json", action="store_true",
+                      help="print the salvage report as JSON")
+    fsck.set_defaults(func=cmd_bank_fsck)
 
     impls = sub.add_parser("impls", help="list compiler implementations")
     impls.add_argument("--pipelines", action="store_true",

@@ -19,9 +19,13 @@ same diagnostics, same attribution, same implementations disagreeing —
 bank once.  Exact diagnostic fingerprints stay in the metadata for
 drill-down.
 
-Manifest writes are atomic (tmp + ``os.replace``), so a campaign killed
-mid-bank leaves the previous corpus intact; program files are written
-before the manifest references them.
+Manifest and program writes are atomic *and durable* (tmp + fsync +
+``os.replace`` + directory fsync via :mod:`repro.persist`), so a
+campaign killed mid-bank leaves the previous corpus intact; program
+files are written before the manifest references them.  A bank that was
+corrupted anyway (bit rot, a partial copy) is salvaged by
+``repro bank fsck`` (:mod:`repro.campaigns.fsck`) rather than repaired
+here: loading stays strict so corruption is never silently absorbed.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from pathlib import Path
 
 from repro.errors import ReproError
 from repro.juliet.generator import TestCase
+from repro.persist import atomic_write_json, atomic_write_text
 
 #: Manifest format version; bump on incompatible layout changes.
 BANK_SCHEMA_VERSION = 1
@@ -248,8 +253,8 @@ class CorpusBank:
         if repro.key in self._repros:
             return False
         self.programs_dir.mkdir(parents=True, exist_ok=True)
-        self._source_path(repro.key).write_text(repro.source)
-        self._good_path(repro.key).write_text(repro.good_source)
+        atomic_write_text(self._source_path(repro.key), repro.source)
+        atomic_write_text(self._good_path(repro.key), repro.good_source)
         self._repros[repro.key] = repro
         self._write_manifest()
         return True
@@ -268,16 +273,15 @@ class CorpusBank:
             "version": BANK_SCHEMA_VERSION,
             "repros": [self._repros[key].to_json() for key in sorted(self._repros)],
         }
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n")
-        os.replace(tmp, self.manifest_path)
+        atomic_write_json(self.manifest_path, payload)
 
     def _load(self) -> None:
         try:
             data = json.loads(self.manifest_path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise ReproError(
-                f"corpus manifest {self.manifest_path} is unreadable: {exc}"
+                f"corpus manifest {self.manifest_path} is unreadable: {exc} "
+                f"(salvage with `repro bank fsck {self.root}`)"
             ) from exc
         if data.get("version") != BANK_SCHEMA_VERSION:
             raise ReproError(
@@ -291,6 +295,7 @@ class CorpusBank:
                 good = self._good_path(key).read_text()
             except OSError as exc:
                 raise ReproError(
-                    f"corpus program for banked repro {key} is missing: {exc}"
+                    f"corpus program for banked repro {key} is missing: {exc} "
+                    f"(salvage with `repro bank fsck {self.root}`)"
                 ) from exc
             self._repros[key] = BankedRepro.from_json(record, source, good)

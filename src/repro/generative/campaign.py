@@ -34,7 +34,9 @@ from __future__ import annotations
 import hashlib
 import os
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
+from repro.campaigns.sigint import DeferredInterrupt
 from repro.core.bisect import bisect_divergence, choose_bisection_pair
 from repro.core.compdiff import CompDiff, DiffResult
 from repro.core.triage import signature_of
@@ -160,7 +162,19 @@ class GenerativeResult:
 
 
 class GenerativeCampaign:
-    """Drives one seed range through generate→diff→reduce→bank."""
+    """Drives one seed range through generate→diff→reduce→bank.
+
+    ``seed_slice`` restricts the walk to global offsets ``[start, stop)``
+    of the budget — the hook the sharded runtime
+    (:mod:`repro.campaigns.runtime`) partitions a campaign with; the
+    default covers the whole budget.  ``skip_offsets`` are quarantined
+    poison seeds: they still advance the checkpoint but are never
+    processed.  ``progress`` is called with each global offset at the
+    seed boundary *before* that seed runs (shard workers hang their
+    heartbeat and fault injection on it).  ``interruptible`` controls
+    deferred-SIGINT handling; shard workers disable it so the supervisor
+    owns interrupt semantics.
+    """
 
     def __init__(
         self,
@@ -169,9 +183,17 @@ class GenerativeCampaign:
         engine: CompDiff | None = None,
         policy=None,
         fault_plan=None,
+        seed_slice: tuple[int, int] | None = None,
+        skip_offsets: frozenset[int] = frozenset(),
+        progress: Optional[Callable[[int], None]] = None,
+        interruptible: bool = True,
     ) -> None:
         self.options = options
         self.bank = bank
+        self.seed_slice = seed_slice
+        self.skip_offsets = frozenset(skip_offsets)
+        self.progress = progress
+        self.interruptible = interruptible
         self._owns_engine = engine is None
         if engine is None:
             engine = CompDiff(
@@ -196,11 +218,12 @@ class GenerativeCampaign:
 
     def run(self) -> GenerativeResult:
         options = self.options
+        lo, hi = self.seed_slice if self.seed_slice is not None else (0, options.budget)
         result = GenerativeResult()
-        start = 0
+        start = lo
         checkpoint = self._load_checkpoint()
         if checkpoint is not None:
-            start = checkpoint.offset
+            start = max(lo, checkpoint.offset)
             result.generated = checkpoint.generated
             result.divergent = checkpoint.divergent
             result.banked_new = checkpoint.banked_new
@@ -209,16 +232,29 @@ class GenerativeCampaign:
             result.keys = list(checkpoint.keys)
             result.resumed_at = start
         processed_through = start
-        for offset in range(start, options.budget):
-            if options.min_banked is not None and result.banked_new >= options.min_banked:
-                break
-            self._process(options.seed + offset, result)
-            processed_through = offset + 1
-            if (
-                options.checkpoint_dir is not None
-                and (offset + 1 - start) % options.checkpoint_every == 0
-            ):
-                self._save_checkpoint(processed_through, result)
+        with DeferredInterrupt(enabled=self.interruptible) as intr:
+            for offset in range(start, hi):
+                if intr.pending:
+                    if options.checkpoint_dir is not None:
+                        self._save_checkpoint(processed_through, result)
+                    raise KeyboardInterrupt(
+                        "campaign interrupted; checkpoint flushed"
+                    )
+                if (
+                    options.min_banked is not None
+                    and result.banked_new >= options.min_banked
+                ):
+                    break
+                if self.progress is not None:
+                    self.progress(offset)
+                if offset not in self.skip_offsets:
+                    self._process(options.seed + offset, result)
+                processed_through = offset + 1
+                if (
+                    options.checkpoint_dir is not None
+                    and (offset + 1 - start) % options.checkpoint_every == 0
+                ):
+                    self._save_checkpoint(processed_through, result)
         if options.checkpoint_dir is not None:
             self._save_checkpoint(processed_through, result)
         result.corpus_size = len(self.bank)

@@ -99,3 +99,102 @@ def execute_fault(kind: str) -> None:
         os._exit(70)
     if kind == HANG:
         time.sleep(HANG_SECONDS)
+
+
+# --------------------------------------------------------------------------
+# Campaign-layer (shard) fault injection
+# --------------------------------------------------------------------------
+
+#: Exit code of a worker killed by an injected shard crash.
+SHARD_CRASH_EXIT = 70
+#: Exit code of a worker that corrupted its own checkpoint and died.
+SHARD_CORRUPT_EXIT = 71
+
+
+@dataclass
+class ShardFaultPlan:
+    """A seeded schedule of shard-level campaign faults.
+
+    The shard analogue of :class:`FaultPlan`, one layer up: decisions are
+    keyed by the campaign's *global seed offset* instead of a task
+    ``seq``, and faults strike the shard worker process at the seed
+    boundary — before the seed is processed — so the shard's checkpoint
+    and bank are always boundary-consistent and recovery is exactly a
+    replay.  The invariant the sharded runtime is held to
+    (``tests/test_campaign_runtime.py``, ``make chaos``): with any plan
+    active, the *merged* corpus is byte-identical to a fault-free run —
+    except seeds a ``poison`` entry drives into the quarantine ledger,
+    which are skipped by construction.
+
+    ``crash``/``hang``/``corrupt`` are per-seed probabilities evaluated
+    on the first attempt only.  ``once`` maps a seed offset to a fault
+    kind injected deterministically on that offset's first attempt (the
+    reproducible test vector for each recovery path).  ``poison`` maps a
+    seed offset to a fault kind injected on *every* attempt — the
+    quarantine ledger's test vector.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    #: seed offset -> fault kind, injected on the first attempt only.
+    once: dict[int, str] = field(default_factory=dict)
+    #: seed offset -> fault kind, injected on every attempt (poison seeds).
+    poison: dict[int, str] = field(default_factory=dict)
+    #: Attempts (per seed) that rate-based/once faults may hit; 1 = first.
+    max_faulted_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        total = self.crash + self.hang + self.corrupt
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(f"fault rates must sum to [0, 1], got {total}")
+        for kind in list(self.once.values()) + list(self.poison.values()):
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+
+    def decide(self, offset: int, attempt: int) -> str | None:
+        """The fault (if any) to inject into attempt *attempt* of seed
+        offset *offset*.  Pure and order-independent."""
+        if offset in self.poison:
+            return self.poison[offset]
+        if attempt >= self.max_faulted_attempts:
+            return None
+        if offset in self.once:
+            return self.once[offset]
+        roll = random.Random(f"shardfault:{self.seed}:{offset}:{attempt}").random()
+        if roll < self.crash:
+            return CRASH
+        if roll < self.crash + self.hang:
+            return HANG
+        if roll < self.crash + self.hang + self.corrupt:
+            return CORRUPT
+        return None
+
+
+def execute_shard_fault(kind: str, checkpoint_path: str | None = None) -> None:
+    """Carry out an injected shard fault inside a shard worker process.
+
+    ``crash`` kills the worker at the seed boundary; ``hang`` sleeps far
+    past any seed deadline (the supervisor reclaims the shard by killing
+    it); ``corrupt`` flips bits in the shard's own checkpoint record —
+    simulating the torn/bit-rotted state a real crash can leave — and
+    then dies, so the next launch exercises the corrupt-state self-heal
+    path (wipe and deterministically replay the shard's range).
+    """
+    if kind == CRASH:
+        os._exit(SHARD_CRASH_EXIT)
+    if kind == HANG:
+        time.sleep(HANG_SECONDS)
+    if kind == CORRUPT:
+        if checkpoint_path is not None and os.path.exists(checkpoint_path):
+            with open(checkpoint_path, "r+b") as handle:
+                blob = bytearray(handle.read())
+                if len(blob) > 12:
+                    for i in range(12, len(blob)):
+                        blob[i] ^= 0xFF
+                handle.seek(0)
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+        os._exit(SHARD_CORRUPT_EXIT)

@@ -51,6 +51,15 @@ class EngineStats:
     #: implementation name -> programs where it was dropped from the
     #: cross-check (k-1 graceful degradation).
     degraded: dict[str, int] = field(default_factory=dict)
+    #: Shard worker processes killed and relaunched by the sharded
+    #: campaign runtime (repro.campaigns.runtime) — the shard-level
+    #: analogue of ``worker_restarts``.
+    shard_restarts: int = 0
+    #: Dead shards whose remaining seed ranges the supervisor re-adopted
+    #: and processed in-process.
+    shard_adoptions: int = 0
+    #: Poison seeds recorded in the quarantine ledger and skipped.
+    seeds_quarantined: int = 0
     #: Campaign checkpoints journaled to disk.
     checkpoints_written: int = 0
     #: Per-checkpoint write durations in seconds (observability only).
@@ -107,6 +116,15 @@ class EngineStats:
     def record_degraded(self, implementation: str, count: int = 1) -> None:
         self.degraded[implementation] = self.degraded.get(implementation, 0) + count
 
+    def record_shard_restart(self, count: int = 1) -> None:
+        self.shard_restarts += count
+
+    def record_shard_adoption(self, count: int = 1) -> None:
+        self.shard_adoptions += count
+
+    def record_seed_quarantine(self, count: int = 1) -> None:
+        self.seeds_quarantined += count
+
     def record_checkpoint(self, seconds: float) -> None:
         self.checkpoints_written += 1
         self.checkpoint_latencies.append(seconds)
@@ -150,6 +168,9 @@ class EngineStats:
         self.task_retries = other.task_retries
         self.quarantined = other.quarantined
         self.degraded = dict(other.degraded)
+        self.shard_restarts = other.shard_restarts
+        self.shard_adoptions = other.shard_adoptions
+        self.seeds_quarantined = other.seeds_quarantined
         self.checkpoints_written = other.checkpoints_written
         self.checkpoint_latencies = list(other.checkpoint_latencies)
         self.pass_timings = {name: list(row) for name, row in other.pass_timings.items()}
@@ -171,6 +192,9 @@ class EngineStats:
         self.quarantined += other.quarantined
         for name, count in other.degraded.items():
             self.record_degraded(name, count)
+        self.shard_restarts += other.shard_restarts
+        self.shard_adoptions += other.shard_adoptions
+        self.seeds_quarantined += other.seeds_quarantined
         self.checkpoints_written += other.checkpoints_written
         self.checkpoint_latencies.extend(other.checkpoint_latencies)
         for name, row in other.pass_timings.items():
@@ -237,6 +261,11 @@ class EngineStats:
                 "quarantined": self.quarantined,
                 "degraded": dict(sorted(self.degraded.items())),
             },
+            "shards": {
+                "restarts": self.shard_restarts,
+                "adoptions": self.shard_adoptions,
+                "seeds_quarantined": self.seeds_quarantined,
+            },
             "checkpoints": {
                 "written": self.checkpoints_written,
                 "total_seconds": sum(self.checkpoint_latencies),
@@ -289,6 +318,13 @@ class EngineStats:
                 f"{name} x{count}" for name, count in faults["degraded"].items()
             )
             lines.append(f"degraded (k-1 cross-checks): {dropped}")
+        shards = snap["shards"]
+        if any(shards.values()):
+            lines.append(
+                f"shards: {shards['restarts']} restarts, "
+                f"{shards['adoptions']} ranges adopted, "
+                f"{shards['seeds_quarantined']} seeds quarantined"
+            )
         if snap["checkpoints"]["written"]:
             lines.append(
                 f"checkpoints: {snap['checkpoints']['written']} written "

@@ -44,6 +44,18 @@ from repro.parallel.faults import FaultPlan
 from repro.parallel.stats import EngineStats
 
 
+def backoff_delay(
+    recovery_round: int, base: float, factor: float, cap: float
+) -> float:
+    """Exponential backoff with a cap: ``min(cap, base * factor**round)``.
+
+    Shared by the task-level :class:`SupervisorPolicy` and the
+    shard-level :class:`repro.campaigns.runtime.ShardPolicy` so both
+    recovery layers pace their re-dispatches the same way.
+    """
+    return min(cap, base * factor**recovery_round)
+
+
 @dataclass(frozen=True)
 class SupervisorPolicy:
     """Recovery knobs for one :class:`SupervisedPool`."""
@@ -72,8 +84,8 @@ class SupervisorPolicy:
 
     def backoff(self, recovery_round: int) -> float:
         """Sleep before re-dispatching round *recovery_round* (0-based)."""
-        return min(
-            self.backoff_max, self.backoff_base * self.backoff_factor**recovery_round
+        return backoff_delay(
+            recovery_round, self.backoff_base, self.backoff_factor, self.backoff_max
         )
 
 

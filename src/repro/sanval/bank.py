@@ -14,9 +14,11 @@ function, same oracle fingerprint) banks once; a miss that moved into a
 different function (distinct fingerprint) is new evidence and banks
 separately.
 
-Manifest writes are atomic (tmp + ``os.replace``) and program files
-land before the manifest references them, so a campaign killed mid-bank
-leaves a loadable bank behind.
+Manifest and program writes are atomic and durable (tmp + fsync +
+``os.replace`` + directory fsync via :mod:`repro.persist`) and program
+files land before the manifest references them, so a campaign killed
+mid-bank leaves a loadable bank behind.  Banks corrupted anyway are
+salvaged by ``repro bank fsck`` (:mod:`repro.campaigns.fsck`).
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.persist import atomic_write_json, atomic_write_text
 
 #: Manifest format version; bump on incompatible layout changes.
 SANVAL_BANK_VERSION = 1
@@ -175,7 +178,7 @@ class FindingBank:
         if finding.key in self._findings:
             return False
         self.programs_dir.mkdir(parents=True, exist_ok=True)
-        self._source_path(finding.key).write_text(finding.source)
+        atomic_write_text(self._source_path(finding.key), finding.source)
         self._findings[finding.key] = finding
         self._write_manifest()
         return True
@@ -191,16 +194,15 @@ class FindingBank:
             "version": SANVAL_BANK_VERSION,
             "findings": [self._findings[key].to_json() for key in sorted(self._findings)],
         }
-        tmp = self.manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n")
-        os.replace(tmp, self.manifest_path)
+        atomic_write_json(self.manifest_path, payload)
 
     def _load(self) -> None:
         try:
             data = json.loads(self.manifest_path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
             raise ReproError(
-                f"sanval manifest {self.manifest_path} is unreadable: {exc}"
+                f"sanval manifest {self.manifest_path} is unreadable: {exc} "
+                f"(salvage with `repro bank fsck {self.root}`)"
             ) from exc
         if data.get("version") != SANVAL_BANK_VERSION:
             raise ReproError(
@@ -213,6 +215,7 @@ class FindingBank:
                 source = self._source_path(key).read_text()
             except OSError as exc:
                 raise ReproError(
-                    f"sanval program for banked finding {key} is missing: {exc}"
+                    f"sanval program for banked finding {key} is missing: {exc} "
+                    f"(salvage with `repro bank fsck {self.root}`)"
                 ) from exc
             self._findings[key] = BankedFinding.from_json(record, source)

@@ -37,7 +37,9 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Optional
 
+from repro.campaigns.sigint import DeferredInterrupt
 from repro.core.compdiff import CompDiff
 from repro.errors import CheckpointError, ReproError
 from repro.generative.generator import generate_program
@@ -327,22 +329,66 @@ def generator_seeds(
     return seeds
 
 
+def build_seeds(options: SancheckOptions) -> list[SanSeed]:
+    """The deterministic seed list *options* describes: fixtures, then
+    corpus bank, then fresh generator seeds.
+
+    Module-level (rather than only a campaign method) so the sharded
+    runtime can size and label the list without spinning up a campaign's
+    engine and oracle.
+    """
+    seeds: list[SanSeed] = []
+    if options.fixtures:
+        seeds.extend(fixture_seeds(options.fixtures))
+    if options.corpus:
+        seeds.extend(corpus_seeds(options.corpus))
+    if options.budget > 0:
+        seeds.extend(
+            generator_seeds(
+                options.seed, options.budget, options.profile, options.inputs
+            )
+        )
+    return seeds
+
+
+def seed_labels(options: SancheckOptions) -> list[str]:
+    """Labels of the seed list, in offset order (quarantine ledger keys)."""
+    return [seed.label for seed in build_seeds(options)]
+
+
 # --------------------------------------------------------------------------
 # Campaign
 # --------------------------------------------------------------------------
 
 
 class SancheckCampaign:
-    """Drives seed → relocate → judge → bank for ``repro sancheck``."""
+    """Drives seed → relocate → judge → bank for ``repro sancheck``.
+
+    ``seed_slice``/``skip_offsets``/``progress``/``interruptible`` mirror
+    :class:`~repro.generative.campaign.GenerativeCampaign`: a slice is a
+    global ``[start, stop)`` window over the deterministic seed list
+    (the sharded runtime's partitioning hook), skipped offsets are
+    quarantined poison seeds, ``progress`` fires at each seed boundary
+    before the seed runs, and shard workers disable the deferred-SIGINT
+    handler so the supervisor owns interrupts.
+    """
 
     def __init__(
         self,
         options: SancheckOptions,
         bank: FindingBank | None = None,
         engine: CompDiff | None = None,
+        seed_slice: tuple[int, int] | None = None,
+        skip_offsets: frozenset[int] = frozenset(),
+        progress: Optional[Callable[[int], None]] = None,
+        interruptible: bool = True,
     ) -> None:
         self.options = options
         self.bank = bank
+        self.seed_slice = seed_slice
+        self.skip_offsets = frozenset(skip_offsets)
+        self.progress = progress
+        self.interruptible = interruptible
         self._owns_engine = engine is None
         if engine is None:
             engine = CompDiff(workers=options.workers)
@@ -364,19 +410,7 @@ class SancheckCampaign:
 
     def seeds(self) -> list[SanSeed]:
         """The campaign's full seed list, deterministic order."""
-        options = self.options
-        seeds: list[SanSeed] = []
-        if options.fixtures:
-            seeds.extend(fixture_seeds(options.fixtures))
-        if options.corpus:
-            seeds.extend(corpus_seeds(options.corpus))
-        if options.budget > 0:
-            seeds.extend(
-                generator_seeds(
-                    options.seed, options.budget, options.profile, options.inputs
-                )
-            )
-        return seeds
+        return build_seeds(self.options)
 
     # --------------------------------------------------------------- campaign
 
@@ -384,10 +418,11 @@ class SancheckCampaign:
         options = self.options
         result = SancheckResult()
         seeds = self.seeds()
-        start = 0
+        lo, hi = self.seed_slice if self.seed_slice is not None else (0, len(seeds))
+        start = lo
         checkpoint = self._load_checkpoint()
         if checkpoint is not None:
-            start = checkpoint.offset
+            start = max(lo, checkpoint.offset)
             result.seeds = checkpoint.seeds
             result.variants = checkpoint.variants
             result.dropped = checkpoint.dropped
@@ -398,14 +433,24 @@ class SancheckCampaign:
             result.verdicts = list(checkpoint.verdicts)
             result.resumed_at = start
         processed_through = start
-        for offset in range(start, len(seeds)):
-            self._process(seeds[offset], result)
-            processed_through = offset + 1
-            if (
-                options.checkpoint_dir is not None
-                and (offset + 1 - start) % options.checkpoint_every == 0
-            ):
-                self._save_checkpoint(processed_through, result)
+        with DeferredInterrupt(enabled=self.interruptible) as intr:
+            for offset in range(start, hi):
+                if intr.pending:
+                    if options.checkpoint_dir is not None:
+                        self._save_checkpoint(processed_through, result)
+                    raise KeyboardInterrupt(
+                        "campaign interrupted; checkpoint flushed"
+                    )
+                if self.progress is not None:
+                    self.progress(offset)
+                if offset not in self.skip_offsets:
+                    self._process(seeds[offset], result)
+                processed_through = offset + 1
+                if (
+                    options.checkpoint_dir is not None
+                    and (offset + 1 - start) % options.checkpoint_every == 0
+                ):
+                    self._save_checkpoint(processed_through, result)
         if options.checkpoint_dir is not None:
             self._save_checkpoint(processed_through, result)
         if self.bank is not None:
