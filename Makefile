@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults test-passes test-generative test-sanval test-verified smoke-generate sancheck sancheck-baseline chaos bench bench-quick bench-scaling bench-passes precision analyze examples clean
+.PHONY: install test test-fast test-faults test-passes test-generative test-sanval test-verified smoke-generate sancheck sancheck-baseline chaos bench bench-quick bench-scaling bench-passes bench-throughput precision analyze examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -78,6 +78,13 @@ bench-scaling:
 # Per-config/per-pass compile-cost breakdown; refreshes BENCH_passes.json.
 bench-passes:
 	$(PYTHON) benchmarks/bench_passes.py
+
+# Substrate throughput (lockstep executor, oracle step, batched
+# submission); refreshes BENCH_throughput.json.  The hard timeout is
+# part of the contract: an executor regression that hangs or crawls
+# fails by timeout instead of stalling the pipeline (docs/PERFORMANCE.md).
+bench-throughput:
+	timeout 600 $(PYTHON) benchmarks/bench_vm_throughput.py
 
 # Oracle-validated per-checker scoreboard; refreshes BENCH_precision.json.
 precision:

@@ -238,13 +238,19 @@ class GenerativeShardAdapter:
         ) as campaign:
             return campaign.run()
 
-    def merge(self, bank, payloads: list[tuple[ShardRecord, str]]):
+    def merge(self, bank, payloads: list[tuple[ShardRecord, str]], db=None):
         """Merge shard banks + results into *bank*, serial-identically.
 
         Shard key streams concatenated in shard order reproduce serial
         discovery order (blocks are contiguous), and each key's winning
         entry is the shard-bank entry with the lowest global seed
         offset — the entry a serial run would have banked.
+
+        With a shared :class:`~repro.db.CorpusDB`, each key is claimed
+        in the database before banking: a class another campaign (or
+        shard cluster sharing the DB) already registered counts as a
+        duplicate instead of re-banking.  ``db=None`` is byte-identical
+        to the pre-DB merge.
         """
         from repro.generative.bank import CorpusBank
         from repro.generative.campaign import GenerativeResult
@@ -266,10 +272,15 @@ class GenerativeShardAdapter:
                 merged.duplicates += 1
                 continue
             entry = winners[key][1]
+            if db is not None and not _db_claim_generative(db, entry):
+                merged.duplicates += 1
+                continue
             bank.add(entry)
             merged.banked_new += 1
             if entry.culprit_drifted:
                 merged.drifted += 1
+        if db is not None:
+            db.commit()
         merged.corpus_size = len(bank)
         return merged
 
@@ -331,13 +342,15 @@ class SancheckShardAdapter:
         ) as campaign:
             return campaign.run()
 
-    def merge(self, bank, payloads: list[tuple[ShardRecord, str]]):
+    def merge(self, bank, payloads: list[tuple[ShardRecord, str]], db=None):
         """Merge shard banks + results into *bank*, serial-identically.
 
         Verdicts concatenate in shard order (each shard judged only its
         block, in order), and banking replays the FN/FP verdict stream:
         a key's winner is the entry banked by the shard whose block
-        first produced it.
+        first produced it.  A shared :class:`~repro.db.CorpusDB` adds
+        cross-campaign dedupe exactly as in the generative merge;
+        ``db=None`` is byte-identical to the pre-DB merge.
         """
         from repro.sanval.bank import FindingBank, finding_key
         from repro.sanval.campaign import SancheckResult
@@ -376,10 +389,42 @@ class SancheckShardAdapter:
                         merged.duplicates += 1
                         continue
                     entry = shard_bank.get(key)
-                    if entry is not None and bank.add(entry):
+                    if entry is None:
+                        continue
+                    if db is not None and not _db_claim_sancheck(db, entry):
+                        merged.duplicates += 1
+                        continue
+                    if bank.add(entry):
                         merged.banked_new += 1
+            if db is not None:
+                db.commit()
             merged.bank_size = len(bank)
         return merged
+
+
+def _db_claim_generative(db, repro) -> bool:
+    """Claim a generative repro's class in the shared DB (True = ours)."""
+    from repro.db import CLASS_GENERATIVE
+
+    fingerprint = db.add_program(repro.source, name=f"gen/{repro.key}")
+    for checker, diag in zip(repro.checkers, repro.fingerprints):
+        db.add_diagnostic(fingerprint, checker, diag)
+    record = dict(repro.to_json())
+    record["_source"] = repro.source
+    record["_good_source"] = repro.good_source
+    return db.register_class(CLASS_GENERATIVE, repro.key, fingerprint, record)
+
+
+def _db_claim_sancheck(db, finding) -> bool:
+    """Claim a sanval finding's class in the shared DB (True = ours)."""
+    from repro.db import CLASS_SANCHECK
+
+    fingerprint = db.add_program(finding.source, name=f"sanval/{finding.key}")
+    for checker, diag in zip(finding.checkers, finding.oracle_fingerprints):
+        db.add_diagnostic(fingerprint, checker, diag)
+    record = dict(finding.to_json())
+    record["_source"] = finding.source
+    return db.register_class(CLASS_SANCHECK, finding.key, fingerprint, record)
 
 
 # --------------------------------------------------------------------------
@@ -470,6 +515,7 @@ class CampaignRuntime:
         policy: ShardPolicy | None = None,
         fault_plan: ShardFaultPlan | None = None,
         stats: EngineStats | None = None,
+        db=None,
     ) -> None:
         if shards < 1:
             raise EngineConfigError(f"shards must be >= 1, got {shards}")
@@ -477,6 +523,9 @@ class CampaignRuntime:
         self.bank = bank
         self.root = root
         self.shards = shards
+        #: Optional shared :class:`~repro.db.CorpusDB` consulted at merge
+        #: time for cross-shard/cross-campaign class dedupe.
+        self.db = db
         self.policy = policy if policy is not None else ShardPolicy()
         self.fault_plan = fault_plan
         self.stats = stats if stats is not None else EngineStats()
@@ -791,4 +840,4 @@ class CampaignRuntime:
             payloads.append(
                 (record, os.path.join(self._shard_dir(index), SHARD_BANK_DIR))
             )
-        return self.adapter.merge(self.bank, payloads)
+        return self.adapter.merge(self.bank, payloads, db=self.db)

@@ -13,6 +13,9 @@ Commands:
 * ``precision``      — per-checker TP/FP/FN scoreboard vs the oracle;
 * ``bisect FILE``    — attribute a divergence to one pass application;
 * ``bank fsck DIR``  — salvage a corrupted corpus bank;
+* ``db stats DB``    — table counts of the shared corpus database;
+* ``db import``      — fold a bank into the corpus database;
+* ``db export``      — reconstitute a bank from the corpus database;
 * ``impls``          — list the compiler implementations;
 * ``targets``        — print the Table 4 target inventory.
 """
@@ -33,8 +36,18 @@ from repro.core.compdiff import CompDiff
 from repro.core.localize import localize
 from repro.core.normalize import OutputNormalizer
 from repro.core.report import make_report
+from repro.errors import ReproError
 from repro.fuzzing import CompDiffFuzzer, FuzzerOptions
 from repro.vm import run_binary
+
+
+def _open_db_arg(path: str | None):
+    """Open ``--db PATH`` as a :class:`~repro.db.CorpusDB`, or None."""
+    if path is None:
+        return None
+    from repro.db import CorpusDB
+
+    return CorpusDB(path)
 
 
 def _read_input(args: argparse.Namespace) -> bytes:
@@ -207,6 +220,11 @@ def cmd_generate(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     bank = CorpusBank(args.corpus)
+    try:
+        db = _open_db_arg(args.db)
+    except ReproError as exc:
+        print(f"generate: {exc}", file=sys.stderr)
+        return 2
     runtime = None
     try:
         if args.shards > 1:
@@ -218,11 +236,14 @@ def cmd_generate(args: argparse.Namespace) -> int:
                 root=checkpoint_dir,
                 shards=args.shards,
                 policy=_shard_policy(args),
+                db=db,
             )
             result = runtime.run()
         else:
             with GenerativeCampaign(options, bank) as campaign:
                 result = campaign.run()
+            if db is not None:
+                db.import_corpus_bank(bank)
     except KeyboardInterrupt:
         if checkpoint_dir:
             print(
@@ -233,6 +254,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
         else:
             print("interrupted (no --checkpoint-dir; progress lost)", file=sys.stderr)
         return 130
+    finally:
+        if db is not None:
+            db.close()
     print(result.render())
     if runtime is not None:
         _print_shard_summary(runtime)
@@ -306,6 +330,11 @@ def cmd_sancheck(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     bank = FindingBank(args.bank) if args.bank else None
+    try:
+        db = _open_db_arg(args.db)
+    except ReproError as exc:
+        print(f"sancheck: {exc}", file=sys.stderr)
+        return 2
     runtime = None
     try:
         if args.shards > 1:
@@ -317,11 +346,14 @@ def cmd_sancheck(args: argparse.Namespace) -> int:
                 root=checkpoint_dir,
                 shards=args.shards,
                 policy=_shard_policy(args),
+                db=db,
             )
             result = runtime.run()
         else:
             with SancheckCampaign(options, bank=bank) as campaign:
                 result = campaign.run()
+            if db is not None and bank is not None:
+                db.import_finding_bank(bank)
     except KeyboardInterrupt:
         if checkpoint_dir:
             print(
@@ -332,6 +364,9 @@ def cmd_sancheck(args: argparse.Namespace) -> int:
         else:
             print("interrupted (no --checkpoint-dir; progress lost)", file=sys.stderr)
         return 130
+    finally:
+        if db is not None:
+            db.close()
 
     diagnostics = [d for v in result.findings() for d in v.reported]
     suppressed = 0
@@ -378,15 +413,22 @@ def cmd_bank_fsck(args: argparse.Namespace) -> int:
     ledger recording why), then rewrites the manifest over the
     survivors so the bank loads cleanly again (docs/ROBUSTNESS.md).
     Exit 0 when the bank was already clean, 1 when something was
-    salvaged, 2 when the directory is not a bank at all.
+    salvaged, 2 when the directory is not a bank at all.  With ``--db``
+    the (post-salvage) manifest is additionally cross-checked against
+    the shared corpus database: a bank referencing equivalence classes
+    the DB has never seen is refused with exit 2.
     """
     import json
 
     from repro.campaigns.fsck import fsck_bank
-    from repro.errors import ReproError
 
     try:
         report = fsck_bank(args.dir, kind=args.kind)
+        if args.db is not None:
+            from repro.db import CorpusDB, verify_bank_against_db
+
+            with CorpusDB(args.db) as db:
+                verify_bank_against_db(args.dir, args.kind, db)
     except ReproError as exc:
         print(f"bank fsck: {exc}", file=sys.stderr)
         return 2
@@ -395,6 +437,75 @@ def cmd_bank_fsck(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.clean else 1
+
+
+def _detect_bank_kind(root: str) -> str:
+    """Resolve ``--kind auto`` from a bank manifest's top-level shape."""
+    import json as _json
+    import pathlib
+
+    from repro.db import CLASS_GENERATIVE, CLASS_SANCHECK
+
+    manifest = pathlib.Path(root) / "manifest.json"
+    try:
+        data = _json.loads(manifest.read_text())
+    except (OSError, _json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot detect bank kind from {manifest}: {exc}") from exc
+    if "repros" in data:
+        return CLASS_GENERATIVE
+    if "findings" in data:
+        return CLASS_SANCHECK
+    raise ReproError(f"{manifest} is not a recognizable bank manifest")
+
+
+def cmd_db(args: argparse.Namespace) -> int:
+    """`repro db`: maintain the shared fingerprint-keyed corpus database.
+
+    ``stats`` prints per-table counts; ``import`` folds a bank directory
+    into the DB (first writer per equivalence class wins); ``export``
+    reconstitutes a bank directory from the classes the DB holds.  The
+    DB refuses to open when its ``.meta`` identity sidecar is missing,
+    corrupt, or pins a different schema version (exit 2).
+    """
+    import json
+
+    from repro.db import CLASS_GENERATIVE, CorpusDB
+
+    try:
+        with CorpusDB(args.db) as db:
+            if args.db_command == "stats":
+                if args.json:
+                    print(json.dumps(db.stats(), indent=2, sort_keys=True))
+                else:
+                    print(db.render_stats())
+                return 0
+            kind = args.kind
+            if kind == "auto":
+                kind = _detect_bank_kind(args.dir)
+            if args.db_command == "import":
+                if kind == CLASS_GENERATIVE:
+                    from repro.generative import CorpusBank
+
+                    count = db.import_corpus_bank(CorpusBank(args.dir))
+                else:
+                    from repro.sanval import FindingBank
+
+                    count = db.import_finding_bank(FindingBank(args.dir))
+                print(f"imported {count} new {kind} class(es) from {args.dir}")
+            else:
+                if kind == CLASS_GENERATIVE:
+                    from repro.generative import CorpusBank
+
+                    count = db.export_corpus_bank(CorpusBank(args.dir))
+                else:
+                    from repro.sanval import FindingBank
+
+                    count = db.export_finding_bank(FindingBank(args.dir))
+                print(f"exported {count} new {kind} class(es) into {args.dir}")
+            return 0
+    except ReproError as exc:
+        print(f"db {args.db_command}: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_localize(args: argparse.Namespace) -> int:
@@ -812,6 +923,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--resume", default=None, metavar="DIR",
                           help="resume a killed campaign from its checkpoint "
                                "directory (pass the original flags)")
+    generate.add_argument("--db", default=None, metavar="FILE",
+                          help="shared corpus database; banked repros are "
+                               "registered by fingerprint and classes another "
+                               "campaign already claimed are skipped")
     _add_shard_flags(generate)
     _add_input_flags(generate)
     generate.set_defaults(func=cmd_generate)
@@ -859,6 +974,10 @@ def build_parser() -> argparse.ArgumentParser:
     sancheck.add_argument("--resume", default=None, metavar="DIR",
                           help="resume a killed campaign from its checkpoint "
                                "directory (pass the original flags)")
+    sancheck.add_argument("--db", default=None, metavar="FILE",
+                          help="shared corpus database; banked findings are "
+                               "registered by fingerprint and classes another "
+                               "campaign already claimed are skipped")
     _add_shard_flags(sancheck)
     _add_input_flags(sancheck)
     sancheck.set_defaults(func=cmd_sancheck)
@@ -949,7 +1068,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "to detect it from")
     fsck.add_argument("--json", action="store_true",
                       help="print the salvage report as JSON")
+    fsck.add_argument("--db", default=None, metavar="FILE",
+                      help="refuse (exit 2) when the manifest references "
+                           "classes this corpus database does not contain")
     fsck.set_defaults(func=cmd_bank_fsck)
+
+    db = sub.add_parser("db", help="shared corpus database maintenance")
+    db_sub = db.add_subparsers(dest="db_command", required=True)
+    db_stats = db_sub.add_parser("stats", help="per-table counts")
+    db_stats.add_argument("db", help="corpus database file")
+    db_stats.add_argument("--json", action="store_true",
+                          help="print the counts as JSON")
+    db_stats.set_defaults(func=cmd_db)
+    db_import = db_sub.add_parser(
+        "import", help="fold a bank directory into the database"
+    )
+    db_import.add_argument("db", help="corpus database file (created if absent)")
+    db_import.add_argument("dir", help="bank directory to import")
+    db_import.add_argument("--kind", default="auto",
+                           choices=("auto", "generative", "sancheck"),
+                           help="bank kind (default: detect from the manifest)")
+    db_import.set_defaults(func=cmd_db)
+    db_export = db_sub.add_parser(
+        "export", help="reconstitute a bank directory from the database"
+    )
+    db_export.add_argument("db", help="corpus database file")
+    db_export.add_argument("dir", help="bank directory to write into")
+    db_export.add_argument("--kind", required=True,
+                           choices=("generative", "sancheck"),
+                           help="which class kind to export")
+    db_export.set_defaults(func=cmd_db)
 
     impls = sub.add_parser("impls", help="list compiler implementations")
     impls.add_argument("--pipelines", action="store_true",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compiler import DEFAULT_IMPLEMENTATIONS, CompilerConfig, compile_program
-from repro.core.hashing import output_checksum
+from repro.core.hashing import observation_checksum
 from repro.core.normalize import OutputNormalizer
 from repro.errors import EngineConfigError, ReproError
 from repro.minic import ast as minic_ast
@@ -21,7 +21,7 @@ from repro.parallel.engine import BatchJob, ParallelEngine, ProgramPayload, Serv
 from repro.parallel.faults import FaultPlan
 from repro.parallel.stats import EngineStats
 from repro.parallel.supervisor import SupervisorPolicy
-from repro.vm import ForkServer
+from repro.vm import ForkServer, LockstepExecutor
 from repro.vm.execution import ExecutionResult, Status, deadline_result
 from repro.vm.machine import DEFAULT_FUEL
 
@@ -163,6 +163,7 @@ class CompDiff:
                 stats=self.stats,
                 policy=policy,
                 fault_plan=fault_plan,
+                normalizer=self.normalizer,
             )
 
     # ------------------------------------------------------------- lifecycle
@@ -200,7 +201,7 @@ class CompDiff:
                 if first_error is None:
                     first_error = exc
                 continue
-            servers[config.name] = ForkServer(binary, fuel=self.fuel)
+            servers[config.name] = ForkServer(binary, fuel=self.fuel, stats=self.stats)
         if not servers and first_error is not None:
             # The program itself is broken (front-end error in every
             # implementation): surface the original exception type.
@@ -214,7 +215,7 @@ class CompDiff:
             self.stats.record_degraded(impl_name)
         if self._engine is not None:
             return ServerGroup(servers, ProgramPayload.from_program(program, name=name))
-        return servers
+        return ServerGroup(servers, executor=LockstepExecutor(servers))
 
     def build_source(self, source: str, name: str = "") -> dict[str, ForkServer]:
         return self.build(load(source), name=name)
@@ -243,19 +244,24 @@ class CompDiff:
     def run_input(self, servers: dict[str, ForkServer], input_bytes: bytes) -> DiffResult:
         """Run one input on every binary and cross-check outputs (§3.1 step 4)."""
         if self._engine is not None and isinstance(servers, ServerGroup):
-            results = self._engine.run_one(servers.payload, input_bytes)
-            return self._diff_from_results(input_bytes, results)
-        results: dict[str, ExecutionResult] = {}
-        for name, server in servers.items():
-            try:
-                results[name] = server.run(input_bytes)
-            except ReproError as exc:
-                # Internal VM failure on this implementation only: degrade
-                # the cross-check rather than killing the campaign.
-                results[name] = deadline_result(name, f"execution failed: {exc}")
-                self.stats.record_degraded(name)
-                continue
-            self.stats.record_exec(name)
+            if servers.payload is not None:
+                results = self._engine.run_one(servers.payload, input_bytes)
+                return self._diff_from_results(input_bytes, results)
+        executor = servers.executor if isinstance(servers, ServerGroup) else None
+        if executor is None:
+            # Plain dict of servers (caller-built): drive them the same way.
+            executor = LockstepExecutor(servers)
+
+        def degrade(name: str, exc: ReproError) -> ExecutionResult:
+            # Internal VM failure on this implementation only: degrade
+            # the cross-check rather than killing the campaign.
+            self.stats.record_degraded(name)
+            return deadline_result(name, f"execution failed: {exc}")
+
+        results = executor.run_input(input_bytes, on_error=degrade)
+        for name, result in results.items():
+            if not result.deadline_expired:
+                self.stats.record_exec(name)
         self._retry_partial_timeouts(servers, input_bytes, results)
         self.stats.record_input()
         return self._diff_from_results(input_bytes, results)
@@ -267,10 +273,15 @@ class CompDiff:
 
         Shared verbatim by the serial and parallel paths: whatever process
         produced the raw results, the observation comparison is identical.
-        Implementations without a usable result — absent entirely (build
-        failure) or present as a ``Status.DEADLINE`` placeholder (hung or
-        quarantined) — are excluded from the checksums and listed in
-        ``DiffResult.dropped``, so the verdict is a flagged k-1 cross-check.
+        Results arriving from engine workers already carry their checksum
+        (``ExecutionResult.output_checksum``, computed worker-side from the
+        same normalizer) and are never re-checksummed here; serial results
+        get theirs filled in now, so either way each observation is hashed
+        exactly once.  Implementations without a usable result — absent
+        entirely (build failure) or present as a ``Status.DEADLINE``
+        placeholder (hung or quarantined) — are excluded from the checksums
+        and listed in ``DiffResult.dropped``, so the verdict is a flagged
+        k-1 cross-check.
         """
         observations: dict[str, tuple] = {}
         checksums: dict[str, int] = {}
@@ -281,7 +292,9 @@ class CompDiff:
                 continue
             obs = self.normalizer.normalize_observation(result.observation())
             observations[name] = obs
-            checksums[name] = self._checksum(obs)
+            if result.output_checksum is None:
+                result.output_checksum = observation_checksum(obs)
+            checksums[name] = result.output_checksum
         for config in self.implementations:
             if config.name not in results:
                 dropped.append(config.name)
@@ -324,11 +337,7 @@ class CompDiff:
 
     @staticmethod
     def _checksum(observation: tuple) -> int:
-        stdout, stderr, exit_code, timed_out = observation
-        if timed_out:
-            # All timeouts look alike: the only signal is "did not finish".
-            return output_checksum(b"<timeout>", b"", -1)
-        return output_checksum(stdout, stderr, exit_code)
+        return observation_checksum(observation)
 
     # ------------------------------------------------------------ one-shot API
 

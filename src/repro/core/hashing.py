@@ -54,3 +54,17 @@ def output_checksum(stdout: bytes, stderr: bytes, exit_code: int) -> int:
     """Checksum of one execution's observable output, AFL++-style."""
     blob = stdout + b"\x00--stderr--\x00" + stderr + exit_code.to_bytes(4, "little", signed=True)
     return murmur3_32(blob, seed=0xA5B35705)
+
+
+def observation_checksum(observation: tuple) -> int:
+    """Checksum of a normalized ``ExecutionResult.observation()`` tuple.
+
+    The single definition shared by the oracle and the engine workers:
+    wherever the checksum is computed (parent or worker), a timed-out
+    execution collapses to one canonical value — the only signal a
+    timeout carries is "did not finish".
+    """
+    stdout, stderr, exit_code, timed_out = observation
+    if timed_out:
+        return output_checksum(b"<timeout>", b"", -1)
+    return output_checksum(stdout, stderr, exit_code)

@@ -88,13 +88,22 @@ class ProgramPayload:
 
 
 class ServerGroup(dict):
-    """``CompDiff.build()`` result in parallel mode: a plain name→ForkServer
-    mapping (fully usable serially) plus the payload the engine needs to
-    route executions of this program to the worker pool."""
+    """``CompDiff.build()`` result: a plain name→ForkServer mapping (fully
+    usable as a dict) plus routing state for the oracle's fast paths — in
+    parallel mode the payload the engine needs to route executions of this
+    program to the worker pool, and in serial mode the
+    :class:`~repro.vm.lockstep.LockstepExecutor` that drives all k
+    implementations from their shared decoded instruction tables."""
 
-    def __init__(self, servers: dict[str, ForkServer], payload: ProgramPayload) -> None:
+    def __init__(
+        self,
+        servers: dict[str, ForkServer],
+        payload: ProgramPayload | None = None,
+        executor=None,
+    ) -> None:
         super().__init__(servers)
         self.payload = payload
+        self.executor = executor
 
 
 @dataclass(frozen=True)
@@ -120,7 +129,9 @@ class _Reply:
     """One task's gathered results plus worker-side accounting."""
 
     job_idx: int
-    #: (input_idx, implementation name, result) triples.
+    #: (input_idx, implementation name, result) triples.  Each result
+    #: carries its ``output_checksum``, computed worker-side once from the
+    #: normalized observation — the parent never re-derives it.
     results: list[tuple[int, str, ExecutionResult]]
     #: (implementation name, reason) for configs that failed to
     #: compile/execute — degraded rather than fatal.
@@ -131,6 +142,11 @@ class _Reply:
     seconds: float
     #: CRC32 over the pickled results — the parent's integrity check.
     crc: int = 0
+    #: Executor deltas for this task (folded into EngineStats parent-side).
+    lockstep_runs: int = 0
+    fallback_runs: int = 0
+    decode_hits: int = 0
+    decode_misses: int = 0
 
 
 def _results_crc(results: list[tuple[int, str, ExecutionResult]]) -> int:
@@ -155,10 +171,15 @@ def _validate_reply(reply: _Reply) -> str | None:
 _WORKER: dict = {}
 
 
-def _worker_init(cache_entries: int) -> None:
+def _worker_init(cache_entries: int, normalizer=None) -> None:
+    # Imported here (not module top) to keep repro.parallel importable
+    # without pulling the repro.core package in first (circular import).
+    from repro.core.normalize import OutputNormalizer
+
     _WORKER["cache"] = CompileCache(max_entries=cache_entries)
     _WORKER["programs"] = OrderedDict()  # key -> checked Program AST
     _WORKER["servers"] = OrderedDict()  # (key, impl name) -> ForkServer
+    _WORKER["normalizer"] = normalizer if normalizer is not None else OutputNormalizer()
 
 
 def _worker_program(payload: ProgramPayload) -> minic_ast.Program:
@@ -201,12 +222,16 @@ def _worker_run(task: _Task) -> _Reply:
     """Service one scatter unit inside a worker process."""
     if task.fault is not None:
         execute_fault(task.fault)
+    from repro.core.hashing import observation_checksum
+
     started = time.perf_counter()
     cache: CompileCache = _WORKER["cache"]
+    normalizer = _WORKER["normalizer"]
     hits0, misses0 = cache.stats.hits, cache.stats.misses
     evictions0 = cache.stats.evictions
     results: list[tuple[int, str, ExecutionResult]] = []
     failed: list[tuple[str, str]] = []
+    executor = [0, 0, 0, 0]  # lockstep, fallback, decode hits, decode misses
     for config in task.configs:
         try:
             server = _worker_server(task.payload, config, task.base_fuel)
@@ -215,12 +240,28 @@ def _worker_run(task: _Task) -> _Reply:
             # cross-check rather than killing the task (and the batch).
             failed.append((config.name, f"compile failed: {exc}"))
             continue
+        counters0 = (
+            server.lockstep_runs,
+            server.fallback_runs,
+            server.decode_hits,
+            server.decode_misses,
+        )
         try:
             for input_idx, input_bytes, fuel in task.runs:
-                results.append((input_idx, config.name, server.run(input_bytes, fuel=fuel)))
+                result = server.run(input_bytes, fuel=fuel)
+                # The double-checksum fix: normalize and checksum exactly
+                # once, where the execution happened, and carry it home.
+                result.output_checksum = observation_checksum(
+                    normalizer.normalize_observation(result.observation())
+                )
+                results.append((input_idx, config.name, result))
         except ReproError as exc:
             results = [r for r in results if r[1] != config.name]
             failed.append((config.name, f"execution failed: {exc}"))
+        executor[0] += server.lockstep_runs - counters0[0]
+        executor[1] += server.fallback_runs - counters0[1]
+        executor[2] += server.decode_hits - counters0[2]
+        executor[3] += server.decode_misses - counters0[3]
     crc = _results_crc(results)
     if task.fault == CORRUPT:
         crc ^= CORRUPT_CRC_MASK
@@ -233,6 +274,10 @@ def _worker_run(task: _Task) -> _Reply:
         cache_evictions=cache.stats.evictions - evictions0,
         seconds=time.perf_counter() - started,
         crc=crc,
+        lockstep_runs=executor[0],
+        fallback_runs=executor[1],
+        decode_hits=executor[2],
+        decode_misses=executor[3],
     )
 
 
@@ -276,6 +321,7 @@ class ParallelEngine:
         cache_entries: int = 256,
         policy: SupervisorPolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        normalizer=None,
     ) -> None:
         if workers < 2:
             raise EngineConfigError(
@@ -290,12 +336,17 @@ class ParallelEngine:
         self.cache_entries = cache_entries
         self.policy = policy if policy is not None else SupervisorPolicy()
         self.fault_plan = fault_plan
+        if normalizer is None:
+            from repro.core.normalize import OutputNormalizer
+
+            normalizer = OutputNormalizer()
+        self.normalizer = normalizer
         self._seq = 0
         self._supervisor = SupervisedPool(
             processes=self.workers,
             worker_fn=_worker_run,
             initializer=_worker_init,
-            initargs=(self.cache_entries,),
+            initargs=(self.cache_entries, self.normalizer),
             policy=self.policy,
             stats=self.stats,
             fault_plan=self.fault_plan,
@@ -434,6 +485,14 @@ class ParallelEngine:
                 reply.cache_hits, reply.cache_misses, reply.cache_evictions
             )
             self.stats.record_batch(reply.seconds)
+            self.stats.record_executor(
+                lockstep=reply.lockstep_runs,
+                fallback=reply.fallback_runs,
+                decode_hits=reply.decode_hits,
+                decode_misses=reply.decode_misses,
+                batches=1,
+                batch_runs=len(reply.results),
+            )
         for seq in sorted(quarantined):
             entry = quarantined[seq]
             task = by_seq[seq]

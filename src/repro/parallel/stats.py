@@ -68,6 +68,19 @@ class EngineStats:
     #: fresh (non-cache-hit) compile this engine performed.  Parent-process
     #: compiles only: worker replies carry cache counters, not schedules.
     pass_timings: dict[str, list] = field(default_factory=dict)
+    #: Executor accounting (the decode-once lockstep path, PERFORMANCE.md):
+    #: executions served from decoded instruction tables vs the reference
+    #: interpreter fallback (coverage/trace runs or REPRO_NO_LOCKSTEP=1).
+    lockstep_runs: int = 0
+    fallback_runs: int = 0
+    #: Decode-cache accounting: a hit reuses a binary's DecodedProgram, a
+    #: miss decodes the IR into flat tables (once per binary per process).
+    decode_hits: int = 0
+    decode_misses: int = 0
+    #: Batched submission accounting: scatter units serviced and the total
+    #: executions they carried (mean batch size = executions / batches).
+    executor_batches: int = 0
+    executor_batch_runs: int = 0
 
     # -------------------------------------------------------------- recording
 
@@ -137,6 +150,24 @@ class EngineStats:
         row[1] += changes
         row[2] += seconds
 
+    def record_executor(
+        self,
+        lockstep: int = 0,
+        fallback: int = 0,
+        decode_hits: int = 0,
+        decode_misses: int = 0,
+        batches: int = 0,
+        batch_runs: int = 0,
+    ) -> None:
+        """Fold executor counters in — called by stats-wired ForkServers on
+        every run and by the parent when folding worker reply deltas."""
+        self.lockstep_runs += lockstep
+        self.fallback_runs += fallback
+        self.decode_hits += decode_hits
+        self.decode_misses += decode_misses
+        self.executor_batches += batches
+        self.executor_batch_runs += batch_runs
+
     def record_pass_report(self, report) -> None:
         """Fold one build's :class:`~repro.compiler.passes.manager.PipelineReport`
         into the per-pass aggregate."""
@@ -174,6 +205,12 @@ class EngineStats:
         self.checkpoints_written = other.checkpoints_written
         self.checkpoint_latencies = list(other.checkpoint_latencies)
         self.pass_timings = {name: list(row) for name, row in other.pass_timings.items()}
+        self.lockstep_runs = other.lockstep_runs
+        self.fallback_runs = other.fallback_runs
+        self.decode_hits = other.decode_hits
+        self.decode_misses = other.decode_misses
+        self.executor_batches = other.executor_batches
+        self.executor_batch_runs = other.executor_batch_runs
 
     def merge(self, other: "EngineStats") -> None:
         """Fold another instance's counters into this one."""
@@ -199,6 +236,14 @@ class EngineStats:
         self.checkpoint_latencies.extend(other.checkpoint_latencies)
         for name, row in other.pass_timings.items():
             self.record_pass(name, row[0], row[1], row[2])
+        self.record_executor(
+            lockstep=other.lockstep_runs,
+            fallback=other.fallback_runs,
+            decode_hits=other.decode_hits,
+            decode_misses=other.decode_misses,
+            batches=other.executor_batches,
+            batch_runs=other.executor_batch_runs,
+        )
 
     # ---------------------------------------------------------------- queries
 
@@ -249,6 +294,19 @@ class EngineStats:
                 "invalidations": self.summary_invalidations,
             },
             "timeouts": {"retries": self.timeout_retries},
+            "executor": {
+                "lockstep_runs": self.lockstep_runs,
+                "fallback_runs": self.fallback_runs,
+                "decode_hits": self.decode_hits,
+                "decode_misses": self.decode_misses,
+                "batches": self.executor_batches,
+                "batch_runs": self.executor_batch_runs,
+                "mean_batch_size": (
+                    self.executor_batch_runs / self.executor_batches
+                    if self.executor_batches
+                    else 0.0
+                ),
+            },
             "batches": {
                 "dispatched": self.batches,
                 "latency_percentiles": {
@@ -302,6 +360,18 @@ class EngineStats:
                 f"({summaries['invalidations']} invalidated)"
             )
         lines.append(f"timeout retries: {snap['timeouts']['retries']}")
+        executor = snap["executor"]
+        if executor["lockstep_runs"] or executor["fallback_runs"]:
+            lines.append(
+                f"executor: {executor['lockstep_runs']} lockstep / "
+                f"{executor['fallback_runs']} fallback; decode cache "
+                f"{executor['decode_hits']} hits / {executor['decode_misses']} misses"
+            )
+            if executor["batches"]:
+                lines.append(
+                    f"  batched submission: {executor['batches']} batches, "
+                    f"mean size {executor['mean_batch_size']:.1f}"
+                )
         percentiles = snap["batches"]["latency_percentiles"]
         lines.append(
             f"batches: {snap['batches']['dispatched']} dispatched; latency "

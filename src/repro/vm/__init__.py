@@ -9,16 +9,26 @@ the compiled IR or the configured layout, exactly as on real hardware.
 
 from repro.vm.execution import ExecutionResult, Status, run_binary
 from repro.vm.forkserver import ForkServer
+from repro.vm.lockstep import (
+    DecodedProgram,
+    LockstepExecutor,
+    LockstepMachine,
+    run_lockstep,
+)
 from repro.vm.machine import Machine
 from repro.vm.memory import ImageLayout, Memory, MemTrap
 
 __all__ = [
+    "DecodedProgram",
     "ExecutionResult",
     "ForkServer",
     "ImageLayout",
+    "LockstepExecutor",
+    "LockstepMachine",
     "Machine",
     "Memory",
     "MemTrap",
     "Status",
     "run_binary",
+    "run_lockstep",
 ]

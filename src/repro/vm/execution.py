@@ -44,6 +44,11 @@ class ExecutionResult:
     binary_name: str = ""
     #: Source-line execution trace (only populated when requested).
     line_trace: tuple[int, ...] = ()
+    #: Normalized observation checksum, computed once where the execution
+    #: happened (engine workers fill this in so the oracle never derives
+    #: it a second time from ``observations``).  ``None`` means "not yet
+    #: computed" — CompDiff falls back to deriving it parent-side.
+    output_checksum: int | None = None
 
     def observation(self) -> tuple:
         """The tuple CompDiff compares across implementations.
@@ -103,6 +108,17 @@ def run_binary(
         trace_lines=trace_lines,
     )
     exit_code, trap, sanitizer_stop = machine.run()
+    return collect_result(machine, exit_code, trap, sanitizer_stop)
+
+
+def collect_result(
+    machine: Machine, exit_code: int, trap: str | None, sanitizer_stop
+) -> ExecutionResult:
+    """Fold a finished machine's outcome into an :class:`ExecutionResult`.
+
+    Shared by the reference path above and the lockstep fast path so the
+    status mapping and sanitizer stderr report stay byte-identical.
+    """
     if sanitizer_stop is not None:
         status = Status.SANITIZER
         report = (sanitizer_stop.kind, sanitizer_stop.line, sanitizer_stop.detail)
@@ -131,6 +147,6 @@ def run_binary(
         sanitizer_report=report,
         bug_sites=frozenset(machine.bug_sites),
         executed_instructions=machine.executed,
-        binary_name=binary.name,
+        binary_name=machine.binary.name,
         line_trace=tuple(machine.line_trace),
     )

@@ -183,8 +183,11 @@ def test_crash_and_corrupt_faults_converge_to_serial(serial, tmp_path):
 
 def test_hung_shard_is_killed_and_replayed(serial, tmp_path):
     serial_result, serial_bytes = serial
+    # The injected hang sleeps HANG_SECONDS (600 s); keep the deadline
+    # far above honest per-seed wall time on a loaded machine so only
+    # the injected hang can trip the watchdog.
     plan = ShardFaultPlan(once={1: "hang"})
-    policy = ShardPolicy(seed_deadline=5.0, backoff_base=0.01, backoff_max=0.05)
+    policy = ShardPolicy(seed_deadline=30.0, backoff_base=0.01, backoff_max=0.05)
     runtime, merged, merged_bytes = _run_sharded(tmp_path, policy=policy, fault_plan=plan)
     assert merged_bytes == serial_bytes
     assert _gen_signature(merged) == _gen_signature(serial_result)

@@ -1,0 +1,227 @@
+"""The shared corpus database: sidecar identity, dedupe, bank bridge.
+
+:class:`repro.db.CorpusDB` is the cross-campaign substrate under the
+per-campaign banks.  Its contracts, pinned here:
+
+* identity — a ``.meta`` magic+CRC sidecar is written on first commit
+  and verified on every later open; a missing, corrupt, or
+  wrong-schema sidecar refuses the open (docs/ROBUSTNESS.md idiom);
+* content addressing — programs key by ``program_fingerprint`` and the
+  first write wins;
+* ``register_class`` — the cross-shard dedupe primitive: exactly one
+  claim per (kind, key) succeeds;
+* the bank bridge — a bank imported into the DB exports back
+  byte-identically, and :func:`verify_bank_against_db` refuses a bank
+  whose manifest references classes the DB has never seen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compdiff import CompDiff
+from repro.db import (
+    CLASS_GENERATIVE,
+    CLASS_SANCHECK,
+    DB_MAGIC,
+    DB_SCHEMA_VERSION,
+    CorpusDB,
+    open_db,
+    verify_bank_against_db,
+)
+from repro.errors import ReproError
+from repro.generative.bank import BankedRepro, CorpusBank
+from repro.parallel.cache import program_fingerprint
+from repro.persist import write_record
+from repro.sanval.bank import BankedFinding, FindingBank
+
+SRC_A = "int main(void) { return 1; }"
+SRC_B = "int main(void) { return 2; }"
+
+
+def make_repro(key: str = "cafe0001", source: str = SRC_A) -> BankedRepro:
+    return BankedRepro(
+        key=key,
+        seed=7,
+        profile="ub",
+        generator_version=1,
+        ub_shapes=("uninit",),
+        source=source,
+        good_source=source.replace("return", "return 0 +"),
+        inputs=[b"", b"\x01"],
+        checkers=("uninit-read",),
+        fingerprints=("deadbeef01",),
+        group="uninit",
+        partition=(("gcc-O0",), ("gcc-O2",)),
+        impl_ref="gcc-O0",
+        impl_target="gcc-O2",
+    )
+
+
+def make_finding(key: str = "feed0001", source: str = SRC_B) -> BankedFinding:
+    return BankedFinding(
+        key=key,
+        sanitizer="asan",
+        outcome="FN",
+        seed="fixture/oob",
+        variant="outline",
+        kinds=("heap-buffer-overflow",),
+        checkers=("oob-write",),
+        oracle_fingerprints=("beefcafe02",),
+        partition=(("gcc-O0", "gcc-O2"),),
+        impl_ref="gcc-O0",
+        impl_target="gcc-O2",
+        source=source,
+        inputs=[b""],
+    )
+
+
+class TestIdentitySidecar:
+    def test_sidecar_written_on_close(self, tmp_path):
+        db = CorpusDB(tmp_path / "corpus.db")
+        db.add_program(SRC_A)
+        db.close()
+        assert (tmp_path / "corpus.db.meta").exists()
+        with open_db(tmp_path / "corpus.db") as reopened:
+            assert reopened.stats()["programs"] == 1
+
+    def test_missing_sidecar_refused(self, tmp_path):
+        with CorpusDB(tmp_path / "corpus.db") as db:
+            db.add_program(SRC_A)
+        (tmp_path / "corpus.db.meta").unlink()
+        with pytest.raises(ReproError, match="no .meta sidecar"):
+            CorpusDB(tmp_path / "corpus.db")
+
+    def test_corrupt_sidecar_refused(self, tmp_path):
+        with CorpusDB(tmp_path / "corpus.db"):
+            pass
+        meta = tmp_path / "corpus.db.meta"
+        meta.write_bytes(meta.read_bytes()[:-1] + b"\xff")
+        with pytest.raises(ReproError, match="sidecar rejected"):
+            CorpusDB(tmp_path / "corpus.db")
+
+    def test_wrong_schema_version_refused(self, tmp_path):
+        with CorpusDB(tmp_path / "corpus.db"):
+            pass
+        write_record(
+            str(tmp_path / "corpus.db.meta"),
+            DB_MAGIC,
+            {"schema_version": DB_SCHEMA_VERSION + 1, "database": "corpus.db"},
+        )
+        with pytest.raises(ReproError, match="schema version"):
+            CorpusDB(tmp_path / "corpus.db")
+
+
+class TestContentAddressing:
+    def test_program_fingerprint_roundtrip(self, tmp_path):
+        with CorpusDB(tmp_path / "c.db") as db:
+            fp = db.add_program(SRC_A, name="first")
+            assert fp == program_fingerprint(SRC_A)
+            assert db.has_program(fp)
+            assert db.get_source(fp) == SRC_A
+            # First write wins: re-adding under a new name is a no-op.
+            assert db.add_program(SRC_A, name="second") == fp
+            assert db.stats()["programs"] == 1
+
+    def test_verdict_roundtrip(self, tmp_path):
+        (diff,) = CompDiff().check_source(SRC_A, [b"\x02"]).diffs
+        with CorpusDB(tmp_path / "c.db") as db:
+            fp = db.add_program(SRC_A)
+            db.record_verdict(fp, diff)
+            (stored,) = db.verdicts_for(fp)
+        assert stored["input"] == b"\x02"
+        assert stored["divergent"] == diff.divergent
+        assert stored["checksums"] == {
+            name: checksum for name, checksum in diff.checksums.items()
+        }
+
+    def test_diagnostics_roundtrip(self, tmp_path):
+        with CorpusDB(tmp_path / "c.db") as db:
+            fp = db.add_program(SRC_A)
+            db.add_diagnostic(fp, "uninit-read", "aa01")
+            db.add_diagnostic(fp, "oob-write", "bb02")
+            db.add_diagnostic(fp, "uninit-read", "aa01")  # idempotent
+            assert db.diagnostics_for(fp) == [
+                ("uninit-read", "aa01"),
+                ("oob-write", "bb02"),
+            ]
+
+
+class TestRegisterClass:
+    def test_first_claim_wins(self, tmp_path):
+        with CorpusDB(tmp_path / "c.db") as db:
+            fp = db.add_program(SRC_A)
+            assert db.register_class(CLASS_GENERATIVE, "k1", fp, {"key": "k1"})
+            assert not db.register_class(CLASS_GENERATIVE, "k1", fp, {"key": "k1"})
+            # Kinds are separate namespaces.
+            assert db.register_class(CLASS_SANCHECK, "k1", fp, {"key": "k1"})
+            assert db.class_keys(CLASS_GENERATIVE) == {"k1"}
+            assert db.class_record(CLASS_GENERATIVE, "k1") == {"key": "k1"}
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with CorpusDB(tmp_path / "c.db") as db:
+            with pytest.raises(ReproError, match="unknown class kind"):
+                db.register_class("bogus", "k", "fp", {})
+
+
+class TestBankBridge:
+    def test_corpus_bank_round_trip(self, tmp_path):
+        bank = CorpusBank(tmp_path / "bankA")
+        original = make_repro()
+        assert bank.add(original)
+        with CorpusDB(tmp_path / "c.db") as db:
+            assert db.import_corpus_bank(bank) == 1
+            assert db.import_corpus_bank(bank) == 0  # idempotent
+            out = CorpusBank(tmp_path / "bankB")
+            assert db.export_corpus_bank(out) == 1
+        (restored,) = list(CorpusBank(tmp_path / "bankB"))
+        assert restored == original
+
+    def test_finding_bank_round_trip(self, tmp_path):
+        bank = FindingBank(tmp_path / "bankA")
+        original = make_finding()
+        assert bank.add(original)
+        with CorpusDB(tmp_path / "c.db") as db:
+            assert db.import_finding_bank(bank) == 1
+            out = FindingBank(tmp_path / "bankB")
+            assert db.export_finding_bank(out) == 1
+        (restored,) = list(FindingBank(tmp_path / "bankB"))
+        assert restored == original
+
+    def test_verify_bank_against_db(self, tmp_path):
+        bank = CorpusBank(tmp_path / "bank")
+        bank.add(make_repro())
+        with CorpusDB(tmp_path / "c.db") as db:
+            with pytest.raises(ReproError, match="does not contain"):
+                verify_bank_against_db(tmp_path / "bank", "auto", db)
+            db.import_corpus_bank(bank)
+            assert verify_bank_against_db(tmp_path / "bank", "auto", db) == 1
+            # A missing manifest is an empty bank, not an error.
+            assert verify_bank_against_db(tmp_path / "nosuch", "auto", db) == 0
+
+
+class TestMergeDedupe:
+    """The campaign-merge claim helpers behind ``--shards ... --db``."""
+
+    def test_generative_claim_then_skip(self, tmp_path):
+        from repro.campaigns.runtime import _db_claim_generative
+
+        repro = make_repro()
+        with CorpusDB(tmp_path / "c.db") as db:
+            assert _db_claim_generative(db, repro)
+            # Another campaign (or shard merge) loses the claim race.
+            assert not _db_claim_generative(db, repro)
+            fp = program_fingerprint(repro.source)
+            assert db.has_program(fp)
+            assert db.diagnostics_for(fp) == [("uninit-read", "deadbeef01")]
+            record = db.class_record(CLASS_GENERATIVE, repro.key)
+            assert record["_source"] == repro.source
+
+    def test_sancheck_claim_then_skip(self, tmp_path):
+        from repro.campaigns.runtime import _db_claim_sancheck
+
+        finding = make_finding()
+        with CorpusDB(tmp_path / "c.db") as db:
+            assert _db_claim_sancheck(db, finding)
+            assert not _db_claim_sancheck(db, finding)
+            assert db.class_keys(CLASS_SANCHECK) == {finding.key}
